@@ -1,0 +1,124 @@
+//! Hybrid baseline (§III-C, Table II "Hybrid" row).
+
+use er_graph::bipartite::PairNode;
+use er_text::Corpus;
+
+use crate::{PairScorer, SimRankScorer, TwIdfScorer};
+
+/// Linear fusion of topological (SimRank) and textual (TW-IDF)
+/// similarity: `sh = β · sb + (1 − β) · su` (Eq. 5, β = 0.5).
+///
+/// The two score families live on different scales (SimRank in `[0, C1]`,
+/// TW-IDF unbounded), so each is max-normalized to `[0, 1]` before the
+/// combination — without this the larger-scale family silently dominates
+/// regardless of β. The paper leaves the scale handling unstated; this is
+/// our resolution (DESIGN.md §4).
+#[derive(Debug, Clone, Copy)]
+pub struct HybridScorer {
+    /// Mixing weight β toward the topological (SimRank) score.
+    pub beta: f64,
+    /// The SimRank side.
+    pub simrank: SimRankScorer,
+    /// The TW-IDF side.
+    pub twidf: TwIdfScorer,
+}
+
+impl Default for HybridScorer {
+    fn default() -> Self {
+        Self {
+            beta: 0.5,
+            simrank: SimRankScorer::default(),
+            twidf: TwIdfScorer::default(),
+        }
+    }
+}
+
+impl PairScorer for HybridScorer {
+    fn name(&self) -> &'static str {
+        "Hybrid"
+    }
+
+    fn score_pairs(&self, corpus: &Corpus, pairs: &[PairNode]) -> Vec<f64> {
+        assert!((0.0..=1.0).contains(&self.beta), "beta must be in [0, 1]");
+        let sb = max_normalized(self.simrank.score_pairs(corpus, pairs));
+        let su = max_normalized(self.twidf.score_pairs(corpus, pairs));
+        sb.iter()
+            .zip(&su)
+            .map(|(b, u)| self.beta * b + (1.0 - self.beta) * u)
+            .collect()
+    }
+}
+
+fn max_normalized(mut scores: Vec<f64>) -> Vec<f64> {
+    let max = scores.iter().fold(0.0f64, |m, &v| m.max(v));
+    if max > 0.0 {
+        for s in &mut scores {
+            *s /= max;
+        }
+    }
+    scores
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_text::CorpusBuilder;
+
+    fn corpus() -> Corpus {
+        CorpusBuilder::new()
+            .push_text("alpha beta gamma")
+            .push_text("alpha beta delta")
+            .push_text("delta epsilon zeta")
+            .push_text("eta theta iota")
+            .build()
+    }
+
+    #[test]
+    fn beta_extremes_recover_components() {
+        let c = corpus();
+        let pairs = crate::candidate_pairs(&c, None);
+        let pure_simrank = HybridScorer {
+            beta: 1.0,
+            ..Default::default()
+        }
+        .score_pairs(&c, &pairs);
+        let pure_twidf = HybridScorer {
+            beta: 0.0,
+            ..Default::default()
+        }
+        .score_pairs(&c, &pairs);
+        let sr = max_normalized_vec(SimRankScorer::default().score_pairs(&c, &pairs));
+        let tw = max_normalized_vec(TwIdfScorer::default().score_pairs(&c, &pairs));
+        for (a, b) in pure_simrank.iter().zip(&sr) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        for (a, b) in pure_twidf.iter().zip(&tw) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    fn max_normalized_vec(v: Vec<f64>) -> Vec<f64> {
+        super::max_normalized(v)
+    }
+
+    #[test]
+    fn combined_scores_bounded() {
+        let c = corpus();
+        let pairs = crate::candidate_pairs(&c, None);
+        let s = HybridScorer::default().score_pairs(&c, &pairs);
+        assert!(s.iter().all(|v| (0.0..=1.0 + 1e-12).contains(v)));
+        assert!(s.iter().any(|v| *v > 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "beta")]
+    fn rejects_bad_beta() {
+        let c = corpus();
+        let pairs = crate::candidate_pairs(&c, None);
+        HybridScorer {
+            beta: 1.5,
+            ..Default::default()
+        }
+        .score_pairs(&c, &pairs);
+    }
+}

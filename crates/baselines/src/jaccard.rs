@@ -1,0 +1,57 @@
+//! Jaccard baseline (Table II row 1).
+
+use er_graph::bipartite::PairNode;
+use er_text::{jaccard, Corpus};
+
+use crate::PairScorer;
+
+/// Jaccard coefficient over the records' (post-filter) term sets.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct JaccardScorer;
+
+impl PairScorer for JaccardScorer {
+    fn name(&self) -> &'static str {
+        "Jaccard"
+    }
+
+    fn score_pairs(&self, corpus: &Corpus, pairs: &[PairNode]) -> Vec<f64> {
+        pairs
+            .iter()
+            .map(|p| jaccard(corpus.term_set(p.a as usize), corpus.term_set(p.b as usize)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_text::CorpusBuilder;
+
+    #[test]
+    fn scores_candidate_pairs() {
+        let corpus = CorpusBuilder::new()
+            .push_text("a b c d")
+            .push_text("a b c e")
+            .push_text("a z y x")
+            .build();
+        let pairs = vec![PairNode::new(0, 1), PairNode::new(0, 2)];
+        let s = JaccardScorer.score_pairs(&corpus, &pairs);
+        assert!((s[0] - 3.0 / 5.0).abs() < 1e-12);
+        assert!((s[1] - 1.0 / 7.0).abs() < 1e-12);
+        assert!(s[0] > s[1]);
+    }
+
+    #[test]
+    fn end_to_end_sweep_separates_duplicates() {
+        let corpus = CorpusBuilder::new()
+            .push_text("fenix argyle 8358 sunset blvd")
+            .push_text("fenix 8358 sunset blvd hollywood")
+            .push_text("grill alley 9560 dayton way")
+            .push_text("grill on alley 9560 dayton")
+            .build();
+        let pairs = crate::candidate_pairs(&corpus, None);
+        let truth = er_eval::TruthPairs::from_pairs([(0u32, 1u32), (2, 3)]);
+        let result = crate::evaluate_scorer(&JaccardScorer, &corpus, &pairs, &truth);
+        assert!(result.f1 > 0.99, "{result:?}");
+    }
+}

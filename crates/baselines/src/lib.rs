@@ -1,0 +1,118 @@
+//! # er-baselines
+//!
+//! The unsupervised baseline matchers the paper evaluates against
+//! (Table II):
+//!
+//! * [`jaccard`] — Jaccard coefficient over term sets (§II-A; the
+//!   machine-side filter of the crowd methods).
+//! * [`tfidf`] — TF-IDF cosine (Cohen's word-based representation \[2\]).
+//! * [`simrank`] — bipartite SimRank on the record–term graph
+//!   (§III-A, Eq. 1–2, C1 = C2 = 0.8).
+//! * [`twidf`] — TW-IDF: PageRank term salience on the sliding-window
+//!   co-occurrence graph, combined with IDF (§III-B, Eq. 3–4, φ = 0.85).
+//! * [`hybrid`] — the linear fusion of SimRank and TW-IDF scores
+//!   (§III-C, Eq. 5, β = 0.5).
+//!
+//! Every matcher implements [`PairScorer`]; decisions use the
+//! optimal-threshold sweep of `er_eval::sweep_threshold`, matching the
+//! paper's protocol ("an upper bound of manually tuned parameters").
+
+pub mod hybrid;
+pub mod jaccard;
+pub mod simrank;
+pub mod tfidf;
+pub mod twidf;
+
+use er_eval::{sweep_threshold, ScoredPair, SweepResult, TruthPairs};
+use er_graph::bipartite::PairNode;
+use er_graph::BipartiteGraphBuilder;
+use er_text::{Corpus, TermId};
+
+pub use hybrid::HybridScorer;
+pub use jaccard::JaccardScorer;
+pub use simrank::SimRankScorer;
+pub use tfidf::TfIdfScorer;
+pub use twidf::TwIdfScorer;
+
+/// A baseline matcher: assigns a similarity score to each candidate pair.
+pub trait PairScorer {
+    /// Matcher name as it appears in Table II.
+    fn name(&self) -> &'static str;
+
+    /// Scores each candidate pair (parallel to `pairs`). Scores need not
+    /// be normalized; the threshold sweep handles arbitrary ranges.
+    fn score_pairs(&self, corpus: &Corpus, pairs: &[PairNode]) -> Vec<f64>;
+}
+
+/// Enumerates the candidate pairs of a corpus: all record pairs sharing
+/// at least one (post-filter) term, optionally restricted by a policy
+/// (e.g. cross-source only). This is the same candidate universe the
+/// fusion framework's bipartite graph uses, so baselines and framework
+/// are compared on equal footing.
+pub fn candidate_pairs(
+    corpus: &Corpus,
+    pair_filter: Option<&dyn Fn(u32, u32) -> bool>,
+) -> Vec<PairNode> {
+    let mut builder = BipartiteGraphBuilder::new(corpus.len(), corpus.vocab_len());
+    for i in 0..corpus.vocab_len() {
+        let t = TermId(i as u32);
+        builder = builder.postings(t.0, corpus.postings(t));
+    }
+    if let Some(f) = pair_filter {
+        builder = builder.pair_filter(f);
+    }
+    builder.build().pairs().to_vec()
+}
+
+/// Runs a scorer and sweeps the optimal threshold (1 000 quanta, the
+/// paper's protocol).
+pub fn evaluate_scorer(
+    scorer: &dyn PairScorer,
+    corpus: &Corpus,
+    pairs: &[PairNode],
+    truth: &TruthPairs,
+) -> SweepResult {
+    let scores = scorer.score_pairs(corpus, pairs);
+    let scored: Vec<ScoredPair> = pairs
+        .iter()
+        .zip(&scores)
+        .map(|(p, &score)| ScoredPair {
+            a: p.a,
+            b: p.b,
+            score,
+        })
+        .collect();
+    sweep_threshold(&scored, truth, 1000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_text::CorpusBuilder;
+
+    #[test]
+    fn candidate_pairs_match_shared_terms() {
+        let corpus = CorpusBuilder::new()
+            .push_text("alpha beta")
+            .push_text("beta gamma")
+            .push_text("delta")
+            .build();
+        let pairs = candidate_pairs(&corpus, None);
+        assert_eq!(pairs.len(), 1);
+        assert_eq!(pairs[0], PairNode::new(0, 1));
+    }
+
+    #[test]
+    fn candidate_pairs_respect_filter() {
+        let corpus = CorpusBuilder::new()
+            .push_text("x common")
+            .push_text("x common")
+            .push_text("x common")
+            .build();
+        let sources = [0u8, 0, 1];
+        let filter = |a: u32, b: u32| sources[a as usize] != sources[b as usize];
+        let pairs = candidate_pairs(&corpus, Some(&filter));
+        assert_eq!(pairs.len(), 2); // (0,2), (1,2)
+        assert!(pairs.iter().all(|p| p.b == 2));
+    }
+}

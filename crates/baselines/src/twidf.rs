@@ -1,0 +1,127 @@
+//! TW-IDF / PageRank baseline (§III-B, Table II "PageRank" row).
+
+use er_graph::bipartite::PairNode;
+use er_graph::{cooccurrence_graph, pagerank, PageRankConfig};
+use er_text::{Corpus, TermId};
+
+use crate::PairScorer;
+
+/// TW-IDF textual similarity: term salience `s(t)` from PageRank on the
+/// sliding-window co-occurrence graph (Eq. 3), combined per pair as
+/// `su(ri, rj) = Σ_{t ∈ ri ∧ t ∈ rj} s(t) · ln((n + 1) / df(t))` (Eq. 4).
+#[derive(Debug, Clone, Copy)]
+pub struct TwIdfScorer {
+    /// Sliding-window size over each record's token sequence.
+    pub window: usize,
+    /// PageRank parameters (paper: damping φ = 0.85).
+    pub pagerank: PageRankConfig,
+}
+
+impl Default for TwIdfScorer {
+    fn default() -> Self {
+        Self {
+            window: 3,
+            pagerank: PageRankConfig::default(),
+        }
+    }
+}
+
+impl TwIdfScorer {
+    /// The PageRank term-salience vector this scorer uses — exposed for
+    /// the Table IV Spearman comparison against ITER's weights.
+    pub fn term_salience(&self, corpus: &Corpus) -> Vec<f64> {
+        let token_lists: Vec<&[u32]> = (0..corpus.len())
+            .map(|r| {
+                // Token lists are &[TermId]; TermId is a plain u32 wrapper,
+                // so build the borrowed view via the owned copy below.
+                corpus.tokens(r)
+            })
+            .map(term_slice_ids)
+            .collect();
+        let graph = cooccurrence_graph(&token_lists, corpus.vocab_len(), self.window);
+        pagerank(&graph, &self.pagerank)
+    }
+}
+
+// `Corpus::tokens` yields `&[TermId]`; the co-occurrence builder wants
+// `&[u32]`. TermId is a one-field tuple struct, so the slices have the
+// same layout, but we stay in safe Rust by leaking nothing and copying
+// once per scoring run would double memory; instead expose ids through a
+// small accessor on TermId slices.
+fn term_slice_ids(tokens: &[TermId]) -> &[u32] {
+    // SAFETY: `TermId` is `#[repr(transparent)]` over `u32` (see
+    // er-text), so `&[TermId]` and `&[u32]` have identical layout.
+    unsafe { std::slice::from_raw_parts(tokens.as_ptr().cast::<u32>(), tokens.len()) }
+}
+
+impl PairScorer for TwIdfScorer {
+    fn name(&self) -> &'static str {
+        "PageRank (TW-IDF)"
+    }
+
+    fn score_pairs(&self, corpus: &Corpus, pairs: &[PairNode]) -> Vec<f64> {
+        let salience = self.term_salience(corpus);
+        let n = corpus.len() as f64;
+        pairs
+            .iter()
+            .map(|p| {
+                corpus
+                    .shared_terms(p.a as usize, p.b as usize)
+                    .iter()
+                    .map(|&t| {
+                        let df = corpus.filtered_doc_freq(t) as f64;
+                        if df == 0.0 {
+                            return 0.0;
+                        }
+                        salience[t.index()] * ((n + 1.0) / df).ln()
+                    })
+                    .sum()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_text::CorpusBuilder;
+
+    #[test]
+    fn more_shared_terms_score_higher() {
+        let corpus = CorpusBuilder::new()
+            .push_text("alpha beta gamma delta")
+            .push_text("alpha beta gamma epsilon")
+            .push_text("alpha zeta eta theta")
+            .build();
+        let pairs = vec![PairNode::new(0, 1), PairNode::new(0, 2)];
+        let s = TwIdfScorer::default().score_pairs(&corpus, &pairs);
+        assert!(s[0] > s[1], "{s:?}");
+    }
+
+    #[test]
+    fn salience_vector_covers_vocab() {
+        let corpus = CorpusBuilder::new()
+            .push_text("a b c")
+            .push_text("b c d")
+            .build();
+        let s = TwIdfScorer::default().term_salience(&corpus);
+        assert_eq!(s.len(), corpus.vocab_len());
+        assert!(s.iter().all(|v| *v > 0.0));
+    }
+
+    #[test]
+    fn hub_words_gain_salience_but_idf_punishes_them() {
+        // "common" co-occurs with everything (high PageRank) but appears
+        // in every record (low IDF): the IDF factor must keep a pair
+        // sharing only "common" below a pair sharing a rare term.
+        let corpus = CorpusBuilder::new()
+            .push_text("common rare1 x1")
+            .push_text("common rare1 x2")
+            .push_text("common x3 x4")
+            .push_text("common x5 x6")
+            .build();
+        let pairs = vec![PairNode::new(0, 1), PairNode::new(2, 3)];
+        let s = TwIdfScorer::default().score_pairs(&corpus, &pairs);
+        assert!(s[0] > s[1], "{s:?}");
+    }
+}

@@ -1,0 +1,70 @@
+//! **Extension** — pairwise vs transitive-closure evaluation.
+//!
+//! Entity resolution's deliverable is a clustering; this bench scores
+//! every unsupervised method under both protocols: the paper's pairwise
+//! F1 (optimal threshold for baselines, fixed η for fusion) and the
+//! transitive-closure pairwise F1 (closure-aware optimal threshold for
+//! baselines, union-find clusters for fusion). Closure rewards methods
+//! whose confident edges span true clusters and punishes false bridges
+//! quadratically — the comparison shows which methods produce
+//! *clusterable* decisions rather than merely well-ranked pairs.
+//!
+//! Run: `cargo bench --bench extension_closure`.
+
+use er_baselines::{HybridScorer, JaccardScorer, PairScorer, TfIdfScorer, TwIdfScorer};
+use er_bench::{bench_datasets, fusion_config, prepare, scale_factor, scored_pairs};
+use er_core::Resolver;
+use er_eval::{clusters_to_pairs, evaluate_pairs, sweep_threshold, sweep_threshold_closure};
+use unsupervised_er::pipeline;
+
+fn main() {
+    let scale = scale_factor();
+    println!("Extension — pairwise vs transitive-closure F1 (scale factor {scale})");
+    for bench in bench_datasets(scale) {
+        let prepared = prepare(&bench);
+        let labels = pipeline::entity_labels(&bench.dataset);
+        let pairs = prepared.graph.pairs().to_vec();
+        println!("\n[{}]", bench.dataset.name);
+        println!(
+            "{:<22} {:>12} {:>12} {:>10}",
+            "method", "pairwise F1", "closure F1", "delta"
+        );
+        println!("{}", "-".repeat(60));
+
+        let scorers: Vec<Box<dyn PairScorer>> = vec![
+            Box::new(JaccardScorer),
+            Box::new(TfIdfScorer),
+            Box::new(TwIdfScorer::default()),
+            Box::new(HybridScorer::default()),
+        ];
+        for scorer in &scorers {
+            let scores = scorer.score_pairs(&prepared.corpus, &pairs);
+            let scored = scored_pairs(&pairs, &scores);
+            let pairwise = sweep_threshold(&scored, &prepared.truth, 1000);
+            let closure = sweep_threshold_closure(&scored, &labels, 1000);
+            println!(
+                "{:<22} {:>12.3} {:>12.3} {:>+10.3}",
+                scorer.name(),
+                pairwise.f1,
+                closure.f1,
+                closure.f1 - pairwise.f1
+            );
+        }
+
+        let outcome = Resolver::new(fusion_config()).resolve(&prepared.graph);
+        let pairwise = evaluate_pairs(outcome.matches.iter().copied(), &prepared.truth).f1();
+        let closure = evaluate_pairs(clusters_to_pairs(&outcome.clusters), &prepared.truth).f1();
+        println!(
+            "{:<22} {:>12.3} {:>12.3} {:>+10.3}",
+            "ITER+CliqueRank",
+            pairwise,
+            closure,
+            closure - pairwise
+        );
+    }
+    println!(
+        "\nNotes: baselines sweep the closure-optimal threshold (an upper bound they\n\
+         get and the fixed-η fusion framework does not); fusion's closure column is\n\
+         the transitive closure of its η = 0.98 matches."
+    );
+}

@@ -1,0 +1,94 @@
+//! **Table III** — Efficiency of ITER + CliqueRank.
+//!
+//! Per dataset: the record graph's node and edge counts, the total
+//! running time of the 5-round fusion, the time spent in ITER, and the
+//! speedup of CliqueRank over RSS.
+//!
+//! RSS's full simulation is `O(M · S · n³)` and impractical on the dense
+//! Paper graph (the paper's very argument), so its running time is
+//! measured on a sample of up to 2 000 edges and extrapolated linearly —
+//! the per-edge cost is independent across edges, so the extrapolation
+//! is exact in expectation.
+//!
+//! Run: `cargo bench --bench table3_efficiency`.
+
+use std::time::Instant;
+
+use er_bench::{bench_datasets, fmt_duration, fusion_config, prepare, scale_factor};
+use er_core::{run_rss_subset, Resolver, RssConfig};
+use er_graph::RecordGraph;
+
+fn main() {
+    let scale = scale_factor();
+    println!("Table III — Efficiency of ITER+CliqueRank (scale factor {scale})");
+    println!(
+        "Paper reference (full scale): Restaurant 858n/5,320e 1.1min (ITER 3s, 1.3x vs RSS); \
+         Product 2173n/151,939e 21.6min (ITER 20s, 1.5x); \
+         Paper 1865n/980,780e 24.2min (ITER 58s, 60x)\n"
+    );
+    println!(
+        "{:<12} {:>8} {:>10} {:>12} {:>10} {:>16} {:>12}",
+        "Dataset", "nodes", "edges", "total time", "ITER time", "RSS est. time", "speedup"
+    );
+    println!("{}", "-".repeat(88));
+
+    for bench in bench_datasets(scale) {
+        let prepared = prepare(&bench);
+
+        // Full fusion run, timed.
+        let t0 = Instant::now();
+        let outcome = Resolver::new(fusion_config()).resolve(&prepared.graph);
+        let total = t0.elapsed();
+        let iter_time: std::time::Duration = outcome.rounds.iter().map(|r| r.iter_time).sum();
+        // The paper's "edges in Gr" is the candidate graph (pairs sharing
+        // >= 1 term); the admitted per-round graph is smaller.
+        let edges = prepared.graph.pair_count();
+        let admitted = outcome
+            .rounds
+            .last()
+            .map(|r| r.record_graph_edges)
+            .unwrap_or(0);
+
+        // RSS vs CliqueRank on the same graph the paper compares them
+        // on: the full candidate record graph Gr (every pair sharing a
+        // term, weighted by the final ITER similarities).
+        let gr = RecordGraph::from_pair_scores(
+            prepared.graph.record_count(),
+            prepared.graph.pairs(),
+            &outcome.pair_similarities,
+        );
+        let t_cr = Instant::now();
+        let _ = er_core::run_cliquerank(&gr, &er_bench::fusion_config().cliquerank);
+        let cliquerank_full = t_cr.elapsed();
+
+        let n_edges = gr.pairs().len().max(1);
+        let sample = 2000.min(n_edges);
+        let stride = (n_edges / sample).max(1);
+        let sampled: Vec<u32> = (0..n_edges).step_by(stride).map(|i| i as u32).collect();
+        let t1 = Instant::now();
+        let _ = run_rss_subset(&gr, &RssConfig::default(), &sampled);
+        let rss_sample_time = t1.elapsed();
+        let rss_full = rss_sample_time.mul_f64(n_edges as f64 / sampled.len() as f64);
+        let speedup = rss_full.as_secs_f64() / cliquerank_full.as_secs_f64().max(1e-9);
+
+        println!(
+            "{:<12} {:>8} {:>10} {:>12} {:>10} {:>16} {:>11.1}x   ({} admitted)",
+            bench.dataset.name,
+            prepared.graph.record_count(),
+            edges,
+            fmt_duration(total),
+            fmt_duration(iter_time),
+            fmt_duration(rss_full),
+            speedup,
+            admitted
+        );
+    }
+    println!(
+        "\nNotes: speedup compares one CliqueRank pass vs RSS (extrapolated from a\n\
+         <=2000-edge sample) on the same full candidate graph, as in the paper.\n\
+         Our per-component block decomposition makes CliqueRank much faster than\n\
+         the paper's full-matrix implementation, so absolute speedups exceed the\n\
+         paper's 1.3x/1.5x/60x; the shape — RSS cost grows with per-edge walk\n\
+         work while CliqueRank reuses M^(k-1) — is preserved."
+    );
+}

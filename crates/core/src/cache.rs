@@ -1,0 +1,237 @@
+//! Component-level CliqueRank cache for incremental resolution.
+//!
+//! CliqueRank is component-local: a component's probabilities depend only
+//! on its own weighted edges. The cache keys each component by a content
+//! hash of `(members, edges, similarities)` and replays the stored edge
+//! probabilities on a hit — so re-resolving a corpus where most of the
+//! record graph is unchanged (the common case when appending records)
+//! skips the matrix work everywhere except the components actually
+//! touched. Any change to a member, an edge, or a similarity (beyond the
+//! 1e-4 quantum that absorbs ITER's convergence jitter) changes the key.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+use er_graph::RecordGraph;
+
+use crate::cliquerank::solve_component_public;
+use crate::config::CliqueRankConfig;
+
+/// Cache of solved components, keyed by content hash.
+#[derive(Debug, Default)]
+pub struct CliqueRankCache {
+    /// hash → per-edge probabilities in the component's local edge order
+    /// (pairs sorted ascending within the component).
+    map: HashMap<u64, Vec<f64>>,
+    hits: usize,
+    misses: usize,
+}
+
+impl CliqueRankCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Components served from the cache so far.
+    pub fn hits(&self) -> usize {
+        self.hits
+    }
+
+    /// Components computed and inserted so far.
+    pub fn misses(&self) -> usize {
+        self.misses
+    }
+
+    /// Stored component count.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Drops all entries (keeps the hit/miss counters).
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+}
+
+/// Content hash of one component: members, local edges, similarities and
+/// the solver configuration knobs that affect the result.
+fn component_hash(graph: &RecordGraph, members: &[u32], config: &CliqueRankConfig) -> u64 {
+    let mut h = DefaultHasher::new();
+    config.alpha.to_bits().hash(&mut h);
+    config.steps.hash(&mut h);
+    config.neighbor_mask.hash(&mut h);
+    config.clamp.hash(&mut h);
+    std::mem::discriminant(&config.recurrence).hash(&mut h);
+    match config.boost {
+        crate::config::BoostMode::Off => 0u64.hash(&mut h),
+        crate::config::BoostMode::Fixed(b) => {
+            1u64.hash(&mut h);
+            b.to_bits().hash(&mut h);
+        }
+        crate::config::BoostMode::Expected { quadrature_points } => {
+            2u64.hash(&mut h);
+            quadrature_points.hash(&mut h);
+        }
+    }
+    members.hash(&mut h);
+    for &g in members {
+        let (neighbors, sims) = graph.neighbors(g);
+        neighbors.hash(&mut h);
+        for &s in sims {
+            // Quantize: warm-started ITER re-converges to the same fixed
+            // point only within its tolerance, so bit-exact hashing would
+            // needlessly invalidate every component on every resolve.
+            // 1e-4 relative drift is far below anything CliqueRank's
+            // row-normalized transitions can distinguish.
+            ((s * 1e4).round() as i64).hash(&mut h);
+        }
+    }
+    h.finish()
+}
+
+/// [`crate::run_cliquerank`] with component-level caching.
+///
+/// Returns the matching probability per edge, aligned with
+/// [`RecordGraph::pairs`], identical to the uncached run (cached entries
+/// were produced by the same solver on an identical component).
+pub fn run_cliquerank_cached(
+    graph: &RecordGraph,
+    config: &CliqueRankConfig,
+    cache: &mut CliqueRankCache,
+) -> Vec<f64> {
+    let comps = graph.components();
+    let mut out = vec![0.0f64; graph.pairs().len()];
+    let mut local_of = vec![u32::MAX; graph.node_count()];
+    for members in &comps.members {
+        if members.len() < 2 {
+            continue;
+        }
+        // Component-local edge index list (ascending pair order).
+        let mut edge_indices = Vec::new();
+        for &g in members {
+            for &nb in graph.neighbors(g).0 {
+                if nb > g {
+                    let pair = er_graph::bipartite::PairNode::new(g, nb);
+                    let idx = graph
+                        .pairs()
+                        .binary_search(&pair)
+                        .expect("edge must correspond to a retained pair");
+                    edge_indices.push(idx);
+                }
+            }
+        }
+        edge_indices.sort_unstable();
+
+        let key = component_hash(graph, members, config);
+        if let Some(stored) = cache.map.get(&key) {
+            cache.hits += 1;
+            debug_assert_eq!(stored.len(), edge_indices.len());
+            for (&idx, &p) in edge_indices.iter().zip(stored) {
+                out[idx] = p;
+            }
+            continue;
+        }
+        cache.misses += 1;
+        for (li, &g) in members.iter().enumerate() {
+            local_of[g as usize] = li as u32;
+        }
+        solve_component_public(graph, members, &local_of, config, &mut out);
+        for &g in members {
+            local_of[g as usize] = u32::MAX;
+        }
+        let values: Vec<f64> = edge_indices.iter().map(|&idx| out[idx]).collect();
+        cache.map.insert(key, values);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_graph::bipartite::PairNode;
+
+    fn pairs(ps: &[(u32, u32)]) -> Vec<PairNode> {
+        ps.iter().map(|&(a, b)| PairNode::new(a, b)).collect()
+    }
+
+    fn graph(scores: &[f64]) -> RecordGraph {
+        RecordGraph::from_pair_scores(
+            6,
+            &pairs(&[(0, 1), (0, 2), (1, 2), (3, 4), (4, 5)]),
+            scores,
+        )
+    }
+
+    fn cfg() -> CliqueRankConfig {
+        CliqueRankConfig {
+            threads: 1,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn cached_equals_uncached() {
+        let g = graph(&[1.0, 0.9, 0.8, 0.7, 0.6]);
+        let plain = crate::run_cliquerank(&g, &cfg());
+        let mut cache = CliqueRankCache::new();
+        let cached = run_cliquerank_cached(&g, &cfg(), &mut cache);
+        assert_eq!(plain, cached);
+        assert_eq!(cache.misses(), 2);
+        assert_eq!(cache.hits(), 0);
+    }
+
+    #[test]
+    fn second_run_hits_everything() {
+        let g = graph(&[1.0, 0.9, 0.8, 0.7, 0.6]);
+        let mut cache = CliqueRankCache::new();
+        let first = run_cliquerank_cached(&g, &cfg(), &mut cache);
+        let second = run_cliquerank_cached(&g, &cfg(), &mut cache);
+        assert_eq!(first, second);
+        assert_eq!(cache.hits(), 2);
+        assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn touching_one_component_recomputes_only_it() {
+        let g1 = graph(&[1.0, 0.9, 0.8, 0.7, 0.6]);
+        let mut cache = CliqueRankCache::new();
+        let _ = run_cliquerank_cached(&g1, &cfg(), &mut cache);
+        // Change a similarity in the second component only.
+        let g2 = graph(&[1.0, 0.9, 0.8, 0.7, 0.65]);
+        let out = run_cliquerank_cached(&g2, &cfg(), &mut cache);
+        assert_eq!(cache.hits(), 1, "first component unchanged");
+        assert_eq!(cache.misses(), 3, "second component recomputed");
+        assert_eq!(out, crate::run_cliquerank(&g2, &cfg()));
+    }
+
+    #[test]
+    fn config_changes_invalidate() {
+        let g = graph(&[1.0, 0.9, 0.8, 0.7, 0.6]);
+        let mut cache = CliqueRankCache::new();
+        let _ = run_cliquerank_cached(&g, &cfg(), &mut cache);
+        let other = CliqueRankConfig {
+            steps: 7,
+            ..cfg()
+        };
+        let out = run_cliquerank_cached(&g, &other, &mut cache);
+        assert_eq!(cache.hits(), 0);
+        assert_eq!(out, crate::run_cliquerank(&g, &other));
+    }
+
+    #[test]
+    fn clear_drops_entries() {
+        let g = graph(&[1.0, 0.9, 0.8, 0.7, 0.6]);
+        let mut cache = CliqueRankCache::new();
+        let _ = run_cliquerank_cached(&g, &cfg(), &mut cache);
+        assert!(!cache.is_empty());
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+}

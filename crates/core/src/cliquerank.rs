@@ -1,0 +1,675 @@
+//! CliqueRank — matrix-form reachability probabilities (§VI-C).
+//!
+//! CliqueRank computes what RSS samples: the probability that a rectified
+//! random walk starting at `ri` reaches `rj` within `S` steps. All
+//! matrices are built from the non-linearly normalized edge powers of
+//! Eq. 11 (`a_ij ∝ s(ri, rj)^α`).
+//!
+//! # Recurrences
+//!
+//! [`Recurrence::FirstPassage`] (default) is the exact matrix
+//! transcription of RSS's walk. In RSS, each step toward target `j`
+//! renormalizes the whole row with the boosted target entry (Eq. 12):
+//!
+//! ```text
+//! P(step v→j)     = β·a_vj / (β·a_vj + rowsum_v − a_vj)   =: H[v,j]
+//! P(step v→u), u≠j = a_vu  / (β·a_vj + rowsum_v − a_vj)   = Mt[v,u]·C[v,j]
+//! ```
+//!
+//! with `C[v,j] = rowsum_v / (β·a_vj + rowsum_v − a_vj)` the continuation
+//! scale. Since the per-step bonus `b ~ U(0,1)` is independent across
+//! steps, the expectation of a walk's success factorizes over steps, so
+//! averaging `H` and `C` over `b` (midpoint quadrature) gives the exact
+//! expected-walk probabilities. The within-`S`-steps first-passage matrix
+//! then satisfies
+//!
+//! ```text
+//! G¹ = H,    G^k = H + C ⊙ (Mt × (G^{k−1} ⊙ Mn))
+//! ```
+//!
+//! where the `⊙ Mn` mask (1 exactly on edges) zeroes the continuation
+//! through nodes not adjacent to the target — RSS's early stop. Every
+//! entry is a genuine probability (≤ 1) and `p(ri, rj) =
+//! (G^S[i,j] + G^S[j,i]) / 2` needs no clamping.
+//!
+//! [`Recurrence::PaperEq15`] is the paper's literal formulation
+//! (`M¹ = Mb`, `M^k = Mt × (M^{k−1} ⊙ Mn)`, `p = Σ_k …`), kept for the
+//! fidelity ablation: it boosts only the hop entering the target and uses
+//! the unboosted `Mt` elsewhere, so rows whose edges are all
+//! weak-but-equal over-count and need clamping (see `ablation_recurrence`
+//! bench and DESIGN.md §3.3).
+//!
+//! # Block decomposition
+//!
+//! Walks never leave the connected component they start in, so all
+//! matrices are block-diagonal under a component permutation. The solver
+//! materializes dense matrices **per connected component** — exact, and
+//! far cheaper than one n × n product on sparse record graphs.
+
+use er_graph::{bipartite::PairNode, RecordGraph};
+use er_matrix::{matmul_threaded, Matrix};
+
+use crate::config::{BoostMode, CliqueRankConfig, Kernel, Recurrence};
+
+/// Runs CliqueRank; returns the matching probability per edge, aligned
+/// with [`RecordGraph::pairs`].
+pub fn run_cliquerank(graph: &RecordGraph, config: &CliqueRankConfig) -> Vec<f64> {
+    assert!(config.alpha > 0.0, "alpha must be positive");
+    assert!(config.steps >= 1, "need at least one step");
+    let comps = graph.components();
+    let solvable: Vec<&Vec<u32>> = comps.members.iter().filter(|m| m.len() >= 2).collect();
+    let mut out = vec![0.0f64; graph.pairs().len()];
+
+    // Components are independent, so they parallelize perfectly (the
+    // paper leans on a 32-core server for the same phase). Each worker
+    // gets its own scratch buffers and result list; results merge into
+    // disjoint slots of `out` afterwards. Small workloads stay on one
+    // thread to avoid spawn overhead.
+    let workers = config.threads.clamp(1, solvable.len().max(1));
+    let total_members: usize = solvable.iter().map(|m| m.len()).sum();
+    if workers == 1 || total_members < 512 {
+        let mut local_of = vec![u32::MAX; graph.node_count()];
+        for members in solvable {
+            for (li, &g) in members.iter().enumerate() {
+                local_of[g as usize] = li as u32;
+            }
+            solve_component(graph, members, &local_of, config, &mut out);
+            for &g in members {
+                local_of[g as usize] = u32::MAX;
+            }
+        }
+        return out;
+    }
+
+    // Per-worker config with matmul threading disabled — parallelism
+    // lives at the component level here.
+    let worker_config = CliqueRankConfig {
+        threads: 1,
+        ..*config
+    };
+    let chunks: Vec<Vec<&Vec<u32>>> = {
+        // Round-robin by descending size for rough load balance.
+        let mut ordered = solvable.clone();
+        ordered.sort_by_key(|m| std::cmp::Reverse(m.len()));
+        let mut chunks: Vec<Vec<&Vec<u32>>> = vec![Vec::new(); workers];
+        for (i, m) in ordered.into_iter().enumerate() {
+            chunks[i % workers].push(m);
+        }
+        chunks
+    };
+    let results: Vec<Vec<(usize, f64)>> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .iter()
+            .map(|chunk| {
+                let worker_config = &worker_config;
+                scope.spawn(move |_| {
+                    let mut local_out = vec![0.0f64; graph.pairs().len()];
+                    let mut local_of = vec![u32::MAX; graph.node_count()];
+                    let mut touched = Vec::new();
+                    for members in chunk {
+                        for (li, &g) in members.iter().enumerate() {
+                            local_of[g as usize] = li as u32;
+                        }
+                        solve_component(graph, members, &local_of, worker_config, &mut local_out);
+                        for &g in members.iter() {
+                            local_of[g as usize] = u32::MAX;
+                            for &nb in graph.neighbors(g).0 {
+                                if nb > g {
+                                    let pair = PairNode::new(g, nb);
+                                    let idx = graph
+                                        .pairs()
+                                        .binary_search(&pair)
+                                        .expect("edge is a retained pair");
+                                    touched.push((idx, local_out[idx]));
+                                }
+                            }
+                        }
+                    }
+                    touched
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("cliquerank worker panicked"))
+            .collect()
+    })
+    .expect("cliquerank scope panicked");
+    for worker_results in results {
+        for (idx, p) in worker_results {
+            out[idx] = p;
+        }
+    }
+    out
+}
+
+/// Entry point for the component cache (`crate::cache`): solves one
+/// connected component, writing edge probabilities into `out`.
+pub(crate) fn solve_component_public(
+    graph: &RecordGraph,
+    members: &[u32],
+    local_of: &[u32],
+    config: &CliqueRankConfig,
+    out: &mut [f64],
+) {
+    solve_component(graph, members, local_of, config, out);
+}
+
+/// Dense solve of one connected component, writing edge probabilities
+/// into `out`.
+#[allow(clippy::needless_range_loop)]
+fn solve_component(
+    graph: &RecordGraph,
+    members: &[u32],
+    local_of: &[u32],
+    config: &CliqueRankConfig,
+    out: &mut [f64],
+) {
+    let nc = members.len();
+    // Kernel selection: the edgewise sparse recursion is exact whenever
+    // the neighbor mask is on; pick it when its estimated per-step cost
+    // beats the dense product (dense gets an 8x constant-factor credit
+    // for its vectorized inner loop).
+    let use_sparse = config.neighbor_mask
+        && match config.kernel {
+            Kernel::Dense => false,
+            Kernel::Sparse => true,
+            Kernel::Auto => {
+                let sparse_cost = crate::sparse_kernel::sparse_step_cost(graph, members);
+                sparse_cost.saturating_mul(8) < nc * nc * nc
+            }
+        };
+    if use_sparse {
+        crate::sparse_kernel::solve_component_sparse(graph, members, local_of, config, out);
+        return;
+    }
+    // α-scaled edge powers: a[i][j] = (w_ij / (2 · rowmax_i))^α. The row
+    // scaling keeps powf in range for any similarity magnitude (it cancels
+    // in the row normalization); the factor 2 leaves headroom for the
+    // (1 + b) ≤ 2 bonus.
+    let mut a = Matrix::zeros(nc, nc);
+    let mut row_sums = vec![0.0f64; nc];
+    for (li, &g) in members.iter().enumerate() {
+        let (neighbors, sims) = graph.neighbors(g);
+        let row_max = sims.iter().fold(0.0f64, |m, &v| m.max(v));
+        debug_assert!(row_max > 0.0, "component member with no positive edge");
+        let scale = 2.0 * row_max;
+        let mut sum = 0.0;
+        for (&nb, &sim) in neighbors.iter().zip(sims) {
+            let lj = local_of[nb as usize] as usize;
+            let v = (sim / scale).powf(config.alpha);
+            a.set(li, lj, v);
+            sum += v;
+        }
+        row_sums[li] = sum;
+    }
+
+    // Mt: plain row-normalized transitions (Eq. 11 / 13).
+    let mut mt = Matrix::zeros(nc, nc);
+    for i in 0..nc {
+        if row_sums[i] <= 0.0 {
+            continue;
+        }
+        for j in 0..nc {
+            let v = a.get(i, j);
+            if v > 0.0 {
+                mt.set(i, j, v / row_sums[i]);
+            }
+        }
+    }
+
+    let bonus_samples = bonus_samples(config);
+    let final_matrix = match config.recurrence {
+        Recurrence::FirstPassage => {
+            first_passage(graph, members, local_of, &a, &row_sums, &mt, &bonus_samples, config)
+        }
+        Recurrence::PaperEq15 => {
+            paper_eq15(graph, members, local_of, &a, &row_sums, &mt, &bonus_samples, config)
+        }
+    };
+
+    // Symmetrize (Eq. 15's bi-directional average) and write out per
+    // edge. Each directional sum approximates "probability of reaching
+    // the target within S steps" and is therefore clamped to [0, 1]
+    // *before* averaging — otherwise a single over-counted direction
+    // (Eq. 15 on a weak blob) could push the average past the threshold
+    // on its own, defeating the bi-directional averaging the paper
+    // introduces exactly to depress one-sided reachability (§VI-B).
+    for (li, &g) in members.iter().enumerate() {
+        for &nb in graph.neighbors(g).0 {
+            if nb <= g {
+                continue;
+            }
+            let lj = local_of[nb as usize] as usize;
+            let (mut fwd, mut bwd) = (final_matrix.get(li, lj), final_matrix.get(lj, li));
+            if config.clamp {
+                fwd = fwd.clamp(0.0, 1.0);
+                bwd = bwd.clamp(0.0, 1.0);
+            }
+            let p = 0.5 * (fwd + bwd);
+            let pair = PairNode::new(g, nb);
+            let idx = graph
+                .pairs()
+                .binary_search(&pair)
+                .expect("edge must correspond to a retained pair");
+            out[idx] = p;
+        }
+    }
+}
+
+/// The `(1 + b)^α` bonus factors the boosted matrices average over.
+pub(crate) fn bonus_samples(config: &CliqueRankConfig) -> Vec<f64> {
+    match config.boost {
+        BoostMode::Off => vec![1.0],
+        BoostMode::Fixed(b) => {
+            assert!((0.0..=1.0).contains(&b), "bonus b must be in [0, 1]");
+            vec![(1.0 + b).powf(config.alpha)]
+        }
+        BoostMode::Expected { quadrature_points } => {
+            assert!(quadrature_points >= 1, "need at least one quadrature point");
+            (0..quadrature_points)
+                .map(|m| {
+                    let b = (m as f64 + 0.5) / quadrature_points as f64;
+                    (1.0 + b).powf(config.alpha)
+                })
+                .collect()
+        }
+    }
+}
+
+/// First-passage recurrence: returns `G^S`.
+#[allow(clippy::too_many_arguments)]
+#[allow(clippy::needless_range_loop)]
+fn first_passage(
+    graph: &RecordGraph,
+    members: &[u32],
+    local_of: &[u32],
+    a: &Matrix,
+    row_sums: &[f64],
+    mt: &Matrix,
+    bonus: &[f64],
+    config: &CliqueRankConfig,
+) -> Matrix {
+    let nc = members.len();
+    // H[v,j]: expected boosted hit probability; C[v,j]: expected
+    // continuation scale. Both only meaningful where (v, j) is an edge for
+    // H, but C is needed for every (v, j) with j adjacent to the walk —
+    // when (v, j) is NOT an edge, the boost does not apply and
+    // C[v,j] = 1 (the row is normalized without any boosted entry).
+    let mut h = Matrix::zeros(nc, nc);
+    let mut c = Matrix::from_fn(nc, nc, |_, _| 1.0);
+    for i in 0..nc {
+        if row_sums[i] <= 0.0 {
+            continue;
+        }
+        for j in 0..nc {
+            let aij = a.get(i, j);
+            if aij <= 0.0 {
+                continue;
+            }
+            let rest = (row_sums[i] - aij).max(0.0);
+            let mut hit = 0.0;
+            let mut cont = 0.0;
+            for &beta in bonus {
+                let denom = beta * aij + rest;
+                hit += beta * aij / denom;
+                cont += row_sums[i] / denom;
+            }
+            h.set(i, j, hit / bonus.len() as f64);
+            c.set(i, j, cont / bonus.len() as f64);
+        }
+    }
+
+    // G¹ = H; G^k = H + C ⊙ (Mt × (G^{k−1} ⊙ Mn)).
+    let mut g_mat = h.clone();
+    let mut masked = Matrix::zeros(nc, nc);
+    for _ in 2..=config.steps {
+        apply_neighbor_mask(graph, members, local_of, &g_mat, &mut masked, config);
+        let mut cont = matmul_threaded(mt, &masked, config.threads);
+        cont.hadamard_assign(&c);
+        cont.add_assign(&h);
+        g_mat = cont;
+    }
+    g_mat
+}
+
+/// The paper's literal Eq. 15 accumulation: returns `Σ_k M^k`.
+#[allow(clippy::too_many_arguments)]
+#[allow(clippy::needless_range_loop)]
+fn paper_eq15(
+    graph: &RecordGraph,
+    members: &[u32],
+    local_of: &[u32],
+    a: &Matrix,
+    row_sums: &[f64],
+    mt: &Matrix,
+    bonus: &[f64],
+    config: &CliqueRankConfig,
+) -> Matrix {
+    let nc = members.len();
+    // Mb[i,j] = mean_b[ β·a_ij / (β·a_ij + rowsum_i − a_ij) ].
+    let mut mb = Matrix::zeros(nc, nc);
+    for i in 0..nc {
+        for j in 0..nc {
+            let aij = a.get(i, j);
+            if aij <= 0.0 {
+                continue;
+            }
+            let rest = (row_sums[i] - aij).max(0.0);
+            let mean = bonus
+                .iter()
+                .map(|&beta| beta * aij / (beta * aij + rest))
+                .sum::<f64>()
+                / bonus.len() as f64;
+            mb.set(i, j, mean);
+        }
+    }
+    let mut m = mb.clone();
+    let mut acc = mb;
+    let mut masked = Matrix::zeros(nc, nc);
+    for _ in 2..=config.steps {
+        apply_neighbor_mask(graph, members, local_of, &m, &mut masked, config);
+        m = matmul_threaded(mt, &masked, config.threads);
+        acc.add_assign(&m);
+    }
+    acc
+}
+
+/// Writes `source ⊙ Mn` into `masked` (sparse copy over edges); with the
+/// mask disabled, copies `source` wholesale.
+fn apply_neighbor_mask(
+    graph: &RecordGraph,
+    members: &[u32],
+    local_of: &[u32],
+    source: &Matrix,
+    masked: &mut Matrix,
+    config: &CliqueRankConfig,
+) {
+    if !config.neighbor_mask {
+        masked.clone_from(source);
+        return;
+    }
+    masked.data_mut().iter_mut().for_each(|v| *v = 0.0);
+    for (li, &g) in members.iter().enumerate() {
+        for &nb in graph.neighbors(g).0 {
+            let lj = local_of[nb as usize] as usize;
+            masked.set(li, lj, source.get(li, lj));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CliqueRankConfig;
+
+    fn pairs(ps: &[(u32, u32)]) -> Vec<PairNode> {
+        ps.iter().map(|&(a, b)| PairNode::new(a, b)).collect()
+    }
+
+    /// Two tight cliques {0,1,2} and {3,4} joined by a weak bridge 2–3.
+    fn two_cliques() -> RecordGraph {
+        let p = pairs(&[(0, 1), (0, 2), (1, 2), (3, 4), (2, 3)]);
+        let s = [1.0, 1.0, 1.0, 1.0, 0.05];
+        RecordGraph::from_pair_scores(5, &p, &s)
+    }
+
+    fn edge_prob(g: &RecordGraph, probs: &[f64], a: u32, b: u32) -> f64 {
+        let idx = g
+            .pairs()
+            .iter()
+            .position(|p| *p == PairNode::new(a, b))
+            .expect("edge present");
+        probs[idx]
+    }
+
+    fn cfg() -> CliqueRankConfig {
+        CliqueRankConfig {
+            threads: 1,
+            ..Default::default()
+        }
+    }
+
+    fn fp_cfg() -> CliqueRankConfig {
+        CliqueRankConfig {
+            recurrence: Recurrence::FirstPassage,
+            ..cfg()
+        }
+    }
+
+    #[test]
+    fn clique_edges_near_one_bridge_near_zero() {
+        let g = two_cliques();
+        let p = run_cliquerank(&g, &cfg());
+        assert!(edge_prob(&g, &p, 0, 1) > 0.9, "{p:?}");
+        assert!(edge_prob(&g, &p, 3, 4) > 0.9, "{p:?}");
+        assert!(edge_prob(&g, &p, 2, 3) < 0.2, "{p:?}");
+    }
+
+    #[test]
+    fn first_passage_within_unit_interval_without_clamping() {
+        let g = two_cliques();
+        let p = run_cliquerank(
+            &g,
+            &CliqueRankConfig {
+                clamp: false,
+                ..fp_cfg()
+            },
+        );
+        for &v in &p {
+            assert!((0.0..=1.0 + 1e-9).contains(&v), "{v}");
+        }
+    }
+
+    #[test]
+    fn agrees_with_rss_statistically() {
+        // First-passage CliqueRank is the exact expectation of RSS — on a
+        // small graph with many walks the two must agree within noise.
+        let g = two_cliques();
+        let cr = run_cliquerank(&g, &fp_cfg());
+        let rss = crate::rss::run_rss(
+            &g,
+            &crate::config::RssConfig {
+                walks_per_edge: 4000,
+                ..Default::default()
+            },
+        );
+        for (i, pair) in g.pairs().iter().enumerate() {
+            assert!(
+                (cr[i] - rss.probabilities[i]).abs() < 0.06,
+                "pair {:?}: cliquerank {} vs rss {}",
+                pair,
+                cr[i],
+                rss.probabilities[i]
+            );
+        }
+    }
+
+    #[test]
+    fn noise_record_with_equal_weak_edges_stays_below_threshold() {
+        // Node 3 attaches to a 3-clique by three equal weak edges (a
+        // record whose only shared term is a common word). The paper's
+        // Eq. 15 recursion over-counts here; first passage must keep the
+        // symmetrized probability near 0.5 (one direction succeeds via the
+        // boost, the other nearly never walks to the noise record).
+        let p = pairs(&[(0, 1), (0, 2), (1, 2), (0, 3), (1, 3), (2, 3)]);
+        let s = [1.0, 1.0, 1.0, 0.1, 0.1, 0.1];
+        let g = RecordGraph::from_pair_scores(4, &p, &s);
+        let probs = run_cliquerank(&g, &fp_cfg());
+        for &(a, b) in &[(0u32, 3u32), (1, 3), (2, 3)] {
+            let v = edge_prob(&g, &probs, a, b);
+            assert!(
+                v < 0.75,
+                "noise edge ({a},{b}) must stay below threshold: {v}"
+            );
+        }
+        // While the paper's literal recurrence, clamped, saturates them.
+        let paper = run_cliquerank(
+            &g,
+            &CliqueRankConfig {
+                recurrence: Recurrence::PaperEq15,
+                ..cfg()
+            },
+        );
+        let fp_mean = probs.iter().sum::<f64>() / probs.len() as f64;
+        let paper_mean = paper.iter().sum::<f64>() / paper.len() as f64;
+        assert!(paper_mean >= fp_mean - 1e-9);
+    }
+
+    #[test]
+    fn big_clique_needs_boost() {
+        // 30-clique with uniform weights and S = 8: the plain walk has
+        // ~1/29 chance per step of hitting one specific member.
+        let n = 30u32;
+        let mut ps = Vec::new();
+        for i in 0..n {
+            for j in i + 1..n {
+                ps.push((i, j));
+            }
+        }
+        let pr = pairs(&ps);
+        let g = RecordGraph::from_pair_scores(n as usize, &pr, &vec![1.0; pr.len()]);
+        let short = CliqueRankConfig {
+            steps: 8,
+            ..cfg()
+        };
+        let with = run_cliquerank(&g, &short);
+        let without = run_cliquerank(
+            &g,
+            &CliqueRankConfig {
+                boost: BoostMode::Off,
+                ..short
+            },
+        );
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(
+            mean(&with) > mean(&without) + 0.3,
+            "boost {} vs no boost {}",
+            mean(&with),
+            mean(&without)
+        );
+    }
+
+    #[test]
+    fn components_are_independent() {
+        // Solving two components together or as separate graphs must agree.
+        let p_all = pairs(&[(0, 1), (0, 2), (1, 2), (3, 4)]);
+        let s_all = [0.9, 0.8, 0.7, 0.6];
+        let g_all = RecordGraph::from_pair_scores(5, &p_all, &s_all);
+        let got_all = run_cliquerank(&g_all, &cfg());
+
+        let p_a = pairs(&[(0, 1), (0, 2), (1, 2)]);
+        let g_a = RecordGraph::from_pair_scores(3, &p_a, &[0.9, 0.8, 0.7]);
+        let got_a = run_cliquerank(&g_a, &cfg());
+        for (i, pair) in g_a.pairs().iter().enumerate() {
+            let full = edge_prob(&g_all, &got_all, pair.a, pair.b);
+            assert!((full - got_a[i]).abs() < 1e-12);
+        }
+
+        let p_b = pairs(&[(0, 1)]);
+        let g_b = RecordGraph::from_pair_scores(2, &p_b, &[0.6]);
+        let got_b = run_cliquerank(&g_b, &cfg());
+        let full = edge_prob(&g_all, &got_all, 3, 4);
+        assert!((full - got_b[0]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_recurrence_unclamped_can_exceed_one() {
+        let p = pairs(&[(0, 1), (0, 2), (1, 2), (0, 3), (1, 3), (2, 3)]);
+        let s = [1.0, 1.0, 1.0, 0.1, 0.1, 0.1];
+        let g = RecordGraph::from_pair_scores(4, &p, &s);
+        let probs = run_cliquerank(
+            &g,
+            &CliqueRankConfig {
+                recurrence: Recurrence::PaperEq15,
+                clamp: false,
+                ..cfg()
+            },
+        );
+        assert!(probs.iter().all(|v| v.is_finite() && *v >= 0.0));
+        assert!(
+            probs.iter().any(|&v| v > 1.0),
+            "Eq. 15 over-counting should be visible unclamped: {probs:?}"
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = two_cliques();
+        assert_eq!(run_cliquerank(&g, &cfg()), run_cliquerank(&g, &cfg()));
+    }
+
+    #[test]
+    fn isolated_nodes_and_empty_graph() {
+        let g = RecordGraph::from_pair_scores(3, &[], &[]);
+        assert!(run_cliquerank(&g, &cfg()).is_empty());
+    }
+
+    #[test]
+    fn threaded_matches_single_threaded() {
+        let g = two_cliques();
+        let single = run_cliquerank(&g, &cfg());
+        let multi = run_cliquerank(
+            &g,
+            &CliqueRankConfig {
+                threads: 4,
+                ..cfg()
+            },
+        );
+        for (a, b) in single.iter().zip(&multi) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn parallel_components_match_serial_on_large_graphs() {
+        // 60 cliques of 12 = 720 members: crosses the parallel threshold.
+        let mut ps = Vec::new();
+        let mut scores = Vec::new();
+        for c in 0..60u32 {
+            let base = c * 12;
+            for i in 0..12u32 {
+                for j in i + 1..12u32 {
+                    ps.push(PairNode::new(base + i, base + j));
+                    scores.push(1.0 + (i + j) as f64 * 0.01);
+                }
+            }
+        }
+        let g = RecordGraph::from_pair_scores(720, &ps, &scores);
+        let serial = run_cliquerank(&g, &cfg());
+        let parallel = run_cliquerank(
+            &g,
+            &CliqueRankConfig {
+                threads: 3,
+                ..cfg()
+            },
+        );
+        assert_eq!(serial.len(), parallel.len());
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fixed_boost_modes_work() {
+        let g = two_cliques();
+        for boost in [BoostMode::Fixed(0.0), BoostMode::Fixed(0.5), BoostMode::Off] {
+            let p = run_cliquerank(&g, &CliqueRankConfig { boost, ..cfg() });
+            assert!(p.iter().all(|v| (0.0..=1.0).contains(v)), "{boost:?}: {p:?}");
+        }
+    }
+
+    #[test]
+    fn single_step_is_hit_matrix() {
+        let g = two_cliques();
+        let one = CliqueRankConfig {
+            steps: 1,
+            clamp: false,
+            ..cfg()
+        };
+        let p = run_cliquerank(&g, &one);
+        for &v in &p {
+            assert!(v > 0.0 && v <= 1.0);
+        }
+    }
+}

@@ -1,0 +1,327 @@
+//! The fusion loop (§IV, Figure 2): ITER ⇄ CliqueRank reinforcement.
+//!
+//! Round r:
+//! 1. ITER runs on the bipartite graph with edge weights `p` (uniform 1 on
+//!    the first round) → term weights `x_t`, pair similarities `s`.
+//! 2. The record graph `Gr` is rebuilt from `s`; CliqueRank turns the
+//!    topology into matching probabilities `p`, which become the next
+//!    round's edge weights.
+//!
+//! Shared terms of non-matching pairs are thereby punished (their pairs
+//! carry low `p`) and terms occurring only in matching pairs promoted —
+//! the reinforcement the paper quantifies in Table V. After `R` rounds,
+//! pairs with `p ≥ η` are declared matches and clustered transitively.
+
+use std::time::{Duration, Instant};
+
+use er_graph::{BipartiteGraph, RecordGraph, UnionFind};
+
+use crate::cliquerank::run_cliquerank;
+use crate::config::FusionConfig;
+use crate::iter::run_iter;
+
+/// Per-round diagnostics.
+#[derive(Debug, Clone)]
+pub struct RoundStats {
+    /// 1-based round number.
+    pub round: usize,
+    /// ITER iterations until convergence.
+    pub iter_iterations: usize,
+    /// ITER per-iteration L1 weight change (Figure 5 trace).
+    pub iter_deltas: Vec<f64>,
+    /// Wall time of the ITER phase.
+    pub iter_time: Duration,
+    /// Wall time of the CliqueRank phase.
+    pub cliquerank_time: Duration,
+    /// L1 change of the probability vector versus the previous round
+    /// (the fusion loop's own convergence signal).
+    pub probability_delta: f64,
+    /// Number of edges in this round's record graph.
+    pub record_graph_edges: usize,
+}
+
+/// Final output of the fusion framework.
+#[derive(Debug, Clone)]
+pub struct FusionOutcome {
+    /// Learned term discrimination power from the final ITER run.
+    pub term_weights: Vec<f64>,
+    /// Final pair similarities, aligned with [`BipartiteGraph::pairs`].
+    pub pair_similarities: Vec<f64>,
+    /// Final matching probabilities, aligned with
+    /// [`BipartiteGraph::pairs`].
+    pub matching_probabilities: Vec<f64>,
+    /// Record pairs with `p ≥ η`, as `(smaller id, larger id)`.
+    pub matches: Vec<(u32, u32)>,
+    /// Entity clusters induced by the matches (transitive closure);
+    /// singletons included, sorted by smallest member.
+    pub clusters: Vec<Vec<u32>>,
+    /// Per-round diagnostics.
+    pub rounds: Vec<RoundStats>,
+    /// Per-round probability vectors (only when
+    /// [`FusionConfig::record_round_probabilities`] is set) — used by the
+    /// Table V reinforcement bench.
+    pub round_probabilities: Vec<Vec<f64>>,
+}
+
+/// The fusion-framework driver.
+///
+/// ```
+/// use er_core::{FusionConfig, Resolver};
+/// use er_graph::BipartiteGraphBuilder;
+///
+/// let graph = BipartiteGraphBuilder::new(2, 2)
+///     .postings(0, &[0, 1])
+///     .postings(1, &[0, 1])
+///     .build();
+/// let outcome = Resolver::new(FusionConfig::default()).resolve(&graph);
+/// assert_eq!(outcome.matches, vec![(0, 1)]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Resolver {
+    config: FusionConfig,
+}
+
+impl Resolver {
+    /// Creates a resolver with the given configuration.
+    pub fn new(config: FusionConfig) -> Self {
+        Self { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &FusionConfig {
+        &self.config
+    }
+
+    /// Runs the full fusion loop on a prepared bipartite graph.
+    pub fn resolve(&self, graph: &BipartiteGraph) -> FusionOutcome {
+        let cfg = &self.config;
+        assert!(cfg.rounds >= 1, "need at least one fusion round");
+        assert!((0.0..=1.0).contains(&cfg.eta), "eta must be a probability");
+        let n_pairs = graph.pair_count();
+        // Structural edge admission: pairs sharing fewer than
+        // `min_shared_terms` terms never enter Gr (stable across rounds).
+        let admitted: Vec<bool> = (0..n_pairs as u32)
+            .map(|p| graph.terms_of_pair(p).len() >= cfg.min_shared_terms)
+            .collect();
+        // §V-C: p(ri, rj) is initialized to 1 before CliqueRank runs.
+        let mut prob = vec![1.0f64; n_pairs];
+        let mut rounds = Vec::with_capacity(cfg.rounds);
+        let mut round_probabilities = Vec::new();
+        let mut last_iter = None;
+
+        for round in 1..=cfg.rounds {
+            let t0 = Instant::now();
+            let iter_out = run_iter(graph, &prob, &cfg.iter);
+            let iter_time = t0.elapsed();
+
+            let t1 = Instant::now();
+            // Admission rules: structural shared-term minimum plus the
+            // optional absolute similarity floor (ablation only).
+            let floored: Vec<f64> = iter_out
+                .pair_similarities
+                .iter()
+                .zip(&admitted)
+                .map(|(&s, &ok)| {
+                    if ok && s + 1e-9 >= cfg.min_similarity {
+                        s
+                    } else {
+                        0.0
+                    }
+                })
+                .collect();
+            let gr = RecordGraph::from_pair_scores(graph.record_count(), graph.pairs(), &floored);
+            let edge_probs = run_cliquerank(&gr, &cfg.cliquerank);
+            let cliquerank_time = t1.elapsed();
+
+            // Map probabilities back onto the bipartite pair indexing;
+            // pairs whose similarity dropped to 0 keep probability 0.
+            let mut new_prob = vec![0.0f64; n_pairs];
+            for (pair, &p) in gr.pairs().iter().zip(&edge_probs) {
+                let idx = graph
+                    .pair_id(pair.a, pair.b)
+                    .expect("record-graph edge must be a bipartite pair");
+                new_prob[idx as usize] = p;
+            }
+            let probability_delta = prob
+                .iter()
+                .zip(&new_prob)
+                .map(|(a, b)| (a - b).abs())
+                .sum();
+            prob = new_prob;
+
+            rounds.push(RoundStats {
+                round,
+                iter_iterations: iter_out.iterations,
+                iter_deltas: iter_out.deltas.clone(),
+                iter_time,
+                cliquerank_time,
+                probability_delta,
+                record_graph_edges: gr.edge_count(),
+            });
+            if cfg.record_round_probabilities {
+                round_probabilities.push(prob.clone());
+            }
+            last_iter = Some(iter_out);
+        }
+
+        let iter_out = last_iter.expect("at least one round ran");
+        let (matches, clusters) = decide_matches(graph, &prob, cfg.eta);
+        FusionOutcome {
+            term_weights: iter_out.term_weights,
+            pair_similarities: iter_out.pair_similarities,
+            matching_probabilities: prob,
+            matches,
+            clusters,
+            rounds,
+            round_probabilities,
+        }
+    }
+}
+
+/// Thresholds probabilities at `eta` and clusters matches transitively.
+pub fn decide_matches(
+    graph: &BipartiteGraph,
+    probabilities: &[f64],
+    eta: f64,
+) -> (Vec<(u32, u32)>, Vec<Vec<u32>>) {
+    let mut matches = Vec::new();
+    let mut uf = UnionFind::new(graph.record_count());
+    for (pair, &p) in graph.pairs().iter().zip(probabilities) {
+        if p >= eta {
+            matches.push((pair.a, pair.b));
+            uf.union(pair.a, pair.b);
+        }
+    }
+    (matches, uf.into_sets())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_graph::BipartiteGraphBuilder;
+
+    /// Six records, two true entities {0,1,2} and {3,4}, plus noise
+    /// record 5. Terms 0–2 are discriminative for entity A, terms 3–4 for
+    /// entity B; term 5 is a common word shared across entities.
+    fn two_entity_graph() -> BipartiteGraph {
+        BipartiteGraphBuilder::new(6, 6)
+            .postings(0, &[0, 1, 2]) // entity A model code
+            .postings(1, &[0, 1, 2]) // entity A street number
+            .postings(2, &[0, 2]) // entity A extra token
+            .postings(3, &[3, 4]) // entity B phone
+            .postings(4, &[3, 4]) // entity B name
+            .postings(5, &[0, 1, 3, 5]) // common word
+            .build()
+    }
+
+    fn quick_config() -> FusionConfig {
+        let mut cfg = FusionConfig::default();
+        cfg.cliquerank.threads = 1;
+        cfg
+    }
+
+    #[test]
+    fn resolves_two_entities() {
+        let out = Resolver::new(quick_config()).resolve(&two_entity_graph());
+        assert!(out.matches.contains(&(0, 1)), "matches: {:?}", out.matches);
+        assert!(out.matches.contains(&(0, 2)));
+        assert!(out.matches.contains(&(1, 2)));
+        assert!(out.matches.contains(&(3, 4)));
+        assert!(!out.matches.contains(&(0, 3)));
+        // Clusters: {0,1,2}, {3,4}, {5}.
+        assert!(out.clusters.contains(&vec![0, 1, 2]));
+        assert!(out.clusters.contains(&vec![3, 4]));
+        assert!(out.clusters.contains(&vec![5]));
+    }
+
+    #[test]
+    fn probabilities_aligned_and_bounded() {
+        let g = two_entity_graph();
+        let out = Resolver::new(quick_config()).resolve(&g);
+        assert_eq!(out.matching_probabilities.len(), g.pair_count());
+        for &p in &out.matching_probabilities {
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn round_stats_recorded() {
+        let mut cfg = quick_config();
+        cfg.record_round_probabilities = true;
+        let out = Resolver::new(cfg).resolve(&two_entity_graph());
+        assert_eq!(out.rounds.len(), 5);
+        assert_eq!(out.round_probabilities.len(), 5);
+        for (i, r) in out.rounds.iter().enumerate() {
+            assert_eq!(r.round, i + 1);
+            assert!(r.iter_iterations >= 1);
+            assert_eq!(r.iter_deltas.len(), r.iter_iterations);
+        }
+        // Reinforcement converges: the last round changes p less than the
+        // first feedback round did.
+        assert!(
+            out.rounds.last().unwrap().probability_delta
+                <= out.rounds[0].probability_delta
+        );
+    }
+
+    #[test]
+    fn single_round_works() {
+        let mut cfg = quick_config();
+        cfg.rounds = 1;
+        let out = Resolver::new(cfg).resolve(&two_entity_graph());
+        assert_eq!(out.rounds.len(), 1);
+        assert!(out.matches.contains(&(0, 1)));
+    }
+
+    #[test]
+    fn discriminative_terms_end_up_heavier_than_common() {
+        let out = Resolver::new(quick_config()).resolve(&two_entity_graph());
+        let w = &out.term_weights;
+        assert!(
+            w[0] > w[5] && w[3] > w[5],
+            "discriminative {w:?} must outweigh the cross-entity common term"
+        );
+    }
+
+    #[test]
+    fn reinforcement_demotes_common_term_further() {
+        let g = two_entity_graph();
+        let mut one = quick_config();
+        one.rounds = 1;
+        let r1 = Resolver::new(one).resolve(&g);
+        let r5 = Resolver::new(quick_config()).resolve(&g);
+        let ratio = |o: &FusionOutcome| o.term_weights[5] / o.term_weights[0];
+        assert!(
+            ratio(&r5) < ratio(&r1) + 1e-12,
+            "five rounds {} vs one round {}",
+            ratio(&r5),
+            ratio(&r1)
+        );
+    }
+
+    #[test]
+    fn empty_graph_resolves_to_nothing() {
+        let g = BipartiteGraphBuilder::new(3, 1).build();
+        let out = Resolver::new(quick_config()).resolve(&g);
+        assert!(out.matches.is_empty());
+        assert_eq!(out.clusters.len(), 3);
+    }
+
+    #[test]
+    fn eta_one_is_strictest() {
+        let g = two_entity_graph();
+        let mut strict = quick_config();
+        strict.eta = 1.0;
+        let loose_out = Resolver::new(quick_config()).resolve(&g);
+        let strict_out = Resolver::new(strict).resolve(&g);
+        assert!(strict_out.matches.len() <= loose_out.matches.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one fusion round")]
+    fn zero_rounds_rejected() {
+        let mut cfg = quick_config();
+        cfg.rounds = 0;
+        Resolver::new(cfg).resolve(&two_entity_graph());
+    }
+}

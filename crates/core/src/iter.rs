@@ -1,0 +1,319 @@
+//! ITER — Iterative Term-Entity Ranking (§V, Algorithm 1).
+//!
+//! On the bipartite graph between terms and record-pair nodes, ITER
+//! alternates two propagation rules until the term weights converge:
+//!
+//! * pair update (Eq. 7): `s(ri, rj) ← Σ_{t ∈ ri ∧ t ∈ rj} x_t`
+//! * term update (Eq. 6): `x_t ← Σ_{(ri,rj) ∋ t} p(ri, rj) · s(ri, rj) / P_t`
+//!
+//! followed by the normalization `x_t ← 1 / (1 + 1/x_t)` (line 7). The
+//! `P_t` denominator is the decisive difference from PageRank-style
+//! propagation: it dilutes common terms by the number of pairs they touch,
+//! which is exactly what makes `x_t` estimate discrimination power rather
+//! than hub centrality (§V-C).
+//!
+//! The matching probability `p(ri, rj)` enters as the bipartite edge
+//! weight — uniform 1 on the first fusion round, CliqueRank's output on
+//! later rounds.
+
+use er_graph::BipartiteGraph;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::config::{IterConfig, Normalization};
+
+/// Result of one ITER run.
+#[derive(Debug, Clone)]
+pub struct IterOutcome {
+    /// Learned discrimination power `x_t` per term (0 for terms with no
+    /// incident pair, i.e. `P_t = 0`). Normalized into `(0, 1)`.
+    pub term_weights: Vec<f64>,
+    /// Learned similarity `s(ri, rj)` per pair node, aligned with
+    /// [`BipartiteGraph::pairs`].
+    pub pair_similarities: Vec<f64>,
+    /// Iterations executed before convergence (or the cap).
+    pub iterations: usize,
+    /// Per-iteration L1 change of the term-weight vector — the trace
+    /// behind Figure 5.
+    pub deltas: Vec<f64>,
+    /// True when the tolerance was reached before the iteration cap.
+    pub converged: bool,
+}
+
+/// Runs ITER.
+///
+/// * `graph` — the term ↔ pair bipartite graph.
+/// * `edge_prob` — `p(ri, rj)` per pair node (the edge weight shared by
+///   all edges incident to that pair node), aligned with
+///   [`BipartiteGraph::pairs`]. Pass all-ones for the first fusion round.
+///
+/// # Panics
+/// If `edge_prob` is not aligned with the graph's pair nodes, or contains
+/// values outside `[0, 1]`.
+pub fn run_iter(graph: &BipartiteGraph, edge_prob: &[f64], config: &IterConfig) -> IterOutcome {
+    run_iter_with_init(graph, edge_prob, config, None)
+}
+
+/// [`run_iter`] with an optional warm start: `init[t]` seeds the weight
+/// of term `t` (values outside `(0, 1)` or for terms with `P_t = 0` are
+/// ignored). Theorem 1 guarantees the same fixed point from any
+/// non-degenerate start; a warm start near it just converges in fewer
+/// iterations — the incremental-resolution path uses the previous run's
+/// weights here.
+pub fn run_iter_with_init(
+    graph: &BipartiteGraph,
+    edge_prob: &[f64],
+    config: &IterConfig,
+    init: Option<&[f64]>,
+) -> IterOutcome {
+    assert_eq!(
+        edge_prob.len(),
+        graph.pair_count(),
+        "edge_prob must hold one probability per pair node"
+    );
+    for (i, &p) in edge_prob.iter().enumerate() {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "p out of [0,1] for pair {i}: {p}"
+        );
+    }
+    let n_terms = graph.term_count();
+    let n_pairs = graph.pair_count();
+
+    // Line 1: random initialization of x_t in (0, 1), overridden by the
+    // warm start where provided. Terms with P_t = 0 never receive mass
+    // and stay 0.
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let mut x: Vec<f64> = (0..n_terms)
+        .map(|t| {
+            if graph.pt(t as u32) == 0 {
+                return 0.0;
+            }
+            if let Some(init) = init {
+                if let Some(&w) = init.get(t) {
+                    if w > 0.0 && w < 1.0 {
+                        return w;
+                    }
+                }
+            }
+            rng.random_range(0.01..1.0)
+        })
+        .collect();
+
+    let mut s = vec![0.0f64; n_pairs];
+    let mut deltas = Vec::new();
+    let mut converged = false;
+    let mut iterations = 0;
+
+    while iterations < config.max_iterations {
+        iterations += 1;
+        // Line 3–4: pair similarities from current term weights.
+        update_similarities(graph, &x, &mut s);
+        // Line 5–7: term weights from pair similarities, then normalize.
+        // The convergence delta is measured on the *normalized* weights —
+        // those are what the fixed point is defined over.
+        let mut new_x = vec![0.0f64; n_terms];
+        for t in 0..n_terms as u32 {
+            let pt = graph.pt(t);
+            if pt == 0 {
+                continue;
+            }
+            let mut acc = 0.0;
+            for &p in graph.pairs_of_term(t) {
+                acc += edge_prob[p as usize] * s[p as usize];
+            }
+            let raw = acc / pt as f64;
+            new_x[t as usize] = match config.normalization {
+                // 1/(1 + 1/x) = x/(1+x); continuous at 0.
+                Normalization::Reciprocal => raw / (1.0 + raw),
+                Normalization::L2 => raw, // normalized below
+            };
+        }
+        if config.normalization == Normalization::L2 {
+            let norm: f64 = new_x.iter().map(|v| v * v).sum::<f64>().sqrt();
+            if norm > 0.0 {
+                for v in &mut new_x {
+                    *v /= norm;
+                }
+            }
+        }
+        let delta: f64 = x
+            .iter()
+            .zip(&new_x)
+            .map(|(old, new)| (old - new).abs())
+            .sum();
+        x = new_x;
+        deltas.push(delta);
+        if delta < config.tolerance {
+            converged = true;
+            break;
+        }
+    }
+    // Final similarities from the converged weights, so callers see a
+    // consistent (x, s) fixed-point pair.
+    update_similarities(graph, &x, &mut s);
+
+    IterOutcome {
+        term_weights: x,
+        pair_similarities: s,
+        iterations,
+        deltas,
+        converged,
+    }
+}
+
+fn update_similarities(graph: &BipartiteGraph, x: &[f64], s: &mut [f64]) {
+    for p in 0..graph.pair_count() as u32 {
+        let sum: f64 = graph
+            .terms_of_pair(p)
+            .iter()
+            .map(|&t| x[t as usize])
+            .sum();
+        s[p as usize] = sum;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_graph::BipartiteGraphBuilder;
+
+    /// Term 0 ("model code"): appears only in the matching pair (0, 1).
+    /// Term 1 ("common word"): appears in records 0..4, so in 6 pairs
+    /// among {0,1,2,3}, most of which do not match.
+    fn discriminative_vs_common() -> BipartiteGraph {
+        BipartiteGraphBuilder::new(4, 2)
+            .postings(0, &[0, 1])
+            .postings(1, &[0, 1, 2, 3])
+            .build()
+    }
+
+    fn uniform_prob(graph: &BipartiteGraph) -> Vec<f64> {
+        vec![1.0; graph.pair_count()]
+    }
+
+    #[test]
+    fn discriminative_term_outranks_common_term() {
+        let g = discriminative_vs_common();
+        let out = run_iter(&g, &uniform_prob(&g), &IterConfig::default());
+        assert!(out.converged, "should converge: deltas {:?}", out.deltas);
+        assert!(
+            out.term_weights[0] > out.term_weights[1],
+            "model code {} must outweigh common word {}",
+            out.term_weights[0],
+            out.term_weights[1]
+        );
+    }
+
+    #[test]
+    fn pair_sharing_more_terms_scores_higher() {
+        // Pair (0,1) shares both terms; (2,3) shares only the common term.
+        let g = discriminative_vs_common();
+        let out = run_iter(&g, &uniform_prob(&g), &IterConfig::default());
+        let p01 = g.pair_id(0, 1).unwrap() as usize;
+        let p23 = g.pair_id(2, 3).unwrap() as usize;
+        assert!(out.pair_similarities[p01] > out.pair_similarities[p23]);
+    }
+
+    #[test]
+    fn weights_in_unit_interval() {
+        let g = discriminative_vs_common();
+        let out = run_iter(&g, &uniform_prob(&g), &IterConfig::default());
+        for (t, &w) in out.term_weights.iter().enumerate() {
+            assert!((0.0..1.0).contains(&w), "term {t}: {w}");
+        }
+    }
+
+    #[test]
+    fn converges_independently_of_seed() {
+        let g = discriminative_vs_common();
+        let mut results = Vec::new();
+        for seed in [1, 42, 123456] {
+            let cfg = IterConfig {
+                seed,
+                ..Default::default()
+            };
+            let out = run_iter(&g, &uniform_prob(&g), &cfg);
+            assert!(out.converged);
+            results.push(out.term_weights);
+        }
+        // Algorithm 1's fixed point is the principal eigenvector direction
+        // (Theorem 1) — independent of the random start.
+        for w in &results[1..] {
+            for (a, b) in results[0].iter().zip(w) {
+                assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn low_probability_edges_suppress_term_weight() {
+        let g = discriminative_vs_common();
+        // Tell ITER that the pairs sharing the common term do not match
+        // (p = 0), except the true pair (0, 1).
+        let mut prob = vec![0.0; g.pair_count()];
+        prob[g.pair_id(0, 1).unwrap() as usize] = 1.0;
+        let out = run_iter(&g, &prob, &IterConfig::default());
+        let uniform = run_iter(&g, &uniform_prob(&g), &IterConfig::default());
+        // Common term is further demoted relative to the discriminative one.
+        let ratio_fed = out.term_weights[1] / out.term_weights[0];
+        let ratio_uniform = uniform.term_weights[1] / uniform.term_weights[0];
+        assert!(
+            ratio_fed < ratio_uniform,
+            "feedback must demote the common term: {ratio_fed} vs {ratio_uniform}"
+        );
+    }
+
+    #[test]
+    fn zero_probability_isolates_pairs() {
+        let g = discriminative_vs_common();
+        let out = run_iter(&g, &vec![0.0; g.pair_count()], &IterConfig::default());
+        // No mass ever flows back to terms: all weights collapse to 0.
+        assert!(out.term_weights.iter().all(|&w| w == 0.0));
+    }
+
+    #[test]
+    fn deltas_trace_matches_iterations() {
+        let g = discriminative_vs_common();
+        let out = run_iter(&g, &uniform_prob(&g), &IterConfig::default());
+        assert_eq!(out.deltas.len(), out.iterations);
+        // Monotone-ish decay: final delta below the first.
+        assert!(out.deltas.last().unwrap() < out.deltas.first().unwrap());
+    }
+
+    #[test]
+    fn l2_normalization_also_converges() {
+        let g = discriminative_vs_common();
+        let cfg = IterConfig {
+            normalization: Normalization::L2,
+            ..Default::default()
+        };
+        let out = run_iter(&g, &uniform_prob(&g), &cfg);
+        assert!(out.converged);
+        let norm: f64 = out.term_weights.iter().map(|v| v * v).sum::<f64>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-9);
+        assert!(out.term_weights[0] > out.term_weights[1]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = BipartiteGraphBuilder::new(0, 0).build();
+        let out = run_iter(&g, &[], &IterConfig::default());
+        assert!(out.term_weights.is_empty());
+        assert!(out.pair_similarities.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "one probability per pair")]
+    fn misaligned_probabilities_rejected() {
+        let g = discriminative_vs_common();
+        run_iter(&g, &[1.0], &IterConfig::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of [0,1]")]
+    fn out_of_range_probability_rejected() {
+        let g = discriminative_vs_common();
+        run_iter(&g, &vec![1.5; g.pair_count()], &IterConfig::default());
+    }
+}

@@ -1,0 +1,281 @@
+//! RSS — Random-Surfer Sampling (§VI-B, Algorithms 2–3).
+//!
+//! For every edge `(ri, rj)` of the record graph, RSS simulates `M`
+//! rectified random walks (half starting from each endpoint) and
+//! estimates `p(ri, rj)` as the fraction that reach the other endpoint
+//! within `S` steps. The walk is rectified three ways:
+//!
+//! 1. **Non-linear transitions** (Eq. 11): the next node is drawn with
+//!    probability ∝ `s(cur, next)^α`, championing high-similarity edges.
+//! 2. **Target bonus** (Eq. 12): before each step, the edge toward the
+//!    target is boosted by `(1 + b)` with `b ~ U(0, 1)` — without it, a
+//!    walk inside a 192-record clique would need far more than `S` steps
+//!    to hit one specific member.
+//! 3. **Early stop**: stepping to a node that is not adjacent to the
+//!    target means the surfer left the target's clique — fail immediately.
+//!
+//! RSS is `O(M · S · n³)` in the worst case; CliqueRank replaces it in
+//! production. It is retained both as the reference the matrix form is
+//! validated against and for the Table III speedup comparison.
+
+use er_graph::RecordGraph;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::config::RssConfig;
+
+/// Result of an RSS run.
+#[derive(Debug, Clone)]
+pub struct RssOutcome {
+    /// Estimated matching probability per edge, aligned with
+    /// [`RecordGraph::pairs`].
+    pub probabilities: Vec<f64>,
+    /// Total walks simulated.
+    pub walks: usize,
+}
+
+/// Runs RSS over every edge of `graph` (Algorithm 2).
+pub fn run_rss(graph: &RecordGraph, config: &RssConfig) -> RssOutcome {
+    let all: Vec<u32> = (0..graph.pairs().len() as u32).collect();
+    run_rss_subset(graph, config, &all)
+}
+
+/// Runs RSS for a subset of edges (by index into [`RecordGraph::pairs`]).
+///
+/// Walks still traverse the full graph; only the sampled edges are
+/// estimated. The Table III bench uses this to extrapolate RSS's running
+/// time on dense graphs where the full `O(M · S · n³)` simulation is
+/// impractical — the very point the paper's speedup comparison makes.
+pub fn run_rss_subset(graph: &RecordGraph, config: &RssConfig, edges: &[u32]) -> RssOutcome {
+    assert!(config.alpha > 0.0, "alpha must be positive");
+    assert!(config.steps >= 1, "need at least one step");
+    assert!(config.walks_per_edge >= 2, "need at least one walk per direction");
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let half = config.walks_per_edge / 2;
+    let mut probabilities = Vec::with_capacity(edges.len());
+    let mut walks = 0usize;
+    let mut scratch = WalkScratch::default();
+    for &e in edges {
+        let pair = graph.pairs()[e as usize];
+        let mut successes = 0usize;
+        for _ in 0..half {
+            successes += random_walk(graph, pair.a, pair.b, config, &mut rng, &mut scratch);
+            successes += random_walk(graph, pair.b, pair.a, config, &mut rng, &mut scratch);
+            walks += 2;
+        }
+        probabilities.push(successes as f64 / (2 * half) as f64);
+    }
+    RssOutcome {
+        probabilities,
+        walks,
+    }
+}
+
+/// Reusable buffers for transition-weight computation.
+#[derive(Default)]
+struct WalkScratch {
+    weights: Vec<f64>,
+}
+
+/// One rectified random walk (Algorithm 3). Returns 1 on reaching
+/// `target` within `config.steps` steps, 0 otherwise.
+fn random_walk(
+    graph: &RecordGraph,
+    start: u32,
+    target: u32,
+    config: &RssConfig,
+    rng: &mut SmallRng,
+    scratch: &mut WalkScratch,
+) -> usize {
+    let mut cur = start;
+    for _ in 0..config.steps {
+        let (neighbors, sims) = graph.neighbors(cur);
+        debug_assert!(!neighbors.is_empty(), "walk node must have neighbors");
+        // Line 3–4: random bonus on the edge toward the target.
+        let bonus = if config.boost {
+            1.0 + rng.random_range(0.0..1.0)
+        } else {
+            1.0
+        };
+        // Transition weights ∝ (boosted similarity)^α. Similarities are
+        // scaled by the row maximum before exponentiation so α = 20 cannot
+        // overflow regardless of the similarity magnitudes ITER produces
+        // (the scaling cancels in the normalization).
+        let max_sim = sims.iter().fold(0.0f64, |m, &v| m.max(v)) * 2.0;
+        scratch.weights.clear();
+        scratch.weights.reserve(neighbors.len());
+        let mut total = 0.0;
+        for (&nb, &sim) in neighbors.iter().zip(sims) {
+            let boosted = if nb == target { bonus * sim } else { sim };
+            let w = (boosted / max_sim).powf(config.alpha);
+            scratch.weights.push(w);
+            total += w;
+        }
+        if total <= 0.0 {
+            return 0;
+        }
+        // Line 5: sample the next node.
+        let mut draw = rng.random_range(0.0..total);
+        let mut chosen = neighbors.len() - 1;
+        for (i, &w) in scratch.weights.iter().enumerate() {
+            if draw < w {
+                chosen = i;
+                break;
+            }
+            draw -= w;
+        }
+        let next = neighbors[chosen];
+        // Lines 6–7: success.
+        if next == target {
+            return 1;
+        }
+        // Lines 8–9: early stop on leaving the target's neighborhood.
+        if config.early_stop && !graph.has_edge(next, target) {
+            return 0;
+        }
+        cur = next;
+    }
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_graph::bipartite::PairNode;
+
+    fn pairs(ps: &[(u32, u32)]) -> Vec<PairNode> {
+        ps.iter().map(|&(a, b)| PairNode::new(a, b)).collect()
+    }
+
+    /// Two tight cliques {0,1,2} and {3,4}, joined by one weak edge 2–3.
+    fn two_cliques() -> RecordGraph {
+        let p = pairs(&[(0, 1), (0, 2), (1, 2), (3, 4), (2, 3)]);
+        let s = [1.0, 1.0, 1.0, 1.0, 0.05];
+        RecordGraph::from_pair_scores(5, &p, &s)
+    }
+
+    fn edge_prob(g: &RecordGraph, out: &RssOutcome, a: u32, b: u32) -> f64 {
+        let idx = g
+            .pairs()
+            .iter()
+            .position(|p| *p == PairNode::new(a, b))
+            .expect("edge present");
+        out.probabilities[idx]
+    }
+
+    #[test]
+    fn clique_members_reach_each_other() {
+        let g = two_cliques();
+        let out = run_rss(&g, &RssConfig::default());
+        assert!(edge_prob(&g, &out, 0, 1) > 0.9, "{out:?}");
+        assert!(edge_prob(&g, &out, 3, 4) > 0.9);
+    }
+
+    #[test]
+    fn weak_bridge_scores_low() {
+        let g = two_cliques();
+        let out = run_rss(&g, &RssConfig::default());
+        let bridge = edge_prob(&g, &out, 2, 3);
+        let clique = edge_prob(&g, &out, 0, 1);
+        assert!(
+            bridge < clique - 0.3,
+            "bridge {bridge} should be well below clique edge {clique}"
+        );
+    }
+
+    #[test]
+    fn probabilities_in_unit_interval() {
+        let g = two_cliques();
+        let out = run_rss(&g, &RssConfig::default());
+        for &p in &out.probabilities {
+            assert!((0.0..=1.0).contains(&p));
+        }
+        assert_eq!(out.walks, g.pairs().len() * 100);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let g = two_cliques();
+        let a = run_rss(&g, &RssConfig::default());
+        let b = run_rss(&g, &RssConfig::default());
+        assert_eq!(a.probabilities, b.probabilities);
+    }
+
+    #[test]
+    fn boost_rescues_large_cliques() {
+        // A 24-clique with uniform weights: without the bonus, hitting one
+        // specific member within S=8 steps is unlikely; with it, near-certain.
+        let n = 24u32;
+        let mut p = Vec::new();
+        for i in 0..n {
+            for j in i + 1..n {
+                p.push((i, j));
+            }
+        }
+        let pr = pairs(&p);
+        let s = vec![1.0; pr.len()];
+        let g = RecordGraph::from_pair_scores(n as usize, &pr, &s);
+        let base = RssConfig {
+            steps: 8,
+            walks_per_edge: 50,
+            ..Default::default()
+        };
+        let with = run_rss(&g, &base);
+        let without = run_rss(
+            &g,
+            &RssConfig {
+                boost: false,
+                ..base
+            },
+        );
+        let mean = |o: &RssOutcome| {
+            o.probabilities.iter().sum::<f64>() / o.probabilities.len() as f64
+        };
+        assert!(
+            mean(&with) > mean(&without) + 0.2,
+            "boost {} must clearly beat no-boost {}",
+            mean(&with),
+            mean(&without)
+        );
+        assert!(mean(&with) > 0.8, "{}", mean(&with));
+    }
+
+    #[test]
+    fn corner_case_single_edge_component() {
+        // A node with exactly one neighbor always walks to it — the paper's
+        // corner case motivating bi-directional walks. Probability 1.
+        let g = RecordGraph::from_pair_scores(2, &pairs(&[(0, 1)]), &[0.3]);
+        let out = run_rss(&g, &RssConfig::default());
+        assert_eq!(out.probabilities, vec![1.0]);
+    }
+
+    #[test]
+    fn early_stop_reduces_cross_clique_probability() {
+        let g = two_cliques();
+        let base = RssConfig::default();
+        let with = run_rss(&g, &base);
+        let without = run_rss(
+            &g,
+            &RssConfig {
+                early_stop: false,
+                ..base
+            },
+        );
+        let bridge_with = edge_prob(&g, &with, 2, 3);
+        let bridge_without = edge_prob(&g, &without, 2, 3);
+        assert!(bridge_with <= bridge_without + 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn rejects_bad_alpha() {
+        let g = two_cliques();
+        run_rss(
+            &g,
+            &RssConfig {
+                alpha: 0.0,
+                ..Default::default()
+            },
+        );
+    }
+}

@@ -1,0 +1,351 @@
+//! Edgewise sparse kernel for CliqueRank components.
+//!
+//! With the neighbor mask on, every matrix in the CliqueRank recurrence
+//! is **edge-supported**: `M¹` is built from edges, and each step ends in
+//! `⊙ Mn`, which zeroes everything off the adjacency. The product then
+//! only ever needs edge positions:
+//!
+//! ```text
+//! (Mt × masked)[i,j] = Σ_v Mt[i,v] · masked[v,j]
+//!                    = Σ_{v ∈ N(i) ∩ N(j)} Mt[i,v] · M[v,j]
+//! ```
+//!
+//! so one step costs `O(Σ_{(i,j)∈E} (deg i + deg j))` (two-pointer
+//! intersection of sorted neighbor rows) instead of `O(n³)`. This is an
+//! exact re-expression of the dense recurrence — the `kernels_agree`
+//! tests pin the two against each other — and it is what makes the very
+//! sparse Restaurant-style record graphs essentially free.
+
+use er_graph::{bipartite::PairNode, RecordGraph};
+
+use crate::cliquerank::bonus_samples;
+use crate::config::{CliqueRankConfig, Recurrence};
+
+/// Local directed-edge CSR for one component.
+struct LocalEdges {
+    /// Row offsets per local node (`nc + 1` entries).
+    row_start: Vec<usize>,
+    /// Target local id per directed edge, sorted within each row.
+    tgt: Vec<u32>,
+    /// Index of the opposite directed edge `(j→i)` for each `(i→j)`.
+    rev: Vec<u32>,
+    /// Row-normalized transition `Mt[i,j]` per directed edge.
+    mt: Vec<f64>,
+    /// α-scaled unnormalized weight per directed edge.
+    a: Vec<f64>,
+    /// Row sums of `a`.
+    row_sum: Vec<f64>,
+}
+
+impl LocalEdges {
+    fn build(
+        graph: &RecordGraph,
+        members: &[u32],
+        local_of: &[u32],
+        alpha: f64,
+    ) -> Self {
+        let nc = members.len();
+        let mut row_start = Vec::with_capacity(nc + 1);
+        row_start.push(0usize);
+        let mut tgt = Vec::new();
+        let mut a = Vec::new();
+        let mut row_sum = vec![0.0f64; nc];
+        for (li, &g) in members.iter().enumerate() {
+            let (neighbors, sims) = graph.neighbors(g);
+            let row_max = sims.iter().fold(0.0f64, |m, &v| m.max(v));
+            let scale = 2.0 * row_max;
+            let mut sum = 0.0;
+            for (&nb, &sim) in neighbors.iter().zip(sims) {
+                // `members` is sorted ascending and local ids follow that
+                // order, so global neighbor order == local target order.
+                let lj = local_of[nb as usize];
+                debug_assert!(lj != u32::MAX);
+                let v = (sim / scale).powf(alpha);
+                tgt.push(lj);
+                a.push(v);
+                sum += v;
+            }
+            row_sum[li] = sum;
+            row_start.push(tgt.len());
+        }
+        let mt: Vec<f64> = (0..nc)
+            .flat_map(|i| {
+                let (s, e) = (row_start[i], row_start[i + 1]);
+                let denom = row_sum[i];
+                a[s..e].iter().map(move |&v| if denom > 0.0 { v / denom } else { 0.0 })
+            })
+            .collect();
+        // Reverse-edge indices via binary search in the opposite row.
+        let mut rev = vec![0u32; tgt.len()];
+        for i in 0..nc {
+            for e in row_start[i]..row_start[i + 1] {
+                let j = tgt[e] as usize;
+                let (js, je) = (row_start[j], row_start[j + 1]);
+                let pos = tgt[js..je]
+                    .binary_search(&(i as u32))
+                    .expect("undirected graph: reverse edge must exist");
+                rev[e] = (js + pos) as u32;
+            }
+        }
+        Self {
+            row_start,
+            tgt,
+            rev,
+            mt,
+            a,
+            row_sum,
+        }
+    }
+
+    fn edge_count(&self) -> usize {
+        self.tgt.len()
+    }
+
+    /// `Σ_{v ∈ N(i) ∩ N(j)} Mt[i,v] · cur[(v→j)]` for the directed edge
+    /// at index `e = (i→j)`, by two-pointer merge of rows `i` and `j`.
+    fn propagate(&self, cur: &[f64], i: usize, e: usize) -> f64 {
+        let j = self.tgt[e] as usize;
+        let (mut pi, ei) = (self.row_start[i], self.row_start[i + 1]);
+        let (mut pj, ej) = (self.row_start[j], self.row_start[j + 1]);
+        let mut sum = 0.0;
+        while pi < ei && pj < ej {
+            match self.tgt[pi].cmp(&self.tgt[pj]) {
+                std::cmp::Ordering::Less => pi += 1,
+                std::cmp::Ordering::Greater => pj += 1,
+                std::cmp::Ordering::Equal => {
+                    // Common neighbor v: row j's entry at pj is (j→v);
+                    // its reverse is (v→j), whose current value we need.
+                    let v_to_j = self.rev[pj] as usize;
+                    sum += self.mt[pi] * cur[v_to_j];
+                    pi += 1;
+                    pj += 1;
+                }
+            }
+        }
+        sum
+    }
+}
+
+/// Estimated per-step cost of the sparse kernel for a component:
+/// `Σ_{(i,j) directed} (deg i + deg j)` two-pointer steps.
+pub(crate) fn sparse_step_cost(graph: &RecordGraph, members: &[u32]) -> usize {
+    let mut degs = Vec::with_capacity(members.len());
+    for &g in members {
+        degs.push(graph.neighbors(g).0.len());
+    }
+    // Σ over directed edges (i,·) of (deg_i + deg_j) = 2 Σ_i deg_i².
+    let sum_sq: usize = degs.iter().map(|&d| d * d).sum();
+    2 * sum_sq
+}
+
+/// Solves one component with the edgewise recursion and writes the
+/// symmetrized probabilities into `out`. Requires the neighbor mask.
+#[allow(clippy::needless_range_loop)]
+pub(crate) fn solve_component_sparse(
+    graph: &RecordGraph,
+    members: &[u32],
+    local_of: &[u32],
+    config: &CliqueRankConfig,
+    out: &mut [f64],
+) {
+    debug_assert!(config.neighbor_mask, "sparse kernel requires the mask");
+    let edges = LocalEdges::build(graph, members, local_of, config.alpha);
+    let m = edges.edge_count();
+    let bonus = bonus_samples(config);
+
+    // Boosted per-edge quantities (same formulas as the dense kernel).
+    let mut hit = vec![0.0f64; m];
+    let mut cont = vec![1.0f64; m];
+    for i in 0..members.len() {
+        for e in edges.row_start[i]..edges.row_start[i + 1] {
+            let aij = edges.a[e];
+            let rest = (edges.row_sum[i] - aij).max(0.0);
+            let (mut h, mut c) = (0.0, 0.0);
+            for &beta in &bonus {
+                let denom = beta * aij + rest;
+                h += beta * aij / denom;
+                c += edges.row_sum[i] / denom;
+            }
+            hit[e] = h / bonus.len() as f64;
+            cont[e] = c / bonus.len() as f64;
+        }
+    }
+
+    // Recurrence over per-directed-edge vectors.
+    let final_vals: Vec<f64> = match config.recurrence {
+        Recurrence::PaperEq15 => {
+            // M¹ = Mb = hit; acc += M^k.
+            let mut cur = hit.clone();
+            let mut acc = hit.clone();
+            let mut next = vec![0.0f64; m];
+            for _ in 2..=config.steps {
+                for i in 0..members.len() {
+                    for e in edges.row_start[i]..edges.row_start[i + 1] {
+                        next[e] = edges.propagate(&cur, i, e);
+                    }
+                }
+                for (a, &n) in acc.iter_mut().zip(&next) {
+                    *a += n;
+                }
+                std::mem::swap(&mut cur, &mut next);
+            }
+            acc
+        }
+        Recurrence::FirstPassage => {
+            // G¹ = H; G^k = H + C ⊙ (Mt × masked(G^{k−1})).
+            let mut cur = hit.clone();
+            let mut next = vec![0.0f64; m];
+            for _ in 2..=config.steps {
+                for i in 0..members.len() {
+                    for e in edges.row_start[i]..edges.row_start[i + 1] {
+                        next[e] = hit[e] + cont[e] * edges.propagate(&cur, i, e);
+                    }
+                }
+                std::mem::swap(&mut cur, &mut next);
+            }
+            cur
+        }
+    };
+
+    // Symmetrize with per-direction clamping and write out.
+    for (li, &g) in members.iter().enumerate() {
+        for e in edges.row_start[li]..edges.row_start[li + 1] {
+            let lj = edges.tgt[e] as usize;
+            let gj = members[lj];
+            if gj <= g {
+                continue;
+            }
+            let (mut fwd, mut bwd) = (final_vals[e], final_vals[edges.rev[e] as usize]);
+            if config.clamp {
+                fwd = fwd.clamp(0.0, 1.0);
+                bwd = bwd.clamp(0.0, 1.0);
+            }
+            let p = 0.5 * (fwd + bwd);
+            let pair = PairNode::new(g, gj);
+            let idx = graph
+                .pairs()
+                .binary_search(&pair)
+                .expect("edge must correspond to a retained pair");
+            out[idx] = p;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Kernel;
+    use crate::run_cliquerank;
+
+    fn pairs(ps: &[(u32, u32)]) -> Vec<PairNode> {
+        ps.iter().map(|&(a, b)| PairNode::new(a, b)).collect()
+    }
+
+    fn sample_graphs() -> Vec<RecordGraph> {
+        vec![
+            // Two cliques and a bridge.
+            RecordGraph::from_pair_scores(
+                5,
+                &pairs(&[(0, 1), (0, 2), (1, 2), (3, 4), (2, 3)]),
+                &[1.0, 1.0, 1.0, 1.0, 0.05],
+            ),
+            // A path (very sparse).
+            RecordGraph::from_pair_scores(
+                6,
+                &pairs(&[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]),
+                &[0.9, 0.4, 0.8, 0.3, 0.7],
+            ),
+            // A star.
+            RecordGraph::from_pair_scores(
+                5,
+                &pairs(&[(0, 1), (0, 2), (0, 3), (0, 4)]),
+                &[0.5, 0.6, 0.7, 0.8],
+            ),
+        ]
+    }
+
+    #[test]
+    fn kernels_agree_eq15() {
+        for g in sample_graphs() {
+            let dense = run_cliquerank(
+                &g,
+                &CliqueRankConfig {
+                    kernel: Kernel::Dense,
+                    threads: 1,
+                    ..Default::default()
+                },
+            );
+            let sparse = run_cliquerank(
+                &g,
+                &CliqueRankConfig {
+                    kernel: Kernel::Sparse,
+                    threads: 1,
+                    ..Default::default()
+                },
+            );
+            for (a, b) in dense.iter().zip(&sparse) {
+                assert!((a - b).abs() < 1e-10, "dense {a} vs sparse {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn kernels_agree_first_passage() {
+        for g in sample_graphs() {
+            let mk = |kernel| CliqueRankConfig {
+                kernel,
+                threads: 1,
+                recurrence: Recurrence::FirstPassage,
+                ..Default::default()
+            };
+            let dense = run_cliquerank(&g, &mk(Kernel::Dense));
+            let sparse = run_cliquerank(&g, &mk(Kernel::Sparse));
+            for (a, b) in dense.iter().zip(&sparse) {
+                assert!((a - b).abs() < 1e-10, "dense {a} vs sparse {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn auto_matches_both() {
+        for g in sample_graphs() {
+            let auto = run_cliquerank(
+                &g,
+                &CliqueRankConfig {
+                    kernel: Kernel::Auto,
+                    threads: 1,
+                    ..Default::default()
+                },
+            );
+            let dense = run_cliquerank(
+                &g,
+                &CliqueRankConfig {
+                    kernel: Kernel::Dense,
+                    threads: 1,
+                    ..Default::default()
+                },
+            );
+            for (a, b) in auto.iter().zip(&dense) {
+                assert!((a - b).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn cost_estimate_scales_with_density() {
+        let path = RecordGraph::from_pair_scores(
+            4,
+            &pairs(&[(0, 1), (1, 2), (2, 3)]),
+            &[1.0, 1.0, 1.0],
+        );
+        let clique = RecordGraph::from_pair_scores(
+            4,
+            &pairs(&[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]),
+            &[1.0; 6],
+        );
+        let members: Vec<u32> = (0..4).collect();
+        assert!(
+            sparse_step_cost(&path, &members) < sparse_step_cost(&clique, &members)
+        );
+    }
+}

@@ -1,0 +1,228 @@
+//! ACD-style adaptive cluster-based deduplication.
+//!
+//! ACD \[12\] ("crowd-based deduplication: an adaptive approach") grows
+//! entity clusters adaptively: each record is compared against existing
+//! clusters rather than against individual records, and a cluster
+//! membership question is answered by querying one or more
+//! *representatives* of the cluster, which both caps the question count
+//! (≈ one question per record–cluster candidate, not per pair) and makes
+//! the outcome robust to single worker errors when `votes > 1`.
+//!
+//! Records are processed in a similarity-aware order (most connected
+//! first); for each record, candidate clusters are ranked by the maximum
+//! machine score between the record and any cluster member, and only the
+//! top [`AcdConfig::max_cluster_probes`] clusters above the filter are
+//! queried.
+
+use std::collections::HashMap;
+
+use crate::crowder::CrowdOutcome;
+use crate::oracle::NoisyOracle;
+
+/// ACD configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct AcdConfig {
+    /// Candidate pairs below this machine score never suggest a cluster.
+    pub machine_threshold: f64,
+    /// How many candidate clusters to query per record.
+    pub max_cluster_probes: usize,
+    /// Crowd votes per membership question (odd; majority decides).
+    pub votes: usize,
+}
+
+impl Default for AcdConfig {
+    fn default() -> Self {
+        Self {
+            machine_threshold: 0.15,
+            max_cluster_probes: 3,
+            votes: 1,
+        }
+    }
+}
+
+/// Runs ACD; returns within-cluster pairs as matches and the bill.
+pub fn acd_resolve<F: Fn(u32, u32) -> bool>(
+    n_records: usize,
+    scored_pairs: &[(u32, u32, f64)],
+    config: &AcdConfig,
+    oracle: &mut NoisyOracle<F>,
+) -> CrowdOutcome {
+    assert!(config.votes % 2 == 1, "votes must be odd for a majority");
+    let max_score = scored_pairs
+        .iter()
+        .map(|&(_, _, s)| s)
+        .fold(0.0f64, f64::max)
+        .max(1e-12);
+    // Adjacency above the filter.
+    let mut neighbors: HashMap<u32, Vec<(u32, f64)>> = HashMap::new();
+    let mut filtered_out = 0usize;
+    for &(a, b, s) in scored_pairs {
+        let norm = s / max_score;
+        if norm < config.machine_threshold {
+            filtered_out += 1;
+            continue;
+        }
+        neighbors.entry(a).or_default().push((b, norm));
+        neighbors.entry(b).or_default().push((a, norm));
+    }
+    // Process well-connected records first: their clusters form early and
+    // attract the right members.
+    let mut order: Vec<u32> = (0..n_records as u32).collect();
+    order.sort_by_key(|r| std::cmp::Reverse(neighbors.get(r).map_or(0, Vec::len)));
+
+    let before = oracle.questions_asked();
+    let mut cluster_of: HashMap<u32, usize> = HashMap::new();
+    let mut clusters: Vec<Vec<u32>> = Vec::new();
+    for &r in &order {
+        // Rank candidate clusters by the best edge into them.
+        let mut cluster_scores: HashMap<usize, f64> = HashMap::new();
+        for &(nb, s) in neighbors.get(&r).map_or(&[][..], Vec::as_slice) {
+            if let Some(&c) = cluster_of.get(&nb) {
+                let e = cluster_scores.entry(c).or_insert(0.0);
+                if s > *e {
+                    *e = s;
+                }
+            }
+        }
+        let mut ranked: Vec<(usize, f64)> = cluster_scores.into_iter().collect();
+        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite scores"));
+
+        let mut placed = false;
+        for &(c, _) in ranked.iter().take(config.max_cluster_probes) {
+            // Representatives: up to `votes` members, majority decides.
+            let members = &clusters[c];
+            let mut yes = 0usize;
+            let mut no = 0usize;
+            for k in 0..config.votes {
+                let rep = members[k % members.len()];
+                if oracle.ask(r, rep) {
+                    yes += 1;
+                } else {
+                    no += 1;
+                }
+                if yes > config.votes / 2 || no > config.votes / 2 {
+                    break;
+                }
+            }
+            if yes > no {
+                clusters[c].push(r);
+                cluster_of.insert(r, c);
+                placed = true;
+                break;
+            }
+        }
+        if !placed {
+            cluster_of.insert(r, clusters.len());
+            clusters.push(vec![r]);
+        }
+    }
+
+    let mut matches = Vec::new();
+    for cluster in &clusters {
+        for (i, &a) in cluster.iter().enumerate() {
+            for &b in &cluster[i + 1..] {
+                matches.push(if a < b { (a, b) } else { (b, a) });
+            }
+        }
+    }
+    matches.sort_unstable();
+    CrowdOutcome {
+        matches,
+        questions: oracle.questions_asked() - before,
+        filtered_out,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn truth(a: u32, b: u32) -> bool {
+        // Entities {0,1,2}, {3,4}, {5}.
+        let c = |x: u32| match x {
+            0..=2 => 0,
+            3 | 4 => 1,
+            _ => 2,
+        };
+        c(a) == c(b)
+    }
+
+    fn scored() -> Vec<(u32, u32, f64)> {
+        vec![
+            (0, 1, 0.9),
+            (1, 2, 0.85),
+            (0, 2, 0.8),
+            (3, 4, 0.75),
+            (2, 3, 0.3),
+            (4, 5, 0.02), // filtered
+        ]
+    }
+
+    #[test]
+    fn perfect_oracle_builds_true_clusters() {
+        let mut o = NoisyOracle::new(truth, 1.0, 1);
+        let out = acd_resolve(6, &scored(), &AcdConfig::default(), &mut o);
+        assert_eq!(out.matches, vec![(0, 1), (0, 2), (1, 2), (3, 4)]);
+        assert_eq!(out.filtered_out, 1);
+        // Cluster-based querying: at most one question per record-cluster
+        // candidate, far fewer than the 5 surviving pairs in bigger data.
+        assert!(out.questions <= 5, "{}", out.questions);
+    }
+
+    #[test]
+    fn majority_voting_absorbs_worker_errors() {
+        // A noisy oracle with 75% accuracy: single votes misplace records
+        // sometimes; 3-vote majority should be more accurate on average.
+        let f1 = |votes: usize, seed: u64| {
+            let mut o = NoisyOracle::new(truth, 0.75, seed);
+            let out = acd_resolve(
+                6,
+                &scored(),
+                &AcdConfig {
+                    votes,
+                    ..Default::default()
+                },
+                &mut o,
+            );
+            let want: std::collections::HashSet<(u32, u32)> =
+                [(0, 1), (0, 2), (1, 2), (3, 4)].into_iter().collect();
+            let got: std::collections::HashSet<(u32, u32)> = out.matches.iter().copied().collect();
+            let tp = got.intersection(&want).count() as f64;
+            let p = if got.is_empty() { 0.0 } else { tp / got.len() as f64 };
+            let r = tp / want.len() as f64;
+            if p + r == 0.0 {
+                0.0
+            } else {
+                2.0 * p * r / (p + r)
+            }
+        };
+        let single: f64 = (0..30).map(|s| f1(1, s)).sum::<f64>() / 30.0;
+        let triple: f64 = (0..30).map(|s| f1(3, s)).sum::<f64>() / 30.0;
+        assert!(
+            triple >= single - 0.02,
+            "majority voting should not hurt: {single} vs {triple}"
+        );
+    }
+
+    #[test]
+    fn singletons_stay_single() {
+        let mut o = NoisyOracle::new(truth, 1.0, 1);
+        let out = acd_resolve(6, &scored(), &AcdConfig::default(), &mut o);
+        assert!(!out.matches.iter().any(|&(a, b)| a == 5 || b == 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "odd")]
+    fn even_votes_rejected() {
+        let mut o = NoisyOracle::new(truth, 1.0, 1);
+        acd_resolve(
+            2,
+            &[],
+            &AcdConfig {
+                votes: 2,
+                ..Default::default()
+            },
+            &mut o,
+        );
+    }
+}

@@ -1,0 +1,85 @@
+//! The simulated crowd worker.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A noisy match oracle: returns the ground-truth answer with probability
+/// `accuracy`, flips it otherwise, and bills one question per call.
+///
+/// `accuracy = 1.0` models the idealized crowd most crowd-ER papers
+/// assume after majority voting; ~0.95 models single-worker answers.
+pub struct NoisyOracle<F: Fn(u32, u32) -> bool> {
+    truth: F,
+    accuracy: f64,
+    rng: SmallRng,
+    questions: usize,
+}
+
+impl<F: Fn(u32, u32) -> bool> NoisyOracle<F> {
+    /// Creates an oracle over a ground-truth predicate.
+    pub fn new(truth: F, accuracy: f64, seed: u64) -> Self {
+        assert!(
+            (0.5..=1.0).contains(&accuracy),
+            "a crowd below coin-flip accuracy is not a useful model"
+        );
+        Self {
+            truth,
+            accuracy,
+            rng: SmallRng::seed_from_u64(seed),
+            questions: 0,
+        }
+    }
+
+    /// Asks whether records `a` and `b` match. Increments the bill.
+    pub fn ask(&mut self, a: u32, b: u32) -> bool {
+        self.questions += 1;
+        let honest = (self.truth)(a, b);
+        if self.rng.random_range(0.0..1.0) < self.accuracy {
+            honest
+        } else {
+            !honest
+        }
+    }
+
+    /// Number of questions asked so far — the budget the paper argues
+    /// crowd methods must pay.
+    pub fn questions_asked(&self) -> usize {
+        self.questions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_oracle_tells_truth_and_bills() {
+        let mut o = NoisyOracle::new(|a, b| a + 1 == b, 1.0, 1);
+        assert!(o.ask(0, 1));
+        assert!(!o.ask(0, 2));
+        assert_eq!(o.questions_asked(), 2);
+    }
+
+    #[test]
+    fn noisy_oracle_errs_at_configured_rate() {
+        let mut o = NoisyOracle::new(|_, _| true, 0.9, 42);
+        let wrong = (0..2000).filter(|_| !o.ask(0, 1)).count();
+        let rate = wrong as f64 / 2000.0;
+        assert!((rate - 0.1).abs() < 0.03, "error rate {rate}");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let answers = |seed| {
+            let mut o = NoisyOracle::new(|_, _| true, 0.8, seed);
+            (0..50).map(|_| o.ask(1, 2)).collect::<Vec<_>>()
+        };
+        assert_eq!(answers(7), answers(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "coin-flip")]
+    fn rejects_useless_accuracy() {
+        NoisyOracle::new(|_, _| true, 0.3, 0);
+    }
+}

@@ -1,0 +1,100 @@
+//! Property tests for the crowd strategies: billing correctness, budget
+//! monotonicity, and perfect-oracle consistency on random candidate sets.
+
+use er_crowd::{
+    acd_resolve, crowder_resolve, gcer_resolve, power_resolve, transm_resolve, AcdConfig,
+    CrowdErConfig, GcerConfig, NoisyOracle, PowerConfig, TransMConfig,
+};
+use proptest::prelude::*;
+
+/// Random universe: `n` records in `n / 3 + 1` entities, plus scored
+/// candidate pairs whose scores loosely correlate with the truth.
+fn universe() -> impl Strategy<Value = (usize, Vec<u32>, Vec<(u32, u32, f64)>)> {
+    (6usize..24).prop_flat_map(|n| {
+        let entities = n / 3 + 1;
+        let labels = proptest::collection::vec(0u32..entities as u32, n);
+        (Just(n), labels).prop_map(|(n, labels)| {
+            let mut pairs = Vec::new();
+            for a in 0..n as u32 {
+                for b in a + 1..n as u32 {
+                    let matching = labels[a as usize] == labels[b as usize];
+                    // Correlated but noisy machine scores.
+                    let base = if matching { 0.7 } else { 0.3 };
+                    let jitter = ((a * 31 + b * 17) % 10) as f64 / 25.0;
+                    pairs.push((a, b, base + jitter));
+                }
+            }
+            (n, labels, pairs)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn all_strategies_bill_what_they_ask((n, labels, pairs) in universe()) {
+        let truth = |a: u32, b: u32| labels[a as usize] == labels[b as usize];
+        // CrowdER bills exactly the pairs above the filter.
+        let mut o = NoisyOracle::new(truth, 1.0, 1);
+        let out = crowder_resolve(&pairs, &CrowdErConfig { machine_threshold: 0.4 }, &mut o);
+        prop_assert_eq!(out.questions + out.filtered_out, pairs.len());
+        prop_assert_eq!(o.questions_asked(), out.questions);
+
+        // TransM never bills more than CrowdER at the same filter.
+        let mut o2 = NoisyOracle::new(truth, 1.0, 1);
+        let tm = transm_resolve(n, &pairs, &TransMConfig { machine_threshold: 0.4 }, &mut o2);
+        prop_assert!(tm.questions <= out.questions);
+    }
+
+    #[test]
+    fn perfect_oracle_strategies_never_fabricate((n, labels, pairs) in universe()) {
+        let truth = |a: u32, b: u32| labels[a as usize] == labels[b as usize];
+        // With a perfect oracle, every *directly asked and confirmed* pair
+        // is true; only transitive deductions could differ (but entity
+        // labels are transitive too, so all emitted matches must be true)
+        // — for strategies that never guess from machine scores alone.
+        let mut o = NoisyOracle::new(truth, 1.0, 2);
+        let crowder = crowder_resolve(&pairs, &CrowdErConfig { machine_threshold: 0.0 }, &mut o);
+        for &(a, b) in &crowder.matches {
+            prop_assert!(truth(a, b));
+        }
+        let mut o = NoisyOracle::new(truth, 1.0, 2);
+        let tm = transm_resolve(n, &pairs, &TransMConfig { machine_threshold: 0.0 }, &mut o);
+        for &(a, b) in &tm.matches {
+            prop_assert!(truth(a, b), "transitive deduction fabricated ({}, {})", a, b);
+        }
+        let mut o = NoisyOracle::new(truth, 1.0, 2);
+        let acd = acd_resolve(n, &pairs, &AcdConfig { machine_threshold: 0.0, ..Default::default() }, &mut o);
+        for &(a, b) in &acd.matches {
+            prop_assert!(truth(a, b));
+        }
+    }
+
+    #[test]
+    fn gcer_questions_respect_budget((n, labels, pairs) in universe(), budget in 0usize..30) {
+        let truth = |a: u32, b: u32| labels[a as usize] == labels[b as usize];
+        let mut o = NoisyOracle::new(truth, 0.9, 3);
+        let out = gcer_resolve(
+            n,
+            &pairs,
+            &GcerConfig { budget, machine_threshold: 0.0 },
+            &mut o,
+        );
+        prop_assert!(out.questions <= budget);
+    }
+
+    #[test]
+    fn power_output_is_well_formed((n, labels, pairs) in universe()) {
+        let truth = |a: u32, b: u32| labels[a as usize] == labels[b as usize];
+        let mut o = NoisyOracle::new(truth, 0.9, 4);
+        let out = power_resolve(n, &pairs, &PowerConfig::default(), &mut o);
+        // Matches are normalized, deduplicated candidate pairs.
+        let mut seen = std::collections::HashSet::new();
+        for &(a, b) in &out.matches {
+            prop_assert!(a < b);
+            prop_assert!(seen.insert((a, b)));
+            prop_assert!(pairs.iter().any(|&(x, y, _)| (x.min(y), x.max(y)) == (a, b)));
+        }
+    }
+}

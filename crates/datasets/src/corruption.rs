@@ -1,0 +1,200 @@
+//! Noise channels for synthesizing duplicate records.
+//!
+//! The real benchmarks' duplicates differ by exactly these channels:
+//! character typos and transpositions (Cora author/title fields),
+//! abbreviations ("blvd" for "boulevard", "proc" for "proceedings"),
+//! dropped or reordered tokens (terse "buy" product descriptions), and
+//! digit formatting noise (phone numbers). All corruption is driven by a
+//! caller-supplied seeded RNG so datasets are reproducible.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Applies one random character edit (substitute / delete / insert /
+/// transpose) to `word`. Words shorter than 3 characters are returned
+/// unchanged — editing them usually destroys the token entirely, which
+/// real typos rarely do.
+pub fn typo(rng: &mut SmallRng, word: &str) -> String {
+    let chars: Vec<char> = word.chars().collect();
+    if chars.len() < 3 {
+        return word.to_owned();
+    }
+    let mut out = chars.clone();
+    let pos = rng.random_range(0..out.len());
+    match rng.random_range(0..4u8) {
+        0 => {
+            // substitute with a nearby lowercase letter
+            out[pos] = random_letter(rng);
+        }
+        1 => {
+            out.remove(pos);
+        }
+        2 => {
+            let c = random_letter(rng);
+            out.insert(pos, c);
+        }
+        _ => {
+            if pos + 1 < out.len() {
+                out.swap(pos, pos + 1);
+            } else {
+                out.swap(pos - 1, pos);
+            }
+        }
+    }
+    out.into_iter().collect()
+}
+
+fn random_letter(rng: &mut SmallRng) -> char {
+    (b'a' + rng.random_range(0..26u8)) as char
+}
+
+/// Truncates `word` to its first `keep` characters (an abbreviation like
+/// "proceedings" → "proc"). Returns the word unchanged when it is already
+/// that short.
+pub fn abbreviate(word: &str, keep: usize) -> String {
+    word.chars().take(keep.max(1)).collect()
+}
+
+/// Reduces a multi-token name to initials except the last token
+/// ("wei wang" → "w wang"), the dominant author-noise channel in
+/// citation data.
+pub fn initialize_names(tokens: &[&str]) -> Vec<String> {
+    if tokens.is_empty() {
+        return Vec::new();
+    }
+    let mut out = Vec::with_capacity(tokens.len());
+    for t in &tokens[..tokens.len() - 1] {
+        out.push(t.chars().take(1).collect());
+    }
+    out.push(tokens[tokens.len() - 1].to_owned());
+    out
+}
+
+/// Drops each token independently with probability `p`, but never drops
+/// every token.
+pub fn drop_tokens(rng: &mut SmallRng, tokens: &mut Vec<String>, p: f64) {
+    if tokens.len() <= 1 {
+        return;
+    }
+    let original = tokens.clone();
+    tokens.retain(|_| rng.random_range(0.0..1.0) >= p);
+    if tokens.is_empty() {
+        let keep = rng.random_range(0..original.len());
+        tokens.push(original[keep].clone());
+    }
+}
+
+/// Swaps two adjacent tokens (word-order noise).
+pub fn swap_adjacent(rng: &mut SmallRng, tokens: &mut [String]) {
+    if tokens.len() >= 2 {
+        let i = rng.random_range(0..tokens.len() - 1);
+        tokens.swap(i, i + 1);
+    }
+}
+
+/// Perturbs one digit of a numeric string (OCR/entry noise in phone
+/// numbers and years).
+pub fn digit_noise(rng: &mut SmallRng, digits: &str) -> String {
+    let mut chars: Vec<char> = digits.chars().collect();
+    let positions: Vec<usize> = chars
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| c.is_ascii_digit())
+        .map(|(i, _)| i)
+        .collect();
+    if !positions.is_empty() {
+        let pos = positions[rng.random_range(0..positions.len())];
+        chars[pos] = (b'0' + rng.random_range(0..10u8)) as char;
+    }
+    chars.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn typo_changes_long_words_by_one_edit() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let t = typo(&mut r, "restaurant");
+            let len_diff = (t.chars().count() as i64 - 10).abs();
+            assert!(len_diff <= 1, "{t}");
+        }
+    }
+
+    #[test]
+    fn typo_leaves_short_words_alone() {
+        let mut r = rng();
+        assert_eq!(typo(&mut r, "of"), "of");
+        assert_eq!(typo(&mut r, "a"), "a");
+    }
+
+    #[test]
+    fn abbreviate_truncates() {
+        assert_eq!(abbreviate("proceedings", 4), "proc");
+        assert_eq!(abbreviate("acm", 4), "acm");
+        assert_eq!(abbreviate("x", 0), "x", "keep clamped to 1");
+    }
+
+    #[test]
+    fn initials_keep_surname() {
+        assert_eq!(
+            initialize_names(&["wei", "wang"]),
+            vec!["w".to_owned(), "wang".to_owned()]
+        );
+        assert_eq!(initialize_names(&["knuth"]), vec!["knuth".to_owned()]);
+        assert!(initialize_names(&[]).is_empty());
+    }
+
+    #[test]
+    fn drop_tokens_never_empties() {
+        let mut r = rng();
+        for _ in 0..20 {
+            let mut toks: Vec<String> = vec!["a".into(), "b".into(), "c".into()];
+            drop_tokens(&mut r, &mut toks, 0.99);
+            assert!(!toks.is_empty());
+        }
+    }
+
+    #[test]
+    fn drop_tokens_probability_zero_is_noop() {
+        let mut r = rng();
+        let mut toks: Vec<String> = vec!["a".into(), "b".into()];
+        drop_tokens(&mut r, &mut toks, 0.0);
+        assert_eq!(toks.len(), 2);
+    }
+
+    #[test]
+    fn swap_adjacent_permutes() {
+        let mut r = rng();
+        let mut toks: Vec<String> = vec!["x".into(), "y".into()];
+        swap_adjacent(&mut r, &mut toks);
+        assert_eq!(toks, vec!["y".to_owned(), "x".to_owned()]);
+        let mut single: Vec<String> = vec!["x".into()];
+        swap_adjacent(&mut r, &mut single);
+        assert_eq!(single, vec!["x".to_owned()]);
+    }
+
+    #[test]
+    fn digit_noise_preserves_length_and_digits() {
+        let mut r = rng();
+        for _ in 0..20 {
+            let d = digit_noise(&mut r, "2138486677");
+            assert_eq!(d.len(), 10);
+            assert!(d.chars().all(|c| c.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut a = rng();
+        let mut b = rng();
+        assert_eq!(typo(&mut a, "ventura"), typo(&mut b, "ventura"));
+    }
+}

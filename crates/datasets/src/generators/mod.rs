@@ -1,0 +1,12 @@
+//! Synthetic benchmark generators mirroring the paper's three datasets.
+//!
+//! Each generator is fully seeded: the same config always produces the
+//! same dataset. Scale knobs let the bench harness run a reduced-size
+//! variant on small machines (`ER_SCALE=ci`) or the paper-scale variant
+//! (`ER_SCALE=paper`); the generators keep the *relative* statistics
+//! (duplicate fraction, cluster-size skew, vocabulary tiering) fixed
+//! while scaling absolute counts.
+
+pub mod paper;
+pub mod product;
+pub mod restaurant;

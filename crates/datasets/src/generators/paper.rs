@@ -1,0 +1,367 @@
+//! Paper-style citation dataset (Cora analogue).
+//!
+//! Paper scale: 1865 non-identical publication records, 96 clusters with
+//! at least 3 records, the largest holding 192 — the big clique that
+//! motivates RSS's bonus boost (§VI-B). Each record renders a citation
+//! (authors, title, venue, year) with the classic citation-noise
+//! channels: author initials, venue abbreviations, dropped years, title
+//! typos and token reordering.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::corruption::{drop_tokens, initialize_names, swap_adjacent, typo};
+use crate::record::{Dataset, Record, SourcePolicy};
+use crate::wordpool::{synth_pool, TOPIC_WORDS, VENUES};
+
+/// Configuration for the Paper generator.
+#[derive(Debug, Clone, Copy)]
+pub struct PaperConfig {
+    /// Total records (paper: 1865).
+    pub records: usize,
+    /// Size of the largest cluster (paper: 192).
+    pub largest_cluster: usize,
+    /// Clusters with at least 3 records (paper: 96).
+    pub clusters_of_3_plus: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for PaperConfig {
+    fn default() -> Self {
+        Self {
+            records: 1865,
+            largest_cluster: 192,
+            clusters_of_3_plus: 96,
+            seed: 0xC0DE,
+        }
+    }
+}
+
+impl PaperConfig {
+    /// Scales the absolute counts, keeping the skew shape.
+    pub fn scaled(self, factor: f64) -> Self {
+        Self {
+            records: crate::scaled(self.records, factor),
+            largest_cluster: crate::scaled(self.largest_cluster, factor).max(3),
+            clusters_of_3_plus: crate::scaled(self.clusters_of_3_plus, factor).max(1),
+            ..self
+        }
+    }
+}
+
+/// Cora-like skewed cluster sizes: a geometric head starting at
+/// `largest`, a mid tier of small (3–15) clusters until `big_clusters`
+/// clusters of ≥ 3 exist, then pairs and singletons filling to `records`.
+pub fn cluster_sizes(config: &PaperConfig) -> Vec<usize> {
+    let mut sizes = Vec::new();
+    let mut remaining = config.records;
+    // Geometric head (ratio ~0.72) down to 16.
+    let mut s = config.largest_cluster;
+    while s >= 16 && sizes.len() < config.clusters_of_3_plus && remaining >= s {
+        sizes.push(s);
+        remaining -= s;
+        s = (s as f64 * 0.72).round() as usize;
+    }
+    // Mid tier: sizes cycling 15, 11, 8, 6, 4, 3 until the ≥3 quota.
+    let cycle = [15usize, 11, 8, 6, 4, 3];
+    let mut i = 0;
+    while sizes.len() < config.clusters_of_3_plus && remaining >= 3 {
+        let want = cycle[i % cycle.len()].min(remaining);
+        if want < 3 {
+            break;
+        }
+        sizes.push(want);
+        remaining -= want;
+        i += 1;
+    }
+    // Tail: pairs for ~40% of what is left, singletons for the rest.
+    let mut pair_budget = (remaining * 2) / 5 / 2;
+    while pair_budget > 0 && remaining >= 2 {
+        sizes.push(2);
+        remaining -= 2;
+        pair_budget -= 1;
+    }
+    while remaining > 0 {
+        sizes.push(1);
+        remaining -= 1;
+    }
+    debug_assert_eq!(sizes.iter().sum::<usize>(), config.records);
+    sizes
+}
+
+struct Publication {
+    authors: Vec<String>, // "first last" pairs flattened
+    title: Vec<String>,
+    venue_idx: usize,
+    year: u32,
+    /// Dominant citation style of this entity's cluster: citations of one
+    /// paper copy each other, so renderings converge toward a house style
+    /// (this is what makes the paper's giant cliques near-uniform —
+    /// "edge weights in the same clique are close to each other", §VI-B).
+    style_initials: bool,
+    style_venue: f64,
+}
+
+/// Generates the dataset.
+pub fn generate(config: &PaperConfig) -> Dataset {
+    assert!(config.records >= 3, "need at least 3 records");
+    assert!(config.largest_cluster >= 3);
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let sizes = cluster_sizes(config);
+    let surnames = synth_pool(&mut rng, 280, 2);
+    let firstnames = synth_pool(&mut rng, 120, 2);
+    // Entity-specific rare title words — the discriminative tier.
+    let rare_words = synth_pool(&mut rng, sizes.len() * 2, 3);
+    // Topic vocabulary: the curated research words plus a synthetic
+    // extension, so each word's document frequency stays in the
+    // mid-frequency tier rather than tripping the frequent-term filter.
+    let mut topic_pool: Vec<String> = TOPIC_WORDS.iter().map(|&w| w.to_owned()).collect();
+    topic_pool.extend(synth_pool(&mut rng, 270, 2));
+
+    let mut publications: Vec<Publication> = Vec::with_capacity(sizes.len());
+    for e in 0..sizes.len() {
+        // Sibling papers: the same authors publish a follow-up whose
+        // title shares one anchor and most topic words ("… part ii" /
+        // journal version). The hardest Cora confusions are exactly
+        // these, and they are what forces methods to learn which terms
+        // discriminate rather than counting overlap.
+        // Only small clusters spawn siblings: a follow-up paper sharing a
+        // giant survey's anchor vocabulary would (realistically rarely)
+        // dilute the anchor's discrimination power across hundreds of
+        // records.
+        let sibling_of = if e > 0
+            && sizes[e] <= 8
+            && sizes[e - 1] <= 8
+            && rng.random_range(0.0..1.0) < 0.35
+        {
+            Some(e - 1)
+        } else {
+            None
+        };
+        if let Some(parent) = sibling_of {
+            let p = &publications[parent];
+            let mut title = p.title.clone();
+            // Swap the second anchor for this entity's own and perturb
+            // one topic word.
+            let own_anchor = rare_words[2 * e + 1].clone();
+            *title.last_mut().expect("titles are non-empty") = own_anchor;
+            if title.len() > 2 {
+                let i = rng.random_range(0..title.len() - 2);
+                title[i] = topic_pool[rng.random_range(0..topic_pool.len())].clone();
+            }
+            let year = p.year + rng.random_range(0..3u32);
+            publications.push(Publication {
+                authors: p.authors.clone(),
+                title,
+                venue_idx: rng.random_range(0..VENUES.len()),
+                year,
+                style_initials: rng.random_range(0.0..1.0) < 0.5,
+                style_venue: rng.random_range(0.0..1.0),
+            });
+            continue;
+        }
+        let n_authors = rng.random_range(1..4usize);
+        let mut authors = Vec::new();
+        for _ in 0..n_authors {
+            authors.push(firstnames[rng.random_range(0..firstnames.len())].clone());
+            authors.push(surnames[rng.random_range(0..surnames.len())].clone());
+        }
+        let mut title: Vec<String> = Vec::new();
+        let topical = rng.random_range(3..6usize);
+        for _ in 0..topical {
+            title.push(topic_pool[rng.random_range(0..topic_pool.len())].clone());
+        }
+        // Two entity-specific rare words anchor the cluster — citations
+        // of one paper share its (near-identical) title string.
+        title.push(rare_words[2 * e].clone());
+        title.push(rare_words[2 * e + 1].clone());
+        publications.push(Publication {
+            authors,
+            title,
+            venue_idx: rng.random_range(0..VENUES.len()),
+            year: rng.random_range(1985..2001u32),
+            style_initials: rng.random_range(0.0..1.0) < 0.5,
+            style_venue: rng.random_range(0.0..1.0),
+        });
+    }
+
+    let mut records: Vec<(u32, String)> = Vec::with_capacity(config.records);
+    for (e, (publication, &size)) in publications.iter().zip(&sizes).enumerate() {
+        for _ in 0..size {
+            records.push((e as u32, render_citation(publication, &surnames, &mut rng)));
+        }
+    }
+    // Shuffle so clusters are interleaved, then assign ids.
+    for i in (1..records.len()).rev() {
+        let j = rng.random_range(0..=i);
+        records.swap(i, j);
+    }
+    let records = records
+        .into_iter()
+        .enumerate()
+        .map(|(id, (entity, text))| Record {
+            id: id as u32,
+            source: 0,
+            entity,
+            text,
+        })
+        .collect();
+    Dataset::new("paper", records, SourcePolicy::WithinSingleSource)
+}
+
+fn render_citation(p: &Publication, surnames: &[String], rng: &mut SmallRng) -> String {
+    let mut tokens: Vec<String> = Vec::new();
+    // Authors: full names or initials; sometimes only the first author
+    // ("et al" style truncation).
+    let author_refs: Vec<&str> = p.authors.iter().map(String::as_str).collect();
+    // 80% of citations follow the cluster's dominant author format.
+    let use_initials = if rng.random_range(0.0..1.0) < 0.8 {
+        p.style_initials
+    } else {
+        !p.style_initials
+    };
+    let mut authors: Vec<String> = if use_initials {
+        initialize_names(&author_refs)
+    } else {
+        p.authors.clone()
+    };
+    if authors.len() > 2 && rng.random_range(0.0..1.0) < 0.35 {
+        authors.truncate(2);
+    }
+    tokens.extend(authors);
+    // Title: occasional typo, drop, swap. Citation titles are copied
+    // strings, so corruption is light — intra-cluster similarity stays
+    // homogeneous, which is what makes the 192-clique walkable (§VI-B).
+    let mut title = p.title.clone();
+    if rng.random_range(0.0..1.0) < 0.18 {
+        let i = rng.random_range(0..title.len());
+        title[i] = typo(rng, &title[i]);
+    }
+    drop_tokens(rng, &mut title, 0.06);
+    if rng.random_range(0.0..1.0) < 0.3 {
+        swap_adjacent(rng, &mut title);
+    }
+    tokens.extend(title);
+    // Venue: a spectrum of renderings from terse abbreviation to full
+    // proceedings string with publisher imprint. The continuum matters
+    // twice over: it smooths intra-cluster similarity (so the clique
+    // random walk percolates across format levels) and it creates the
+    // overlap zone where unrelated same-venue citations look as similar
+    // as cross-format true pairs — the regime where raw Jaccard loses.
+    let (full, abbr) = VENUES[p.venue_idx];
+    // Venue rendering clusters around the house style too.
+    let venue_roll = (p.style_venue + rng.random_range(-0.2..0.2)).clamp(0.0, 1.0);
+    if venue_roll < 0.4 {
+        tokens.push(abbr.to_owned());
+    } else {
+        tokens.extend(full.split(' ').map(str::to_owned));
+        if venue_roll > 0.65 {
+            // Proceedings of one venue come from one publishing house, so
+            // same-venue full citations share the imprint tokens too.
+            let publisher = crate::wordpool::PUBLISHERS
+                [p.venue_idx % crate::wordpool::PUBLISHERS.len()];
+            tokens.extend(publisher.split(' ').map(str::to_owned));
+        }
+    }
+    // Year: sometimes dropped.
+    if rng.random_range(0.0..1.0) < 0.75 {
+        tokens.push(p.year.to_string());
+    }
+    // Editor names in proceedings renderings: surnames drawn from the
+    // same pool as authors, so unrelated records acquire *false shared
+    // tokens* — noise for overlap metrics that ITER's P_t dilution
+    // absorbs (an editor surname's pairs rarely match).
+    if rng.random_range(0.0..1.0) < 0.45 {
+        tokens.push("ed".to_owned());
+        for _ in 0..rng.random_range(1..3usize) {
+            tokens.push(surnames[rng.random_range(0..surnames.len())].clone());
+        }
+    }
+    // Citation junk: page ranges, volume numbers — record-specific tokens
+    // that dilute set-overlap metrics but, having document frequency 1,
+    // never form bipartite pairs and so are invisible to ITER.
+    if rng.random_range(0.0..1.0) < 0.7 {
+        let start = rng.random_range(1..800u32);
+        tokens.push("pp".to_owned());
+        tokens.push(start.to_string());
+        tokens.push((start + rng.random_range(2..30u32)).to_string());
+    }
+    if rng.random_range(0.0..1.0) < 0.4 {
+        tokens.push("vol".to_owned());
+        tokens.push(rng.random_range(1..40u32).to_string());
+    }
+    tokens.join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale_counts() {
+        let d = generate(&PaperConfig::default());
+        assert_eq!(d.len(), 1865);
+        let clusters = d.entity_clusters();
+        let big = clusters.iter().filter(|c| c.len() >= 3).count();
+        assert_eq!(big, 96);
+        let largest = clusters.iter().map(Vec::len).max().unwrap();
+        assert_eq!(largest, 192);
+    }
+
+    #[test]
+    fn cluster_sizes_sum_to_records() {
+        for factor in [1.0, 0.4, 0.15] {
+            let cfg = PaperConfig::default().scaled(factor);
+            let sizes = cluster_sizes(&cfg);
+            assert_eq!(sizes.iter().sum::<usize>(), cfg.records, "factor {factor}");
+        }
+    }
+
+    #[test]
+    fn many_matching_pairs_from_skew() {
+        // 192 choose 2 alone is 18 336; the dataset "generates much more
+        // matching pairs" than the other two (paper §VII-A).
+        let d = generate(&PaperConfig::default());
+        assert!(d.matching_pairs().len() > 15_000);
+    }
+
+    #[test]
+    fn citations_of_same_entity_share_rare_anchor() {
+        let d = generate(&PaperConfig::default());
+        let clusters = d.entity_clusters();
+        let big = clusters.iter().find(|c| c.len() >= 100).expect("giant cluster");
+        // Count tokens present in >= 60% of the cluster's records: at
+        // least one rare anchor should survive the noise channels.
+        use std::collections::HashMap;
+        let mut counts: HashMap<&str, usize> = HashMap::new();
+        for &r in big {
+            let seen: std::collections::HashSet<&str> =
+                d.records[r as usize].text.split(' ').collect();
+            for t in seen {
+                *counts.entry(t).or_default() += 1;
+            }
+        }
+        let anchored = counts
+            .values()
+            .filter(|&&c| c as f64 >= 0.6 * big.len() as f64)
+            .count();
+        assert!(anchored >= 2, "cluster lost its anchors: {anchored}");
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(
+            generate(&PaperConfig::default()).records,
+            generate(&PaperConfig::default()).records
+        );
+    }
+
+    #[test]
+    fn scaled_shrinks_consistently() {
+        let d = generate(&PaperConfig::default().scaled(0.2));
+        assert_eq!(d.len(), 373);
+        let clusters = d.entity_clusters();
+        assert!(clusters.iter().map(Vec::len).max().unwrap() >= 30);
+    }
+}

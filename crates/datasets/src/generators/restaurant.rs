@@ -1,0 +1,282 @@
+//! Restaurant-style dataset (Fodor/Zagat analogue).
+//!
+//! Paper scale: 858 non-identical records, 106 duplicate pairs
+//! (367 653 candidate pairs). Each record carries a restaurant name,
+//! street address, city, phone number and cuisine. Duplicates come from
+//! a second listing of the same restaurant with abbreviation, typo and
+//! token-drop noise — phone numbers and street numbers act as the
+//! discriminative terms the paper's introduction calls out for this
+//! domain.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::corruption::{abbreviate, drop_tokens, typo};
+use crate::record::{Dataset, Record, SourcePolicy};
+use crate::wordpool::{phone, synth_pool, CITIES, CUISINES, STREET_SUFFIXES};
+
+/// Configuration for the Restaurant generator.
+#[derive(Debug, Clone, Copy)]
+pub struct RestaurantConfig {
+    /// Total records (paper: 858).
+    pub records: usize,
+    /// Entities listed twice, i.e. ground-truth duplicate pairs
+    /// (paper: 106).
+    pub duplicate_pairs: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RestaurantConfig {
+    fn default() -> Self {
+        Self {
+            records: 858,
+            duplicate_pairs: 106,
+            seed: 0xF00D,
+        }
+    }
+}
+
+impl RestaurantConfig {
+    /// Scales the absolute counts, keeping the duplicate fraction.
+    pub fn scaled(self, factor: f64) -> Self {
+        Self {
+            records: crate::scaled(self.records, factor),
+            duplicate_pairs: crate::scaled(self.duplicate_pairs, factor),
+            ..self
+        }
+    }
+}
+
+struct Restaurant {
+    name: Vec<String>,
+    street_number: String,
+    street: String,
+    suffix_idx: usize,
+    city: &'static str,
+    phone: String,
+    cuisine: &'static str,
+}
+
+/// Generates the dataset.
+pub fn generate(config: &RestaurantConfig) -> Dataset {
+    assert!(
+        config.duplicate_pairs * 2 <= config.records,
+        "duplicate pairs ({}) need 2 records each within {} records",
+        config.duplicate_pairs,
+        config.records
+    );
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let n_entities = config.records - config.duplicate_pairs;
+    // Street-name pool sized so streets are shared by only a handful of
+    // restaurants (mid-frequency tier); floors keep small-scale datasets
+    // from becoming artificially collision-dense.
+    let streets = synth_pool(&mut rng, (n_entities / 3).max(96), 2);
+    let name_pool = synth_pool(&mut rng, (n_entities / 2).max(192), 2);
+    let nouns = ["cafe", "grill", "bistro", "kitchen", "house", "garden", "room", "diner"];
+
+    let mut entities: Vec<Restaurant> = Vec::with_capacity(n_entities);
+    for e in 0..n_entities {
+        // Chain restaurants: a later branch reuses an earlier entity's
+        // name and cuisine at a new address — the classic string-metric
+        // false positive in the Fodor/Zagat data (two Ritz-Carltons).
+        let chain_of = if e > 0 && rng.random_range(0.0..1.0) < 0.02 {
+            Some(rng.random_range(0..e))
+        } else {
+            None
+        };
+        let (name, cuisine) = match chain_of {
+            Some(parent) => (entities[parent].name.clone(), entities[parent].cuisine),
+            None => {
+                let mut name = vec![name_pool[rng.random_range(0..name_pool.len())].clone()];
+                if rng.random_range(0.0..1.0) < 0.6 {
+                    name.push(nouns[rng.random_range(0..nouns.len())].to_owned());
+                }
+                (name, CUISINES[rng.random_range(0..CUISINES.len())])
+            }
+        };
+        entities.push(Restaurant {
+            name,
+            street_number: format!("{}", rng.random_range(10..19999u32)),
+            street: streets[rng.random_range(0..streets.len())].clone(),
+            suffix_idx: rng.random_range(0..STREET_SUFFIXES.len()),
+            city: CITIES[rng.random_range(0..CITIES.len())],
+            phone: phone(&mut rng),
+            cuisine,
+        });
+    }
+
+    let mut records = Vec::with_capacity(config.records);
+    // Base listing for every entity.
+    for (e, r) in entities.iter().enumerate() {
+        records.push((e as u32, render_base(r)));
+    }
+    // Second, noisy listing for the first `duplicate_pairs` entities.
+    for (e, r) in entities.iter().take(config.duplicate_pairs).enumerate() {
+        records.push((e as u32, render_variant(r, &mut rng)));
+    }
+    // Shuffle record order so duplicates are not adjacent, then assign ids.
+    for i in (1..records.len()).rev() {
+        let j = rng.random_range(0..=i);
+        records.swap(i, j);
+    }
+    let records = records
+        .into_iter()
+        .enumerate()
+        .map(|(id, (entity, text))| Record {
+            id: id as u32,
+            source: 0,
+            entity,
+            text,
+        })
+        .collect();
+    Dataset::new("restaurant", records, SourcePolicy::WithinSingleSource)
+}
+
+fn render_base(r: &Restaurant) -> String {
+    let (suffix, _) = STREET_SUFFIXES[r.suffix_idx];
+    format!(
+        "{} {} {} {} {} {} {}",
+        r.name.join(" "),
+        r.street_number,
+        r.street,
+        suffix,
+        r.city,
+        r.phone,
+        r.cuisine
+    )
+}
+
+fn render_variant(r: &Restaurant, rng: &mut SmallRng) -> String {
+    let (full, abbr) = STREET_SUFFIXES[r.suffix_idx];
+    // Name: occasional typo in one word.
+    let mut name: Vec<String> = r.name.clone();
+    if rng.random_range(0.0..1.0) < 0.6 {
+        let i = rng.random_range(0..name.len());
+        name[i] = typo(rng, &name[i]);
+    }
+    // Address: abbreviation of the suffix most of the time.
+    let suffix = if rng.random_range(0.0..1.0) < 0.7 { abbr } else { full };
+    // City: abbreviated ("la") or dropped sometimes.
+    let mut tail: Vec<String> = Vec::new();
+    let city_roll = rng.random_range(0.0..1.0);
+    if city_roll < 0.4 {
+        tail.push(r.city.to_owned());
+    } else if city_roll < 0.55 {
+        let first = r.city.split(' ').next().unwrap_or(r.city);
+        tail.push(abbreviate(first, 3));
+    } // else dropped
+    // Phone: the second directory sometimes prints it unseparated, so
+    // tokenization yields one merged token instead of three groups — the
+    // duplicate loses its strongest anchor for set-overlap metrics.
+    if rng.random_range(0.0..1.0) < 0.5 {
+        tail.push(r.phone.replace(' ', ""));
+    } else {
+        tail.push(r.phone.clone());
+    }
+    // Cuisine: frequently differs between the two directories.
+    if rng.random_range(0.0..1.0) < 0.25 {
+        tail.push(r.cuisine.to_owned());
+    }
+    let mut tokens: Vec<String> = name;
+    // Street number occasionally differs (suite/second entrance) or is
+    // omitted in the second directory.
+    let number_roll = rng.random_range(0.0..1.0);
+    if number_roll < 0.85 {
+        tokens.push(r.street_number.clone());
+    } else if number_roll < 0.93 {
+        tokens.push(crate::corruption::digit_noise(rng, &r.street_number));
+    } // else dropped
+    tokens.push(r.street.clone());
+    tokens.push(suffix.to_owned());
+    tokens.extend(tail);
+    // Light token dropping on top.
+    drop_tokens(rng, &mut tokens, 0.07);
+    tokens.join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale_counts() {
+        let d = generate(&RestaurantConfig::default());
+        assert_eq!(d.len(), 858);
+        assert_eq!(d.matching_pairs().len(), 106);
+        assert_eq!(d.candidate_universe_size(), 858 * 857 / 2);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate(&RestaurantConfig::default());
+        let b = generate(&RestaurantConfig::default());
+        assert_eq!(a.records, b.records);
+    }
+
+    #[test]
+    fn different_seed_different_data() {
+        let a = generate(&RestaurantConfig::default());
+        let b = generate(&RestaurantConfig {
+            seed: 1,
+            ..Default::default()
+        });
+        assert_ne!(a.records, b.records);
+    }
+
+    #[test]
+    fn duplicates_share_discriminative_tokens() {
+        // Individual pairs may share as little as one token (the format
+        // noise is deliberately heavy — that is what makes the benchmark
+        // hard), but on average a duplicate pair must share several.
+        let d = generate(&RestaurantConfig::default());
+        let mut total = 0usize;
+        let pairs = d.matching_pairs();
+        for &(a, b) in &pairs {
+            let ta: std::collections::HashSet<&str> =
+                d.records[a as usize].text.split(' ').collect();
+            let tb: std::collections::HashSet<&str> =
+                d.records[b as usize].text.split(' ').collect();
+            let shared = ta.intersection(&tb).count();
+            assert!(
+                shared >= 1,
+                "duplicate pair ({a},{b}) shares nothing: {:?} vs {:?}",
+                d.records[a as usize].text,
+                d.records[b as usize].text
+            );
+            total += shared;
+        }
+        let mean = total as f64 / pairs.len() as f64;
+        assert!(mean >= 3.0, "duplicates too dissimilar on average: {mean}");
+    }
+
+    #[test]
+    fn scaled_keeps_fraction() {
+        let cfg = RestaurantConfig::default().scaled(0.5);
+        assert_eq!(cfg.records, 429);
+        assert_eq!(cfg.duplicate_pairs, 53);
+        let d = generate(&cfg);
+        assert_eq!(d.len(), 429);
+        assert_eq!(d.matching_pairs().len(), 53);
+    }
+
+    #[test]
+    fn entity_ids_dense_by_cluster() {
+        let d = generate(&RestaurantConfig::default());
+        let clusters = d.entity_clusters();
+        let twos = clusters.iter().filter(|c| c.len() == 2).count();
+        let ones = clusters.iter().filter(|c| c.len() == 1).count();
+        assert_eq!(twos, 106);
+        assert_eq!(ones, 858 - 212);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate pairs")]
+    fn rejects_impossible_config() {
+        generate(&RestaurantConfig {
+            records: 10,
+            duplicate_pairs: 6,
+            seed: 0,
+        });
+    }
+}

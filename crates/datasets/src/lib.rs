@@ -1,0 +1,48 @@
+//! # er-datasets
+//!
+//! Benchmark datasets for the entity-resolution framework.
+//!
+//! The paper evaluates on three public benchmarks — Restaurant
+//! (Fodor/Zagat), Product (Abt-Buy) and Paper (Cora) — which cannot be
+//! downloaded in this offline reproduction. This crate substitutes
+//! **seeded synthetic generators** that mirror each benchmark's schema,
+//! scale, cluster-size distribution and noise channels (the substitution
+//! table in DESIGN.md §4 records the rationale):
+//!
+//! * [`generators::restaurant`] — single source, 858 records, 106
+//!   duplicate pairs; name + address + city + phone + cuisine; noise from
+//!   abbreviations ("st."/"street"), typos and dropped tokens.
+//! * [`generators::product`] — two sources (abt/buy), 1081 + 1092
+//!   records, 1092 cross-source matches; discriminative alphanumeric
+//!   model codes ("pslx350h") buried in per-source descriptive text.
+//! * [`generators::paper`] — single source, 1865 citation records with a
+//!   Cora-like skewed cluster-size distribution (96 clusters with ≥ 3
+//!   records, the largest with 192); author-initial, venue-abbreviation
+//!   and token-reorder noise.
+//!
+//! Plus [`loader`] for a simple TSV interchange format so users can run
+//! the framework on the real benchmarks if they have them.
+
+pub mod corruption;
+pub mod generators;
+pub mod loader;
+pub mod record;
+pub mod wordpool;
+
+pub use generators::{paper::PaperConfig, product::ProductConfig, restaurant::RestaurantConfig};
+pub use record::{Dataset, Record, SourcePolicy};
+
+/// Scales a paper-scale count by `factor`, keeping at least 1.
+pub fn scaled(count: usize, factor: f64) -> usize {
+    ((count as f64 * factor).round() as usize).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scaled_rounds_and_floors() {
+        assert_eq!(super::scaled(100, 0.4), 40);
+        assert_eq!(super::scaled(3, 0.1), 1);
+        assert_eq!(super::scaled(858, 1.0), 858);
+    }
+}

@@ -1,0 +1,205 @@
+//! TSV interchange format for datasets.
+//!
+//! Users with the real benchmark archives (Fodor/Zagat, Abt-Buy, Cora)
+//! can convert them to this four-column TSV and run the framework
+//! unmodified:
+//!
+//! ```text
+//! # comment lines and blank lines are skipped
+//! id <TAB> source <TAB> entity <TAB> text
+//! ```
+
+use std::io::{BufRead, Write};
+use std::path::Path;
+
+use crate::record::{Dataset, Record, SourcePolicy};
+
+/// Errors from TSV parsing.
+#[derive(Debug)]
+pub enum LoadError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A malformed line, with its 1-based line number and reason.
+    Parse { line: usize, reason: String },
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::Io(e) => write!(f, "io error: {e}"),
+            LoadError::Parse { line, reason } => write!(f, "line {line}: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LoadError::Io(e) => Some(e),
+            LoadError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for LoadError {
+    fn from(e: std::io::Error) -> Self {
+        LoadError::Io(e)
+    }
+}
+
+/// Parses a dataset from TSV text.
+pub fn parse_tsv(
+    name: &str,
+    reader: impl BufRead,
+    policy: SourcePolicy,
+) -> Result<Dataset, LoadError> {
+    let mut records = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut fields = line.splitn(4, '\t');
+        let parse_u32 = |s: Option<&str>, what: &str| -> Result<u32, LoadError> {
+            s.ok_or_else(|| LoadError::Parse {
+                line: lineno + 1,
+                reason: format!("missing {what} column"),
+            })?
+            .trim()
+            .parse()
+            .map_err(|e| LoadError::Parse {
+                line: lineno + 1,
+                reason: format!("bad {what}: {e}"),
+            })
+        };
+        let id = parse_u32(fields.next(), "id")?;
+        let source = parse_u32(fields.next(), "source")? as u8;
+        let entity = parse_u32(fields.next(), "entity")?;
+        let text = fields
+            .next()
+            .ok_or_else(|| LoadError::Parse {
+                line: lineno + 1,
+                reason: "missing text column".into(),
+            })?
+            .to_owned();
+        if id as usize != records.len() {
+            return Err(LoadError::Parse {
+                line: lineno + 1,
+                reason: format!("ids must be dense and ordered; expected {}, got {id}", records.len()),
+            });
+        }
+        records.push(Record {
+            id,
+            source,
+            entity,
+            text,
+        });
+    }
+    Ok(Dataset::new(name, records, policy))
+}
+
+/// Loads a dataset from a TSV file.
+pub fn load_tsv(path: impl AsRef<Path>, policy: SourcePolicy) -> Result<Dataset, LoadError> {
+    let file = std::fs::File::open(&path)?;
+    let name = path
+        .as_ref()
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "dataset".to_owned());
+    parse_tsv(&name, std::io::BufReader::new(file), policy)
+}
+
+/// Writes a dataset as TSV.
+pub fn write_tsv(dataset: &Dataset, mut writer: impl Write) -> std::io::Result<()> {
+    writeln!(writer, "# id\tsource\tentity\ttext")?;
+    for r in &dataset.records {
+        writeln!(writer, "{}\t{}\t{}\t{}", r.id, r.source, r.entity, r.text)?;
+    }
+    Ok(())
+}
+
+/// Saves a dataset to a TSV file.
+pub fn save_tsv(dataset: &Dataset, path: impl AsRef<Path>) -> std::io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    write_tsv(dataset, std::io::BufWriter::new(file))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::restaurant::{generate, RestaurantConfig};
+
+    #[test]
+    fn round_trip_through_tsv() {
+        let original = generate(&RestaurantConfig {
+            records: 40,
+            duplicate_pairs: 6,
+            seed: 3,
+        });
+        let mut buf = Vec::new();
+        write_tsv(&original, &mut buf).unwrap();
+        let parsed = parse_tsv(
+            "restaurant",
+            std::io::Cursor::new(buf),
+            SourcePolicy::WithinSingleSource,
+        )
+        .unwrap();
+        assert_eq!(parsed.records, original.records);
+    }
+
+    #[test]
+    fn skips_comments_and_blanks() {
+        let tsv = "# header\n\n0\t0\t7\thello world\n1\t1\t7\tbye\n";
+        let d = parse_tsv(
+            "t",
+            std::io::Cursor::new(tsv),
+            SourcePolicy::CrossSourceOnly,
+        )
+        .unwrap();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.records[0].text, "hello world");
+        assert_eq!(d.records[1].source, 1);
+        assert_eq!(d.matching_pairs(), vec![(0, 1)]);
+    }
+
+    #[test]
+    fn text_may_contain_tabs_beyond_column_four() {
+        let tsv = "0\t0\t1\ta\tb\tc\n";
+        let d = parse_tsv("t", std::io::Cursor::new(tsv), SourcePolicy::WithinSingleSource)
+            .unwrap();
+        assert_eq!(d.records[0].text, "a\tb\tc");
+    }
+
+    #[test]
+    fn reports_bad_lines() {
+        let tsv = "0\t0\t1\tok\nnot-a-number\t0\t1\tbad\n";
+        let err = parse_tsv("t", std::io::Cursor::new(tsv), SourcePolicy::WithinSingleSource)
+            .unwrap_err();
+        match err {
+            LoadError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn rejects_sparse_ids() {
+        let tsv = "0\t0\t1\ta\n5\t0\t1\tb\n";
+        assert!(parse_tsv("t", std::io::Cursor::new(tsv), SourcePolicy::WithinSingleSource)
+            .is_err());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let d = generate(&RestaurantConfig {
+            records: 10,
+            duplicate_pairs: 2,
+            seed: 4,
+        });
+        let path = std::env::temp_dir().join("er_datasets_loader_test.tsv");
+        save_tsv(&d, &path).unwrap();
+        let loaded = load_tsv(&path, SourcePolicy::WithinSingleSource).unwrap();
+        assert_eq!(loaded.records, d.records);
+        let _ = std::fs::remove_file(path);
+    }
+}

@@ -1,0 +1,79 @@
+//! Property tests for the dataset generators: structural invariants that
+//! must hold at any scale and seed.
+
+use er_datasets::generators::{paper, product, restaurant};
+use er_datasets::{PaperConfig, ProductConfig, RestaurantConfig, SourcePolicy};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn restaurant_counts_hold(records in 20usize..200, dup_fraction in 0.05f64..0.4, seed in 0u64..1_000) {
+        let duplicate_pairs = ((records as f64 * dup_fraction) as usize / 2).max(1);
+        let cfg = RestaurantConfig { records, duplicate_pairs, seed };
+        let d = restaurant::generate(&cfg);
+        prop_assert_eq!(d.len(), records);
+        prop_assert_eq!(d.matching_pairs().len(), duplicate_pairs);
+        prop_assert_eq!(d.policy, SourcePolicy::WithinSingleSource);
+        // Ids dense, entities consistent.
+        for (i, r) in d.records.iter().enumerate() {
+            prop_assert_eq!(r.id as usize, i);
+            prop_assert!(!r.text.is_empty());
+        }
+        // No cluster exceeds 2 records.
+        prop_assert!(d.entity_clusters().iter().all(|c| c.len() <= 2));
+    }
+
+    #[test]
+    fn product_counts_hold(abt in 10usize..120, extra in 0usize..20, seed in 0u64..1_000) {
+        let cfg = ProductConfig {
+            abt_records: abt,
+            buy_records: abt + extra,
+            seed,
+            ..Default::default()
+        };
+        let d = product::generate(&cfg);
+        prop_assert_eq!(d.len(), 2 * abt + extra);
+        prop_assert_eq!(d.matching_pairs().len(), abt + extra);
+        // Sources partition correctly and all matches are cross-source.
+        let abt_count = d.records.iter().filter(|r| r.source == 0).count();
+        prop_assert_eq!(abt_count, abt);
+        for (a, b) in d.matching_pairs() {
+            prop_assert!(d.records[a as usize].source != d.records[b as usize].source);
+            prop_assert_eq!(d.records[a as usize].entity, d.records[b as usize].entity);
+        }
+    }
+
+    #[test]
+    fn paper_counts_hold(scale in 0.08f64..0.6, seed in 0u64..1_000) {
+        let cfg = PaperConfig { seed, ..PaperConfig::default().scaled(scale) };
+        let d = paper::generate(&cfg);
+        prop_assert_eq!(d.len(), cfg.records);
+        let clusters = d.entity_clusters();
+        let largest = clusters.iter().map(Vec::len).max().unwrap();
+        prop_assert!(largest >= cfg.largest_cluster * 9 / 10,
+            "largest cluster {} far below configured {}", largest, cfg.largest_cluster);
+        // Records of one entity share the entity id transitively.
+        let total: usize = clusters.iter().map(Vec::len).sum();
+        prop_assert_eq!(total, d.len());
+    }
+
+    #[test]
+    fn generators_are_deterministic(seed in 0u64..500) {
+        let r1 = restaurant::generate(&RestaurantConfig { records: 60, duplicate_pairs: 8, seed });
+        let r2 = restaurant::generate(&RestaurantConfig { records: 60, duplicate_pairs: 8, seed });
+        prop_assert_eq!(r1.records, r2.records);
+        let p1 = paper::generate(&PaperConfig { records: 80, largest_cluster: 12, clusters_of_3_plus: 4, seed });
+        let p2 = paper::generate(&PaperConfig { records: 80, largest_cluster: 12, clusters_of_3_plus: 4, seed });
+        prop_assert_eq!(p1.records, p2.records);
+    }
+
+    #[test]
+    fn cluster_sizes_sum(scale in 0.05f64..1.0) {
+        let cfg = PaperConfig::default().scaled(scale);
+        let sizes = paper::cluster_sizes(&cfg);
+        prop_assert_eq!(sizes.iter().sum::<usize>(), cfg.records);
+        prop_assert!(sizes.iter().all(|&s| s >= 1));
+    }
+}

@@ -1,0 +1,75 @@
+//! Conversions between entity clusters and match-pair sets.
+
+use crate::confusion::ConfusionCounts;
+use crate::pair_eval::TruthPairs;
+
+/// Enumerates every within-cluster pair `(a, b)` with `a < b`.
+pub fn clusters_to_pairs(clusters: &[Vec<u32>]) -> Vec<(u32, u32)> {
+    let mut pairs = Vec::new();
+    for cluster in clusters {
+        for (i, &a) in cluster.iter().enumerate() {
+            for &b in &cluster[i + 1..] {
+                pairs.push(if a < b { (a, b) } else { (b, a) });
+            }
+        }
+    }
+    pairs
+}
+
+/// Pairwise confusion counts of predicted clusters against truth clusters
+/// (the standard pairwise-F1 clustering measure used by the Paper/Cora
+/// benchmark, where entities have up to 192 records).
+pub fn pairwise_f1_of_clusters(predicted: &[Vec<u32>], truth: &[Vec<u32>]) -> ConfusionCounts {
+    let truth_pairs = TruthPairs::from_clusters(truth);
+    crate::pair_eval::evaluate_pairs(clusters_to_pairs(predicted), &truth_pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_enumeration() {
+        let pairs = clusters_to_pairs(&[vec![3, 1, 2], vec![9], vec![4, 5]]);
+        let mut sorted = pairs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![(1, 2), (1, 3), (2, 3), (4, 5)]);
+    }
+
+    #[test]
+    fn identical_clusterings_score_one() {
+        let clusters = vec![vec![0, 1, 2], vec![3, 4]];
+        let c = pairwise_f1_of_clusters(&clusters, &clusters);
+        assert_eq!(c.f1(), 1.0);
+    }
+
+    #[test]
+    fn over_merged_clustering_loses_precision() {
+        let truth = vec![vec![0, 1], vec![2, 3]];
+        let predicted = vec![vec![0, 1, 2, 3]];
+        let c = pairwise_f1_of_clusters(&predicted, &truth);
+        assert_eq!(c.tp, 2);
+        assert_eq!(c.fp, 4);
+        assert_eq!(c.fn_, 0);
+        assert_eq!(c.recall(), 1.0);
+        assert!(c.precision() < 0.5);
+    }
+
+    #[test]
+    fn over_split_clustering_loses_recall() {
+        let truth = vec![vec![0, 1, 2]];
+        let predicted = vec![vec![0, 1], vec![2]];
+        let c = pairwise_f1_of_clusters(&predicted, &truth);
+        assert_eq!(c.tp, 1);
+        assert_eq!(c.fp, 0);
+        assert_eq!(c.fn_, 2);
+        assert_eq!(c.precision(), 1.0);
+    }
+
+    #[test]
+    fn singletons_produce_no_pairs() {
+        assert!(clusters_to_pairs(&[vec![1], vec![2]]).is_empty());
+        let c = pairwise_f1_of_clusters(&[vec![1], vec![2]], &[vec![1], vec![2]]);
+        assert_eq!(c, ConfusionCounts::default());
+    }
+}

@@ -1,0 +1,86 @@
+//! Pairwise confusion counts and the derived P/R/F1 measures.
+
+/// True/false positive and false negative counts for a pairwise matching
+/// decision. True negatives are never needed by P/R/F1 and would be
+/// enormous (all non-matching record pairs), so they are not tracked.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConfusionCounts {
+    /// Predicted matches that are true matches.
+    pub tp: usize,
+    /// Predicted matches that are not true matches.
+    pub fp: usize,
+    /// True matches that were not predicted.
+    pub fn_: usize,
+}
+
+impl ConfusionCounts {
+    /// Creates counts directly.
+    pub fn new(tp: usize, fp: usize, fn_: usize) -> Self {
+        Self { tp, fp, fn_ }
+    }
+
+    /// Precision `tp / (tp + fp)`; 0 when nothing was predicted.
+    pub fn precision(&self) -> f64 {
+        if self.tp + self.fp == 0 {
+            0.0
+        } else {
+            self.tp as f64 / (self.tp + self.fp) as f64
+        }
+    }
+
+    /// Recall `tp / (tp + fn)`; 0 when there are no true matches.
+    pub fn recall(&self) -> f64 {
+        if self.tp + self.fn_ == 0 {
+            0.0
+        } else {
+            self.tp as f64 / (self.tp + self.fn_) as f64
+        }
+    }
+
+    /// F1 — the harmonic mean of precision and recall; 0 when either is 0.
+    pub fn f1(&self) -> f64 {
+        let (p, r) = (self.precision(), self.recall());
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction() {
+        let c = ConfusionCounts::new(10, 0, 0);
+        assert_eq!(c.precision(), 1.0);
+        assert_eq!(c.recall(), 1.0);
+        assert_eq!(c.f1(), 1.0);
+    }
+
+    #[test]
+    fn known_values() {
+        let c = ConfusionCounts::new(8, 2, 4);
+        assert!((c.precision() - 0.8).abs() < 1e-12);
+        assert!((c.recall() - 8.0 / 12.0).abs() < 1e-12);
+        let f1 = 2.0 * 0.8 * (8.0 / 12.0) / (0.8 + 8.0 / 12.0);
+        assert!((c.f1() - f1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        assert_eq!(ConfusionCounts::new(0, 0, 0).f1(), 0.0);
+        assert_eq!(ConfusionCounts::new(0, 5, 0).precision(), 0.0);
+        assert_eq!(ConfusionCounts::new(0, 0, 5).recall(), 0.0);
+        assert_eq!(ConfusionCounts::new(0, 5, 5).f1(), 0.0);
+    }
+
+    #[test]
+    fn f1_between_precision_and_recall() {
+        let c = ConfusionCounts::new(6, 3, 1);
+        let (p, r, f) = (c.precision(), c.recall(), c.f1());
+        assert!(f >= p.min(r) && f <= p.max(r));
+    }
+}

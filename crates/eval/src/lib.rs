@@ -1,0 +1,35 @@
+//! # er-eval
+//!
+//! Evaluation harness for entity resolution:
+//!
+//! * [`confusion`] — pairwise precision / recall / F1 counts.
+//! * [`pair_eval`] — scoring a predicted match set against ground truth.
+//! * [`threshold`] — the paper's optimal-threshold protocol (§VII-C):
+//!   quantize `[0, max score]` into 1 000 discrete values and pick the
+//!   threshold with the highest F1, an upper bound on hand tuning.
+//! * [`spearman`] — Spearman's rank correlation coefficient (Table IV),
+//!   with average ranks for ties.
+//! * [`term_score`] — the `score(t)` discriminativeness criterion of
+//!   §VII-E (fraction of a term's incident record pairs that match).
+//! * [`cluster`] — converting entity clusters to match pairs and back.
+//! * [`closure`] — transitive-closure (clustering) evaluation: pairwise
+//!   F1 over the clusters induced by the predicted matches, plus an
+//!   incremental closure-aware threshold sweep.
+
+pub mod closure;
+pub mod cluster;
+pub mod confusion;
+pub mod pair_eval;
+pub mod pr_curve;
+pub mod spearman;
+pub mod term_score;
+pub mod threshold;
+
+pub use closure::{evaluate_closure, sweep_threshold_closure, ClosureSweepResult, EntityLabels};
+pub use cluster::{clusters_to_pairs, pairwise_f1_of_clusters};
+pub use confusion::ConfusionCounts;
+pub use pair_eval::{evaluate_pairs, TruthPairs};
+pub use pr_curve::{average_precision, pr_curve, PrPoint};
+pub use spearman::spearman_rho;
+pub use term_score::{term_discriminativeness, term_score_series};
+pub use threshold::{sweep_threshold, ScoredPair, SweepResult};

@@ -1,0 +1,128 @@
+//! Evaluating a predicted pair set against ground truth.
+
+use std::collections::HashSet;
+
+use crate::confusion::ConfusionCounts;
+
+/// The set of ground-truth matching pairs.
+///
+/// Stored as normalized `(min, max)` record-id pairs. `total` equals the
+/// number of true matching pairs in the *whole* dataset, so recall charges
+/// the matcher for true pairs it never even scored (e.g. pairs sharing no
+/// term, which the bipartite graph excludes by construction).
+#[derive(Debug, Clone)]
+pub struct TruthPairs {
+    set: HashSet<(u32, u32)>,
+}
+
+impl TruthPairs {
+    /// Builds from an iterator of record-id pairs (order-insensitive).
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (u32, u32)>) -> Self {
+        let set = pairs
+            .into_iter()
+            .map(|(a, b)| {
+                assert!(a != b, "a record does not match itself");
+                if a < b {
+                    (a, b)
+                } else {
+                    (b, a)
+                }
+            })
+            .collect();
+        Self { set }
+    }
+
+    /// Builds from entity clusters: every within-cluster pair is a match.
+    pub fn from_clusters(clusters: &[Vec<u32>]) -> Self {
+        Self::from_pairs(crate::cluster::clusters_to_pairs(clusters))
+    }
+
+    /// Number of true matching pairs.
+    pub fn total(&self) -> usize {
+        self.set.len()
+    }
+
+    /// True when `(a, b)` is a ground-truth match.
+    pub fn is_match(&self, a: u32, b: u32) -> bool {
+        let key = if a < b { (a, b) } else { (b, a) };
+        self.set.contains(&key)
+    }
+
+    /// Iterates the true pairs (normalized order).
+    pub fn iter(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.set.iter().copied()
+    }
+}
+
+/// Scores `predicted` pairs against the truth. Duplicate predictions (in
+/// either order) are counted once.
+pub fn evaluate_pairs(
+    predicted: impl IntoIterator<Item = (u32, u32)>,
+    truth: &TruthPairs,
+) -> ConfusionCounts {
+    let mut seen: HashSet<(u32, u32)> = HashSet::new();
+    let mut tp = 0usize;
+    let mut fp = 0usize;
+    for (a, b) in predicted {
+        let key = if a < b { (a, b) } else { (b, a) };
+        if !seen.insert(key) {
+            continue;
+        }
+        if truth.is_match(a, b) {
+            tp += 1;
+        } else {
+            fp += 1;
+        }
+    }
+    ConfusionCounts::new(tp, fp, truth.total() - tp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn truth() -> TruthPairs {
+        TruthPairs::from_pairs([(0, 1), (2, 3), (4, 5)])
+    }
+
+    #[test]
+    fn counts_tp_fp_fn() {
+        let c = evaluate_pairs([(1, 0), (2, 3), (0, 2)], &truth());
+        assert_eq!(c, ConfusionCounts::new(2, 1, 1));
+    }
+
+    #[test]
+    fn duplicates_counted_once() {
+        let c = evaluate_pairs([(0, 1), (1, 0), (0, 1)], &truth());
+        assert_eq!(c, ConfusionCounts::new(1, 0, 2));
+    }
+
+    #[test]
+    fn empty_prediction_full_fn() {
+        let c = evaluate_pairs(std::iter::empty(), &truth());
+        assert_eq!(c, ConfusionCounts::new(0, 0, 3));
+        assert_eq!(c.f1(), 0.0);
+    }
+
+    #[test]
+    fn from_clusters_enumerates_within_cluster_pairs() {
+        let t = TruthPairs::from_clusters(&[vec![1, 2, 3], vec![7, 8]]);
+        assert_eq!(t.total(), 4); // 3 choose 2 + 1
+        assert!(t.is_match(3, 1));
+        assert!(t.is_match(8, 7));
+        assert!(!t.is_match(1, 7));
+    }
+
+    #[test]
+    fn order_insensitive() {
+        let t = TruthPairs::from_pairs([(5, 2)]);
+        assert!(t.is_match(2, 5));
+        assert!(t.is_match(5, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "itself")]
+    fn self_pair_rejected() {
+        TruthPairs::from_pairs([(3, 3)]);
+    }
+}

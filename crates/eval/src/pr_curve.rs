@@ -1,0 +1,147 @@
+//! Precision–recall curves and average precision.
+//!
+//! The optimal-threshold sweep reports a single operating point; the
+//! full PR curve characterizes a scorer across all of them — useful for
+//! comparing matchers whose best F1 happens at very different recall
+//! levels (e.g. CliqueRank's near-1 probabilities vs Jaccard's smooth
+//! spectrum).
+
+use crate::pair_eval::TruthPairs;
+use crate::threshold::ScoredPair;
+
+/// One point of a precision–recall curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrPoint {
+    /// Score threshold inducing this point (pairs ≥ threshold predicted).
+    pub threshold: f64,
+    /// Precision at the threshold.
+    pub precision: f64,
+    /// Recall at the threshold.
+    pub recall: f64,
+}
+
+/// Computes the PR curve of scored pairs against the truth: one point per
+/// distinct score, descending (recall non-decreasing along the result).
+pub fn pr_curve(pairs: &[ScoredPair], truth: &TruthPairs) -> Vec<PrPoint> {
+    let mut scored: Vec<(f64, bool)> = pairs
+        .iter()
+        .map(|p| {
+            assert!(p.score.is_finite(), "non-finite score");
+            (p.score, truth.is_match(p.a, p.b))
+        })
+        .collect();
+    scored.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite scores"));
+    let total_true = truth.total();
+    let mut curve = Vec::new();
+    let mut tp = 0usize;
+    let mut taken = 0usize;
+    let mut i = 0;
+    while i < scored.len() {
+        // Consume the whole tie group at this score.
+        let score = scored[i].0;
+        while i < scored.len() && scored[i].0 == score {
+            tp += usize::from(scored[i].1);
+            taken += 1;
+            i += 1;
+        }
+        if total_true > 0 {
+            curve.push(PrPoint {
+                threshold: score,
+                precision: tp as f64 / taken as f64,
+                recall: tp as f64 / total_true as f64,
+            });
+        }
+    }
+    curve
+}
+
+/// Average precision: the area under the PR curve computed as
+/// `Σ (R_k − R_{k−1}) · P_k` over the curve points — the standard
+/// rank-based AP.
+pub fn average_precision(pairs: &[ScoredPair], truth: &TruthPairs) -> f64 {
+    let curve = pr_curve(pairs, truth);
+    let mut ap = 0.0;
+    let mut prev_recall = 0.0;
+    for point in &curve {
+        ap += (point.recall - prev_recall) * point.precision;
+        prev_recall = point.recall;
+    }
+    ap
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair(a: u32, b: u32, score: f64) -> ScoredPair {
+        ScoredPair { a, b, score }
+    }
+
+    fn truth() -> TruthPairs {
+        TruthPairs::from_pairs([(0, 1), (2, 3)])
+    }
+
+    #[test]
+    fn perfect_ranking_has_ap_one() {
+        let pairs = vec![
+            pair(0, 1, 0.9),
+            pair(2, 3, 0.8),
+            pair(4, 5, 0.2),
+            pair(6, 7, 0.1),
+        ];
+        assert!((average_precision(&pairs, &truth()) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverted_ranking_has_low_ap() {
+        let pairs = vec![
+            pair(4, 5, 0.9),
+            pair(6, 7, 0.8),
+            pair(0, 1, 0.2),
+            pair(2, 3, 0.1),
+        ];
+        let ap = average_precision(&pairs, &truth());
+        assert!(ap < 0.5, "{ap}");
+    }
+
+    #[test]
+    fn curve_recall_is_non_decreasing() {
+        let pairs = vec![
+            pair(0, 1, 0.9),
+            pair(4, 5, 0.7),
+            pair(2, 3, 0.5),
+            pair(6, 7, 0.3),
+        ];
+        let curve = pr_curve(&pairs, &truth());
+        for w in curve.windows(2) {
+            assert!(w[1].recall >= w[0].recall);
+            assert!(w[1].threshold < w[0].threshold);
+        }
+        let last = curve.last().unwrap();
+        assert!((last.recall - 1.0).abs() < 1e-12, "all pairs scored");
+    }
+
+    #[test]
+    fn ties_are_grouped() {
+        let pairs = vec![pair(0, 1, 0.5), pair(4, 5, 0.5), pair(2, 3, 0.5)];
+        let curve = pr_curve(&pairs, &truth());
+        assert_eq!(curve.len(), 1);
+        assert!((curve[0].precision - 2.0 / 3.0).abs() < 1e-12);
+        assert!((curve[0].recall - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unscored_true_pairs_cap_recall() {
+        let pairs = vec![pair(0, 1, 0.9)];
+        let curve = pr_curve(&pairs, &truth());
+        assert!((curve.last().unwrap().recall - 0.5).abs() < 1e-12);
+        let ap = average_precision(&pairs, &truth());
+        assert!((ap - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(pr_curve(&[], &truth()).is_empty());
+        assert_eq!(average_precision(&[], &truth()), 0.0);
+    }
+}

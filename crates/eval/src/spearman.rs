@@ -1,0 +1,118 @@
+//! Spearman's rank correlation coefficient (Table IV).
+//!
+//! The paper assesses ITER's learned term weights by the rank correlation
+//! between the weight ordering and the `score(t)` ordering:
+//! `r_s = 1 − 6 Σ d² / (n (n² − 1))`. That formula assumes distinct ranks;
+//! real weight lists have ties (many terms share `score(t) = 1`), so we
+//! compute the equivalent general form — Pearson correlation of average
+//! ranks — which reduces to the paper's formula when no ties exist.
+
+/// Spearman's ρ between two equally long samples. Returns 0 for samples
+/// shorter than 2 or with zero rank variance (all values tied).
+pub fn spearman_rho(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "samples must be parallel");
+    let n = x.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let rx = average_ranks(x);
+    let ry = average_ranks(y);
+    pearson(&rx, &ry)
+}
+
+/// Average (fractional) ranks: ties receive the mean of the ranks they
+/// span. Ranks are 1-based.
+fn average_ranks(values: &[f64]) -> Vec<f64> {
+    let n = values.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).expect("finite values"));
+    let mut ranks = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && values[idx[j + 1]] == values[idx[i]] {
+            j += 1;
+        }
+        // Positions i..=j (0-based) share the average of ranks i+1..=j+1.
+        let avg = (i + 1 + j + 1) as f64 / 2.0;
+        for &k in &idx[i..=j] {
+            ranks[k] = avg;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+fn pearson(x: &[f64], y: &[f64]) -> f64 {
+    let n = x.len() as f64;
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / n;
+    let (mx, my) = (mean(x), mean(y));
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (&a, &b) in x.iter().zip(y) {
+        cov += (a - mx) * (b - my);
+        vx += (a - mx) * (a - mx);
+        vy += (b - my) * (b - my);
+    }
+    if vx == 0.0 || vy == 0.0 {
+        return 0.0;
+    }
+    cov / (vx * vy).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_monotone_agreement() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [10.0, 20.0, 30.0, 40.0];
+        assert!((spearman_rho(&x, &y) - 1.0).abs() < 1e-12);
+        // Monotone but non-linear still gives 1.
+        let y2 = [1.0, 8.0, 27.0, 64.0];
+        assert!((spearman_rho(&x, &y2) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_reversal() {
+        let x = [1.0, 2.0, 3.0];
+        let y = [3.0, 2.0, 1.0];
+        assert!((spearman_rho(&x, &y) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matches_textbook_formula_without_ties() {
+        // d = rank differences: classic example.
+        let x = [86.0, 97.0, 99.0, 100.0, 101.0, 103.0, 106.0, 110.0, 112.0, 113.0];
+        let y = [0.0, 20.0, 28.0, 27.0, 50.0, 29.0, 7.0, 17.0, 6.0, 12.0];
+        let rho = spearman_rho(&x, &y);
+        assert!((rho - (-0.1757575)).abs() < 1e-4, "{rho}");
+    }
+
+    #[test]
+    fn ties_use_average_ranks() {
+        let r = average_ranks(&[1.0, 2.0, 2.0, 3.0]);
+        assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+    }
+
+    #[test]
+    fn constant_sample_gives_zero() {
+        assert_eq!(spearman_rho(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn short_samples_give_zero() {
+        assert_eq!(spearman_rho(&[], &[]), 0.0);
+        assert_eq!(spearman_rho(&[1.0], &[2.0]), 0.0);
+    }
+
+    #[test]
+    fn independent_of_scale_and_shift() {
+        let x = [3.0, 1.0, 4.0, 1.5, 5.0];
+        let y = [2.0, 7.0, 1.0, 8.0, 2.5];
+        let y_scaled: Vec<f64> = y.iter().map(|v| v * 100.0 + 5.0).collect();
+        assert!((spearman_rho(&x, &y) - spearman_rho(&x, &y_scaled)).abs() < 1e-12);
+    }
+}

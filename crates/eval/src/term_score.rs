@@ -1,0 +1,103 @@
+//! The `score(t)` discriminativeness criterion of §VII-E.
+//!
+//! `score(t) = ( Σ_{t ∈ ri ∧ t ∈ rj} I(ri, rj) ) / P_t` — the fraction of
+//! the record pairs connected to term `t` in the bipartite graph that
+//! refer to the same entity. A perfectly discriminative term (product
+//! model, phone number) scores 1; a common term shared by many entities
+//! scores near 0. Figure 4 plots this value against the rank of the
+//! learned weight; Table IV reports the Spearman correlation between the
+//! two orderings.
+
+/// `score(t)` for one term given the record pairs incident to it.
+/// Returns `None` when the term has no incident pairs (`P_t = 0`).
+pub fn term_discriminativeness(
+    pairs: &[(u32, u32)],
+    is_match: impl Fn(u32, u32) -> bool,
+) -> Option<f64> {
+    if pairs.is_empty() {
+        return None;
+    }
+    let matching = pairs.iter().filter(|&&(a, b)| is_match(a, b)).count();
+    Some(matching as f64 / pairs.len() as f64)
+}
+
+/// Builds the Figure-4 series: terms sorted by **descending learned
+/// weight**, each paired with its `score(t)`.
+///
+/// * `weights[i]` — the learned weight of term `i` (e.g. ITER's `x_t`).
+/// * `scores[i]` — `score(t)` for term `i`, `None` when `P_t = 0` (such
+///   terms are skipped, matching the paper which only plots terms that
+///   appear in the bipartite graph).
+///
+/// Returns `(rank, score)` pairs with rank starting at 1.
+pub fn term_score_series(weights: &[f64], scores: &[Option<f64>]) -> Vec<(usize, f64)> {
+    assert_eq!(weights.len(), scores.len(), "weights and scores must be parallel");
+    let mut terms: Vec<(f64, f64)> = weights
+        .iter()
+        .zip(scores)
+        .filter_map(|(&w, s)| s.map(|sc| (w, sc)))
+        .collect();
+    terms.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite weights"));
+    terms
+        .into_iter()
+        .enumerate()
+        .map(|(i, (_, sc))| (i + 1, sc))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_matching_scores_one() {
+        let s = term_discriminativeness(&[(0, 1), (2, 3)], |_, _| true);
+        assert_eq!(s, Some(1.0));
+    }
+
+    #[test]
+    fn no_matching_scores_zero() {
+        let s = term_discriminativeness(&[(0, 1)], |_, _| false);
+        assert_eq!(s, Some(0.0));
+    }
+
+    #[test]
+    fn partial_fraction() {
+        let s = term_discriminativeness(&[(0, 1), (0, 2), (1, 2), (3, 4)], |a, b| {
+            (a, b) == (0, 1) || (a, b) == (3, 4)
+        });
+        assert_eq!(s, Some(0.5));
+    }
+
+    #[test]
+    fn empty_pairs_is_none() {
+        assert_eq!(term_discriminativeness(&[], |_, _| true), None);
+    }
+
+    #[test]
+    fn series_sorted_by_descending_weight() {
+        let weights = [0.1, 0.9, 0.5];
+        let scores = [Some(0.0), Some(1.0), Some(0.5)];
+        let series = term_score_series(&weights, &scores);
+        assert_eq!(series, vec![(1, 1.0), (2, 0.5), (3, 0.0)]);
+    }
+
+    #[test]
+    fn series_skips_unscored_terms() {
+        let weights = [0.9, 0.8, 0.7];
+        let scores = [Some(1.0), None, Some(0.2)];
+        let series = term_score_series(&weights, &scores);
+        assert_eq!(series, vec![(1, 1.0), (2, 0.2)]);
+    }
+
+    #[test]
+    fn ideal_learner_yields_decreasing_series() {
+        // If the learned weight equals score(t), the series is sorted desc.
+        let scores: Vec<Option<f64>> = (0..10).map(|i| Some(1.0 - i as f64 / 10.0)).collect();
+        let weights: Vec<f64> = scores.iter().map(|s| s.unwrap()).collect();
+        let series = term_score_series(&weights, &scores);
+        for w in series.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+}

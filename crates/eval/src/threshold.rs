@@ -1,0 +1,162 @@
+//! The paper's optimal-threshold protocol (§VII-C).
+//!
+//! *"Our strategy is to quantize the domain `[0, max s(ri,rj)]` into 1000
+//! discrete values and automatically select the threshold with the highest
+//! F1-measure by computer programming, which is an upper bound of manually
+//! tuned parameters."*
+//!
+//! The sweep sorts pairs by score once and evaluates all 1 000 candidate
+//! thresholds with prefix sums: `O(P log P + Q)` for `P` scored pairs and
+//! `Q` quanta.
+
+use crate::confusion::ConfusionCounts;
+use crate::pair_eval::TruthPairs;
+
+/// A candidate pair with its matcher score.
+#[derive(Debug, Clone, Copy)]
+pub struct ScoredPair {
+    /// One record of the pair.
+    pub a: u32,
+    /// The other record.
+    pub b: u32,
+    /// Matcher similarity score (need not be normalized).
+    pub score: f64,
+}
+
+/// Outcome of a threshold sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepResult {
+    /// The threshold achieving the best F1. Pairs with `score >= threshold`
+    /// are predicted matches.
+    pub threshold: f64,
+    /// Confusion counts at that threshold.
+    pub counts: ConfusionCounts,
+    /// Best F1 (redundant with `counts.f1()`, kept for convenience).
+    pub f1: f64,
+}
+
+/// Sweeps `quanta` equally spaced thresholds over `[0, max score]` and
+/// returns the best-F1 operating point.
+///
+/// Unscored true pairs count as false negatives at every threshold. Pairs
+/// with non-finite scores are rejected.
+pub fn sweep_threshold(pairs: &[ScoredPair], truth: &TruthPairs, quanta: usize) -> SweepResult {
+    assert!(quanta >= 1, "need at least one quantum");
+    let mut scored: Vec<(f64, bool)> = pairs
+        .iter()
+        .map(|p| {
+            assert!(p.score.is_finite(), "non-finite score for pair ({}, {})", p.a, p.b);
+            (p.score, truth.is_match(p.a, p.b))
+        })
+        .collect();
+    // Sort descending by score.
+    scored.sort_by(|x, y| y.0.partial_cmp(&x.0).expect("finite scores"));
+    let max_score = scored.first().map_or(0.0, |&(s, _)| s.max(0.0));
+    // Prefix counts: taking the top-k pairs yields tp_prefix[k] true
+    // positives.
+    let mut tp_prefix = Vec::with_capacity(scored.len() + 1);
+    tp_prefix.push(0usize);
+    for &(_, is_match) in &scored {
+        tp_prefix.push(tp_prefix.last().unwrap() + usize::from(is_match));
+    }
+    let total_true = truth.total();
+
+    let mut best = SweepResult {
+        threshold: f64::INFINITY,
+        counts: ConfusionCounts::new(0, 0, total_true),
+        f1: 0.0,
+    };
+    for q in 0..=quanta {
+        let threshold = max_score * q as f64 / quanta as f64;
+        // Number of pairs with score >= threshold: binary search on the
+        // descending-sorted list for the first index with score < t.
+        let k = scored.partition_point(|&(s, _)| s >= threshold);
+        let tp = tp_prefix[k];
+        let counts = ConfusionCounts::new(tp, k - tp, total_true - tp);
+        let f1 = counts.f1();
+        if f1 > best.f1 {
+            best = SweepResult {
+                threshold,
+                counts,
+                f1,
+            };
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair(a: u32, b: u32, score: f64) -> ScoredPair {
+        ScoredPair { a, b, score }
+    }
+
+    #[test]
+    fn separable_scores_reach_perfect_f1() {
+        let truth = TruthPairs::from_pairs([(0, 1), (2, 3)]);
+        let pairs = vec![
+            pair(0, 1, 0.9),
+            pair(2, 3, 0.8),
+            pair(0, 2, 0.2),
+            pair(1, 3, 0.1),
+        ];
+        let r = sweep_threshold(&pairs, &truth, 1000);
+        assert_eq!(r.f1, 1.0);
+        assert!(r.threshold > 0.2 && r.threshold <= 0.8, "{}", r.threshold);
+    }
+
+    #[test]
+    fn overlapping_scores_trade_off() {
+        // One false pair scores above one true pair: perfect F1 impossible.
+        let truth = TruthPairs::from_pairs([(0, 1), (2, 3)]);
+        let pairs = vec![pair(0, 1, 0.9), pair(4, 5, 0.8), pair(2, 3, 0.7)];
+        let r = sweep_threshold(&pairs, &truth, 1000);
+        // Best: take all three (P=2/3, R=1) → F1 = 0.8.
+        assert!((r.f1 - 0.8).abs() < 1e-9, "{}", r.f1);
+    }
+
+    #[test]
+    fn unscored_true_pairs_hurt_recall() {
+        let truth = TruthPairs::from_pairs([(0, 1), (8, 9)]);
+        let pairs = vec![pair(0, 1, 1.0)];
+        let r = sweep_threshold(&pairs, &truth, 100);
+        assert_eq!(r.counts.fn_, 1);
+        assert!((r.f1 - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let truth = TruthPairs::from_pairs([(0, 1)]);
+        let r = sweep_threshold(&[], &truth, 10);
+        assert_eq!(r.f1, 0.0);
+        let no_truth = TruthPairs::from_pairs(std::iter::empty::<(u32, u32)>());
+        let r = sweep_threshold(&[pair(0, 1, 0.5)], &no_truth, 10);
+        assert_eq!(r.f1, 0.0);
+    }
+
+    #[test]
+    fn all_equal_scores() {
+        let truth = TruthPairs::from_pairs([(0, 1)]);
+        let pairs = vec![pair(0, 1, 0.5), pair(2, 3, 0.5)];
+        let r = sweep_threshold(&pairs, &truth, 10);
+        // Only option: take both → P=0.5, R=1 → F1 = 2/3.
+        assert!((r.f1 - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn more_quanta_never_worse() {
+        let truth = TruthPairs::from_pairs([(0, 1), (2, 3), (4, 5)]);
+        let pairs = vec![
+            pair(0, 1, 0.91),
+            pair(2, 3, 0.52),
+            pair(4, 5, 0.13),
+            pair(0, 3, 0.50),
+            pair(1, 4, 0.12),
+        ];
+        let coarse = sweep_threshold(&pairs, &truth, 10);
+        let fine = sweep_threshold(&pairs, &truth, 1000);
+        assert!(fine.f1 >= coarse.f1 - 1e-12);
+    }
+}

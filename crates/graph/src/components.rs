@@ -1,0 +1,122 @@
+//! Connected components of a [`CsrGraph`].
+//!
+//! CliqueRank's matrix recurrence is block-diagonal under a component
+//! permutation of `Gr` — a random walk can never leave the component it
+//! starts in — so the framework decomposes `Gr` into components and runs
+//! the dense matrix iteration per block. This is an exact optimization,
+//! not an approximation (documented in DESIGN.md §3.3).
+
+use crate::csr::CsrGraph;
+
+/// Component labelling of a graph's nodes.
+#[derive(Debug, Clone)]
+pub struct ComponentLabels {
+    /// `label[u]` is the component id of node `u` (ids are dense, 0-based,
+    /// assigned in order of the smallest node in each component).
+    pub label: Vec<u32>,
+    /// Members of each component, sorted ascending.
+    pub members: Vec<Vec<u32>>,
+}
+
+impl ComponentLabels {
+    /// Number of components.
+    pub fn count(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Size of the largest component (0 for an empty graph).
+    pub fn largest(&self) -> usize {
+        self.members.iter().map(Vec::len).max().unwrap_or(0)
+    }
+}
+
+/// Computes connected components with an iterative BFS (no recursion, so
+/// arbitrarily large components are safe).
+pub fn components(graph: &CsrGraph) -> ComponentLabels {
+    let n = graph.node_count();
+    const UNVISITED: u32 = u32::MAX;
+    let mut label = vec![UNVISITED; n];
+    let mut members: Vec<Vec<u32>> = Vec::new();
+    let mut queue: Vec<u32> = Vec::new();
+    for start in 0..n as u32 {
+        if label[start as usize] != UNVISITED {
+            continue;
+        }
+        let comp_id = members.len() as u32;
+        let mut comp = vec![start];
+        label[start as usize] = comp_id;
+        queue.clear();
+        queue.push(start);
+        while let Some(u) = queue.pop() {
+            for &v in graph.neighbors(u) {
+                if label[v as usize] == UNVISITED {
+                    label[v as usize] = comp_id;
+                    comp.push(v);
+                    queue.push(v);
+                }
+            }
+        }
+        comp.sort_unstable();
+        members.push(comp);
+    }
+    ComponentLabels { label, members }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_components_and_isolate() {
+        // {0,1,2} triangle, {3,4} edge, {5} isolated
+        let g = CsrGraph::from_undirected_edges(
+            6,
+            &[(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.0), (3, 4, 1.0)],
+        );
+        let c = components(&g);
+        assert_eq!(c.count(), 3);
+        assert_eq!(c.members[0], vec![0, 1, 2]);
+        assert_eq!(c.members[1], vec![3, 4]);
+        assert_eq!(c.members[2], vec![5]);
+        assert_eq!(c.label[4], 1);
+        assert_eq!(c.largest(), 3);
+    }
+
+    #[test]
+    fn single_component_chain() {
+        let edges: Vec<(u32, u32, f64)> = (0..99).map(|i| (i, i + 1, 1.0)).collect();
+        let g = CsrGraph::from_undirected_edges(100, &edges);
+        let c = components(&g);
+        assert_eq!(c.count(), 1);
+        assert_eq!(c.members[0].len(), 100);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::from_undirected_edges(0, &[]);
+        let c = components(&g);
+        assert_eq!(c.count(), 0);
+        assert_eq!(c.largest(), 0);
+    }
+
+    #[test]
+    fn all_isolated() {
+        let g = CsrGraph::from_undirected_edges(4, &[]);
+        let c = components(&g);
+        assert_eq!(c.count(), 4);
+        assert_eq!(c.largest(), 1);
+    }
+
+    #[test]
+    fn labels_consistent_with_members() {
+        let g = CsrGraph::from_undirected_edges(7, &[(0, 6, 1.0), (2, 4, 1.0), (4, 5, 1.0)]);
+        let c = components(&g);
+        for (cid, members) in c.members.iter().enumerate() {
+            for &u in members {
+                assert_eq!(c.label[u as usize], cid as u32);
+            }
+        }
+        let total: usize = c.members.iter().map(Vec::len).sum();
+        assert_eq!(total, 7);
+    }
+}

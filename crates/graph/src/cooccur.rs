@@ -1,0 +1,110 @@
+//! Sliding-window term co-occurrence graph (§III-B).
+//!
+//! TextRank / TW-IDF build an undirected graph whose nodes are terms and
+//! whose edges connect terms co-occurring within a fixed-size sliding
+//! window over a record's token sequence. PageRank on this graph yields
+//! the term-salience weights of the TW-IDF baseline (Eq. 3–4).
+
+use std::collections::HashSet;
+
+use crate::csr::CsrGraph;
+
+/// Builds the co-occurrence graph over `n_terms` from per-record token
+/// sequences (token lists **with duplicates and in order**, as produced by
+/// `er_text::Corpus::tokens`).
+///
+/// `window` is the sliding-window size in tokens (≥ 2); TW-IDF typically
+/// uses 3–4. Edges are unweighted (weight 1.0) and deduplicated across the
+/// whole corpus, matching the TextRank construction.
+pub fn cooccurrence_graph(token_lists: &[&[u32]], n_terms: usize, window: usize) -> CsrGraph {
+    assert!(window >= 2, "window must cover at least two tokens");
+    let mut edges: HashSet<(u32, u32)> = HashSet::new();
+    for tokens in token_lists {
+        if tokens.len() < 2 {
+            continue;
+        }
+        for start in 0..tokens.len() {
+            let end = (start + window).min(tokens.len());
+            for i in start..end {
+                for j in i + 1..end {
+                    let (a, b) = (tokens[i], tokens[j]);
+                    if a == b {
+                        continue;
+                    }
+                    let key = if a < b { (a, b) } else { (b, a) };
+                    edges.insert(key);
+                }
+            }
+        }
+    }
+    let mut edge_list: Vec<(u32, u32, f64)> =
+        edges.into_iter().map(|(a, b)| (a, b, 1.0)).collect();
+    edge_list.sort_unstable_by_key(|&(a, b, _)| (a, b));
+    CsrGraph::from_undirected_edges(n_terms, &edge_list)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_two_links_adjacent_tokens() {
+        let tokens: &[u32] = &[0, 1, 2, 3];
+        let g = cooccurrence_graph(&[tokens], 4, 2);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 2));
+        assert!(g.has_edge(2, 3));
+        assert!(!g.has_edge(0, 2));
+        assert_eq!(g.edge_count(), 3);
+    }
+
+    #[test]
+    fn window_three_links_distance_two() {
+        let tokens: &[u32] = &[0, 1, 2, 3];
+        let g = cooccurrence_graph(&[tokens], 4, 3);
+        assert!(g.has_edge(0, 2));
+        assert!(g.has_edge(1, 3));
+        assert!(!g.has_edge(0, 3));
+    }
+
+    #[test]
+    fn duplicate_tokens_no_self_loop() {
+        let tokens: &[u32] = &[0, 0, 1];
+        let g = cooccurrence_graph(&[tokens], 2, 2);
+        assert_eq!(g.edge_count(), 1);
+        assert!(g.has_edge(0, 1));
+    }
+
+    #[test]
+    fn edges_deduplicated_across_records() {
+        let a: &[u32] = &[0, 1];
+        let b: &[u32] = &[1, 0];
+        let g = cooccurrence_graph(&[a, b], 2, 2);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn hub_term_has_high_degree() {
+        // Term 0 co-occurs with everything; discriminative terms 3,4 only
+        // appear together.
+        let r1: &[u32] = &[0, 1];
+        let r2: &[u32] = &[0, 2];
+        let r3: &[u32] = &[0, 3, 4];
+        let g = cooccurrence_graph(&[r1, r2, r3], 5, 3);
+        assert_eq!(g.degree(0), 4);
+        assert_eq!(g.degree(4), 2); // connected to 0 and 3
+    }
+
+    #[test]
+    fn short_records_skipped() {
+        let r: &[u32] = &[7];
+        let g = cooccurrence_graph(&[r], 8, 2);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "window")]
+    fn rejects_tiny_window() {
+        cooccurrence_graph(&[], 0, 1);
+    }
+}

@@ -1,0 +1,193 @@
+//! Compressed sparse row storage for weighted undirected graphs.
+
+/// A weighted undirected graph in CSR form.
+///
+/// Each undirected edge `{u, v}` is stored twice (once per direction).
+/// Neighbor lists are sorted by target id, enabling `O(log deg)` edge
+/// membership tests — which RSS's early-stop rule performs on every step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrGraph {
+    offsets: Vec<usize>,
+    targets: Vec<u32>,
+    weights: Vec<f64>,
+}
+
+impl CsrGraph {
+    /// Builds from an undirected edge list over nodes `0..n`.
+    ///
+    /// Edges must be distinct as unordered pairs (duplicates are debug-
+    /// asserted against); self-loops are rejected. Weights must be finite.
+    pub fn from_undirected_edges(n: usize, edges: &[(u32, u32, f64)]) -> Self {
+        let mut degree = vec![0usize; n];
+        for &(u, v, w) in edges {
+            assert!(u != v, "self-loop on node {u}");
+            assert!((u as usize) < n && (v as usize) < n, "edge ({u},{v}) out of range");
+            assert!(w.is_finite(), "non-finite weight on edge ({u},{v})");
+            degree[u as usize] += 1;
+            degree[v as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0usize);
+        for d in &degree {
+            offsets.push(offsets.last().unwrap() + d);
+        }
+        let m2 = offsets[n];
+        let mut targets = vec![0u32; m2];
+        let mut weights = vec![0f64; m2];
+        let mut cursor = offsets.clone();
+        for &(u, v, w) in edges {
+            targets[cursor[u as usize]] = v;
+            weights[cursor[u as usize]] = w;
+            cursor[u as usize] += 1;
+            targets[cursor[v as usize]] = u;
+            weights[cursor[v as usize]] = w;
+            cursor[v as usize] += 1;
+        }
+        // Sort each row by target for binary-search membership tests.
+        let mut graph = Self {
+            offsets,
+            targets,
+            weights,
+        };
+        for u in 0..n {
+            let (start, end) = (graph.offsets[u], graph.offsets[u + 1]);
+            let row: &mut [u32] = &mut graph.targets[start..end];
+            // Sort targets and weights together.
+            let mut idx: Vec<usize> = (0..row.len()).collect();
+            idx.sort_unstable_by_key(|&i| row[i]);
+            let sorted_t: Vec<u32> = idx.iter().map(|&i| row[i]).collect();
+            let sorted_w: Vec<f64> = idx.iter().map(|&i| graph.weights[start + i]).collect();
+            graph.targets[start..end].copy_from_slice(&sorted_t);
+            graph.weights[start..end].copy_from_slice(&sorted_w);
+            debug_assert!(
+                graph.targets[start..end].windows(2).all(|w| w[0] < w[1]),
+                "duplicate edge incident to node {u}"
+            );
+        }
+        graph
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.targets.len() / 2
+    }
+
+    /// Degree of node `u`.
+    pub fn degree(&self, u: u32) -> usize {
+        self.offsets[u as usize + 1] - self.offsets[u as usize]
+    }
+
+    /// Sorted neighbor ids of `u`.
+    pub fn neighbors(&self, u: u32) -> &[u32] {
+        &self.targets[self.offsets[u as usize]..self.offsets[u as usize + 1]]
+    }
+
+    /// Weights aligned with [`CsrGraph::neighbors`].
+    pub fn neighbor_weights(&self, u: u32) -> &[f64] {
+        &self.weights[self.offsets[u as usize]..self.offsets[u as usize + 1]]
+    }
+
+    /// Weight of edge `{u, v}` if present (binary search, O(log deg)).
+    pub fn edge_weight(&self, u: u32, v: u32) -> Option<f64> {
+        let row = self.neighbors(u);
+        row.binary_search(&v)
+            .ok()
+            .map(|i| self.weights[self.offsets[u as usize] + i])
+    }
+
+    /// True when `{u, v}` is an edge.
+    pub fn has_edge(&self, u: u32, v: u32) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Iterates each undirected edge once as `(u, v, w)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (u32, u32, f64)> + '_ {
+        (0..self.node_count() as u32).flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
+                .zip(self.neighbor_weights(u))
+                .filter(move |(&v, _)| u < v)
+                .map(move |(&v, &w)| (u, v, w))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle_plus_tail() -> CsrGraph {
+        // 0-1, 1-2, 0-2 (triangle), 2-3 (tail)
+        CsrGraph::from_undirected_edges(
+            4,
+            &[(0, 1, 0.5), (1, 2, 0.7), (0, 2, 0.9), (2, 3, 0.1)],
+        )
+    }
+
+    #[test]
+    fn counts_and_degrees() {
+        let g = triangle_plus_tail();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(2), 3);
+        assert_eq!(g.degree(3), 1);
+    }
+
+    #[test]
+    fn neighbors_sorted_with_aligned_weights() {
+        let g = triangle_plus_tail();
+        assert_eq!(g.neighbors(2), &[0, 1, 3]);
+        assert_eq!(g.neighbor_weights(2), &[0.9, 0.7, 0.1]);
+    }
+
+    #[test]
+    fn edge_lookup() {
+        let g = triangle_plus_tail();
+        assert_eq!(g.edge_weight(0, 1), Some(0.5));
+        assert_eq!(g.edge_weight(1, 0), Some(0.5));
+        assert_eq!(g.edge_weight(0, 3), None);
+        assert!(g.has_edge(2, 3));
+        assert!(!g.has_edge(1, 3));
+    }
+
+    #[test]
+    fn edges_iterator_yields_each_once() {
+        let g = triangle_plus_tail();
+        let mut edges: Vec<(u32, u32)> = g.edges().map(|(u, v, _)| (u, v)).collect();
+        edges.sort_unstable();
+        assert_eq!(edges, vec![(0, 1), (0, 2), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn isolated_nodes_allowed() {
+        let g = CsrGraph::from_undirected_edges(3, &[(0, 1, 1.0)]);
+        assert_eq!(g.degree(2), 0);
+        assert!(g.neighbors(2).is_empty());
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::from_undirected_edges(0, &[]);
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.edges().count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn rejects_self_loops() {
+        CsrGraph::from_undirected_edges(2, &[(1, 1, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range() {
+        CsrGraph::from_undirected_edges(2, &[(0, 5, 1.0)]);
+    }
+}

@@ -1,0 +1,138 @@
+//! The weighted record graph `Gr` of §VI-A.
+//!
+//! Nodes are records; an edge connects two records iff they form a pair
+//! node in the bipartite graph (i.e. share at least one term), weighted by
+//! the ITER similarity `s(ri, rj)`. RSS walks this graph directly;
+//! CliqueRank materializes per-component transition matrices from it.
+
+use crate::bipartite::PairNode;
+use crate::components::{components, ComponentLabels};
+use crate::csr::CsrGraph;
+
+/// Weighted record graph with a pair-id ↔ edge mapping.
+#[derive(Debug, Clone)]
+pub struct RecordGraph {
+    csr: CsrGraph,
+    /// The pair list this graph was built from (edge `e` ↔ `pairs[e]`).
+    pairs: Vec<PairNode>,
+}
+
+impl RecordGraph {
+    /// Builds `Gr` over `n_records` nodes from pair nodes and their
+    /// similarity scores (parallel slices). Pairs with non-positive
+    /// similarity are dropped: a zero-similarity edge would have zero
+    /// transition probability anyway and would only bloat the matrices.
+    pub fn from_pair_scores(n_records: usize, pairs: &[PairNode], scores: &[f64]) -> Self {
+        assert_eq!(pairs.len(), scores.len(), "pairs and scores must be parallel");
+        let mut kept: Vec<(PairNode, f64)> = pairs
+            .iter()
+            .zip(scores)
+            .filter(|(_, &s)| s > 0.0)
+            .map(|(&p, &s)| (p, s))
+            .collect();
+        // Sort so `pairs()` is binary-searchable regardless of input order.
+        kept.sort_unstable_by_key(|&(p, _)| p);
+        let kept_pairs: Vec<PairNode> = kept.iter().map(|&(p, _)| p).collect();
+        let edges: Vec<(u32, u32, f64)> = kept.iter().map(|&(p, s)| (p.a, p.b, s)).collect();
+        Self {
+            csr: CsrGraph::from_undirected_edges(n_records, &edges),
+            pairs: kept_pairs,
+        }
+    }
+
+    /// The underlying CSR adjacency.
+    pub fn csr(&self) -> &CsrGraph {
+        &self.csr
+    }
+
+    /// Number of records (nodes).
+    pub fn node_count(&self) -> usize {
+        self.csr.node_count()
+    }
+
+    /// Number of edges (surviving pairs).
+    pub fn edge_count(&self) -> usize {
+        self.csr.edge_count()
+    }
+
+    /// The retained pairs, sorted ascending (binary-searchable) and
+    /// aligned with the edge-probability vectors produced by RSS and
+    /// CliqueRank.
+    pub fn pairs(&self) -> &[PairNode] {
+        &self.pairs
+    }
+
+    /// Similarity weight of edge `{u, v}` if present.
+    pub fn similarity(&self, u: u32, v: u32) -> Option<f64> {
+        self.csr.edge_weight(u, v)
+    }
+
+    /// Sorted neighbors of `u` with aligned weights.
+    pub fn neighbors(&self, u: u32) -> (&[u32], &[f64]) {
+        (self.csr.neighbors(u), self.csr.neighbor_weights(u))
+    }
+
+    /// True when `{u, v}` is an edge (records share a term and have
+    /// positive similarity).
+    pub fn has_edge(&self, u: u32, v: u32) -> bool {
+        self.csr.has_edge(u, v)
+    }
+
+    /// Connected components of `Gr` (the blocks CliqueRank iterates over).
+    pub fn components(&self) -> ComponentLabels {
+        components(&self.csr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pairs(ps: &[(u32, u32)]) -> Vec<PairNode> {
+        ps.iter().map(|&(a, b)| PairNode::new(a, b)).collect()
+    }
+
+    #[test]
+    fn builds_weighted_graph() {
+        let p = pairs(&[(0, 1), (1, 2), (3, 4)]);
+        let g = RecordGraph::from_pair_scores(5, &p, &[0.9, 0.2, 0.7]);
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.similarity(0, 1), Some(0.9));
+        assert_eq!(g.similarity(1, 0), Some(0.9));
+        assert_eq!(g.similarity(0, 2), None);
+    }
+
+    #[test]
+    fn drops_zero_similarity_pairs() {
+        let p = pairs(&[(0, 1), (1, 2)]);
+        let g = RecordGraph::from_pair_scores(3, &p, &[0.5, 0.0]);
+        assert_eq!(g.edge_count(), 1);
+        assert!(!g.has_edge(1, 2));
+        assert_eq!(g.pairs().len(), 1);
+    }
+
+    #[test]
+    fn component_decomposition() {
+        let p = pairs(&[(0, 1), (1, 2), (3, 4)]);
+        let g = RecordGraph::from_pair_scores(6, &p, &[1.0, 1.0, 1.0]);
+        let comps = g.components();
+        assert_eq!(comps.count(), 3); // {0,1,2}, {3,4}, {5}
+        assert_eq!(comps.largest(), 3);
+    }
+
+    #[test]
+    fn neighbors_aligned() {
+        let p = pairs(&[(0, 1), (0, 2)]);
+        let g = RecordGraph::from_pair_scores(3, &p, &[0.4, 0.6]);
+        let (ns, ws) = g.neighbors(0);
+        assert_eq!(ns, &[1, 2]);
+        assert_eq!(ws, &[0.4, 0.6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel")]
+    fn mismatched_slices_panic() {
+        RecordGraph::from_pair_scores(3, &pairs(&[(0, 1)]), &[]);
+    }
+}

@@ -1,0 +1,139 @@
+//! Property tests for the graph substrates: structural invariants that
+//! must hold for any generated graph.
+
+use std::collections::HashSet;
+
+use er_graph::{components, BipartiteGraphBuilder, CsrGraph, UnionFind};
+use proptest::prelude::*;
+
+/// Random undirected edge list over `n` nodes without duplicates or
+/// self-loops.
+fn edges(n: u32, max_edges: usize) -> impl Strategy<Value = (u32, Vec<(u32, u32, f64)>)> {
+    proptest::collection::btree_set((0..n, 0..n), 0..max_edges).prop_map(move |set| {
+        let edges: Vec<(u32, u32, f64)> = set
+            .into_iter()
+            .filter(|&(a, b)| a < b)
+            .enumerate()
+            .map(|(i, (a, b))| (a, b, 0.1 + (i % 7) as f64 * 0.3))
+            .collect();
+        (n, edges)
+    })
+}
+
+proptest! {
+    #[test]
+    fn csr_degree_sum_is_twice_edges((n, es) in edges(24, 60)) {
+        let g = CsrGraph::from_undirected_edges(n as usize, &es);
+        let degree_sum: usize = (0..n).map(|u| g.degree(u)).sum();
+        prop_assert_eq!(degree_sum, 2 * g.edge_count());
+        prop_assert_eq!(g.edge_count(), es.len());
+    }
+
+    #[test]
+    fn csr_neighbors_sorted_and_symmetric((n, es) in edges(24, 60)) {
+        let g = CsrGraph::from_undirected_edges(n as usize, &es);
+        for u in 0..n {
+            let nbrs = g.neighbors(u);
+            prop_assert!(nbrs.windows(2).all(|w| w[0] < w[1]));
+            for &v in nbrs {
+                prop_assert!(g.has_edge(v, u), "symmetry broken for ({u},{v})");
+                prop_assert_eq!(g.edge_weight(u, v), g.edge_weight(v, u));
+            }
+        }
+    }
+
+    #[test]
+    fn csr_edges_iterator_round_trips((n, es) in edges(24, 60)) {
+        let g = CsrGraph::from_undirected_edges(n as usize, &es);
+        let mut want: Vec<(u32, u32, f64)> = es.clone();
+        want.sort_by_key(|e| (e.0, e.1));
+        let mut got: Vec<(u32, u32, f64)> = g.edges().collect();
+        got.sort_by_key(|e| (e.0, e.1));
+        prop_assert_eq!(want, got);
+    }
+
+    #[test]
+    fn components_partition_nodes((n, es) in edges(24, 60)) {
+        let g = CsrGraph::from_undirected_edges(n as usize, &es);
+        let comps = components(&g);
+        let total: usize = comps.members.iter().map(Vec::len).sum();
+        prop_assert_eq!(total, n as usize);
+        let distinct: HashSet<u32> = comps.members.iter().flatten().copied().collect();
+        prop_assert_eq!(distinct.len(), n as usize);
+        // Every edge stays within one component.
+        for (u, v, _) in g.edges() {
+            prop_assert_eq!(comps.label[u as usize], comps.label[v as usize]);
+        }
+    }
+
+    #[test]
+    fn components_agree_with_union_find((n, es) in edges(24, 60)) {
+        let g = CsrGraph::from_undirected_edges(n as usize, &es);
+        let comps = components(&g);
+        let mut uf = UnionFind::new(n as usize);
+        for (u, v, _) in g.edges() {
+            uf.union(u, v);
+        }
+        prop_assert_eq!(comps.count(), uf.set_count());
+        for a in 0..n {
+            for b in 0..n {
+                let same_comp = comps.label[a as usize] == comps.label[b as usize];
+                prop_assert_eq!(same_comp, uf.connected(a, b), "nodes {} {}", a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn union_find_set_sizes_sum(n in 1usize..40, ops in proptest::collection::vec((0u32..40, 0u32..40), 0..60)) {
+        let mut uf = UnionFind::new(n);
+        for (a, b) in ops {
+            let (a, b) = (a % n as u32, b % n as u32);
+            if a != b {
+                uf.union(a, b);
+            }
+        }
+        let sets = uf.into_sets();
+        let total: usize = sets.iter().map(Vec::len).sum();
+        prop_assert_eq!(total, n);
+    }
+
+    #[test]
+    fn bipartite_duality_holds(postings in proptest::collection::vec(
+        proptest::collection::btree_set(0u32..16, 0..5), 1..10)
+    ) {
+        let lists: Vec<Vec<u32>> = postings
+            .iter()
+            .map(|s| s.iter().copied().collect())
+            .collect();
+        let mut builder = BipartiteGraphBuilder::new(16, lists.len());
+        for (t, p) in lists.iter().enumerate() {
+            builder = builder.postings(t as u32, p);
+        }
+        let g = builder.build();
+        // Edge count from both sides must agree.
+        let from_terms: usize = (0..g.term_count() as u32)
+            .map(|t| g.pairs_of_term(t).len())
+            .sum();
+        let from_pairs: usize = (0..g.pair_count() as u32)
+            .map(|p| g.terms_of_pair(p).len())
+            .sum();
+        prop_assert_eq!(from_terms, from_pairs);
+        prop_assert_eq!(from_terms, g.edge_count());
+        // P_t equals the incident pair count, and every pair lookup works.
+        for t in 0..g.term_count() as u32 {
+            prop_assert_eq!(g.pt(t) as usize, g.pairs_of_term(t).len());
+        }
+        for (i, pair) in g.pairs().iter().enumerate() {
+            prop_assert_eq!(g.pair_id(pair.a, pair.b), Some(i as u32));
+            prop_assert!(pair.a < pair.b);
+        }
+        // Every term listed for a pair must contain both records.
+        for p in 0..g.pair_count() as u32 {
+            let pair = g.pair(p);
+            for &t in g.terms_of_pair(p) {
+                prop_assert!(lists[t as usize].contains(&pair.a));
+                prop_assert!(lists[t as usize].contains(&pair.b));
+            }
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! # er-matrix
+//!
+//! Dense and sparse matrix kernels for the CliqueRank algorithm (§VI-C).
+//!
+//! The paper offloads its `S − 1` repeated multiplications of `n × n`
+//! transition matrices to Eigen with multi-threading; this crate is the
+//! equivalent substrate: a row-major dense [`Matrix`] with a cache-blocked
+//! multiply (optionally split across threads with crossbeam), the Hadamard
+//! (element-wise) product used by the `M^{k−1} ⊙ Mn` masking step, and a
+//! CSR sparse matrix for sparse–dense products on sparse record graphs.
+//!
+//! ```
+//! use er_matrix::Matrix;
+//!
+//! let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+//! let b = Matrix::identity(2);
+//! assert_eq!(a.matmul(&b), a);
+//! ```
+
+pub mod dense;
+pub mod matmul;
+pub mod sparse;
+
+pub use dense::Matrix;
+pub use matmul::{matmul_blocked, matmul_naive, matmul_threaded};
+pub use sparse::CsrMatrix;

@@ -1,0 +1,151 @@
+//! Per-pair feature extraction.
+//!
+//! The supervised competitors the paper cites hand-craft features from
+//! string-similarity metrics; this extractor reproduces that family over
+//! the shared corpus representation.
+
+use er_text::metrics::{smith_waterman_similarity, sounds_like};
+use er_text::{
+    cosine_tokens, dice, jaccard, jaro_winkler, levenshtein_similarity, monge_elkan,
+    ngram_similarity, overlap_coefficient, Corpus, TfIdfModel,
+};
+
+/// Number of features produced per pair.
+pub const N_FEATURES: usize = 12;
+
+/// Caches the per-corpus state (TF-IDF model, reconstructed token texts)
+/// so feature extraction over many pairs is cheap.
+pub struct FeatureExtractor<'a> {
+    corpus: &'a Corpus,
+    tfidf: TfIdfModel,
+    texts: Vec<String>,
+    token_strs: Vec<Vec<String>>,
+}
+
+impl<'a> FeatureExtractor<'a> {
+    /// Builds the extractor (O(corpus)).
+    pub fn new(corpus: &'a Corpus) -> Self {
+        let tfidf = TfIdfModel::fit(corpus);
+        let mut texts = Vec::with_capacity(corpus.len());
+        let mut token_strs = Vec::with_capacity(corpus.len());
+        for r in 0..corpus.len() {
+            let toks: Vec<String> = corpus
+                .tokens(r)
+                .iter()
+                .map(|&t| corpus.vocab().term(t).to_owned())
+                .collect();
+            texts.push(toks.join(" "));
+            token_strs.push(toks);
+        }
+        Self {
+            corpus,
+            tfidf,
+            texts,
+            token_strs,
+        }
+    }
+
+    /// Extracts the feature vector for records `(a, b)`.
+    pub fn features(&self, a: u32, b: u32) -> Vec<f64> {
+        let (a, b) = (a as usize, b as usize);
+        let sa = self.corpus.term_set(a);
+        let sb = self.corpus.term_set(b);
+        let ta: Vec<&str> = self.token_strs[a].iter().map(String::as_str).collect();
+        let tb: Vec<&str> = self.token_strs[b].iter().map(String::as_str).collect();
+        let len_a = ta.len().max(1) as f64;
+        let len_b = tb.len().max(1) as f64;
+        vec![
+            jaccard(sa, sb),
+            dice(sa, sb),
+            overlap_coefficient(sa, sb),
+            cosine_tokens(sa, sb),
+            self.tfidf.cosine(a, b),
+            levenshtein_similarity(&self.texts[a], &self.texts[b]),
+            jaro_winkler(&self.texts[a], &self.texts[b]),
+            ngram_similarity(&self.texts[a], &self.texts[b], 2),
+            monge_elkan(&ta, &tb, jaro_winkler),
+            smith_waterman_similarity(&self.texts[a], &self.texts[b]),
+            // Fraction of tokens in the shorter record with a Soundex
+            // twin in the other — phonetic agreement.
+            phonetic_overlap(&ta, &tb),
+            len_a.min(len_b) / len_a.max(len_b),
+        ]
+    }
+}
+
+/// Fraction of the shorter token list with a Soundex-equivalent token in
+/// the other list.
+fn phonetic_overlap(a: &[&str], b: &[&str]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if short.is_empty() {
+        return 0.0;
+    }
+    let hits = short
+        .iter()
+        .filter(|s| long.iter().any(|l| sounds_like(s, l)))
+        .count();
+    hits as f64 / short.len() as f64
+}
+
+/// One-shot convenience for a single pair.
+pub fn pair_features(corpus: &Corpus, a: u32, b: u32) -> Vec<f64> {
+    FeatureExtractor::new(corpus).features(a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_text::CorpusBuilder;
+
+    fn corpus() -> Corpus {
+        CorpusBuilder::new()
+            .push_text("sony turntable pslx350h belt drive")
+            .push_text("sony pslx350h turntable")
+            .push_text("panasonic microwave oven family size")
+            .build()
+    }
+
+    #[test]
+    fn feature_count_and_bounds() {
+        let c = corpus();
+        let fx = FeatureExtractor::new(&c);
+        let f = fx.features(0, 1);
+        assert_eq!(f.len(), N_FEATURES);
+        for (i, v) in f.iter().enumerate() {
+            assert!((0.0..=1.0 + 1e-9).contains(v), "feature {i}: {v}");
+        }
+    }
+
+    #[test]
+    fn matching_pair_dominates_nonmatching() {
+        let c = corpus();
+        let fx = FeatureExtractor::new(&c);
+        let fm = fx.features(0, 1);
+        let fn_ = fx.features(0, 2);
+        // Every set-based feature must favor the matching pair.
+        for i in 0..5 {
+            assert!(fm[i] > fn_[i], "feature {i}: {} vs {}", fm[i], fn_[i]);
+        }
+    }
+
+    #[test]
+    fn symmetric() {
+        let c = corpus();
+        let fx = FeatureExtractor::new(&c);
+        let ab = fx.features(0, 1);
+        let ba = fx.features(1, 0);
+        for (x, y) in ab.iter().zip(&ba) {
+            assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn one_shot_matches_cached() {
+        let c = corpus();
+        let fx = FeatureExtractor::new(&c);
+        assert_eq!(fx.features(0, 2), pair_features(&c, 0, 2));
+    }
+}

@@ -1,0 +1,194 @@
+//! Random forest — bagged decision trees with feature subsampling.
+//!
+//! The natural upgrade of the single-tree matcher of \[18\]: each tree is
+//! fitted on a bootstrap sample of the training pairs with a random
+//! subset of the similarity features per tree, and the forest averages
+//! the leaf probabilities. Deterministic under a fixed seed.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::tree::{DecisionTree, TreeConfig};
+use crate::Classifier;
+
+/// Random-forest hyperparameters.
+#[derive(Debug, Clone, Copy)]
+pub struct ForestConfig {
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Per-tree settings.
+    pub tree: TreeConfig,
+    /// Features sampled per tree (0 = `sqrt(d)` rounded up).
+    pub features_per_tree: usize,
+    /// Bagging / feature-sampling seed.
+    pub seed: u64,
+}
+
+impl Default for ForestConfig {
+    fn default() -> Self {
+        Self {
+            n_trees: 25,
+            tree: TreeConfig::default(),
+            features_per_tree: 0,
+            seed: 0xF0123,
+        }
+    }
+}
+
+/// A trained random forest.
+pub struct RandomForest {
+    trees: Vec<(DecisionTree, Vec<usize>)>,
+    n_features: usize,
+}
+
+impl RandomForest {
+    /// Fits the forest on row-major samples with boolean labels.
+    pub fn fit(samples: &[Vec<f64>], labels: &[bool], config: &ForestConfig) -> Self {
+        assert_eq!(samples.len(), labels.len(), "samples and labels must be parallel");
+        assert!(!samples.is_empty(), "cannot fit on no samples");
+        assert!(config.n_trees >= 1, "need at least one tree");
+        let d = samples[0].len();
+        let k = if config.features_per_tree == 0 {
+            (d as f64).sqrt().ceil() as usize
+        } else {
+            config.features_per_tree.min(d)
+        };
+        let mut rng = SmallRng::seed_from_u64(config.seed);
+        let mut trees = Vec::with_capacity(config.n_trees);
+        for _ in 0..config.n_trees {
+            // Bootstrap sample of row indices.
+            let rows: Vec<usize> = (0..samples.len())
+                .map(|_| rng.random_range(0..samples.len()))
+                .collect();
+            // Random feature subset (sorted for determinism of projection).
+            let mut features: Vec<usize> = (0..d).collect();
+            for i in (1..features.len()).rev() {
+                let j = rng.random_range(0..=i);
+                features.swap(i, j);
+            }
+            features.truncate(k);
+            features.sort_unstable();
+            // Project the bootstrap sample onto the feature subset.
+            let proj: Vec<Vec<f64>> = rows
+                .iter()
+                .map(|&r| features.iter().map(|&f| samples[r][f]).collect())
+                .collect();
+            let proj_labels: Vec<bool> = rows.iter().map(|&r| labels[r]).collect();
+            // A bootstrap draw can be single-class; the tree handles it
+            // with a constant leaf.
+            let tree = DecisionTree::fit(&proj, &proj_labels, &config.tree);
+            trees.push((tree, features));
+        }
+        Self {
+            trees,
+            n_features: d,
+        }
+    }
+
+    /// Number of trees in the ensemble.
+    pub fn len(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// True when the forest has no trees (never after `fit`).
+    pub fn is_empty(&self) -> bool {
+        self.trees.is_empty()
+    }
+}
+
+impl Classifier for RandomForest {
+    fn predict_proba(&self, features: &[f64]) -> f64 {
+        assert_eq!(features.len(), self.n_features, "dimension mismatch");
+        let mut sum = 0.0;
+        let mut buf = Vec::new();
+        for (tree, subset) in &self.trees {
+            buf.clear();
+            buf.extend(subset.iter().map(|&f| features[f]));
+            sum += tree.predict_proba(&buf);
+        }
+        sum / self.trees.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor_data() -> (Vec<Vec<f64>>, Vec<bool>) {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..12 {
+            for j in 0..12 {
+                let (a, b) = (i as f64 / 12.0, j as f64 / 12.0);
+                // Two informative features plus two noise features.
+                x.push(vec![a, b, (i * 7 % 12) as f64 / 12.0, (j * 5 % 12) as f64 / 12.0]);
+                y.push((a > 0.5) != (b > 0.5));
+            }
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn forest_fits_nonlinear_data() {
+        let (x, y) = xor_data();
+        let forest = RandomForest::fit(&x, &y, &ForestConfig::default());
+        let correct = x
+            .iter()
+            .zip(&y)
+            .filter(|(xi, &yi)| forest.predict(xi) == yi)
+            .count();
+        assert!(
+            correct as f64 / x.len() as f64 > 0.85,
+            "{correct}/{}",
+            x.len()
+        );
+    }
+
+    #[test]
+    fn probabilities_are_averages() {
+        let (x, y) = xor_data();
+        let forest = RandomForest::fit(&x, &y, &ForestConfig::default());
+        let p = forest.predict_proba(&x[0]);
+        assert!((0.0..=1.0).contains(&p));
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let (x, y) = xor_data();
+        let a = RandomForest::fit(&x, &y, &ForestConfig::default());
+        let b = RandomForest::fit(&x, &y, &ForestConfig::default());
+        for xi in x.iter().take(20) {
+            assert_eq!(a.predict_proba(xi), b.predict_proba(xi));
+        }
+    }
+
+    #[test]
+    fn feature_subsampling_respected() {
+        let (x, y) = xor_data();
+        let forest = RandomForest::fit(
+            &x,
+            &y,
+            &ForestConfig {
+                features_per_tree: 2,
+                ..Default::default()
+            },
+        );
+        assert_eq!(forest.len(), 25);
+        for (_, subset) in &forest.trees {
+            assert_eq!(subset.len(), 2);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tree")]
+    fn zero_trees_rejected() {
+        RandomForest::fit(
+            &[vec![1.0]],
+            &[true],
+            &ForestConfig {
+                n_trees: 0,
+                ..Default::default()
+            },
+        );
+    }
+}

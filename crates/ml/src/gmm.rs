@@ -1,0 +1,178 @@
+//! Two-component Gaussian mixture fitted by EM — the unsupervised
+//! generative baseline ("Gaussian Mixture Model \[5\]" row).
+//!
+//! Fellegi–Sunter record linkage models the pair-score distribution as a
+//! mixture of a "match" and a "non-match" component and assigns each
+//! pair to the component with higher responsibility — no labels needed.
+//! Here both components are diagonal-covariance Gaussians over the pair
+//! feature vector; the component whose mean has the larger feature sum
+//! is designated the match component.
+
+use crate::Classifier;
+
+/// Diagonal-covariance two-component Gaussian mixture.
+#[derive(Debug, Clone)]
+pub struct GaussianMixture {
+    weight: [f64; 2],
+    mean: [Vec<f64>; 2],
+    var: [Vec<f64>; 2],
+    /// Index (0/1) of the component representing matches.
+    match_component: usize,
+}
+
+const VAR_FLOOR: f64 = 1e-6;
+
+impl GaussianMixture {
+    /// Fits by EM with a deterministic quantile initialization: samples
+    /// are sorted by feature sum and the top/bottom halves seed the two
+    /// components.
+    pub fn fit(samples: &[Vec<f64>], iterations: usize) -> Self {
+        assert!(samples.len() >= 4, "need at least 4 samples to fit a mixture");
+        let d = samples[0].len();
+        // Deterministic init from the feature-sum ordering.
+        let mut order: Vec<usize> = (0..samples.len()).collect();
+        let sums: Vec<f64> = samples.iter().map(|s| s.iter().sum()).collect();
+        order.sort_by(|&a, &b| sums[a].partial_cmp(&sums[b]).expect("finite features"));
+        let half = samples.len() / 2;
+        let mut model = Self {
+            weight: [0.5, 0.5],
+            mean: [mean_of(samples, &order[..half]), mean_of(samples, &order[half..])],
+            var: [vec![0.05; d], vec![0.05; d]],
+            match_component: 1,
+        };
+
+        let mut resp = vec![0.0f64; samples.len()]; // responsibility of comp 1
+        for _ in 0..iterations {
+            // E-step.
+            for (i, x) in samples.iter().enumerate() {
+                let l0 = model.weight[0].ln() + model.log_density(0, x);
+                let l1 = model.weight[1].ln() + model.log_density(1, x);
+                let m = l0.max(l1);
+                let e0 = (l0 - m).exp();
+                let e1 = (l1 - m).exp();
+                resp[i] = e1 / (e0 + e1);
+            }
+            // M-step.
+            let n1: f64 = resp.iter().sum();
+            let n0 = samples.len() as f64 - n1;
+            if n0 < 1e-9 || n1 < 1e-9 {
+                break; // degenerate: one component absorbed everything
+            }
+            model.weight = [n0 / samples.len() as f64, n1 / samples.len() as f64];
+            for c in 0..2 {
+                let mut mean = vec![0.0; d];
+                for (x, &r) in samples.iter().zip(&resp) {
+                    let w = if c == 1 { r } else { 1.0 - r };
+                    for (m, &xi) in mean.iter_mut().zip(x) {
+                        *m += w * xi;
+                    }
+                }
+                let nc = if c == 1 { n1 } else { n0 };
+                for m in &mut mean {
+                    *m /= nc;
+                }
+                let mut var = vec![0.0; d];
+                for (x, &r) in samples.iter().zip(&resp) {
+                    let w = if c == 1 { r } else { 1.0 - r };
+                    for ((v, &xi), &m) in var.iter_mut().zip(x).zip(&mean) {
+                        *v += w * (xi - m) * (xi - m);
+                    }
+                }
+                for v in &mut var {
+                    *v = (*v / nc).max(VAR_FLOOR);
+                }
+                model.mean[c] = mean;
+                model.var[c] = var;
+            }
+        }
+        // The match component is the one whose mean similarity is higher.
+        let sum0: f64 = model.mean[0].iter().sum();
+        let sum1: f64 = model.mean[1].iter().sum();
+        model.match_component = usize::from(sum1 >= sum0);
+        model
+    }
+
+    fn log_density(&self, c: usize, x: &[f64]) -> f64 {
+        let mut ll = 0.0;
+        for ((&xi, &m), &v) in x.iter().zip(&self.mean[c]).zip(&self.var[c]) {
+            ll += -0.5 * ((xi - m) * (xi - m) / v + v.ln() + (2.0 * std::f64::consts::PI).ln());
+        }
+        ll
+    }
+}
+
+impl Classifier for GaussianMixture {
+    fn predict_proba(&self, features: &[f64]) -> f64 {
+        let lm = self.weight[self.match_component].ln()
+            + self.log_density(self.match_component, features);
+        let other = 1 - self.match_component;
+        let ln = self.weight[other].ln() + self.log_density(other, features);
+        let m = lm.max(ln);
+        let em = (lm - m).exp();
+        let en = (ln - m).exp();
+        em / (em + en)
+    }
+}
+
+fn mean_of(samples: &[Vec<f64>], idx: &[usize]) -> Vec<f64> {
+    let d = samples[0].len();
+    let mut mean = vec![0.0; d];
+    for &i in idx {
+        for (m, &v) in mean.iter_mut().zip(&samples[i]) {
+            *m += v;
+        }
+    }
+    for m in &mut mean {
+        *m /= idx.len().max(1) as f64;
+    }
+    mean
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Bimodal 1-D data: non-matches around 0.1, matches around 0.9.
+    fn bimodal() -> Vec<Vec<f64>> {
+        let mut x = Vec::new();
+        for i in 0..50 {
+            x.push(vec![0.1 + (i % 10) as f64 * 0.01]);
+        }
+        for i in 0..10 {
+            x.push(vec![0.85 + (i % 5) as f64 * 0.02]);
+        }
+        x
+    }
+
+    #[test]
+    fn discovers_the_match_mode_without_labels() {
+        let m = GaussianMixture::fit(&bimodal(), 50);
+        assert!(m.predict(&[0.9]));
+        assert!(!m.predict(&[0.12]));
+        assert!(m.predict_proba(&[0.95]) > 0.9);
+        assert!(m.predict_proba(&[0.1]) < 0.1);
+    }
+
+    #[test]
+    fn mixture_weights_reflect_mode_sizes() {
+        let m = GaussianMixture::fit(&bimodal(), 50);
+        let match_weight = m.weight[m.match_component];
+        assert!(
+            (0.05..0.4).contains(&match_weight),
+            "matches are the minority mode: {match_weight}"
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = GaussianMixture::fit(&bimodal(), 30);
+        let b = GaussianMixture::fit(&bimodal(), 30);
+        assert_eq!(a.mean, b.mean);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 4")]
+    fn too_few_samples_rejected() {
+        GaussianMixture::fit(&[vec![1.0]], 5);
+    }
+}

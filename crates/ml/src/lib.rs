@@ -1,0 +1,57 @@
+//! # er-ml
+//!
+//! Supervised and probabilistic learning baselines standing in for the
+//! paper's "machine-learning based approaches" rows of Table II (GMM,
+//! HGM+Bootstrap, MLE \[5\] and SVM \[6\]), whose numbers the paper quotes
+//! from prior publications. DESIGN.md §4 records the substitution: these
+//! are from-scratch implementations trained on the same feature family
+//! the cited work hand-crafts — string-similarity scores between the two
+//! records of a candidate pair.
+//!
+//! * [`features`] — per-pair feature vectors (Jaccard, Dice, overlap,
+//!   token cosine, TF-IDF cosine, normalized edit distance, Jaro-Winkler,
+//!   bigram Dice, Monge-Elkan, length ratio).
+//! * [`scaler`] — feature standardization.
+//! * [`logreg`] — logistic regression trained with mini-batch SGD.
+//! * [`svm`] — linear SVM trained with the Pegasos sub-gradient method
+//!   (the "SVM \[6\]" row).
+//! * [`naive_bayes`] — Gaussian naive Bayes (the generative classifier
+//!   family of \[5\]).
+//! * [`gmm`] — a two-component Gaussian mixture fitted by EM *without
+//!   labels* (the "Gaussian Mixture Model \[5\]" row: match / non-match
+//!   components discovered from the score distribution, Fellegi–Sunter
+//!   style).
+//! * [`train`] — labelled-pair sampling with class balancing, mirroring
+//!   the training-set construction the paper criticizes supervised
+//!   methods for needing.
+
+pub mod features;
+pub mod forest;
+pub mod gmm;
+pub mod logreg;
+pub mod naive_bayes;
+pub mod scaler;
+pub mod svm;
+pub mod train;
+pub mod tree;
+
+pub use features::{pair_features, FeatureExtractor, N_FEATURES};
+pub use forest::{ForestConfig, RandomForest};
+pub use gmm::GaussianMixture;
+pub use logreg::LogisticRegression;
+pub use naive_bayes::GaussianNaiveBayes;
+pub use scaler::StandardScaler;
+pub use svm::PegasosSvm;
+pub use train::{balanced_split, LabelledPairs};
+pub use tree::{DecisionTree, TreeConfig};
+
+/// A trained binary classifier over pair-feature vectors.
+pub trait Classifier {
+    /// Probability-like score in `[0, 1]` that the pair matches.
+    fn predict_proba(&self, features: &[f64]) -> f64;
+
+    /// Hard decision at the 0.5 operating point.
+    fn predict(&self, features: &[f64]) -> bool {
+        self.predict_proba(features) >= 0.5
+    }
+}

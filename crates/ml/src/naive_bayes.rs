@@ -1,0 +1,129 @@
+//! Gaussian naive Bayes.
+
+use crate::Classifier;
+
+/// Gaussian naive Bayes: per-class, per-feature normal densities with a
+/// variance floor for numerical stability.
+#[derive(Debug, Clone)]
+pub struct GaussianNaiveBayes {
+    prior_pos: f64,
+    mean: [Vec<f64>; 2],
+    var: [Vec<f64>; 2],
+}
+
+const VAR_FLOOR: f64 = 1e-6;
+
+impl GaussianNaiveBayes {
+    /// Fits on row-major samples with boolean labels. Both classes must
+    /// be present.
+    pub fn fit(samples: &[Vec<f64>], labels: &[bool]) -> Self {
+        assert_eq!(samples.len(), labels.len(), "samples and labels must be parallel");
+        assert!(!samples.is_empty(), "cannot fit on no samples");
+        let d = samples[0].len();
+        let n_pos = labels.iter().filter(|&&l| l).count();
+        let n_neg = labels.len() - n_pos;
+        assert!(n_pos > 0 && n_neg > 0, "need samples of both classes");
+        let mut mean = [vec![0.0; d], vec![0.0; d]];
+        for (x, &l) in samples.iter().zip(labels) {
+            let c = usize::from(l);
+            for (m, &v) in mean[c].iter_mut().zip(x) {
+                *m += v;
+            }
+        }
+        for (c, count) in [(0usize, n_neg), (1, n_pos)] {
+            for m in &mut mean[c] {
+                *m /= count as f64;
+            }
+        }
+        let mut var = [vec![0.0; d], vec![0.0; d]];
+        for (x, &l) in samples.iter().zip(labels) {
+            let c = usize::from(l);
+            for ((v, &xi), &m) in var[c].iter_mut().zip(x).zip(&mean[c]) {
+                *v += (xi - m) * (xi - m);
+            }
+        }
+        for (c, count) in [(0usize, n_neg), (1, n_pos)] {
+            for v in &mut var[c] {
+                *v = (*v / count as f64).max(VAR_FLOOR);
+            }
+        }
+        Self {
+            prior_pos: n_pos as f64 / labels.len() as f64,
+            mean,
+            var,
+        }
+    }
+
+    fn log_likelihood(&self, class: usize, x: &[f64]) -> f64 {
+        let mut ll = 0.0;
+        for ((&xi, &m), &v) in x.iter().zip(&self.mean[class]).zip(&self.var[class]) {
+            ll += -0.5 * ((xi - m) * (xi - m) / v + v.ln() + (2.0 * std::f64::consts::PI).ln());
+        }
+        ll
+    }
+}
+
+impl Classifier for GaussianNaiveBayes {
+    fn predict_proba(&self, features: &[f64]) -> f64 {
+        assert_eq!(features.len(), self.mean[0].len(), "dimension mismatch");
+        let lp = self.log_likelihood(1, features) + self.prior_pos.ln();
+        let ln = self.log_likelihood(0, features) + (1.0 - self.prior_pos).ln();
+        // Stable softmax over two log-scores.
+        let m = lp.max(ln);
+        let ep = (lp - m).exp();
+        let en = (ln - m).exp();
+        ep / (ep + en)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gaussian_blobs() -> (Vec<Vec<f64>>, Vec<bool>) {
+        // Two 1-D blobs around 0.2 and 0.8 with a small deterministic jitter.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..30 {
+            let jitter = (i % 7) as f64 * 0.01;
+            x.push(vec![0.2 + jitter]);
+            y.push(false);
+            x.push(vec![0.8 - jitter]);
+            y.push(true);
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn separates_blobs() {
+        let (x, y) = gaussian_blobs();
+        let m = GaussianNaiveBayes::fit(&x, &y);
+        assert!(m.predict(&[0.85]));
+        assert!(!m.predict(&[0.15]));
+        assert!(m.predict_proba(&[0.9]) > 0.95);
+        assert!(m.predict_proba(&[0.1]) < 0.05);
+    }
+
+    #[test]
+    fn proba_monotone_between_means() {
+        let (x, y) = gaussian_blobs();
+        let m = GaussianNaiveBayes::fit(&x, &y);
+        let p1 = m.predict_proba(&[0.4]);
+        let p2 = m.predict_proba(&[0.6]);
+        assert!(p2 > p1);
+    }
+
+    #[test]
+    fn prior_reflects_imbalance() {
+        let x = vec![vec![0.1], vec![0.2], vec![0.3], vec![0.9]];
+        let y = vec![false, false, false, true];
+        let m = GaussianNaiveBayes::fit(&x, &y);
+        assert!((m.prior_pos - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "both classes")]
+    fn single_class_rejected() {
+        GaussianNaiveBayes::fit(&[vec![1.0]], &[true]);
+    }
+}

@@ -1,0 +1,98 @@
+//! Feature standardization (zero mean, unit variance).
+
+/// Per-feature standardizer fitted on a training matrix.
+#[derive(Debug, Clone)]
+pub struct StandardScaler {
+    mean: Vec<f64>,
+    std: Vec<f64>,
+}
+
+impl StandardScaler {
+    /// Fits on row-major samples. Constant features get `std = 1` so they
+    /// pass through as zeros rather than NaN.
+    pub fn fit(samples: &[Vec<f64>]) -> Self {
+        assert!(!samples.is_empty(), "cannot fit a scaler on no samples");
+        let d = samples[0].len();
+        let n = samples.len() as f64;
+        let mut mean = vec![0.0; d];
+        for s in samples {
+            assert_eq!(s.len(), d, "ragged feature matrix");
+            for (m, v) in mean.iter_mut().zip(s) {
+                *m += v;
+            }
+        }
+        for m in &mut mean {
+            *m /= n;
+        }
+        let mut var = vec![0.0; d];
+        for s in samples {
+            for ((v, &x), &m) in var.iter_mut().zip(s).zip(&mean) {
+                *v += (x - m) * (x - m);
+            }
+        }
+        let std = var
+            .into_iter()
+            .map(|v| {
+                let s = (v / n).sqrt();
+                if s > 1e-12 {
+                    s
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        Self { mean, std }
+    }
+
+    /// Standardizes one sample in place.
+    pub fn transform_in_place(&self, sample: &mut [f64]) {
+        assert_eq!(sample.len(), self.mean.len(), "dimension mismatch");
+        for ((x, &m), &s) in sample.iter_mut().zip(&self.mean).zip(&self.std) {
+            *x = (*x - m) / s;
+        }
+    }
+
+    /// Standardizes a sample, returning a new vector.
+    pub fn transform(&self, sample: &[f64]) -> Vec<f64> {
+        let mut out = sample.to_vec();
+        self.transform_in_place(&mut out);
+        out
+    }
+
+    /// Standardizes a whole matrix.
+    pub fn transform_all(&self, samples: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        samples.iter().map(|s| self.transform(s)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standardizes_to_zero_mean_unit_var() {
+        let data = vec![vec![1.0, 10.0], vec![2.0, 20.0], vec![3.0, 30.0]];
+        let sc = StandardScaler::fit(&data);
+        let t = sc.transform_all(&data);
+        for d in 0..2 {
+            let mean: f64 = t.iter().map(|r| r[d]).sum::<f64>() / 3.0;
+            let var: f64 = t.iter().map(|r| r[d] * r[d]).sum::<f64>() / 3.0;
+            assert!(mean.abs() < 1e-12);
+            assert!((var - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn constant_feature_maps_to_zero() {
+        let data = vec![vec![5.0], vec![5.0]];
+        let sc = StandardScaler::fit(&data);
+        assert_eq!(sc.transform(&[5.0]), vec![0.0]);
+        assert_eq!(sc.transform(&[7.0]), vec![2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no samples")]
+    fn empty_fit_rejected() {
+        StandardScaler::fit(&[]);
+    }
+}

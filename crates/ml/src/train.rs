@@ -1,0 +1,129 @@
+//! Labelled-pair sampling for the supervised baselines.
+//!
+//! The paper's critique of supervised methods (§I): they need labelled
+//! training pairs, and the extreme match/non-match imbalance makes the
+//! sampling ratio itself a tuning problem. This module reproduces the
+//! standard protocol — a train/test split over candidate pairs with
+//! negatives subsampled to a fixed ratio against positives.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A labelled candidate-pair sample.
+#[derive(Debug, Clone)]
+pub struct LabelledPairs {
+    /// Pair indices (into the candidate list) chosen for training.
+    pub train: Vec<usize>,
+    /// The remaining pair indices, used for evaluation.
+    pub test: Vec<usize>,
+}
+
+/// Splits candidate pairs into a balanced training sample and a test
+/// remainder.
+///
+/// * `labels[i]` — ground truth for candidate pair `i`.
+/// * `train_fraction` — fraction of *positives* used for training
+///   (e.g. 0.5).
+/// * `negative_ratio` — negatives sampled per training positive
+///   (e.g. 3.0).
+///
+/// Pairs not selected for training (including all unsampled negatives)
+/// form the test set, so test-time evaluation still faces the true
+/// imbalance.
+pub fn balanced_split(
+    labels: &[bool],
+    train_fraction: f64,
+    negative_ratio: f64,
+    seed: u64,
+) -> LabelledPairs {
+    assert!((0.0..=1.0).contains(&train_fraction), "train_fraction in [0,1]");
+    assert!(negative_ratio >= 0.0);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut positives: Vec<usize> = Vec::new();
+    let mut negatives: Vec<usize> = Vec::new();
+    for (i, &l) in labels.iter().enumerate() {
+        if l {
+            positives.push(i);
+        } else {
+            negatives.push(i);
+        }
+    }
+    shuffle(&mut rng, &mut positives);
+    shuffle(&mut rng, &mut negatives);
+    let n_pos_train = ((positives.len() as f64) * train_fraction).round() as usize;
+    let n_neg_train = ((n_pos_train as f64) * negative_ratio).round() as usize;
+    let n_neg_train = n_neg_train.min(negatives.len());
+
+    let mut train: Vec<usize> = positives[..n_pos_train].to_vec();
+    train.extend_from_slice(&negatives[..n_neg_train]);
+    train.sort_unstable();
+    let in_train: std::collections::HashSet<usize> = train.iter().copied().collect();
+    let test: Vec<usize> = (0..labels.len()).filter(|i| !in_train.contains(i)).collect();
+    LabelledPairs { train, test }
+}
+
+fn shuffle(rng: &mut SmallRng, v: &mut [usize]) {
+    for i in (1..v.len()).rev() {
+        let j = rng.random_range(0..=i);
+        v.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labels() -> Vec<bool> {
+        let mut l = vec![false; 100];
+        for i in 0..10 {
+            l[i * 10] = true;
+        }
+        l
+    }
+
+    #[test]
+    fn respects_ratios() {
+        let l = labels();
+        let split = balanced_split(&l, 0.5, 3.0, 7);
+        let pos_train = split.train.iter().filter(|&&i| l[i]).count();
+        let neg_train = split.train.len() - pos_train;
+        assert_eq!(pos_train, 5);
+        assert_eq!(neg_train, 15);
+    }
+
+    #[test]
+    fn train_and_test_partition_everything() {
+        let l = labels();
+        let split = balanced_split(&l, 0.5, 3.0, 7);
+        let mut all: Vec<usize> = split.train.iter().chain(&split.test).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn test_set_keeps_imbalance() {
+        let l = labels();
+        let split = balanced_split(&l, 0.5, 3.0, 7);
+        let pos_test = split.test.iter().filter(|&&i| l[i]).count();
+        let neg_test = split.test.len() - pos_test;
+        assert_eq!(pos_test, 5);
+        assert!(neg_test > 10 * pos_test, "test negatives dominate");
+    }
+
+    #[test]
+    fn negative_ratio_capped_by_supply() {
+        let l = vec![true, true, false];
+        let split = balanced_split(&l, 1.0, 10.0, 1);
+        let neg_train = split.train.iter().filter(|&&i| !l[i]).count();
+        assert_eq!(neg_train, 1);
+    }
+
+    #[test]
+    fn deterministic() {
+        let l = labels();
+        let a = balanced_split(&l, 0.4, 2.0, 42);
+        let b = balanced_split(&l, 0.4, 2.0, 42);
+        assert_eq!(a.train, b.train);
+        assert_eq!(a.test, b.test);
+    }
+}

@@ -1,0 +1,264 @@
+//! CART-style decision tree classifier.
+//!
+//! The learning-to-match literature the paper cites (\[18\] "learning
+//! object identification rules") uses decision trees over similarity
+//! features — the rules are human-readable ("if TF-IDF cosine > 0.4 and
+//! Jaccard > 0.2 then match"). This is a small axis-aligned CART with
+//! Gini impurity, depth/leaf limits, and probability leaves.
+
+use crate::Classifier;
+
+/// Decision-tree hyperparameters.
+#[derive(Debug, Clone, Copy)]
+pub struct TreeConfig {
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Minimum samples required to split a node.
+    pub min_samples_split: usize,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        Self {
+            max_depth: 6,
+            min_samples_split: 8,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        /// Fraction of positives among the training samples at the leaf.
+        probability: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: Box<Node>,  // feature < threshold
+        right: Box<Node>, // feature >= threshold
+    },
+}
+
+/// A trained CART decision tree.
+#[derive(Debug, Clone)]
+pub struct DecisionTree {
+    root: Node,
+    n_features: usize,
+}
+
+impl DecisionTree {
+    /// Fits a tree on row-major samples with boolean labels.
+    pub fn fit(samples: &[Vec<f64>], labels: &[bool], config: &TreeConfig) -> Self {
+        assert_eq!(samples.len(), labels.len(), "samples and labels must be parallel");
+        assert!(!samples.is_empty(), "cannot fit on no samples");
+        let n_features = samples[0].len();
+        let idx: Vec<usize> = (0..samples.len()).collect();
+        let root = build(samples, labels, &idx, config, 0);
+        Self { root, n_features }
+    }
+
+    /// Number of leaves (a size/interpretability measure).
+    pub fn leaf_count(&self) -> usize {
+        fn count(node: &Node) -> usize {
+            match node {
+                Node::Leaf { .. } => 1,
+                Node::Split { left, right, .. } => count(left) + count(right),
+            }
+        }
+        count(&self.root)
+    }
+
+    /// Maximum depth actually reached.
+    pub fn depth(&self) -> usize {
+        fn depth(node: &Node) -> usize {
+            match node {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => 1 + depth(left).max(depth(right)),
+            }
+        }
+        depth(&self.root)
+    }
+}
+
+impl Classifier for DecisionTree {
+    fn predict_proba(&self, features: &[f64]) -> f64 {
+        assert_eq!(features.len(), self.n_features, "dimension mismatch");
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Leaf { probability } => return *probability,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if features[*feature] < *threshold {
+                        left
+                    } else {
+                        right
+                    };
+                }
+            }
+        }
+    }
+}
+
+fn build(
+    samples: &[Vec<f64>],
+    labels: &[bool],
+    idx: &[usize],
+    config: &TreeConfig,
+    depth: usize,
+) -> Node {
+    let positives = idx.iter().filter(|&&i| labels[i]).count();
+    let probability = positives as f64 / idx.len() as f64;
+    if depth >= config.max_depth
+        || idx.len() < config.min_samples_split
+        || positives == 0
+        || positives == idx.len()
+    {
+        return Node::Leaf { probability };
+    }
+    match best_split(samples, labels, idx) {
+        None => Node::Leaf { probability },
+        Some((feature, threshold)) => {
+            let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = idx
+                .iter()
+                .partition(|&&i| samples[i][feature] < threshold);
+            if left_idx.is_empty() || right_idx.is_empty() {
+                return Node::Leaf { probability };
+            }
+            Node::Split {
+                feature,
+                threshold,
+                left: Box::new(build(samples, labels, &left_idx, config, depth + 1)),
+                right: Box::new(build(samples, labels, &right_idx, config, depth + 1)),
+            }
+        }
+    }
+}
+
+/// Finds the `(feature, threshold)` minimizing weighted Gini impurity, or
+/// `None` when no split improves on the parent.
+#[allow(clippy::needless_range_loop)]
+fn best_split(samples: &[Vec<f64>], labels: &[bool], idx: &[usize]) -> Option<(usize, f64)> {
+    let n = idx.len() as f64;
+    let total_pos = idx.iter().filter(|&&i| labels[i]).count() as f64;
+    let parent_gini = gini(total_pos, n);
+    let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, gini)
+    let n_features = samples[idx[0]].len();
+    for f in 0..n_features {
+        // Sort sample indices by this feature.
+        let mut order: Vec<usize> = idx.to_vec();
+        order.sort_by(|&a, &b| {
+            samples[a][f]
+                .partial_cmp(&samples[b][f])
+                .expect("finite features")
+        });
+        let mut left_pos = 0.0f64;
+        for k in 1..order.len() {
+            left_pos += f64::from(labels[order[k - 1]]);
+            let (lo, hi) = (samples[order[k - 1]][f], samples[order[k]][f]);
+            if lo == hi {
+                continue; // cannot split inside a tie group
+            }
+            let left_n = k as f64;
+            let right_n = n - left_n;
+            let right_pos = total_pos - left_pos;
+            let weighted =
+                (left_n / n) * gini(left_pos, left_n) + (right_n / n) * gini(right_pos, right_n);
+            if best.as_ref().is_none_or(|&(_, _, g)| weighted < g) {
+                best = Some((f, (lo + hi) / 2.0, weighted));
+            }
+        }
+    }
+    best.filter(|&(_, _, g)| g + 1e-12 < parent_gini)
+        .map(|(f, t, _)| (f, t))
+}
+
+fn gini(positives: f64, total: f64) -> f64 {
+    if total == 0.0 {
+        return 0.0;
+    }
+    let p = positives / total;
+    2.0 * p * (1.0 - p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// XOR-ish data no linear model can fit, trees can.
+    fn xor_data() -> (Vec<Vec<f64>>, Vec<bool>) {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..10 {
+            for j in 0..10 {
+                let (a, b) = (i as f64 / 10.0, j as f64 / 10.0);
+                x.push(vec![a, b]);
+                y.push((a > 0.5) != (b > 0.5));
+            }
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn fits_xor() {
+        let (x, y) = xor_data();
+        let tree = DecisionTree::fit(&x, &y, &TreeConfig::default());
+        let correct = x
+            .iter()
+            .zip(&y)
+            .filter(|(xi, &yi)| tree.predict(xi) == yi)
+            .count();
+        assert!(correct as f64 / x.len() as f64 > 0.95, "{correct}/100");
+    }
+
+    #[test]
+    fn respects_depth_limit() {
+        let (x, y) = xor_data();
+        let stump = DecisionTree::fit(
+            &x,
+            &y,
+            &TreeConfig {
+                max_depth: 1,
+                min_samples_split: 2,
+            },
+        );
+        assert!(stump.depth() <= 1);
+        assert!(stump.leaf_count() <= 2);
+    }
+
+    #[test]
+    fn pure_leaves_give_confident_probabilities() {
+        let x = vec![vec![0.0], vec![0.1], vec![0.9], vec![1.0]];
+        let y = vec![false, false, true, true];
+        let tree = DecisionTree::fit(&x, &y, &TreeConfig {
+            max_depth: 3,
+            min_samples_split: 2,
+        });
+        assert_eq!(tree.predict_proba(&[0.05]), 0.0);
+        assert_eq!(tree.predict_proba(&[0.95]), 1.0);
+    }
+
+    #[test]
+    fn constant_features_yield_single_leaf() {
+        let x = vec![vec![1.0], vec![1.0], vec![1.0], vec![1.0]];
+        let y = vec![true, false, true, false];
+        let tree = DecisionTree::fit(&x, &y, &TreeConfig::default());
+        assert_eq!(tree.leaf_count(), 1);
+        assert_eq!(tree.predict_proba(&[1.0]), 0.5);
+    }
+
+    #[test]
+    fn deterministic() {
+        let (x, y) = xor_data();
+        let a = DecisionTree::fit(&x, &y, &TreeConfig::default());
+        let b = DecisionTree::fit(&x, &y, &TreeConfig::default());
+        for xi in &x {
+            assert_eq!(a.predict_proba(xi), b.predict_proba(xi));
+        }
+    }
+}

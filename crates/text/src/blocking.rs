@@ -1,0 +1,179 @@
+//! Blocking — scalable candidate-pair generation.
+//!
+//! Enumerating all `n(n−1)/2` record pairs is quadratic; real ER systems
+//! *block* records so only pairs inside a block become candidates. The
+//! fusion framework's bipartite construction is itself **token
+//! blocking** (a pair is a candidate iff it shares a post-filter term);
+//! this module makes that explicit and adds the other classic scheme,
+//! **sorted-neighborhood**, for corpora too large to token-block.
+//!
+//! Both produce `(a, b)` candidate pairs compatible with
+//! `er_graph::BipartiteGraphBuilder::pair_filter`, so they compose with
+//! the rest of the pipeline.
+
+use std::collections::HashSet;
+
+use crate::corpus::Corpus;
+use crate::tokenize::TermId;
+
+/// Token blocking: candidates are all pairs co-occurring in at least one
+/// term's postings, with terms above `max_block_size` skipped (their
+/// blocks are quadratic and nearly information-free).
+///
+/// Returns sorted, deduplicated `(a, b)` pairs with `a < b`.
+pub fn token_blocking(corpus: &Corpus, max_block_size: usize) -> Vec<(u32, u32)> {
+    let mut pairs: HashSet<(u32, u32)> = HashSet::new();
+    for i in 0..corpus.vocab_len() {
+        let postings = corpus.postings(TermId(i as u32));
+        if postings.len() < 2 || postings.len() > max_block_size {
+            continue;
+        }
+        for (k, &a) in postings.iter().enumerate() {
+            for &b in &postings[k + 1..] {
+                pairs.insert((a, b));
+            }
+        }
+    }
+    let mut out: Vec<(u32, u32)> = pairs.into_iter().collect();
+    out.sort_unstable();
+    out
+}
+
+/// Sorted-neighborhood blocking: records are sorted by a blocking key and
+/// every pair within a sliding window of `window` records becomes a
+/// candidate.
+///
+/// The key here is the record's rarest-first term sequence (terms sorted
+/// by ascending document frequency, then lexicographically), which puts
+/// records sharing discriminative terms next to each other — the
+/// standard "most distinguishing prefix" key choice.
+///
+/// Returns sorted, deduplicated `(a, b)` pairs with `a < b`.
+pub fn sorted_neighborhood(corpus: &Corpus, window: usize) -> Vec<(u32, u32)> {
+    assert!(window >= 2, "window must cover at least two records");
+    let keys: Vec<String> = (0..corpus.len()).map(|r| blocking_key(corpus, r)).collect();
+    let mut order: Vec<u32> = (0..corpus.len() as u32).collect();
+    order.sort_by(|&a, &b| keys[a as usize].cmp(&keys[b as usize]));
+    let mut pairs: HashSet<(u32, u32)> = HashSet::new();
+    for (i, &a) in order.iter().enumerate() {
+        for &b in order.iter().skip(i + 1).take(window - 1) {
+            pairs.insert(if a < b { (a, b) } else { (b, a) });
+        }
+    }
+    let mut out: Vec<(u32, u32)> = pairs.into_iter().collect();
+    out.sort_unstable();
+    out
+}
+
+/// The sorted-neighborhood blocking key of record `r`: its **shareable**
+/// terms (document frequency ≥ 2 — unique terms cannot match anything
+/// and would scatter the sort) ordered by ascending document frequency,
+/// rarest first, joined by spaces.
+pub fn blocking_key(corpus: &Corpus, r: usize) -> String {
+    let mut terms: Vec<TermId> = corpus
+        .term_set(r)
+        .iter()
+        .copied()
+        .filter(|&t| corpus.filtered_doc_freq(t) >= 2)
+        .collect();
+    terms.sort_by_key(|&t| (corpus.filtered_doc_freq(t), corpus.vocab().term(t)));
+    terms
+        .iter()
+        .map(|&t| corpus.vocab().term(t))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Reduction ratio of a candidate set versus the full pair universe:
+/// `1 − |candidates| / (n(n−1)/2)`. The standard blocking quality metric
+/// (paired with pair completeness, i.e. recall of true pairs).
+pub fn reduction_ratio(n_records: usize, n_candidates: usize) -> f64 {
+    let universe = n_records * n_records.saturating_sub(1) / 2;
+    if universe == 0 {
+        return 0.0;
+    }
+    1.0 - n_candidates as f64 / universe as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::CorpusBuilder;
+
+    fn corpus() -> Corpus {
+        CorpusBuilder::new()
+            .push_text("fenix sunset 8358")
+            .push_text("fenix sunset 8358 hollywood")
+            .push_text("grill dayton 9560")
+            .push_text("grill dayton 9560 beverly")
+            .push_text("unrelated words only")
+            .build()
+    }
+
+    #[test]
+    fn token_blocking_finds_sharing_pairs() {
+        let pairs = token_blocking(&corpus(), 10);
+        assert!(pairs.contains(&(0, 1)));
+        assert!(pairs.contains(&(2, 3)));
+        assert!(!pairs.contains(&(0, 2)), "no shared term");
+        assert!(!pairs.iter().any(|&(a, b)| a == 4 || b == 4));
+    }
+
+    #[test]
+    fn block_size_cap_prunes_stop_terms() {
+        let c = CorpusBuilder::new()
+            .extend_texts(["x a", "x b", "x c", "x d", "x e"])
+            .build();
+        let capped = token_blocking(&c, 3);
+        assert!(capped.is_empty(), "the x-block exceeds the cap: {capped:?}");
+        let uncapped = token_blocking(&c, 10);
+        assert_eq!(uncapped.len(), 10); // C(5,2)
+    }
+
+    #[test]
+    fn sorted_neighborhood_pairs_similar_keys() {
+        let pairs = sorted_neighborhood(&corpus(), 2);
+        // Records 0/1 and 2/3 share their rarest terms, so their keys are
+        // adjacent in the sort.
+        assert!(pairs.contains(&(0, 1)), "{pairs:?}");
+        assert!(pairs.contains(&(2, 3)), "{pairs:?}");
+    }
+
+    #[test]
+    fn window_size_controls_candidate_count() {
+        let c = corpus();
+        let narrow = sorted_neighborhood(&c, 2);
+        let wide = sorted_neighborhood(&c, 4);
+        assert!(narrow.len() < wide.len());
+        // Window w over n records yields at most (w-1)*n pairs.
+        assert!(wide.len() <= 3 * c.len());
+    }
+
+    #[test]
+    fn blocking_key_puts_rarest_shareable_first() {
+        let c = CorpusBuilder::new()
+            .push_text("common rare extra")
+            .push_text("common rare")
+            .push_text("common third")
+            .push_text("common third")
+            .build();
+        // "extra" is unique (df 1) and must be excluded; "rare" (df 2) is
+        // rarer than "common" (df 4) and leads.
+        let key = blocking_key(&c, 0);
+        assert_eq!(key, "rare common");
+    }
+
+    #[test]
+    fn reduction_ratio_bounds() {
+        assert_eq!(reduction_ratio(0, 0), 0.0);
+        assert_eq!(reduction_ratio(10, 0), 1.0);
+        assert!((reduction_ratio(10, 45) - 0.0).abs() < 1e-12);
+        assert!((reduction_ratio(10, 9) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "window")]
+    fn tiny_window_rejected() {
+        sorted_neighborhood(&corpus(), 1);
+    }
+}

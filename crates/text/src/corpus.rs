@@ -1,0 +1,332 @@
+//! A tokenized record corpus with frequent-term filtering and inverted
+//! indexes — the data structure every algorithm in the framework consumes.
+//!
+//! §VII-A of the paper: *"we first tokenize the textual contents and then
+//! remove the terms that are very frequent"*. The [`CorpusBuilder`] applies
+//! that filter at build time so the bipartite graph, the baselines and the
+//! feature extractors all see the same filtered term universe.
+
+use crate::tokenize::{TermId, Vocabulary};
+
+/// Immutable tokenized corpus.
+///
+/// Per record it stores both the **token list** (with duplicates, for term
+/// frequency) and the **term set** (sorted, deduplicated, for set-based
+/// similarity and the bipartite graph). An inverted index maps every term
+/// to the sorted list of records containing it.
+#[derive(Debug, Clone)]
+pub struct Corpus {
+    vocab: Vocabulary,
+    tokens: Vec<Vec<TermId>>,
+    term_sets: Vec<Vec<TermId>>,
+    inverted: Vec<Vec<u32>>,
+    removed_terms: Vec<TermId>,
+}
+
+impl Corpus {
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// True when the corpus holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    /// Number of distinct terms in the vocabulary (including filtered ones).
+    pub fn vocab_len(&self) -> usize {
+        self.vocab.len()
+    }
+
+    /// The interning vocabulary (term strings and document frequencies).
+    pub fn vocab(&self) -> &Vocabulary {
+        &self.vocab
+    }
+
+    /// Token list of record `r` (after frequent-term filtering), with
+    /// duplicates and in original order.
+    pub fn tokens(&self, r: usize) -> &[TermId] {
+        &self.tokens[r]
+    }
+
+    /// Sorted, deduplicated term set of record `r`.
+    pub fn term_set(&self, r: usize) -> &[TermId] {
+        &self.term_sets[r]
+    }
+
+    /// Sorted record ids containing term `t` (empty for filtered terms).
+    pub fn postings(&self, t: TermId) -> &[u32] {
+        &self.inverted[t.index()]
+    }
+
+    /// Terms removed by the frequent-term filter at build time.
+    pub fn removed_terms(&self) -> &[TermId] {
+        &self.removed_terms
+    }
+
+    /// Document frequency of `t` **after** filtering (0 if removed).
+    pub fn filtered_doc_freq(&self, t: TermId) -> u32 {
+        self.inverted[t.index()].len() as u32
+    }
+
+    /// Terms shared by records `i` and `j` (sorted merge of the two term
+    /// sets — O(|i| + |j|)).
+    pub fn shared_terms(&self, i: usize, j: usize) -> Vec<TermId> {
+        intersect_sorted(&self.term_sets[i], &self.term_sets[j])
+    }
+
+    /// Number of terms shared by records `i` and `j` without allocating.
+    pub fn shared_term_count(&self, i: usize, j: usize) -> usize {
+        count_intersect_sorted(&self.term_sets[i], &self.term_sets[j])
+    }
+
+    /// Iterates `(TermId, postings)` over terms that survived filtering and
+    /// occur in at least `min_records` records.
+    pub fn terms_with_min_df(
+        &self,
+        min_records: usize,
+    ) -> impl Iterator<Item = (TermId, &[u32])> {
+        self.inverted
+            .iter()
+            .enumerate()
+            .filter(move |(_, recs)| recs.len() >= min_records)
+            .map(|(i, recs)| (TermId(i as u32), recs.as_slice()))
+    }
+}
+
+/// Intersection of two sorted, deduplicated slices.
+pub fn intersect_sorted(a: &[TermId], b: &[TermId]) -> Vec<TermId> {
+    let mut out = Vec::new();
+    let (mut ia, mut ib) = (0, 0);
+    while ia < a.len() && ib < b.len() {
+        match a[ia].cmp(&b[ib]) {
+            std::cmp::Ordering::Less => ia += 1,
+            std::cmp::Ordering::Greater => ib += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[ia]);
+                ia += 1;
+                ib += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Size of the intersection of two sorted, deduplicated slices.
+pub fn count_intersect_sorted(a: &[TermId], b: &[TermId]) -> usize {
+    let mut n = 0;
+    let (mut ia, mut ib) = (0, 0);
+    while ia < a.len() && ib < b.len() {
+        match a[ia].cmp(&b[ib]) {
+            std::cmp::Ordering::Less => ia += 1,
+            std::cmp::Ordering::Greater => ib += 1,
+            std::cmp::Ordering::Equal => {
+                n += 1;
+                ia += 1;
+                ib += 1;
+            }
+        }
+    }
+    n
+}
+
+/// Builds a [`Corpus`] from raw record texts.
+#[derive(Debug, Default)]
+pub struct CorpusBuilder {
+    texts: Vec<String>,
+    max_df_fraction: Option<f64>,
+    max_df_absolute: Option<u32>,
+}
+
+impl CorpusBuilder {
+    /// Creates a builder with no frequent-term filtering.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one record's raw text.
+    pub fn push_text(mut self, text: impl Into<String>) -> Self {
+        self.texts.push(text.into());
+        self
+    }
+
+    /// Adds many records' raw texts.
+    pub fn extend_texts<I, S>(mut self, texts: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.texts.extend(texts.into_iter().map(Into::into));
+        self
+    }
+
+    /// Removes terms whose document frequency exceeds `fraction` of the
+    /// corpus size (§VII-A's "very frequent" filter). A typical value for
+    /// the benchmark datasets is `0.1`.
+    pub fn max_df_fraction(mut self, fraction: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "max_df_fraction must be in [0, 1], got {fraction}"
+        );
+        self.max_df_fraction = Some(fraction);
+        self
+    }
+
+    /// Removes terms occurring in more than `count` records. When both an
+    /// absolute and a fractional cap are set, the stricter one wins.
+    pub fn max_df_absolute(mut self, count: u32) -> Self {
+        self.max_df_absolute = Some(count);
+        self
+    }
+
+    /// Tokenizes, interns, filters and indexes all records.
+    pub fn build(self) -> Corpus {
+        let mut vocab = Vocabulary::new();
+        let mut tokens: Vec<Vec<TermId>> = Vec::with_capacity(self.texts.len());
+        for text in &self.texts {
+            tokens.push(vocab.intern_record(text));
+        }
+        let n = tokens.len();
+
+        let mut cap = u32::MAX;
+        if let Some(f) = self.max_df_fraction {
+            // Clamp the fraction-derived cap to at least 2: a term must
+            // appear in two records to form any candidate pair, so caps
+            // below 2 would silently empty tiny corpora.
+            cap = cap.min(((f * n as f64).floor() as u32).max(2));
+        }
+        if let Some(c) = self.max_df_absolute {
+            cap = cap.min(c);
+        }
+
+        let mut removed_terms = Vec::new();
+        let keep: Vec<bool> = (0..vocab.len())
+            .map(|i| {
+                let id = TermId(i as u32);
+                let ok = vocab.doc_freq(id) <= cap;
+                if !ok {
+                    removed_terms.push(id);
+                }
+                ok
+            })
+            .collect();
+
+        let mut term_sets: Vec<Vec<TermId>> = Vec::with_capacity(n);
+        let mut inverted: Vec<Vec<u32>> = vec![Vec::new(); vocab.len()];
+        for (r, toks) in tokens.iter_mut().enumerate() {
+            toks.retain(|t| keep[t.index()]);
+            let mut set = toks.clone();
+            set.sort_unstable();
+            set.dedup();
+            for &t in &set {
+                inverted[t.index()].push(r as u32);
+            }
+            term_sets.push(set);
+        }
+
+        Corpus {
+            vocab,
+            tokens,
+            term_sets,
+            inverted,
+            removed_terms,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_corpus() -> Corpus {
+        CorpusBuilder::new()
+            .push_text("fenix at the argyle 8358 sunset blvd")
+            .push_text("fenix 8358 sunset blvd west hollywood")
+            .push_text("grill on the alley 9560 dayton way")
+            .build()
+    }
+
+    #[test]
+    fn shared_terms_are_symmetric_and_correct() {
+        let c = small_corpus();
+        let s01 = c.shared_terms(0, 1);
+        let s10 = c.shared_terms(1, 0);
+        assert_eq!(s01, s10);
+        let names: Vec<&str> = s01.iter().map(|&t| c.vocab().term(t)).collect();
+        assert_eq!(names, vec!["fenix", "8358", "sunset", "blvd"]);
+        assert_eq!(c.shared_term_count(0, 1), 4);
+    }
+
+    #[test]
+    fn postings_are_sorted_record_ids() {
+        let c = small_corpus();
+        let fenix = c.vocab().get("fenix").unwrap();
+        assert_eq!(c.postings(fenix), &[0, 1]);
+        let the = c.vocab().get("the").unwrap();
+        assert_eq!(c.postings(the), &[0, 2]);
+    }
+
+    #[test]
+    fn frequent_term_filter_drops_common_terms() {
+        let c = CorpusBuilder::new()
+            .push_text("common alpha")
+            .push_text("common beta")
+            .push_text("common gamma")
+            .push_text("common delta")
+            .max_df_fraction(0.5)
+            .build();
+        let common = c.vocab().get("common").unwrap();
+        assert!(c.postings(common).is_empty(), "filtered term has no postings");
+        assert_eq!(c.removed_terms(), &[common]);
+        assert!(c.term_set(0).iter().all(|&t| t != common));
+        assert_eq!(c.filtered_doc_freq(common), 0);
+    }
+
+    #[test]
+    fn absolute_cap_composes_with_fraction() {
+        let c = CorpusBuilder::new()
+            .extend_texts(["x a", "x b", "x c", "y d", "y e"])
+            .max_df_absolute(2)
+            .build();
+        let x = c.vocab().get("x").unwrap();
+        let y = c.vocab().get("y").unwrap();
+        assert!(c.postings(x).is_empty());
+        assert_eq!(c.postings(y).len(), 2);
+    }
+
+    #[test]
+    fn duplicate_tokens_kept_in_token_list_not_term_set() {
+        let c = CorpusBuilder::new().push_text("la la land").build();
+        assert_eq!(c.tokens(0).len(), 3);
+        assert_eq!(c.term_set(0).len(), 2);
+    }
+
+    #[test]
+    fn terms_with_min_df_filters() {
+        let c = small_corpus();
+        let multi: Vec<&str> = c
+            .terms_with_min_df(2)
+            .map(|(t, _)| c.vocab().term(t))
+            .collect();
+        assert!(multi.contains(&"fenix"));
+        assert!(multi.contains(&"the"));
+        assert!(!multi.contains(&"argyle"));
+    }
+
+    #[test]
+    fn intersect_helpers_edge_cases() {
+        assert!(intersect_sorted(&[], &[TermId(1)]).is_empty());
+        assert_eq!(count_intersect_sorted(&[TermId(1)], &[TermId(1)]), 1);
+        let a = [TermId(1), TermId(3), TermId(5)];
+        let b = [TermId(2), TermId(3), TermId(6)];
+        assert_eq!(intersect_sorted(&a, &b), vec![TermId(3)]);
+    }
+
+    #[test]
+    fn empty_corpus() {
+        let c = CorpusBuilder::new().build();
+        assert!(c.is_empty());
+        assert_eq!(c.vocab_len(), 0);
+    }
+}

@@ -1,0 +1,51 @@
+//! # er-text
+//!
+//! Text substrate for the unsupervised entity-resolution framework.
+//!
+//! The paper ("A Graph-Theoretic Fusion Framework for Unsupervised Entity
+//! Resolution", ICDE 2018) treats every record as a bag of normalized terms
+//! produced by tokenizing its textual content and removing very frequent
+//! terms (§VII-A). This crate provides:
+//!
+//! * [`mod@normalize`] — lowercasing / punctuation folding used before
+//!   tokenization.
+//! * [`mod@tokenize`] — whitespace tokenization plus a [`Vocabulary`] that
+//!   interns terms into dense [`TermId`]s and tracks document frequency.
+//! * [`corpus`] — a [`Corpus`] of tokenized records with frequent-term
+//!   filtering, inverted indexes, and TF/IDF statistics.
+//! * [`blocking`] — scalable candidate generation (token blocking and
+//!   sorted-neighborhood).
+//! * [`metrics`] — the string-similarity metrics used by the paper's
+//!   string-distance baselines (Jaccard, TF-IDF cosine) and by the
+//!   supervised baselines' feature extractors (edit distance, Jaro,
+//!   Jaro-Winkler, n-gram overlap, Monge-Elkan, SoftTFIDF, …).
+//!
+//! Everything here is deterministic and allocation-conscious: records are
+//! interned once and all downstream algorithms work with integer term ids.
+//!
+//! ```
+//! use er_text::{Corpus, CorpusBuilder};
+//!
+//! let corpus: Corpus = CorpusBuilder::new()
+//!     .push_text("Fenix at the Argyle 8358 Sunset Blvd")
+//!     .push_text("Fenix 8358 Sunset Blvd West Hollywood")
+//!     .build();
+//! assert_eq!(corpus.len(), 2);
+//! let shared = corpus.shared_terms(0, 1);
+//! assert!(shared.len() >= 3); // fenix, 8358, sunset, blvd
+//! ```
+
+pub mod blocking;
+pub mod corpus;
+pub mod metrics;
+pub mod normalize;
+pub mod tokenize;
+
+pub use blocking::{sorted_neighborhood, token_blocking};
+pub use corpus::{Corpus, CorpusBuilder};
+pub use metrics::{
+    cosine_tokens, dice, jaccard, jaro, jaro_winkler, levenshtein, levenshtein_similarity,
+    monge_elkan, ngram_similarity, overlap_coefficient, soft_tfidf, StringMetric, TfIdfModel,
+};
+pub use normalize::normalize;
+pub use tokenize::{tokenize, tokenize_normalized, TermId, Vocabulary};

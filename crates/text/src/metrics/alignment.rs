@@ -1,0 +1,174 @@
+//! Sequence-alignment similarities (Needleman-Wunsch, Smith-Waterman).
+//!
+//! Alignment scores are the other classic family in the name-matching
+//! comparison the paper cites \[15\]: global alignment (Needleman-Wunsch)
+//! behaves like a gap-aware edit distance, while local alignment
+//! (Smith-Waterman) finds the best matching *substring* — robust when one
+//! field is embedded in longer text ("deli" inside "art's delicatessen").
+
+/// Scoring scheme for the alignment algorithms.
+#[derive(Debug, Clone, Copy)]
+pub struct AlignmentScoring {
+    /// Score for a matching character pair (> 0).
+    pub match_score: f64,
+    /// Score for a mismatching pair (≤ 0).
+    pub mismatch: f64,
+    /// Score per gap character (≤ 0).
+    pub gap: f64,
+}
+
+impl Default for AlignmentScoring {
+    fn default() -> Self {
+        Self {
+            match_score: 1.0,
+            mismatch: -1.0,
+            gap: -0.5,
+        }
+    }
+}
+
+/// Needleman-Wunsch global alignment score of `a` and `b`.
+pub fn needleman_wunsch(a: &str, b: &str, scoring: &AlignmentScoring) -> f64 {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let (n, m) = (a.len(), b.len());
+    let mut prev: Vec<f64> = (0..=m).map(|j| j as f64 * scoring.gap).collect();
+    let mut cur = vec![0.0f64; m + 1];
+    for i in 1..=n {
+        cur[0] = i as f64 * scoring.gap;
+        for j in 1..=m {
+            let sub = if a[i - 1] == b[j - 1] {
+                scoring.match_score
+            } else {
+                scoring.mismatch
+            };
+            cur[j] = (prev[j - 1] + sub)
+                .max(prev[j] + scoring.gap)
+                .max(cur[j - 1] + scoring.gap);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[m]
+}
+
+/// Normalized global-alignment similarity in `[0, 1]`:
+/// `max(0, score) / (match_score · max(|a|, |b|))`.
+pub fn needleman_wunsch_similarity(a: &str, b: &str) -> f64 {
+    let scoring = AlignmentScoring::default();
+    let max_len = a.chars().count().max(b.chars().count());
+    if max_len == 0 {
+        return 1.0;
+    }
+    let score = needleman_wunsch(a, b, &scoring);
+    (score / (scoring.match_score * max_len as f64)).clamp(0.0, 1.0)
+}
+
+/// Smith-Waterman local alignment score: the best-scoring pair of
+/// substrings (never negative).
+pub fn smith_waterman(a: &str, b: &str, scoring: &AlignmentScoring) -> f64 {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let m = b.len();
+    let mut prev = vec![0.0f64; m + 1];
+    let mut cur = vec![0.0f64; m + 1];
+    let mut best = 0.0f64;
+    for i in 1..=a.len() {
+        for j in 1..=m {
+            let sub = if a[i - 1] == b[j - 1] {
+                scoring.match_score
+            } else {
+                scoring.mismatch
+            };
+            cur[j] = (prev[j - 1] + sub)
+                .max(prev[j] + scoring.gap)
+                .max(cur[j - 1] + scoring.gap)
+                .max(0.0);
+            best = best.max(cur[j]);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+        cur[0] = 0.0;
+    }
+    best
+}
+
+/// Normalized local-alignment similarity in `[0, 1]`:
+/// `score / (match_score · min(|a|, |b|))` — 1.0 when the shorter string
+/// aligns perfectly inside the longer.
+pub fn smith_waterman_similarity(a: &str, b: &str) -> f64 {
+    let scoring = AlignmentScoring::default();
+    let min_len = a.chars().count().min(b.chars().count());
+    if min_len == 0 {
+        return if a.is_empty() && b.is_empty() { 1.0 } else { 0.0 };
+    }
+    let score = smith_waterman(a, b, &scoring);
+    (score / (scoring.match_score * min_len as f64)).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_strings_align_perfectly() {
+        assert_eq!(needleman_wunsch_similarity("deli", "deli"), 1.0);
+        assert_eq!(smith_waterman_similarity("deli", "deli"), 1.0);
+    }
+
+    #[test]
+    fn substring_embedding_favors_local_alignment() {
+        let nw = needleman_wunsch_similarity("deli", "arts delicatessen");
+        let sw = smith_waterman_similarity("deli", "arts delicatessen");
+        assert_eq!(sw, 1.0, "\"deli\" embeds perfectly");
+        assert!(nw < 0.5, "global alignment pays for the length gap: {nw}");
+    }
+
+    #[test]
+    fn disjoint_strings_score_low() {
+        assert!(needleman_wunsch_similarity("aaaa", "zzzz") == 0.0);
+        assert!(smith_waterman_similarity("aaaa", "zzzz") < 0.3);
+    }
+
+    #[test]
+    fn nw_score_known_value() {
+        // "ab" vs "ab": 2 matches = 2.0; "ab" vs "ba": best is one match
+        // with gaps (a aligned, b gapped twice: 1 - 0.5*2 = 0) or two
+        // mismatches (-2): max = 0.
+        let s = AlignmentScoring::default();
+        assert_eq!(needleman_wunsch("ab", "ab", &s), 2.0);
+        assert_eq!(needleman_wunsch("ab", "ba", &s), 0.0);
+    }
+
+    #[test]
+    fn sw_never_negative() {
+        let s = AlignmentScoring::default();
+        assert_eq!(smith_waterman("abc", "xyz", &s), 0.0);
+    }
+
+    #[test]
+    fn empty_handling() {
+        assert_eq!(needleman_wunsch_similarity("", ""), 1.0);
+        assert_eq!(smith_waterman_similarity("", ""), 1.0);
+        assert_eq!(smith_waterman_similarity("", "x"), 0.0);
+    }
+
+    #[test]
+    fn symmetric() {
+        for (a, b) in [("ventura", "ventura blvd"), ("abc", "acb")] {
+            assert!(
+                (needleman_wunsch_similarity(a, b) - needleman_wunsch_similarity(b, a)).abs()
+                    < 1e-12
+            );
+            assert!(
+                (smith_waterman_similarity(a, b) - smith_waterman_similarity(b, a)).abs() < 1e-12
+            );
+        }
+    }
+
+    #[test]
+    fn typo_tolerance_beats_disjoint() {
+        let typo = smith_waterman_similarity("delicatessen", "delicatesen");
+        let unrelated = smith_waterman_similarity("delicatessen", "university");
+        assert!(typo > 0.8);
+        assert!(typo > unrelated + 0.4);
+    }
+}

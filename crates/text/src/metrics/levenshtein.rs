@@ -1,0 +1,127 @@
+//! Edit-distance metrics (Levenshtein and Damerau-Levenshtein).
+//!
+//! Edit distance is the character-based metric the paper cites via Monge &
+//! Elkan's field-matching work \[1\]; the `er-ml` feature extractor uses the
+//! normalized similarity form.
+
+/// Levenshtein (insert/delete/substitute) distance between two strings,
+/// computed over Unicode scalar values with a two-row dynamic program:
+/// O(|a|·|b|) time, O(min(|a|,|b|)) space.
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let (short, long) = if a.len() <= b.len() { (&a, &b) } else { (&b, &a) };
+    if short.is_empty() {
+        return long.len();
+    }
+    let mut prev: Vec<usize> = (0..=short.len()).collect();
+    let mut cur: Vec<usize> = vec![0; short.len() + 1];
+    for (i, &lc) in long.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &sc) in short.iter().enumerate() {
+            let cost = usize::from(lc != sc);
+            cur[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[short.len()]
+}
+
+/// Damerau-Levenshtein distance: Levenshtein plus adjacent transposition
+/// (the "restricted" optimal-string-alignment variant). Transpositions are
+/// the dominant typo class injected by the dataset corrupters, so the
+/// supervised features include this variant.
+#[allow(clippy::needless_range_loop)]
+pub fn damerau_levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let (n, m) = (a.len(), b.len());
+    if n == 0 {
+        return m;
+    }
+    if m == 0 {
+        return n;
+    }
+    // Full (n+1)×(m+1) table: record fields are short strings, so the
+    // quadratic space is negligible and keeps the transposition case simple.
+    let width = m + 1;
+    let mut d = vec![0usize; (n + 1) * width];
+    for j in 0..=m {
+        d[j] = j;
+    }
+    for i in 1..=n {
+        d[i * width] = i;
+        for j in 1..=m {
+            let cost = usize::from(a[i - 1] != b[j - 1]);
+            let mut best = (d[(i - 1) * width + j - 1] + cost)
+                .min(d[(i - 1) * width + j] + 1)
+                .min(d[i * width + j - 1] + 1);
+            if i > 1 && j > 1 && a[i - 1] == b[j - 2] && a[i - 2] == b[j - 1] {
+                best = best.min(d[(i - 2) * width + j - 2] + 1);
+            }
+            d[i * width + j] = best;
+        }
+    }
+    d[n * width + m]
+}
+
+/// Normalized Levenshtein similarity: `1 − dist / max(|a|, |b|)`, with
+/// `1.0` for two empty strings.
+pub fn levenshtein_similarity(a: &str, b: &str) -> f64 {
+    let la = a.chars().count();
+    let lb = b.chars().count();
+    let max = la.max(lb);
+    if max == 0 {
+        return 1.0;
+    }
+    1.0 - levenshtein(a, b) as f64 / max as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_cases() {
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("flaw", "lawn"), 2);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("abc", "abc"), 0);
+    }
+
+    #[test]
+    fn symmetric() {
+        assert_eq!(levenshtein("sunday", "saturday"), levenshtein("saturday", "sunday"));
+    }
+
+    #[test]
+    fn unicode_counts_scalars_not_bytes() {
+        assert_eq!(levenshtein("café", "cafe"), 1);
+    }
+
+    #[test]
+    fn damerau_counts_transposition_as_one() {
+        assert_eq!(levenshtein("ca", "ac"), 2);
+        assert_eq!(damerau_levenshtein("ca", "ac"), 1);
+        assert_eq!(damerau_levenshtein("abcdef", "abcdfe"), 1);
+        assert_eq!(damerau_levenshtein("abc", "abc"), 0);
+        assert_eq!(damerau_levenshtein("", "xy"), 2);
+    }
+
+    #[test]
+    fn damerau_never_exceeds_levenshtein() {
+        for (a, b) in [("kitten", "sitting"), ("pslx350h", "pslx350"), ("rose", "eros")] {
+            assert!(damerau_levenshtein(a, b) <= levenshtein(a, b), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn similarity_bounds() {
+        assert_eq!(levenshtein_similarity("", ""), 1.0);
+        assert_eq!(levenshtein_similarity("abc", "abc"), 1.0);
+        assert_eq!(levenshtein_similarity("abc", "xyz"), 0.0);
+        let s = levenshtein_similarity("pslx350h", "pslx350");
+        assert!(s > 0.8 && s < 1.0);
+    }
+}

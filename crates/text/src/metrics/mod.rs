@@ -1,0 +1,112 @@
+//! String and token-set similarity metrics.
+//!
+//! The paper's string-distance baselines (§II-A, Table II) use Jaccard and
+//! TF-IDF cosine similarity; the supervised baselines (`er-ml`) extract
+//! feature vectors from a broader family of metrics, matching the
+//! hand-crafted features used by the learning-based competitors it cites
+//! (edit distance \[1\], token TF-IDF \[2\], the name-matching study \[15\]).
+//!
+//! All similarities are in `[0, 1]`, symmetric, and return `1.0` for equal
+//! non-empty inputs.
+
+mod alignment;
+mod jaro;
+mod levenshtein;
+mod phonetic;
+mod monge_elkan;
+mod ngram;
+mod soft_tfidf;
+mod tfidf;
+mod token;
+
+pub use alignment::{
+    needleman_wunsch, needleman_wunsch_similarity, smith_waterman, smith_waterman_similarity,
+    AlignmentScoring,
+};
+pub use jaro::{jaro, jaro_winkler};
+pub use phonetic::{soundex, sounds_like};
+pub use levenshtein::{damerau_levenshtein, levenshtein, levenshtein_similarity};
+pub use monge_elkan::monge_elkan;
+pub use ngram::{ngram_multiset, ngram_similarity};
+pub use soft_tfidf::soft_tfidf;
+pub use tfidf::TfIdfModel;
+pub use token::{cosine_tokens, dice, jaccard, overlap_coefficient};
+
+/// A symmetric string-similarity metric in `[0, 1]`.
+///
+/// The trait exists so the supervised feature extractor and the threshold
+/// sweep harness can treat metrics uniformly.
+pub trait StringMetric {
+    /// Similarity between `a` and `b`; `1.0` means identical.
+    fn similarity(&self, a: &str, b: &str) -> f64;
+
+    /// Human-readable metric name (used in benchmark output).
+    fn name(&self) -> &'static str;
+}
+
+/// Levenshtein similarity as a [`StringMetric`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LevenshteinMetric;
+
+impl StringMetric for LevenshteinMetric {
+    fn similarity(&self, a: &str, b: &str) -> f64 {
+        levenshtein_similarity(a, b)
+    }
+    fn name(&self) -> &'static str {
+        "levenshtein"
+    }
+}
+
+/// Jaro-Winkler as a [`StringMetric`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct JaroWinklerMetric;
+
+impl StringMetric for JaroWinklerMetric {
+    fn similarity(&self, a: &str, b: &str) -> f64 {
+        jaro_winkler(a, b)
+    }
+    fn name(&self) -> &'static str {
+        "jaro_winkler"
+    }
+}
+
+/// Character n-gram similarity as a [`StringMetric`].
+#[derive(Debug, Clone, Copy)]
+pub struct NgramMetric {
+    /// n-gram length (2 = bigram, 3 = trigram).
+    pub n: usize,
+}
+
+impl Default for NgramMetric {
+    fn default() -> Self {
+        Self { n: 2 }
+    }
+}
+
+impl StringMetric for NgramMetric {
+    fn similarity(&self, a: &str, b: &str) -> f64 {
+        ngram_similarity(a, b, self.n)
+    }
+    fn name(&self) -> &'static str {
+        "ngram"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trait_objects_work() {
+        let metrics: Vec<Box<dyn StringMetric>> = vec![
+            Box::new(LevenshteinMetric),
+            Box::new(JaroWinklerMetric),
+            Box::new(NgramMetric::default()),
+        ];
+        for m in &metrics {
+            assert!((m.similarity("abc", "abc") - 1.0).abs() < 1e-12, "{}", m.name());
+            let s = m.similarity("abc", "xyz");
+            assert!((0.0..=1.0).contains(&s), "{}", m.name());
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Phonetic encoding (Soundex) — the oldest tool in record linkage.
+//!
+//! Soundex maps names that *sound* alike to the same 4-character code
+//! ("robert" and "rupert" → `R163`), catching spelling variants that
+//! character metrics miss. Used as an optional blocking key and as a
+//! binary agreement feature.
+
+/// The classic American Soundex code of `word` (uppercase letter + three
+/// digits), or `None` for input with no ASCII letter.
+pub fn soundex(word: &str) -> Option<String> {
+    let letters: Vec<char> = word
+        .chars()
+        .filter(|c| c.is_ascii_alphabetic())
+        .map(|c| c.to_ascii_uppercase())
+        .collect();
+    let &first = letters.first()?;
+    let code_of = |c: char| -> u8 {
+        match c {
+            'B' | 'F' | 'P' | 'V' => b'1',
+            'C' | 'G' | 'J' | 'K' | 'Q' | 'S' | 'X' | 'Z' => b'2',
+            'D' | 'T' => b'3',
+            'L' => b'4',
+            'M' | 'N' => b'5',
+            'R' => b'6',
+            // A, E, I, O, U, Y act as separators; H and W are ignored.
+            'H' | 'W' => b'*',
+            _ => b'0',
+        }
+    };
+    let mut out = String::with_capacity(4);
+    out.push(first);
+    let mut last_code = code_of(first);
+    for &c in &letters[1..] {
+        let code = code_of(c);
+        match code {
+            b'0' => last_code = b'0',   // vowel separator resets adjacency
+            b'*' => {}                   // H/W: transparent, keep last_code
+            _ => {
+                if code != last_code {
+                    out.push(code as char);
+                    if out.len() == 4 {
+                        break;
+                    }
+                }
+                last_code = code;
+            }
+        }
+    }
+    while out.len() < 4 {
+        out.push('0');
+    }
+    Some(out)
+}
+
+/// True when two words share a Soundex code (both must encode).
+pub fn sounds_like(a: &str, b: &str) -> bool {
+    matches!((soundex(a), soundex(b)), (Some(x), Some(y)) if x == y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn textbook_codes() {
+        assert_eq!(soundex("Robert").as_deref(), Some("R163"));
+        assert_eq!(soundex("Rupert").as_deref(), Some("R163"));
+        assert_eq!(soundex("Ashcraft").as_deref(), Some("A261"));
+        assert_eq!(soundex("Ashcroft").as_deref(), Some("A261"));
+        assert_eq!(soundex("Tymczak").as_deref(), Some("T522"));
+        assert_eq!(soundex("Pfister").as_deref(), Some("P236"));
+        assert_eq!(soundex("Honeyman").as_deref(), Some("H555"));
+    }
+
+    #[test]
+    fn adjacent_same_codes_collapse() {
+        assert_eq!(soundex("Jackson").as_deref(), Some("J250"));
+        assert_eq!(soundex("Gutierrez").as_deref(), Some("G362"));
+    }
+
+    #[test]
+    fn short_names_padded() {
+        assert_eq!(soundex("Lee").as_deref(), Some("L000"));
+        assert_eq!(soundex("A").as_deref(), Some("A000"));
+    }
+
+    #[test]
+    fn non_alpha_stripped() {
+        assert_eq!(soundex("O'Brien").as_deref(), Some("O165"));
+        assert_eq!(soundex("123"), None);
+        assert_eq!(soundex(""), None);
+    }
+
+    #[test]
+    fn sounds_like_pairs() {
+        assert!(sounds_like("smith", "smyth"));
+        assert!(sounds_like("catherine", "kathryn") || !sounds_like("catherine", "kathryn"));
+        assert!(!sounds_like("smith", "jones"));
+        assert!(!sounds_like("", "smith"));
+    }
+
+    #[test]
+    fn case_insensitive() {
+        assert_eq!(soundex("ROBERT"), soundex("robert"));
+    }
+}

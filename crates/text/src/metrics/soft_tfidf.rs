@@ -1,0 +1,105 @@
+//! SoftTFIDF: TF-IDF cosine with fuzzy token matching.
+//!
+//! Cohen, Ravikumar & Fienberg's name-matching study \[15\] — cited by the
+//! paper as evidence that no single metric dominates — found SoftTFIDF
+//! (TF-IDF where tokens match if an inner character metric exceeds a
+//! threshold) the strongest overall string metric. The `er-ml` feature
+//! extractor includes it as the strongest purely-textual feature.
+
+use crate::metrics::jaro_winkler;
+
+/// SoftTFIDF similarity between two weighted token vectors.
+///
+/// `a` and `b` are `(token, weight)` lists (weights need not be
+/// normalized; normalization happens internally). Tokens `x ∈ a` and
+/// `y ∈ b` are "close" when `jaro_winkler(x, y) ≥ threshold`; each close
+/// pair contributes `w_a(x) · w_b(y) · jw(x, y)` using the best `y` for
+/// each `x`. With `threshold = 1.0` this degrades to exact-match TF-IDF
+/// cosine.
+pub fn soft_tfidf(a: &[(&str, f64)], b: &[(&str, f64)], threshold: f64) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let norm = |v: &[(&str, f64)]| -> f64 {
+        v.iter().map(|(_, w)| w * w).sum::<f64>().sqrt()
+    };
+    let (na, nb) = (norm(a), norm(b));
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for &(x, wx) in a {
+        let mut best_sim = 0.0;
+        let mut best_w = 0.0;
+        for &(y, wy) in b {
+            let s = jaro_winkler(x, y);
+            if s >= threshold && s > best_sim {
+                best_sim = s;
+                best_w = wy;
+            }
+        }
+        if best_sim > 0.0 {
+            total += wx * best_w * best_sim;
+        }
+    }
+    (total / (na * nb)).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_vectors_score_one() {
+        let a = vec![("sunset", 1.0), ("blvd", 0.5)];
+        let s = soft_tfidf(&a, &a, 0.9);
+        assert!((s - 1.0).abs() < 1e-9, "{s}");
+    }
+
+    #[test]
+    fn fuzzy_match_beats_exact_tfidf_on_typos() {
+        let a = vec![("restaurant", 1.0), ("pacifico", 2.0)];
+        let b = vec![("restaurant", 1.0), ("pacifcio", 2.0)]; // transposed typo
+        let soft = soft_tfidf(&a, &b, 0.9);
+        let exact = soft_tfidf(&a, &b, 1.0);
+        assert!(soft > exact, "soft={soft} exact={exact}");
+        assert!(soft > 0.9);
+    }
+
+    #[test]
+    fn threshold_one_equals_exact_cosine() {
+        let a = vec![("x", 3.0), ("y", 4.0)];
+        let b = vec![("x", 3.0), ("z", 4.0)];
+        let s = soft_tfidf(&a, &b, 1.0);
+        // cos = 9 / (5 * 5)
+        assert!((s - 9.0 / 25.0).abs() < 1e-12, "{s}");
+    }
+
+    #[test]
+    fn disjoint_dissimilar_tokens_score_zero() {
+        let a = vec![("aaaa", 1.0)];
+        let b = vec![("zzzz", 1.0)];
+        assert_eq!(soft_tfidf(&a, &b, 0.9), 0.0);
+    }
+
+    #[test]
+    fn empty_handling() {
+        let e: Vec<(&str, f64)> = vec![];
+        let a = vec![("x", 1.0)];
+        assert_eq!(soft_tfidf(&e, &e, 0.9), 1.0);
+        assert_eq!(soft_tfidf(&e, &a, 0.9), 0.0);
+        let z = vec![("x", 0.0)];
+        assert_eq!(soft_tfidf(&z, &a, 0.9), 0.0);
+    }
+
+    #[test]
+    fn bounded() {
+        let a = vec![("abc", 1.0), ("abd", 1.0)];
+        let b = vec![("abc", 1.0), ("abe", 1.0)];
+        let s = soft_tfidf(&a, &b, 0.8);
+        assert!((0.0..=1.0).contains(&s), "{s}");
+    }
+}

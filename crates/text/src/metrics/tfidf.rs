@@ -1,0 +1,199 @@
+//! TF-IDF vectorization and cosine similarity over a [`Corpus`].
+//!
+//! The TF-IDF baseline (Table II row 2) scores a record pair by the cosine
+//! of their TF-IDF vectors — the "word-based information representation"
+//! of Cohen \[2\]. IDF uses the smoothed form `ln((n + 1) / (df + 1)) + 1`
+//! so that terms present in every record still get a small positive
+//! weight, and vectors are L2-normalized once at build time so pair
+//! scoring is a sparse dot product.
+
+use crate::corpus::Corpus;
+use crate::tokenize::TermId;
+
+/// Precomputed L2-normalized TF-IDF vectors for every record of a corpus.
+#[derive(Debug, Clone)]
+pub struct TfIdfModel {
+    /// Per record: sorted `(term, weight)` entries.
+    vectors: Vec<Vec<(TermId, f64)>>,
+    /// IDF per term id (0 for filtered terms).
+    idf: Vec<f64>,
+    n_records: usize,
+}
+
+impl TfIdfModel {
+    /// Builds the model from a corpus (O(total tokens)).
+    pub fn fit(corpus: &Corpus) -> Self {
+        let n = corpus.len();
+        let mut idf = vec![0.0f64; corpus.vocab_len()];
+        for (i, w) in idf.iter_mut().enumerate() {
+            let df = corpus.filtered_doc_freq(TermId(i as u32));
+            if df > 0 {
+                *w = ((n as f64 + 1.0) / (df as f64 + 1.0)).ln() + 1.0;
+            }
+        }
+        let mut vectors = Vec::with_capacity(n);
+        for r in 0..n {
+            let mut v: Vec<(TermId, f64)> = Vec::new();
+            let tokens = corpus.tokens(r);
+            // Tokens are unsorted; accumulate term frequency via the sorted
+            // term set + counting pass.
+            let set = corpus.term_set(r);
+            let mut tf = vec![0u32; set.len()];
+            for &tok in tokens {
+                if let Ok(pos) = set.binary_search(&tok) {
+                    tf[pos] += 1;
+                }
+            }
+            for (pos, &t) in set.iter().enumerate() {
+                let w = tf[pos] as f64 * idf[t.index()];
+                if w > 0.0 {
+                    v.push((t, w));
+                }
+            }
+            let norm: f64 = v.iter().map(|(_, w)| w * w).sum::<f64>().sqrt();
+            if norm > 0.0 {
+                for (_, w) in &mut v {
+                    *w /= norm;
+                }
+            }
+            vectors.push(v);
+        }
+        Self {
+            vectors,
+            idf,
+            n_records: n,
+        }
+    }
+
+    /// Number of records the model was fitted on.
+    pub fn len(&self) -> usize {
+        self.n_records
+    }
+
+    /// True when fitted on an empty corpus.
+    pub fn is_empty(&self) -> bool {
+        self.n_records == 0
+    }
+
+    /// IDF of a term (0 for filtered/unknown terms).
+    pub fn idf(&self, t: TermId) -> f64 {
+        self.idf.get(t.index()).copied().unwrap_or(0.0)
+    }
+
+    /// The normalized sparse vector of record `r`.
+    pub fn vector(&self, r: usize) -> &[(TermId, f64)] {
+        &self.vectors[r]
+    }
+
+    /// Cosine similarity between records `i` and `j` (dot product of the
+    /// pre-normalized sparse vectors; O(|i| + |j|)).
+    pub fn cosine(&self, i: usize, j: usize) -> f64 {
+        let (a, b) = (&self.vectors[i], &self.vectors[j]);
+        let mut dot = 0.0;
+        let (mut ia, mut ib) = (0, 0);
+        while ia < a.len() && ib < b.len() {
+            match a[ia].0.cmp(&b[ib].0) {
+                std::cmp::Ordering::Less => ia += 1,
+                std::cmp::Ordering::Greater => ib += 1,
+                std::cmp::Ordering::Equal => {
+                    dot += a[ia].1 * b[ib].1;
+                    ia += 1;
+                    ib += 1;
+                }
+            }
+        }
+        dot.clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::CorpusBuilder;
+
+    fn corpus() -> Corpus {
+        CorpusBuilder::new()
+            .push_text("sony turntable pslx350h")
+            .push_text("sony pslx350h turntable belt drive")
+            .push_text("panasonic microwave oven")
+            .push_text("sony dvd player")
+            .build()
+    }
+
+    #[test]
+    fn identical_records_cosine_one() {
+        let c = CorpusBuilder::new()
+            .push_text("a b c")
+            .push_text("a b c")
+            .build();
+        let m = TfIdfModel::fit(&c);
+        assert!((m.cosine(0, 1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matching_pair_beats_non_matching() {
+        let m = TfIdfModel::fit(&corpus());
+        assert!(m.cosine(0, 1) > m.cosine(0, 2));
+        assert!(m.cosine(0, 1) > m.cosine(0, 3));
+    }
+
+    #[test]
+    fn rare_terms_have_higher_idf() {
+        let c = corpus();
+        let m = TfIdfModel::fit(&c);
+        let sony = c.vocab().get("sony").unwrap();
+        let model_code = c.vocab().get("pslx350h").unwrap();
+        assert!(m.idf(model_code) > m.idf(sony));
+    }
+
+    #[test]
+    fn vectors_are_unit_norm() {
+        let m = TfIdfModel::fit(&corpus());
+        for r in 0..m.len() {
+            let norm: f64 = m.vector(r).iter().map(|(_, w)| w * w).sum::<f64>().sqrt();
+            assert!((norm - 1.0).abs() < 1e-9, "record {r}: {norm}");
+        }
+    }
+
+    #[test]
+    fn disjoint_records_cosine_zero() {
+        let c = CorpusBuilder::new()
+            .push_text("aa bb")
+            .push_text("cc dd")
+            .build();
+        let m = TfIdfModel::fit(&c);
+        assert_eq!(m.cosine(0, 1), 0.0);
+    }
+
+    #[test]
+    fn term_frequency_counted() {
+        let c = CorpusBuilder::new()
+            .push_text("spam spam spam egg")
+            .push_text("spam egg")
+            .build();
+        let m = TfIdfModel::fit(&c);
+        let spam = c.vocab().get("spam").unwrap();
+        let w0 = m.vector(0).iter().find(|(t, _)| *t == spam).unwrap().1;
+        let w1 = m.vector(1).iter().find(|(t, _)| *t == spam).unwrap().1;
+        // Record 0 has tf=3 for spam, so spam dominates its vector more.
+        assert!(w0 > w1);
+    }
+
+    #[test]
+    fn empty_record_yields_empty_vector() {
+        let c = CorpusBuilder::new().push_text("").push_text("x y").build();
+        let m = TfIdfModel::fit(&c);
+        assert!(m.vector(0).is_empty());
+        assert_eq!(m.cosine(0, 1), 0.0);
+    }
+
+    #[test]
+    fn cosine_symmetric() {
+        let m = TfIdfModel::fit(&corpus());
+        for i in 0..4 {
+            for j in 0..4 {
+                assert!((m.cosine(i, j) - m.cosine(j, i)).abs() < 1e-12);
+            }
+        }
+    }
+}

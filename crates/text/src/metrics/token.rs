@@ -1,0 +1,134 @@
+//! Token-set similarity coefficients over interned term ids.
+//!
+//! Jaccard is the machine-side filter of the crowd-based competitors the
+//! paper discusses (threshold 0.3 in \[10\], \[12\]) and the first row of
+//! Table II. All functions take **sorted, deduplicated** term-id slices as
+//! produced by [`crate::Corpus::term_set`].
+
+use crate::corpus::count_intersect_sorted;
+use crate::tokenize::TermId;
+
+/// Jaccard coefficient `|A ∩ B| / |A ∪ B|` over sorted term sets.
+/// Two empty sets score `1.0` (identical), one empty set scores `0.0`.
+pub fn jaccard(a: &[TermId], b: &[TermId]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let inter = count_intersect_sorted(a, b);
+    let union = a.len() + b.len() - inter;
+    if union == 0 {
+        return 0.0;
+    }
+    inter as f64 / union as f64
+}
+
+/// Dice coefficient `2·|A ∩ B| / (|A| + |B|)` over sorted term sets.
+pub fn dice(a: &[TermId], b: &[TermId]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let denom = a.len() + b.len();
+    if denom == 0 {
+        return 0.0;
+    }
+    2.0 * count_intersect_sorted(a, b) as f64 / denom as f64
+}
+
+/// Overlap coefficient `|A ∩ B| / min(|A|, |B|)` over sorted term sets.
+///
+/// Useful when one record is a near-subset of the other, which happens in
+/// the Product dataset where the "buy" record is a terse version of the
+/// "abt" record.
+pub fn overlap_coefficient(a: &[TermId], b: &[TermId]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let min = a.len().min(b.len());
+    if min == 0 {
+        return 0.0;
+    }
+    count_intersect_sorted(a, b) as f64 / min as f64
+}
+
+/// Cosine similarity over **binary** term incidence vectors:
+/// `|A ∩ B| / sqrt(|A|·|B|)`.
+pub fn cosine_tokens(a: &[TermId], b: &[TermId]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    count_intersect_sorted(a, b) as f64 / ((a.len() as f64) * (b.len() as f64)).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(v: &[u32]) -> Vec<TermId> {
+        v.iter().map(|&x| TermId(x)).collect()
+    }
+
+    #[test]
+    fn jaccard_basic() {
+        let a = ids(&[1, 2, 3, 4]);
+        let b = ids(&[3, 4, 5, 6]);
+        assert!((jaccard(&a, &b) - 2.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identical_sets_score_one() {
+        let a = ids(&[1, 2, 3]);
+        assert_eq!(jaccard(&a, &a), 1.0);
+        assert_eq!(dice(&a, &a), 1.0);
+        assert_eq!(overlap_coefficient(&a, &a), 1.0);
+        assert_eq!(cosine_tokens(&a, &a), 1.0);
+    }
+
+    #[test]
+    fn disjoint_sets_score_zero() {
+        let a = ids(&[1, 2]);
+        let b = ids(&[3, 4]);
+        assert_eq!(jaccard(&a, &b), 0.0);
+        assert_eq!(dice(&a, &b), 0.0);
+        assert_eq!(overlap_coefficient(&a, &b), 0.0);
+        assert_eq!(cosine_tokens(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn empty_handling() {
+        let e: Vec<TermId> = vec![];
+        let a = ids(&[1]);
+        assert_eq!(jaccard(&e, &e), 1.0);
+        assert_eq!(jaccard(&e, &a), 0.0);
+        assert_eq!(dice(&e, &a), 0.0);
+        assert_eq!(overlap_coefficient(&e, &a), 0.0);
+        assert_eq!(cosine_tokens(&e, &a), 0.0);
+    }
+
+    #[test]
+    fn subset_gives_full_overlap_coefficient() {
+        let a = ids(&[1, 2]);
+        let b = ids(&[1, 2, 3, 4, 5]);
+        assert_eq!(overlap_coefficient(&a, &b), 1.0);
+        assert!(jaccard(&a, &b) < 1.0);
+    }
+
+    #[test]
+    fn dice_geq_jaccard() {
+        let a = ids(&[1, 2, 3, 4]);
+        let b = ids(&[3, 4, 5]);
+        assert!(dice(&a, &b) >= jaccard(&a, &b));
+    }
+
+    #[test]
+    fn cosine_between_jaccard_and_overlap() {
+        let a = ids(&[1, 2, 3, 4, 5, 6]);
+        let b = ids(&[4, 5, 6, 7]);
+        let j = jaccard(&a, &b);
+        let c = cosine_tokens(&a, &b);
+        let o = overlap_coefficient(&a, &b);
+        assert!(j <= c && c <= o, "j={j} c={c} o={o}");
+    }
+}

@@ -1,0 +1,91 @@
+//! Property tests for the blocking strategies.
+
+use er_text::blocking::{blocking_key, reduction_ratio, sorted_neighborhood, token_blocking};
+use er_text::CorpusBuilder;
+use proptest::prelude::*;
+
+fn texts() -> impl Strategy<Value = Vec<String>> {
+    proptest::collection::vec("[a-d]( [a-d]){0,4}", 2..20)
+}
+
+proptest! {
+    #[test]
+    fn token_blocking_pairs_share_a_term(texts in texts()) {
+        let corpus = CorpusBuilder::new().extend_texts(texts).build();
+        let pairs = token_blocking(&corpus, 64);
+        for (a, b) in pairs {
+            prop_assert!(a < b);
+            prop_assert!(
+                corpus.shared_term_count(a as usize, b as usize) >= 1,
+                "blocked pair ({}, {}) shares no term", a, b
+            );
+        }
+    }
+
+    #[test]
+    fn token_blocking_is_complete_without_cap(texts in texts()) {
+        // With an unbounded cap, token blocking finds EVERY pair that
+        // shares a term.
+        let corpus = CorpusBuilder::new().extend_texts(texts).build();
+        let pairs = token_blocking(&corpus, usize::MAX);
+        for a in 0..corpus.len() as u32 {
+            for b in a + 1..corpus.len() as u32 {
+                if corpus.shared_term_count(a as usize, b as usize) >= 1 {
+                    prop_assert!(pairs.binary_search(&(a, b)).is_ok());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn smaller_cap_never_adds_pairs(texts in texts(), cap in 2usize..10) {
+        let corpus = CorpusBuilder::new().extend_texts(texts).build();
+        let small = token_blocking(&corpus, cap);
+        let big = token_blocking(&corpus, cap * 4);
+        for p in &small {
+            prop_assert!(big.binary_search(p).is_ok(), "cap widening lost pair {:?}", p);
+        }
+        prop_assert!(small.len() <= big.len());
+    }
+
+    #[test]
+    fn sorted_neighborhood_bounds(texts in texts(), window in 2usize..6) {
+        let corpus = CorpusBuilder::new().extend_texts(texts).build();
+        let pairs = sorted_neighborhood(&corpus, window);
+        // At most (window - 1) * n pairs, all ordered and distinct.
+        prop_assert!(pairs.len() <= (window - 1) * corpus.len());
+        for w in pairs.windows(2) {
+            prop_assert!(w[0] < w[1], "pairs must be sorted and deduplicated");
+        }
+        for &(a, b) in &pairs {
+            prop_assert!(a < b);
+            prop_assert!((b as usize) < corpus.len());
+        }
+    }
+
+    #[test]
+    fn wider_window_is_superset(texts in texts()) {
+        let corpus = CorpusBuilder::new().extend_texts(texts).build();
+        let narrow = sorted_neighborhood(&corpus, 2);
+        let wide = sorted_neighborhood(&corpus, 5);
+        for p in &narrow {
+            prop_assert!(wide.binary_search(p).is_ok());
+        }
+    }
+
+    #[test]
+    fn keys_are_deterministic(texts in texts()) {
+        let corpus = CorpusBuilder::new().extend_texts(texts).build();
+        for r in 0..corpus.len() {
+            prop_assert_eq!(blocking_key(&corpus, r), blocking_key(&corpus, r));
+        }
+    }
+
+    #[test]
+    fn reduction_ratio_in_unit_range(n in 2usize..100, c in 0usize..5000) {
+        let universe = n * (n - 1) / 2;
+        let c = c.min(universe);
+        let rr = reduction_ratio(n, c);
+        prop_assert!((0.0..=1.0).contains(&rr));
+    }
+}

@@ -1,0 +1,153 @@
+//! Property-based tests for the string metrics: bounds, symmetry,
+//! identity, and cross-metric invariants that must hold for any input.
+
+use er_text::metrics::{damerau_levenshtein, ngram_multiset};
+use er_text::{
+    cosine_tokens, dice, jaccard, jaro, jaro_winkler, levenshtein, levenshtein_similarity,
+    monge_elkan, ngram_similarity, overlap_coefficient, CorpusBuilder, TermId,
+};
+use proptest::prelude::*;
+
+fn word() -> impl Strategy<Value = String> {
+    "[a-z0-9]{0,12}"
+}
+
+fn term_set() -> impl Strategy<Value = Vec<TermId>> {
+    proptest::collection::btree_set(0u32..64, 0..16)
+        .prop_map(|s| s.into_iter().map(TermId).collect())
+}
+
+proptest! {
+    #[test]
+    fn levenshtein_symmetry(a in word(), b in word()) {
+        prop_assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));
+    }
+
+    #[test]
+    fn levenshtein_identity(a in word()) {
+        prop_assert_eq!(levenshtein(&a, &a), 0);
+        prop_assert_eq!(levenshtein_similarity(&a, &a), 1.0);
+    }
+
+    #[test]
+    fn levenshtein_triangle(a in word(), b in word(), c in word()) {
+        prop_assert!(levenshtein(&a, &c) <= levenshtein(&a, &b) + levenshtein(&b, &c));
+    }
+
+    #[test]
+    fn levenshtein_bounded_by_longer(a in word(), b in word()) {
+        let d = levenshtein(&a, &b);
+        prop_assert!(d <= a.chars().count().max(b.chars().count()));
+        let diff = a.chars().count().abs_diff(b.chars().count());
+        prop_assert!(d >= diff);
+    }
+
+    #[test]
+    fn damerau_leq_levenshtein(a in word(), b in word()) {
+        prop_assert!(damerau_levenshtein(&a, &b) <= levenshtein(&a, &b));
+    }
+
+    #[test]
+    fn damerau_symmetry_and_identity(a in word(), b in word()) {
+        prop_assert_eq!(damerau_levenshtein(&a, &b), damerau_levenshtein(&b, &a));
+        prop_assert_eq!(damerau_levenshtein(&a, &a), 0);
+    }
+
+    #[test]
+    fn jaro_bounds_symmetry(a in word(), b in word()) {
+        let s = jaro(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&s));
+        prop_assert!((s - jaro(&b, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jaro_winkler_dominates_jaro(a in word(), b in word()) {
+        let j = jaro(&a, &b);
+        let jw = jaro_winkler(&a, &b);
+        prop_assert!(jw >= j - 1e-12);
+        prop_assert!(jw <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn ngram_bounds_symmetry(a in word(), b in word(), n in 1usize..4) {
+        let s = ngram_similarity(&a, &b, n);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&s));
+        prop_assert!((s - ngram_similarity(&b, &a, n)).abs() < 1e-12);
+        prop_assert!((ngram_similarity(&a, &a, n) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ngram_multiset_total_count(a in word(), n in 1usize..4) {
+        let grams = ngram_multiset(&a, n);
+        let total: u32 = grams.values().sum();
+        let expected = a.chars().count() + n - 1;
+        prop_assert_eq!(total as usize, expected);
+    }
+
+    #[test]
+    fn token_set_metric_bounds(a in term_set(), b in term_set()) {
+        for (name, s) in [
+            ("jaccard", jaccard(&a, &b)),
+            ("dice", dice(&a, &b)),
+            ("overlap", overlap_coefficient(&a, &b)),
+            ("cosine", cosine_tokens(&a, &b)),
+        ] {
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&s), "{}: {}", name, s);
+        }
+        prop_assert!(dice(&a, &b) + 1e-12 >= jaccard(&a, &b));
+    }
+
+    #[test]
+    fn token_set_metric_identity(a in term_set()) {
+        prop_assert_eq!(jaccard(&a, &a), 1.0);
+        prop_assert_eq!(dice(&a, &a), 1.0);
+    }
+
+    #[test]
+    fn monge_elkan_bounds(
+        a in proptest::collection::vec(word(), 0..5),
+        b in proptest::collection::vec(word(), 0..5),
+    ) {
+        let ar: Vec<&str> = a.iter().map(String::as_str).collect();
+        let br: Vec<&str> = b.iter().map(String::as_str).collect();
+        let s = monge_elkan(&ar, &br, jaro_winkler);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&s));
+        prop_assert!((s - monge_elkan(&br, &ar, jaro_winkler)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn corpus_shared_terms_subset_of_both(
+        texts in proptest::collection::vec("[a-z ]{0,30}", 2..6),
+    ) {
+        let corpus = CorpusBuilder::new().extend_texts(texts).build();
+        for i in 0..corpus.len() {
+            for j in 0..corpus.len() {
+                let shared = corpus.shared_terms(i, j);
+                for t in &shared {
+                    prop_assert!(corpus.term_set(i).contains(t));
+                    prop_assert!(corpus.term_set(j).contains(t));
+                }
+                prop_assert_eq!(shared.len(), corpus.shared_term_count(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn corpus_postings_consistent(
+        texts in proptest::collection::vec("[a-z ]{0,30}", 1..6),
+    ) {
+        let corpus = CorpusBuilder::new().extend_texts(texts).build();
+        for i in 0..corpus.vocab_len() {
+            let t = TermId(i as u32);
+            for &r in corpus.postings(t) {
+                prop_assert!(corpus.term_set(r as usize).contains(&t));
+            }
+        }
+        // Every term in every record's set appears in that term's postings.
+        for r in 0..corpus.len() {
+            for &t in corpus.term_set(r) {
+                prop_assert!(corpus.postings(t).contains(&(r as u32)));
+            }
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Explaining decisions and querying a resolved corpus.
+//!
+//! After a resolve, the framework's learned artifacts answer two
+//! production questions: *why* were two records matched (shared terms
+//! ranked by learned discrimination power), and *which records most
+//! likely match a new query* (ranked by the same weights).
+//!
+//! Run: `cargo run --release --example explain_matches`
+
+use unsupervised_er::explain::{explain_pair, rank_candidates};
+use unsupervised_er::pipeline;
+use unsupervised_er::prelude::*;
+
+fn main() {
+    let dataset = er_datasets::generators::product::generate(
+        &ProductConfig::default().scaled(0.15),
+    );
+    let prepared = pipeline::prepare_with(&dataset, 0.05);
+    let outcome = er_core::Resolver::new(FusionConfig::default()).resolve(&prepared.graph);
+    println!(
+        "resolved {} records into {} matches\n",
+        dataset.len(),
+        outcome.matches.len()
+    );
+
+    // Explain the first few matches.
+    println!("=== why were these pairs matched?");
+    for &(a, b) in outcome.matches.iter().take(3) {
+        let e = explain_pair(&prepared.corpus, &prepared.graph, &outcome, a, b)
+            .expect("matched pairs share terms");
+        println!(
+            "\nrecords {a} & {b}  (p = {:.3}, s = {:.2})",
+            e.probability, e.similarity
+        );
+        println!("  A: {}", dataset.records[a as usize].text);
+        println!("  B: {}", dataset.records[b as usize].text);
+        for t in e.shared_terms.iter().take(5) {
+            println!(
+                "    shared {:<16} weight {:.3}  (touches {} candidate pairs)",
+                t.term, t.weight, t.pair_count
+            );
+        }
+    }
+
+    // Query lookup: take a real record's text as the query.
+    let probe = &dataset.records[dataset.len() - 1];
+    println!("\n=== query: {:?}", probe.text);
+    for hit in rank_candidates(&prepared.corpus, &outcome, &probe.text, 5) {
+        println!(
+            "  record {:>4}  score {:.3}  via {:?}",
+            hit.record,
+            hit.score,
+            &hit.shared_terms[..hit.shared_terms.len().min(4)]
+        );
+    }
+}

@@ -1,0 +1,63 @@
+//! Streaming deduplication with the incremental resolver.
+//!
+//! A resolver receives records in batches; each re-resolve reuses the
+//! previous run's ITER weights as a warm start and replays unchanged
+//! record-graph components from the CliqueRank cache, so the cost of an
+//! append is proportional to what it touched.
+//!
+//! Run: `cargo run --release --example incremental_stream`
+
+use std::time::Instant;
+
+use unsupervised_er::incremental::IncrementalResolver;
+use unsupervised_er::prelude::*;
+
+fn main() {
+    let dataset = er_datasets::generators::restaurant::generate(
+        &RestaurantConfig::default().scaled(0.5),
+    );
+    let mut resolver = IncrementalResolver::new(
+        FusionConfig::default(),
+        0.035,
+        SourcePolicy::WithinSingleSource,
+    );
+
+    // Phase 1: bulk-load 80% of the stream.
+    let cut = dataset.len() * 4 / 5;
+    for r in &dataset.records[..cut] {
+        resolver.add_record(r.text.clone(), r.source);
+    }
+    let t0 = Instant::now();
+    let matches_before = resolver.resolve().matches.len();
+    let bulk = t0.elapsed();
+    let s = resolver.stats();
+    println!(
+        "bulk load: {cut} records, {matches_before} matches in {bulk:?} \
+         ({} components solved, {} cached)",
+        s.solved_components, s.cached_components
+    );
+
+    // Phase 2: append the remaining 20% in small batches.
+    for batch in dataset.records[cut..].chunks(10) {
+        for r in batch {
+            resolver.add_record(r.text.clone(), r.source);
+        }
+        let t = Instant::now();
+        let matches = resolver.resolve().matches.len();
+        let took = t.elapsed();
+        let s = resolver.stats();
+        println!(
+            "+{} records -> {matches} matches in {took:?} \
+             (solved {:>3} components, reused {:>3} from cache, {} ITER iterations)",
+            batch.len(),
+            s.solved_components,
+            s.cached_components,
+            s.iter_iterations
+        );
+    }
+
+    println!("\nfinal clusters with more than one record:");
+    let outcome = resolver.resolve();
+    let multi = outcome.clusters.iter().filter(|c| c.len() > 1).count();
+    println!("  {multi} multi-record entities over {} records", resolver.len());
+}
