@@ -51,7 +51,7 @@ pub trait PairScorer {
 /// are compared on equal footing.
 pub fn candidate_pairs(
     corpus: &Corpus,
-    pair_filter: Option<&dyn Fn(u32, u32) -> bool>,
+    pair_filter: Option<&(dyn Fn(u32, u32) -> bool + Sync)>,
 ) -> Vec<PairNode> {
     let mut builder = BipartiteGraphBuilder::new(corpus.len(), corpus.vocab_len());
     for i in 0..corpus.vocab_len() {

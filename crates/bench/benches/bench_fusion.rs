@@ -1,0 +1,100 @@
+//! **BENCH_fusion.json** — machine-readable phase timings of the fusion
+//! pipeline across thread counts.
+//!
+//! For each bench dataset and each thread count in {1, 2, 4}, the full
+//! 5-round fusion is run once on a shared worker pool and its phase
+//! timings are recorded as flat JSON objects:
+//!
+//! ```json
+//! {"phase": "iter", "dataset": "restaurant", "threads": 4, "seconds": 0.021}
+//! ```
+//!
+//! Phases: `fusion` (the whole resolve), `iter` (sum over rounds),
+//! `cliquerank` (sum over rounds, including record-graph construction).
+//! Every parallel path is bit-identical to the serial one, so the records
+//! compare the *same* computation's wall clock — the threads=1 row is the
+//! serial baseline. Outcome equality across thread counts is asserted.
+//!
+//! Run: `cargo bench -p er-bench --bench bench_fusion`. Output goes to
+//! `BENCH_fusion.json` in the current directory (override with
+//! `ER_BENCH_OUT`).
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use er_bench::{bench_datasets, fusion_config, prepare, scale_factor};
+use er_core::Resolver;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+
+struct Record {
+    phase: &'static str,
+    dataset: String,
+    threads: usize,
+    seconds: f64,
+}
+
+fn json_line(r: &Record) -> String {
+    // The dataset names are ASCII identifiers, so plain quoting is a
+    // valid JSON string encoding here.
+    format!(
+        "{{\"phase\": \"{}\", \"dataset\": \"{}\", \"threads\": {}, \"seconds\": {:.6}}}",
+        r.phase, r.dataset, r.threads, r.seconds
+    )
+}
+
+fn main() {
+    let scale = scale_factor();
+    let out_path = std::env::var("ER_BENCH_OUT").unwrap_or_else(|_| "BENCH_fusion.json".to_owned());
+    println!("BENCH_fusion — fusion phase timings at scale factor {scale}");
+
+    let mut records: Vec<Record> = Vec::new();
+    for bench in bench_datasets(scale) {
+        let prepared = prepare(&bench);
+        let name = bench.dataset.name.clone();
+        let mut baseline: Option<Vec<f64>> = None;
+        for threads in THREAD_COUNTS {
+            let mut cfg = fusion_config();
+            cfg.threads = threads;
+            let t0 = Instant::now();
+            let outcome = Resolver::new(cfg).resolve(&prepared.graph);
+            let total = t0.elapsed();
+            let iter_time: Duration = outcome.rounds.iter().map(|r| r.iter_time).sum();
+            let cliquerank_time: Duration = outcome.rounds.iter().map(|r| r.cliquerank_time).sum();
+            match &baseline {
+                None => baseline = Some(outcome.matching_probabilities.clone()),
+                Some(b) => assert_eq!(
+                    b, &outcome.matching_probabilities,
+                    "fusion outcome changed with threads={threads} on {name}"
+                ),
+            }
+            for (phase, d) in [
+                ("fusion", total),
+                ("iter", iter_time),
+                ("cliquerank", cliquerank_time),
+            ] {
+                records.push(Record {
+                    phase,
+                    dataset: name.clone(),
+                    threads,
+                    seconds: d.as_secs_f64(),
+                });
+            }
+            println!(
+                "  {name:<12} threads={threads}  fusion {:.3}s  iter {:.3}s  cliquerank {:.3}s",
+                total.as_secs_f64(),
+                iter_time.as_secs_f64(),
+                cliquerank_time.as_secs_f64()
+            );
+        }
+    }
+
+    let mut json = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        let sep = if i + 1 == records.len() { "" } else { "," };
+        writeln!(json, "  {}{sep}", json_line(r)).unwrap();
+    }
+    json.push_str("]\n");
+    std::fs::write(&out_path, json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    println!("wrote {} records to {out_path}", records.len());
+}

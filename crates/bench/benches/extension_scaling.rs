@@ -43,8 +43,7 @@ fn main() {
             let t0 = Instant::now();
             let outcome = Resolver::new(fusion_config()).resolve(&prepared.graph);
             let _total = t0.elapsed();
-            let iter_time: std::time::Duration =
-                outcome.rounds.iter().map(|r| r.iter_time).sum();
+            let iter_time: std::time::Duration = outcome.rounds.iter().map(|r| r.iter_time).sum();
             let cr_time: std::time::Duration =
                 outcome.rounds.iter().map(|r| r.cliquerank_time).sum();
             let f1 = evaluate_pairs(outcome.matches.iter().copied(), &prepared.truth).f1();

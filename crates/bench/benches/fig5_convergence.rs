@@ -28,7 +28,12 @@ fn main() {
             "\n[{}] L1 weight update per iteration (first 20):",
             bench.dataset.name
         );
-        let max = out.deltas.iter().cloned().fold(f64::MIN, f64::max).max(1e-12);
+        let max = out
+            .deltas
+            .iter()
+            .cloned()
+            .fold(f64::MIN, f64::max)
+            .max(1e-12);
         for (i, &d) in out.deltas.iter().enumerate() {
             let bar = "#".repeat(((d / max) * 50.0).round() as usize);
             println!("  iter {:>2}: {:>12.4} {}", i + 1, d, bar);

@@ -1,12 +1,25 @@
 //! Criterion microbenchmarks for the framework's hot kernels:
 //! dense matmul (CliqueRank's inner loop), one ITER sweep, a CliqueRank
 //! component solve, and RSS walks.
+//!
+//! Each kernel is measured serially (`threads: 1`) and on a shared
+//! [`er_pool::WorkerPool`] at 2 and 4 threads, so a single run reports
+//! the serial-vs-pool speedup. Because every parallel path is
+//! bit-identical to the serial one, the variants compute the same
+//! result; only the wall clock differs.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use er_core::{run_cliquerank, run_iter, run_rss_subset, CliqueRankConfig, IterConfig, RssConfig};
+use er_core::{
+    run_cliquerank, run_cliquerank_pooled, run_iter, run_iter_pooled, run_rss_subset,
+    run_rss_subset_pooled, CliqueRankConfig, IterConfig, RssConfig,
+};
 use er_graph::bipartite::PairNode;
 use er_graph::{BipartiteGraphBuilder, RecordGraph};
-use er_matrix::{matmul_blocked, matmul_naive, Matrix};
+use er_matrix::{matmul_blocked, matmul_naive, matmul_pooled, Matrix};
+use er_pool::WorkerPool;
+
+/// Pool sizes benchmarked against the serial baseline.
+const POOL_SIZES: [usize; 2] = [2, 4];
 
 fn deterministic(n: usize, seed: u64) -> Matrix {
     let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
@@ -29,6 +42,12 @@ fn bench_matmul(c: &mut Criterion) {
         if n <= 128 {
             group.bench_function(format!("naive_{n}"), |bench| {
                 bench.iter(|| matmul_naive(&a, &b))
+            });
+        }
+        for threads in POOL_SIZES {
+            let pool = WorkerPool::new(threads);
+            group.bench_function(format!("pooled_{n}_t{threads}"), |bench| {
+                bench.iter(|| matmul_pooled(&a, &b, &pool))
             });
         }
     }
@@ -62,9 +81,17 @@ fn bench_cliquerank(c: &mut Criterion) {
         threads: 1,
         ..Default::default()
     };
-    c.bench_function("cliquerank_4x24", |b| {
+    let mut group = c.benchmark_group("cliquerank");
+    group.bench_function("serial_4x24", |b| {
         b.iter(|| run_cliquerank(&graph, &config))
     });
+    for threads in POOL_SIZES {
+        let pool = WorkerPool::new(threads);
+        group.bench_function(format!("pooled_4x24_t{threads}"), |b| {
+            b.iter(|| run_cliquerank_pooled(&graph, &config, &pool))
+        });
+    }
+    group.finish();
 }
 
 fn bench_kernels(c: &mut Criterion) {
@@ -90,12 +117,21 @@ fn bench_rss(c: &mut Criterion) {
     let graph = walk_graph(4, 24);
     let config = RssConfig {
         walks_per_edge: 10,
+        threads: 1,
         ..Default::default()
     };
     let edges: Vec<u32> = (0..100.min(graph.pairs().len() as u32)).collect();
-    c.bench_function("rss_100edges_10walks", |b| {
+    let mut group = c.benchmark_group("rss");
+    group.bench_function("serial_100edges_10walks", |b| {
         b.iter(|| run_rss_subset(&graph, &config, &edges))
     });
+    for threads in POOL_SIZES {
+        let pool = WorkerPool::new(threads);
+        group.bench_function(format!("pooled_100edges_10walks_t{threads}"), |b| {
+            b.iter(|| run_rss_subset_pooled(&graph, &config, &edges, &pool))
+        });
+    }
+    group.finish();
 }
 
 fn bench_iter(c: &mut Criterion) {
@@ -121,13 +157,29 @@ fn bench_iter(c: &mut Criterion) {
     }
     let graph = builder.build();
     let prob = vec![1.0; graph.pair_count()];
-    c.bench_function("iter_200r_400t", |b| {
+    let serial = IterConfig {
+        threads: 1,
+        ..Default::default()
+    };
+    let mut group = c.benchmark_group("iter");
+    group.bench_function("serial_200r_400t", |b| {
         b.iter_batched(
             || prob.clone(),
-            |p| run_iter(&graph, &p, &IterConfig::default()),
+            |p| run_iter(&graph, &p, &serial),
             BatchSize::SmallInput,
         )
     });
+    for threads in POOL_SIZES {
+        let pool = WorkerPool::new(threads);
+        group.bench_function(format!("pooled_200r_400t_t{threads}"), |b| {
+            b.iter_batched(
+                || prob.clone(),
+                |p| run_iter_pooled(&graph, &p, &serial, &pool),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
 }
 
 criterion_group! {

@@ -17,7 +17,9 @@
 
 use std::time::Instant;
 
-use er_baselines::{HybridScorer, JaccardScorer, PairScorer, SimRankScorer, TfIdfScorer, TwIdfScorer};
+use er_baselines::{
+    HybridScorer, JaccardScorer, PairScorer, SimRankScorer, TfIdfScorer, TwIdfScorer,
+};
 use er_bench::{bench_datasets, fmt_duration, fmt_ref, fusion_config, prepare, scale_factor};
 use er_core::Resolver;
 use er_crowd::{
@@ -94,11 +96,7 @@ fn main() {
         let machine_threshold = 0.15;
         {
             let mut oracle = NoisyOracle::new(|a, b| truth.is_match(a, b), 0.95, 0x0C);
-            let out = crowder_resolve(
-                &scored,
-                &CrowdErConfig { machine_threshold },
-                &mut oracle,
-            );
+            let out = crowder_resolve(&scored, &CrowdErConfig { machine_threshold }, &mut oracle);
             let counts = evaluate_pairs(out.matches.iter().copied(), truth);
             col.push(("CrowdER (sim)".to_owned(), counts.f1()));
             crowd_notes.push(format!(
@@ -261,11 +259,7 @@ fn main() {
 }
 
 /// Trains and evaluates the four learning-based baselines.
-fn ml_baselines(
-    corpus: &Corpus,
-    pairs: &[PairNode],
-    truth: &TruthPairs,
-) -> Vec<(String, f64)> {
+fn ml_baselines(corpus: &Corpus, pairs: &[PairNode], truth: &TruthPairs) -> Vec<(String, f64)> {
     let extractor = FeatureExtractor::new(corpus);
     let features: Vec<Vec<f64>> = pairs.iter().map(|p| extractor.features(p.a, p.b)).collect();
     let labels: Vec<bool> = pairs.iter().map(|p| truth.is_match(p.a, p.b)).collect();

@@ -16,10 +16,7 @@ use er_eval::{spearman_rho, term_discriminativeness};
 fn main() {
     let scale = scale_factor();
     println!("Table IV — Spearman's rank correlation coefficient (scale factor {scale})");
-    println!(
-        "{:<12} {:>16} {:>16}",
-        "Dataset", "PageRank", "ITER"
-    );
+    println!("{:<12} {:>16} {:>16}", "Dataset", "PageRank", "ITER");
     println!("{}", "-".repeat(60));
     let paper_ref = [(0.30, 0.96), (0.02, 0.76), (0.08, 0.80)];
 

@@ -138,21 +138,66 @@ pub struct PaperTable2 {
 
 /// The full Table II reference matrix.
 pub const PAPER_TABLE2: &[PaperTable2] = &[
-    PaperTable2 { method: "Jaccard", f1: [Some(0.836), Some(0.332), Some(0.792)] },
-    PaperTable2 { method: "TF-IDF", f1: [Some(0.871), Some(0.658), Some(0.821)] },
-    PaperTable2 { method: "Gaussian Mixture Model", f1: [Some(0.704), None, None] },
-    PaperTable2 { method: "HGM+Bootstrap", f1: [Some(0.844), None, None] },
-    PaperTable2 { method: "MLE", f1: [Some(0.904), None, None] },
-    PaperTable2 { method: "SVM", f1: [Some(0.922), None, Some(0.824)] },
-    PaperTable2 { method: "CrowdER", f1: [Some(0.934), Some(0.800), Some(0.824)] },
-    PaperTable2 { method: "TransM", f1: [Some(0.930), Some(0.792), Some(0.740)] },
-    PaperTable2 { method: "GCER", f1: [Some(0.930), Some(0.760), Some(0.785)] },
-    PaperTable2 { method: "ACD", f1: [Some(0.934), Some(0.805), Some(0.820)] },
-    PaperTable2 { method: "Power+", f1: [Some(0.934), None, Some(0.820)] },
-    PaperTable2 { method: "SimRank", f1: [Some(0.645), Some(0.376), Some(0.730)] },
-    PaperTable2 { method: "PageRank", f1: [Some(0.905), Some(0.564), Some(0.316)] },
-    PaperTable2 { method: "Hybrid", f1: [Some(0.946), Some(0.593), Some(0.748)] },
-    PaperTable2 { method: "ITER+CliqueRank", f1: [Some(0.927), Some(0.764), Some(0.890)] },
+    PaperTable2 {
+        method: "Jaccard",
+        f1: [Some(0.836), Some(0.332), Some(0.792)],
+    },
+    PaperTable2 {
+        method: "TF-IDF",
+        f1: [Some(0.871), Some(0.658), Some(0.821)],
+    },
+    PaperTable2 {
+        method: "Gaussian Mixture Model",
+        f1: [Some(0.704), None, None],
+    },
+    PaperTable2 {
+        method: "HGM+Bootstrap",
+        f1: [Some(0.844), None, None],
+    },
+    PaperTable2 {
+        method: "MLE",
+        f1: [Some(0.904), None, None],
+    },
+    PaperTable2 {
+        method: "SVM",
+        f1: [Some(0.922), None, Some(0.824)],
+    },
+    PaperTable2 {
+        method: "CrowdER",
+        f1: [Some(0.934), Some(0.800), Some(0.824)],
+    },
+    PaperTable2 {
+        method: "TransM",
+        f1: [Some(0.930), Some(0.792), Some(0.740)],
+    },
+    PaperTable2 {
+        method: "GCER",
+        f1: [Some(0.930), Some(0.760), Some(0.785)],
+    },
+    PaperTable2 {
+        method: "ACD",
+        f1: [Some(0.934), Some(0.805), Some(0.820)],
+    },
+    PaperTable2 {
+        method: "Power+",
+        f1: [Some(0.934), None, Some(0.820)],
+    },
+    PaperTable2 {
+        method: "SimRank",
+        f1: [Some(0.645), Some(0.376), Some(0.730)],
+    },
+    PaperTable2 {
+        method: "PageRank",
+        f1: [Some(0.905), Some(0.564), Some(0.316)],
+    },
+    PaperTable2 {
+        method: "Hybrid",
+        f1: [Some(0.946), Some(0.593), Some(0.748)],
+    },
+    PaperTable2 {
+        method: "ITER+CliqueRank",
+        f1: [Some(0.927), Some(0.764), Some(0.890)],
+    },
 ];
 
 /// Formats an optional paper reference value.

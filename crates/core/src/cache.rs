@@ -142,7 +142,7 @@ pub fn run_cliquerank_cached(
         for (li, &g) in members.iter().enumerate() {
             local_of[g as usize] = li as u32;
         }
-        solve_component_public(graph, members, &local_of, config, &mut out);
+        solve_component_public(graph, members, &local_of, config, None, &mut out);
         for &g in members {
             local_of[g as usize] = u32::MAX;
         }
@@ -162,11 +162,7 @@ mod tests {
     }
 
     fn graph(scores: &[f64]) -> RecordGraph {
-        RecordGraph::from_pair_scores(
-            6,
-            &pairs(&[(0, 1), (0, 2), (1, 2), (3, 4), (4, 5)]),
-            scores,
-        )
+        RecordGraph::from_pair_scores(6, &pairs(&[(0, 1), (0, 2), (1, 2), (3, 4), (4, 5)]), scores)
     }
 
     fn cfg() -> CliqueRankConfig {
@@ -216,10 +212,7 @@ mod tests {
         let g = graph(&[1.0, 0.9, 0.8, 0.7, 0.6]);
         let mut cache = CliqueRankCache::new();
         let _ = run_cliquerank_cached(&g, &cfg(), &mut cache);
-        let other = CliqueRankConfig {
-            steps: 7,
-            ..cfg()
-        };
+        let other = CliqueRankConfig { steps: 7, ..cfg() };
         let out = run_cliquerank_cached(&g, &other, &mut cache);
         assert_eq!(cache.hits(), 0);
         assert_eq!(out, crate::run_cliquerank(&g, &other));

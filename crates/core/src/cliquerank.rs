@@ -47,13 +47,42 @@
 //! far cheaper than one n × n product on sparse record graphs.
 
 use er_graph::{bipartite::PairNode, RecordGraph};
-use er_matrix::{matmul_threaded, Matrix};
+use er_matrix::{matmul_pooled, matmul_threaded, Matrix};
+use er_pool::WorkerPool;
 
 use crate::config::{BoostMode, CliqueRankConfig, Kernel, Recurrence};
 
 /// Runs CliqueRank; returns the matching probability per edge, aligned
 /// with [`RecordGraph::pairs`].
+///
+/// `config.threads > 1` spins up a transient worker pool; pipeline
+/// callers with a pool of their own should use [`run_cliquerank_pooled`].
 pub fn run_cliquerank(graph: &RecordGraph, config: &CliqueRankConfig) -> Vec<f64> {
+    if config.threads <= 1 {
+        cliquerank_impl(graph, config, None)
+    } else {
+        let pool = WorkerPool::new(config.threads);
+        cliquerank_impl(graph, config, Some(&pool))
+    }
+}
+
+/// [`run_cliquerank`] on an existing worker pool: component chunks become
+/// pool jobs (many components) or the dense products do (few, large
+/// components). Results are identical either way — components are
+/// independent and the pooled matmul is bit-identical to the serial one.
+pub fn run_cliquerank_pooled(
+    graph: &RecordGraph,
+    config: &CliqueRankConfig,
+    pool: &WorkerPool,
+) -> Vec<f64> {
+    cliquerank_impl(graph, config, Some(pool))
+}
+
+fn cliquerank_impl(
+    graph: &RecordGraph,
+    config: &CliqueRankConfig,
+    pool: Option<&WorkerPool>,
+) -> Vec<f64> {
     assert!(config.alpha > 0.0, "alpha must be positive");
     assert!(config.steps >= 1, "need at least one step");
     let comps = graph.components();
@@ -61,11 +90,13 @@ pub fn run_cliquerank(graph: &RecordGraph, config: &CliqueRankConfig) -> Vec<f64
     let mut out = vec![0.0f64; graph.pairs().len()];
 
     // Components are independent, so they parallelize perfectly (the
-    // paper leans on a 32-core server for the same phase). Each worker
+    // paper leans on a 32-core server for the same phase). Each pool job
     // gets its own scratch buffers and result list; results merge into
     // disjoint slots of `out` afterwards. Small workloads stay on one
-    // thread to avoid spawn overhead.
-    let workers = config.threads.clamp(1, solvable.len().max(1));
+    // thread to avoid scheduling overhead, and with few components the
+    // parallelism moves inside the dense products instead.
+    let pool_threads = pool.map_or(1, |p| p.threads());
+    let workers = pool_threads.clamp(1, solvable.len().max(1));
     let total_members: usize = solvable.iter().map(|m| m.len()).sum();
     if workers == 1 || total_members < 512 {
         let mut local_of = vec![u32::MAX; graph.node_count()];
@@ -73,16 +104,18 @@ pub fn run_cliquerank(graph: &RecordGraph, config: &CliqueRankConfig) -> Vec<f64
             for (li, &g) in members.iter().enumerate() {
                 local_of[g as usize] = li as u32;
             }
-            solve_component(graph, members, &local_of, config, &mut out);
+            solve_component(graph, members, &local_of, config, pool, &mut out);
             for &g in members {
                 local_of[g as usize] = u32::MAX;
             }
         }
         return out;
     }
+    let pool = pool.expect("workers > 1 implies a pool");
 
-    // Per-worker config with matmul threading disabled — parallelism
-    // lives at the component level here.
+    // Per-job config with matmul threading disabled — parallelism lives
+    // at the component level here (nested pooled products would only
+    // fight the component jobs for the same workers).
     let worker_config = CliqueRankConfig {
         threads: 1,
         ..*config
@@ -97,44 +130,44 @@ pub fn run_cliquerank(graph: &RecordGraph, config: &CliqueRankConfig) -> Vec<f64
         }
         chunks
     };
-    let results: Vec<Vec<(usize, f64)>> = crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = chunks
-            .iter()
-            .map(|chunk| {
-                let worker_config = &worker_config;
-                scope.spawn(move |_| {
-                    let mut local_out = vec![0.0f64; graph.pairs().len()];
-                    let mut local_of = vec![u32::MAX; graph.node_count()];
-                    let mut touched = Vec::new();
-                    for members in chunk {
-                        for (li, &g) in members.iter().enumerate() {
-                            local_of[g as usize] = li as u32;
-                        }
-                        solve_component(graph, members, &local_of, worker_config, &mut local_out);
-                        for &g in members.iter() {
-                            local_of[g as usize] = u32::MAX;
-                            for &nb in graph.neighbors(g).0 {
-                                if nb > g {
-                                    let pair = PairNode::new(g, nb);
-                                    let idx = graph
-                                        .pairs()
-                                        .binary_search(&pair)
-                                        .expect("edge is a retained pair");
-                                    touched.push((idx, local_out[idx]));
-                                }
+    let mut results: Vec<Vec<(usize, f64)>> = chunks.iter().map(|_| Vec::new()).collect();
+    pool.scope(|s| {
+        for (chunk, result) in chunks.iter().zip(results.iter_mut()) {
+            let worker_config = &worker_config;
+            s.submit(move || {
+                let mut local_out = vec![0.0f64; graph.pairs().len()];
+                let mut local_of = vec![u32::MAX; graph.node_count()];
+                let mut touched = Vec::new();
+                for members in chunk {
+                    for (li, &g) in members.iter().enumerate() {
+                        local_of[g as usize] = li as u32;
+                    }
+                    solve_component(
+                        graph,
+                        members,
+                        &local_of,
+                        worker_config,
+                        None,
+                        &mut local_out,
+                    );
+                    for &g in members.iter() {
+                        local_of[g as usize] = u32::MAX;
+                        for &nb in graph.neighbors(g).0 {
+                            if nb > g {
+                                let pair = PairNode::new(g, nb);
+                                let idx = graph
+                                    .pairs()
+                                    .binary_search(&pair)
+                                    .expect("edge is a retained pair");
+                                touched.push((idx, local_out[idx]));
                             }
                         }
                     }
-                    touched
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("cliquerank worker panicked"))
-            .collect()
-    })
-    .expect("cliquerank scope panicked");
+                }
+                *result = touched;
+            });
+        }
+    });
     for worker_results in results {
         for (idx, p) in worker_results {
             out[idx] = p;
@@ -150,9 +183,10 @@ pub(crate) fn solve_component_public(
     members: &[u32],
     local_of: &[u32],
     config: &CliqueRankConfig,
+    pool: Option<&WorkerPool>,
     out: &mut [f64],
 ) {
-    solve_component(graph, members, local_of, config, out);
+    solve_component(graph, members, local_of, config, pool, out);
 }
 
 /// Dense solve of one connected component, writing edge probabilities
@@ -163,6 +197,7 @@ fn solve_component(
     members: &[u32],
     local_of: &[u32],
     config: &CliqueRankConfig,
+    pool: Option<&WorkerPool>,
     out: &mut [f64],
 ) {
     let nc = members.len();
@@ -220,12 +255,28 @@ fn solve_component(
 
     let bonus_samples = bonus_samples(config);
     let final_matrix = match config.recurrence {
-        Recurrence::FirstPassage => {
-            first_passage(graph, members, local_of, &a, &row_sums, &mt, &bonus_samples, config)
-        }
-        Recurrence::PaperEq15 => {
-            paper_eq15(graph, members, local_of, &a, &row_sums, &mt, &bonus_samples, config)
-        }
+        Recurrence::FirstPassage => first_passage(
+            graph,
+            members,
+            local_of,
+            &a,
+            &row_sums,
+            &mt,
+            &bonus_samples,
+            config,
+            pool,
+        ),
+        Recurrence::PaperEq15 => paper_eq15(
+            graph,
+            members,
+            local_of,
+            &a,
+            &row_sums,
+            &mt,
+            &bonus_samples,
+            config,
+            pool,
+        ),
     };
 
     // Symmetrize (Eq. 15's bi-directional average) and write out per
@@ -289,6 +340,7 @@ fn first_passage(
     mt: &Matrix,
     bonus: &[f64],
     config: &CliqueRankConfig,
+    pool: Option<&WorkerPool>,
 ) -> Matrix {
     let nc = members.len();
     // H[v,j]: expected boosted hit probability; C[v,j]: expected
@@ -325,12 +377,26 @@ fn first_passage(
     let mut masked = Matrix::zeros(nc, nc);
     for _ in 2..=config.steps {
         apply_neighbor_mask(graph, members, local_of, &g_mat, &mut masked, config);
-        let mut cont = matmul_threaded(mt, &masked, config.threads);
+        let mut cont = step_product(mt, &masked, config, pool);
         cont.hadamard_assign(&c);
         cont.add_assign(&h);
         g_mat = cont;
     }
     g_mat
+}
+
+/// One `Mt × masked` step, on the shared pool when available. All matmul
+/// variants are bit-identical, so the choice only affects speed.
+fn step_product(
+    mt: &Matrix,
+    masked: &Matrix,
+    config: &CliqueRankConfig,
+    pool: Option<&WorkerPool>,
+) -> Matrix {
+    match pool {
+        Some(pool) => matmul_pooled(mt, masked, pool),
+        None => matmul_threaded(mt, masked, config.threads),
+    }
 }
 
 /// The paper's literal Eq. 15 accumulation: returns `Σ_k M^k`.
@@ -345,6 +411,7 @@ fn paper_eq15(
     mt: &Matrix,
     bonus: &[f64],
     config: &CliqueRankConfig,
+    pool: Option<&WorkerPool>,
 ) -> Matrix {
     let nc = members.len();
     // Mb[i,j] = mean_b[ β·a_ij / (β·a_ij + rowsum_i − a_ij) ].
@@ -369,7 +436,7 @@ fn paper_eq15(
     let mut masked = Matrix::zeros(nc, nc);
     for _ in 2..=config.steps {
         apply_neighbor_mask(graph, members, local_of, &m, &mut masked, config);
-        m = matmul_threaded(mt, &masked, config.threads);
+        m = step_product(mt, &masked, config, pool);
         acc.add_assign(&m);
     }
     acc
@@ -529,10 +596,7 @@ mod tests {
         }
         let pr = pairs(&ps);
         let g = RecordGraph::from_pair_scores(n as usize, &pr, &vec![1.0; pr.len()]);
-        let short = CliqueRankConfig {
-            steps: 8,
-            ..cfg()
-        };
+        let short = CliqueRankConfig { steps: 8, ..cfg() };
         let with = run_cliquerank(&g, &short);
         let without = run_cliquerank(
             &g,
@@ -651,11 +715,48 @@ mod tests {
     }
 
     #[test]
+    fn pooled_matches_serial_exactly() {
+        // Components path (many small cliques) and matmul path (one big
+        // component) must both be bit-identical to the serial solve.
+        let mut ps = Vec::new();
+        let mut scores = Vec::new();
+        for c in 0..60u32 {
+            let base = c * 12;
+            for i in 0..12u32 {
+                for j in i + 1..12u32 {
+                    ps.push(PairNode::new(base + i, base + j));
+                    scores.push(1.0 + (i + j) as f64 * 0.01);
+                }
+            }
+        }
+        let many = RecordGraph::from_pair_scores(720, &ps, &scores);
+        let mut big_ps = Vec::new();
+        for i in 0..80u32 {
+            for j in i + 1..80u32 {
+                big_ps.push(PairNode::new(i, j));
+            }
+        }
+        let big_scores: Vec<f64> = (0..big_ps.len())
+            .map(|i| 1.0 + (i % 7) as f64 * 0.02)
+            .collect();
+        let big = RecordGraph::from_pair_scores(80, &big_ps, &big_scores);
+        let pool = er_pool::WorkerPool::new(3);
+        for g in [&many, &big] {
+            let serial = run_cliquerank(g, &cfg());
+            let pooled = run_cliquerank_pooled(g, &cfg(), &pool);
+            assert_eq!(serial, pooled);
+        }
+    }
+
+    #[test]
     fn fixed_boost_modes_work() {
         let g = two_cliques();
         for boost in [BoostMode::Fixed(0.0), BoostMode::Fixed(0.5), BoostMode::Off] {
             let p = run_cliquerank(&g, &CliqueRankConfig { boost, ..cfg() });
-            assert!(p.iter().all(|v| (0.0..=1.0).contains(v)), "{boost:?}: {p:?}");
+            assert!(
+                p.iter().all(|v| (0.0..=1.0).contains(v)),
+                "{boost:?}: {p:?}"
+            );
         }
     }
 

@@ -5,6 +5,13 @@
 //! all three benchmark datasets, which is the framework's headline
 //! usability claim.
 
+/// Default worker-thread count for the parallel hot paths: the machine's
+/// available parallelism (1 when it cannot be determined). Every parallel
+/// phase is deterministic, so this only affects speed, never results.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
 /// Normalization applied to term weights after each ITER iteration
 /// (Algorithm 1, line 7).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -30,6 +37,11 @@ pub struct IterConfig {
     pub normalization: Normalization,
     /// Seed for the random initialization of `x_t` (Algorithm 1, line 1).
     pub seed: u64,
+    /// Worker threads for the pair-similarity and term-update loops.
+    /// Both parallelize elementwise over disjoint output ranges, so every
+    /// thread count produces bit-identical weights. Defaults to the
+    /// machine's available parallelism.
+    pub threads: usize,
 }
 
 impl Default for IterConfig {
@@ -39,6 +51,7 @@ impl Default for IterConfig {
             max_iterations: 100,
             normalization: Normalization::Reciprocal,
             seed: 0x1753,
+            threads: default_threads(),
         }
     }
 }
@@ -83,6 +96,10 @@ pub struct RssConfig {
     pub boost: bool,
     /// Apply the early-stop rule (Algorithm 3 lines 8–9).
     pub early_stop: bool,
+    /// Worker threads for the per-edge walk loop. Walks are seeded per
+    /// edge, so every thread count (including 1) produces bit-identical
+    /// probabilities. Defaults to the machine's available parallelism.
+    pub threads: usize,
 }
 
 impl Default for RssConfig {
@@ -94,6 +111,7 @@ impl Default for RssConfig {
             seed: 0x2087,
             boost: true,
             early_stop: true,
+            threads: default_threads(),
         }
     }
 }
@@ -182,7 +200,7 @@ impl Default for CliqueRankConfig {
             clamp: true,
             recurrence: Recurrence::default(),
             kernel: Kernel::default(),
-            threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            threads: default_threads(),
         }
     }
 }
@@ -222,6 +240,14 @@ pub struct FusionConfig {
     /// Record each round's probability vector (needed by the Table V
     /// bench; costs `rounds × pairs` floats).
     pub record_round_probabilities: bool,
+    /// Worker threads for the shared pipeline pool. [`crate::Resolver`]
+    /// creates one pool of this size per `resolve` call and threads it
+    /// through every phase (ITER, CliqueRank, graph construction),
+    /// overriding the per-phase `threads` fields, which only govern
+    /// standalone phase calls. All phases are deterministic, so this
+    /// knob affects speed only. Defaults to the machine's available
+    /// parallelism.
+    pub threads: usize,
 }
 
 impl Default for FusionConfig {
@@ -234,6 +260,7 @@ impl Default for FusionConfig {
             min_shared_terms: 2,
             min_similarity: 0.0,
             record_round_probabilities: false,
+            threads: default_threads(),
         }
     }
 }

@@ -15,10 +15,11 @@
 use std::time::{Duration, Instant};
 
 use er_graph::{BipartiteGraph, RecordGraph, UnionFind};
+use er_pool::WorkerPool;
 
-use crate::cliquerank::run_cliquerank;
+use crate::cliquerank::run_cliquerank_pooled;
 use crate::config::FusionConfig;
-use crate::iter::run_iter;
+use crate::iter::run_iter_pooled;
 
 /// Per-round diagnostics.
 #[derive(Debug, Clone)]
@@ -93,10 +94,17 @@ impl Resolver {
     }
 
     /// Runs the full fusion loop on a prepared bipartite graph.
+    ///
+    /// One worker pool of [`FusionConfig::threads`] threads is created
+    /// here and shared by every phase of every round (ITER, record-graph
+    /// construction, CliqueRank) — persistent workers instead of
+    /// per-phase thread spawns. Every phase is deterministic, so the
+    /// outcome is bit-identical at any thread count.
     pub fn resolve(&self, graph: &BipartiteGraph) -> FusionOutcome {
         let cfg = &self.config;
         assert!(cfg.rounds >= 1, "need at least one fusion round");
         assert!((0.0..=1.0).contains(&cfg.eta), "eta must be a probability");
+        let pool = WorkerPool::new(cfg.threads);
         let n_pairs = graph.pair_count();
         // Structural edge admission: pairs sharing fewer than
         // `min_shared_terms` terms never enter Gr (stable across rounds).
@@ -111,7 +119,7 @@ impl Resolver {
 
         for round in 1..=cfg.rounds {
             let t0 = Instant::now();
-            let iter_out = run_iter(graph, &prob, &cfg.iter);
+            let iter_out = run_iter_pooled(graph, &prob, &cfg.iter, &pool);
             let iter_time = t0.elapsed();
 
             let t1 = Instant::now();
@@ -129,8 +137,13 @@ impl Resolver {
                     }
                 })
                 .collect();
-            let gr = RecordGraph::from_pair_scores(graph.record_count(), graph.pairs(), &floored);
-            let edge_probs = run_cliquerank(&gr, &cfg.cliquerank);
+            let gr = RecordGraph::from_pair_scores_pooled(
+                graph.record_count(),
+                graph.pairs(),
+                &floored,
+                &pool,
+            );
+            let edge_probs = run_cliquerank_pooled(&gr, &cfg.cliquerank, &pool);
             let cliquerank_time = t1.elapsed();
 
             // Map probabilities back onto the bipartite pair indexing;
@@ -142,11 +155,7 @@ impl Resolver {
                     .expect("record-graph edge must be a bipartite pair");
                 new_prob[idx as usize] = p;
             }
-            let probability_delta = prob
-                .iter()
-                .zip(&new_prob)
-                .map(|(a, b)| (a - b).abs())
-                .sum();
+            let probability_delta = prob.iter().zip(&new_prob).map(|(a, b)| (a - b).abs()).sum();
             prob = new_prob;
 
             rounds.push(RoundStats {
@@ -258,10 +267,7 @@ mod tests {
         }
         // Reinforcement converges: the last round changes p less than the
         // first feedback round did.
-        assert!(
-            out.rounds.last().unwrap().probability_delta
-                <= out.rounds[0].probability_delta
-        );
+        assert!(out.rounds.last().unwrap().probability_delta <= out.rounds[0].probability_delta);
     }
 
     #[test]
@@ -315,6 +321,30 @@ mod tests {
         let loose_out = Resolver::new(quick_config()).resolve(&g);
         let strict_out = Resolver::new(strict).resolve(&g);
         assert!(strict_out.matches.len() <= loose_out.matches.len());
+    }
+
+    #[test]
+    fn outcome_identical_at_every_thread_count() {
+        let g = two_entity_graph();
+        let serial = Resolver::new(FusionConfig {
+            threads: 1,
+            ..quick_config()
+        })
+        .resolve(&g);
+        for threads in [2, 4] {
+            let parallel = Resolver::new(FusionConfig {
+                threads,
+                ..quick_config()
+            })
+            .resolve(&g);
+            assert_eq!(
+                serial.matching_probabilities,
+                parallel.matching_probabilities
+            );
+            assert_eq!(serial.term_weights, parallel.term_weights);
+            assert_eq!(serial.matches, parallel.matches);
+            assert_eq!(serial.clusters, parallel.clusters);
+        }
     }
 
     #[test]

@@ -15,12 +15,30 @@
 //! The matching probability `p(ri, rj)` enters as the bipartite edge
 //! weight — uniform 1 on the first fusion round, CliqueRank's output on
 //! later rounds.
+//!
+//! # Parallelism and determinism
+//!
+//! Both propagation rules are elementwise: each pair similarity depends
+//! only on the previous term weights, and each term weight only on the
+//! fresh similarities. The parallel path therefore splits the output
+//! vectors into disjoint CSR ranges — one pool job per range — while the
+//! scalar reductions (L2 norm, convergence delta) stay serial, so every
+//! thread count produces bit-identical weights. The two iteration
+//! vectors (`x`, `new_x`) are allocated once and swapped per iteration
+//! instead of reallocating `new_x` every pass.
+
+use std::mem;
 
 use er_graph::BipartiteGraph;
+use er_pool::WorkerPool;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use crate::config::{IterConfig, Normalization};
+
+/// Minimum terms/pairs per pool job; below this, scheduling overhead
+/// exceeds the loop body.
+const MIN_CHUNK: usize = 512;
 
 /// Result of one ITER run.
 #[derive(Debug, Clone)]
@@ -54,6 +72,17 @@ pub fn run_iter(graph: &BipartiteGraph, edge_prob: &[f64], config: &IterConfig) 
     run_iter_with_init(graph, edge_prob, config, None)
 }
 
+/// [`run_iter`] on an existing worker pool (pipeline callers share one
+/// pool across all phases instead of spinning one up per round).
+pub fn run_iter_pooled(
+    graph: &BipartiteGraph,
+    edge_prob: &[f64],
+    config: &IterConfig,
+    pool: &WorkerPool,
+) -> IterOutcome {
+    run_iter_with_init_pooled(graph, edge_prob, config, None, pool)
+}
+
 /// [`run_iter`] with an optional warm start: `init[t]` seeds the weight
 /// of term `t` (values outside `(0, 1)` or for terms with `P_t = 0` are
 /// ignored). Theorem 1 guarantees the same fixed point from any
@@ -66,16 +95,39 @@ pub fn run_iter_with_init(
     config: &IterConfig,
     init: Option<&[f64]>,
 ) -> IterOutcome {
+    if config.threads <= 1 {
+        iter_impl(graph, edge_prob, config, init, None)
+    } else {
+        let pool = WorkerPool::new(config.threads);
+        iter_impl(graph, edge_prob, config, init, Some(&pool))
+    }
+}
+
+/// [`run_iter_with_init`] on an existing worker pool.
+pub fn run_iter_with_init_pooled(
+    graph: &BipartiteGraph,
+    edge_prob: &[f64],
+    config: &IterConfig,
+    init: Option<&[f64]>,
+    pool: &WorkerPool,
+) -> IterOutcome {
+    iter_impl(graph, edge_prob, config, init, Some(pool))
+}
+
+fn iter_impl(
+    graph: &BipartiteGraph,
+    edge_prob: &[f64],
+    config: &IterConfig,
+    init: Option<&[f64]>,
+    pool: Option<&WorkerPool>,
+) -> IterOutcome {
     assert_eq!(
         edge_prob.len(),
         graph.pair_count(),
         "edge_prob must hold one probability per pair node"
     );
     for (i, &p) in edge_prob.iter().enumerate() {
-        assert!(
-            (0.0..=1.0).contains(&p),
-            "p out of [0,1] for pair {i}: {p}"
-        );
+        assert!((0.0..=1.0).contains(&p), "p out of [0,1] for pair {i}: {p}");
     }
     let n_terms = graph.term_count();
     let n_pairs = graph.pair_count();
@@ -101,6 +153,9 @@ pub fn run_iter_with_init(
         .collect();
 
     let mut s = vec![0.0f64; n_pairs];
+    // Double buffer for the term weights: swapped with `x` each
+    // iteration instead of allocating a fresh vector per pass.
+    let mut new_x = vec![0.0f64; n_terms];
     let mut deltas = Vec::new();
     let mut converged = false;
     let mut iterations = 0;
@@ -108,27 +163,11 @@ pub fn run_iter_with_init(
     while iterations < config.max_iterations {
         iterations += 1;
         // Line 3–4: pair similarities from current term weights.
-        update_similarities(graph, &x, &mut s);
+        update_similarities(graph, &x, &mut s, pool);
         // Line 5–7: term weights from pair similarities, then normalize.
         // The convergence delta is measured on the *normalized* weights —
         // those are what the fixed point is defined over.
-        let mut new_x = vec![0.0f64; n_terms];
-        for t in 0..n_terms as u32 {
-            let pt = graph.pt(t);
-            if pt == 0 {
-                continue;
-            }
-            let mut acc = 0.0;
-            for &p in graph.pairs_of_term(t) {
-                acc += edge_prob[p as usize] * s[p as usize];
-            }
-            let raw = acc / pt as f64;
-            new_x[t as usize] = match config.normalization {
-                // 1/(1 + 1/x) = x/(1+x); continuous at 0.
-                Normalization::Reciprocal => raw / (1.0 + raw),
-                Normalization::L2 => raw, // normalized below
-            };
-        }
+        update_terms(graph, edge_prob, &s, config.normalization, &mut new_x, pool);
         if config.normalization == Normalization::L2 {
             let norm: f64 = new_x.iter().map(|v| v * v).sum::<f64>().sqrt();
             if norm > 0.0 {
@@ -142,7 +181,7 @@ pub fn run_iter_with_init(
             .zip(&new_x)
             .map(|(old, new)| (old - new).abs())
             .sum();
-        x = new_x;
+        mem::swap(&mut x, &mut new_x);
         deltas.push(delta);
         if delta < config.tolerance {
             converged = true;
@@ -151,7 +190,7 @@ pub fn run_iter_with_init(
     }
     // Final similarities from the converged weights, so callers see a
     // consistent (x, s) fixed-point pair.
-    update_similarities(graph, &x, &mut s);
+    update_similarities(graph, &x, &mut s, pool);
 
     IterOutcome {
         term_weights: x,
@@ -162,14 +201,98 @@ pub fn run_iter_with_init(
     }
 }
 
-fn update_similarities(graph: &BipartiteGraph, x: &[f64], s: &mut [f64]) {
-    for p in 0..graph.pair_count() as u32 {
-        let sum: f64 = graph
-            .terms_of_pair(p)
-            .iter()
-            .map(|&t| x[t as usize])
-            .sum();
-        s[p as usize] = sum;
+/// Pair update (Eq. 7) over pair range `p_start..p_start + out.len()`,
+/// writing into the matching slice of the similarity vector.
+fn similarities_range(graph: &BipartiteGraph, x: &[f64], out: &mut [f64], p_start: u32) {
+    for (i, slot) in out.iter_mut().enumerate() {
+        let p = p_start + i as u32;
+        *slot = graph.terms_of_pair(p).iter().map(|&t| x[t as usize]).sum();
+    }
+}
+
+fn update_similarities(
+    graph: &BipartiteGraph,
+    x: &[f64],
+    s: &mut [f64],
+    pool: Option<&WorkerPool>,
+) {
+    match pool {
+        Some(pool) if !pool.is_serial() && s.len() >= 2 * MIN_CHUNK => {
+            let ranges = er_pool::chunk_ranges(s.len(), pool.threads() * 4, MIN_CHUNK);
+            pool.scope(|scope| {
+                let mut rest: &mut [f64] = s;
+                for range in ranges {
+                    let (chunk, tail) = rest.split_at_mut(range.len());
+                    rest = tail;
+                    scope.submit(move || similarities_range(graph, x, chunk, range.start as u32));
+                }
+            });
+        }
+        _ => similarities_range(graph, x, s, 0),
+    }
+}
+
+/// Term update + normalization (Eq. 6, line 7) over term range
+/// `t_start..t_start + out.len()`. Every slot is written (terms with
+/// `P_t = 0` get 0), so the swapped-in buffer needs no clearing.
+fn terms_range(
+    graph: &BipartiteGraph,
+    edge_prob: &[f64],
+    s: &[f64],
+    normalization: Normalization,
+    out: &mut [f64],
+    t_start: u32,
+) {
+    for (i, slot) in out.iter_mut().enumerate() {
+        let t = t_start + i as u32;
+        let pt = graph.pt(t);
+        if pt == 0 {
+            *slot = 0.0;
+            continue;
+        }
+        let mut acc = 0.0;
+        for &p in graph.pairs_of_term(t) {
+            acc += edge_prob[p as usize] * s[p as usize];
+        }
+        let raw = acc / pt as f64;
+        *slot = match normalization {
+            // 1/(1 + 1/x) = x/(1+x); continuous at 0.
+            Normalization::Reciprocal => raw / (1.0 + raw),
+            Normalization::L2 => raw, // normalized by the caller
+        };
+    }
+}
+
+fn update_terms(
+    graph: &BipartiteGraph,
+    edge_prob: &[f64],
+    s: &[f64],
+    normalization: Normalization,
+    new_x: &mut [f64],
+    pool: Option<&WorkerPool>,
+) {
+    match pool {
+        Some(pool) if !pool.is_serial() && new_x.len() >= 2 * MIN_CHUNK => {
+            let ranges = er_pool::chunk_ranges(new_x.len(), pool.threads() * 4, MIN_CHUNK);
+            pool.scope(|scope| {
+                let mut rest: &mut [f64] = new_x;
+                for range in ranges {
+                    let (chunk, tail) = rest.split_at_mut(range.len());
+                    rest = tail;
+                    scope.submit(move || {
+                        terms_range(
+                            graph,
+                            edge_prob,
+                            s,
+                            normalization,
+                            chunk,
+                            range.start as u32,
+                        )
+                    });
+                }
+            });
+        }
+        _ => terms_range(graph, edge_prob, s, normalization, new_x, 0),
     }
 }
 
@@ -301,6 +424,59 @@ mod tests {
         let out = run_iter(&g, &[], &IterConfig::default());
         assert!(out.term_weights.is_empty());
         assert!(out.pair_similarities.is_empty());
+    }
+
+    #[test]
+    fn bit_identical_across_thread_counts() {
+        // Large enough that the parallel path actually chunks the term
+        // update (> 2 × MIN_CHUNK terms).
+        let n_terms = 2 * MIN_CHUNK + 77;
+        let n_records = 40u32;
+        let mut state = 0x5eed_u64;
+        let posting_store: Vec<[u32; 2]> = (0..n_terms)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let a = ((state >> 33) % n_records as u64) as u32;
+                let b = (a + 1 + ((state >> 13) % (n_records as u64 - 1)) as u32) % n_records;
+                [a.min(b), a.max(b)]
+            })
+            .collect();
+        let mut builder = BipartiteGraphBuilder::new(n_records as usize, n_terms);
+        for (t, post) in posting_store.iter().enumerate() {
+            builder = builder.postings(t as u32, post);
+        }
+        let g = builder.build();
+        let prob = uniform_prob(&g);
+        let serial = run_iter(
+            &g,
+            &prob,
+            &IterConfig {
+                threads: 1,
+                ..Default::default()
+            },
+        );
+        for threads in [2, 4] {
+            let parallel = run_iter(
+                &g,
+                &prob,
+                &IterConfig {
+                    threads,
+                    ..Default::default()
+                },
+            );
+            assert_eq!(
+                serial.term_weights, parallel.term_weights,
+                "threads={threads}"
+            );
+            assert_eq!(serial.pair_similarities, parallel.pair_similarities);
+            assert_eq!(serial.iterations, parallel.iterations);
+            assert_eq!(serial.deltas, parallel.deltas);
+        }
+        let pool = er_pool::WorkerPool::new(3);
+        let pooled = run_iter_pooled(&g, &prob, &IterConfig::default(), &pool);
+        assert_eq!(serial.term_weights, pooled.term_weights);
     }
 
     #[test]

@@ -17,8 +17,24 @@
 //! RSS is `O(M · S · n³)` in the worst case; CliqueRank replaces it in
 //! production. It is retained both as the reference the matrix form is
 //! validated against and for the Table III speedup comparison.
+//!
+//! # Parallelism and determinism
+//!
+//! Edges are embarrassingly parallel: each edge's `M` walks touch only
+//! that edge's probability slot. Every edge gets its own [`SmallRng`]
+//! derived from `(config.seed, edge id)`, so the sampled walks do not
+//! depend on which worker simulates which edge — the output is
+//! bit-identical at every thread count (including 1), and a subset run
+//! reproduces exactly the probabilities the full run assigns to the same
+//! edges.
+//!
+//! The α-scaled transition powers `(s / (2 · rowmax))^α` depend only on
+//! the graph, so they are computed once per run ([`EdgePowers`]) instead
+//! of per step; a step then costs one `powf` (for the sampled bonus) plus
+//! a multiply on the target entry, rather than `powf` per neighbor.
 
 use er_graph::RecordGraph;
+use er_pool::WorkerPool;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -34,10 +50,17 @@ pub struct RssOutcome {
     pub walks: usize,
 }
 
-/// Runs RSS over every edge of `graph` (Algorithm 2).
+/// Runs RSS over every edge of `graph` (Algorithm 2), dispatching on
+/// [`RssConfig::threads`].
 pub fn run_rss(graph: &RecordGraph, config: &RssConfig) -> RssOutcome {
     let all: Vec<u32> = (0..graph.pairs().len() as u32).collect();
     run_rss_subset(graph, config, &all)
+}
+
+/// Runs RSS over every edge using an existing worker pool.
+pub fn run_rss_pooled(graph: &RecordGraph, config: &RssConfig, pool: &WorkerPool) -> RssOutcome {
+    let all: Vec<u32> = (0..graph.pairs().len() as u32).collect();
+    run_rss_subset_pooled(graph, config, &all, pool)
 }
 
 /// Runs RSS for a subset of edges (by index into [`RecordGraph::pairs`]).
@@ -46,78 +69,194 @@ pub fn run_rss(graph: &RecordGraph, config: &RssConfig) -> RssOutcome {
 /// estimated. The Table III bench uses this to extrapolate RSS's running
 /// time on dense graphs where the full `O(M · S · n³)` simulation is
 /// impractical — the very point the paper's speedup comparison makes.
+///
+/// `config.threads > 1` spins up a transient pool; callers with a pool of
+/// their own should use [`run_rss_subset_pooled`] directly.
 pub fn run_rss_subset(graph: &RecordGraph, config: &RssConfig, edges: &[u32]) -> RssOutcome {
-    assert!(config.alpha > 0.0, "alpha must be positive");
-    assert!(config.steps >= 1, "need at least one step");
-    assert!(config.walks_per_edge >= 2, "need at least one walk per direction");
-    let mut rng = SmallRng::seed_from_u64(config.seed);
-    let half = config.walks_per_edge / 2;
-    let mut probabilities = Vec::with_capacity(edges.len());
-    let mut walks = 0usize;
-    let mut scratch = WalkScratch::default();
-    for &e in edges {
-        let pair = graph.pairs()[e as usize];
-        let mut successes = 0usize;
-        for _ in 0..half {
-            successes += random_walk(graph, pair.a, pair.b, config, &mut rng, &mut scratch);
-            successes += random_walk(graph, pair.b, pair.a, config, &mut rng, &mut scratch);
-            walks += 2;
+    validate(config);
+    if config.threads <= 1 {
+        let powers = EdgePowers::build(graph, config.alpha);
+        let mut probabilities = vec![0.0f64; edges.len()];
+        estimate_edges(graph, config, &powers, edges, &mut probabilities);
+        let half = config.walks_per_edge / 2;
+        RssOutcome {
+            probabilities,
+            walks: edges.len() * 2 * half,
         }
-        probabilities.push(successes as f64 / (2 * half) as f64);
-    }
-    RssOutcome {
-        probabilities,
-        walks,
+    } else {
+        let pool = WorkerPool::new(config.threads);
+        run_rss_subset_pooled(graph, config, edges, &pool)
     }
 }
 
-/// Reusable buffers for transition-weight computation.
-#[derive(Default)]
-struct WalkScratch {
-    weights: Vec<f64>,
+/// Pool-backed [`run_rss_subset`]: edge chunks become pool jobs, each
+/// writing its own disjoint slice of the probability vector. Per-edge
+/// seeding makes the result bit-identical to the serial path.
+pub fn run_rss_subset_pooled(
+    graph: &RecordGraph,
+    config: &RssConfig,
+    edges: &[u32],
+    pool: &WorkerPool,
+) -> RssOutcome {
+    validate(config);
+    let powers = EdgePowers::build(graph, config.alpha);
+    let mut probabilities = vec![0.0f64; edges.len()];
+    // ~16 edges per job keeps scheduling overhead negligible while still
+    // load-balancing walks whose cost varies with clique size.
+    let ranges = er_pool::chunk_ranges(edges.len(), pool.threads() * 4, 16);
+    let powers = &powers;
+    pool.scope(|s| {
+        let mut rest: &mut [f64] = &mut probabilities;
+        for range in ranges {
+            let (chunk, tail) = rest.split_at_mut(range.len());
+            rest = tail;
+            let edge_ids = &edges[range];
+            s.submit(move || estimate_edges(graph, config, powers, edge_ids, chunk));
+        }
+    });
+    let half = config.walks_per_edge / 2;
+    RssOutcome {
+        probabilities,
+        walks: edges.len() * 2 * half,
+    }
+}
+
+fn validate(config: &RssConfig) {
+    assert!(config.alpha > 0.0, "alpha must be positive");
+    assert!(config.steps >= 1, "need at least one step");
+    assert!(
+        config.walks_per_edge >= 2,
+        "need at least one walk per direction"
+    );
+}
+
+/// Simulates all walks for `edge_ids`, writing one probability per edge
+/// into `out`. Each edge draws from its own RNG seeded by
+/// `(config.seed, edge id)`, so the result does not depend on how edges
+/// are grouped into calls.
+fn estimate_edges(
+    graph: &RecordGraph,
+    config: &RssConfig,
+    powers: &EdgePowers,
+    edge_ids: &[u32],
+    out: &mut [f64],
+) {
+    debug_assert_eq!(edge_ids.len(), out.len());
+    let half = config.walks_per_edge / 2;
+    for (&e, slot) in edge_ids.iter().zip(out) {
+        let pair = graph.pairs()[e as usize];
+        let mut rng = SmallRng::seed_from_u64(edge_seed(config.seed, e));
+        let mut successes = 0usize;
+        for _ in 0..half {
+            successes += random_walk(graph, powers, pair.a, pair.b, config, &mut rng);
+            successes += random_walk(graph, powers, pair.b, pair.a, config, &mut rng);
+        }
+        *slot = successes as f64 / (2 * half) as f64;
+    }
+}
+
+/// Mixes the run seed with the edge id (splitmix64-style odd multiplier)
+/// so adjacent edges get uncorrelated RNG streams.
+fn edge_seed(seed: u64, edge_id: u32) -> u64 {
+    seed ^ (edge_id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Precomputed α-scaled transition weights, aligned with the record
+/// graph's adjacency: `pow[k] = (s_k / (2 · rowmax))^α` for the k-th
+/// directed edge, plus each row's weight sum. Shared read-only by all
+/// walk workers; replaces a `powf` per neighbor per step with one table
+/// lookup.
+struct EdgePowers {
+    /// CSR-style row offsets into `pow` (`n + 1` entries).
+    offsets: Vec<usize>,
+    /// Per-directed-edge α-scaled weight, in adjacency order.
+    pow: Vec<f64>,
+    /// Per-node sum of that row's entries of `pow`.
+    row_sum: Vec<f64>,
+}
+
+impl EdgePowers {
+    fn build(graph: &RecordGraph, alpha: f64) -> Self {
+        let n = graph.node_count();
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0usize);
+        let mut pow = Vec::new();
+        let mut row_sum = Vec::with_capacity(n);
+        for u in 0..n as u32 {
+            let (_, sims) = graph.neighbors(u);
+            // Same scaling as the original per-step computation: divide by
+            // twice the row maximum before exponentiating so α = 20 cannot
+            // overflow regardless of similarity magnitudes (the scaling
+            // cancels in the sampling normalization).
+            let max_sim = sims.iter().fold(0.0f64, |m, &v| m.max(v)) * 2.0;
+            let mut sum = 0.0;
+            for &sim in sims {
+                let w = (sim / max_sim).powf(alpha);
+                pow.push(w);
+                sum += w;
+            }
+            offsets.push(pow.len());
+            row_sum.push(sum);
+        }
+        Self {
+            offsets,
+            pow,
+            row_sum,
+        }
+    }
+
+    #[inline]
+    fn row(&self, u: u32) -> &[f64] {
+        &self.pow[self.offsets[u as usize]..self.offsets[u as usize + 1]]
+    }
 }
 
 /// One rectified random walk (Algorithm 3). Returns 1 on reaching
 /// `target` within `config.steps` steps, 0 otherwise.
 fn random_walk(
     graph: &RecordGraph,
+    powers: &EdgePowers,
     start: u32,
     target: u32,
     config: &RssConfig,
     rng: &mut SmallRng,
-    scratch: &mut WalkScratch,
 ) -> usize {
     let mut cur = start;
     for _ in 0..config.steps {
-        let (neighbors, sims) = graph.neighbors(cur);
+        let (neighbors, _) = graph.neighbors(cur);
         debug_assert!(!neighbors.is_empty(), "walk node must have neighbors");
-        // Line 3–4: random bonus on the edge toward the target.
-        let bonus = if config.boost {
+        let row = powers.row(cur);
+        // Line 3–4: random bonus on the edge toward the target. Drawn
+        // unconditionally (when enabled) so the per-walk RNG stream does
+        // not depend on the current node's adjacency.
+        let bonus: f64 = if config.boost {
             1.0 + rng.random_range(0.0..1.0)
         } else {
             1.0
         };
-        // Transition weights ∝ (boosted similarity)^α. Similarities are
-        // scaled by the row maximum before exponentiation so α = 20 cannot
-        // overflow regardless of the similarity magnitudes ITER produces
-        // (the scaling cancels in the normalization).
-        let max_sim = sims.iter().fold(0.0f64, |m, &v| m.max(v)) * 2.0;
-        scratch.weights.clear();
-        scratch.weights.reserve(neighbors.len());
-        let mut total = 0.0;
-        for (&nb, &sim) in neighbors.iter().zip(sims) {
-            let boosted = if nb == target { bonus * sim } else { sim };
-            let w = (boosted / max_sim).powf(config.alpha);
-            scratch.weights.push(w);
-            total += w;
-        }
+        // Transition weights ∝ (boosted similarity)^α (Eq. 11–12). The
+        // unboosted powers come from the precomputed table; only the
+        // target entry needs a fresh powf for the sampled bonus.
+        let target_pos = neighbors.binary_search(&target).ok();
+        let (bonus_pow, total) = match target_pos {
+            Some(tp) if config.boost => {
+                let bp = bonus.powf(config.alpha);
+                (bp, powers.row_sum[cur as usize] + (bp - 1.0) * row[tp])
+            }
+            _ => (1.0, powers.row_sum[cur as usize]),
+        };
         if total <= 0.0 {
             return 0;
         }
         // Line 5: sample the next node.
         let mut draw = rng.random_range(0.0..total);
         let mut chosen = neighbors.len() - 1;
-        for (i, &w) in scratch.weights.iter().enumerate() {
+        for (i, &w0) in row.iter().enumerate() {
+            let w = if Some(i) == target_pos {
+                bonus_pow * w0
+            } else {
+                w0
+            };
             if draw < w {
                 chosen = i;
                 break;
@@ -228,9 +367,8 @@ mod tests {
                 ..base
             },
         );
-        let mean = |o: &RssOutcome| {
-            o.probabilities.iter().sum::<f64>() / o.probabilities.len() as f64
-        };
+        let mean =
+            |o: &RssOutcome| o.probabilities.iter().sum::<f64>() / o.probabilities.len() as f64;
         assert!(
             mean(&with) > mean(&without) + 0.2,
             "boost {} must clearly beat no-boost {}",
@@ -264,6 +402,59 @@ mod tests {
         let bridge_with = edge_prob(&g, &with, 2, 3);
         let bridge_without = edge_prob(&g, &without, 2, 3);
         assert!(bridge_with <= bridge_without + 0.05);
+    }
+
+    #[test]
+    fn bit_identical_across_thread_counts() {
+        let g = two_cliques();
+        let serial = run_rss(
+            &g,
+            &RssConfig {
+                threads: 1,
+                ..Default::default()
+            },
+        );
+        for threads in [2, 3, 4] {
+            let parallel = run_rss(
+                &g,
+                &RssConfig {
+                    threads,
+                    ..Default::default()
+                },
+            );
+            assert_eq!(
+                serial.probabilities, parallel.probabilities,
+                "threads={threads}"
+            );
+            assert_eq!(serial.walks, parallel.walks);
+        }
+    }
+
+    #[test]
+    fn subset_reproduces_full_run_per_edge() {
+        // Per-edge seeding: estimating a subset must give exactly the
+        // probabilities the full run assigns to those edges.
+        let g = two_cliques();
+        let config = RssConfig {
+            threads: 1,
+            ..Default::default()
+        };
+        let full = run_rss(&g, &config);
+        let subset = [3u32, 0, 4];
+        let out = run_rss_subset(&g, &config, &subset);
+        for (i, &e) in subset.iter().enumerate() {
+            assert_eq!(out.probabilities[i], full.probabilities[e as usize]);
+        }
+    }
+
+    #[test]
+    fn pooled_entry_point_matches_dispatch() {
+        let g = two_cliques();
+        let config = RssConfig::default();
+        let pool = er_pool::WorkerPool::new(3);
+        let pooled = run_rss_pooled(&g, &config, &pool);
+        let dispatched = run_rss(&g, &config);
+        assert_eq!(pooled.probabilities, dispatched.probabilities);
     }
 
     #[test]

@@ -38,12 +38,7 @@ struct LocalEdges {
 }
 
 impl LocalEdges {
-    fn build(
-        graph: &RecordGraph,
-        members: &[u32],
-        local_of: &[u32],
-        alpha: f64,
-    ) -> Self {
+    fn build(graph: &RecordGraph, members: &[u32], local_of: &[u32], alpha: f64) -> Self {
         let nc = members.len();
         let mut row_start = Vec::with_capacity(nc + 1);
         row_start.push(0usize);
@@ -72,7 +67,9 @@ impl LocalEdges {
             .flat_map(|i| {
                 let (s, e) = (row_start[i], row_start[i + 1]);
                 let denom = row_sum[i];
-                a[s..e].iter().map(move |&v| if denom > 0.0 { v / denom } else { 0.0 })
+                a[s..e]
+                    .iter()
+                    .map(move |&v| if denom > 0.0 { v / denom } else { 0.0 })
             })
             .collect();
         // Reverse-edge indices via binary search in the opposite row.
@@ -333,19 +330,14 @@ mod tests {
 
     #[test]
     fn cost_estimate_scales_with_density() {
-        let path = RecordGraph::from_pair_scores(
-            4,
-            &pairs(&[(0, 1), (1, 2), (2, 3)]),
-            &[1.0, 1.0, 1.0],
-        );
+        let path =
+            RecordGraph::from_pair_scores(4, &pairs(&[(0, 1), (1, 2), (2, 3)]), &[1.0, 1.0, 1.0]);
         let clique = RecordGraph::from_pair_scores(
             4,
             &pairs(&[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]),
             &[1.0; 6],
         );
         let members: Vec<u32> = (0..4).collect();
-        assert!(
-            sparse_step_cost(&path, &members) < sparse_step_cost(&clique, &members)
-        );
+        assert!(sparse_step_cost(&path, &members) < sparse_step_cost(&clique, &members));
     }
 }

@@ -3,10 +3,12 @@
 //! between the stochastic and matrix formulations.
 
 use er_core::{
-    run_cliquerank, run_iter, run_rss, CliqueRankConfig, IterConfig, RssConfig,
+    run_cliquerank, run_cliquerank_pooled, run_iter, run_iter_pooled, run_rss, run_rss_pooled,
+    CliqueRankConfig, IterConfig, RssConfig,
 };
 use er_graph::bipartite::PairNode;
-use er_graph::{BipartiteGraphBuilder, BipartiteGraph, RecordGraph};
+use er_graph::{BipartiteGraph, BipartiteGraphBuilder, RecordGraph};
+use er_pool::WorkerPool;
 use proptest::prelude::*;
 
 /// A random bipartite structure: up to 10 terms over up to 12 records.
@@ -128,6 +130,49 @@ proptest! {
         }
         let b = run_rss(&graph, &cfg);
         prop_assert_eq!(a.probabilities, b.probabilities);
+    }
+
+    #[test]
+    fn iter_pooled_bit_identical_across_threads(graph in bipartite(), seed in 0u64..1000) {
+        // The worker pool must never change ITER's result, only its
+        // wall clock: every float written in parallel lands in a
+        // disjoint slot and reductions stay serial.
+        let prob = vec![1.0; graph.pair_count()];
+        let cfg = IterConfig { seed, threads: 1, ..Default::default() };
+        let serial = run_iter(&graph, &prob, &cfg);
+        for threads in [1usize, 2, 4] {
+            let pool = WorkerPool::new(threads);
+            let pooled = run_iter_pooled(&graph, &prob, &cfg, &pool);
+            prop_assert_eq!(&serial.term_weights, &pooled.term_weights, "threads={}", threads);
+            prop_assert_eq!(&serial.pair_similarities, &pooled.pair_similarities);
+            prop_assert_eq!(serial.iterations, pooled.iterations);
+        }
+    }
+
+    #[test]
+    fn rss_pooled_bit_identical_across_threads(graph in record_graph(), seed in 0u64..1000) {
+        // Each edge draws from its own (seed, edge_id)-derived RNG, so
+        // the estimate is independent of how edges are sharded.
+        let cfg = RssConfig { walks_per_edge: 8, seed, threads: 1, ..Default::default() };
+        let serial = run_rss(&graph, &cfg);
+        for threads in [1usize, 2, 4] {
+            let pool = WorkerPool::new(threads);
+            let pooled = run_rss_pooled(&graph, &cfg, &pool);
+            prop_assert_eq!(&serial.probabilities, &pooled.probabilities, "threads={}", threads);
+        }
+    }
+
+    #[test]
+    fn cliquerank_pooled_bit_identical_across_threads(graph in record_graph(), steps in 1usize..10) {
+        // Components are solved independently, so their assignment to
+        // workers cannot change any probability.
+        let cfg = CliqueRankConfig { steps, threads: 1, ..Default::default() };
+        let serial = run_cliquerank(&graph, &cfg);
+        for threads in [1usize, 2, 4] {
+            let pool = WorkerPool::new(threads);
+            let pooled = run_cliquerank_pooled(&graph, &cfg, &pool);
+            prop_assert_eq!(&serial, &pooled, "threads={}", threads);
+        }
     }
 
     #[test]

@@ -188,7 +188,11 @@ mod tests {
                 [(0, 1), (0, 2), (1, 2), (3, 4)].into_iter().collect();
             let got: std::collections::HashSet<(u32, u32)> = out.matches.iter().copied().collect();
             let tp = got.intersection(&want).count() as f64;
-            let p = if got.is_empty() { 0.0 } else { tp / got.len() as f64 };
+            let p = if got.is_empty() {
+                0.0
+            } else {
+                tp / got.len() as f64
+            };
             let r = tp / want.len() as f64;
             if p + r == 0.0 {
                 0.0

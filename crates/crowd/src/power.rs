@@ -208,7 +208,11 @@ mod tests {
         let truth = |a: u32, b: u32| a / 2 == b / 2;
         let mut o = NoisyOracle::new(truth, 1.0, 9);
         let out = power_resolve(600, &pairs, &PowerConfig::default(), &mut o);
-        assert!(out.questions < 200, "sublinear bill expected: {}", out.questions);
+        assert!(
+            out.questions < 200,
+            "sublinear bill expected: {}",
+            out.questions
+        );
         assert_eq!(out.matches.len(), 300, "all true pairs found");
     }
 
@@ -220,8 +224,7 @@ mod tests {
             let out = power_resolve(5, &separable(), &PowerConfig::default(), &mut o);
             let want: std::collections::HashSet<(u32, u32)> =
                 [(0, 1), (0, 2), (1, 2), (3, 4)].into_iter().collect();
-            let got: std::collections::HashSet<(u32, u32)> =
-                out.matches.iter().copied().collect();
+            let got: std::collections::HashSet<(u32, u32)> = out.matches.iter().copied().collect();
             if got == want {
                 wins += 1;
             }

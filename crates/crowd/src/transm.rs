@@ -157,7 +157,11 @@ mod tests {
         );
         assert_eq!(out.filtered_out, 1);
         assert_eq!(out.questions, 1);
-        assert_eq!(out.matches, vec![(0, 1)], "true pair (3,4) lost to the filter");
+        assert_eq!(
+            out.matches,
+            vec![(0, 1)],
+            "true pair (3,4) lost to the filter"
+        );
     }
 
     #[test]

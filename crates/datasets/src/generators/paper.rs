@@ -130,15 +130,12 @@ pub fn generate(config: &PaperConfig) -> Dataset {
         // giant survey's anchor vocabulary would (realistically rarely)
         // dilute the anchor's discrimination power across hundreds of
         // records.
-        let sibling_of = if e > 0
-            && sizes[e] <= 8
-            && sizes[e - 1] <= 8
-            && rng.random_range(0.0..1.0) < 0.35
-        {
-            Some(e - 1)
-        } else {
-            None
-        };
+        let sibling_of =
+            if e > 0 && sizes[e] <= 8 && sizes[e - 1] <= 8 && rng.random_range(0.0..1.0) < 0.35 {
+                Some(e - 1)
+            } else {
+                None
+            };
         if let Some(parent) = sibling_of {
             let p = &publications[parent];
             let mut title = p.title.clone();
@@ -259,8 +256,8 @@ fn render_citation(p: &Publication, surnames: &[String], rng: &mut SmallRng) -> 
         if venue_roll > 0.65 {
             // Proceedings of one venue come from one publishing house, so
             // same-venue full citations share the imprint tokens too.
-            let publisher = crate::wordpool::PUBLISHERS
-                [p.venue_idx % crate::wordpool::PUBLISHERS.len()];
+            let publisher =
+                crate::wordpool::PUBLISHERS[p.venue_idx % crate::wordpool::PUBLISHERS.len()];
             tokens.extend(publisher.split(' ').map(str::to_owned));
         }
     }
@@ -330,7 +327,10 @@ mod tests {
     fn citations_of_same_entity_share_rare_anchor() {
         let d = generate(&PaperConfig::default());
         let clusters = d.entity_clusters();
-        let big = clusters.iter().find(|c| c.len() >= 100).expect("giant cluster");
+        let big = clusters
+            .iter()
+            .find(|c| c.len() >= 100)
+            .expect("giant cluster");
         // Count tokens present in >= 60% of the cluster's records: at
         // least one rare anchor should survive the noise channels.
         use std::collections::HashMap;

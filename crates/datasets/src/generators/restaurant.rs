@@ -73,7 +73,9 @@ pub fn generate(config: &RestaurantConfig) -> Dataset {
     // from becoming artificially collision-dense.
     let streets = synth_pool(&mut rng, (n_entities / 3).max(96), 2);
     let name_pool = synth_pool(&mut rng, (n_entities / 2).max(192), 2);
-    let nouns = ["cafe", "grill", "bistro", "kitchen", "house", "garden", "room", "diner"];
+    let nouns = [
+        "cafe", "grill", "bistro", "kitchen", "house", "garden", "room", "diner",
+    ];
 
     let mut entities: Vec<Restaurant> = Vec::with_capacity(n_entities);
     for e in 0..n_entities {
@@ -156,7 +158,11 @@ fn render_variant(r: &Restaurant, rng: &mut SmallRng) -> String {
         name[i] = typo(rng, &name[i]);
     }
     // Address: abbreviation of the suffix most of the time.
-    let suffix = if rng.random_range(0.0..1.0) < 0.7 { abbr } else { full };
+    let suffix = if rng.random_range(0.0..1.0) < 0.7 {
+        abbr
+    } else {
+        full
+    };
     // City: abbreviated ("la") or dropped sometimes.
     let mut tail: Vec<String> = Vec::new();
     let city_roll = rng.random_range(0.0..1.0);
@@ -166,9 +172,9 @@ fn render_variant(r: &Restaurant, rng: &mut SmallRng) -> String {
         let first = r.city.split(' ').next().unwrap_or(r.city);
         tail.push(abbreviate(first, 3));
     } // else dropped
-    // Phone: the second directory sometimes prints it unseparated, so
-    // tokenization yields one merged token instead of three groups — the
-    // duplicate loses its strongest anchor for set-overlap metrics.
+      // Phone: the second directory sometimes prints it unseparated, so
+      // tokenization yields one merged token instead of three groups — the
+      // duplicate loses its strongest anchor for set-overlap metrics.
     if rng.random_range(0.0..1.0) < 0.5 {
         tail.push(r.phone.replace(' ', ""));
     } else {

@@ -86,7 +86,10 @@ pub fn parse_tsv(
         if id as usize != records.len() {
             return Err(LoadError::Parse {
                 line: lineno + 1,
-                reason: format!("ids must be dense and ordered; expected {}, got {id}", records.len()),
+                reason: format!(
+                    "ids must be dense and ordered; expected {}, got {id}",
+                    records.len()
+                ),
             });
         }
         records.push(Record {
@@ -166,16 +169,24 @@ mod tests {
     #[test]
     fn text_may_contain_tabs_beyond_column_four() {
         let tsv = "0\t0\t1\ta\tb\tc\n";
-        let d = parse_tsv("t", std::io::Cursor::new(tsv), SourcePolicy::WithinSingleSource)
-            .unwrap();
+        let d = parse_tsv(
+            "t",
+            std::io::Cursor::new(tsv),
+            SourcePolicy::WithinSingleSource,
+        )
+        .unwrap();
         assert_eq!(d.records[0].text, "a\tb\tc");
     }
 
     #[test]
     fn reports_bad_lines() {
         let tsv = "0\t0\t1\tok\nnot-a-number\t0\t1\tbad\n";
-        let err = parse_tsv("t", std::io::Cursor::new(tsv), SourcePolicy::WithinSingleSource)
-            .unwrap_err();
+        let err = parse_tsv(
+            "t",
+            std::io::Cursor::new(tsv),
+            SourcePolicy::WithinSingleSource,
+        )
+        .unwrap_err();
         match err {
             LoadError::Parse { line, .. } => assert_eq!(line, 2),
             other => panic!("expected parse error, got {other}"),
@@ -185,8 +196,12 @@ mod tests {
     #[test]
     fn rejects_sparse_ids() {
         let tsv = "0\t0\t1\ta\n5\t0\t1\tb\n";
-        assert!(parse_tsv("t", std::io::Cursor::new(tsv), SourcePolicy::WithinSingleSource)
-            .is_err());
+        assert!(parse_tsv(
+            "t",
+            std::io::Cursor::new(tsv),
+            SourcePolicy::WithinSingleSource
+        )
+        .is_err());
     }
 
     #[test]

@@ -43,43 +43,130 @@ pub const CITIES: &[&str] = &[
 
 /// Cuisines (Restaurant; high-frequency words).
 pub const CUISINES: &[&str] = &[
-    "american", "italian", "french", "chinese", "japanese", "mexican", "seafood", "steakhouse",
-    "californian", "continental", "cajun", "delis", "pizza", "coffee", "bbq", "asian",
+    "american",
+    "italian",
+    "french",
+    "chinese",
+    "japanese",
+    "mexican",
+    "seafood",
+    "steakhouse",
+    "californian",
+    "continental",
+    "cajun",
+    "delis",
+    "pizza",
+    "coffee",
+    "bbq",
+    "asian",
 ];
 
 /// Product categories (Product; high-frequency words).
 pub const PRODUCT_TYPES: &[&str] = &[
-    "turntable", "speaker", "headphones", "receiver", "camcorder", "camera", "television",
-    "microwave", "refrigerator", "washer", "dryer", "vacuum", "telephone", "keyboard",
-    "monitor", "printer", "subwoofer", "amplifier",
+    "turntable",
+    "speaker",
+    "headphones",
+    "receiver",
+    "camcorder",
+    "camera",
+    "television",
+    "microwave",
+    "refrigerator",
+    "washer",
+    "dryer",
+    "vacuum",
+    "telephone",
+    "keyboard",
+    "monitor",
+    "printer",
+    "subwoofer",
+    "amplifier",
 ];
 
 /// Marketing filler words (Product descriptions; stop-word tier).
 pub const MARKETING: &[&str] = &[
-    "black", "white", "silver", "digital", "portable", "wireless", "compact", "premium",
-    "series", "system", "home", "audio", "video", "remote", "control", "energy", "deluxe",
-    "professional", "edition", "pack",
+    "black",
+    "white",
+    "silver",
+    "digital",
+    "portable",
+    "wireless",
+    "compact",
+    "premium",
+    "series",
+    "system",
+    "home",
+    "audio",
+    "video",
+    "remote",
+    "control",
+    "energy",
+    "deluxe",
+    "professional",
+    "edition",
+    "pack",
 ];
 
 /// Research-topic words (Paper titles; mid-frequency).
 pub const TOPIC_WORDS: &[&str] = &[
-    "learning", "networks", "neural", "genetic", "algorithms", "reinforcement", "bayesian",
-    "inference", "markov", "models", "classification", "clustering", "decision", "trees",
-    "knowledge", "reasoning", "planning", "search", "optimization", "recognition", "speech",
-    "vision", "language", "retrieval", "database", "parallel", "distributed", "adaptive",
-    "evolutionary", "probabilistic", "temporal", "spatial", "hierarchical", "induction",
+    "learning",
+    "networks",
+    "neural",
+    "genetic",
+    "algorithms",
+    "reinforcement",
+    "bayesian",
+    "inference",
+    "markov",
+    "models",
+    "classification",
+    "clustering",
+    "decision",
+    "trees",
+    "knowledge",
+    "reasoning",
+    "planning",
+    "search",
+    "optimization",
+    "recognition",
+    "speech",
+    "vision",
+    "language",
+    "retrieval",
+    "database",
+    "parallel",
+    "distributed",
+    "adaptive",
+    "evolutionary",
+    "probabilistic",
+    "temporal",
+    "spatial",
+    "hierarchical",
+    "induction",
 ];
 
 /// Publication venues with their abbreviations (Paper noise).
 pub const VENUES: &[(&str, &str)] = &[
-    ("proceedings of the international conference on machine learning", "icml"),
+    (
+        "proceedings of the international conference on machine learning",
+        "icml",
+    ),
     ("advances in neural information processing systems", "nips"),
-    ("proceedings of the national conference on artificial intelligence", "aaai"),
+    (
+        "proceedings of the national conference on artificial intelligence",
+        "aaai",
+    ),
     ("machine learning journal", "mlj"),
     ("artificial intelligence journal", "aij"),
-    ("international joint conference on artificial intelligence", "ijcai"),
+    (
+        "international joint conference on artificial intelligence",
+        "ijcai",
+    ),
     ("conference on computational learning theory", "colt"),
-    ("ieee transactions on pattern analysis and machine intelligence", "tpami"),
+    (
+        "ieee transactions on pattern analysis and machine intelligence",
+        "tpami",
+    ),
 ];
 
 /// Publisher imprints appended to the fullest citation renderings —
@@ -97,13 +184,23 @@ pub const PUBLISHERS: &[&str] = &[
 /// Months appearing in proceedings renderings — mid-frequency glue
 /// tokens shared by unrelated citations.
 pub const MONTHS: &[&str] = &[
-    "january", "february", "march", "april", "may", "june",
-    "july", "august", "september", "october", "november", "december",
+    "january",
+    "february",
+    "march",
+    "april",
+    "may",
+    "june",
+    "july",
+    "august",
+    "september",
+    "october",
+    "november",
+    "december",
 ];
 
 const CONSONANT_ONSETS: &[&str] = &[
-    "b", "c", "d", "f", "g", "h", "j", "k", "l", "m", "n", "p", "r", "s", "t", "v", "w", "z",
-    "br", "ch", "cl", "cr", "dr", "fl", "fr", "gr", "pl", "pr", "sh", "sl", "st", "th", "tr",
+    "b", "c", "d", "f", "g", "h", "j", "k", "l", "m", "n", "p", "r", "s", "t", "v", "w", "z", "br",
+    "ch", "cl", "cr", "dr", "fl", "fr", "gr", "pl", "pr", "sh", "sl", "st", "th", "tr",
 ];
 const VOWELS: &[&str] = &["a", "e", "i", "o", "u", "ai", "ea", "ia", "io", "ou"];
 const CODAS: &[&str] = &["", "", "n", "r", "s", "t", "l", "m", "ck", "nd", "rt", "ng"];

@@ -106,7 +106,12 @@ pub fn sweep_threshold_closure(
     assert!(quanta >= 1, "need at least one quantum");
     let mut sorted: Vec<&ScoredPair> = pairs.iter().collect();
     for p in &sorted {
-        assert!(p.score.is_finite(), "non-finite score for pair ({}, {})", p.a, p.b);
+        assert!(
+            p.score.is_finite(),
+            "non-finite score for pair ({}, {})",
+            p.a,
+            p.b
+        );
     }
     sorted.sort_by(|x, y| y.score.partial_cmp(&x.score).expect("finite scores"));
     let max_score = sorted.first().map_or(0.0, |p| p.score.max(0.0));

@@ -85,7 +85,9 @@ mod tests {
     #[test]
     fn matches_textbook_formula_without_ties() {
         // d = rank differences: classic example.
-        let x = [86.0, 97.0, 99.0, 100.0, 101.0, 103.0, 106.0, 110.0, 112.0, 113.0];
+        let x = [
+            86.0, 97.0, 99.0, 100.0, 101.0, 103.0, 106.0, 110.0, 112.0, 113.0,
+        ];
         let y = [0.0, 20.0, 28.0, 27.0, 50.0, 29.0, 7.0, 17.0, 6.0, 12.0];
         let rho = spearman_rho(&x, &y);
         assert!((rho - (-0.1757575)).abs() < 1e-4, "{rho}");

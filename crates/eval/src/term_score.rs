@@ -31,7 +31,11 @@ pub fn term_discriminativeness(
 ///
 /// Returns `(rank, score)` pairs with rank starting at 1.
 pub fn term_score_series(weights: &[f64], scores: &[Option<f64>]) -> Vec<(usize, f64)> {
-    assert_eq!(weights.len(), scores.len(), "weights and scores must be parallel");
+    assert_eq!(
+        weights.len(),
+        scores.len(),
+        "weights and scores must be parallel"
+    );
     let mut terms: Vec<(f64, f64)> = weights
         .iter()
         .zip(scores)

@@ -45,7 +45,12 @@ pub fn sweep_threshold(pairs: &[ScoredPair], truth: &TruthPairs, quanta: usize) 
     let mut scored: Vec<(f64, bool)> = pairs
         .iter()
         .map(|p| {
-            assert!(p.score.is_finite(), "non-finite score for pair ({}, {})", p.a, p.b);
+            assert!(
+                p.score.is_finite(),
+                "non-finite score for pair ({}, {})",
+                p.a,
+                p.b
+            );
             (p.score, truth.is_match(p.a, p.b))
         })
         .collect();

@@ -10,8 +10,16 @@
 //! what `er_text::Corpus` produces — and enumerates, per term, all record
 //! pairs in its postings that the candidate policy accepts (e.g. only
 //! cross-source pairs for the two-source Product dataset).
+//!
+//! Construction is sort-based rather than hash-based: terms enumerate
+//! `(term, pair)` edges independently (parallelizable over term chunks on
+//! a shared [`er_pool::WorkerPool`]), pair ids come from a sort + dedup of
+//! the pair keys, and both CSR sides fill in one term-major pass. The
+//! result is canonical — byte-identical regardless of thread count or
+//! chunking — because edges are concatenated back in term order and ids
+//! come from the sorted pair universe.
 
-use std::collections::HashMap;
+use er_pool::WorkerPool;
 
 /// A pair node: an unordered record pair with `a < b`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -112,7 +120,8 @@ pub struct BipartiteGraphBuilder<'a> {
     n_terms: usize,
     postings: Vec<&'a [u32]>,
     max_postings: Option<usize>,
-    pair_filter: Option<Box<dyn Fn(u32, u32) -> bool + 'a>>,
+    pair_filter: Option<Box<dyn Fn(u32, u32) -> bool + Sync + 'a>>,
+    pool: Option<&'a WorkerPool>,
 }
 
 impl<'a> BipartiteGraphBuilder<'a> {
@@ -124,12 +133,23 @@ impl<'a> BipartiteGraphBuilder<'a> {
             postings: vec![&[]; n_terms],
             max_postings: None,
             pair_filter: None,
+            pool: None,
         }
+    }
+
+    /// Enumerates pair edges on this worker pool (term chunks become
+    /// jobs). The built graph is identical with or without a pool.
+    pub fn pool(mut self, pool: &'a WorkerPool) -> Self {
+        self.pool = Some(pool);
+        self
     }
 
     /// Sets the postings (sorted record ids) of term `t`.
     pub fn postings(mut self, t: u32, records: &'a [u32]) -> Self {
-        debug_assert!(records.windows(2).all(|w| w[0] < w[1]), "postings must be sorted");
+        debug_assert!(
+            records.windows(2).all(|w| w[0] < w[1]),
+            "postings must be sorted"
+        );
         self.postings[t as usize] = records;
         self
     }
@@ -144,20 +164,19 @@ impl<'a> BipartiteGraphBuilder<'a> {
 
     /// Restricts which record pairs become pair nodes (candidate policy).
     /// For the two-source Product dataset this is "records from different
-    /// sources only".
-    pub fn pair_filter(mut self, f: impl Fn(u32, u32) -> bool + 'a) -> Self {
+    /// sources only". `Sync` because the parallel build evaluates the
+    /// policy from several workers at once.
+    pub fn pair_filter(mut self, f: impl Fn(u32, u32) -> bool + Sync + 'a) -> Self {
         self.pair_filter = Some(Box::new(f));
         self
     }
 
-    /// Enumerates pair nodes and builds the dual-CSR structure.
-    pub fn build(self) -> BipartiteGraph {
-        let cap = self.max_postings.unwrap_or(usize::MAX);
-        // First pass: discover pair nodes and count edges per side.
-        let mut pair_ids: HashMap<PairNode, u32> = HashMap::new();
-        let mut edges: Vec<(u32, u32)> = Vec::new(); // (term, pair id)
-        let mut pairs: Vec<PairNode> = Vec::new();
-        for (t, recs) in self.postings.iter().enumerate() {
+    /// Enumerates `(term, pair)` edges for the term range `lo..hi`, in
+    /// term-major order.
+    fn enumerate_terms(&self, lo: usize, hi: usize, cap: usize) -> Vec<(u32, PairNode)> {
+        let mut edges = Vec::new();
+        for t in lo..hi {
+            let recs = self.postings[t];
             if recs.len() < 2 || recs.len() > cap {
                 continue;
             }
@@ -168,31 +187,75 @@ impl<'a> BipartiteGraphBuilder<'a> {
                             continue;
                         }
                     }
-                    let node = PairNode::new(ra, rb);
-                    let next_id = pairs.len() as u32;
-                    let id = *pair_ids.entry(node).or_insert_with(|| {
-                        pairs.push(node);
-                        next_id
-                    });
-                    edges.push((t as u32, id));
+                    edges.push((t as u32, PairNode::new(ra, rb)));
                 }
             }
         }
-        // Canonicalize pair ids so `pairs` is sorted — enables binary-search
-        // lookup and deterministic iteration independent of postings order.
-        let mut order: Vec<u32> = (0..pairs.len() as u32).collect();
-        order.sort_unstable_by_key(|&i| pairs[i as usize]);
-        let mut remap = vec![0u32; pairs.len()];
-        for (new_id, &old_id) in order.iter().enumerate() {
-            remap[old_id as usize] = new_id as u32;
+        edges
+    }
+
+    /// Enumerates pair nodes and builds the dual-CSR structure.
+    pub fn build(self) -> BipartiteGraph {
+        let cap = self.max_postings.unwrap_or(usize::MAX);
+        // Phase 1: enumerate raw (term, pair) edges, term-major. With a
+        // pool, term chunks enumerate independently and concatenate back
+        // in term order, so the edge list is the same either way.
+        const MIN_TERMS_PER_JOB: usize = 64;
+        let edges: Vec<(u32, PairNode)> = match self.pool {
+            Some(pool) if !pool.is_serial() && self.n_terms >= 2 * MIN_TERMS_PER_JOB => {
+                let ranges =
+                    er_pool::chunk_ranges(self.n_terms, pool.threads() * 4, MIN_TERMS_PER_JOB);
+                let mut parts: Vec<Vec<(u32, PairNode)>> =
+                    ranges.iter().map(|_| Vec::new()).collect();
+                let this = &self;
+                pool.scope(|s| {
+                    for (range, part) in ranges.iter().cloned().zip(parts.iter_mut()) {
+                        s.submit(move || *part = this.enumerate_terms(range.start, range.end, cap));
+                    }
+                });
+                parts.concat()
+            }
+            _ => self.enumerate_terms(0, self.n_terms, cap),
+        };
+
+        // Phase 2: canonical pair universe — sorted, deduplicated pair
+        // keys. Ids are positions in this sorted list, so `pairs` is
+        // binary-searchable and iteration order is independent of the
+        // postings order (the old hash-discovery + remap gave the same
+        // ids at higher cost).
+        let mut sorted_pairs: Vec<PairNode> = edges.iter().map(|&(_, p)| p).collect();
+        sorted_pairs.sort_unstable();
+        sorted_pairs.dedup();
+
+        // Phase 3: resolve each edge's pair id (disjoint output chunks,
+        // so this parallelizes too).
+        let mut edge_pair_ids = vec![0u32; edges.len()];
+        let resolve = |edge_chunk: &[(u32, PairNode)], out: &mut [u32]| {
+            for (&(_, p), slot) in edge_chunk.iter().zip(out) {
+                *slot = sorted_pairs.binary_search(&p).expect("id from universe") as u32;
+            }
+        };
+        match self.pool {
+            Some(pool) if !pool.is_serial() && edges.len() >= 2 * 1024 => {
+                let ranges = er_pool::chunk_ranges(edges.len(), pool.threads() * 4, 1024);
+                pool.scope(|s| {
+                    let mut rest: &mut [u32] = &mut edge_pair_ids;
+                    for range in ranges {
+                        let (chunk, tail) = rest.split_at_mut(range.len());
+                        rest = tail;
+                        let edge_chunk = &edges[range];
+                        let resolve = &resolve;
+                        s.submit(move || resolve(edge_chunk, chunk));
+                    }
+                });
+            }
+            _ => resolve(&edges, &mut edge_pair_ids),
         }
-        let mut sorted_pairs = vec![PairNode { a: 0, b: 0 }; pairs.len()];
-        for (old_id, &new_id) in remap.iter().enumerate() {
-            sorted_pairs[new_id as usize] = pairs[old_id];
-        }
-        for (_, p) in &mut edges {
-            *p = remap[*p as usize];
-        }
+        let edges: Vec<(u32, u32)> = edges
+            .iter()
+            .zip(&edge_pair_ids)
+            .map(|(&(t, _), &p)| (t, p))
+            .collect();
 
         // CSR for term -> pairs.
         let mut term_deg = vec![0usize; self.n_terms];
@@ -324,7 +387,56 @@ mod tests {
         assert!(ps.windows(2).all(|w| w[0] < w[1]));
         for (i, p) in ps.iter().enumerate() {
             assert_eq!(g.pair_id(p.a, p.b), Some(i as u32));
-            assert_eq!(g.pair_id(p.b, p.a), Some(i as u32), "order-insensitive lookup");
+            assert_eq!(
+                g.pair_id(p.b, p.a),
+                Some(i as u32),
+                "order-insensitive lookup"
+            );
+        }
+    }
+
+    #[test]
+    fn pooled_build_is_identical() {
+        // Enough terms to cross the parallel enumeration threshold.
+        let n_terms = 200usize;
+        let n_records = 30u32;
+        let mut state = 0xb19a_u64;
+        let posting_store: Vec<Vec<u32>> = (0..n_terms)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let a = ((state >> 33) % n_records as u64) as u32;
+                let b = (a + 1 + ((state >> 13) % (n_records as u64 - 1)) as u32) % n_records;
+                let c = (a + 2 + ((state >> 3) % (n_records as u64 - 2)) as u32) % n_records;
+                let mut v = vec![a, b, c];
+                v.sort_unstable();
+                v.dedup();
+                v
+            })
+            .collect();
+        let build = |pool: Option<&WorkerPool>| {
+            let mut b = BipartiteGraphBuilder::new(n_records as usize, n_terms);
+            for (t, post) in posting_store.iter().enumerate() {
+                b = b.postings(t as u32, post);
+            }
+            if let Some(p) = pool {
+                b = b.pool(p);
+            }
+            b.build()
+        };
+        let serial = build(None);
+        for threads in [2, 4] {
+            let pool = WorkerPool::new(threads);
+            let pooled = build(Some(&pool));
+            assert_eq!(serial.pairs(), pooled.pairs(), "threads={threads}");
+            assert_eq!(serial.edge_count(), pooled.edge_count());
+            for t in 0..n_terms as u32 {
+                assert_eq!(serial.pairs_of_term(t), pooled.pairs_of_term(t));
+            }
+            for p in 0..serial.pair_count() as u32 {
+                assert_eq!(serial.terms_of_pair(p), pooled.terms_of_pair(p));
+            }
         }
     }
 

@@ -21,7 +21,10 @@ impl CsrGraph {
         let mut degree = vec![0usize; n];
         for &(u, v, w) in edges {
             assert!(u != v, "self-loop on node {u}");
-            assert!((u as usize) < n && (v as usize) < n, "edge ({u},{v}) out of range");
+            assert!(
+                (u as usize) < n && (v as usize) < n,
+                "edge ({u},{v}) out of range"
+            );
             assert!(w.is_finite(), "non-finite weight on edge ({u},{v})");
             degree[u as usize] += 1;
             degree[v as usize] += 1;
@@ -123,10 +126,7 @@ mod tests {
 
     fn triangle_plus_tail() -> CsrGraph {
         // 0-1, 1-2, 0-2 (triangle), 2-3 (tail)
-        CsrGraph::from_undirected_edges(
-            4,
-            &[(0, 1, 0.5), (1, 2, 0.7), (0, 2, 0.9), (2, 3, 0.1)],
-        )
+        CsrGraph::from_undirected_edges(4, &[(0, 1, 0.5), (1, 2, 0.7), (0, 2, 0.9), (2, 3, 0.1)])
     }
 
     #[test]

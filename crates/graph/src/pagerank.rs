@@ -105,7 +105,13 @@ mod tests {
 
     #[test]
     fn converges_and_is_finite() {
-        let edges = vec![(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 0, 1.0), (0, 2, 1.0)];
+        let edges = vec![
+            (0, 1, 1.0),
+            (1, 2, 1.0),
+            (2, 3, 1.0),
+            (3, 0, 1.0),
+            (0, 2, 1.0),
+        ];
         let g = CsrGraph::from_undirected_edges(4, &edges);
         let s = pagerank(&g, &PageRankConfig::default());
         assert!(s.iter().all(|x| x.is_finite() && *x > 0.0));

@@ -193,7 +193,12 @@ mod tests {
     #[test]
     fn duplicates_outscore_unrelated() {
         let s = run(&SimRankConfig::default());
-        assert!(s.record(0, 1) > s.record(1, 2), "{} vs {}", s.record(0, 1), s.record(1, 2));
+        assert!(
+            s.record(0, 1) > s.record(1, 2),
+            "{} vs {}",
+            s.record(0, 1),
+            s.record(1, 2)
+        );
         assert_eq!(s.record(0, 2), 0.0, "no shared term → pruned to 0");
     }
 

@@ -49,7 +49,11 @@ impl Matrix {
             assert_eq!(row.len(), c, "ragged rows");
             data.extend_from_slice(row);
         }
-        Self { rows: r, cols: c, data }
+        Self {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Takes ownership of a row-major buffer.
@@ -155,8 +159,17 @@ impl Matrix {
 
     /// Element-wise sum.
     pub fn add(&self, rhs: &Self) -> Self {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "add shape mismatch");
-        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a + b).collect();
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "add shape mismatch"
+        );
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| a + b)
+            .collect();
         Self {
             rows: self.rows,
             cols: self.cols,
@@ -166,7 +179,11 @@ impl Matrix {
 
     /// In-place element-wise sum.
     pub fn add_assign(&mut self, rhs: &Self) {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "add shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "add shape mismatch"
+        );
         for (a, b) in self.data.iter_mut().zip(&rhs.data) {
             *a += *b;
         }

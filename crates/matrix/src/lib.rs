@@ -22,5 +22,5 @@ pub mod matmul;
 pub mod sparse;
 
 pub use dense::Matrix;
-pub use matmul::{matmul_blocked, matmul_naive, matmul_threaded};
+pub use matmul::{matmul_blocked, matmul_naive, matmul_pooled, matmul_threaded};
 pub use sparse::CsrMatrix;

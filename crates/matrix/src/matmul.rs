@@ -11,6 +11,14 @@
 //! * [`matmul_threaded`] — row-band parallelism over the blocked kernel
 //!   via crossbeam scoped threads, standing in for Eigen's multi-threaded
 //!   GEMM on the paper's 32-core server.
+//! * [`matmul_pooled`] — the same row-band decomposition submitted to a
+//!   shared [`er_pool::WorkerPool`], so pipeline phases reuse one set of
+//!   persistent workers instead of spawning threads per product.
+//!
+//! Row bands are computed independently, so the threaded and pooled
+//! variants are bit-identical to [`matmul_blocked`] at any thread count.
+
+use er_pool::WorkerPool;
 
 use crate::dense::Matrix;
 
@@ -47,7 +55,13 @@ pub fn matmul_blocked(a: &Matrix, b: &Matrix) -> Matrix {
 /// Multiplies rows `row_start..row_end` of `a` by `b` into `out_rows`
 /// (a row-major buffer of exactly `(row_end − row_start) × b.cols()`).
 #[allow(clippy::needless_range_loop)]
-fn matmul_block_into(a: &Matrix, b: &Matrix, out_rows: &mut [f64], row_start: usize, row_end: usize) {
+fn matmul_block_into(
+    a: &Matrix,
+    b: &Matrix,
+    out_rows: &mut [f64],
+    row_start: usize,
+    row_end: usize,
+) {
     let k = a.cols();
     let n = b.cols();
     debug_assert_eq!(out_rows.len(), (row_end - row_start) * n);
@@ -102,6 +116,31 @@ pub fn matmul_threaded(a: &Matrix, b: &Matrix, threads: usize) -> Matrix {
     out
 }
 
+/// Blocked product with row bands submitted as jobs to a shared worker
+/// pool. Identical banding (and therefore bit-identical results) to
+/// [`matmul_threaded`]; serial pools and tiny products fall through to
+/// the single-threaded kernel.
+pub fn matmul_pooled(a: &Matrix, b: &Matrix, pool: &WorkerPool) -> Matrix {
+    assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
+    let (m, n) = (a.rows(), b.cols());
+    let threads = pool.threads().min(m.max(1));
+    if threads == 1 || m * n < 64 * 64 {
+        return matmul_blocked(a, b);
+    }
+    let mut out = Matrix::zeros(m, n);
+    let rows_per = m.div_ceil(threads);
+    pool.scope(|s| {
+        for (t, band) in out.data_mut().chunks_mut(rows_per * n).enumerate() {
+            let row_start = t * rows_per;
+            let row_end = (row_start + rows_per).min(m);
+            s.submit(move || {
+                matmul_block_into(a, b, band, row_start, row_end);
+            });
+        }
+    });
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -110,7 +149,9 @@ mod tests {
         // Cheap LCG so tests need no RNG dependency.
         let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
         Matrix::from_fn(rows, cols, |_, _| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64 / (1u64 << 31) as f64) - 0.5
         })
     }
@@ -152,6 +193,28 @@ mod tests {
         let single = matmul_blocked(&a, &b);
         for threads in [2, 3, 8] {
             assert!(matmul_threaded(&a, &b, threads).approx_eq(&single, 1e-12));
+        }
+    }
+
+    #[test]
+    fn pooled_is_bit_identical_to_blocked() {
+        let n = 97;
+        let a = deterministic(n, n, 5);
+        let b = deterministic(n, n, 6);
+        let single = matmul_blocked(&a, &b);
+        for threads in [1, 2, 3, 8] {
+            let pool = WorkerPool::new(threads);
+            assert_eq!(matmul_pooled(&a, &b, &pool), single, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn pooled_handles_reused_pool_across_products() {
+        let pool = WorkerPool::new(4);
+        for seed in 0..6 {
+            let a = deterministic(70 + seed as usize, 80, seed);
+            let b = deterministic(80, 90, seed + 100);
+            assert!(matmul_pooled(&a, &b, &pool).approx_eq(&matmul_naive(&a, &b), 1e-9));
         }
     }
 

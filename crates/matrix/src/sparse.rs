@@ -26,7 +26,10 @@ impl CsrMatrix {
             .iter()
             .copied()
             .filter(|&(r, c, v)| {
-                assert!((r as usize) < rows && (c as usize) < cols, "triplet out of range");
+                assert!(
+                    (r as usize) < rows && (c as usize) < cols,
+                    "triplet out of range"
+                );
                 v != 0.0
             })
             .collect();
@@ -158,11 +161,7 @@ mod tests {
     use crate::matmul::matmul_naive;
 
     fn sample() -> CsrMatrix {
-        CsrMatrix::from_triplets(
-            3,
-            3,
-            &[(0, 1, 2.0), (1, 0, 3.0), (1, 2, 4.0), (2, 2, 5.0)],
-        )
+        CsrMatrix::from_triplets(3, 3, &[(0, 1, 2.0), (1, 0, 3.0), (1, 2, 4.0), (2, 2, 5.0)])
     }
 
     #[test]

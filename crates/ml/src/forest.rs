@@ -44,7 +44,11 @@ pub struct RandomForest {
 impl RandomForest {
     /// Fits the forest on row-major samples with boolean labels.
     pub fn fit(samples: &[Vec<f64>], labels: &[bool], config: &ForestConfig) -> Self {
-        assert_eq!(samples.len(), labels.len(), "samples and labels must be parallel");
+        assert_eq!(
+            samples.len(),
+            labels.len(),
+            "samples and labels must be parallel"
+        );
         assert!(!samples.is_empty(), "cannot fit on no samples");
         assert!(config.n_trees >= 1, "need at least one tree");
         let d = samples[0].len();
@@ -121,7 +125,12 @@ mod tests {
             for j in 0..12 {
                 let (a, b) = (i as f64 / 12.0, j as f64 / 12.0);
                 // Two informative features plus two noise features.
-                x.push(vec![a, b, (i * 7 % 12) as f64 / 12.0, (j * 5 % 12) as f64 / 12.0]);
+                x.push(vec![
+                    a,
+                    b,
+                    (i * 7 % 12) as f64 / 12.0,
+                    (j * 5 % 12) as f64 / 12.0,
+                ]);
                 y.push((a > 0.5) != (b > 0.5));
             }
         }

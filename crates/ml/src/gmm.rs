@@ -27,7 +27,10 @@ impl GaussianMixture {
     /// are sorted by feature sum and the top/bottom halves seed the two
     /// components.
     pub fn fit(samples: &[Vec<f64>], iterations: usize) -> Self {
-        assert!(samples.len() >= 4, "need at least 4 samples to fit a mixture");
+        assert!(
+            samples.len() >= 4,
+            "need at least 4 samples to fit a mixture"
+        );
         let d = samples[0].len();
         // Deterministic init from the feature-sum ordering.
         let mut order: Vec<usize> = (0..samples.len()).collect();
@@ -36,7 +39,10 @@ impl GaussianMixture {
         let half = samples.len() / 2;
         let mut model = Self {
             weight: [0.5, 0.5],
-            mean: [mean_of(samples, &order[..half]), mean_of(samples, &order[half..])],
+            mean: [
+                mean_of(samples, &order[..half]),
+                mean_of(samples, &order[half..]),
+            ],
             var: [vec![0.05; d], vec![0.05; d]],
             match_component: 1,
         };

@@ -17,7 +17,11 @@ impl GaussianNaiveBayes {
     /// Fits on row-major samples with boolean labels. Both classes must
     /// be present.
     pub fn fit(samples: &[Vec<f64>], labels: &[bool]) -> Self {
-        assert_eq!(samples.len(), labels.len(), "samples and labels must be parallel");
+        assert_eq!(
+            samples.len(),
+            labels.len(),
+            "samples and labels must be parallel"
+        );
         assert!(!samples.is_empty(), "cannot fit on no samples");
         let d = samples[0].len();
         let n_pos = labels.iter().filter(|&&l| l).count();

@@ -36,7 +36,11 @@ impl PegasosSvm {
 
     /// Fits on row-major samples with boolean labels.
     pub fn fit(&mut self, samples: &[Vec<f64>], labels: &[bool]) {
-        assert_eq!(samples.len(), labels.len(), "samples and labels must be parallel");
+        assert_eq!(
+            samples.len(),
+            labels.len(),
+            "samples and labels must be parallel"
+        );
         assert!(!samples.is_empty(), "cannot fit on no samples");
         let d = samples[0].len();
         self.weights = vec![0.0; d];
@@ -64,7 +68,11 @@ impl PegasosSvm {
 
     /// The raw decision margin `w·x + b`.
     pub fn decision(&self, features: &[f64]) -> f64 {
-        assert_eq!(features.len(), self.weights.len(), "dimension mismatch (untrained?)");
+        assert_eq!(
+            features.len(),
+            self.weights.len(),
+            "dimension mismatch (untrained?)"
+        );
         dot(&self.weights, features) + self.bias
     }
 }

@@ -36,7 +36,10 @@ pub fn balanced_split(
     negative_ratio: f64,
     seed: u64,
 ) -> LabelledPairs {
-    assert!((0.0..=1.0).contains(&train_fraction), "train_fraction in [0,1]");
+    assert!(
+        (0.0..=1.0).contains(&train_fraction),
+        "train_fraction in [0,1]"
+    );
     assert!(negative_ratio >= 0.0);
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut positives: Vec<usize> = Vec::new();
@@ -58,7 +61,9 @@ pub fn balanced_split(
     train.extend_from_slice(&negatives[..n_neg_train]);
     train.sort_unstable();
     let in_train: std::collections::HashSet<usize> = train.iter().copied().collect();
-    let test: Vec<usize> = (0..labels.len()).filter(|i| !in_train.contains(i)).collect();
+    let test: Vec<usize> = (0..labels.len())
+        .filter(|i| !in_train.contains(i))
+        .collect();
     LabelledPairs { train, test }
 }
 

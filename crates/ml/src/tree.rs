@@ -50,7 +50,11 @@ pub struct DecisionTree {
 impl DecisionTree {
     /// Fits a tree on row-major samples with boolean labels.
     pub fn fit(samples: &[Vec<f64>], labels: &[bool], config: &TreeConfig) -> Self {
-        assert_eq!(samples.len(), labels.len(), "samples and labels must be parallel");
+        assert_eq!(
+            samples.len(),
+            labels.len(),
+            "samples and labels must be parallel"
+        );
         assert!(!samples.is_empty(), "cannot fit on no samples");
         let n_features = samples[0].len();
         let idx: Vec<usize> = (0..samples.len()).collect();
@@ -124,9 +128,8 @@ fn build(
     match best_split(samples, labels, idx) {
         None => Node::Leaf { probability },
         Some((feature, threshold)) => {
-            let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = idx
-                .iter()
-                .partition(|&&i| samples[i][feature] < threshold);
+            let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
+                idx.iter().partition(|&&i| samples[i][feature] < threshold);
             if left_idx.is_empty() || right_idx.is_empty() {
                 return Node::Leaf { probability };
             }
@@ -235,10 +238,14 @@ mod tests {
     fn pure_leaves_give_confident_probabilities() {
         let x = vec![vec![0.0], vec![0.1], vec![0.9], vec![1.0]];
         let y = vec![false, false, true, true];
-        let tree = DecisionTree::fit(&x, &y, &TreeConfig {
-            max_depth: 3,
-            min_samples_split: 2,
-        });
+        let tree = DecisionTree::fit(
+            &x,
+            &y,
+            &TreeConfig {
+                max_depth: 3,
+                min_samples_split: 2,
+            },
+        );
         assert_eq!(tree.predict_proba(&[0.05]), 0.0);
         assert_eq!(tree.predict_proba(&[0.95]), 1.0);
     }

@@ -1,0 +1,491 @@
+//! # er-pool
+//!
+//! A shared worker pool for the fusion pipeline's parallel hot paths.
+//!
+//! The paper runs its experiments on a 32-core server and leans on
+//! multi-threaded matrix products; this crate is the corresponding
+//! substrate. One [`WorkerPool`] is created per pipeline run (see
+//! `er_core::Resolver`) and threaded through every hot phase — RSS walks,
+//! ITER propagation, CliqueRank components, dense matrix products, and
+//! graph construction — replacing the per-call scoped-thread spawns the
+//! phases used individually before.
+//!
+//! # Design
+//!
+//! * **Persistent workers.** `WorkerPool::new(threads)` spawns
+//!   `threads − 1` OS threads once; the thread calling [`WorkerPool::scope`]
+//!   is the remaining worker. A pool of 1 spawns nothing and runs every
+//!   job inline, so serial callers pay only a branch.
+//! * **Scoped borrowing jobs.** [`Scope::submit`] accepts closures that
+//!   borrow from the caller's stack (like `std::thread::scope`); the scope
+//!   joins all of its jobs before it returns, which is what makes the
+//!   lifetime erasure inside sound.
+//! * **Help-while-waiting.** A thread waiting on its scope pops queued
+//!   jobs and runs them instead of blocking. Nested scopes (a CliqueRank
+//!   component job running pooled matrix products inside) therefore
+//!   cannot deadlock: any queued job can always be executed by the thread
+//!   waiting on it.
+//! * **Deterministic by construction.** The pool gives no ordering
+//!   guarantees, so every phase that uses it is written to be
+//!   *elementwise* parallel — jobs write disjoint output ranges and all
+//!   floating-point reductions stay serial — making results bit-identical
+//!   at every thread count. The pool itself only needs to run each job
+//!   exactly once.
+//!
+//! ```
+//! use er_pool::WorkerPool;
+//!
+//! let pool = WorkerPool::new(4);
+//! let mut out = vec![0u64; 1000];
+//! pool.scope(|s| {
+//!     for (i, chunk) in out.chunks_mut(250).enumerate() {
+//!         s.submit(move || {
+//!             for (j, v) in chunk.iter_mut().enumerate() {
+//!                 *v = (i * 250 + j) as u64;
+//!             }
+//!         });
+//!     }
+//! });
+//! assert_eq!(out[999], 999);
+//! ```
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+/// A type-erased queued job. The `'static` is a lie told by
+/// [`Scope::submit`]; the scope's join-before-return discipline is what
+/// keeps the borrowed data alive until the job has run.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+struct Queue {
+    state: Mutex<QueueState>,
+    ready: Condvar,
+}
+
+impl Queue {
+    fn push(&self, job: Job) {
+        self.state.lock().jobs.push_back(job);
+        self.ready.notify_one();
+    }
+
+    fn try_pop(&self) -> Option<Job> {
+        self.state.lock().jobs.pop_front()
+    }
+}
+
+/// A fixed-size pool of persistent worker threads.
+///
+/// Dropping the pool shuts the workers down and joins them; jobs already
+/// queued still run first (scopes cannot outlive the pool, so in practice
+/// the queue is empty by then).
+pub struct WorkerPool {
+    queue: Arc<Queue>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    threads: usize,
+}
+
+impl WorkerPool {
+    /// Creates a pool with `threads` total workers (the scoping thread
+    /// counts as one, so this spawns `threads − 1` OS threads). `0` is
+    /// treated as 1.
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let queue = Arc::new(Queue {
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            ready: Condvar::new(),
+        });
+        let handles = (1..threads)
+            .map(|_| {
+                let queue = Arc::clone(&queue);
+                std::thread::Builder::new()
+                    .name("er-pool".into())
+                    .spawn(move || worker_loop(&queue))
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        Self {
+            queue,
+            handles,
+            threads,
+        }
+    }
+
+    /// A pool sized to the machine (`available_parallelism`).
+    pub fn with_available_parallelism() -> Self {
+        Self::new(std::thread::available_parallelism().map_or(1, |n| n.get()))
+    }
+
+    /// Total worker count, including the scoping thread.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// True when the pool has no background workers — [`Scope::submit`]
+    /// runs jobs inline. Phases use this to skip parallel bookkeeping.
+    pub fn is_serial(&self) -> bool {
+        self.threads == 1
+    }
+
+    /// Runs `f` with a [`Scope`] that can submit borrowing jobs; returns
+    /// after every submitted job has finished. A panic in any job is
+    /// resurfaced here (the first one, if several).
+    pub fn scope<'env, F, R>(&self, f: F) -> R
+    where
+        F: FnOnce(&Scope<'_, 'env>) -> R,
+    {
+        let scope = Scope {
+            pool: self,
+            tracker: Arc::new(Tracker::default()),
+            _env: PhantomData,
+        };
+        let result = f(&scope);
+        scope.join();
+        result
+    }
+
+    /// Splits `0..len` into per-worker ranges (at most [`Self::threads`]
+    /// of them, each at least `min_chunk` long) and runs `f` on each,
+    /// in parallel. `f` must only touch state that is safe to share —
+    /// for disjoint mutable output, use [`WorkerPool::scope`] with
+    /// `chunks_mut` instead.
+    pub fn for_each_range<F>(&self, len: usize, min_chunk: usize, f: F)
+    where
+        F: Fn(Range<usize>) + Sync,
+    {
+        let ranges = chunk_ranges(len, self.threads, min_chunk);
+        if ranges.len() <= 1 {
+            f(0..len);
+            return;
+        }
+        let f = &f;
+        self.scope(|s| {
+            for r in ranges {
+                s.submit(move || f(r));
+            }
+        });
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.queue.state.lock().shutdown = true;
+        self.queue.ready.notify_all();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(queue: &Queue) {
+    loop {
+        let job = {
+            let mut state = queue.state.lock();
+            loop {
+                if let Some(job) = state.jobs.pop_front() {
+                    break Some(job);
+                }
+                if state.shutdown {
+                    break None;
+                }
+                queue.ready.wait(&mut state);
+            }
+        };
+        match job {
+            // Panics are caught inside the job wrapper (see `submit`), so
+            // a panicking job never kills the worker.
+            Some(job) => job(),
+            None => return,
+        }
+    }
+}
+
+/// Per-scope join state: outstanding job count plus the first panic.
+#[derive(Default)]
+struct Tracker {
+    pending: Mutex<usize>,
+    done: Condvar,
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+/// Handle for submitting jobs that may borrow from `'env`; obtained via
+/// [`WorkerPool::scope`].
+pub struct Scope<'pool, 'env> {
+    pool: &'pool WorkerPool,
+    tracker: Arc<Tracker>,
+    /// Invariant over `'env`, like `std::thread::Scope`.
+    _env: PhantomData<&'env mut &'env ()>,
+}
+
+impl<'env> Scope<'_, 'env> {
+    /// Queues `job` for execution. On a serial pool the job runs inline.
+    pub fn submit<F>(&self, job: F)
+    where
+        F: FnOnce() + Send + 'env,
+    {
+        if self.pool.is_serial() {
+            job();
+            return;
+        }
+        *self.tracker.pending.lock() += 1;
+        let tracker = Arc::clone(&self.tracker);
+        let job: Box<dyn FnOnce() + Send + 'env> = Box::new(job);
+        // SAFETY: the scope joins every submitted job before returning
+        // (`join` runs in `scope` and again, idempotently, from `Drop` if
+        // the scope body unwinds), so all `'env` borrows inside `job`
+        // outlive its execution.
+        let job: Job = unsafe {
+            std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Box<dyn FnOnce() + Send>>(job)
+        };
+        self.pool.queue.push(Box::new(move || {
+            let outcome = catch_unwind(AssertUnwindSafe(job));
+            if let Err(payload) = outcome {
+                tracker.panic.lock().get_or_insert(payload);
+            }
+            let mut pending = tracker.pending.lock();
+            *pending -= 1;
+            if *pending == 0 {
+                tracker.done.notify_all();
+            }
+        }));
+    }
+
+    /// Waits for all jobs of this scope, helping run queued work (of any
+    /// scope) while waiting; then resurfaces the first job panic.
+    fn join(&self) {
+        loop {
+            if *self.tracker.pending.lock() == 0 {
+                break;
+            }
+            // Prefer helping over sleeping: run any queued job. It may
+            // belong to another (possibly nested) scope — that scope's
+            // tracker absorbs its result, so helping is always safe.
+            if let Some(job) = self.pool.queue.try_pop() {
+                job();
+                continue;
+            }
+            let mut pending = self.tracker.pending.lock();
+            if *pending == 0 {
+                break;
+            }
+            // Our remaining jobs are running on other threads. They may
+            // still enqueue nested work, so sleep with a timeout and loop
+            // back to helping rather than blocking indefinitely.
+            self.tracker
+                .done
+                .wait_for(&mut pending, Duration::from_millis(1));
+        }
+        if let Some(payload) = self.tracker.panic.lock().take() {
+            resume_unwind(payload);
+        }
+    }
+}
+
+impl Drop for Scope<'_, '_> {
+    fn drop(&mut self) {
+        // Normally a no-op (scope() already joined); on unwind out of the
+        // scope body this keeps borrowed data alive until jobs finish.
+        // Swallow any job panic here — one panic is already in flight.
+        loop {
+            if *self.tracker.pending.lock() == 0 {
+                break;
+            }
+            if let Some(job) = self.pool.queue.try_pop() {
+                job();
+                continue;
+            }
+            let mut pending = self.tracker.pending.lock();
+            if *pending == 0 {
+                break;
+            }
+            self.tracker
+                .done
+                .wait_for(&mut pending, Duration::from_millis(1));
+        }
+    }
+}
+
+/// Splits `0..len` into up to `parts` contiguous ranges of near-equal
+/// length, none shorter than `min_chunk` (except a sole final remainder).
+/// Returns fewer ranges — possibly one — when `len` is small. The split
+/// depends only on `(len, parts, min_chunk)`, never on timing.
+pub fn chunk_ranges(len: usize, parts: usize, min_chunk: usize) -> Vec<Range<usize>> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let parts = parts.max(1).min(len.div_ceil(min_chunk.max(1)));
+    let base = len / parts;
+    let extra = len % parts;
+    let mut ranges = Vec::with_capacity(parts);
+    let mut start = 0;
+    for i in 0..parts {
+        let size = base + usize::from(i < extra);
+        ranges.push(start..start + size);
+        start += size;
+    }
+    debug_assert_eq!(start, len);
+    ranges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn serial_pool_runs_inline() {
+        let pool = WorkerPool::new(1);
+        assert!(pool.is_serial());
+        let mut hits = 0;
+        pool.scope(|s| {
+            for _ in 0..10 {
+                s.submit(|| {}); // inline: must not need Sync on `hits`
+            }
+            hits += 1;
+        });
+        assert_eq!(hits, 1);
+    }
+
+    #[test]
+    fn jobs_write_disjoint_chunks() {
+        let pool = WorkerPool::new(4);
+        let mut out = vec![0usize; 10_000];
+        pool.scope(|s| {
+            for (i, chunk) in out.chunks_mut(617).enumerate() {
+                s.submit(move || {
+                    for (j, v) in chunk.iter_mut().enumerate() {
+                        *v = i * 617 + j;
+                    }
+                });
+            }
+        });
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i));
+    }
+
+    #[test]
+    fn scope_returns_value_and_joins_first() {
+        let pool = WorkerPool::new(3);
+        let counter = AtomicUsize::new(0);
+        let r = pool.scope(|s| {
+            for _ in 0..100 {
+                s.submit(|| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            42
+        });
+        assert_eq!(r, 42);
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn nested_scopes_do_not_deadlock() {
+        let pool = WorkerPool::new(2); // one background worker
+        let total = AtomicUsize::new(0);
+        pool.scope(|outer| {
+            for _ in 0..4 {
+                let (pool, total) = (&pool, &total);
+                outer.submit(move || {
+                    pool.scope(|inner| {
+                        for _ in 0..4 {
+                            inner.submit(|| {
+                                total.fetch_add(1, Ordering::Relaxed);
+                            });
+                        }
+                    });
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    fn job_panic_propagates_to_scope_caller() {
+        let pool = WorkerPool::new(2);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(|s| {
+                s.submit(|| panic!("job exploded"));
+            });
+        }));
+        assert!(result.is_err());
+        // Pool survives the panic and keeps working.
+        let ok = AtomicUsize::new(0);
+        pool.scope(|s| {
+            s.submit(|| {
+                ok.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(ok.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn for_each_range_covers_everything_once() {
+        let pool = WorkerPool::new(4);
+        let seen = Mutex::new(vec![0u32; 1003]);
+        pool.for_each_range(1003, 16, |r| {
+            let mut seen = seen.lock();
+            for i in r {
+                seen[i] += 1;
+            }
+        });
+        assert!(seen.lock().iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn chunk_ranges_partition_exactly() {
+        for (len, parts, min_chunk) in
+            [(0, 4, 1), (1, 4, 1), (10, 3, 1), (100, 7, 16), (64, 64, 64)]
+        {
+            let ranges = chunk_ranges(len, parts, min_chunk);
+            let mut covered = 0;
+            for r in &ranges {
+                assert_eq!(r.start, covered, "contiguous");
+                covered = r.end;
+            }
+            assert_eq!(covered, len);
+            if len > 0 {
+                assert!(ranges.len() <= parts);
+            }
+        }
+        assert_eq!(chunk_ranges(100, 4, 100).len(), 1);
+        assert_eq!(chunk_ranges(100, 4, 50).len(), 2);
+    }
+
+    #[test]
+    fn results_identical_across_thread_counts() {
+        // The determinism contract: disjoint-output jobs + serial
+        // reductions give bit-identical results for any pool size.
+        let fixed = |threads: usize| -> Vec<f64> {
+            let pool = WorkerPool::new(threads);
+            let mut out = vec![0.0f64; 4096];
+            pool.scope(|s| {
+                for (c, chunk) in out.chunks_mut(512).enumerate() {
+                    s.submit(move || {
+                        for (i, v) in chunk.iter_mut().enumerate() {
+                            *v = ((c * 31 + i) as f64).sin().abs().powf(2.5);
+                        }
+                    });
+                }
+            });
+            out
+        };
+        let base = fixed(1);
+        for threads in [2, 4] {
+            assert_eq!(base, fixed(threads));
+        }
+    }
+}

@@ -83,10 +83,7 @@ impl Corpus {
 
     /// Iterates `(TermId, postings)` over terms that survived filtering and
     /// occur in at least `min_records` records.
-    pub fn terms_with_min_df(
-        &self,
-        min_records: usize,
-    ) -> impl Iterator<Item = (TermId, &[u32])> {
+    pub fn terms_with_min_df(&self, min_records: usize) -> impl Iterator<Item = (TermId, &[u32])> {
         self.inverted
             .iter()
             .enumerate()
@@ -277,7 +274,10 @@ mod tests {
             .max_df_fraction(0.5)
             .build();
         let common = c.vocab().get("common").unwrap();
-        assert!(c.postings(common).is_empty(), "filtered term has no postings");
+        assert!(
+            c.postings(common).is_empty(),
+            "filtered term has no postings"
+        );
         assert_eq!(c.removed_terms(), &[common]);
         assert!(c.term_set(0).iter().all(|&t| t != common));
         assert_eq!(c.filtered_doc_freq(common), 0);

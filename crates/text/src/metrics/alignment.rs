@@ -98,7 +98,11 @@ pub fn smith_waterman_similarity(a: &str, b: &str) -> f64 {
     let scoring = AlignmentScoring::default();
     let min_len = a.chars().count().min(b.chars().count());
     if min_len == 0 {
-        return if a.is_empty() && b.is_empty() { 1.0 } else { 0.0 };
+        return if a.is_empty() && b.is_empty() {
+            1.0
+        } else {
+            0.0
+        };
     }
     let score = smith_waterman(a, b, &scoring);
     (score / (scoring.match_score * min_len as f64)).clamp(0.0, 1.0)

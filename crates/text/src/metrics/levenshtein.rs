@@ -10,7 +10,11 @@
 pub fn levenshtein(a: &str, b: &str) -> usize {
     let a: Vec<char> = a.chars().collect();
     let b: Vec<char> = b.chars().collect();
-    let (short, long) = if a.len() <= b.len() { (&a, &b) } else { (&b, &a) };
+    let (short, long) = if a.len() <= b.len() {
+        (&a, &b)
+    } else {
+        (&b, &a)
+    };
     if short.is_empty() {
         return long.len();
     }
@@ -92,7 +96,10 @@ mod tests {
 
     #[test]
     fn symmetric() {
-        assert_eq!(levenshtein("sunday", "saturday"), levenshtein("saturday", "sunday"));
+        assert_eq!(
+            levenshtein("sunday", "saturday"),
+            levenshtein("saturday", "sunday")
+        );
     }
 
     #[test]
@@ -111,7 +118,11 @@ mod tests {
 
     #[test]
     fn damerau_never_exceeds_levenshtein() {
-        for (a, b) in [("kitten", "sitting"), ("pslx350h", "pslx350"), ("rose", "eros")] {
+        for (a, b) in [
+            ("kitten", "sitting"),
+            ("pslx350h", "pslx350"),
+            ("rose", "eros"),
+        ] {
             assert!(damerau_levenshtein(a, b) <= levenshtein(a, b), "{a} vs {b}");
         }
     }

@@ -12,9 +12,9 @@
 mod alignment;
 mod jaro;
 mod levenshtein;
-mod phonetic;
 mod monge_elkan;
 mod ngram;
+mod phonetic;
 mod soft_tfidf;
 mod tfidf;
 mod token;
@@ -24,10 +24,10 @@ pub use alignment::{
     AlignmentScoring,
 };
 pub use jaro::{jaro, jaro_winkler};
-pub use phonetic::{soundex, sounds_like};
 pub use levenshtein::{damerau_levenshtein, levenshtein, levenshtein_similarity};
 pub use monge_elkan::monge_elkan;
 pub use ngram::{ngram_multiset, ngram_similarity};
+pub use phonetic::{soundex, sounds_like};
 pub use soft_tfidf::soft_tfidf;
 pub use tfidf::TfIdfModel;
 pub use token::{cosine_tokens, dice, jaccard, overlap_coefficient};
@@ -104,7 +104,11 @@ mod tests {
             Box::new(NgramMetric::default()),
         ];
         for m in &metrics {
-            assert!((m.similarity("abc", "abc") - 1.0).abs() < 1e-12, "{}", m.name());
+            assert!(
+                (m.similarity("abc", "abc") - 1.0).abs() < 1e-12,
+                "{}",
+                m.name()
+            );
             let s = m.similarity("abc", "xyz");
             assert!((0.0..=1.0).contains(&s), "{}", m.name());
         }

@@ -24,11 +24,7 @@ where
     let dir = |xs: &[&str], ys: &[&str]| -> f64 {
         let total: f64 = xs
             .iter()
-            .map(|x| {
-                ys.iter()
-                    .map(|y| inner(x, y))
-                    .fold(0.0f64, f64::max)
-            })
+            .map(|x| ys.iter().map(|y| inner(x, y)).fold(0.0f64, f64::max))
             .sum();
         total / xs.len() as f64
     };

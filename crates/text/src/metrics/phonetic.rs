@@ -33,8 +33,8 @@ pub fn soundex(word: &str) -> Option<String> {
     for &c in &letters[1..] {
         let code = code_of(c);
         match code {
-            b'0' => last_code = b'0',   // vowel separator resets adjacency
-            b'*' => {}                   // H/W: transparent, keep last_code
+            b'0' => last_code = b'0', // vowel separator resets adjacency
+            b'*' => {}                // H/W: transparent, keep last_code
             _ => {
                 if code != last_code {
                     out.push(code as char);

@@ -23,9 +23,7 @@ pub fn soft_tfidf(a: &[(&str, f64)], b: &[(&str, f64)], threshold: f64) -> f64 {
     if a.is_empty() || b.is_empty() {
         return 0.0;
     }
-    let norm = |v: &[(&str, f64)]| -> f64 {
-        v.iter().map(|(_, w)| w * w).sum::<f64>().sqrt()
-    };
+    let norm = |v: &[(&str, f64)]| -> f64 { v.iter().map(|(_, w)| w * w).sum::<f64>().sqrt() };
     let (na, nb) = (norm(a), norm(b));
     if na == 0.0 || nb == 0.0 {
         return 0.0;

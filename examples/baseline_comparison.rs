@@ -15,7 +15,9 @@ use unsupervised_er::pipeline;
 use unsupervised_er::prelude::*;
 
 fn main() {
-    let which = std::env::args().nth(1).unwrap_or_else(|| "restaurant".into());
+    let which = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "restaurant".into());
     let (dataset, cap) = match which.as_str() {
         "restaurant" => (
             generators::restaurant::generate(&RestaurantConfig::default().scaled(0.4)),
@@ -42,7 +44,10 @@ fn main() {
     let pairs = prepared.graph.pairs().to_vec();
     println!("{} candidate pairs share at least one term\n", pairs.len());
 
-    println!("{:<22} {:>8} {:>8} {:>8} {:>12}", "method", "F1", "P", "R", "threshold");
+    println!(
+        "{:<22} {:>8} {:>8} {:>8} {:>12}",
+        "method", "F1", "P", "R", "threshold"
+    );
     println!("{}", "-".repeat(64));
     let scorers: Vec<Box<dyn PairScorer>> = vec![
         Box::new(JaccardScorer),

@@ -14,9 +14,8 @@ use unsupervised_er::pipeline;
 use unsupervised_er::prelude::*;
 
 fn main() {
-    let dataset = er_datasets::generators::restaurant::generate(
-        &RestaurantConfig::default().scaled(0.6),
-    );
+    let dataset =
+        er_datasets::generators::restaurant::generate(&RestaurantConfig::default().scaled(0.6));
     let truth: std::collections::HashSet<(u32, u32)> =
         dataset.matching_pairs().into_iter().collect();
     let n = dataset.len();

@@ -12,9 +12,8 @@ use unsupervised_er::pipeline;
 use unsupervised_er::prelude::*;
 
 fn main() {
-    let dataset = er_datasets::generators::product::generate(
-        &ProductConfig::default().scaled(0.15),
-    );
+    let dataset =
+        er_datasets::generators::product::generate(&ProductConfig::default().scaled(0.15));
     let prepared = pipeline::prepare_with(&dataset, 0.05);
     let outcome = er_core::Resolver::new(FusionConfig::default()).resolve(&prepared.graph);
     println!(

@@ -13,9 +13,8 @@ use unsupervised_er::incremental::IncrementalResolver;
 use unsupervised_er::prelude::*;
 
 fn main() {
-    let dataset = er_datasets::generators::restaurant::generate(
-        &RestaurantConfig::default().scaled(0.5),
-    );
+    let dataset =
+        er_datasets::generators::restaurant::generate(&RestaurantConfig::default().scaled(0.5));
     let mut resolver = IncrementalResolver::new(
         FusionConfig::default(),
         0.035,
@@ -59,5 +58,8 @@ fn main() {
     println!("\nfinal clusters with more than one record:");
     let outcome = resolver.resolve();
     let multi = outcome.clusters.iter().filter(|c| c.len() > 1).count();
-    println!("  {multi} multi-record entities over {} records", resolver.len());
+    println!(
+        "  {multi} multi-record entities over {} records",
+        resolver.len()
+    );
 }

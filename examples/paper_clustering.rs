@@ -68,8 +68,14 @@ fn main() {
         }
         h
     };
-    println!("\ncluster-size histogram  truth: {:?}", histogram(&truth_clusters));
-    println!("                     predicted: {:?}", histogram(&outcome.clusters));
+    println!(
+        "\ncluster-size histogram  truth: {:?}",
+        histogram(&truth_clusters)
+    );
+    println!(
+        "                     predicted: {:?}",
+        histogram(&outcome.clusters)
+    );
 
     assert!(f1 > f1_no_boost, "boost must help on skewed citation data");
     assert!(found * 2 > giant.len(), "giant cluster mostly recovered");

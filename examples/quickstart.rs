@@ -9,12 +9,42 @@ fn main() {
     // Six raw records: three real-world restaurants, two of them listed
     // twice with format noise.
     let records = vec![
-        Record { id: 0, source: 0, entity: 0, text: "Fenix at the Argyle 8358 Sunset Blvd West Hollywood 213 848 6677 french".into() },
-        Record { id: 1, source: 0, entity: 1, text: "Grill on the Alley 9560 Dayton Way Beverly Hills 310 276 0615 american".into() },
-        Record { id: 2, source: 0, entity: 0, text: "fenix 8358 sunset blvd w hollywood 213-848-6677".into() },
-        Record { id: 3, source: 0, entity: 2, text: "Art's Deli 12224 Ventura Blvd Studio City 818 762 1221 delis".into() },
-        Record { id: 4, source: 0, entity: 1, text: "grill the 9560 dayton way beverly hills 310/276-0615".into() },
-        Record { id: 5, source: 0, entity: 3, text: "Cafe Bizou 7364 Melrose Ave Los Angeles 310 655 6566 french".into() },
+        Record {
+            id: 0,
+            source: 0,
+            entity: 0,
+            text: "Fenix at the Argyle 8358 Sunset Blvd West Hollywood 213 848 6677 french".into(),
+        },
+        Record {
+            id: 1,
+            source: 0,
+            entity: 1,
+            text: "Grill on the Alley 9560 Dayton Way Beverly Hills 310 276 0615 american".into(),
+        },
+        Record {
+            id: 2,
+            source: 0,
+            entity: 0,
+            text: "fenix 8358 sunset blvd w hollywood 213-848-6677".into(),
+        },
+        Record {
+            id: 3,
+            source: 0,
+            entity: 2,
+            text: "Art's Deli 12224 Ventura Blvd Studio City 818 762 1221 delis".into(),
+        },
+        Record {
+            id: 4,
+            source: 0,
+            entity: 1,
+            text: "grill the 9560 dayton way beverly hills 310/276-0615".into(),
+        },
+        Record {
+            id: 5,
+            source: 0,
+            entity: 3,
+            text: "Cafe Bizou 7364 Melrose Ave Los Angeles 310 655 6566 french".into(),
+        },
     ];
     let dataset = Dataset::new("quickstart", records, SourcePolicy::WithinSingleSource);
 

@@ -22,8 +22,7 @@ fn main() {
     loader::save_tsv(&dataset, &path).expect("write TSV");
     println!("wrote {} records to {}", dataset.len(), path.display());
 
-    let loaded =
-        loader::load_tsv(&path, SourcePolicy::WithinSingleSource).expect("read TSV back");
+    let loaded = loader::load_tsv(&path, SourcePolicy::WithinSingleSource).expect("read TSV back");
     assert_eq!(loaded.records, dataset.records);
 
     // Small corpora need the stricter Restaurant-style frequent-term cap

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Lint gate: formatting and clippy with warnings denied, then the full
+# test suite. CI runs this exact script (.github/workflows/ci.yml), so a
+# clean local run means a clean CI run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test --workspace"
+cargo test --workspace --quiet
+
+echo "All checks passed."

@@ -13,7 +13,12 @@
 //!   --alpha F             random-walk exponent α                  \[20\]
 //!   --steps N             random-walk step bound S                \[20\]
 //!   --output MODE         clusters | pairs | probabilities        [clusters]
+//!   --threads N           worker threads for the shared pool      [autodetect]
 //! ```
+//!
+//! `ER_THREADS` in the environment sets the default worker-thread count;
+//! `--threads` overrides it. Every parallel phase is deterministic, so
+//! the thread count never changes results, only speed.
 //!
 //! The TSV format is `id \t source \t entity \t text` (see
 //! `er_datasets::loader`); `resolve` ignores the entity column,
@@ -66,6 +71,10 @@ options:
   --alpha F             random-walk exponent alpha              [20]
   --steps N             random-walk step bound S                [20]
   --output MODE         clusters | pairs | probabilities        [clusters]
+  --threads N           worker threads for the shared pool      [autodetect]
+
+environment:
+  ER_THREADS            default worker-thread count (--threads overrides)
 ";
 
 struct Options {
@@ -92,6 +101,16 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         out_file: None,
         kind: None,
     };
+    // ER_THREADS sets the pool size for hosts where autodetection is
+    // wrong (e.g. containers with restricted cpusets); --threads wins.
+    if let Ok(t) = std::env::var("ER_THREADS") {
+        let t = parse_usize(&t)
+            .map_err(|e| format!("bad ER_THREADS: {e}"))?
+            .max(1);
+        opts.config.threads = t;
+        opts.config.iter.threads = t;
+        opts.config.cliquerank.threads = t;
+    }
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value = |name: &str| -> Result<String, String> {
@@ -113,6 +132,12 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 opts.config.cliquerank.steps = s;
             }
             "--output" => opts.output = value("--output")?,
+            "--threads" => {
+                let t = parse_usize(&value("--threads")?)?.max(1);
+                opts.config.threads = t;
+                opts.config.iter.threads = t;
+                opts.config.cliquerank.threads = t;
+            }
             "--scale" => opts.scale = parse_f64(&value("--scale")?)?,
             "--seed" => opts.seed = parse_usize(&value("--seed")?)? as u64,
             "--out" => opts.out_file = Some(value("--out")?),
@@ -292,6 +317,17 @@ mod tests {
         assert_eq!(o.config.cliquerank.alpha, 10.0);
         assert_eq!(o.config.cliquerank.steps, 15);
         assert_eq!(o.output, "pairs");
+    }
+
+    #[test]
+    fn parses_threads_option() {
+        let o = parse_options(&args(&["d.tsv", "--threads", "3"])).unwrap();
+        assert_eq!(o.config.threads, 3);
+        assert_eq!(o.config.iter.threads, 3);
+        assert_eq!(o.config.cliquerank.threads, 3);
+        // 0 clamps to 1 rather than erroring.
+        let o = parse_options(&args(&["d.tsv", "--threads", "0"])).unwrap();
+        assert_eq!(o.config.threads, 1);
     }
 
     #[test]

@@ -145,11 +145,36 @@ mod tests {
 
     fn setup() -> (Dataset, pipeline::Prepared, FusionOutcome) {
         let records = vec![
-            Record { id: 0, source: 0, entity: 0, text: "sony pslx350h turntable belt drive".into() },
-            Record { id: 1, source: 0, entity: 0, text: "sony turntable pslx350h".into() },
-            Record { id: 2, source: 0, entity: 1, text: "sony wm100 walkman cassette".into() },
-            Record { id: 3, source: 0, entity: 2, text: "panasonic nnh765 microwave oven".into() },
-            Record { id: 4, source: 0, entity: 1, text: "sony walkman wm100".into() },
+            Record {
+                id: 0,
+                source: 0,
+                entity: 0,
+                text: "sony pslx350h turntable belt drive".into(),
+            },
+            Record {
+                id: 1,
+                source: 0,
+                entity: 0,
+                text: "sony turntable pslx350h".into(),
+            },
+            Record {
+                id: 2,
+                source: 0,
+                entity: 1,
+                text: "sony wm100 walkman cassette".into(),
+            },
+            Record {
+                id: 3,
+                source: 0,
+                entity: 2,
+                text: "panasonic nnh765 microwave oven".into(),
+            },
+            Record {
+                id: 4,
+                source: 0,
+                entity: 1,
+                text: "sony walkman wm100".into(),
+            },
         ];
         let d = Dataset::new("t", records, SourcePolicy::WithinSingleSource);
         let prepared = pipeline::prepare_with(&d, 1.0);
@@ -169,7 +194,11 @@ mod tests {
         // The model code must outrank the brand name "sony" (df 4).
         let model_pos = e.shared_terms.iter().position(|t| t.term == "pslx350h");
         let sony_pos = e.shared_terms.iter().position(|t| t.term == "sony");
-        assert!(model_pos.unwrap() < sony_pos.unwrap(), "{:?}", e.shared_terms);
+        assert!(
+            model_pos.unwrap() < sony_pos.unwrap(),
+            "{:?}",
+            e.shared_terms
+        );
         // Similarity equals the sum of shared weights.
         let sum: f64 = e.shared_terms.iter().map(|t| t.weight).sum();
         assert!((e.similarity - sum).abs() < 1e-9);

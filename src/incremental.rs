@@ -123,12 +123,8 @@ impl IncrementalResolver {
         let mut last_sims = None;
         for round in 1..=cfg.rounds {
             let t0 = std::time::Instant::now();
-            let iter_out = run_iter_with_init(
-                graph,
-                &prob,
-                &cfg.iter,
-                self.previous_weights.as_deref(),
-            );
+            let iter_out =
+                run_iter_with_init(graph, &prob, &cfg.iter, self.previous_weights.as_deref());
             iter_iterations += iter_out.iterations;
             let iter_time = t0.elapsed();
 
@@ -154,11 +150,7 @@ impl IncrementalResolver {
                 let idx = graph.pair_id(pair.a, pair.b).expect("edge is a pair");
                 new_prob[idx as usize] = p;
             }
-            let probability_delta = prob
-                .iter()
-                .zip(&new_prob)
-                .map(|(a, b)| (a - b).abs())
-                .sum();
+            let probability_delta = prob.iter().zip(&new_prob).map(|(a, b)| (a - b).abs()).sum();
             prob = new_prob;
             rounds.push(RoundStats {
                 round,

@@ -46,15 +46,17 @@ pub mod explain;
 pub mod incremental;
 
 pub mod prelude {
+    pub use crate::explain::{explain_pair, rank_candidates};
+    pub use crate::incremental::IncrementalResolver;
     pub use er_core::{
         BoostMode, CliqueRankConfig, FusionConfig, FusionOutcome, IterConfig, Resolver, RssConfig,
     };
-    pub use er_datasets::{Dataset, PaperConfig, ProductConfig, Record, RestaurantConfig, SourcePolicy};
+    pub use er_datasets::{
+        Dataset, PaperConfig, ProductConfig, Record, RestaurantConfig, SourcePolicy,
+    };
     pub use er_eval::{ConfusionCounts, TruthPairs};
     pub use er_graph::{BipartiteGraph, BipartiteGraphBuilder};
     pub use er_text::{Corpus, CorpusBuilder};
-    pub use crate::explain::{explain_pair, rank_candidates};
-    pub use crate::incremental::IncrementalResolver;
 }
 
 pub mod pipeline {
@@ -120,8 +122,7 @@ pub mod pipeline {
         }
         let sources = dataset.sources();
         if dataset.policy == SourcePolicy::CrossSourceOnly {
-            builder = builder
-                .pair_filter(move |a, b| sources[a as usize] != sources[b as usize]);
+            builder = builder.pair_filter(move |a, b| sources[a as usize] != sources[b as usize]);
         }
         builder.build()
     }

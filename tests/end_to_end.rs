@@ -88,7 +88,10 @@ fn probabilities_and_weights_are_well_formed() {
         assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
     }
     for &w in &outcome.term_weights {
-        assert!((0.0..1.0).contains(&w) || w == 0.0, "weight out of range: {w}");
+        assert!(
+            (0.0..1.0).contains(&w) || w == 0.0,
+            "weight out of range: {w}"
+        );
     }
     // Clusters partition the records.
     let mut seen = vec![false; d.len()];

@@ -59,7 +59,9 @@ fn perfect_crowd_reaches_near_perfect_f1_with_budget() {
             (
                 p.a,
                 p.b,
-                prepared.corpus.shared_term_count(p.a as usize, p.b as usize) as f64,
+                prepared
+                    .corpus
+                    .shared_term_count(p.a as usize, p.b as usize) as f64,
             )
         })
         .collect();
@@ -89,7 +91,9 @@ fn transm_spends_less_than_crowder() {
             (
                 p.a,
                 p.b,
-                prepared.corpus.shared_term_count(p.a as usize, p.b as usize) as f64,
+                prepared
+                    .corpus
+                    .shared_term_count(p.a as usize, p.b as usize) as f64,
             )
         })
         .collect();
@@ -127,7 +131,11 @@ fn closure_sweep_agrees_with_pairwise_on_pair_only_truth() {
     let pairs = prepared.graph.pairs().to_vec();
     let scores: Vec<f64> = pairs
         .iter()
-        .map(|p| prepared.corpus.shared_term_count(p.a as usize, p.b as usize) as f64)
+        .map(|p| {
+            prepared
+                .corpus
+                .shared_term_count(p.a as usize, p.b as usize) as f64
+        })
         .collect();
     let scored: Vec<ScoredPair> = pairs
         .iter()
@@ -144,7 +152,12 @@ fn closure_sweep_agrees_with_pairwise_on_pair_only_truth() {
     // Closure can only help (it may connect a cluster through a chain),
     // and for 2-record entities the chain is the pair itself.
     assert!(closure.f1 + 1e-9 >= plain.f1);
-    assert!((closure.f1 - plain.f1).abs() < 0.05, "{} vs {}", closure.f1, plain.f1);
+    assert!(
+        (closure.f1 - plain.f1).abs() < 0.05,
+        "{} vs {}",
+        closure.f1,
+        plain.f1
+    );
 }
 
 #[test]
@@ -157,7 +170,9 @@ fn gcer_budget_controls_quality() {
             (
                 p.a,
                 p.b,
-                prepared.corpus.shared_term_count(p.a as usize, p.b as usize) as f64,
+                prepared
+                    .corpus
+                    .shared_term_count(p.a as usize, p.b as usize) as f64,
             )
         })
         .collect();
@@ -199,7 +214,9 @@ fn acd_and_power_resolve_with_fewer_questions_than_crowder() {
             (
                 p.a,
                 p.b,
-                prepared.corpus.shared_term_count(p.a as usize, p.b as usize) as f64,
+                prepared
+                    .corpus
+                    .shared_term_count(p.a as usize, p.b as usize) as f64,
             )
         })
         .collect();
@@ -232,7 +249,12 @@ fn acd_and_power_resolve_with_fewer_questions_than_crowder() {
         },
         &mut o3,
     );
-    assert!(acd.questions <= crowder.questions, "{} vs {}", acd.questions, crowder.questions);
+    assert!(
+        acd.questions <= crowder.questions,
+        "{} vs {}",
+        acd.questions,
+        crowder.questions
+    );
     assert!(power.questions <= crowder.questions);
     let f1 = |m: &[(u32, u32)]| evaluate_pairs(m.iter().copied(), truth).f1();
     assert!(f1(&acd.matches) > 0.75, "{}", f1(&acd.matches));

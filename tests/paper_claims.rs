@@ -26,12 +26,8 @@ fn fusion_beats_jaccard_on_product_data() {
     let outcome = Resolver::new(quick(2)).resolve(&prepared.graph);
     let fusion_f1 = evaluate_pairs(outcome.matches.iter().copied(), &prepared.truth).f1();
     let pairs = prepared.graph.pairs().to_vec();
-    let jaccard = er_baselines::evaluate_scorer(
-        &JaccardScorer,
-        &prepared.corpus,
-        &pairs,
-        &prepared.truth,
-    );
+    let jaccard =
+        er_baselines::evaluate_scorer(&JaccardScorer, &prepared.corpus, &pairs, &prepared.truth);
     assert!(
         fusion_f1 > jaccard.f1,
         "fusion {fusion_f1} must beat Jaccard {} on product data",
@@ -64,7 +60,11 @@ fn iter_weights_outcorrelate_pagerank() {
             idx.push(t as usize);
         }
     }
-    let iter_out = run_iter(graph, &vec![1.0; graph.pair_count()], &IterConfig::default());
+    let iter_out = run_iter(
+        graph,
+        &vec![1.0; graph.pair_count()],
+        &IterConfig::default(),
+    );
     let pagerank = TwIdfScorer::default().term_salience(&prepared.corpus);
     let w_iter: Vec<f64> = idx.iter().map(|&t| iter_out.term_weights[t]).collect();
     let w_pr: Vec<f64> = idx.iter().map(|&t| pagerank[t]).collect();

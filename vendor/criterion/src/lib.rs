@@ -1,0 +1,215 @@
+//! Offline vendored subset of the `criterion` API.
+//!
+//! A minimal measure-and-print harness with criterion's calling
+//! conventions (`criterion_group!` / `criterion_main!`, `bench_function`,
+//! `iter`, `iter_batched`). No warmup modeling, outlier analysis, or
+//! HTML reports — each benchmark runs `sample_size` timed samples and
+//! prints the minimum, median, and mean wall time. The minimum is the
+//! most robust single number on noisy shared machines; comparisons in
+//! this workspace read the median.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Opaque-value helper re-exported for benchmark bodies.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// How `iter_batched` amortizes setup; all variants behave identically
+/// here (setup always runs once per measured call, outside the timer).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Benchmark driver; collects configuration and runs benchmark closures.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 1, "need at least one sample");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(id, self.sample_size, f);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_owned(),
+        }
+    }
+}
+
+/// A named group; benchmark ids are printed as `group/id`.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.as_ref());
+        run_benchmark(&full, self.criterion.sample_size, f);
+        self
+    }
+
+    /// Ends the group (formatting no-op).
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; records one timed sample per call.
+pub struct Bencher {
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` once per sample.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        let out = routine();
+        self.elapsed = start.elapsed();
+        drop(std_black_box(out));
+    }
+
+    /// Times `routine` on an input built by `setup` (setup excluded from
+    /// the measurement).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let input = setup();
+        let start = Instant::now();
+        let out = routine(input);
+        self.elapsed = start.elapsed();
+        drop(std_black_box(out));
+    }
+}
+
+fn run_benchmark<F>(id: &str, samples: usize, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    // One untimed warmup to populate caches and lazy statics.
+    let mut bencher = Bencher {
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+
+    let mut times: Vec<Duration> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        bencher.elapsed = Duration::ZERO;
+        f(&mut bencher);
+        times.push(bencher.elapsed);
+    }
+    times.sort_unstable();
+    let min = times[0];
+    let median = times[times.len() / 2];
+    let mean = times.iter().sum::<Duration>() / times.len() as u32;
+    println!(
+        "{id:<40} min {:>12}  median {:>12}  mean {:>12}  ({samples} samples)",
+        fmt(min),
+        fmt(median),
+        fmt(mean)
+    );
+}
+
+fn fmt(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos >= 1_000_000_000 {
+        format!("{:.3} s", d.as_secs_f64())
+    } else if nanos >= 1_000_000 {
+        format!("{:.3} ms", nanos as f64 / 1e6)
+    } else if nanos >= 1_000 {
+        format!("{:.3} us", nanos as f64 / 1e3)
+    } else {
+        format!("{nanos} ns")
+    }
+}
+
+/// Declares a benchmark group: either criterion's configured form
+/// (`name = ...; config = ...; targets = ...`) or the simple list form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_times() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut runs = 0;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        // warmup + 3 samples
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn iter_batched_separates_setup() {
+        let mut c = Criterion::default().sample_size(2);
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+    }
+}

@@ -1,0 +1,201 @@
+//! Offline vendored subset of the `parking_lot` API.
+//!
+//! Thin wrappers over `std::sync` primitives with `parking_lot`'s
+//! poison-free signatures (`lock()` returns the guard directly). A
+//! poisoned std lock — only possible after a panic while holding the
+//! guard — is recovered rather than propagated, matching `parking_lot`'s
+//! semantics of not tracking poisoning at all.
+
+use std::sync::PoisonError;
+use std::time::Duration;
+
+/// Mutual exclusion with `parking_lot`'s panic-free `lock()` signature.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+/// Guard returned by [`Mutex::lock`].
+pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex.
+    pub const fn new(value: T) -> Self {
+        Self {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, blocking until available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Mutable access without locking (requires exclusive borrow).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// Reader-writer lock with `parking_lot`'s panic-free signatures.
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized> {
+    inner: std::sync::RwLock<T>,
+}
+
+/// Guard returned by [`RwLock::read`].
+pub type RwLockReadGuard<'a, T> = std::sync::RwLockReadGuard<'a, T>;
+/// Guard returned by [`RwLock::write`].
+pub type RwLockWriteGuard<'a, T> = std::sync::RwLockWriteGuard<'a, T>;
+
+impl<T> RwLock<T> {
+    /// Creates a new reader-writer lock.
+    pub const fn new(value: T) -> Self {
+        Self {
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires a shared read guard.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.inner.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Acquires an exclusive write guard.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.inner.write().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// Condition variable paired with [`Mutex`].
+#[derive(Debug, Default)]
+pub struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub const fn new() -> Self {
+        Self {
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    /// Blocks until notified, releasing the guard while waiting.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        take_guard(guard, |g| {
+            self.inner.wait(g).unwrap_or_else(PoisonError::into_inner)
+        });
+    }
+
+    /// Blocks until notified or the timeout elapses; returns `true` if it
+    /// timed out (parking_lot's `WaitTimeoutResult::timed_out`).
+    pub fn wait_for<T>(&self, guard: &mut MutexGuard<'_, T>, timeout: Duration) -> bool {
+        let mut timed_out = false;
+        take_guard(guard, |g| {
+            let (g, result) = self
+                .inner
+                .wait_timeout(g, timeout)
+                .unwrap_or_else(PoisonError::into_inner);
+            timed_out = result.timed_out();
+            g
+        });
+        timed_out
+    }
+
+    /// Wakes one waiter.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wakes all waiters.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+/// Runs `f` on the owned guard, then writes the returned guard back.
+/// Std's condvar consumes and returns guards by value; parking_lot's
+/// takes `&mut` — this adapter bridges the two. The `ManuallyDrop` dance
+/// is confined to this function and both reads are paired with exactly
+/// one write.
+fn take_guard<T, F>(slot: &mut MutexGuard<'_, T>, f: F)
+where
+    F: for<'g> FnOnce(std::sync::MutexGuard<'g, T>) -> std::sync::MutexGuard<'g, T>,
+{
+    use std::mem::ManuallyDrop;
+
+    /// While `slot` holds duplicated bits, an unwind through `f` would
+    /// double-drop the guard; `f` (std condvar waits with poison
+    /// recovery) never panics, and this bomb turns any future violation
+    /// of that invariant into an abort instead of UB.
+    struct Bomb;
+    impl Drop for Bomb {
+        fn drop(&mut self) {
+            std::process::abort();
+        }
+    }
+
+    // SAFETY: `owned` is the sole user of the guard while `slot` is
+    // treated as uninitialized; the write below restores `slot` before
+    // any exit path (panics abort via `Bomb`).
+    unsafe {
+        let owned = std::ptr::read(slot);
+        let bomb = Bomb;
+        let mut owned = ManuallyDrop::new(f(owned));
+        std::mem::forget(bomb);
+        std::ptr::write(slot, ManuallyDrop::take(&mut owned));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn mutex_and_condvar_round_trip() {
+        let state = Arc::new((Mutex::new(0usize), Condvar::new()));
+        let clone = Arc::clone(&state);
+        let handle = std::thread::spawn(move || {
+            let (lock, cv) = &*clone;
+            *lock.lock() = 7;
+            cv.notify_all();
+        });
+        let (lock, cv) = &*state;
+        let mut guard = lock.lock();
+        while *guard != 7 {
+            cv.wait(&mut guard);
+        }
+        drop(guard);
+        handle.join().unwrap();
+        assert_eq!(*state.0.lock(), 7);
+    }
+
+    #[test]
+    fn rwlock_allows_parallel_reads() {
+        let lock = RwLock::new(5);
+        let a = lock.read();
+        let b = lock.read();
+        assert_eq!(*a + *b, 10);
+    }
+
+    #[test]
+    fn wait_for_times_out() {
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        assert!(cv.wait_for(&mut g, Duration::from_millis(10)));
+    }
+}

@@ -1,0 +1,84 @@
+//! Offline vendored subset of the `proptest` API.
+//!
+//! Hermetic builds cannot fetch the real crate, so this reimplements the
+//! surface the workspace's property tests use:
+//!
+//! * the [`proptest!`] macro (with optional `#![proptest_config(...)]`),
+//!   [`prop_assert!`], [`prop_assert_eq!`];
+//! * [`strategy::Strategy`] with `prop_map` / `prop_flat_map`,
+//!   [`strategy::Just`], numeric range strategies, tuple strategies, and
+//!   `&str` regex-literal string strategies (character classes, groups,
+//!   and `{m,n}` repetition — the constructs the tests use);
+//! * [`collection::vec`], [`collection::btree_set`],
+//!   [`collection::btree_map`];
+//! * [`test_runner::ProptestConfig`] with `with_cases`.
+//!
+//! Differences from upstream: no shrinking (a failing case panics with
+//! its case number and seed so it can be replayed), and the default case
+//! count is 64 (set `PROPTEST_CASES` to override).
+
+pub mod collection;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+pub mod prelude {
+    //! Everything the property tests import.
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Runs `cases` generated inputs through `body`. Implementation detail of
+/// [`proptest!`]; public because the macro expands in caller crates.
+pub fn run_cases(test_name: &str, cases: u32, mut body: impl FnMut(&mut test_runner::TestRng)) {
+    for case in 0..cases {
+        let seed = test_runner::case_seed(test_name, case);
+        let mut rng = test_runner::TestRng::new(seed);
+        body(&mut rng);
+    }
+}
+
+/// The `proptest!` block macro: wraps `#[test]` functions whose arguments
+/// are drawn from strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr)
+        $( $(#[$meta:meta])* fn $name:ident ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                $crate::run_cases(stringify!($name), config.cases, |prop_rng| {
+                    $(
+                        let $pat = $crate::strategy::Strategy::generate(&($strat), prop_rng);
+                    )+
+                    $body
+                });
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @with_config ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        );
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_eq!($left, $right, $($fmt)+) };
+}

@@ -1,0 +1,210 @@
+//! Regex-literal string strategies.
+//!
+//! Upstream proptest treats a `&str` strategy as a regular expression and
+//! generates matching strings. This subset parses the constructs the
+//! workspace's tests use: literal characters, character classes with
+//! ranges (`[a-z0-9]`, `[a-z ]`), groups `(...)`, and `{m,n}` counted
+//! repetition. Anything else is rejected at generation time with a panic
+//! naming the unsupported construct.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// One parsed regex element plus its repetition bounds.
+struct Atom {
+    kind: AtomKind,
+    min: u32,
+    max: u32,
+}
+
+enum AtomKind {
+    Literal(char),
+    /// Flattened alternatives of a character class.
+    Class(Vec<char>),
+    Group(Vec<Atom>),
+}
+
+fn parse_sequence(chars: &mut std::iter::Peekable<std::str::Chars>, in_group: bool) -> Vec<Atom> {
+    let mut atoms = Vec::new();
+    while let Some(&c) = chars.peek() {
+        if c == ')' {
+            assert!(in_group, "unsupported regex construct: unmatched ')'");
+            chars.next();
+            return atoms;
+        }
+        chars.next();
+        let kind = match c {
+            '[' => AtomKind::Class(parse_class(chars)),
+            '(' => AtomKind::Group(parse_sequence(chars, true)),
+            '.' | '*' | '+' | '?' | '|' | '^' | '$' => {
+                panic!("unsupported regex construct: '{c}'")
+            }
+            '\\' => AtomKind::Literal(chars.next().expect("dangling escape")),
+            _ => AtomKind::Literal(c),
+        };
+        let (min, max) = parse_repeat(chars);
+        atoms.push(Atom { kind, min, max });
+    }
+    assert!(!in_group, "unsupported regex construct: unclosed '('");
+    atoms
+}
+
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars>) -> Vec<char> {
+    let mut alts = Vec::new();
+    loop {
+        let c = chars.next().expect("unclosed character class");
+        match c {
+            ']' => break,
+            '^' if alts.is_empty() => panic!("unsupported regex construct: negated class"),
+            _ => {
+                if chars.peek() == Some(&'-') {
+                    let mut look = chars.clone();
+                    look.next();
+                    if look.peek().is_some_and(|&e| e != ']') {
+                        chars.next();
+                        let end = chars.next().unwrap();
+                        assert!(c <= end, "descending class range {c}-{end}");
+                        alts.extend(c..=end);
+                        continue;
+                    }
+                }
+                alts.push(c);
+            }
+        }
+    }
+    assert!(!alts.is_empty(), "empty character class");
+    alts
+}
+
+fn parse_repeat(chars: &mut std::iter::Peekable<std::str::Chars>) -> (u32, u32) {
+    if chars.peek() != Some(&'{') {
+        return (1, 1);
+    }
+    chars.next();
+    let mut spec = String::new();
+    loop {
+        let c = chars.next().expect("unclosed '{m,n}' repetition");
+        if c == '}' {
+            break;
+        }
+        spec.push(c);
+    }
+    let parse = |s: &str| {
+        s.trim()
+            .parse::<u32>()
+            .expect("non-numeric repetition bound")
+    };
+    match spec.split_once(',') {
+        Some((lo, hi)) => {
+            let (lo, hi) = (parse(lo), parse(hi));
+            assert!(lo <= hi, "descending repetition bounds {lo},{hi}");
+            (lo, hi)
+        }
+        None => {
+            let n = parse(&spec);
+            (n, n)
+        }
+    }
+}
+
+fn generate_atoms(atoms: &[Atom], rng: &mut TestRng, out: &mut String) {
+    for atom in atoms {
+        let reps = atom.min
+            + if atom.max > atom.min {
+                rng.below((atom.max - atom.min + 1) as u64) as u32
+            } else {
+                0
+            };
+        for _ in 0..reps {
+            match &atom.kind {
+                AtomKind::Literal(c) => out.push(*c),
+                AtomKind::Class(alts) => out.push(alts[rng.below(alts.len() as u64) as usize]),
+                AtomKind::Group(inner) => generate_atoms(inner, rng, out),
+            }
+        }
+    }
+}
+
+/// `str` patterns are regex-literal strategies; `&str` works through the
+/// blanket `impl Strategy for &S`.
+impl Strategy for str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_sequence(&mut self.chars().peekable(), false);
+        let mut out = String::new();
+        generate_atoms(&atoms, rng, &mut out);
+        out
+    }
+}
+
+/// `String` patterns behave like their `str` slice.
+impl Strategy for String {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        self.as_str().generate(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen(pattern: &str, rng: &mut TestRng) -> String {
+        Strategy::generate(pattern, rng)
+    }
+
+    #[test]
+    fn class_with_ranges_and_bounds() {
+        let mut rng = TestRng::new(9);
+        for _ in 0..200 {
+            let s = gen("[a-z0-9]{0,12}", &mut rng);
+            assert!(s.len() <= 12);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn class_with_literal_space() {
+        let mut rng = TestRng::new(10);
+        for _ in 0..200 {
+            let s = gen("[a-z ]{0,30}", &mut rng);
+            assert!(s.len() <= 30);
+            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c == ' '));
+        }
+    }
+
+    #[test]
+    fn group_repetition() {
+        let mut rng = TestRng::new(11);
+        let mut seen_multi = false;
+        for _ in 0..200 {
+            let s = gen("[a-d]( [a-d]){0,4}", &mut rng);
+            let words: Vec<&str> = s.split(' ').collect();
+            assert!((1..=5).contains(&words.len()));
+            assert!(words
+                .iter()
+                .all(|w| w.len() == 1 && ('a'..='d').contains(&w.chars().next().unwrap())));
+            seen_multi |= words.len() > 1;
+        }
+        assert!(seen_multi);
+    }
+
+    #[test]
+    fn literals_and_exact_counts() {
+        let mut rng = TestRng::new(12);
+        assert_eq!(gen("abc", &mut rng), "abc");
+        assert_eq!(gen("[a]{3}", &mut rng), "aaa");
+        assert_eq!(gen(r"a\[b", &mut rng), "a[b");
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported regex construct")]
+    fn unsupported_construct_panics() {
+        let mut rng = TestRng::new(13);
+        gen("a+", &mut rng);
+    }
+}

@@ -1,0 +1,218 @@
+//! Offline vendored subset of the `rand` 0.9 API.
+//!
+//! This workspace builds in hermetic environments with no crates.io
+//! access, so the handful of `rand` items it uses are reimplemented here
+//! and wired in through a `path` dependency (see the root `Cargo.toml`).
+//! Only what the workspace calls is provided:
+//!
+//! * [`rngs::SmallRng`] — xoshiro256++ (the algorithm `rand` 0.9 uses for
+//!   `SmallRng` on 64-bit targets), seeded via SplitMix64.
+//! * [`SeedableRng::seed_from_u64`] / [`SeedableRng::from_seed`].
+//! * [`Rng::random_range`] over integer and float ranges, inclusive or
+//!   half-open.
+//!
+//! The streams are *not* guaranteed to be bit-identical to upstream
+//! `rand`; every consumer in this workspace only relies on seeded
+//! determinism and statistical quality, both of which hold.
+
+pub mod rngs;
+
+/// Core RNG interface: a source of uniformly random 64-bit words.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seedable construction, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Raw seed type.
+    type Seed;
+
+    /// Constructs the generator from a raw seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Constructs the generator from a `u64` via SplitMix64 expansion —
+    /// the same convention upstream `rand` uses, so nearby seeds still
+    /// produce uncorrelated states.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// User-facing sampling methods, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from `range` (`low..high` or `low..=high`).
+    ///
+    /// # Panics
+    /// If the range is empty.
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        range.sample_from(self)
+    }
+
+    /// A uniform `f64` in `[0, 1)`.
+    fn random_unit(&mut self) -> f64 {
+        f64_from_bits(self.next_u64())
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+/// SplitMix64 step — used both for seeding and as a standalone mixer.
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[inline]
+fn f64_from_bits(bits: u64) -> f64 {
+    // 53 high bits → [0, 1) with full double precision.
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// A type uniform sampling supports; mirrors
+/// `rand::distr::uniform::SampleUniform`. Implemented for the primitive
+/// integers and floats. The single blanket [`SampleRange`] impl below is
+/// keyed on this trait so type inference can unify a range's element type
+/// with `random_range`'s result type (separate per-type range impls break
+/// inference for calls like `x + rng.random_range(-0.2..0.2)`).
+pub trait SampleUniform: Sized {
+    /// Uniform sample from `[lo, hi)`. Caller guarantees `lo < hi`.
+    fn sample_half_open<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+
+    /// Uniform sample from `[lo, hi]`. Caller guarantees `lo <= hi`.
+    fn sample_inclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+}
+
+/// A range that can be sampled uniformly; mirrors
+/// `rand::distr::uniform::SampleRange`.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for core::ops::Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        T::sample_half_open(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "cannot sample empty range");
+        T::sample_inclusive(lo, hi, rng)
+    }
+}
+
+macro_rules! impl_int_uniform {
+    ($($ty:ty),*) => {$(
+        impl SampleUniform for $ty {
+            fn sample_half_open<R: RngCore + ?Sized>(lo: $ty, hi: $ty, rng: &mut R) -> $ty {
+                let span = (hi as i128 - lo as i128) as u64;
+                let offset = mul_shift(rng.next_u64(), span);
+                (lo as i128 + offset as i128) as $ty
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(lo: $ty, hi: $ty, rng: &mut R) -> $ty {
+                let span = (hi as i128 - lo as i128) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $ty;
+                }
+                let offset = mul_shift(rng.next_u64(), span + 1);
+                (lo as i128 + offset as i128) as $ty
+            }
+        }
+    )*};
+}
+
+impl_int_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Widening multiply-shift: maps a uniform `u64` onto `0..span` with bias
+/// below `span / 2^64` — far beneath anything the statistical tests in
+/// this workspace can observe.
+#[inline]
+fn mul_shift(word: u64, span: u64) -> u64 {
+    ((word as u128 * span as u128) >> 64) as u64
+}
+
+macro_rules! impl_float_uniform {
+    ($($ty:ty),*) => {$(
+        impl SampleUniform for $ty {
+            fn sample_half_open<R: RngCore + ?Sized>(lo: $ty, hi: $ty, rng: &mut R) -> $ty {
+                let unit = f64_from_bits(rng.next_u64()) as $ty;
+                lo + (hi - lo) * unit
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(lo: $ty, hi: $ty, rng: &mut R) -> $ty {
+                // [0, 1) is close enough to [0, 1] at double precision;
+                // upstream rand's inclusive float ranges are similar.
+                <$ty>::sample_half_open(lo, hi, rng)
+            }
+        }
+    )*};
+}
+
+impl_float_uniform!(f32, f64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::SmallRng;
+
+    #[test]
+    fn seeded_streams_are_deterministic() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn nearby_seeds_diverge() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn int_ranges_stay_in_bounds_and_cover() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v: usize = rng.random_range(0..10);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+        for _ in 0..1000 {
+            let v: u32 = rng.random_range(3..=5);
+            assert!((3..=5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn float_range_uniformish() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let v: f64 = rng.random_range(0.0..1.0);
+            assert!((0.0..1.0).contains(&v));
+            sum += v;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let _: u32 = rng.random_range(5..5);
+    }
+}

@@ -1,0 +1,15 @@
+//! Offline vendored subset of the `serde` API.
+//!
+//! The workspace derives `Serialize` / `Deserialize` on its data model
+//! but never serializes through serde (machine-readable output is
+//! hand-written JSON), so marker traits plus no-op derives are all that
+//! is needed to keep the annotations compiling in hermetic builds.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

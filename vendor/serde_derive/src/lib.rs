@@ -1,0 +1,20 @@
+//! Offline vendored no-op `#[derive(Serialize)]` / `#[derive(Deserialize)]`.
+//!
+//! The workspace only *annotates* types with these derives (no code path
+//! serializes anything — machine-readable output is hand-written JSON),
+//! so the macros expand to nothing. If real serialization is ever needed,
+//! replace the `vendor/serde*` crates with the upstream ones.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; satisfies `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; satisfies `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
