@@ -17,6 +17,8 @@
 //! optimal-threshold sweep of `er_eval::sweep_threshold`, matching the
 //! paper's protocol ("an upper bound of manually tuned parameters").
 
+#![deny(unsafe_code)]
+
 pub mod hybrid;
 pub mod jaccard;
 pub mod simrank;

@@ -2,7 +2,7 @@
 
 use er_graph::bipartite::PairNode;
 use er_graph::{cooccurrence_graph, pagerank, PageRankConfig};
-use er_text::{Corpus, TermId};
+use er_text::Corpus;
 
 use crate::PairScorer;
 
@@ -30,28 +30,18 @@ impl TwIdfScorer {
     /// The PageRank term-salience vector this scorer uses — exposed for
     /// the Table IV Spearman comparison against ITER's weights.
     pub fn term_salience(&self, corpus: &Corpus) -> Vec<f64> {
-        let token_lists: Vec<&[u32]> = (0..corpus.len())
-            .map(|r| {
-                // Token lists are &[TermId]; TermId is a plain u32 wrapper,
-                // so build the borrowed view via the owned copy below.
-                corpus.tokens(r)
-            })
-            .map(term_slice_ids)
+        // `Corpus::tokens` yields `&[TermId]`; the co-occurrence builder
+        // wants `&[u32]`. Copy the ids out once per scoring run — this is
+        // a baseline path, not a fusion hot path, and the copy keeps the
+        // crate free of `unsafe` (the lint wall forbids the layout-cast
+        // shortcut that used to live here).
+        let id_lists: Vec<Vec<u32>> = (0..corpus.len())
+            .map(|r| corpus.tokens(r).iter().map(|t| t.0).collect())
             .collect();
+        let token_lists: Vec<&[u32]> = id_lists.iter().map(Vec::as_slice).collect();
         let graph = cooccurrence_graph(&token_lists, corpus.vocab_len(), self.window);
         pagerank(&graph, &self.pagerank)
     }
-}
-
-// `Corpus::tokens` yields `&[TermId]`; the co-occurrence builder wants
-// `&[u32]`. TermId is a one-field tuple struct, so the slices have the
-// same layout, but we stay in safe Rust by leaking nothing and copying
-// once per scoring run would double memory; instead expose ids through a
-// small accessor on TermId slices.
-fn term_slice_ids(tokens: &[TermId]) -> &[u32] {
-    // SAFETY: `TermId` is `#[repr(transparent)]` over `u32` (see
-    // er-text), so `&[TermId]` and `&[u32]` have identical layout.
-    unsafe { std::slice::from_raw_parts(tokens.as_ptr().cast::<u32>(), tokens.len()) }
 }
 
 impl PairScorer for TwIdfScorer {

@@ -52,11 +52,7 @@ fn main() {
                 format!("{which}@{rel}"),
                 dataset.len(),
                 prepared.graph.pair_count(),
-                outcome
-                    .rounds
-                    .last()
-                    .map(|r| r.record_graph_edges)
-                    .unwrap_or(0),
+                outcome.rounds.last().map_or(0, |r| r.record_graph_edges),
                 fmt_duration(iter_time),
                 fmt_duration(cr_time),
                 f1

@@ -31,7 +31,7 @@ fn main() {
         let max = out
             .deltas
             .iter()
-            .cloned()
+            .copied()
             .fold(f64::MIN, f64::max)
             .max(1e-12);
         for (i, &d) in out.deltas.iter().enumerate() {
@@ -45,8 +45,7 @@ fn main() {
             .iter()
             .enumerate()
             .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-            .map(|(i, _)| i)
-            .unwrap_or(0);
+            .map_or(0, |(i, _)| i);
         let tail = out.deltas.last().copied().unwrap_or(0.0);
         println!(
             "  peak at iteration {}, final update {:.2e} ({}x below peak)",

@@ -37,17 +37,17 @@ fn bench_matmul(c: &mut Criterion) {
         let a = deterministic(n, 1);
         let b = deterministic(n, 2);
         group.bench_function(format!("blocked_{n}"), |bench| {
-            bench.iter(|| matmul_blocked(&a, &b))
+            bench.iter(|| matmul_blocked(&a, &b));
         });
         if n <= 128 {
             group.bench_function(format!("naive_{n}"), |bench| {
-                bench.iter(|| matmul_naive(&a, &b))
+                bench.iter(|| matmul_naive(&a, &b));
             });
         }
         for threads in POOL_SIZES {
             let pool = WorkerPool::new(threads);
             group.bench_function(format!("pooled_{n}_t{threads}"), |bench| {
-                bench.iter(|| matmul_pooled(&a, &b, &pool))
+                bench.iter(|| matmul_pooled(&a, &b, &pool));
             });
         }
     }
@@ -83,12 +83,12 @@ fn bench_cliquerank(c: &mut Criterion) {
     };
     let mut group = c.benchmark_group("cliquerank");
     group.bench_function("serial_4x24", |b| {
-        b.iter(|| run_cliquerank(&graph, &config))
+        b.iter(|| run_cliquerank(&graph, &config));
     });
     for threads in POOL_SIZES {
         let pool = WorkerPool::new(threads);
         group.bench_function(format!("pooled_4x24_t{threads}"), |b| {
-            b.iter(|| run_cliquerank_pooled(&graph, &config, &pool))
+            b.iter(|| run_cliquerank_pooled(&graph, &config, &pool));
         });
     }
     group.finish();
@@ -107,7 +107,7 @@ fn bench_kernels(c: &mut Criterion) {
             ..Default::default()
         };
         group.bench_function(format!("{name}_chain24x4"), |b| {
-            b.iter(|| run_cliquerank(&sparse_graph, &config))
+            b.iter(|| run_cliquerank(&sparse_graph, &config));
         });
     }
     group.finish();
@@ -123,12 +123,12 @@ fn bench_rss(c: &mut Criterion) {
     let edges: Vec<u32> = (0..100.min(graph.pairs().len() as u32)).collect();
     let mut group = c.benchmark_group("rss");
     group.bench_function("serial_100edges_10walks", |b| {
-        b.iter(|| run_rss_subset(&graph, &config, &edges))
+        b.iter(|| run_rss_subset(&graph, &config, &edges));
     });
     for threads in POOL_SIZES {
         let pool = WorkerPool::new(threads);
         group.bench_function(format!("pooled_100edges_10walks_t{threads}"), |b| {
-            b.iter(|| run_rss_subset_pooled(&graph, &config, &edges, &pool))
+            b.iter(|| run_rss_subset_pooled(&graph, &config, &edges, &pool));
         });
     }
     group.finish();
@@ -167,7 +167,7 @@ fn bench_iter(c: &mut Criterion) {
             || prob.clone(),
             |p| run_iter(&graph, &p, &serial),
             BatchSize::SmallInput,
-        )
+        );
     });
     for threads in POOL_SIZES {
         let pool = WorkerPool::new(threads);
@@ -176,7 +176,7 @@ fn bench_iter(c: &mut Criterion) {
                 || prob.clone(),
                 |p| run_iter_pooled(&graph, &p, &serial, &pool),
                 BatchSize::SmallInput,
-            )
+            );
         });
     }
     group.finish();

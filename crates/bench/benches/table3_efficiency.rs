@@ -78,11 +78,7 @@ fn main() {
         // The paper's "edges in Gr" is the candidate graph (pairs sharing
         // >= 1 term); the admitted per-round graph is smaller.
         let edges = prepared.graph.pair_count();
-        let admitted = outcome
-            .rounds
-            .last()
-            .map(|r| r.record_graph_edges)
-            .unwrap_or(0);
+        let admitted = outcome.rounds.last().map_or(0, |r| r.record_graph_edges);
 
         // RSS vs CliqueRank on the same graph the paper compares them
         // on: the full candidate record graph Gr (every pair sharing a

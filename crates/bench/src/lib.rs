@@ -13,6 +13,8 @@
 //! * `ER_SCALE=paper` — the full 858 / 2173 / 1865-record datasets;
 //! * `ER_SCALE=<float>` — any custom factor.
 
+#![deny(unsafe_code)]
+
 use std::time::Duration;
 
 use er_core::FusionConfig;
@@ -35,6 +37,7 @@ pub fn scale_factor() -> f64 {
 
 /// One benchmark dataset with its preprocessing cap and paper-reported
 /// reference F1 values (Table II).
+#[derive(Debug)]
 pub struct BenchDataset {
     /// The generated dataset.
     pub dataset: Dataset,
@@ -128,6 +131,7 @@ pub fn sweep_baseline(
 }
 
 /// Paper-reported Table II reference row.
+#[derive(Debug)]
 pub struct PaperTable2 {
     /// Method name as printed in Table II.
     pub method: &'static str,

@@ -95,7 +95,7 @@ fn cliquerank_impl(
     // disjoint slots of `out` afterwards. Small workloads stay on one
     // thread to avoid scheduling overhead, and with few components the
     // parallelism moves inside the dense products instead.
-    let pool_threads = pool.map_or(1, |p| p.threads());
+    let pool_threads = pool.map_or(1, er_pool::WorkerPool::threads);
     let workers = pool_threads.clamp(1, solvable.len().max(1));
     let total_members: usize = solvable.iter().map(|m| m.len()).sum();
     if workers == 1 || total_members < 512 {
@@ -150,7 +150,7 @@ fn cliquerank_impl(
                         None,
                         &mut local_out,
                     );
-                    for &g in members.iter() {
+                    for &g in *members {
                         local_of[g as usize] = u32::MAX;
                         for &nb in graph.neighbors(g).0 {
                             if nb > g {
@@ -252,6 +252,9 @@ fn solve_component(
             }
         }
     }
+    er_matrix::invariant::debug_validate("CliqueRank transition matrix Mt", || {
+        mt.validate_row_stochastic(1e-9)
+    });
 
     let bonus_samples = bonus_samples(config);
     let final_matrix = match config.recurrence {

@@ -9,7 +9,7 @@
 /// available parallelism (1 when it cannot be determined). Every parallel
 /// phase is deterministic, so this only affects speed, never results.
 pub fn default_threads() -> usize {
-    std::thread::available_parallelism().map_or(1, |n| n.get())
+    std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
 }
 
 /// Normalization applied to term weights after each ITER iteration

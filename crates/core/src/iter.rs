@@ -287,7 +287,7 @@ fn update_terms(
                             normalization,
                             chunk,
                             range.start as u32,
-                        )
+                        );
                     });
                 }
             });

@@ -36,6 +36,8 @@
 //! assert!(outcome.matches.contains(&(0, 1)));
 //! ```
 
+#![deny(unsafe_code)]
+
 pub mod cache;
 pub mod cliquerank;
 pub mod config;

@@ -26,6 +26,8 @@
 //! * [`power`] — Power+-style partial-order pruning: a noise-tolerant
 //!   boundary search over the score-ordered candidates.
 
+#![deny(unsafe_code)]
+
 pub mod acd;
 pub mod crowder;
 pub mod gcer;

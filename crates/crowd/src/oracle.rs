@@ -15,6 +15,15 @@ pub struct NoisyOracle<F: Fn(u32, u32) -> bool> {
     questions: usize,
 }
 
+impl<F: Fn(u32, u32) -> bool> std::fmt::Debug for NoisyOracle<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NoisyOracle")
+            .field("accuracy", &self.accuracy)
+            .field("questions", &self.questions)
+            .finish_non_exhaustive()
+    }
+}
+
 impl<F: Fn(u32, u32) -> bool> NoisyOracle<F> {
     /// Creates an oracle over a ground-truth predicate.
     pub fn new(truth: F, accuracy: f64, seed: u64) -> Self {

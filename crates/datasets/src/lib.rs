@@ -23,6 +23,8 @@
 //! Plus [`loader`] for a simple TSV interchange format so users can run
 //! the framework on the real benchmarks if they have them.
 
+#![deny(unsafe_code)]
+
 pub mod corruption;
 pub mod generators;
 pub mod loader;

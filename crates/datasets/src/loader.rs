@@ -74,7 +74,11 @@ pub fn parse_tsv(
             })
         };
         let id = parse_u32(fields.next(), "id")?;
-        let source = parse_u32(fields.next(), "source")? as u8;
+        let source_raw = parse_u32(fields.next(), "source")?;
+        let source = u8::try_from(source_raw).map_err(|_| LoadError::Parse {
+            line: lineno + 1,
+            reason: format!("source {source_raw} out of range (max {})", u8::MAX),
+        })?;
         let entity = parse_u32(fields.next(), "entity")?;
         let text = fields
             .next()
@@ -105,18 +109,27 @@ pub fn parse_tsv(
 /// Loads a dataset from a TSV file.
 pub fn load_tsv(path: impl AsRef<Path>, policy: SourcePolicy) -> Result<Dataset, LoadError> {
     let file = std::fs::File::open(&path)?;
-    let name = path
-        .as_ref()
-        .file_stem()
-        .map(|s| s.to_string_lossy().into_owned())
-        .unwrap_or_else(|| "dataset".to_owned());
+    let name = path.as_ref().file_stem().map_or_else(
+        || "dataset".to_owned(),
+        |s| s.to_string_lossy().into_owned(),
+    );
     parse_tsv(&name, std::io::BufReader::new(file), policy)
 }
 
 /// Writes a dataset as TSV.
+///
+/// Fails with [`std::io::ErrorKind::InvalidData`] if a record's text
+/// contains a line break: the format is line-oriented, so such a record
+/// would silently parse back as garbage (or not at all).
 pub fn write_tsv(dataset: &Dataset, mut writer: impl Write) -> std::io::Result<()> {
     writeln!(writer, "# id\tsource\tentity\ttext")?;
     for r in &dataset.records {
+        if r.text.contains(['\n', '\r']) {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("record {}: text contains a line break", r.id),
+            ));
+        }
         writeln!(writer, "{}\t{}\t{}\t{}", r.id, r.source, r.entity, r.text)?;
     }
     Ok(())
@@ -191,6 +204,36 @@ mod tests {
             LoadError::Parse { line, .. } => assert_eq!(line, 2),
             other => panic!("expected parse error, got {other}"),
         }
+    }
+
+    #[test]
+    fn rejects_out_of_range_source() {
+        let tsv = "0\t0\t1\tok\n1\t256\t1\ttoo big\n";
+        let err = parse_tsv(
+            "t",
+            std::io::Cursor::new(tsv),
+            SourcePolicy::WithinSingleSource,
+        )
+        .unwrap_err();
+        match err {
+            LoadError::Parse { line, reason } => {
+                assert_eq!(line, 2);
+                assert!(reason.contains("out of range"), "reason: {reason}");
+            }
+            other => panic!("expected parse error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn write_rejects_embedded_line_breaks() {
+        let mut d = generate(&RestaurantConfig {
+            records: 3,
+            duplicate_pairs: 0,
+            seed: 1,
+        });
+        d.records[1].text = "line one\nline two".into();
+        let err = write_tsv(&d, &mut Vec::new()).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
     }
 
     #[test]

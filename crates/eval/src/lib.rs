@@ -16,6 +16,8 @@
 //!   F1 over the clusters induced by the predicted matches, plus an
 //!   incremental closure-aware threshold sweep.
 
+#![deny(unsafe_code)]
+
 pub mod closure;
 pub mod cluster;
 pub mod confusion;

@@ -21,6 +21,8 @@
 
 use er_pool::WorkerPool;
 
+use crate::invariant::{check_offsets, debug_validate, InvariantViolation};
+
 /// A pair node: an unordered record pair with `a < b`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct PairNode {
@@ -112,6 +114,102 @@ impl BipartiteGraph {
         let key = PairNode::new(x, y);
         self.pairs.binary_search(&key).ok().map(|i| i as u32)
     }
+
+    /// Checks every structural invariant of the dual-CSR form:
+    ///
+    /// * `pairs` is strictly ascending with `a < b < n_records` — the
+    ///   canonical binary-searchable pair universe;
+    /// * both offset arrays are monotone from 0 and consistent with one
+    ///   shared edge count (each term–pair edge appears once per side);
+    /// * adjacency rows are strictly ascending and in bounds on both
+    ///   sides (a consequence of the term-major construction);
+    /// * the two sides agree edge-for-edge: `p ∈ pairs_of_term(t)` iff
+    ///   `t ∈ terms_of_pair(p)`;
+    /// * `pt[t]` equals term `t`'s degree.
+    pub fn validate(&self) -> Result<(), InvariantViolation> {
+        let err = |detail: String| Err(InvariantViolation::new("BipartiteGraph", detail));
+        if let Some(w) = self.pairs.windows(2).find(|w| w[0] >= w[1]) {
+            return err(format!(
+                "pair universe not strictly ascending: {:?} then {:?}",
+                w[0], w[1]
+            ));
+        }
+        if let Some(p) = self
+            .pairs
+            .iter()
+            .find(|p| p.a >= p.b || p.b as usize >= self.n_records)
+        {
+            return err(format!(
+                "malformed pair node {p:?} (want a < b < {})",
+                self.n_records
+            ));
+        }
+        let n_edges = self.pair_terms.len();
+        if self.term_pairs.len() != n_edges {
+            return err(format!(
+                "side edge counts disagree: {} pair->term vs {} term->pair",
+                n_edges,
+                self.term_pairs.len()
+            ));
+        }
+        check_offsets(
+            "BipartiteGraph",
+            "pair->term",
+            &self.pair_offsets,
+            self.pairs.len(),
+            n_edges,
+        )?;
+        check_offsets(
+            "BipartiteGraph",
+            "term->pair",
+            &self.term_offsets,
+            self.n_terms,
+            n_edges,
+        )?;
+        if self.pt.len() != self.n_terms {
+            return err(format!(
+                "{} pt entries for {} terms",
+                self.pt.len(),
+                self.n_terms
+            ));
+        }
+        for p in 0..self.pairs.len() {
+            let row = &self.pair_terms[self.pair_offsets[p]..self.pair_offsets[p + 1]];
+            if !row.windows(2).all(|w| w[0] < w[1]) {
+                return err(format!("terms of pair {p} not strictly ascending"));
+            }
+            if let Some(&t) = row.last().filter(|&&t| t as usize >= self.n_terms) {
+                return err(format!("pair {p} lists out-of-bounds term {t}"));
+            }
+        }
+        for t in 0..self.n_terms {
+            let row = &self.term_pairs[self.term_offsets[t]..self.term_offsets[t + 1]];
+            if !row.windows(2).all(|w| w[0] < w[1]) {
+                return err(format!("pairs of term {t} not strictly ascending"));
+            }
+            if self.pt[t] as usize != row.len() {
+                return err(format!(
+                    "pt[{t}] = {} but term degree is {}",
+                    self.pt[t],
+                    row.len()
+                ));
+            }
+            for &p in row {
+                if p as usize >= self.pairs.len() {
+                    return err(format!("term {t} lists out-of-bounds pair {p}"));
+                }
+                // Dual consistency (both rows sorted → binary search).
+                let terms = &self.pair_terms
+                    [self.pair_offsets[p as usize]..self.pair_offsets[p as usize + 1]];
+                if terms.binary_search(&(t as u32)).is_err() {
+                    return err(format!(
+                        "edge (term {t}, pair {p}) missing from the pair side"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Builder for [`BipartiteGraph`].
@@ -122,6 +220,18 @@ pub struct BipartiteGraphBuilder<'a> {
     max_postings: Option<usize>,
     pair_filter: Option<Box<dyn Fn(u32, u32) -> bool + Sync + 'a>>,
     pool: Option<&'a WorkerPool>,
+}
+
+impl std::fmt::Debug for BipartiteGraphBuilder<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BipartiteGraphBuilder")
+            .field("n_records", &self.n_records)
+            .field("n_terms", &self.n_terms)
+            .field("max_postings", &self.max_postings)
+            .field("has_pair_filter", &self.pair_filter.is_some())
+            .field("pooled", &self.pool.is_some())
+            .finish_non_exhaustive()
+    }
 }
 
 impl<'a> BipartiteGraphBuilder<'a> {
@@ -285,7 +395,7 @@ impl<'a> BipartiteGraphBuilder<'a> {
             pcur[p as usize] += 1;
         }
         let pt = term_deg.iter().map(|&d| d as u32).collect();
-        BipartiteGraph {
+        let graph = BipartiteGraph {
             n_records: self.n_records,
             n_terms: self.n_terms,
             pairs: sorted_pairs,
@@ -294,7 +404,9 @@ impl<'a> BipartiteGraphBuilder<'a> {
             term_offsets,
             term_pairs,
             pt,
-        }
+        };
+        debug_validate("BipartiteGraphBuilder::build", || graph.validate());
+        graph
     }
 }
 

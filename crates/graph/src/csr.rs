@@ -1,5 +1,7 @@
 //! Compressed sparse row storage for weighted undirected graphs.
 
+use crate::invariant::{check_offsets, debug_validate, InvariantViolation};
+
 /// A weighted undirected graph in CSR form.
 ///
 /// Each undirected edge `{u, v}` is stored twice (once per direction).
@@ -67,7 +69,94 @@ impl CsrGraph {
                 "duplicate edge incident to node {u}"
             );
         }
+        debug_validate("CsrGraph::from_undirected_edges", || graph.validate());
         graph
+    }
+
+    /// Assembles a graph directly from its CSR arrays, **without
+    /// validating them**. This is the raw seam the property tests use to
+    /// build deliberately corrupted instances for [`CsrGraph::validate`];
+    /// everything else should use [`CsrGraph::from_undirected_edges`].
+    pub fn from_raw_parts(offsets: Vec<usize>, targets: Vec<u32>, weights: Vec<f64>) -> Self {
+        Self {
+            offsets,
+            targets,
+            weights,
+        }
+    }
+
+    /// Checks every structural invariant of the undirected CSR form:
+    ///
+    /// * `offsets` is monotone from 0 and consistent with the target and
+    ///   weight array lengths;
+    /// * each neighbor list is strictly ascending (sorted, no duplicate
+    ///   edges), in bounds, and free of self-loops;
+    /// * every weight is finite;
+    /// * **symmetry**: each stored direction `(u, v, w)` has its mirror
+    ///   `(v, u)` present with the identical weight — the two directions
+    ///   of one undirected edge.
+    pub fn validate(&self) -> Result<(), InvariantViolation> {
+        let err = |detail: String| Err(InvariantViolation::new("CsrGraph", detail));
+        let n = self.offsets.len().saturating_sub(1);
+        check_offsets(
+            "CsrGraph",
+            "adjacency",
+            &self.offsets,
+            n,
+            self.targets.len(),
+        )?;
+        if self.weights.len() != self.targets.len() {
+            return err(format!(
+                "{} weights for {} targets",
+                self.weights.len(),
+                self.targets.len()
+            ));
+        }
+        for u in 0..n {
+            let row = &self.targets[self.offsets[u]..self.offsets[u + 1]];
+            if let Some(w) = row.windows(2).find(|w| w[0] >= w[1]) {
+                return err(format!(
+                    "neighbors of {u} not strictly ascending: {} then {}",
+                    w[0], w[1]
+                ));
+            }
+            for &v in row {
+                if v as usize >= n {
+                    return err(format!("edge ({u}, {v}) out of bounds (n = {n})"));
+                }
+                if v as usize == u {
+                    return err(format!("self-loop on node {u}"));
+                }
+            }
+        }
+        if let Some((i, &w)) = self
+            .weights
+            .iter()
+            .enumerate()
+            .find(|(_, w)| !w.is_finite())
+        {
+            return err(format!("weight #{i} is {w} (want finite)"));
+        }
+        for u in 0..n {
+            let row = &self.targets[self.offsets[u]..self.offsets[u + 1]];
+            for (i, &v) in row.iter().enumerate() {
+                let w = self.weights[self.offsets[u] + i];
+                match self.edge_weight(v, u as u32) {
+                    Some(back) if back == w => {}
+                    Some(back) => {
+                        return err(format!(
+                            "asymmetric weights on edge {{{u}, {v}}}: {w} vs {back}"
+                        ));
+                    }
+                    None => {
+                        return err(format!(
+                            "edge ({u}, {v}) stored without its mirror ({v}, {u})"
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Number of nodes.

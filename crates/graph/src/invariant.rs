@@ -1,0 +1,82 @@
+//! Debug-gated structural invariant validation for the graph layer.
+//!
+//! Mirrors `er_matrix::invariant` (the crates are deliberately
+//! decoupled): each structure exposes `validate()` returning the first
+//! violated invariant, and construction boundaries call it through
+//! [`debug_validate`], which compiles to nothing in release builds.
+
+use std::fmt;
+
+/// A violated structural invariant, with enough context to debug it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvariantViolation {
+    /// The structure (and usually the node/row) that failed.
+    pub structure: &'static str,
+    /// What was violated, with the offending values.
+    pub detail: String,
+}
+
+impl InvariantViolation {
+    pub(crate) fn new(structure: &'static str, detail: impl Into<String>) -> Self {
+        Self {
+            structure,
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.structure, self.detail)
+    }
+}
+
+impl std::error::Error for InvariantViolation {}
+
+/// Runs `validate` in debug builds, panicking with the violation and
+/// `context`. Compiles to nothing with `debug_assertions` off, so
+/// validators may be `O(E log E)` without touching release performance.
+#[inline]
+pub fn debug_validate<E: fmt::Display>(context: &str, validate: impl FnOnce() -> Result<(), E>) {
+    #[cfg(debug_assertions)]
+    if let Err(e) = validate() {
+        panic!("invariant violation at {context}: {e}");
+    }
+    #[cfg(not(debug_assertions))]
+    let _ = (context, validate);
+}
+
+/// Checks one CSR side: `offsets` monotone from 0 over `n` rows, ending
+/// at `n_entries`. Shared by the adjacency and bipartite validators.
+pub(crate) fn check_offsets(
+    structure: &'static str,
+    what: &str,
+    offsets: &[usize],
+    n: usize,
+    n_entries: usize,
+) -> Result<(), InvariantViolation> {
+    let err = |detail: String| Err(InvariantViolation::new(structure, detail));
+    if offsets.len() != n + 1 {
+        return err(format!(
+            "{what} offsets has {} entries for {n} rows (want n + 1)",
+            offsets.len()
+        ));
+    }
+    if offsets[0] != 0 {
+        return err(format!("{what} offsets[0] = {} (want 0)", offsets[0]));
+    }
+    if let Some(r) = (0..n).find(|&r| offsets[r] > offsets[r + 1]) {
+        return err(format!(
+            "{what} offsets decrease at row {r}: {} > {}",
+            offsets[r],
+            offsets[r + 1]
+        ));
+    }
+    if offsets[n] != n_entries {
+        return err(format!(
+            "{what} offsets end at {} but {n_entries} entries are stored",
+            offsets[n]
+        ));
+    }
+    Ok(())
+}

@@ -21,10 +21,13 @@
 //! The crate is index-based: records and terms are dense `u32`/`usize`
 //! ids, so it has no dependency on the text layer.
 
+#![deny(unsafe_code)]
+
 pub mod bipartite;
 pub mod components;
 pub mod cooccur;
 pub mod csr;
+pub mod invariant;
 pub mod pagerank;
 pub mod record_graph;
 pub mod simrank;
@@ -34,6 +37,7 @@ pub use bipartite::{BipartiteGraph, BipartiteGraphBuilder, PairNode};
 pub use components::{components, ComponentLabels};
 pub use cooccur::cooccurrence_graph;
 pub use csr::CsrGraph;
+pub use invariant::InvariantViolation;
 pub use pagerank::{pagerank, PageRankConfig};
 pub use record_graph::RecordGraph;
 pub use simrank::{bipartite_simrank, SimRankConfig, SimRankScores};

@@ -10,6 +10,7 @@ use er_pool::WorkerPool;
 use crate::bipartite::PairNode;
 use crate::components::{components, ComponentLabels};
 use crate::csr::CsrGraph;
+use crate::invariant::{debug_validate, InvariantViolation};
 
 /// Weighted record graph with a pair-id ↔ edge mapping.
 #[derive(Debug, Clone)]
@@ -83,10 +84,46 @@ impl RecordGraph {
         }
         let kept_pairs: Vec<PairNode> = kept.iter().map(|&(p, _)| p).collect();
         let edges: Vec<(u32, u32, f64)> = kept.iter().map(|&(p, s)| (p.a, p.b, s)).collect();
-        Self {
+        let graph = Self {
             csr: CsrGraph::from_undirected_edges(n_records, &edges),
             pairs: kept_pairs,
+        };
+        debug_validate("RecordGraph::build", || graph.validate());
+        graph
+    }
+
+    /// Checks the record-graph invariants on top of the CSR ones:
+    ///
+    /// * the adjacency passes [`CsrGraph::validate`] (sorted in-bounds
+    ///   neighbor lists, no duplicates, symmetric finite weights);
+    /// * every weight is strictly positive (non-positive pairs are
+    ///   dropped at construction — a zero-weight edge would give a
+    ///   zero-probability transition row in CliqueRank);
+    /// * `pairs` is strictly ascending (binary-searchable), one entry per
+    ///   edge, and each entry is an actual edge of the adjacency.
+    pub fn validate(&self) -> Result<(), InvariantViolation> {
+        self.csr.validate()?;
+        let err = |detail: String| Err(InvariantViolation::new("RecordGraph", detail));
+        if let Some((u, v, w)) = self.csr.edges().find(|&(_, _, w)| w <= 0.0) {
+            return err(format!("non-positive similarity {w} on edge {{{u}, {v}}}"));
         }
+        if self.pairs.len() != self.csr.edge_count() {
+            return err(format!(
+                "{} pairs for {} edges",
+                self.pairs.len(),
+                self.csr.edge_count()
+            ));
+        }
+        if let Some(w) = self.pairs.windows(2).find(|w| w[0] >= w[1]) {
+            return err(format!(
+                "pair list not strictly ascending: {:?} then {:?}",
+                w[0], w[1]
+            ));
+        }
+        if let Some(p) = self.pairs.iter().find(|p| !self.csr.has_edge(p.a, p.b)) {
+            return err(format!("pair {p:?} has no corresponding edge"));
+        }
+        Ok(())
     }
 
     /// The underlying CSR adjacency.

@@ -112,7 +112,7 @@ pub fn bipartite_simrank(
     let mut term_scores: HashMap<(u32, u32), f64> = HashMap::new();
     for terms in record_terms {
         for (i, &a) in terms.iter().enumerate() {
-            for &b in terms[i + 1..].iter() {
+            for &b in &terms[i + 1..] {
                 term_scores.entry((a, b)).or_insert(0.0);
             }
         }

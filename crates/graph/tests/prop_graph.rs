@@ -3,8 +3,22 @@
 
 use std::collections::HashSet;
 
-use er_graph::{components, BipartiteGraphBuilder, CsrGraph, UnionFind};
+use er_graph::{components, BipartiteGraphBuilder, CsrGraph, PairNode, RecordGraph, UnionFind};
 use proptest::prelude::*;
+
+/// Pulls the CSR arrays back out of a valid graph so the mutation tests
+/// can reassemble corrupted variants through `from_raw_parts`.
+fn raw_parts(g: &CsrGraph) -> (Vec<usize>, Vec<u32>, Vec<f64>) {
+    let mut offsets = vec![0usize];
+    let mut targets = Vec::new();
+    let mut weights = Vec::new();
+    for u in 0..g.node_count() as u32 {
+        targets.extend_from_slice(g.neighbors(u));
+        weights.extend_from_slice(g.neighbor_weights(u));
+        offsets.push(targets.len());
+    }
+    (offsets, targets, weights)
+}
 
 /// Random undirected edge list over `n` nodes without duplicates or
 /// self-loops.
@@ -135,5 +149,82 @@ proptest! {
                 prop_assert!(lists[t as usize].contains(&pair.b));
             }
         }
+        // ...and the structure passes its own invariant validator.
+        prop_assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn constructed_csr_validates((n, es) in edges(24, 60)) {
+        let g = CsrGraph::from_undirected_edges(n as usize, &es);
+        prop_assert!(g.validate().is_ok());
+        let (offsets, targets, weights) = raw_parts(&g);
+        prop_assert!(CsrGraph::from_raw_parts(offsets, targets, weights).validate().is_ok());
+    }
+
+    #[test]
+    fn asymmetric_weight_fails_validation((n, es) in edges(24, 60)) {
+        if es.is_empty() {
+            return;
+        }
+        let g = CsrGraph::from_undirected_edges(n as usize, &es);
+        let (offsets, targets, mut weights) = raw_parts(&g);
+        // Bump one stored direction only: its mirror keeps the old weight.
+        weights[0] += 1.0;
+        let bad = CsrGraph::from_raw_parts(offsets, targets, weights);
+        prop_assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn unsorted_neighbors_fail_validation((n, es) in edges(24, 60)) {
+        let g = CsrGraph::from_undirected_edges(n as usize, &es);
+        let Some(victim) = (0..n).find(|&u| g.degree(u) >= 2) else {
+            return;
+        };
+        let start: usize = (0..victim).map(|u| g.degree(u)).sum();
+        let (offsets, mut targets, weights) = raw_parts(&g);
+        targets.swap(start, start + 1);
+        let bad = CsrGraph::from_raw_parts(offsets, targets, weights);
+        prop_assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn nan_weight_fails_validation((n, es) in edges(24, 60), pick in 0usize..1024) {
+        if es.is_empty() {
+            return;
+        }
+        let g = CsrGraph::from_undirected_edges(n as usize, &es);
+        let (offsets, targets, mut weights) = raw_parts(&g);
+        let i = pick % weights.len();
+        weights[i] = f64::NAN;
+        let bad = CsrGraph::from_raw_parts(offsets, targets, weights);
+        prop_assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn dropped_mirror_fails_validation((n, es) in edges(24, 60)) {
+        if es.is_empty() {
+            return;
+        }
+        let g = CsrGraph::from_undirected_edges(n as usize, &es);
+        let (mut offsets, mut targets, mut weights) = raw_parts(&g);
+        // Remove the first node's first incident direction; its mirror
+        // survives elsewhere, so symmetry is broken.
+        let u = (0..n as usize).find(|&u| offsets[u + 1] > offsets[u]).unwrap();
+        let at = offsets[u];
+        targets.remove(at);
+        weights.remove(at);
+        for o in offsets.iter_mut().skip(u + 1) {
+            *o -= 1;
+        }
+        let bad = CsrGraph::from_raw_parts(offsets, targets, weights);
+        prop_assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn record_graph_validates((n, es) in edges(24, 60)) {
+        let pairs: Vec<PairNode> = es.iter().map(|&(a, b, _)| PairNode::new(a, b)).collect();
+        let scores: Vec<f64> = es.iter().map(|&(_, _, w)| w).collect();
+        let g = RecordGraph::from_pair_scores(n as usize, &pairs, &scores);
+        prop_assert!(g.validate().is_ok());
     }
 }

@@ -1,5 +1,6 @@
 //! Row-major dense matrix.
 
+use crate::invariant::InvariantViolation;
 use crate::matmul::matmul_blocked;
 
 /// A row-major dense `f64` matrix.
@@ -199,6 +200,61 @@ impl Matrix {
     /// Largest absolute element (0 for an empty matrix).
     pub fn max_abs(&self) -> f64 {
         self.data.iter().fold(0.0, |m, v| m.max(v.abs()))
+    }
+
+    /// Checks the structural invariants of the dense form: the buffer
+    /// holds exactly `rows × cols` elements and every element is finite.
+    /// Kernel boundaries (`matmul_*`) run this under `debug_assertions` —
+    /// a NaN entering a matrix product silently poisons every downstream
+    /// similarity score, so it is caught at the door instead.
+    pub fn validate(&self) -> Result<(), InvariantViolation> {
+        if self.data.len() != self.rows * self.cols {
+            return Err(InvariantViolation::new(
+                "Matrix",
+                format!(
+                    "buffer holds {} elements for a {}x{} matrix",
+                    self.data.len(),
+                    self.rows,
+                    self.cols
+                ),
+            ));
+        }
+        if let Some((i, &v)) = self.data.iter().enumerate().find(|(_, v)| !v.is_finite()) {
+            return Err(InvariantViolation::new(
+                "Matrix",
+                format!(
+                    "element ({}, {}) is {v} (want finite)",
+                    i / self.cols.max(1),
+                    i % self.cols.max(1)
+                ),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Checks that every row is a probability distribution: entries in
+    /// `[0, 1]` and each row summing to 1 within `tol`, or to exactly 0
+    /// (a dangling node's row). This is the contract of the CliqueRank
+    /// transition matrix `Mt` entering the power recurrence.
+    pub fn validate_row_stochastic(&self, tol: f64) -> Result<(), InvariantViolation> {
+        self.validate()?;
+        for r in 0..self.rows {
+            let row = self.row(r);
+            if let Some(&v) = row.iter().find(|v| !(0.0..=1.0 + tol).contains(*v)) {
+                return Err(InvariantViolation::new(
+                    "Matrix",
+                    format!("row {r} has transition probability {v} outside [0, 1]"),
+                ));
+            }
+            let sum: f64 = row.iter().sum();
+            if sum != 0.0 && (sum - 1.0).abs() > tol {
+                return Err(InvariantViolation::new(
+                    "Matrix",
+                    format!("row {r} sums to {sum} (want 1 ± {tol} or exactly 0)"),
+                ));
+            }
+        }
+        Ok(())
     }
 
     /// True when all elements differ by at most `tol`.

@@ -1,0 +1,50 @@
+//! Debug-gated structural invariant validation.
+//!
+//! Every core structure exposes a `validate()` returning the first
+//! violated invariant, and construction/kernel boundaries call it through
+//! [`debug_validate`] — a `debug_assert!`-style hook that compiles to
+//! nothing in release builds. The point is to catch a corrupted structure
+//! at the boundary where it was built, not ten kernels later as a wrong
+//! number or an index panic.
+
+use std::fmt;
+
+/// A violated structural invariant, with enough context to debug it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvariantViolation {
+    /// The structure (and usually the row/element) that failed.
+    pub structure: &'static str,
+    /// What was violated, with the offending values.
+    pub detail: String,
+}
+
+impl InvariantViolation {
+    pub(crate) fn new(structure: &'static str, detail: impl Into<String>) -> Self {
+        Self {
+            structure,
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.structure, self.detail)
+    }
+}
+
+impl std::error::Error for InvariantViolation {}
+
+/// Runs `validate` in debug builds, panicking with the violation and
+/// `context` (the boundary being checked). Compiles to nothing with
+/// `debug_assertions` off, so validators may be `O(nnz)` without
+/// touching release performance.
+#[inline]
+pub fn debug_validate<E: fmt::Display>(context: &str, validate: impl FnOnce() -> Result<(), E>) {
+    #[cfg(debug_assertions)]
+    if let Err(e) = validate() {
+        panic!("invariant violation at {context}: {e}");
+    }
+    #[cfg(not(debug_assertions))]
+    let _ = (context, validate);
+}

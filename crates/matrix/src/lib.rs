@@ -17,10 +17,14 @@
 //! assert_eq!(a.matmul(&b), a);
 //! ```
 
+#![deny(unsafe_code)]
+
 pub mod dense;
+pub mod invariant;
 pub mod matmul;
 pub mod sparse;
 
 pub use dense::Matrix;
+pub use invariant::InvariantViolation;
 pub use matmul::{matmul_blocked, matmul_naive, matmul_pooled, matmul_threaded};
 pub use sparse::CsrMatrix;

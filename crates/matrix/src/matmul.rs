@@ -21,6 +21,7 @@
 use er_pool::WorkerPool;
 
 use crate::dense::Matrix;
+use crate::invariant::debug_validate;
 
 /// Cache block edge (in elements). 64 × 64 f64 tiles ≈ 32 KiB per operand
 /// pair, comfortably inside L1+L2 on commodity cores.
@@ -46,6 +47,8 @@ pub fn matmul_naive(a: &Matrix, b: &Matrix) -> Matrix {
 /// Cache-blocked product with i-k-j inner ordering.
 pub fn matmul_blocked(a: &Matrix, b: &Matrix) -> Matrix {
     assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
+    debug_validate("matmul_blocked (lhs)", || a.validate());
+    debug_validate("matmul_blocked (rhs)", || b.validate());
     let (m, n) = (a.rows(), b.cols());
     let mut out = Matrix::zeros(m, n);
     matmul_block_into(a, b, out.data_mut(), 0, m);
@@ -93,6 +96,8 @@ fn matmul_block_into(
 /// single-threaded kernel.
 pub fn matmul_threaded(a: &Matrix, b: &Matrix, threads: usize) -> Matrix {
     assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
+    debug_validate("matmul_threaded (lhs)", || a.validate());
+    debug_validate("matmul_threaded (rhs)", || b.validate());
     let (m, n) = (a.rows(), b.cols());
     let threads = threads.max(1).min(m.max(1));
     if threads == 1 || m * n < 64 * 64 {
@@ -122,6 +127,8 @@ pub fn matmul_threaded(a: &Matrix, b: &Matrix, threads: usize) -> Matrix {
 /// the single-threaded kernel.
 pub fn matmul_pooled(a: &Matrix, b: &Matrix, pool: &WorkerPool) -> Matrix {
     assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
+    debug_validate("matmul_pooled (lhs)", || a.validate());
+    debug_validate("matmul_pooled (rhs)", || b.validate());
     let (m, n) = (a.rows(), b.cols());
     let threads = pool.threads().min(m.max(1));
     if threads == 1 || m * n < 64 * 64 {

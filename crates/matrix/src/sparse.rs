@@ -7,6 +7,7 @@
 //! accumulator: `cost = O(nnz · n)` instead of `O(n³)`.
 
 use crate::dense::Matrix;
+use crate::invariant::{debug_validate, InvariantViolation};
 
 /// A CSR sparse `f64` matrix.
 #[derive(Debug, Clone, PartialEq)]
@@ -54,6 +55,30 @@ impl CsrMatrix {
         }
         let indices = merged.iter().map(|&(_, c, _)| c).collect();
         let values = merged.iter().map(|&(_, _, v)| v).collect();
+        let m = Self {
+            rows,
+            cols,
+            indptr,
+            indices,
+            values,
+        };
+        debug_validate("CsrMatrix::from_triplets", || m.validate());
+        m
+    }
+
+    /// Assembles a matrix directly from its CSR arrays, **without
+    /// validating them**. This is the raw seam the property tests use to
+    /// build deliberately corrupted instances for [`CsrMatrix::validate`];
+    /// everything else should go through [`CsrMatrix::from_triplets`].
+    /// An invalid instance may panic (out-of-bounds indexing) in any
+    /// later operation — safe code, but garbage answers.
+    pub fn from_raw_parts(
+        rows: usize,
+        cols: usize,
+        indptr: Vec<usize>,
+        indices: Vec<u32>,
+        values: Vec<f64>,
+    ) -> Self {
         Self {
             rows,
             cols,
@@ -61,6 +86,92 @@ impl CsrMatrix {
             indices,
             values,
         }
+    }
+
+    /// Checks every structural invariant of the CSR form:
+    ///
+    /// * `indptr` has `rows + 1` entries, starts at 0, is nondecreasing,
+    ///   and its last entry equals `indices.len()` and `values.len()`;
+    /// * within each row, column indices are strictly ascending (sorted,
+    ///   no duplicate coordinates) and in `0..cols`;
+    /// * every stored value is finite and non-zero (the canonical form
+    ///   [`CsrMatrix::from_triplets`] produces has no explicit zeros).
+    pub fn validate(&self) -> Result<(), InvariantViolation> {
+        let err = |detail: String| Err(InvariantViolation::new("CsrMatrix", detail));
+        if self.indptr.len() != self.rows + 1 {
+            return err(format!(
+                "indptr has {} entries for {} rows (want rows + 1)",
+                self.indptr.len(),
+                self.rows
+            ));
+        }
+        if self.indptr[0] != 0 {
+            return err(format!("indptr[0] = {} (want 0)", self.indptr[0]));
+        }
+        if let Some(r) = (0..self.rows).find(|&r| self.indptr[r] > self.indptr[r + 1]) {
+            return err(format!(
+                "indptr decreases at row {r}: {} > {}",
+                self.indptr[r],
+                self.indptr[r + 1]
+            ));
+        }
+        if self.indptr[self.rows] != self.indices.len() || self.indices.len() != self.values.len() {
+            return err(format!(
+                "lengths disagree: indptr ends at {}, {} indices, {} values",
+                self.indptr[self.rows],
+                self.indices.len(),
+                self.values.len()
+            ));
+        }
+        for r in 0..self.rows {
+            let row = &self.indices[self.indptr[r]..self.indptr[r + 1]];
+            if let Some(w) = row.windows(2).find(|w| w[0] >= w[1]) {
+                return err(format!(
+                    "row {r} columns not strictly ascending: {} then {}",
+                    w[0], w[1]
+                ));
+            }
+            if let Some(&c) = row.last().filter(|&&c| c as usize >= self.cols) {
+                return err(format!(
+                    "row {r} column {c} out of bounds (cols = {})",
+                    self.cols
+                ));
+            }
+        }
+        if let Some((i, &v)) = self
+            .values
+            .iter()
+            .enumerate()
+            .find(|(_, v)| !v.is_finite() || **v == 0.0)
+        {
+            return err(format!("value #{i} is {v} (want finite, non-zero)"));
+        }
+        Ok(())
+    }
+
+    /// Checks that every row is a probability distribution: entries in
+    /// `[0, 1]` and each row summing to 1 within `tol` — or to exactly 0
+    /// (a dangling row). The transition matrices CliqueRank builds must
+    /// hold this before entering the power recurrence.
+    pub fn validate_row_stochastic(&self, tol: f64) -> Result<(), InvariantViolation> {
+        self.validate()?;
+        for r in 0..self.rows {
+            let (_, vals) = self.row(r);
+            if let Some(&v) = vals.iter().find(|v| !(0.0..=1.0 + tol).contains(*v)) {
+                return Err(InvariantViolation::new(
+                    "CsrMatrix",
+                    format!("row {r} has transition probability {v} outside [0, 1]"),
+                ));
+            }
+            let sum: f64 = vals.iter().sum();
+            if sum != 0.0 && (sum - 1.0).abs() > tol {
+                return Err(InvariantViolation::new(
+                    "CsrMatrix",
+                    format!("row {r} sums to {sum} (want 1 ± {tol} or exactly 0)"),
+                ));
+            }
+        }
+        Ok(())
     }
 
     /// Converts a dense matrix, keeping only non-zeros.
@@ -101,9 +212,7 @@ impl CsrMatrix {
     /// Element lookup (O(log nnz(row))).
     pub fn get(&self, r: usize, c: usize) -> f64 {
         let (cols, vals) = self.row(r);
-        cols.binary_search(&(c as u32))
-            .map(|i| vals[i])
-            .unwrap_or(0.0)
+        cols.binary_search(&(c as u32)).map_or(0.0, |i| vals[i])
     }
 
     /// Densifies.
@@ -123,6 +232,8 @@ impl CsrMatrix {
     #[allow(clippy::needless_range_loop)]
     pub fn matmul_dense(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(self.cols, rhs.rows(), "inner dimensions must agree");
+        debug_validate("CsrMatrix::matmul_dense (lhs)", || self.validate());
+        debug_validate("CsrMatrix::matmul_dense (rhs)", || rhs.validate());
         let n = rhs.cols();
         let mut out = Matrix::zeros(self.rows, n);
         for r in 0..self.rows {
@@ -142,6 +253,7 @@ impl CsrMatrix {
     #[allow(clippy::needless_range_loop)]
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(self.cols, x.len(), "dimension mismatch");
+        debug_validate("CsrMatrix::matvec", || self.validate());
         let mut out = vec![0.0; self.rows];
         for r in 0..self.rows {
             let (cols, vals) = self.row(r);

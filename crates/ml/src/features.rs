@@ -15,6 +15,7 @@ pub const N_FEATURES: usize = 12;
 
 /// Caches the per-corpus state (TF-IDF model, reconstructed token texts)
 /// so feature extraction over many pairs is cheap.
+#[derive(Debug)]
 pub struct FeatureExtractor<'a> {
     corpus: &'a Corpus,
     tfidf: TfIdfModel,

@@ -36,6 +36,7 @@ impl Default for ForestConfig {
 }
 
 /// A trained random forest.
+#[derive(Debug)]
 pub struct RandomForest {
     trees: Vec<(DecisionTree, Vec<usize>)>,
     n_features: usize,

@@ -25,6 +25,8 @@
 //!   the training-set construction the paper criticizes supervised
 //!   methods for needing.
 
+#![deny(unsafe_code)]
+
 pub mod features;
 pub mod forest;
 pub mod gmm;

@@ -57,7 +57,9 @@ use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::Duration;
 
-use parking_lot::{Condvar, Mutex};
+mod sync;
+
+use crate::sync::{Condvar, Mutex};
 
 /// A type-erased queued job. The `'static` is a lie told by
 /// [`Scope::submit`]; the scope's join-before-return discipline is what
@@ -92,8 +94,16 @@ impl Queue {
 /// the queue is empty by then).
 pub struct WorkerPool {
     queue: Arc<Queue>,
-    handles: Vec<std::thread::JoinHandle<()>>,
+    handles: Vec<sync::JoinHandle>,
     threads: usize,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("threads", &self.threads)
+            .finish_non_exhaustive()
+    }
 }
 
 impl WorkerPool {
@@ -112,10 +122,7 @@ impl WorkerPool {
         let handles = (1..threads)
             .map(|_| {
                 let queue = Arc::clone(&queue);
-                std::thread::Builder::new()
-                    .name("er-pool".into())
-                    .spawn(move || worker_loop(&queue))
-                    .expect("failed to spawn pool worker")
+                sync::spawn_worker(move || worker_loop(&queue))
             })
             .collect();
         Self {
@@ -127,7 +134,7 @@ impl WorkerPool {
 
     /// A pool sized to the machine (`available_parallelism`).
     pub fn with_available_parallelism() -> Self {
-        Self::new(std::thread::available_parallelism().map_or(1, |n| n.get()))
+        Self::new(std::thread::available_parallelism().map_or(1, std::num::NonZero::get))
     }
 
     /// Total worker count, including the scoping thread.
@@ -229,6 +236,15 @@ pub struct Scope<'pool, 'env> {
     tracker: Arc<Tracker>,
     /// Invariant over `'env`, like `std::thread::Scope`.
     _env: PhantomData<&'env mut &'env ()>,
+}
+
+impl std::fmt::Debug for Scope<'_, '_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scope")
+            .field("pool", &self.pool)
+            .field("pending", &*self.tracker.pending.lock())
+            .finish_non_exhaustive()
+    }
 }
 
 impl<'env> Scope<'_, 'env> {
@@ -341,7 +357,7 @@ pub fn chunk_ranges(len: usize, parts: usize, min_chunk: usize) -> Vec<Range<usi
     ranges
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(loom)))]
 mod tests {
     use super::*;
     use std::sync::atomic::{AtomicUsize, Ordering};

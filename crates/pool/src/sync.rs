@@ -1,0 +1,101 @@
+//! Synchronization shim: the real `parking_lot` primitives normally,
+//! loom's model-checked replacements under `RUSTFLAGS="--cfg loom"`.
+//!
+//! Everything in `lib.rs` talks to this module's `parking_lot`-flavored
+//! surface (`lock()` returns the guard directly, `Condvar::wait` takes
+//! `&mut guard`, `wait_for` returns `bool`), so swapping the backend is
+//! invisible to the pool logic — which is the point: the loom tests in
+//! `tests/loom_pool.rs` exercise the exact code that ships.
+
+#[cfg(not(loom))]
+mod imp {
+    pub(crate) use parking_lot::{Condvar, Mutex};
+
+    pub(crate) type JoinHandle = std::thread::JoinHandle<()>;
+
+    pub(crate) fn spawn_worker(f: impl FnOnce() + Send + 'static) -> JoinHandle {
+        std::thread::Builder::new()
+            .name("er-pool".into())
+            .spawn(f)
+            .expect("failed to spawn pool worker")
+    }
+}
+
+#[cfg(loom)]
+mod imp {
+    use std::ops::{Deref, DerefMut};
+    use std::time::Duration;
+
+    /// `loom::sync::Mutex` adapted to the `parking_lot` surface.
+    #[derive(Default)]
+    pub(crate) struct Mutex<T>(loom::sync::Mutex<T>);
+
+    impl<T> Mutex<T> {
+        pub(crate) fn new(data: T) -> Self {
+            Self(loom::sync::Mutex::new(data))
+        }
+
+        pub(crate) fn lock(&self) -> MutexGuard<'_, T> {
+            MutexGuard(Some(self.0.lock().expect("loom mutex poisoned")))
+        }
+    }
+
+    /// Guard wrapper: holds an `Option` so `Condvar` methods can move
+    /// the inner loom guard out (loom's `wait` consumes it) and back.
+    pub(crate) struct MutexGuard<'a, T>(Option<loom::sync::MutexGuard<'a, T>>);
+
+    impl<T> Deref for MutexGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            self.0.as_ref().expect("guard vacated by condvar wait")
+        }
+    }
+
+    impl<T> DerefMut for MutexGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            self.0.as_mut().expect("guard vacated by condvar wait")
+        }
+    }
+
+    #[derive(Default)]
+    pub(crate) struct Condvar(loom::sync::Condvar);
+
+    impl Condvar {
+        pub(crate) fn new() -> Self {
+            Self(loom::sync::Condvar::new())
+        }
+
+        pub(crate) fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+            let inner = guard.0.take().expect("guard vacated by condvar wait");
+            guard.0 = Some(self.0.wait(inner).expect("loom mutex poisoned"));
+        }
+
+        /// Returns `true` when the wake came from the (simulated)
+        /// timeout, matching `parking_lot::Condvar::wait_for`.
+        pub(crate) fn wait_for<T>(&self, guard: &mut MutexGuard<'_, T>, dur: Duration) -> bool {
+            let inner = guard.0.take().expect("guard vacated by condvar wait");
+            let (inner, result) = self
+                .0
+                .wait_timeout(inner, dur)
+                .expect("loom mutex poisoned");
+            guard.0 = Some(inner);
+            result.timed_out()
+        }
+
+        pub(crate) fn notify_one(&self) {
+            self.0.notify_one();
+        }
+
+        pub(crate) fn notify_all(&self) {
+            self.0.notify_all();
+        }
+    }
+
+    pub(crate) type JoinHandle = loom::thread::JoinHandle<()>;
+
+    pub(crate) fn spawn_worker(f: impl FnOnce() + Send + 'static) -> JoinHandle {
+        loom::thread::spawn(f)
+    }
+}
+
+pub(crate) use imp::{spawn_worker, Condvar, JoinHandle, Mutex};

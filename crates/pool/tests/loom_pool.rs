@@ -1,0 +1,118 @@
+//! Model-checked interleaving tests for the worker pool.
+//!
+//! Compiled only under `RUSTFLAGS="--cfg loom"`; run with
+//! `cargo xtask loom` (or directly:
+//! `RUSTFLAGS="--cfg loom" cargo test -p er-pool --test loom_pool --release`).
+//!
+//! Each test wraps real pool code in `loom::model`, which explores every
+//! distinct thread interleaving of the pool's mutex/condvar operations
+//! up to the preemption bound. Models are kept deliberately tiny (one
+//! background worker, one or two jobs): the guarantees under test —
+//! no lost jobs, no deadlock, panic propagation — are schedule
+//! properties, not throughput properties, and small models keep the
+//! schedule space exhaustively explorable.
+
+#![cfg(loom)]
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use er_pool::WorkerPool;
+
+/// Every submitted job runs exactly once before `scope` returns,
+/// wherever the scheduler places it (worker thread or the scoping
+/// thread's help-while-waiting loop).
+#[test]
+fn scope_joins_every_job() {
+    loom::model(|| {
+        let pool = WorkerPool::new(2); // one background worker
+        let mut out = [0u32; 2];
+        {
+            let mut slots = out.iter_mut();
+            let a = slots.next().unwrap();
+            let b = slots.next().unwrap();
+            pool.scope(|s| {
+                s.submit(move || *a += 1);
+                s.submit(move || *b += 1);
+            });
+        }
+        assert_eq!(out, [1, 1], "a job was lost or ran twice");
+    });
+}
+
+/// A nested scope inside a pool job cannot deadlock: the thread joining
+/// the inner scope helps run queued jobs instead of blocking, so any
+/// queued job can always be executed by the thread waiting on it.
+#[test]
+fn nested_scope_help_while_waiting() {
+    loom::model(|| {
+        let pool = WorkerPool::new(2);
+        let mut hit = false;
+        {
+            let hit = &mut hit;
+            pool.scope(|outer| {
+                let pool = &pool;
+                outer.submit(move || {
+                    pool.scope(|inner| {
+                        inner.submit(move || *hit = true);
+                    });
+                });
+            });
+        }
+        assert!(hit, "nested job never ran");
+    });
+}
+
+/// Dropping the pool wakes and joins the workers under every schedule,
+/// including the one where a worker is still parked on the condvar when
+/// shutdown is flagged.
+#[test]
+fn shutdown_joins_parked_workers() {
+    loom::model(|| {
+        let pool = WorkerPool::new(2);
+        drop(pool); // must not deadlock or leak the worker
+    });
+}
+
+/// Regression pin for the scope's panic contract, under every schedule:
+///
+/// 1. exactly one payload resurfaces from `scope`, and it is the first
+///    one a job stored (both jobs may panic — one of the two payloads,
+///    never a mangled third);
+/// 2. the scope still joins: the non-panicking work of the other job has
+///    completed by the time `scope` unwinds;
+/// 3. the pool stays usable afterwards.
+#[test]
+fn first_panic_payload_wins_and_scope_still_joins() {
+    loom::model(|| {
+        let pool = WorkerPool::new(2);
+        let mut survivor_ran = false;
+        {
+            let survivor_ran = &mut survivor_ran;
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                pool.scope(|s| {
+                    s.submit(|| panic!("boom-a"));
+                    s.submit(move || {
+                        *survivor_ran = true;
+                        panic!("boom-b");
+                    });
+                });
+            }));
+            let payload = outcome.expect_err("a job panic must unwind out of scope");
+            let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+            assert!(
+                msg == "boom-a" || msg == "boom-b",
+                "unexpected panic payload: {msg:?}"
+            );
+        }
+        assert!(survivor_ran, "scope unwound before joining the second job");
+        // The pool must have absorbed the panic without losing a worker.
+        let mut after = 0u32;
+        {
+            let after = &mut after;
+            pool.scope(|s| {
+                s.submit(move || *after += 1);
+            });
+        }
+        assert_eq!(after, 1, "pool unusable after a job panic");
+    });
+}

@@ -35,6 +35,8 @@
 //! assert!(shared.len() >= 3); // fenix, 8358, sunset, blvd
 //! ```
 
+#![deny(unsafe_code)]
+
 pub mod blocking;
 pub mod corpus;
 pub mod metrics;

@@ -10,7 +10,7 @@
 pub fn soundex(word: &str) -> Option<String> {
     let letters: Vec<char> = word
         .chars()
-        .filter(|c| c.is_ascii_alphabetic())
+        .filter(char::is_ascii_alphabetic)
         .map(|c| c.to_ascii_uppercase())
         .collect();
     let &first = letters.first()?;

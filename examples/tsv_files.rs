@@ -42,7 +42,7 @@ fn main() {
         run.evaluate().f1()
     );
     for cluster in multi.iter().take(5) {
-        for &r in cluster.iter() {
+        for &r in *cluster {
             println!("  [{r}] {}", loaded.records[r as usize].text);
         }
         println!();

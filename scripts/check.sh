@@ -1,15 +1,13 @@
 #!/usr/bin/env bash
-# Lint gate: formatting and clippy with warnings denied, then the full
-# test suite. CI runs this exact script (.github/workflows/ci.yml), so a
+# Lint gate: the static-analysis suite (rustfmt, clippy -D warnings,
+# first-party unsafe audit — see xtask/src/main.rs), then the full test
+# suite. CI runs this exact script (.github/workflows/ci.yml), so a
 # clean local run means a clean CI run.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> cargo fmt --check"
-cargo fmt --all -- --check
-
-echo "==> cargo clippy --workspace -- -D warnings"
-cargo clippy --workspace --all-targets -- -D warnings
+echo "==> cargo xtask analyze"
+cargo xtask analyze
 
 echo "==> cargo test --workspace"
 cargo test --workspace --quiet

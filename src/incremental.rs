@@ -39,6 +39,7 @@ pub struct IncrementalStats {
 }
 
 /// An appendable resolver that reuses work across resolves.
+#[derive(Debug)]
 pub struct IncrementalResolver {
     config: FusionConfig,
     max_df_fraction: f64,

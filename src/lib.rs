@@ -31,6 +31,8 @@
 //! assert!(f1 > 0.6, "fusion should resolve most duplicates: {f1}");
 //! ```
 
+#![deny(unsafe_code)]
+
 pub use er_baselines as baselines;
 pub use er_core as core;
 pub use er_crowd as crowd;
@@ -82,6 +84,7 @@ pub mod pipeline {
     /// The prepared inputs shared by the fusion framework and every
     /// baseline: the tokenized corpus, the candidate bipartite graph and
     /// the ground-truth pairs.
+    #[derive(Debug)]
     pub struct Prepared {
         /// Tokenized, frequency-filtered corpus.
         pub corpus: Corpus,
@@ -128,6 +131,7 @@ pub mod pipeline {
     }
 
     /// A completed fusion run with its inputs, ready for evaluation.
+    #[derive(Debug)]
     pub struct ResolvedRun {
         /// The prepared inputs.
         pub prepared: Prepared,

@@ -1,0 +1,37 @@
+//! Offline vendored subset of the `loom` concurrency model-checker API.
+//!
+//! [`model`] runs a closure many times, exploring the distinct thread
+//! interleavings of every [`sync`] and [`thread`] operation inside it via
+//! depth-first search over scheduling decisions. Only one model thread
+//! executes at a time (baton passing over real OS threads), so the
+//! exploration is deterministic and replayable; a decision path that
+//! fails is printed so the interleaving can be reproduced.
+//!
+//! # Scope of the model (honest differences from the real `loom`)
+//!
+//! * **Sequential consistency only.** Scheduling points are mutex
+//!   lock/unlock, condvar wait/notify, spawn/join and yield. There is no
+//!   C11 weak-memory simulation — sound for code whose cross-thread
+//!   communication goes exclusively through the [`sync`] types (like
+//!   `er-pool`, which shares state only under `Mutex`/`Condvar`).
+//! * **Bounded exploration.** The search is exhaustive up to a
+//!   preemption bound (default 3, `LOOM_MAX_PREEMPTIONS`): at most that
+//!   many involuntary context switches per execution. Forced switches —
+//!   a thread blocking — are always explored. This is the classic
+//!   CHESS-style bound: almost all real concurrency bugs manifest within
+//!   two or three preemptions.
+//! * **Timeouts fire only when nothing else can run.** A
+//!   `wait_timeout` sleeper is woken (with `timed_out() == true`) when
+//!   every other thread is blocked — modeling "the timeout eventually
+//!   fires" without exploding the schedule space. A genuine deadlock
+//!   (no runnable thread, no timed sleeper) panics with the decision
+//!   path.
+//! * `notify_one` wakes the longest-waiting thread (FIFO). Real condvars
+//!   may wake any waiter; FIFO is one valid refinement.
+
+pub mod model;
+mod rt;
+pub mod sync;
+pub mod thread;
+
+pub use model::{model, Builder};

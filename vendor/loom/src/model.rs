@@ -1,0 +1,70 @@
+//! The exploration driver: depth-first search over decision paths.
+
+use crate::rt::{self, Branch};
+
+/// Configures and runs an exploration. Mirrors `loom::model::Builder`.
+#[derive(Debug, Clone)]
+pub struct Builder {
+    /// CHESS-style bound on involuntary context switches per execution.
+    /// Overridable with `LOOM_MAX_PREEMPTIONS`.
+    pub max_preemptions: usize,
+    /// Hard cap on explored executions — a runaway backstop, not a
+    /// sampling knob. Overridable with `LOOM_MAX_ITERATIONS`.
+    pub max_iterations: usize,
+}
+
+fn env_usize(name: &str) -> Option<usize> {
+    std::env::var(name).ok()?.parse().ok()
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Self {
+            max_preemptions: env_usize("LOOM_MAX_PREEMPTIONS").unwrap_or(3),
+            max_iterations: env_usize("LOOM_MAX_ITERATIONS").unwrap_or(500_000),
+        }
+    }
+}
+
+impl Builder {
+    /// Creates a builder with the default bounds.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Explores every interleaving of `f` up to the configured bounds.
+    /// Panics (with the failing decision path on stderr) on the first
+    /// execution that fails.
+    pub fn check<F: Fn()>(&self, f: F) {
+        let mut path: Vec<Branch> = Vec::new();
+        let mut iterations = 0usize;
+        loop {
+            iterations += 1;
+            assert!(
+                iterations <= self.max_iterations,
+                "loom: exceeded {} iterations; raise LOOM_MAX_ITERATIONS or \
+                 shrink the model",
+                self.max_iterations
+            );
+            path = rt::run_execution(&f, path, self.max_preemptions);
+            // Backtrack: drop exhausted tail branches, advance the last
+            // one that still has an unexplored choice.
+            while path.last().is_some_and(|b| b.taken + 1 >= b.choices.len()) {
+                path.pop();
+            }
+            match path.last_mut() {
+                Some(b) => b.taken += 1,
+                None => break,
+            }
+        }
+        if std::env::var_os("LOOM_LOG").is_some() {
+            eprintln!("loom: explored {iterations} executions");
+        }
+    }
+}
+
+/// Explores every interleaving of `f` with the default bounds.
+pub fn model<F: Fn()>(f: F) {
+    Builder::default().check(f);
+}

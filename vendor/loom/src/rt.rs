@@ -1,0 +1,479 @@
+//! The execution scheduler: baton-passing over real OS threads.
+//!
+//! Exactly one model thread runs at any moment. Every synchronization
+//! operation funnels into [`Execution::reschedule`], the single
+//! scheduling point, where the next thread is chosen by replaying the
+//! current decision path and extending it depth-first. Because only the
+//! scheduled thread executes user code, a sequentially-consistent
+//! interleaving semantics falls out by construction and executions are
+//! exactly replayable from their decision path.
+
+use std::cell::RefCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar as OsCondvar, Mutex as OsMutex, MutexGuard as OsGuard, PoisonError};
+
+pub(crate) type ThreadId = usize;
+
+/// One recorded scheduling decision: which runnable thread was chosen
+/// out of the candidates at a point where more than one could run.
+#[derive(Clone, Debug)]
+pub(crate) struct Branch {
+    pub(crate) choices: Vec<ThreadId>,
+    pub(crate) taken: usize,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Status {
+    Runnable,
+    Blocked,
+    Finished,
+}
+
+struct MutexState {
+    owner: Option<ThreadId>,
+    waiters: Vec<ThreadId>,
+}
+
+struct CvState {
+    /// `(thread, timed)` — timed waiters are eligible for the
+    /// timeout-rescue wake when the system would otherwise deadlock.
+    waiters: Vec<(ThreadId, bool)>,
+}
+
+struct State {
+    status: Vec<Status>,
+    current: ThreadId,
+    path: Vec<Branch>,
+    cursor: usize,
+    preemptions: usize,
+    max_preemptions: usize,
+    /// Set when the execution is tearing down after a panic; scheduling
+    /// points raise it in threads that are not already unwinding.
+    abort: Option<String>,
+    mutexes: Vec<MutexState>,
+    condvars: Vec<CvState>,
+    joiners: Vec<Vec<ThreadId>>,
+    timed_out: Vec<bool>,
+    os_handles: Vec<Option<std::thread::JoinHandle<()>>>,
+}
+
+pub(crate) struct Execution {
+    state: OsMutex<State>,
+    cv: OsCondvar,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<(Arc<Execution>, ThreadId)>> = const { RefCell::new(None) };
+}
+
+/// Runs `f` with the calling thread's execution context. Panics outside
+/// [`crate::model`].
+pub(crate) fn with<R>(f: impl FnOnce(&Arc<Execution>, ThreadId) -> R) -> R {
+    CTX.with(|c| {
+        let borrow = c.borrow();
+        let (exec, me) = borrow
+            .as_ref()
+            .expect("loom sync types may only be used inside loom::model");
+        f(exec, *me)
+    })
+}
+
+fn lock_state(exec: &Execution) -> OsGuard<'_, State> {
+    // A panicking model thread may poison the OS mutex; the scheduler
+    // state stays consistent (mutations are all panic-free), so recover.
+    exec.state.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl Execution {
+    fn new(max_preemptions: usize, prior: Vec<Branch>) -> Arc<Self> {
+        Arc::new(Self {
+            state: OsMutex::new(State {
+                status: vec![Status::Runnable],
+                current: 0,
+                path: prior,
+                cursor: 0,
+                preemptions: 0,
+                max_preemptions,
+                abort: None,
+                mutexes: Vec::new(),
+                condvars: Vec::new(),
+                joiners: vec![Vec::new()],
+                timed_out: vec![false],
+                os_handles: vec![None],
+            }),
+            cv: OsCondvar::new(),
+        })
+    }
+
+    /// The single scheduling point. With `block`, the caller must already
+    /// be registered on some wait list; it is taken off the candidate set
+    /// until another thread marks it runnable. Returns once the caller is
+    /// scheduled again.
+    pub(crate) fn reschedule(&self, me: ThreadId, block: bool) {
+        if std::thread::panicking() {
+            // Teardown: the unwinding thread keeps running (its drops
+            // only touch scheduler metadata); everything it would have
+            // raced with is parked.
+            return;
+        }
+        let mut st = lock_state(self);
+        if let Some(msg) = st.abort.clone() {
+            drop(st);
+            panic!("loom: execution aborted: {msg}");
+        }
+        if block {
+            st.status[me] = Status::Blocked;
+        }
+        self.pick_next(&mut st, Some(me));
+        self.wait_for_turn_locked(st, me);
+    }
+
+    /// Parks until `me` is the scheduled runnable thread (entry point for
+    /// freshly spawned threads).
+    pub(crate) fn wait_for_turn(&self, me: ThreadId) {
+        let st = lock_state(self);
+        self.wait_for_turn_locked(st, me);
+    }
+
+    fn wait_for_turn_locked(&self, mut st: OsGuard<'_, State>, me: ThreadId) {
+        loop {
+            if st.current == me && st.status[me] == Status::Runnable {
+                return;
+            }
+            if let Some(msg) = st.abort.clone() {
+                drop(st);
+                if std::thread::panicking() {
+                    return;
+                }
+                panic!("loom: execution aborted: {msg}");
+            }
+            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Chooses the next thread to run. `from` is the calling thread, or
+    /// `None` when the caller is finishing and cannot continue.
+    fn pick_next(&self, st: &mut State, from: Option<ThreadId>) {
+        let runnable = |st: &State| -> Vec<ThreadId> {
+            st.status
+                .iter()
+                .enumerate()
+                .filter(|&(_, s)| *s == Status::Runnable)
+                .map(|(i, _)| i)
+                .collect()
+        };
+        let mut candidates = runnable(st);
+        if candidates.is_empty() {
+            // Timeout rescue: wake every timed condvar sleeper — the
+            // model's reading of "the timeout eventually fires".
+            let mut woke = false;
+            for cv_id in 0..st.condvars.len() {
+                let mut kept = Vec::new();
+                for (t, timed) in std::mem::take(&mut st.condvars[cv_id].waiters) {
+                    if timed {
+                        st.status[t] = Status::Runnable;
+                        st.timed_out[t] = true;
+                        woke = true;
+                    } else {
+                        kept.push((t, timed));
+                    }
+                }
+                st.condvars[cv_id].waiters = kept;
+            }
+            if woke {
+                candidates = runnable(st);
+            }
+        }
+        if candidates.is_empty() {
+            if st.status.iter().all(|s| *s == Status::Finished) {
+                st.current = usize::MAX; // execution over; nothing to run
+                self.cv.notify_all();
+                return;
+            }
+            // A genuine deadlock: report and kill the whole test binary —
+            // there is no way to unwind parked threads without racing.
+            eprintln!(
+                "loom: DEADLOCK — no runnable thread and no timed sleeper\n\
+                 loom: thread status: {:?}\n\
+                 loom: decision path: {}",
+                st.status,
+                format_path(&st.path),
+            );
+            std::process::exit(101);
+        }
+        // Preemption bound (CHESS-style): once the budget is spent, a
+        // thread that can continue always does.
+        if let Some(me) = from {
+            if st.status[me] == Status::Runnable
+                && st.preemptions >= st.max_preemptions
+                && candidates.len() > 1
+            {
+                candidates = vec![me];
+            }
+        }
+        let chosen = if candidates.len() == 1 {
+            candidates[0]
+        } else if st.cursor < st.path.len() {
+            let b = &st.path[st.cursor];
+            debug_assert_eq!(
+                b.choices, candidates,
+                "replay divergence: the model closure is nondeterministic"
+            );
+            let chosen = candidates[b.taken];
+            st.cursor += 1;
+            chosen
+        } else {
+            st.path.push(Branch {
+                choices: candidates.clone(),
+                taken: 0,
+            });
+            st.cursor += 1;
+            candidates[0]
+        };
+        if let Some(me) = from {
+            if st.status[me] == Status::Runnable && chosen != me {
+                st.preemptions += 1;
+            }
+        }
+        st.current = chosen;
+        self.cv.notify_all();
+    }
+
+    // ---- mutexes ----------------------------------------------------
+
+    pub(crate) fn mutex_create(&self) -> usize {
+        let mut st = lock_state(self);
+        st.mutexes.push(MutexState {
+            owner: None,
+            waiters: Vec::new(),
+        });
+        st.mutexes.len() - 1
+    }
+
+    pub(crate) fn mutex_lock(&self, me: ThreadId, mid: usize) {
+        self.reschedule(me, false); // exploration point before acquiring
+        loop {
+            let mut st = lock_state(self);
+            if st.mutexes[mid].owner.is_none() {
+                st.mutexes[mid].owner = Some(me);
+                return;
+            }
+            if std::thread::panicking() {
+                // Teardown while the lock is owned by a parked thread:
+                // there is no safe way to proceed.
+                eprintln!("loom: lock held by a parked thread during teardown");
+                std::process::exit(101);
+            }
+            st.mutexes[mid].waiters.push(me);
+            drop(st);
+            self.reschedule(me, true);
+        }
+    }
+
+    pub(crate) fn mutex_unlock(&self, me: ThreadId, mid: usize) {
+        {
+            let mut st = lock_state(self);
+            if st.mutexes[mid].owner != Some(me) {
+                // Only reachable during teardown: a guard object dropping
+                // after `condvar_wait` already handed ownership back.
+                debug_assert!(std::thread::panicking(), "unlock by non-owner");
+                return;
+            }
+            st.mutexes[mid].owner = None;
+            for w in std::mem::take(&mut st.mutexes[mid].waiters) {
+                st.status[w] = Status::Runnable;
+            }
+        }
+        self.reschedule(me, false); // handoff point after releasing
+    }
+
+    // ---- condvars ---------------------------------------------------
+
+    pub(crate) fn condvar_create(&self) -> usize {
+        let mut st = lock_state(self);
+        st.condvars.push(CvState {
+            waiters: Vec::new(),
+        });
+        st.condvars.len() - 1
+    }
+
+    /// Releases `mid`, sleeps on `cv_id`, reacquires `mid`. Returns
+    /// whether the wake came from the simulated timeout.
+    pub(crate) fn condvar_wait(&self, me: ThreadId, cv_id: usize, mid: usize, timed: bool) -> bool {
+        {
+            let mut st = lock_state(self);
+            debug_assert_eq!(st.mutexes[mid].owner, Some(me), "wait without the lock");
+            st.mutexes[mid].owner = None;
+            for w in std::mem::take(&mut st.mutexes[mid].waiters) {
+                st.status[w] = Status::Runnable;
+            }
+            st.condvars[cv_id].waiters.push((me, timed));
+            st.timed_out[me] = false;
+        }
+        self.reschedule(me, true);
+        let timed_out = {
+            let mut st = lock_state(self);
+            std::mem::take(&mut st.timed_out[me])
+        };
+        // Reacquire (barging semantics, like the real primitives).
+        loop {
+            let mut st = lock_state(self);
+            if st.mutexes[mid].owner.is_none() {
+                st.mutexes[mid].owner = Some(me);
+                return timed_out;
+            }
+            st.mutexes[mid].waiters.push(me);
+            drop(st);
+            self.reschedule(me, true);
+        }
+    }
+
+    pub(crate) fn condvar_notify(&self, me: ThreadId, cv_id: usize, all: bool) {
+        {
+            let mut st = lock_state(self);
+            if all {
+                for (t, _) in std::mem::take(&mut st.condvars[cv_id].waiters) {
+                    st.status[t] = Status::Runnable;
+                }
+            } else if !st.condvars[cv_id].waiters.is_empty() {
+                // FIFO wake — one valid refinement of "wakes some waiter".
+                let (t, _) = st.condvars[cv_id].waiters.remove(0);
+                st.status[t] = Status::Runnable;
+            }
+        }
+        self.reschedule(me, false);
+    }
+
+    // ---- threads ----------------------------------------------------
+
+    pub(crate) fn spawn_thread(
+        self: &Arc<Self>,
+        me: ThreadId,
+        f: impl FnOnce() + Send + 'static,
+    ) -> ThreadId {
+        let id = {
+            let mut st = lock_state(self);
+            st.status.push(Status::Runnable);
+            st.joiners.push(Vec::new());
+            st.timed_out.push(false);
+            st.os_handles.push(None);
+            st.status.len() - 1
+        };
+        let exec = Arc::clone(self);
+        let handle = std::thread::Builder::new()
+            .name(format!("loom-{id}"))
+            .spawn(move || {
+                CTX.with(|c| *c.borrow_mut() = Some((Arc::clone(&exec), id)));
+                let _ = catch_unwind(AssertUnwindSafe(|| {
+                    exec.wait_for_turn(id);
+                    f();
+                }));
+                exec.finish(id);
+                CTX.with(|c| *c.borrow_mut() = None);
+            })
+            .expect("failed to spawn loom model thread");
+        {
+            let mut st = lock_state(self);
+            st.os_handles[id] = Some(handle);
+        }
+        self.reschedule(me, false); // the new thread is now a candidate
+        id
+    }
+
+    pub(crate) fn join_thread(&self, me: ThreadId, target: ThreadId) {
+        let finished = {
+            let mut st = lock_state(self);
+            if st.status[target] == Status::Finished {
+                true
+            } else {
+                st.joiners[target].push(me);
+                false
+            }
+        };
+        if !finished {
+            self.reschedule(me, true);
+        }
+    }
+
+    /// Marks a spawned thread finished and hands the baton on.
+    fn finish(&self, me: ThreadId) {
+        let mut st = lock_state(self);
+        st.status[me] = Status::Finished;
+        for j in std::mem::take(&mut st.joiners[me]) {
+            st.status[j] = Status::Runnable;
+        }
+        if st.abort.is_some() {
+            // Teardown: everyone wakes on the abort flag by themselves.
+            self.cv.notify_all();
+            return;
+        }
+        self.pick_next(&mut st, None);
+    }
+}
+
+fn format_path(path: &[Branch]) -> String {
+    let decisions: Vec<String> = path
+        .iter()
+        .map(|b| format!("{}/{}", b.taken, b.choices.len()))
+        .collect();
+    format!("[{}]", decisions.join(", "))
+}
+
+/// Runs one execution of the model closure, replaying `prior` and
+/// extending it depth-first. Returns the full decision path taken.
+pub(crate) fn run_execution<F: Fn()>(
+    f: &F,
+    prior: Vec<Branch>,
+    max_preemptions: usize,
+) -> Vec<Branch> {
+    let exec = Execution::new(max_preemptions, prior);
+    CTX.with(|c| {
+        let mut slot = c.borrow_mut();
+        assert!(slot.is_none(), "loom::model calls cannot nest");
+        *slot = Some((Arc::clone(&exec), 0));
+    });
+    let outcome = catch_unwind(AssertUnwindSafe(f));
+    CTX.with(|c| *c.borrow_mut() = None);
+
+    // Teardown: on failure (or leaked threads) raise the abort flag so
+    // every parked thread unwinds out of the scheduler, then join the OS
+    // threads either way.
+    let (leaked, handles) = {
+        let mut st = lock_state(&exec);
+        let leaked = st.status.iter().skip(1).any(|s| *s != Status::Finished);
+        if (outcome.is_err() || leaked) && st.abort.is_none() {
+            st.abort = Some(if outcome.is_err() {
+                "panic in the model closure".to_owned()
+            } else {
+                "model closure returned with live threads".to_owned()
+            });
+        }
+        let handles: Vec<_> = st.os_handles.iter_mut().filter_map(Option::take).collect();
+        (leaked, handles)
+    };
+    exec.cv.notify_all();
+    for h in handles {
+        let _ = h.join();
+    }
+
+    let st = lock_state(&exec);
+    match outcome {
+        Err(payload) => {
+            eprintln!(
+                "loom: model failed; decision path: {}",
+                format_path(&st.path)
+            );
+            drop(st);
+            std::panic::resume_unwind(payload);
+        }
+        Ok(()) => {
+            assert!(
+                !leaked,
+                "loom: model closure returned while spawned threads were still running \
+                 (decision path: {})",
+                format_path(&st.path)
+            );
+            st.path.clone()
+        }
+    }
+}

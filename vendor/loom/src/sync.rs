@@ -1,0 +1,180 @@
+//! Model-aware replacements for `std::sync` primitives.
+//!
+//! API shape follows `std`: `lock()` returns a `LockResult` (always
+//! `Ok` — the model recovers poisoning internally), `Condvar::wait`
+//! consumes and returns the guard.
+
+use std::cell::UnsafeCell;
+use std::fmt;
+use std::sync::{LockResult, OnceLock};
+use std::time::Duration;
+
+use crate::rt;
+
+pub use std::sync::Arc;
+
+/// A model-checked mutual-exclusion lock.
+pub struct Mutex<T> {
+    id: OnceLock<usize>,
+    data: UnsafeCell<T>,
+}
+
+// SAFETY: the scheduler runs exactly one model thread at a time and
+// grants access to `data` only to the thread it recorded as owner, so
+// sharing the cell across threads cannot produce concurrent access.
+unsafe impl<T: Send> Send for Mutex<T> {}
+// SAFETY: as above — all access to `data` is serialized by the model
+// scheduler's ownership protocol.
+unsafe impl<T: Send> Sync for Mutex<T> {}
+
+impl<T> Mutex<T> {
+    /// Creates a new model mutex.
+    pub const fn new(data: T) -> Self {
+        Self {
+            id: OnceLock::new(),
+            data: UnsafeCell::new(data),
+        }
+    }
+
+    fn id(&self) -> usize {
+        *self
+            .id
+            .get_or_init(|| rt::with(|exec, _| exec.mutex_create()))
+    }
+
+    /// Acquires the lock, blocking (in model time) until it is free.
+    /// Never returns `Err`: the model absorbs poisoning.
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        let id = self.id();
+        rt::with(|exec, me| exec.mutex_lock(me, id));
+        Ok(MutexGuard { mutex: self })
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Mutex").finish_non_exhaustive()
+    }
+}
+
+/// Scoped ownership of a [`Mutex`]. Releasing it is a scheduling point.
+pub struct MutexGuard<'a, T> {
+    mutex: &'a Mutex<T>,
+}
+
+impl<T> MutexGuard<'_, T> {
+    fn mutex_id(&self) -> usize {
+        self.mutex.id()
+    }
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: the guard exists only while the scheduler records the
+        // current thread as owner, so no other thread can be granted
+        // access to the cell for the guard's lifetime.
+        unsafe { &*self.mutex.data.get() }
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: as in `deref` — exclusive ownership is guaranteed by
+        // the scheduler for the guard's lifetime.
+        unsafe { &mut *self.mutex.data.get() }
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        let id = self.mutex_id();
+        rt::with(|exec, me| exec.mutex_unlock(me, id));
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
+    }
+}
+
+/// Whether a [`Condvar::wait_timeout`] returned because the simulated
+/// timeout fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult(pub(crate) bool);
+
+impl WaitTimeoutResult {
+    /// `true` if the wake came from the timeout rather than a notify.
+    #[must_use]
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+/// A model-checked condition variable.
+#[derive(Default)]
+pub struct Condvar {
+    id: OnceLock<usize>,
+}
+
+impl Condvar {
+    /// Creates a new model condvar.
+    pub const fn new() -> Self {
+        Self {
+            id: OnceLock::new(),
+        }
+    }
+
+    fn id(&self) -> usize {
+        *self
+            .id
+            .get_or_init(|| rt::with(|exec, _| exec.condvar_create()))
+    }
+
+    /// Releases the guard's mutex, sleeps until notified, reacquires.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        let (cv, mid) = (self.id(), guard.mutex_id());
+        rt::with(|exec, me| exec.condvar_wait(me, cv, mid, false));
+        // The scheduler released and reacquired ownership on our behalf;
+        // the guard object itself never dropped, so it stays valid.
+        Ok(guard)
+    }
+
+    /// Like [`wait`](Self::wait) but also wakes when the simulated
+    /// timeout fires — which the model only does once every other thread
+    /// is blocked. The duration is ignored.
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        _dur: Duration,
+    ) -> LockResult<(MutexGuard<'a, T>, WaitTimeoutResult)> {
+        let (cv, mid) = (self.id(), guard.mutex_id());
+        let timed_out = rt::with(|exec, me| exec.condvar_wait(me, cv, mid, true));
+        Ok((guard, WaitTimeoutResult(timed_out)))
+    }
+
+    /// Wakes the longest-waiting thread, if any.
+    pub fn notify_one(&self) {
+        let cv = self.id();
+        rt::with(|exec, me| exec.condvar_notify(me, cv, false));
+    }
+
+    /// Wakes every waiting thread.
+    pub fn notify_all(&self) {
+        let cv = self.id();
+        rt::with(|exec, me| exec.condvar_notify(me, cv, true));
+    }
+}
+
+impl fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Condvar").finish_non_exhaustive()
+    }
+}

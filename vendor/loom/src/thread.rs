@@ -1,0 +1,49 @@
+//! Model-aware replacements for `std::thread`.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex, PoisonError};
+
+use crate::rt;
+
+/// Handle to a model thread. Mirrors `std::thread::JoinHandle`.
+#[derive(Debug)]
+pub struct JoinHandle<T> {
+    id: rt::ThreadId,
+    result: Arc<Mutex<Option<std::thread::Result<T>>>>,
+}
+
+/// Spawns a model thread. The closure only starts running once the
+/// scheduler hands it the baton.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let result = Arc::new(Mutex::new(None));
+    let slot = Arc::clone(&result);
+    let id = rt::with(|exec, me| {
+        exec.spawn_thread(me, move || {
+            let outcome = catch_unwind(AssertUnwindSafe(f));
+            *slot.lock().unwrap_or_else(PoisonError::into_inner) = Some(outcome);
+        })
+    });
+    JoinHandle { id, result }
+}
+
+impl<T> JoinHandle<T> {
+    /// Blocks (in model time) until the thread finishes; returns its
+    /// result, or `Err` with the panic payload if it panicked.
+    pub fn join(self) -> std::thread::Result<T> {
+        rt::with(|exec, me| exec.join_thread(me, self.id));
+        self.result
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take()
+            .expect("loom: joined thread produced no result")
+    }
+}
+
+/// A voluntary scheduling point.
+pub fn yield_now() {
+    rt::with(|exec, me| exec.reschedule(me, false));
+}

@@ -1,0 +1,409 @@
+//! Workspace automation, invoked as `cargo xtask <command>`.
+//!
+//! * `analyze` — the static-analysis gate: `rustfmt --check`, `clippy -D
+//!   warnings` over every target, and a first-party unsafe audit (no
+//!   `unsafe` outside `er-pool`; every `er-pool` unsafe site carries a
+//!   `// SAFETY:` comment; every first-party crate opts into the
+//!   workspace lint wall and denies `unsafe_code` unless it is the pool).
+//! * `loom` — model-checks `er-pool` by rebuilding it with
+//!   `RUSTFLAGS="--cfg loom"` so its `sync` shim swaps in the vendored
+//!   loom scheduler.
+//! * `miri [--strict]` — runs the pool tests under Miri when `cargo miri`
+//!   is installed; otherwise skips (or fails, with `--strict`, for CI
+//!   jobs that must not silently degrade).
+//! * `all` — the three in sequence.
+
+#![deny(unsafe_code)]
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, ExitCode};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let strict = args.iter().any(|a| a == "--strict");
+    let result = match args.first().map(String::as_str) {
+        Some("analyze") => analyze(),
+        Some("loom") => loom(),
+        Some("miri") => miri(strict),
+        Some("all") => analyze().and_then(|()| loom()).and_then(|()| miri(strict)),
+        Some("help" | "--help" | "-h") | None => {
+            eprintln!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Some(other) => {
+            eprintln!("unknown command `{other}`\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage: cargo xtask <command>
+
+commands:
+  analyze          rustfmt --check, clippy -D warnings, first-party unsafe audit
+  loom             model-check er-pool (RUSTFLAGS=\"--cfg loom\")
+  miri [--strict]  er-pool tests under Miri; skipped unless cargo-miri is installed
+  all [--strict]   analyze, then loom, then miri";
+
+fn workspace_root() -> PathBuf {
+    // xtask/ sits directly under the workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .expect("xtask has a parent directory")
+        .to_path_buf()
+}
+
+/// Runs a command from the workspace root, failing on non-zero exit.
+fn run(mut cmd: Command) -> Result<(), String> {
+    let pretty = format!("{cmd:?}").replace('"', "");
+    eprintln!("xtask: running {pretty}");
+    let status = cmd
+        .current_dir(workspace_root())
+        .status()
+        .map_err(|e| format!("could not spawn `{pretty}`: {e}"))?;
+    if status.success() {
+        Ok(())
+    } else {
+        Err(format!("`{pretty}` failed with {status}"))
+    }
+}
+
+fn cargo(args: &[&str]) -> Command {
+    let mut cmd = Command::new("cargo");
+    cmd.args(args);
+    cmd
+}
+
+fn analyze() -> Result<(), String> {
+    run(cargo(&["fmt", "--all", "--", "--check"]))?;
+    run(cargo(&[
+        "clippy",
+        "--workspace",
+        "--all-targets",
+        "--",
+        "-D",
+        "warnings",
+    ]))?;
+    audit_unsafe()?;
+    audit_lint_wall()?;
+    eprintln!("xtask: analyze passed");
+    Ok(())
+}
+
+fn loom() -> Result<(), String> {
+    let mut cmd = cargo(&["test", "-p", "er-pool", "--test", "loom_pool", "--release"]);
+    let mut flags = std::env::var("RUSTFLAGS").unwrap_or_default();
+    if !flags.split_whitespace().any(|f| f == "--cfg=loom") {
+        flags.push_str(" --cfg loom");
+    }
+    cmd.env("RUSTFLAGS", flags.trim());
+    run(cmd)?;
+    eprintln!("xtask: loom model checking passed");
+    Ok(())
+}
+
+fn miri(strict: bool) -> Result<(), String> {
+    let available = Command::new("cargo")
+        .args(["miri", "--version"])
+        .current_dir(workspace_root())
+        .output()
+        .is_ok_and(|out| out.status.success());
+    if !available {
+        if strict {
+            return Err("cargo-miri is not installed (required by --strict); \
+                 install with `rustup +nightly component add miri`"
+                .into());
+        }
+        eprintln!(
+            "xtask: cargo-miri is not installed; skipping \
+             (install with `rustup +nightly component add miri`, or pass --strict to fail)"
+        );
+        return Ok(());
+    }
+    run(cargo(&["miri", "test", "-p", "er-pool"]))?;
+    eprintln!("xtask: miri passed");
+    Ok(())
+}
+
+/// First-party `.rs` files, grouped as (crate name, file path).
+fn first_party_sources() -> Result<Vec<(String, PathBuf)>, String> {
+    let root = workspace_root();
+    let mut crate_dirs: Vec<(String, PathBuf)> = vec![
+        ("unsupervised-er".into(), root.join("src")),
+        ("xtask".into(), root.join("xtask/src")),
+    ];
+    let crates = root.join("crates");
+    let entries =
+        std::fs::read_dir(&crates).map_err(|e| format!("read {}: {e}", crates.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("read {}: {e}", crates.display()))?;
+        if entry.path().is_dir() {
+            let name = entry.file_name().to_string_lossy().into_owned();
+            crate_dirs.push((name, entry.path().join("src")));
+        }
+    }
+    let mut out = Vec::new();
+    for (name, dir) in crate_dirs {
+        let mut files = Vec::new();
+        collect_rs_files(&dir, &mut files)?;
+        out.extend(files.into_iter().map(|f| (name.clone(), f)));
+    }
+    Ok(out)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("read {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("read {}: {e}", dir.display()))?;
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    out.sort();
+    Ok(())
+}
+
+/// Splits a source file into lines with comments and string literals
+/// blanked out, so keyword scans only ever see code. Tracks state across
+/// lines (multi-line strings and block comments) and steps over char
+/// literals so `'"'` cannot derail the string tracking.
+fn code_lines(text: &str) -> Vec<String> {
+    #[derive(PartialEq)]
+    enum St {
+        Code,
+        Str,
+        LineComment,
+        BlockComment,
+    }
+    let mut lines = Vec::new();
+    let mut cur = String::new();
+    let mut st = St::Code;
+    let mut chars = text.chars().peekable();
+    while let Some(c) = chars.next() {
+        if c == '\n' {
+            if st == St::LineComment {
+                st = St::Code;
+            }
+            lines.push(std::mem::take(&mut cur));
+            continue;
+        }
+        match st {
+            St::Code => match c {
+                '"' => st = St::Str,
+                '\'' => {
+                    // Char literal ('x' / '\n') or lifetime ('a). Step
+                    // over literals; leave lifetimes to the code stream.
+                    if chars.peek() == Some(&'\\') {
+                        chars.next();
+                        chars.next();
+                        chars.next();
+                    } else {
+                        let mut ahead = chars.clone();
+                        ahead.next();
+                        if ahead.peek() == Some(&'\'') {
+                            chars.next();
+                            chars.next();
+                        }
+                    }
+                }
+                '/' if chars.peek() == Some(&'/') => {
+                    chars.next();
+                    st = St::LineComment;
+                }
+                '/' if chars.peek() == Some(&'*') => {
+                    chars.next();
+                    st = St::BlockComment;
+                }
+                _ => cur.push(c),
+            },
+            St::Str => match c {
+                '\\' => {
+                    chars.next();
+                }
+                '"' => st = St::Code,
+                _ => {}
+            },
+            St::LineComment => {}
+            St::BlockComment => {
+                if c == '*' && chars.peek() == Some(&'/') {
+                    chars.next();
+                    st = St::Code;
+                }
+            }
+        }
+    }
+    lines.push(cur);
+    lines
+}
+
+/// True when a comment- and string-stripped line uses the `unsafe`
+/// keyword (`unsafe_code` lint references don't count).
+fn line_has_unsafe_code(code: &str) -> bool {
+    let mut rest = code;
+    while let Some(at) = rest.find("unsafe") {
+        let before_ok = at == 0
+            || !rest[..at]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = &rest[at + "unsafe".len()..];
+        let after_ok = !after
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return true;
+        }
+        rest = after;
+    }
+    false
+}
+
+/// No `unsafe` outside `er-pool`, and every pool unsafe site is preceded
+/// by a `// SAFETY:` comment within its contiguous comment block (clippy's
+/// `undocumented_unsafe_blocks` covers blocks; this also covers `unsafe
+/// impl`/`unsafe fn`, and keeps the policy enforced even where clippy
+/// does not run).
+fn audit_unsafe() -> Result<(), String> {
+    let mut errors = Vec::new();
+    for (krate, file) in first_party_sources()? {
+        let text =
+            std::fs::read_to_string(&file).map_err(|e| format!("read {}: {e}", file.display()))?;
+        let raw: Vec<&str> = text.lines().collect();
+        let code = code_lines(&text);
+        for (i, line) in code.iter().enumerate() {
+            if !line_has_unsafe_code(line) {
+                continue;
+            }
+            let at = format!("{}:{}", file.display(), i + 1);
+            if krate != "pool" {
+                errors.push(format!(
+                    "{at}: `unsafe` outside er-pool (the only crate allowed to use it)"
+                ));
+                continue;
+            }
+            // The SAFETY comment lives in the raw text the stripper
+            // removed; look it up in the contiguous comment block above.
+            let documented = raw[..i]
+                .iter()
+                .rev()
+                .take_while(|l| {
+                    let t = l.trim_start();
+                    t.starts_with("//") || t.starts_with("#[")
+                })
+                .any(|l| l.contains("SAFETY:"));
+            if !documented && !raw[i].contains("SAFETY:") {
+                errors.push(format!(
+                    "{at}: unsafe site without a `// SAFETY:` comment directly above it"
+                ));
+            }
+        }
+    }
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("unsafe audit failed:\n  {}", errors.join("\n  ")))
+    }
+}
+
+/// Every first-party crate inherits `[lints] workspace = true` and its
+/// root module denies `unsafe_code` — except er-pool, whose manifest
+/// still inherits the lint wall but whose lib.rs may use unsafe (each
+/// site is audited above instead).
+fn audit_lint_wall() -> Result<(), String> {
+    let root = workspace_root();
+    let mut errors = Vec::new();
+    let mut manifests = vec![root.join("Cargo.toml"), root.join("xtask/Cargo.toml")];
+    let mut lib_roots = vec![("unsupervised-er".to_owned(), root.join("src/lib.rs"))];
+    let crates = root.join("crates");
+    let entries =
+        std::fs::read_dir(&crates).map_err(|e| format!("read {}: {e}", crates.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("read {}: {e}", crates.display()))?;
+        if !entry.path().is_dir() {
+            continue;
+        }
+        let name = entry.file_name().to_string_lossy().into_owned();
+        manifests.push(entry.path().join("Cargo.toml"));
+        if name != "pool" {
+            lib_roots.push((name, entry.path().join("src/lib.rs")));
+        }
+    }
+    for manifest in manifests {
+        let text = std::fs::read_to_string(&manifest)
+            .map_err(|e| format!("read {}: {e}", manifest.display()))?;
+        if !text.contains("[lints]") {
+            errors.push(format!(
+                "{}: missing `[lints]\\nworkspace = true` (the workspace lint wall)",
+                manifest.display()
+            ));
+        }
+    }
+    for (name, lib) in lib_roots {
+        let text =
+            std::fs::read_to_string(&lib).map_err(|e| format!("read {}: {e}", lib.display()))?;
+        if !text.contains("#![deny(unsafe_code)]") {
+            errors.push(format!(
+                "{}: {name} must carry `#![deny(unsafe_code)]` (only er-pool may use unsafe)",
+                lib.display()
+            ));
+        }
+    }
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(format!(
+            "lint-wall audit failed:\n  {}",
+            errors.join("\n  ")
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn has_unsafe(src: &str) -> Vec<bool> {
+        code_lines(src)
+            .iter()
+            .map(|l| line_has_unsafe_code(l))
+            .collect()
+    }
+
+    #[test]
+    fn unsafe_detection_ignores_comments_and_lint_names() {
+        assert_eq!(has_unsafe("let x = unsafe { *p };"), [true]);
+        assert_eq!(has_unsafe("unsafe impl<T: Send> Send for M<T> {}"), [true]);
+        assert_eq!(has_unsafe("// unsafe is mentioned here"), [false]);
+        assert_eq!(has_unsafe("#![deny(unsafe_code)]"), [false]);
+        assert_eq!(has_unsafe("let not_unsafe_thing = 3;"), [false]);
+        assert_eq!(has_unsafe("call(); // unsafe in a tail comment"), [false]);
+        assert_eq!(has_unsafe("let m = \"mentions unsafe\";"), [false]);
+        assert_eq!(has_unsafe("let q = '\"'; let u = unsafe { f() };"), [true]);
+        assert_eq!(
+            has_unsafe("let s = \"spans\nunsafe lines\";"),
+            [false, false]
+        );
+        assert_eq!(
+            has_unsafe("/* unsafe in\nblock comment */ unsafe {}"),
+            [false, true]
+        );
+    }
+
+    #[test]
+    fn audits_pass_on_this_workspace() {
+        audit_unsafe().unwrap();
+        audit_lint_wall().unwrap();
+    }
+}
