@@ -15,31 +15,81 @@
 //! compare the *same* computation's wall clock — the threads=1 row is the
 //! serial baseline. Outcome equality across thread counts is asserted.
 //!
+//! Three extra record families ride along:
+//!
+//! * `cliquerank_cache_cold` / `cliquerank_cache_warm` — one cached
+//!   CliqueRank pass per dataset with a fresh [`CliqueRankCache`], then a
+//!   second pass on the populated cache; each record carries the
+//!   cumulative `hits`/`misses` counters.
+//! * `cliquerank_steady_allocs` — repeat solve of the dataset's largest
+//!   component on warm scratch, with the binary's counting allocator
+//!   armed; `allocs` must be 0 (the recurrence's zero-allocation
+//!   contract, also pinned by `tests/zero_alloc.rs`).
+//! * `matmul_blocked` / `matmul_packed` at n ∈ {256, 512} — the packed
+//!   register-tiled kernel against the legacy blocked baseline; the
+//!   packed record carries the `speedup` ratio.
+//!
 //! Run: `cargo bench -p er-bench --bench bench_fusion`. Output goes to
 //! `BENCH_fusion.json` in the current directory (override with
 //! `ER_BENCH_OUT`).
 
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 use er_bench::{bench_datasets, fusion_config, prepare, scale_factor};
-use er_core::Resolver;
+use er_core::{
+    run_cliquerank_cached, run_iter, solve_component_into, CliqueRankCache, CliqueScratch, Resolver,
+};
+use er_graph::RecordGraph;
+use er_matrix::{matmul_blocked, matmul_packed, Matrix};
 
 const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// Counts heap allocations while armed — evidence for the
+/// `cliquerank_steady_allocs` records.
+struct CountingAlloc;
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+// SAFETY: pure delegation to the system allocator plus atomic counter
+// bumps; upholds the `GlobalAlloc` contract exactly as `System` does.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        // SAFETY: same layout, delegated verbatim to the system allocator.
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: `ptr` came from `alloc` above with this exact layout.
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
 
 struct Record {
     phase: &'static str,
     dataset: String,
     threads: usize,
     seconds: f64,
+    /// Extra JSON key-value pairs (pre-rendered, comma-prefixed), e.g.
+    /// `, "hits": 3`. Empty for plain timing records.
+    extra: String,
 }
 
 fn json_line(r: &Record) -> String {
     // The dataset names are ASCII identifiers, so plain quoting is a
     // valid JSON string encoding here.
     format!(
-        "{{\"phase\": \"{}\", \"dataset\": \"{}\", \"threads\": {}, \"seconds\": {:.6}}}",
-        r.phase, r.dataset, r.threads, r.seconds
+        "{{\"phase\": \"{}\", \"dataset\": \"{}\", \"threads\": {}, \"seconds\": {:.6}{}}}",
+        r.phase, r.dataset, r.threads, r.seconds, r.extra
     )
 }
 
@@ -78,6 +128,7 @@ fn main() {
                     dataset: name.clone(),
                     threads,
                     seconds: d.as_secs_f64(),
+                    extra: String::new(),
                 });
             }
             println!(
@@ -87,14 +138,165 @@ fn main() {
                 cliquerank_time.as_secs_f64()
             );
         }
+        cache_and_alloc_records(&prepared.graph, &name, &mut records);
     }
+    matmul_records(&mut records);
 
+    write_json(&records, &out_path);
+}
+
+/// Cached-CliqueRank cold/warm timings (with cumulative hit/miss
+/// counters) and the steady-state allocation count for one dataset.
+fn cache_and_alloc_records(
+    graph: &er_graph::BipartiteGraph,
+    name: &str,
+    records: &mut Vec<Record>,
+) {
+    let cfg = fusion_config();
+    let mut cr = cfg.cliquerank;
+    cr.threads = 1;
+    // Round-1 similarities give the record graph the fused pipeline
+    // would hand to CliqueRank.
+    let uniform = vec![1.0f64; graph.pair_count()];
+    let iter_out = run_iter(graph, &uniform, &cfg.iter);
+    let gr = RecordGraph::from_pair_scores(
+        graph.record_count(),
+        graph.pairs(),
+        &iter_out.pair_similarities,
+    );
+
+    let mut cache = CliqueRankCache::new();
+    let t0 = Instant::now();
+    let cold = run_cliquerank_cached(&gr, &cr, &mut cache);
+    let cold_s = t0.elapsed().as_secs_f64();
+    records.push(Record {
+        phase: "cliquerank_cache_cold",
+        dataset: name.to_owned(),
+        threads: 1,
+        seconds: cold_s,
+        extra: format!(
+            ", \"hits\": {}, \"misses\": {}",
+            cache.hits(),
+            cache.misses()
+        ),
+    });
+    let t1 = Instant::now();
+    let warm = run_cliquerank_cached(&gr, &cr, &mut cache);
+    let warm_s = t1.elapsed().as_secs_f64();
+    assert_eq!(cold, warm, "cache replay must be exact on {name}");
+    records.push(Record {
+        phase: "cliquerank_cache_warm",
+        dataset: name.to_owned(),
+        threads: 1,
+        seconds: warm_s,
+        extra: format!(
+            ", \"hits\": {}, \"misses\": {}",
+            cache.hits(),
+            cache.misses()
+        ),
+    });
+    println!(
+        "  {name:<12} cache cold {cold_s:.3}s → warm {warm_s:.3}s  ({} hits / {} misses)",
+        cache.hits(),
+        cache.misses()
+    );
+
+    // Steady-state allocation count: repeat solve of the largest
+    // component on warm scratch must allocate nothing.
+    let comps = gr.components();
+    let Some(members) = comps
+        .members
+        .iter()
+        .filter(|m| m.len() >= 2)
+        .max_by_key(|m| m.len())
+    else {
+        return;
+    };
+    let mut local_of = vec![u32::MAX; gr.node_count()];
+    for (li, &g) in members.iter().enumerate() {
+        local_of[g as usize] = li as u32;
+    }
+    let mut out = vec![0.0f64; gr.pairs().len()];
+    let mut scratch = CliqueScratch::default();
+    solve_component_into(&gr, members, &local_of, &cr, &mut out, &mut scratch);
+    ALLOCS.store(0, Ordering::SeqCst);
+    ARMED.store(true, Ordering::SeqCst);
+    let t2 = Instant::now();
+    solve_component_into(&gr, members, &local_of, &cr, &mut out, &mut scratch);
+    let steady_s = t2.elapsed().as_secs_f64();
+    ARMED.store(false, Ordering::SeqCst);
+    let allocs = ALLOCS.load(Ordering::SeqCst);
+    records.push(Record {
+        phase: "cliquerank_steady_allocs",
+        dataset: name.to_owned(),
+        threads: 1,
+        seconds: steady_s,
+        extra: format!(
+            ", \"allocs\": {allocs}, \"component_size\": {}",
+            members.len()
+        ),
+    });
+    println!(
+        "  {name:<12} steady-state solve ({} nodes): {allocs} allocations",
+        members.len()
+    );
+}
+
+/// Packed-vs-blocked single-threaded matmul at n ∈ {256, 512}.
+fn matmul_records(records: &mut Vec<Record>) {
+    for n in [256usize, 512] {
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut a = Matrix::zeros(n, n);
+        let mut b = Matrix::zeros(n, n);
+        for m in [&mut a, &mut b] {
+            for v in m.data_mut() {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                *v = ((state >> 33) as f64 / (1u64 << 31) as f64) - 0.5;
+            }
+        }
+        let time_min = |f: &mut dyn FnMut()| {
+            let mut best = f64::INFINITY;
+            for _ in 0..3 {
+                let t = Instant::now();
+                f();
+                best = best.min(t.elapsed().as_secs_f64());
+            }
+            best
+        };
+        let blocked_s = time_min(&mut || {
+            std::hint::black_box(matmul_blocked(&a, &b));
+        });
+        let packed_s = time_min(&mut || {
+            std::hint::black_box(matmul_packed(&a, &b));
+        });
+        let speedup = blocked_s / packed_s;
+        records.push(Record {
+            phase: "matmul_blocked",
+            dataset: format!("n{n}"),
+            threads: 1,
+            seconds: blocked_s,
+            extra: String::new(),
+        });
+        records.push(Record {
+            phase: "matmul_packed",
+            dataset: format!("n{n}"),
+            threads: 1,
+            seconds: packed_s,
+            extra: format!(", \"speedup\": {speedup:.2}"),
+        });
+        println!("  matmul n={n}: blocked {blocked_s:.4}s  packed {packed_s:.4}s  ({speedup:.2}x)");
+    }
+}
+
+fn write_json(records: &[Record], out_path: &str) {
     let mut json = String::from("[\n");
     for (i, r) in records.iter().enumerate() {
         let sep = if i + 1 == records.len() { "" } else { "," };
         writeln!(json, "  {}{sep}", json_line(r)).unwrap();
     }
     json.push_str("]\n");
-    std::fs::write(&out_path, json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    std::fs::write(out_path, json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
     println!("wrote {} records to {out_path}", records.len());
 }

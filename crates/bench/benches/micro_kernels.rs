@@ -15,7 +15,10 @@ use er_core::{
 };
 use er_graph::bipartite::PairNode;
 use er_graph::{BipartiteGraphBuilder, RecordGraph};
-use er_matrix::{matmul_blocked, matmul_naive, matmul_pooled, Matrix};
+use er_matrix::{
+    matmul_blocked, matmul_naive, matmul_packed, matmul_packed_into, matmul_pooled, Matrix,
+    PackScratch,
+};
 use er_pool::WorkerPool;
 
 /// Pool sizes benchmarked against the serial baseline.
@@ -38,6 +41,16 @@ fn bench_matmul(c: &mut Criterion) {
         let b = deterministic(n, 2);
         group.bench_function(format!("blocked_{n}"), |bench| {
             bench.iter(|| matmul_blocked(&a, &b));
+        });
+        group.bench_function(format!("packed_{n}"), |bench| {
+            bench.iter(|| matmul_packed(&a, &b));
+        });
+        // The zero-allocation variant the CliqueRank recurrence runs on:
+        // output and pack buffers reused across calls.
+        let mut scratch = PackScratch::default();
+        let mut out = Matrix::zeros(n, n);
+        group.bench_function(format!("packed_into_{n}"), |bench| {
+            bench.iter(|| matmul_packed_into(&a, &b, &mut out, &mut scratch));
         });
         if n <= 128 {
             group.bench_function(format!("naive_{n}"), |bench| {

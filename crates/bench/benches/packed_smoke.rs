@@ -1,0 +1,72 @@
+//! **packed_smoke** — release-mode regression gate for the packed
+//! register-tiled matmul.
+//!
+//! Times `matmul_packed` against the legacy `matmul_blocked` baseline at
+//! n = 256 and exits non-zero if packed is slower — CI runs this so a
+//! kernel regression fails the build instead of silently eating the
+//! speedup. Also reports the n = 512 ratio (the PR's ≥ 2× target) without
+//! gating on it, since shared CI runners are too noisy for a tight
+//! threshold.
+//!
+//! Run: `cargo bench -p er-bench --bench packed_smoke`.
+
+use std::time::Instant;
+
+use er_matrix::{matmul_blocked, matmul_packed, Matrix};
+
+fn deterministic(n: usize, seed: u64) -> Matrix {
+    let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+    Matrix::from_fn(n, n, |_, _| {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 33) as f64 / (1u64 << 31) as f64) - 0.5
+    })
+}
+
+/// Best-of-`reps` wall time of `f`.
+fn time_min(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn ratio_at(n: usize, reps: usize) -> (f64, f64, f64) {
+    let a = deterministic(n, 1);
+    let b = deterministic(n, 2);
+    // Warm-up, and a correctness spot check while we're here: for
+    // k = n ≤ KC the two kernels are bit-identical by contract.
+    let blocked = matmul_blocked(&a, &b);
+    let packed = matmul_packed(&a, &b);
+    if n <= er_matrix::KC {
+        assert_eq!(
+            blocked.data(),
+            packed.data(),
+            "packed and blocked must be bit-identical at n={n}"
+        );
+    }
+    let blocked_s = time_min(reps, || {
+        std::hint::black_box(matmul_blocked(&a, &b));
+    });
+    let packed_s = time_min(reps, || {
+        std::hint::black_box(matmul_packed(&a, &b));
+    });
+    (blocked_s, packed_s, blocked_s / packed_s)
+}
+
+fn main() {
+    let (blocked_256, packed_256, ratio_256) = ratio_at(256, 5);
+    println!("n=256: blocked {blocked_256:.4}s  packed {packed_256:.4}s  speedup {ratio_256:.2}x");
+    let (blocked_512, packed_512, ratio_512) = ratio_at(512, 3);
+    println!("n=512: blocked {blocked_512:.4}s  packed {packed_512:.4}s  speedup {ratio_512:.2}x");
+
+    if ratio_256 < 1.0 {
+        eprintln!("FAIL: packed kernel slower than blocked at n=256 ({ratio_256:.2}x)");
+        std::process::exit(1);
+    }
+    println!("OK: packed ≥ blocked at n=256");
+}

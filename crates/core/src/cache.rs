@@ -15,7 +15,7 @@ use std::hash::{Hash, Hasher};
 
 use er_graph::RecordGraph;
 
-use crate::cliquerank::solve_component_public;
+use crate::cliquerank::{solve_component_public, CliqueScratch};
 use crate::config::CliqueRankConfig;
 
 /// Cache of solved components, keyed by content hash.
@@ -26,6 +26,10 @@ pub struct CliqueRankCache {
     map: HashMap<u64, Vec<f64>>,
     hits: usize,
     misses: usize,
+    /// Solver scratch reused across cache misses — an incremental resolve
+    /// that recomputes a handful of components allocates matrix buffers
+    /// only until the arena reaches its high-water mark.
+    scratch: CliqueScratch,
 }
 
 impl CliqueRankCache {
@@ -142,7 +146,15 @@ pub fn run_cliquerank_cached(
         for (li, &g) in members.iter().enumerate() {
             local_of[g as usize] = li as u32;
         }
-        solve_component_public(graph, members, &local_of, config, None, &mut out);
+        solve_component_public(
+            graph,
+            members,
+            &local_of,
+            config,
+            None,
+            &mut out,
+            &mut cache.scratch,
+        );
         for &g in members {
             local_of[g as usize] = u32::MAX;
         }

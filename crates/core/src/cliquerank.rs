@@ -47,10 +47,30 @@
 //! far cheaper than one n × n product on sparse record graphs.
 
 use er_graph::{bipartite::PairNode, RecordGraph};
-use er_matrix::{matmul_pooled, matmul_threaded, Matrix};
-use er_pool::WorkerPool;
+use er_matrix::{matmul_pooled_into, matmul_threaded_into, Matrix, MatrixArena, PackScratch};
+use er_pool::{ScratchSlot, WorkerPool};
 
 use crate::config::{BoostMode, CliqueRankConfig, Kernel, Recurrence};
+use crate::sparse_kernel::SparseScratch;
+
+/// Reusable working memory for the CliqueRank component solver.
+///
+/// One scratch serves a *stream* of components on one thread: the dense
+/// recurrence draws all of its matrices from the size-bucketed
+/// [`MatrixArena`], the packed matmul reuses [`PackScratch`], and the
+/// sparse kernel its CSR/vector buffers — so after the first component
+/// of each size bucket, solving allocates nothing (see
+/// `tests/zero_alloc.rs` at the workspace root). Parallel component
+/// scheduling checks one out per pool job via
+/// [`er_pool::ScratchSlot`].
+#[derive(Debug, Default)]
+pub struct CliqueScratch {
+    arena: MatrixArena,
+    pack: PackScratch,
+    bonus: Vec<f64>,
+    row_sums: Vec<f64>,
+    sparse: SparseScratch,
+}
 
 /// Runs CliqueRank; returns the matching probability per edge, aligned
 /// with [`RecordGraph::pairs`].
@@ -100,11 +120,20 @@ fn cliquerank_impl(
     let total_members: usize = solvable.iter().map(|m| m.len()).sum();
     if workers == 1 || total_members < 512 {
         let mut local_of = vec![u32::MAX; graph.node_count()];
+        let mut scratch = CliqueScratch::default();
         for members in solvable {
             for (li, &g) in members.iter().enumerate() {
                 local_of[g as usize] = li as u32;
             }
-            solve_component(graph, members, &local_of, config, pool, &mut out);
+            solve_component(
+                graph,
+                members,
+                &local_of,
+                config,
+                pool,
+                &mut out,
+                &mut scratch,
+            );
             for &g in members {
                 local_of[g as usize] = u32::MAX;
             }
@@ -121,20 +150,28 @@ fn cliquerank_impl(
         ..*config
     };
     let chunks: Vec<Vec<&Vec<u32>>> = {
-        // Round-robin by descending size for rough load balance.
-        let mut ordered = solvable.clone();
-        ordered.sort_by_key(|m| std::cmp::Reverse(m.len()));
+        // Round-robin by descending size for rough load balance; sorting
+        // index positions avoids cloning the component list (the stable
+        // sort keeps equal sizes in original order, so the chunking is
+        // identical to sorting the references themselves).
+        let mut order: Vec<u32> = (0..solvable.len() as u32).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(solvable[i as usize].len()));
         let mut chunks: Vec<Vec<&Vec<u32>>> = vec![Vec::new(); workers];
-        for (i, m) in ordered.into_iter().enumerate() {
-            chunks[i % workers].push(m);
+        for (pos, &i) in order.iter().enumerate() {
+            chunks[pos % workers].push(solvable[i as usize]);
         }
         chunks
     };
     let mut results: Vec<Vec<(usize, f64)>> = chunks.iter().map(|_| Vec::new()).collect();
+    // Per-worker scratch: each chunk job checks one out, so a worker's
+    // whole component stream reuses the same grown buffers.
+    let scratch_slot: ScratchSlot<CliqueScratch> = ScratchSlot::new();
     pool.scope(|s| {
         for (chunk, result) in chunks.iter().zip(results.iter_mut()) {
             let worker_config = &worker_config;
+            let scratch_slot = &scratch_slot;
             s.submit(move || {
+                let mut scratch = scratch_slot.checkout();
                 let mut local_out = vec![0.0f64; graph.pairs().len()];
                 let mut local_of = vec![u32::MAX; graph.node_count()];
                 let mut touched = Vec::new();
@@ -149,6 +186,7 @@ fn cliquerank_impl(
                         worker_config,
                         None,
                         &mut local_out,
+                        &mut scratch,
                     );
                     for &g in *members {
                         local_of[g as usize] = u32::MAX;
@@ -185,8 +223,53 @@ pub(crate) fn solve_component_public(
     config: &CliqueRankConfig,
     pool: Option<&WorkerPool>,
     out: &mut [f64],
+    scratch: &mut CliqueScratch,
 ) {
-    solve_component(graph, members, local_of, config, pool, out);
+    solve_component(graph, members, local_of, config, pool, out, scratch);
+}
+
+/// Solves one connected component serially on caller-owned scratch,
+/// writing the symmetrized edge probabilities into `out` (indexed by
+/// [`RecordGraph::pairs`] position). `members` must be one of
+/// the graph's connected components and `local_of[g]` its local index
+/// for each member `g` (`u32::MAX` elsewhere).
+///
+/// After one warm-up solve per component-size bucket, repeated calls
+/// through the same `scratch` perform **zero allocations** — the
+/// contract pinned by `tests/zero_alloc.rs`.
+pub fn solve_component_into(
+    graph: &RecordGraph,
+    members: &[u32],
+    local_of: &[u32],
+    config: &CliqueRankConfig,
+    out: &mut [f64],
+    scratch: &mut CliqueScratch,
+) {
+    solve_component(graph, members, local_of, config, None, out, scratch);
+}
+
+/// Serial [`run_cliquerank`] variant on caller-owned scratch: `out` is
+/// reshaped to one probability per retained pair. Component discovery
+/// still allocates; the per-component recurrences do not.
+pub fn run_cliquerank_into(
+    graph: &RecordGraph,
+    config: &CliqueRankConfig,
+    scratch: &mut CliqueScratch,
+    out: &mut Vec<f64>,
+) {
+    out.clear();
+    out.resize(graph.pairs().len(), 0.0);
+    let comps = graph.components();
+    let mut local_of = vec![u32::MAX; graph.node_count()];
+    for members in comps.members.iter().filter(|m| m.len() >= 2) {
+        for (li, &g) in members.iter().enumerate() {
+            local_of[g as usize] = li as u32;
+        }
+        solve_component(graph, members, &local_of, config, None, out, scratch);
+        for &g in members {
+            local_of[g as usize] = u32::MAX;
+        }
+    }
 }
 
 /// Dense solve of one connected component, writing edge probabilities
@@ -199,8 +282,17 @@ fn solve_component(
     config: &CliqueRankConfig,
     pool: Option<&WorkerPool>,
     out: &mut [f64],
+    scratch: &mut CliqueScratch,
 ) {
     let nc = members.len();
+    let CliqueScratch {
+        arena,
+        pack,
+        bonus,
+        row_sums,
+        sparse,
+    } = scratch;
+    bonus_samples_into(config, bonus);
     // Kernel selection: the edgewise sparse recursion is exact whenever
     // the neighbor mask is on; pick it when its estimated per-step cost
     // beats the dense product (dense gets an 8x constant-factor credit
@@ -215,15 +307,18 @@ fn solve_component(
             }
         };
     if use_sparse {
-        crate::sparse_kernel::solve_component_sparse(graph, members, local_of, config, out);
+        crate::sparse_kernel::solve_component_sparse(
+            graph, members, local_of, config, bonus, out, sparse,
+        );
         return;
     }
     // α-scaled edge powers: a[i][j] = (w_ij / (2 · rowmax_i))^α. The row
     // scaling keeps powf in range for any similarity magnitude (it cancels
     // in the row normalization); the factor 2 leaves headroom for the
     // (1 + b) ≤ 2 bonus.
-    let mut a = Matrix::zeros(nc, nc);
-    let mut row_sums = vec![0.0f64; nc];
+    let mut a = arena.take(nc, nc);
+    row_sums.clear();
+    row_sums.resize(nc, 0.0);
     for (li, &g) in members.iter().enumerate() {
         let (neighbors, sims) = graph.neighbors(g);
         let row_max = sims.iter().fold(0.0f64, |m, &v| m.max(v));
@@ -240,7 +335,7 @@ fn solve_component(
     }
 
     // Mt: plain row-normalized transitions (Eq. 11 / 13).
-    let mut mt = Matrix::zeros(nc, nc);
+    let mut mt = arena.take(nc, nc);
     for i in 0..nc {
         if row_sums[i] <= 0.0 {
             continue;
@@ -256,29 +351,12 @@ fn solve_component(
         mt.validate_row_stochastic(1e-9)
     });
 
-    let bonus_samples = bonus_samples(config);
     let final_matrix = match config.recurrence {
         Recurrence::FirstPassage => first_passage(
-            graph,
-            members,
-            local_of,
-            &a,
-            &row_sums,
-            &mt,
-            &bonus_samples,
-            config,
-            pool,
+            graph, members, local_of, &a, row_sums, &mt, bonus, config, pool, arena, pack,
         ),
         Recurrence::PaperEq15 => paper_eq15(
-            graph,
-            members,
-            local_of,
-            &a,
-            &row_sums,
-            &mt,
-            &bonus_samples,
-            config,
-            pool,
+            graph, members, local_of, &a, row_sums, &mt, bonus, config, pool, arena, pack,
         ),
     };
 
@@ -309,29 +387,33 @@ fn solve_component(
             out[idx] = p;
         }
     }
+    arena.recycle(a);
+    arena.recycle(mt);
+    arena.recycle(final_matrix);
 }
 
-/// The `(1 + b)^α` bonus factors the boosted matrices average over.
-pub(crate) fn bonus_samples(config: &CliqueRankConfig) -> Vec<f64> {
+/// The `(1 + b)^α` bonus factors the boosted matrices average over,
+/// written into a reusable buffer.
+pub(crate) fn bonus_samples_into(config: &CliqueRankConfig, out: &mut Vec<f64>) {
+    out.clear();
     match config.boost {
-        BoostMode::Off => vec![1.0],
+        BoostMode::Off => out.push(1.0),
         BoostMode::Fixed(b) => {
             assert!((0.0..=1.0).contains(&b), "bonus b must be in [0, 1]");
-            vec![(1.0 + b).powf(config.alpha)]
+            out.push((1.0 + b).powf(config.alpha));
         }
         BoostMode::Expected { quadrature_points } => {
             assert!(quadrature_points >= 1, "need at least one quadrature point");
-            (0..quadrature_points)
-                .map(|m| {
-                    let b = (m as f64 + 0.5) / quadrature_points as f64;
-                    (1.0 + b).powf(config.alpha)
-                })
-                .collect()
+            for m in 0..quadrature_points {
+                let b = (m as f64 + 0.5) / quadrature_points as f64;
+                out.push((1.0 + b).powf(config.alpha));
+            }
         }
     }
 }
 
-/// First-passage recurrence: returns `G^S`.
+/// First-passage recurrence: returns `G^S` (an arena matrix the caller
+/// recycles).
 #[allow(clippy::too_many_arguments)]
 #[allow(clippy::needless_range_loop)]
 fn first_passage(
@@ -344,6 +426,8 @@ fn first_passage(
     bonus: &[f64],
     config: &CliqueRankConfig,
     pool: Option<&WorkerPool>,
+    arena: &mut MatrixArena,
+    pack: &mut PackScratch,
 ) -> Matrix {
     let nc = members.len();
     // H[v,j]: expected boosted hit probability; C[v,j]: expected
@@ -351,8 +435,9 @@ fn first_passage(
     // H, but C is needed for every (v, j) with j adjacent to the walk —
     // when (v, j) is NOT an edge, the boost does not apply and
     // C[v,j] = 1 (the row is normalized without any boosted entry).
-    let mut h = Matrix::zeros(nc, nc);
-    let mut c = Matrix::from_fn(nc, nc, |_, _| 1.0);
+    let mut h = arena.take(nc, nc);
+    let mut c = arena.take(nc, nc);
+    c.data_mut().fill(1.0);
     for i in 0..nc {
         if row_sums[i] <= 0.0 {
             continue;
@@ -375,34 +460,46 @@ fn first_passage(
         }
     }
 
-    // G¹ = H; G^k = H + C ⊙ (Mt × (G^{k−1} ⊙ Mn)).
-    let mut g_mat = h.clone();
-    let mut masked = Matrix::zeros(nc, nc);
+    // G¹ = H; G^k = H + C ⊙ (Mt × (G^{k−1} ⊙ Mn)). `cont` double-buffers
+    // against `g_mat`: the step product reshapes it in place, so the loop
+    // body allocates nothing.
+    let mut g_mat = arena.take(nc, nc);
+    g_mat.data_mut().copy_from_slice(h.data());
+    let mut masked = arena.take(nc, nc);
+    let mut cont = arena.take(nc, nc);
     for _ in 2..=config.steps {
         apply_neighbor_mask(graph, members, local_of, &g_mat, &mut masked, config);
-        let mut cont = step_product(mt, &masked, config, pool);
+        step_product_into(mt, &masked, &mut cont, config, pool, pack);
         cont.hadamard_assign(&c);
         cont.add_assign(&h);
-        g_mat = cont;
+        std::mem::swap(&mut g_mat, &mut cont);
     }
+    arena.recycle(h);
+    arena.recycle(c);
+    arena.recycle(masked);
+    arena.recycle(cont);
     g_mat
 }
 
-/// One `Mt × masked` step, on the shared pool when available. All matmul
-/// variants are bit-identical, so the choice only affects speed.
-fn step_product(
+/// One `Mt × masked` step into `out`, on the shared pool when available.
+/// All matmul variants are bit-identical, so the choice only affects
+/// speed.
+fn step_product_into(
     mt: &Matrix,
     masked: &Matrix,
+    out: &mut Matrix,
     config: &CliqueRankConfig,
     pool: Option<&WorkerPool>,
-) -> Matrix {
+    pack: &mut PackScratch,
+) {
     match pool {
-        Some(pool) => matmul_pooled(mt, masked, pool),
-        None => matmul_threaded(mt, masked, config.threads),
+        Some(pool) => matmul_pooled_into(mt, masked, out, pool, pack),
+        None => matmul_threaded_into(mt, masked, out, config.threads, pack),
     }
 }
 
-/// The paper's literal Eq. 15 accumulation: returns `Σ_k M^k`.
+/// The paper's literal Eq. 15 accumulation: returns `Σ_k M^k` (an arena
+/// matrix the caller recycles).
 #[allow(clippy::too_many_arguments)]
 #[allow(clippy::needless_range_loop)]
 fn paper_eq15(
@@ -415,10 +512,13 @@ fn paper_eq15(
     bonus: &[f64],
     config: &CliqueRankConfig,
     pool: Option<&WorkerPool>,
+    arena: &mut MatrixArena,
+    pack: &mut PackScratch,
 ) -> Matrix {
     let nc = members.len();
-    // Mb[i,j] = mean_b[ β·a_ij / (β·a_ij + rowsum_i − a_ij) ].
-    let mut mb = Matrix::zeros(nc, nc);
+    // Mb[i,j] = mean_b[ β·a_ij / (β·a_ij + rowsum_i − a_ij) ]. `mb`
+    // doubles as the accumulator (M¹ = Mb and acc starts at M¹).
+    let mut acc = arena.take(nc, nc);
     for i in 0..nc {
         for j in 0..nc {
             let aij = a.get(i, j);
@@ -431,22 +531,28 @@ fn paper_eq15(
                 .map(|&beta| beta * aij / (beta * aij + rest))
                 .sum::<f64>()
                 / bonus.len() as f64;
-            mb.set(i, j, mean);
+            acc.set(i, j, mean);
         }
     }
-    let mut m = mb.clone();
-    let mut acc = mb;
-    let mut masked = Matrix::zeros(nc, nc);
+    let mut m = arena.take(nc, nc);
+    m.data_mut().copy_from_slice(acc.data());
+    let mut masked = arena.take(nc, nc);
+    let mut next = arena.take(nc, nc);
     for _ in 2..=config.steps {
         apply_neighbor_mask(graph, members, local_of, &m, &mut masked, config);
-        m = step_product(mt, &masked, config, pool);
+        step_product_into(mt, &masked, &mut next, config, pool, pack);
+        std::mem::swap(&mut m, &mut next);
         acc.add_assign(&m);
     }
+    arena.recycle(m);
+    arena.recycle(masked);
+    arena.recycle(next);
     acc
 }
 
 /// Writes `source ⊙ Mn` into `masked` (sparse copy over edges); with the
-/// mask disabled, copies `source` wholesale.
+/// mask disabled, copies `source` wholesale. In-place either way — the
+/// recurrences swap `masked` against their iterate rather than clone.
 fn apply_neighbor_mask(
     graph: &RecordGraph,
     members: &[u32],
@@ -456,10 +562,11 @@ fn apply_neighbor_mask(
     config: &CliqueRankConfig,
 ) {
     if !config.neighbor_mask {
-        masked.clone_from(source);
+        masked.reset(source.rows(), source.cols());
+        masked.data_mut().copy_from_slice(source.data());
         return;
     }
-    masked.data_mut().iter_mut().for_each(|v| *v = 0.0);
+    masked.data_mut().fill(0.0);
     for (li, &g) in members.iter().enumerate() {
         for &nb in graph.neighbors(g).0 {
             let lj = local_of[nb as usize] as usize;

@@ -12,6 +12,7 @@
 //! the reinforcement the paper quantifies in Table V. After `R` rounds,
 //! pairs with `p ≥ η` are declared matches and clustered transitively.
 
+use std::mem;
 use std::time::{Duration, Instant};
 
 use er_graph::{BipartiteGraph, RecordGraph, UnionFind};
@@ -19,7 +20,7 @@ use er_pool::WorkerPool;
 
 use crate::cliquerank::run_cliquerank_pooled;
 use crate::config::FusionConfig;
-use crate::iter::run_iter_pooled;
+use crate::iter::{run_iter_with_init_pooled_scratch, IterScratch};
 
 /// Per-round diagnostics.
 #[derive(Debug, Clone)]
@@ -116,27 +117,42 @@ impl Resolver {
         let mut rounds = Vec::with_capacity(cfg.rounds);
         let mut round_probabilities = Vec::new();
         let mut last_iter = None;
+        // Round-loop sweep buffers, allocated once and reused: the ITER
+        // scratch recycles the previous round's outcome, `floored` and
+        // `new_prob` are refilled in place.
+        let mut iter_scratch = IterScratch::new();
+        let mut floored = vec![0.0f64; n_pairs];
+        let mut new_prob = vec![0.0f64; n_pairs];
 
         for round in 1..=cfg.rounds {
+            if let Some(prev) = last_iter.take() {
+                iter_scratch.recycle(prev);
+            }
             let t0 = Instant::now();
-            let iter_out = run_iter_pooled(graph, &prob, &cfg.iter, &pool);
+            let iter_out = run_iter_with_init_pooled_scratch(
+                graph,
+                &prob,
+                &cfg.iter,
+                None,
+                &pool,
+                &mut iter_scratch,
+            );
             let iter_time = t0.elapsed();
 
             let t1 = Instant::now();
             // Admission rules: structural shared-term minimum plus the
             // optional absolute similarity floor (ablation only).
-            let floored: Vec<f64> = iter_out
-                .pair_similarities
-                .iter()
+            for ((slot, &s), &ok) in floored
+                .iter_mut()
+                .zip(&iter_out.pair_similarities)
                 .zip(&admitted)
-                .map(|(&s, &ok)| {
-                    if ok && s + 1e-9 >= cfg.min_similarity {
-                        s
-                    } else {
-                        0.0
-                    }
-                })
-                .collect();
+            {
+                *slot = if ok && s + 1e-9 >= cfg.min_similarity {
+                    s
+                } else {
+                    0.0
+                };
+            }
             let gr = RecordGraph::from_pair_scores_pooled(
                 graph.record_count(),
                 graph.pairs(),
@@ -148,7 +164,7 @@ impl Resolver {
 
             // Map probabilities back onto the bipartite pair indexing;
             // pairs whose similarity dropped to 0 keep probability 0.
-            let mut new_prob = vec![0.0f64; n_pairs];
+            new_prob.iter_mut().for_each(|v| *v = 0.0);
             for (pair, &p) in gr.pairs().iter().zip(&edge_probs) {
                 let idx = graph
                     .pair_id(pair.a, pair.b)
@@ -156,7 +172,7 @@ impl Resolver {
                 new_prob[idx as usize] = p;
             }
             let probability_delta = prob.iter().zip(&new_prob).map(|(a, b)| (a - b).abs()).sum();
-            prob = new_prob;
+            mem::swap(&mut prob, &mut new_prob);
 
             rounds.push(RoundStats {
                 round,

@@ -40,6 +40,37 @@ use crate::config::{IterConfig, Normalization};
 /// exceeds the loop body.
 const MIN_CHUNK: usize = 512;
 
+/// Reusable buffers for [`run_iter_with_init_scratch`].
+///
+/// An ITER run needs four working vectors (`x`, `new_x`, `s`, `deltas`).
+/// Three of them leave the run inside the [`IterOutcome`]; the scratch
+/// keeps the fourth, and [`IterScratch::recycle`] puts a consumed
+/// outcome's vectors back. A caller that recycles the previous round's
+/// outcome before the next run (as the fusion loop does) therefore runs
+/// every ITER sweep after the first with zero steady-state allocations.
+#[derive(Debug, Default)]
+pub struct IterScratch {
+    x: Vec<f64>,
+    new_x: Vec<f64>,
+    s: Vec<f64>,
+    deltas: Vec<f64>,
+}
+
+impl IterScratch {
+    /// Empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns a consumed outcome's vectors to the scratch so the next
+    /// run reuses their capacity.
+    pub fn recycle(&mut self, outcome: IterOutcome) {
+        self.x = outcome.term_weights;
+        self.s = outcome.pair_similarities;
+        self.deltas = outcome.deltas;
+    }
+}
+
 /// Result of one ITER run.
 #[derive(Debug, Clone)]
 pub struct IterOutcome {
@@ -95,11 +126,24 @@ pub fn run_iter_with_init(
     config: &IterConfig,
     init: Option<&[f64]>,
 ) -> IterOutcome {
+    let mut scratch = IterScratch::default();
+    run_iter_with_init_scratch(graph, edge_prob, config, init, &mut scratch)
+}
+
+/// [`run_iter_with_init`] on caller-owned scratch buffers — the
+/// zero-allocation entry point for repeated runs.
+pub fn run_iter_with_init_scratch(
+    graph: &BipartiteGraph,
+    edge_prob: &[f64],
+    config: &IterConfig,
+    init: Option<&[f64]>,
+    scratch: &mut IterScratch,
+) -> IterOutcome {
     if config.threads <= 1 {
-        iter_impl(graph, edge_prob, config, init, None)
+        iter_impl(graph, edge_prob, config, init, None, scratch)
     } else {
         let pool = WorkerPool::new(config.threads);
-        iter_impl(graph, edge_prob, config, init, Some(&pool))
+        iter_impl(graph, edge_prob, config, init, Some(&pool), scratch)
     }
 }
 
@@ -111,7 +155,20 @@ pub fn run_iter_with_init_pooled(
     init: Option<&[f64]>,
     pool: &WorkerPool,
 ) -> IterOutcome {
-    iter_impl(graph, edge_prob, config, init, Some(pool))
+    let mut scratch = IterScratch::default();
+    iter_impl(graph, edge_prob, config, init, Some(pool), &mut scratch)
+}
+
+/// [`run_iter_with_init_pooled`] on caller-owned scratch buffers.
+pub fn run_iter_with_init_pooled_scratch(
+    graph: &BipartiteGraph,
+    edge_prob: &[f64],
+    config: &IterConfig,
+    init: Option<&[f64]>,
+    pool: &WorkerPool,
+    scratch: &mut IterScratch,
+) -> IterOutcome {
+    iter_impl(graph, edge_prob, config, init, Some(pool), scratch)
 }
 
 fn iter_impl(
@@ -120,6 +177,7 @@ fn iter_impl(
     config: &IterConfig,
     init: Option<&[f64]>,
     pool: Option<&WorkerPool>,
+    scratch: &mut IterScratch,
 ) -> IterOutcome {
     assert_eq!(
         edge_prob.len(),
@@ -134,29 +192,35 @@ fn iter_impl(
 
     // Line 1: random initialization of x_t in (0, 1), overridden by the
     // warm start where provided. Terms with P_t = 0 never receive mass
-    // and stay 0.
+    // and stay 0. The working vectors come from the scratch so repeat
+    // runs reuse their capacity.
     let mut rng = SmallRng::seed_from_u64(config.seed);
-    let mut x: Vec<f64> = (0..n_terms)
-        .map(|t| {
-            if graph.pt(t as u32) == 0 {
-                return 0.0;
-            }
-            if let Some(init) = init {
-                if let Some(&w) = init.get(t) {
-                    if w > 0.0 && w < 1.0 {
-                        return w;
-                    }
+    let mut x = mem::take(&mut scratch.x);
+    x.clear();
+    x.extend((0..n_terms).map(|t| {
+        if graph.pt(t as u32) == 0 {
+            return 0.0;
+        }
+        if let Some(init) = init {
+            if let Some(&w) = init.get(t) {
+                if w > 0.0 && w < 1.0 {
+                    return w;
                 }
             }
-            rng.random_range(0.01..1.0)
-        })
-        .collect();
+        }
+        rng.random_range(0.01..1.0)
+    }));
 
-    let mut s = vec![0.0f64; n_pairs];
+    let mut s = mem::take(&mut scratch.s);
+    s.clear();
+    s.resize(n_pairs, 0.0);
     // Double buffer for the term weights: swapped with `x` each
     // iteration instead of allocating a fresh vector per pass.
-    let mut new_x = vec![0.0f64; n_terms];
-    let mut deltas = Vec::new();
+    let mut new_x = mem::take(&mut scratch.new_x);
+    new_x.clear();
+    new_x.resize(n_terms, 0.0);
+    let mut deltas = mem::take(&mut scratch.deltas);
+    deltas.clear();
     let mut converged = false;
     let mut iterations = 0;
 
@@ -192,6 +256,9 @@ fn iter_impl(
     // consistent (x, s) fixed-point pair.
     update_similarities(graph, &x, &mut s, pool);
 
+    // `x`, `s`, `deltas` leave inside the outcome (and come back via
+    // `IterScratch::recycle`); the spare double buffer stays here.
+    scratch.new_x = new_x;
     IterOutcome {
         term_weights: x,
         pair_similarities: s,

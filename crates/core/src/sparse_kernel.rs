@@ -15,14 +15,21 @@
 //! exact re-expression of the dense recurrence — the `kernels_agree`
 //! tests pin the two against each other — and it is what makes the very
 //! sparse Restaurant-style record graphs essentially free.
+//!
+//! All working vectors live in a caller-owned [`SparseScratch`] and are
+//! rebuilt with `clear()` + `push`/`resize` inside their existing
+//! capacity, so a stream of components solved through one scratch runs
+//! with zero steady-state allocations.
 
 use er_graph::{bipartite::PairNode, RecordGraph};
 
-use crate::cliquerank::bonus_samples;
 use crate::config::{CliqueRankConfig, Recurrence};
 
-/// Local directed-edge CSR for one component.
-struct LocalEdges {
+/// Reusable buffers for the edgewise kernel: the local directed-edge CSR
+/// plus the per-edge recurrence vectors. All sized by the component's
+/// directed edge count and reused across components.
+#[derive(Debug, Default)]
+pub(crate) struct SparseScratch {
     /// Row offsets per local node (`nc + 1` entries).
     row_start: Vec<usize>,
     /// Target local id per directed edge, sorted within each row.
@@ -35,16 +42,27 @@ struct LocalEdges {
     a: Vec<f64>,
     /// Row sums of `a`.
     row_sum: Vec<f64>,
+    /// Expected boosted hit probability per directed edge.
+    hit: Vec<f64>,
+    /// Expected continuation scale per directed edge.
+    cont: Vec<f64>,
+    /// Recurrence double buffers and the Eq. 15 accumulator.
+    cur: Vec<f64>,
+    next: Vec<f64>,
+    acc: Vec<f64>,
 }
 
-impl LocalEdges {
-    fn build(graph: &RecordGraph, members: &[u32], local_of: &[u32], alpha: f64) -> Self {
+impl SparseScratch {
+    /// Rebuilds the local directed-edge CSR for one component inside the
+    /// existing buffers.
+    fn build_edges(&mut self, graph: &RecordGraph, members: &[u32], local_of: &[u32], alpha: f64) {
         let nc = members.len();
-        let mut row_start = Vec::with_capacity(nc + 1);
-        row_start.push(0usize);
-        let mut tgt = Vec::new();
-        let mut a = Vec::new();
-        let mut row_sum = vec![0.0f64; nc];
+        self.row_start.clear();
+        self.row_start.push(0);
+        self.tgt.clear();
+        self.a.clear();
+        self.row_sum.clear();
+        self.row_sum.resize(nc, 0.0);
         for (li, &g) in members.iter().enumerate() {
             let (neighbors, sims) = graph.neighbors(g);
             let row_max = sims.iter().fold(0.0f64, |m, &v| m.max(v));
@@ -56,112 +74,128 @@ impl LocalEdges {
                 let lj = local_of[nb as usize];
                 debug_assert!(lj != u32::MAX);
                 let v = (sim / scale).powf(alpha);
-                tgt.push(lj);
-                a.push(v);
+                self.tgt.push(lj);
+                self.a.push(v);
                 sum += v;
             }
-            row_sum[li] = sum;
-            row_start.push(tgt.len());
+            self.row_sum[li] = sum;
+            self.row_start.push(self.tgt.len());
         }
-        let mt: Vec<f64> = (0..nc)
-            .flat_map(|i| {
-                let (s, e) = (row_start[i], row_start[i + 1]);
-                let denom = row_sum[i];
-                a[s..e]
-                    .iter()
-                    .map(move |&v| if denom > 0.0 { v / denom } else { 0.0 })
-            })
-            .collect();
-        // Reverse-edge indices via binary search in the opposite row.
-        let mut rev = vec![0u32; tgt.len()];
+        self.mt.clear();
         for i in 0..nc {
-            for e in row_start[i]..row_start[i + 1] {
-                let j = tgt[e] as usize;
-                let (js, je) = (row_start[j], row_start[j + 1]);
-                let pos = tgt[js..je]
+            let (s, e) = (self.row_start[i], self.row_start[i + 1]);
+            let denom = self.row_sum[i];
+            for &v in &self.a[s..e] {
+                self.mt.push(if denom > 0.0 { v / denom } else { 0.0 });
+            }
+        }
+        // Reverse-edge indices via binary search in the opposite row.
+        self.rev.clear();
+        self.rev.resize(self.tgt.len(), 0);
+        for i in 0..nc {
+            for e in self.row_start[i]..self.row_start[i + 1] {
+                let j = self.tgt[e] as usize;
+                let (js, je) = (self.row_start[j], self.row_start[j + 1]);
+                let pos = self.tgt[js..je]
                     .binary_search(&(i as u32))
                     .expect("undirected graph: reverse edge must exist");
-                rev[e] = (js + pos) as u32;
+                self.rev[e] = (js + pos) as u32;
             }
         }
-        Self {
-            row_start,
-            tgt,
-            rev,
-            mt,
-            a,
-            row_sum,
-        }
-    }
-
-    fn edge_count(&self) -> usize {
-        self.tgt.len()
-    }
-
-    /// `Σ_{v ∈ N(i) ∩ N(j)} Mt[i,v] · cur[(v→j)]` for the directed edge
-    /// at index `e = (i→j)`, by two-pointer merge of rows `i` and `j`.
-    fn propagate(&self, cur: &[f64], i: usize, e: usize) -> f64 {
-        let j = self.tgt[e] as usize;
-        let (mut pi, ei) = (self.row_start[i], self.row_start[i + 1]);
-        let (mut pj, ej) = (self.row_start[j], self.row_start[j + 1]);
-        let mut sum = 0.0;
-        while pi < ei && pj < ej {
-            match self.tgt[pi].cmp(&self.tgt[pj]) {
-                std::cmp::Ordering::Less => pi += 1,
-                std::cmp::Ordering::Greater => pj += 1,
-                std::cmp::Ordering::Equal => {
-                    // Common neighbor v: row j's entry at pj is (j→v);
-                    // its reverse is (v→j), whose current value we need.
-                    let v_to_j = self.rev[pj] as usize;
-                    sum += self.mt[pi] * cur[v_to_j];
-                    pi += 1;
-                    pj += 1;
-                }
-            }
-        }
-        sum
     }
 }
 
-/// Estimated per-step cost of the sparse kernel for a component:
-/// `Σ_{(i,j) directed} (deg i + deg j)` two-pointer steps.
-pub(crate) fn sparse_step_cost(graph: &RecordGraph, members: &[u32]) -> usize {
-    let mut degs = Vec::with_capacity(members.len());
-    for &g in members {
-        degs.push(graph.neighbors(g).0.len());
+/// `Σ_{v ∈ N(i) ∩ N(j)} Mt[i,v] · cur[(v→j)]` for the directed edge at
+/// index `e = (i→j)`, by two-pointer merge of rows `i` and `j`.
+fn propagate(
+    row_start: &[usize],
+    tgt: &[u32],
+    rev: &[u32],
+    mt: &[f64],
+    cur: &[f64],
+    i: usize,
+    e: usize,
+) -> f64 {
+    let j = tgt[e] as usize;
+    let (mut pi, ei) = (row_start[i], row_start[i + 1]);
+    let (mut pj, ej) = (row_start[j], row_start[j + 1]);
+    let mut sum = 0.0;
+    while pi < ei && pj < ej {
+        match tgt[pi].cmp(&tgt[pj]) {
+            std::cmp::Ordering::Less => pi += 1,
+            std::cmp::Ordering::Greater => pj += 1,
+            std::cmp::Ordering::Equal => {
+                // Common neighbor v: row j's entry at pj is (j→v);
+                // its reverse is (v→j), whose current value we need.
+                let v_to_j = rev[pj] as usize;
+                sum += mt[pi] * cur[v_to_j];
+                pi += 1;
+                pj += 1;
+            }
+        }
     }
+    sum
+}
+
+/// Estimated per-step cost of the sparse kernel for a component:
+/// `Σ_{(i,j) directed} (deg i + deg j)` two-pointer steps. Allocation-free
+/// (it runs on every component, before kernel selection).
+pub(crate) fn sparse_step_cost(graph: &RecordGraph, members: &[u32]) -> usize {
     // Σ over directed edges (i,·) of (deg_i + deg_j) = 2 Σ_i deg_i².
-    let sum_sq: usize = degs.iter().map(|&d| d * d).sum();
+    let sum_sq: usize = members
+        .iter()
+        .map(|&g| {
+            let d = graph.neighbors(g).0.len();
+            d * d
+        })
+        .sum();
     2 * sum_sq
 }
 
 /// Solves one component with the edgewise recursion and writes the
 /// symmetrized probabilities into `out`. Requires the neighbor mask.
-#[allow(clippy::needless_range_loop)]
+/// `bonus` is the shared `(1 + b)^α` sample vector computed by the
+/// caller; all working memory comes from `scratch`.
 pub(crate) fn solve_component_sparse(
     graph: &RecordGraph,
     members: &[u32],
     local_of: &[u32],
     config: &CliqueRankConfig,
+    bonus: &[f64],
     out: &mut [f64],
+    scratch: &mut SparseScratch,
 ) {
     debug_assert!(config.neighbor_mask, "sparse kernel requires the mask");
-    let edges = LocalEdges::build(graph, members, local_of, config.alpha);
-    let m = edges.edge_count();
-    let bonus = bonus_samples(config);
+    scratch.build_edges(graph, members, local_of, config.alpha);
+    let SparseScratch {
+        row_start,
+        tgt,
+        rev,
+        mt,
+        a,
+        row_sum,
+        hit,
+        cont,
+        cur,
+        next,
+        acc,
+    } = scratch;
+    let m = tgt.len();
 
     // Boosted per-edge quantities (same formulas as the dense kernel).
-    let mut hit = vec![0.0f64; m];
-    let mut cont = vec![1.0f64; m];
+    hit.clear();
+    hit.resize(m, 0.0);
+    cont.clear();
+    cont.resize(m, 1.0);
     for i in 0..members.len() {
-        for e in edges.row_start[i]..edges.row_start[i + 1] {
-            let aij = edges.a[e];
-            let rest = (edges.row_sum[i] - aij).max(0.0);
+        for e in row_start[i]..row_start[i + 1] {
+            let aij = a[e];
+            let rest = (row_sum[i] - aij).max(0.0);
             let (mut h, mut c) = (0.0, 0.0);
-            for &beta in &bonus {
+            for &beta in bonus {
                 let denom = beta * aij + rest;
                 h += beta * aij / denom;
-                c += edges.row_sum[i] / denom;
+                c += row_sum[i] / denom;
             }
             hit[e] = h / bonus.len() as f64;
             cont[e] = c / bonus.len() as f64;
@@ -169,36 +203,42 @@ pub(crate) fn solve_component_sparse(
     }
 
     // Recurrence over per-directed-edge vectors.
-    let final_vals: Vec<f64> = match config.recurrence {
+    let final_vals: &[f64] = match config.recurrence {
         Recurrence::PaperEq15 => {
             // M¹ = Mb = hit; acc += M^k.
-            let mut cur = hit.clone();
-            let mut acc = hit.clone();
-            let mut next = vec![0.0f64; m];
+            cur.clear();
+            cur.extend_from_slice(hit);
+            acc.clear();
+            acc.extend_from_slice(hit);
+            next.clear();
+            next.resize(m, 0.0);
             for _ in 2..=config.steps {
                 for i in 0..members.len() {
-                    for e in edges.row_start[i]..edges.row_start[i + 1] {
-                        next[e] = edges.propagate(&cur, i, e);
+                    let (lo, hi) = (row_start[i], row_start[i + 1]);
+                    for (e, slot) in (lo..hi).zip(next[lo..hi].iter_mut()) {
+                        *slot = propagate(row_start, tgt, rev, mt, cur, i, e);
                     }
                 }
-                for (a, &n) in acc.iter_mut().zip(&next) {
-                    *a += n;
+                for (av, &n) in acc.iter_mut().zip(next.iter()) {
+                    *av += n;
                 }
-                std::mem::swap(&mut cur, &mut next);
+                std::mem::swap(cur, next);
             }
             acc
         }
         Recurrence::FirstPassage => {
             // G¹ = H; G^k = H + C ⊙ (Mt × masked(G^{k−1})).
-            let mut cur = hit.clone();
-            let mut next = vec![0.0f64; m];
+            cur.clear();
+            cur.extend_from_slice(hit);
+            next.clear();
+            next.resize(m, 0.0);
             for _ in 2..=config.steps {
                 for i in 0..members.len() {
-                    for e in edges.row_start[i]..edges.row_start[i + 1] {
-                        next[e] = hit[e] + cont[e] * edges.propagate(&cur, i, e);
+                    for e in row_start[i]..row_start[i + 1] {
+                        next[e] = hit[e] + cont[e] * propagate(row_start, tgt, rev, mt, cur, i, e);
                     }
                 }
-                std::mem::swap(&mut cur, &mut next);
+                std::mem::swap(cur, next);
             }
             cur
         }
@@ -206,13 +246,13 @@ pub(crate) fn solve_component_sparse(
 
     // Symmetrize with per-direction clamping and write out.
     for (li, &g) in members.iter().enumerate() {
-        for e in edges.row_start[li]..edges.row_start[li + 1] {
-            let lj = edges.tgt[e] as usize;
+        for e in row_start[li]..row_start[li + 1] {
+            let lj = tgt[e] as usize;
             let gj = members[lj];
             if gj <= g {
                 continue;
             }
-            let (mut fwd, mut bwd) = (final_vals[e], final_vals[edges.rev[e] as usize]);
+            let (mut fwd, mut bwd) = (final_vals[e], final_vals[rev[e] as usize]);
             if config.clamp {
                 fwd = fwd.clamp(0.0, 1.0);
                 bwd = bwd.clamp(0.0, 1.0);
@@ -325,6 +365,27 @@ mod tests {
             for (a, b) in auto.iter().zip(&dense) {
                 assert!((a - b).abs() < 1e-10);
             }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_across_components_matches_fresh() {
+        // The same scratch solving different graphs back to back must
+        // give the same answers as a fresh scratch each time.
+        let cfg = CliqueRankConfig {
+            kernel: Kernel::Sparse,
+            threads: 1,
+            ..Default::default()
+        };
+        let fresh: Vec<Vec<f64>> = sample_graphs()
+            .iter()
+            .map(|g| run_cliquerank(g, &cfg))
+            .collect();
+        let mut scratch = crate::cliquerank::CliqueScratch::default();
+        for (g, want) in sample_graphs().iter().zip(&fresh) {
+            let mut out = Vec::new();
+            crate::cliquerank::run_cliquerank_into(g, &cfg, &mut scratch, &mut out);
+            assert_eq!(&out, want);
         }
     }
 

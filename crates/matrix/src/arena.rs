@@ -1,0 +1,159 @@
+//! Size-bucketed scratch arena for dense matrices.
+//!
+//! CliqueRank solves thousands of connected components per fusion round,
+//! each needing half a dozen `nc × nc` matrices for the recurrence.
+//! Allocating them per component dominates small-component wall clock;
+//! this arena lends buffers out instead and takes them back, so a worker
+//! that processes a stream of components reaches a **zero-allocation
+//! steady state** once its buckets are warm.
+//!
+//! Buffers are bucketed by the power of two bounding their length:
+//! [`MatrixArena::take`] pops from the bucket of `len.next_power_of_two()`
+//! (allocating exactly that capacity on a miss) and
+//! [`MatrixArena::recycle`] files a buffer under the largest power of two
+//! its capacity covers. Bucketing keeps a 10-node component from pinning
+//! the 500-node component's multi-megabyte buffer while both sizes recur
+//! in the same stream.
+//!
+//! # Lifetime rules
+//!
+//! The arena owns nothing that is out on loan: `take` moves the buffer
+//! into an ordinary [`Matrix`], and only an explicit `recycle` returns
+//! it. A leaked (never-recycled) matrix is merely a missed reuse, never
+//! unsoundness — there is no `Drop` magic and no aliasing. Arenas are
+//! single-threaded by design; parallel callers keep one arena per worker
+//! (see `er_pool::ScratchSlot`).
+
+use crate::dense::Matrix;
+
+/// A pool of reusable row-major `f64` buffers, bucketed by capacity.
+#[derive(Debug, Default)]
+pub struct MatrixArena {
+    /// `buckets[e]` holds free buffers whose capacity is in
+    /// `[1 << e, 1 << (e + 1))`.
+    buckets: Vec<Vec<Vec<f64>>>,
+    fresh: usize,
+    reused: usize,
+}
+
+impl MatrixArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Buffers allocated because no bucket could serve the request.
+    pub fn fresh_allocations(&self) -> usize {
+        self.fresh
+    }
+
+    /// Requests served from a bucket without allocating.
+    pub fn reuses(&self) -> usize {
+        self.reused
+    }
+
+    /// Lends out a zeroed `rows × cols` matrix, reusing a bucketed
+    /// buffer when one is large enough.
+    pub fn take(&mut self, rows: usize, cols: usize) -> Matrix {
+        let need = (rows * cols).max(1);
+        let e = need.next_power_of_two().trailing_zeros() as usize;
+        if self.buckets.len() <= e {
+            self.buckets.resize_with(e + 1, Vec::new);
+        }
+        let mut buf = if let Some(buf) = self.buckets[e].pop() {
+            self.reused += 1;
+            buf
+        } else {
+            self.fresh += 1;
+            Vec::with_capacity(1 << e)
+        };
+        debug_assert!(buf.capacity() >= need);
+        buf.clear();
+        buf.resize(rows * cols, 0.0);
+        Matrix::from_vec(rows, cols, buf)
+    }
+
+    /// Returns a matrix's buffer to the arena for reuse.
+    pub fn recycle(&mut self, m: Matrix) {
+        let buf = m.into_vec();
+        let cap = buf.capacity();
+        if cap == 0 {
+            return;
+        }
+        // Largest e with (1 << e) <= cap, so a bucket never over-promises.
+        let e = (usize::BITS - 1 - cap.leading_zeros()) as usize;
+        if self.buckets.len() <= e {
+            self.buckets.resize_with(e + 1, Vec::new);
+        }
+        self.buckets[e].push(buf);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_returns_zeroed_matrix() {
+        let mut arena = MatrixArena::new();
+        let mut m = arena.take(3, 4);
+        assert_eq!((m.rows(), m.cols()), (3, 4));
+        assert!(m.data().iter().all(|&v| v == 0.0));
+        m.set(1, 2, 7.0);
+        arena.recycle(m);
+        // The dirty buffer comes back zeroed.
+        let m2 = arena.take(3, 4);
+        assert!(m2.data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn same_size_round_trip_reuses() {
+        let mut arena = MatrixArena::new();
+        let m = arena.take(10, 10);
+        arena.recycle(m);
+        let _m = arena.take(10, 10);
+        assert_eq!(arena.fresh_allocations(), 1);
+        assert_eq!(arena.reuses(), 1);
+    }
+
+    #[test]
+    fn smaller_request_reuses_bucket_only_if_it_covers() {
+        let mut arena = MatrixArena::new();
+        // 100 elements → capacity 128 → bucket 7; a 60-element request
+        // also needs bucket 6..=7 coverage: next_pow2(60) = 64 → bucket 6,
+        // so the 128-capacity buffer is NOT reused (it sits in bucket 7).
+        let m = arena.take(10, 10);
+        arena.recycle(m);
+        let _small = arena.take(6, 10);
+        assert_eq!(arena.fresh_allocations(), 2);
+        // But an equal-bucket request is.
+        let _again = arena.take(9, 12); // 108 → bucket 7
+        assert_eq!(arena.reuses(), 1);
+    }
+
+    #[test]
+    fn zero_sized_take_is_fine() {
+        let mut arena = MatrixArena::new();
+        let m = arena.take(0, 5);
+        assert_eq!(m.rows(), 0);
+        arena.recycle(m);
+    }
+
+    #[test]
+    fn steady_state_allocates_nothing_new() {
+        let mut arena = MatrixArena::new();
+        let sizes = [(5usize, 5usize), (17, 17), (3, 9), (17, 17)];
+        for &(r, c) in &sizes {
+            let m = arena.take(r, c);
+            arena.recycle(m);
+        }
+        let fresh_after_warmup = arena.fresh_allocations();
+        for _ in 0..10 {
+            for &(r, c) in &sizes {
+                let m = arena.take(r, c);
+                arena.recycle(m);
+            }
+        }
+        assert_eq!(arena.fresh_allocations(), fresh_after_warmup);
+    }
+}

@@ -1,7 +1,7 @@
 //! Row-major dense matrix.
 
 use crate::invariant::InvariantViolation;
-use crate::matmul::matmul_blocked;
+use crate::matmul::matmul_packed;
 
 /// A row-major dense `f64` matrix.
 #[derive(Debug, Clone, PartialEq)]
@@ -63,6 +63,23 @@ impl Matrix {
         Self { rows, cols, data }
     }
 
+    /// Releases the underlying row-major buffer (capacity preserved),
+    /// for recycling through a [`crate::MatrixArena`].
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Reshapes in place to a zeroed `rows × cols` matrix, reusing the
+    /// existing buffer. Allocation-free whenever the buffer's capacity
+    /// already covers `rows × cols` — the property every `*_into` kernel
+    /// relies on for zero steady-state allocations.
+    pub fn reset(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
     /// Number of rows.
     pub fn rows(&self) -> usize {
         self.rows
@@ -120,9 +137,9 @@ impl Matrix {
         t
     }
 
-    /// Matrix product using the cache-blocked kernel.
+    /// Matrix product using the packed register-tiled kernel.
     pub fn matmul(&self, rhs: &Self) -> Self {
-        matmul_blocked(self, rhs)
+        matmul_packed(self, rhs)
     }
 
     /// Element-wise (Hadamard) product — the `⊙` of the CliqueRank
@@ -143,6 +160,21 @@ impl Matrix {
             rows: self.rows,
             cols: self.cols,
             data,
+        }
+    }
+
+    /// Hadamard product written into `out` (reshaped in place), so the
+    /// recurrence's masking step allocates nothing once `out`'s buffer
+    /// has reached capacity.
+    pub fn hadamard_into(&self, rhs: &Self, out: &mut Self) {
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "hadamard shape mismatch"
+        );
+        out.reset(self.rows, self.cols);
+        for ((o, a), b) in out.data.iter_mut().zip(&self.data).zip(&rhs.data) {
+            *o = a * b;
         }
     }
 
@@ -328,6 +360,26 @@ mod tests {
         assert!(a.approx_eq(&b, 1e-9));
         assert!(!a.approx_eq(&b, 1e-15));
         assert_eq!(Matrix::zeros(0, 0).max_abs(), 0.0);
+    }
+
+    #[test]
+    fn reset_reuses_capacity_and_zeroes() {
+        let mut m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let cap = m.data.capacity();
+        m.reset(1, 3);
+        assert_eq!((m.rows(), m.cols()), (1, 3));
+        assert_eq!(m.data(), &[0.0, 0.0, 0.0]);
+        assert_eq!(m.data.capacity(), cap);
+        assert_eq!(m.into_vec().capacity(), cap);
+    }
+
+    #[test]
+    fn hadamard_into_matches_hadamard() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 0.5]]);
+        let mut out = Matrix::zeros(9, 9); // wrong shape on purpose
+        a.hadamard_into(&b, &mut out);
+        assert_eq!(out, a.hadamard(&b));
     }
 
     #[test]

@@ -19,12 +19,19 @@
 
 #![deny(unsafe_code)]
 
+pub mod arena;
 pub mod dense;
 pub mod invariant;
 pub mod matmul;
+pub mod pack;
 pub mod sparse;
 
+pub use arena::MatrixArena;
 pub use dense::Matrix;
 pub use invariant::InvariantViolation;
-pub use matmul::{matmul_blocked, matmul_naive, matmul_pooled, matmul_threaded};
+pub use matmul::{
+    matmul_blocked, matmul_naive, matmul_packed, matmul_packed_into, matmul_pooled,
+    matmul_pooled_into, matmul_threaded, matmul_threaded_into,
+};
+pub use pack::{matmul_packed_rows, PackScratch, KC, MR, NR};
 pub use sparse::CsrMatrix;

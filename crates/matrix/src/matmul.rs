@@ -2,13 +2,15 @@
 //!
 //! CliqueRank performs `S − 1` products of `n × n` matrices per connected
 //! component per fusion round, so this is the framework's hottest kernel.
-//! Three implementations, all producing identical results:
+//! The implementations, all producing identical results:
 //!
-//! * [`matmul_naive`] — textbook triple loop; the reference the others are
-//!   tested against.
+//! * [`matmul_naive`] — reference i-k-j loop over row slices; what the
+//!   others are tested against.
 //! * [`matmul_blocked`] — i-k-j loop order (unit-stride inner loop) with
-//!   cache blocking; the default.
-//! * [`matmul_threaded`] — row-band parallelism over the blocked kernel
+//!   cache blocking; retained as the comparison baseline for benches.
+//! * [`matmul_packed`] — packed register-tiled microkernel
+//!   ([`crate::pack`]); the default ([`Matrix::matmul`]).
+//! * [`matmul_threaded`] — row-band parallelism over the packed kernel
 //!   via crossbeam scoped threads, standing in for Eigen's multi-threaded
 //!   GEMM on the paper's 32-core server.
 //! * [`matmul_pooled`] — the same row-band decomposition submitted to a
@@ -16,29 +18,43 @@
 //!   persistent workers instead of spawning threads per product.
 //!
 //! Row bands are computed independently, so the threaded and pooled
-//! variants are bit-identical to [`matmul_blocked`] at any thread count.
+//! variants are bit-identical to [`matmul_packed`] at any thread count.
+//! For depths `k ≤ `[`KC`] every kernel here is bit-identical to every
+//! other (each output element accumulates its products in ascending `k`
+//! order); past one packed panel the packed family differs from
+//! naive/blocked only by panel-boundary rounding.
+//!
+//! Every allocating front end has an `*_into` twin that writes into a
+//! caller-owned [`Matrix`] (reshaped in place) and borrows a
+//! [`PackScratch`], so hot recurrences reach zero steady-state
+//! allocations.
 
 use er_pool::WorkerPool;
 
 use crate::dense::Matrix;
 use crate::invariant::debug_validate;
+use crate::pack::{matmul_packed_rows, PackScratch};
 
 /// Cache block edge (in elements). 64 × 64 f64 tiles ≈ 32 KiB per operand
 /// pair, comfortably inside L1+L2 on commodity cores.
 const BLOCK: usize = 64;
 
-/// Reference triple-loop product (`O(n³)`, no blocking).
+/// Reference product (`O(n³)`, no blocking): i-k-j order over row
+/// slices, so the baseline pays neither per-element bounds checks nor
+/// the strided column walk of the textbook i-j-k loop. Each output
+/// element still accumulates its `k` products in strictly ascending
+/// order, so this is bit-identical to the i-j-k scalar formulation.
 pub fn matmul_naive(a: &Matrix, b: &Matrix) -> Matrix {
     assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
-    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let (m, n) = (a.rows(), b.cols());
     let mut out = Matrix::zeros(m, n);
     for i in 0..m {
-        for j in 0..n {
-            let mut acc = 0.0;
-            for p in 0..k {
-                acc += a.get(i, p) * b.get(p, j);
+        let a_row = a.row(i);
+        let out_row = out.row_mut(i);
+        for (p, &aval) in a_row.iter().enumerate() {
+            for (o, &bv) in out_row.iter_mut().zip(b.row(p)) {
+                *o += aval * bv;
             }
-            out.set(i, j, acc);
         }
     }
     out
@@ -91,19 +107,60 @@ fn matmul_block_into(
     }
 }
 
-/// Blocked product with the row range split across `threads` crossbeam
+/// Packed register-tiled product ([`crate::pack`]); the default kernel
+/// behind [`Matrix::matmul`]. Allocates the output and a transient
+/// [`PackScratch`]; hot loops use [`matmul_packed_into`] instead.
+pub fn matmul_packed(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(0, 0);
+    let mut scratch = PackScratch::default();
+    matmul_packed_into(a, b, &mut out, &mut scratch);
+    out
+}
+
+/// Packed product into a caller-owned output (reshaped in place) using
+/// caller-owned packing buffers. Allocation-free once `out` and
+/// `scratch` have grown to the largest shape they serve.
+pub fn matmul_packed_into(a: &Matrix, b: &Matrix, out: &mut Matrix, scratch: &mut PackScratch) {
+    assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
+    debug_validate("matmul_packed (lhs)", || a.validate());
+    debug_validate("matmul_packed (rhs)", || b.validate());
+    let (m, n) = (a.rows(), b.cols());
+    out.reset(m, n);
+    matmul_packed_rows(a, b, out.data_mut(), 0, m, scratch);
+}
+
+/// Packed product with the row range split across `threads` crossbeam
 /// scoped threads. `threads == 1` (or tiny matrices) falls through to the
 /// single-threaded kernel.
 pub fn matmul_threaded(a: &Matrix, b: &Matrix, threads: usize) -> Matrix {
+    let mut out = Matrix::zeros(0, 0);
+    let mut scratch = PackScratch::default();
+    matmul_threaded_into(a, b, &mut out, threads, &mut scratch);
+    out
+}
+
+/// [`matmul_threaded`] into a caller-owned output. The serial
+/// fall-through (`threads == 1` or a tiny product) uses the caller's
+/// `scratch` and allocates nothing; parallel bands pack into per-thread
+/// buffers, so per-row output words are written by exactly one thread
+/// and the result is bit-identical to the serial kernel.
+pub fn matmul_threaded_into(
+    a: &Matrix,
+    b: &Matrix,
+    out: &mut Matrix,
+    threads: usize,
+    scratch: &mut PackScratch,
+) {
     assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
     debug_validate("matmul_threaded (lhs)", || a.validate());
     debug_validate("matmul_threaded (rhs)", || b.validate());
     let (m, n) = (a.rows(), b.cols());
     let threads = threads.max(1).min(m.max(1));
     if threads == 1 || m * n < 64 * 64 {
-        return matmul_blocked(a, b);
+        matmul_packed_into(a, b, out, scratch);
+        return;
     }
-    let mut out = Matrix::zeros(m, n);
+    out.reset(m, n);
     let rows_per = m.div_ceil(threads);
     {
         let mut bands: Vec<&mut [f64]> = out.data_mut().chunks_mut(rows_per * n).collect();
@@ -112,45 +169,63 @@ pub fn matmul_threaded(a: &Matrix, b: &Matrix, threads: usize) -> Matrix {
                 let row_start = t * rows_per;
                 let row_end = (row_start + rows_per).min(m);
                 scope.spawn(move |_| {
-                    matmul_block_into(a, b, band, row_start, row_end);
+                    let mut local = PackScratch::default();
+                    matmul_packed_rows(a, b, band, row_start, row_end, &mut local);
                 });
             }
         })
         .expect("matmul worker thread panicked");
     }
-    out
 }
 
-/// Blocked product with row bands submitted as jobs to a shared worker
+/// Packed product with row bands submitted as jobs to a shared worker
 /// pool. Identical banding (and therefore bit-identical results) to
 /// [`matmul_threaded`]; serial pools and tiny products fall through to
 /// the single-threaded kernel.
 pub fn matmul_pooled(a: &Matrix, b: &Matrix, pool: &WorkerPool) -> Matrix {
+    let mut out = Matrix::zeros(0, 0);
+    let mut scratch = PackScratch::default();
+    matmul_pooled_into(a, b, &mut out, pool, &mut scratch);
+    out
+}
+
+/// [`matmul_pooled`] into a caller-owned output. Serial pools and tiny
+/// products use the caller's `scratch` allocation-free; parallel bands
+/// pack into per-job buffers.
+pub fn matmul_pooled_into(
+    a: &Matrix,
+    b: &Matrix,
+    out: &mut Matrix,
+    pool: &WorkerPool,
+    scratch: &mut PackScratch,
+) {
     assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
     debug_validate("matmul_pooled (lhs)", || a.validate());
     debug_validate("matmul_pooled (rhs)", || b.validate());
     let (m, n) = (a.rows(), b.cols());
     let threads = pool.threads().min(m.max(1));
     if threads == 1 || m * n < 64 * 64 {
-        return matmul_blocked(a, b);
+        matmul_packed_into(a, b, out, scratch);
+        return;
     }
-    let mut out = Matrix::zeros(m, n);
+    out.reset(m, n);
     let rows_per = m.div_ceil(threads);
     pool.scope(|s| {
         for (t, band) in out.data_mut().chunks_mut(rows_per * n).enumerate() {
             let row_start = t * rows_per;
             let row_end = (row_start + rows_per).min(m);
             s.submit(move || {
-                matmul_block_into(a, b, band, row_start, row_end);
+                let mut local = PackScratch::default();
+                matmul_packed_rows(a, b, band, row_start, row_end, &mut local);
             });
         }
     });
-    out
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::pack::KC;
 
     fn deterministic(rows: usize, cols: usize, seed: u64) -> Matrix {
         // Cheap LCG so tests need no RNG dependency.
@@ -170,7 +245,33 @@ mod tests {
         let expect = Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]);
         assert_eq!(matmul_naive(&a, &b), expect);
         assert_eq!(matmul_blocked(&a, &b), expect);
+        assert_eq!(matmul_packed(&a, &b), expect);
         assert_eq!(matmul_threaded(&a, &b, 4), expect);
+    }
+
+    #[test]
+    fn packed_is_bit_identical_to_naive_and_blocked_single_panel() {
+        // k ≤ KC: one packed panel, so per-element accumulation order is
+        // identical across all three kernels (see crate::pack docs).
+        let n = 97;
+        assert!(n <= KC);
+        let a = deterministic(n, n, 11);
+        let b = deterministic(n, n, 12);
+        let packed = matmul_packed(&a, &b);
+        assert_eq!(packed, matmul_naive(&a, &b));
+        assert_eq!(packed, matmul_blocked(&a, &b));
+    }
+
+    #[test]
+    fn packed_into_reuses_buffers_across_shapes() {
+        let mut out = Matrix::zeros(0, 0);
+        let mut scratch = PackScratch::default();
+        for (m, k, n) in [(33, 20, 11), (5, 5, 5), (20, 40, 20)] {
+            let a = deterministic(m, k, 20);
+            let b = deterministic(k, n, 21);
+            matmul_packed_into(&a, &b, &mut out, &mut scratch);
+            assert_eq!(out, matmul_naive(&a, &b));
+        }
     }
 
     #[test]
@@ -193,26 +294,44 @@ mod tests {
     }
 
     #[test]
-    fn threaded_matches_blocked() {
+    fn threaded_is_bit_identical_to_packed() {
         let n = 97;
         let a = deterministic(n, n, 5);
         let b = deterministic(n, n, 6);
-        let single = matmul_blocked(&a, &b);
+        let single = matmul_packed(&a, &b);
         for threads in [2, 3, 8] {
-            assert!(matmul_threaded(&a, &b, threads).approx_eq(&single, 1e-12));
+            assert_eq!(
+                matmul_threaded(&a, &b, threads),
+                single,
+                "threads={threads}"
+            );
         }
     }
 
     #[test]
-    fn pooled_is_bit_identical_to_blocked() {
+    fn pooled_is_bit_identical_to_packed() {
         let n = 97;
         let a = deterministic(n, n, 5);
         let b = deterministic(n, n, 6);
-        let single = matmul_blocked(&a, &b);
+        let single = matmul_packed(&a, &b);
         for threads in [1, 2, 3, 8] {
             let pool = WorkerPool::new(threads);
             assert_eq!(matmul_pooled(&a, &b, &pool), single, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn deep_k_threaded_and_pooled_match_serial_packed() {
+        // k > KC exercises the multi-panel write-back; band splits must
+        // still be bit-identical to the serial packed kernel.
+        let (m, k, n) = (70, 2 * KC + 3, 40);
+        let a = deterministic(m, k, 30);
+        let b = deterministic(k, n, 31);
+        let single = matmul_packed(&a, &b);
+        assert_eq!(matmul_threaded(&a, &b, 8), single);
+        let pool = WorkerPool::new(4);
+        assert_eq!(matmul_pooled(&a, &b, &pool), single);
+        assert!(single.approx_eq(&matmul_naive(&a, &b), 1e-9));
     }
 
     #[test]

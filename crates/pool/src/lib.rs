@@ -57,7 +57,10 @@ use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::Duration;
 
+pub mod scratch;
 mod sync;
+
+pub use scratch::{ScratchGuard, ScratchSlot};
 
 use crate::sync::{Condvar, Mutex};
 

@@ -1,0 +1,136 @@
+//! Per-worker scratch without worker identity.
+//!
+//! The pool's workers are anonymous — jobs don't know which thread runs
+//! them — so "per-worker scratch" is modeled as a checkout stack: a job
+//! [`ScratchSlot::checkout`]s a scratch value on entry and the guard
+//! returns it on drop. Since at most `threads` jobs run concurrently, at
+//! most `threads` values are ever live, and after a warm-up pass every
+//! checkout is served from the stack without constructing (or, for
+//! buffer-holding scratch types, allocating) anything new. A worker that
+//! processes a stream of CliqueRank components therefore reuses the same
+//! grown buffers across components — the size-bucketed reuse the
+//! zero-allocation recurrence relies on.
+
+use crate::sync::Mutex;
+
+/// A checkout stack of reusable scratch values.
+///
+/// `T::default()` must be cheap (empty buffers); values grow lazily to
+/// their high-water mark in use and keep that capacity across checkouts.
+#[derive(Debug, Default)]
+pub struct ScratchSlot<T> {
+    free: Mutex<Vec<T>>,
+}
+
+impl<T: Default> ScratchSlot<T> {
+    /// An empty slot; values are constructed on first checkout.
+    pub fn new() -> Self {
+        Self {
+            free: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Checks out a scratch value (reusing a returned one when
+    /// available). The guard derefs to `T` and returns the value to the
+    /// slot when dropped.
+    pub fn checkout(&self) -> ScratchGuard<'_, T> {
+        let value = self.free.lock().pop().unwrap_or_default();
+        ScratchGuard {
+            slot: self,
+            value: Some(value),
+        }
+    }
+
+    /// Number of values currently parked in the slot (none checked out
+    /// ⇒ the total ever constructed).
+    pub fn parked(&self) -> usize {
+        self.free.lock().len()
+    }
+}
+
+/// Owns a checked-out scratch value; hands it back on drop.
+#[derive(Debug)]
+pub struct ScratchGuard<'a, T: Default> {
+    slot: &'a ScratchSlot<T>,
+    value: Option<T>,
+}
+
+impl<T: Default> std::ops::Deref for ScratchGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.value.as_ref().expect("scratch present until drop")
+    }
+}
+
+impl<T: Default> std::ops::DerefMut for ScratchGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.value.as_mut().expect("scratch present until drop")
+    }
+}
+
+impl<T: Default> Drop for ScratchGuard<'_, T> {
+    fn drop(&mut self) {
+        if let Some(value) = self.value.take() {
+            self.slot.free.lock().push(value);
+        }
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+    use crate::WorkerPool;
+
+    #[test]
+    fn checkout_returns_value_on_drop() {
+        let slot: ScratchSlot<Vec<u8>> = ScratchSlot::new();
+        {
+            let mut g = slot.checkout();
+            g.extend_from_slice(b"warm");
+            assert_eq!(slot.parked(), 0);
+        }
+        assert_eq!(slot.parked(), 1);
+        // The returned value keeps its capacity (contents are the
+        // checkout's responsibility to clear).
+        let g = slot.checkout();
+        assert!(g.capacity() >= 4);
+    }
+
+    #[test]
+    fn concurrent_checkouts_bounded_by_jobs_in_flight() {
+        let pool = WorkerPool::new(4);
+        let slot: ScratchSlot<Vec<u64>> = ScratchSlot::new();
+        for _round in 0..3 {
+            pool.scope(|s| {
+                for i in 0..16u64 {
+                    let slot = &slot;
+                    s.submit(move || {
+                        let mut g = slot.checkout();
+                        g.clear();
+                        g.push(i);
+                    });
+                }
+            });
+        }
+        // Never more live values than workers.
+        assert!(slot.parked() <= pool.threads());
+        assert!(slot.parked() >= 1);
+    }
+
+    #[test]
+    fn serial_pool_converges_to_one_value() {
+        let pool = WorkerPool::new(1);
+        let slot: ScratchSlot<Vec<u64>> = ScratchSlot::new();
+        pool.scope(|s| {
+            for _ in 0..8 {
+                let slot = &slot;
+                s.submit(move || {
+                    let mut g = slot.checkout();
+                    g.resize(100, 0);
+                });
+            }
+        });
+        assert_eq!(slot.parked(), 1);
+    }
+}

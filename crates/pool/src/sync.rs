@@ -30,6 +30,14 @@ mod imp {
     #[derive(Default)]
     pub(crate) struct Mutex<T>(loom::sync::Mutex<T>);
 
+    // Loom's mutex doesn't implement `Debug`; callers that derive it
+    // (e.g. `ScratchSlot`) only need an opaque placeholder.
+    impl<T> std::fmt::Debug for Mutex<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Mutex(<loom>)")
+        }
+    }
+
     impl<T> Mutex<T> {
         pub(crate) fn new(data: T) -> Self {
             Self(loom::sync::Mutex::new(data))

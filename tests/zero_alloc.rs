@@ -1,0 +1,126 @@
+//! Steady-state allocation contract of the CliqueRank recurrence.
+//!
+//! After a warm-up solve has grown the scratch arena, the pack buffers,
+//! and the sparse-kernel CSR scratch to their high-water marks, repeating
+//! the solve on the same component must perform **zero** heap
+//! allocations — both on the dense (packed matmul) path and on the
+//! edgewise sparse path. A counting global allocator pins that contract;
+//! any regression (a stray `clone`, a `Vec` built inside the step loop, a
+//! matrix allocated per iteration) turns into a test failure rather than
+//! a silent slowdown.
+//!
+//! This file deliberately holds a single `#[test]`: the counter is
+//! process-global, and sibling tests running on other threads would
+//! otherwise bleed allocations into the measurement window.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+use er_core::{solve_component_into, BoostMode, CliqueRankConfig, CliqueScratch, Kernel};
+use er_graph::{bipartite::PairNode, RecordGraph};
+
+/// Delegates to the system allocator, counting allocation calls while
+/// armed. `realloc`/`alloc_zeroed` use the `GlobalAlloc` defaults, which
+/// route through `alloc`, so growth is counted too.
+struct CountingAlloc;
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+// The workspace-wide `#![deny(unsafe_code)]` walls apply to the library
+// crates; this integration test is the one place a `GlobalAlloc` shim is
+// unavoidable, and the xtask unsafe audit covers `src/` trees only.
+// SAFETY: pure delegation to the system allocator plus atomic counter
+// bumps; upholds the `GlobalAlloc` contract exactly as `System` does.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        // SAFETY: same layout, delegated verbatim to the system allocator.
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: `ptr` came from `alloc` above with this exact layout.
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+/// Allocations performed by `f` while the counter is armed.
+fn count_allocs(f: impl FnOnce()) -> usize {
+    ALLOCS.store(0, Ordering::SeqCst);
+    ARMED.store(true, Ordering::SeqCst);
+    f();
+    ARMED.store(false, Ordering::SeqCst);
+    ALLOCS.load(Ordering::SeqCst)
+}
+
+/// One connected component: a 24-node ring with chords, dense enough to
+/// engage the packed matmul on the dense path and ragged enough (24 is
+/// not a multiple of MR = 8 panels × NR = 4 columns in both directions)
+/// to cross tile tails.
+fn component_graph() -> RecordGraph {
+    let n = 24u32;
+    let mut pairs = Vec::new();
+    let mut scores = Vec::new();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = j - i;
+            if d == 1 || d == 2 || d == 7 {
+                pairs.push(PairNode::new(i, j));
+                scores.push(0.4 + 0.5 / (1.0 + d as f64));
+            }
+        }
+    }
+    RecordGraph::from_pair_scores(n as usize, &pairs, &scores)
+}
+
+fn config(kernel: Kernel) -> CliqueRankConfig {
+    CliqueRankConfig {
+        kernel,
+        threads: 1,
+        boost: BoostMode::Fixed(0.5),
+        ..Default::default()
+    }
+}
+
+fn assert_steady_state_alloc_free(kernel: Kernel, label: &str) {
+    let graph = component_graph();
+    let cfg = config(kernel);
+    let comps = graph.components();
+    let members = comps
+        .members
+        .iter()
+        .find(|m| m.len() >= 2)
+        .expect("graph has one non-trivial component");
+    let mut local_of = vec![u32::MAX; graph.node_count()];
+    for (li, &g) in members.iter().enumerate() {
+        local_of[g as usize] = li as u32;
+    }
+    let mut out = vec![0.0f64; graph.pairs().len()];
+    let mut scratch = CliqueScratch::default();
+
+    // Warm-up: grows the arena, pack buffers, and sparse CSR scratch to
+    // their high-water marks.
+    solve_component_into(&graph, members, &local_of, &cfg, &mut out, &mut scratch);
+    let baseline = out.clone();
+
+    let allocs = count_allocs(|| {
+        solve_component_into(&graph, members, &local_of, &cfg, &mut out, &mut scratch);
+    });
+    assert_eq!(
+        allocs, 0,
+        "{label}: steady-state recurrence must not allocate"
+    );
+    assert_eq!(out, baseline, "{label}: repeat solve must be bit-identical");
+}
+
+#[test]
+fn cliquerank_recurrence_steady_state_allocates_nothing() {
+    assert_steady_state_alloc_free(Kernel::Dense, "dense packed path");
+    assert_steady_state_alloc_free(Kernel::Sparse, "edgewise sparse path");
+}
