@@ -1,6 +1,7 @@
 //! Hybrid baseline (§III-C, Table II "Hybrid" row).
 
 use er_graph::bipartite::PairNode;
+use er_pool::WorkerPool;
 use er_text::Corpus;
 
 use crate::{PairScorer, SimRankScorer, TwIdfScorer};
@@ -42,6 +43,24 @@ impl PairScorer for HybridScorer {
         assert!((0.0..=1.0).contains(&self.beta), "beta must be in [0, 1]");
         let sb = max_normalized(self.simrank.score_pairs(corpus, pairs));
         let su = max_normalized(self.twidf.score_pairs(corpus, pairs));
+        sb.iter()
+            .zip(&su)
+            .map(|(b, u)| self.beta * b + (1.0 - self.beta) * u)
+            .collect()
+    }
+
+    fn score_pairs_pooled(
+        &self,
+        corpus: &Corpus,
+        pairs: &[PairNode],
+        pool: &WorkerPool,
+    ) -> Vec<f64> {
+        assert!((0.0..=1.0).contains(&self.beta), "beta must be in [0, 1]");
+        // Both sides run on the pool; the max-normalization folds and the
+        // β-combination stay serial, so the fusion is bit-identical to
+        // the serial path.
+        let sb = max_normalized(self.simrank.score_pairs_pooled(corpus, pairs, pool));
+        let su = max_normalized(self.twidf.score_pairs_pooled(corpus, pairs, pool));
         sb.iter()
             .zip(&su)
             .map(|(b, u)| self.beta * b + (1.0 - self.beta) * u)

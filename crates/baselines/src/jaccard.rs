@@ -1,9 +1,10 @@
 //! Jaccard baseline (Table II row 1).
 
 use er_graph::bipartite::PairNode;
+use er_pool::WorkerPool;
 use er_text::{jaccard, Corpus};
 
-use crate::PairScorer;
+use crate::{score_pairs_chunked, PairScorer};
 
 /// Jaccard coefficient over the records' (post-filter) term sets.
 #[derive(Debug, Clone, Copy, Default)]
@@ -19,6 +20,17 @@ impl PairScorer for JaccardScorer {
             .iter()
             .map(|p| jaccard(corpus.term_set(p.a as usize), corpus.term_set(p.b as usize)))
             .collect()
+    }
+
+    fn score_pairs_pooled(
+        &self,
+        corpus: &Corpus,
+        pairs: &[PairNode],
+        pool: &WorkerPool,
+    ) -> Vec<f64> {
+        score_pairs_chunked(pairs, pool, |p| {
+            jaccard(corpus.term_set(p.a as usize), corpus.term_set(p.b as usize))
+        })
     }
 }
 

@@ -25,9 +25,10 @@ pub mod simrank;
 pub mod tfidf;
 pub mod twidf;
 
-use er_eval::{sweep_threshold, ScoredPair, SweepResult, TruthPairs};
+use er_eval::{sweep_threshold_iter, SweepResult, TruthPairs};
 use er_graph::bipartite::PairNode;
 use er_graph::BipartiteGraphBuilder;
+use er_pool::WorkerPool;
 use er_text::{Corpus, TermId};
 
 pub use hybrid::HybridScorer;
@@ -44,6 +45,63 @@ pub trait PairScorer {
     /// Scores each candidate pair (parallel to `pairs`). Scores need not
     /// be normalized; the threshold sweep handles arbitrary ranges.
     fn score_pairs(&self, corpus: &Corpus, pairs: &[PairNode]) -> Vec<f64>;
+
+    /// Scores each candidate pair on a shared worker pool.
+    ///
+    /// **Determinism contract:** implementations split the candidate
+    /// list into deterministic chunks, write disjoint output ranges, and
+    /// keep every per-pair computation serial, so the result is
+    /// bit-identical to [`PairScorer::score_pairs`] at any pool size
+    /// (asserted by the Table II harness on every run). The default
+    /// simply runs the serial path.
+    fn score_pairs_pooled(
+        &self,
+        corpus: &Corpus,
+        pairs: &[PairNode],
+        pool: &WorkerPool,
+    ) -> Vec<f64> {
+        let _ = pool;
+        self.score_pairs(corpus, pairs)
+    }
+}
+
+/// Minimum candidate pairs per pooled scoring chunk: per-pair scoring is
+/// cheap relative to SimRank slots, so chunks are coarser.
+const SCORE_MIN_CHUNK: usize = 256;
+
+/// Fills `out[i] = score(pairs[i])` by splitting `pairs` into
+/// deterministic contiguous chunks on `pool` and concatenating in order
+/// (each chunk writes its own disjoint subslice). Since every per-pair
+/// score is computed serially, the result is bit-identical to the serial
+/// loop at any thread count. The shared chunking helper behind every
+/// [`PairScorer::score_pairs_pooled`] implementation.
+pub fn score_pairs_chunked<F>(pairs: &[PairNode], pool: &WorkerPool, score: F) -> Vec<f64>
+where
+    F: Fn(&PairNode) -> f64 + Sync,
+{
+    let mut out = vec![0.0f64; pairs.len()];
+    if pool.is_serial() {
+        for (v, p) in out.iter_mut().zip(pairs) {
+            *v = score(p);
+        }
+        return out;
+    }
+    let ranges = er_pool::chunk_ranges(pairs.len(), pool.threads(), SCORE_MIN_CHUNK);
+    let score = &score;
+    pool.scope(|s| {
+        let mut rest = out.as_mut_slice();
+        for r in ranges {
+            let (chunk, tail) = rest.split_at_mut(r.len());
+            rest = tail;
+            let ps = &pairs[r];
+            s.submit(move || {
+                for (v, p) in chunk.iter_mut().zip(ps) {
+                    *v = score(p);
+                }
+            });
+        }
+    });
+    out
 }
 
 /// Enumerates the candidate pairs of a corpus: all record pairs sharing
@@ -75,16 +133,32 @@ pub fn evaluate_scorer(
     truth: &TruthPairs,
 ) -> SweepResult {
     let scores = scorer.score_pairs(corpus, pairs);
-    let scored: Vec<ScoredPair> = pairs
-        .iter()
-        .zip(&scores)
-        .map(|(p, &score)| ScoredPair {
-            a: p.a,
-            b: p.b,
-            score,
-        })
-        .collect();
-    sweep_threshold(&scored, truth, 1000)
+    sweep_scores(pairs, &scores, truth)
+}
+
+/// [`evaluate_scorer`] with the scoring stage on a shared worker pool.
+/// Bit-identical to the serial evaluation (see
+/// [`PairScorer::score_pairs_pooled`]).
+pub fn evaluate_scorer_pooled(
+    scorer: &dyn PairScorer,
+    corpus: &Corpus,
+    pairs: &[PairNode],
+    truth: &TruthPairs,
+    pool: &WorkerPool,
+) -> SweepResult {
+    let scores = scorer.score_pairs_pooled(corpus, pairs, pool);
+    sweep_scores(pairs, &scores, truth)
+}
+
+/// Sweeps parallel `pairs`/`scores` slices without materializing a
+/// `ScoredPair` buffer.
+pub fn sweep_scores(pairs: &[PairNode], scores: &[f64], truth: &TruthPairs) -> SweepResult {
+    assert_eq!(pairs.len(), scores.len(), "one score per candidate pair");
+    sweep_threshold_iter(
+        pairs.iter().zip(scores).map(|(p, &s)| (p.a, p.b, s)),
+        truth,
+        1000,
+    )
 }
 
 #[cfg(test)]
@@ -102,6 +176,36 @@ mod tests {
         let pairs = candidate_pairs(&corpus, None);
         assert_eq!(pairs.len(), 1);
         assert_eq!(pairs[0], PairNode::new(0, 1));
+    }
+
+    #[test]
+    fn pooled_scoring_matches_serial_for_every_scorer() {
+        let corpus = CorpusBuilder::new()
+            .push_text("fenix argyle 8358 sunset blvd")
+            .push_text("fenix 8358 sunset blvd hollywood")
+            .push_text("grill alley 9560 dayton way")
+            .push_text("grill on alley 9560 dayton")
+            .push_text("unrelated words entirely here")
+            .build();
+        let pairs = candidate_pairs(&corpus, None);
+        assert!(!pairs.is_empty());
+        let scorers: Vec<Box<dyn PairScorer>> = vec![
+            Box::new(JaccardScorer),
+            Box::new(TfIdfScorer),
+            Box::new(SimRankScorer::default()),
+            Box::new(TwIdfScorer::default()),
+            Box::new(HybridScorer::default()),
+        ];
+        for scorer in &scorers {
+            let serial = scorer.score_pairs(&corpus, &pairs);
+            for threads in [2, 4] {
+                let pool = WorkerPool::new(threads);
+                let pooled = scorer.score_pairs_pooled(&corpus, &pairs, &pool);
+                let a: Vec<u64> = serial.iter().map(|s| s.to_bits()).collect();
+                let b: Vec<u64> = pooled.iter().map(|s| s.to_bits()).collect();
+                assert_eq!(a, b, "{} diverged at threads={threads}", scorer.name());
+            }
+        }
     }
 
     #[test]

@@ -1,10 +1,11 @@
 //! Bipartite SimRank baseline (§III-A, Table II "SimRank" row).
 
 use er_graph::bipartite::PairNode;
-use er_graph::simrank::{bipartite_simrank, SimRankConfig};
+use er_graph::simrank::{bipartite_simrank_pooled, SimRankConfig};
+use er_pool::WorkerPool;
 use er_text::Corpus;
 
-use crate::PairScorer;
+use crate::{score_pairs_chunked, PairScorer};
 
 /// SimRank on the record–term bipartite graph: two records are similar if
 /// they contain similar terms (Eq. 1–2). Purely topological — it ignores
@@ -22,12 +23,22 @@ impl PairScorer for SimRankScorer {
     }
 
     fn score_pairs(&self, corpus: &Corpus, pairs: &[PairNode]) -> Vec<f64> {
+        self.score_pairs_pooled(corpus, pairs, &WorkerPool::new(1))
+    }
+
+    fn score_pairs_pooled(
+        &self,
+        corpus: &Corpus,
+        pairs: &[PairNode],
+        pool: &WorkerPool,
+    ) -> Vec<f64> {
         let owned: Vec<Vec<u32>> = (0..corpus.len())
             .map(|r| corpus.term_set(r).iter().map(|t| t.0).collect())
             .collect();
         let record_terms: Vec<&[u32]> = owned.iter().map(Vec::as_slice).collect();
-        let scores = bipartite_simrank(&record_terms, corpus.vocab_len(), &self.config, None);
-        pairs.iter().map(|p| scores.record(p.a, p.b)).collect()
+        let scores =
+            bipartite_simrank_pooled(&record_terms, corpus.vocab_len(), &self.config, None, pool);
+        score_pairs_chunked(pairs, pool, |p| scores.record(p.a, p.b))
     }
 }
 

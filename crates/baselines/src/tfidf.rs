@@ -1,9 +1,10 @@
 //! TF-IDF cosine baseline (Table II row 2).
 
 use er_graph::bipartite::PairNode;
+use er_pool::WorkerPool;
 use er_text::{Corpus, TfIdfModel};
 
-use crate::PairScorer;
+use crate::{score_pairs_chunked, PairScorer};
 
 /// Cosine similarity of L2-normalized TF-IDF vectors.
 ///
@@ -24,6 +25,18 @@ impl PairScorer for TfIdfScorer {
             .iter()
             .map(|p| model.cosine(p.a as usize, p.b as usize))
             .collect()
+    }
+
+    fn score_pairs_pooled(
+        &self,
+        corpus: &Corpus,
+        pairs: &[PairNode],
+        pool: &WorkerPool,
+    ) -> Vec<f64> {
+        // Fitting stays serial (one corpus pass); only the per-pair
+        // cosines fan out.
+        let model = TfIdfModel::fit(corpus);
+        score_pairs_chunked(pairs, pool, |p| model.cosine(p.a as usize, p.b as usize))
     }
 }
 

@@ -2,9 +2,10 @@
 
 use er_graph::bipartite::PairNode;
 use er_graph::{cooccurrence_graph, pagerank, PageRankConfig};
+use er_pool::WorkerPool;
 use er_text::Corpus;
 
-use crate::PairScorer;
+use crate::{score_pairs_chunked, PairScorer};
 
 /// TW-IDF textual similarity: term salience `s(t)` from PageRank on the
 /// sliding-window co-occurrence graph (Eq. 3), combined per pair as
@@ -50,24 +51,32 @@ impl PairScorer for TwIdfScorer {
     }
 
     fn score_pairs(&self, corpus: &Corpus, pairs: &[PairNode]) -> Vec<f64> {
+        self.score_pairs_pooled(corpus, pairs, &WorkerPool::new(1))
+    }
+
+    fn score_pairs_pooled(
+        &self,
+        corpus: &Corpus,
+        pairs: &[PairNode],
+        pool: &WorkerPool,
+    ) -> Vec<f64> {
+        // PageRank salience is one fixed-point solve — serial; the
+        // per-pair Eq. 4 combination fans out over candidate chunks.
         let salience = self.term_salience(corpus);
         let n = corpus.len() as f64;
-        pairs
-            .iter()
-            .map(|p| {
-                corpus
-                    .shared_terms(p.a as usize, p.b as usize)
-                    .iter()
-                    .map(|&t| {
-                        let df = corpus.filtered_doc_freq(t) as f64;
-                        if df == 0.0 {
-                            return 0.0;
-                        }
-                        salience[t.index()] * ((n + 1.0) / df).ln()
-                    })
-                    .sum()
-            })
-            .collect()
+        score_pairs_chunked(pairs, pool, |p| {
+            corpus
+                .shared_terms(p.a as usize, p.b as usize)
+                .iter()
+                .map(|&t| {
+                    let df = corpus.filtered_doc_freq(t) as f64;
+                    if df == 0.0 {
+                        return 0.0;
+                    }
+                    salience[t.index()] * ((n + 1.0) / df).ln()
+                })
+                .sum()
+        })
     }
 }
 

@@ -1,0 +1,139 @@
+//! **simrank_smoke** — release-mode regression gate for the
+//! CSR-flattened SimRank kernel.
+//!
+//! Builds a deterministic mid-size synthetic record–term graph, times the
+//! retained HashMap reference oracle against the flattened kernel
+//! (universe construction included — the flattening must pay for its own
+//! setup), asserts the two score maps bit-identical, and exits non-zero
+//! if the flattened kernel is slower — CI runs this so a kernel
+//! regression fails the build instead of silently eating the speedup.
+//! The pooled ratio (`ER_THREADS` workers) is reported without gating,
+//! since shared CI runners are too noisy for a tight threshold.
+//!
+//! Run: `cargo bench -p er-bench --bench simrank_smoke`.
+
+use std::time::Instant;
+
+use er_bench::bench_threads;
+use er_graph::simrank::{bipartite_simrank_pooled, reference, SimRankConfig};
+use er_pool::WorkerPool;
+
+const N_RECORDS: usize = 1500;
+const N_TERMS: usize = 600;
+const TERMS_PER_RECORD: usize = 6;
+
+/// Deterministic synthetic corpus: each record draws `TERMS_PER_RECORD`
+/// term ids from an LCG, skewed toward low ids (min of two draws) so a
+/// head of common terms produces realistic co-occurrence blocks while
+/// the tail stays discriminative.
+fn synthetic_record_terms() -> Vec<Vec<u32>> {
+    let mut state = 0x9e3779b97f4a7c15u64;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as u32
+    };
+    (0..N_RECORDS)
+        .map(|_| {
+            let mut terms: Vec<u32> = (0..TERMS_PER_RECORD)
+                .map(|_| {
+                    let a = next() % N_TERMS as u32;
+                    let b = next() % N_TERMS as u32;
+                    a.min(b)
+                })
+                .collect();
+            terms.sort_unstable();
+            terms.dedup();
+            terms
+        })
+        .collect()
+}
+
+/// Best-of-`reps` wall time of `f`.
+fn time_min(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    let owned = synthetic_record_terms();
+    let record_terms: Vec<&[u32]> = owned.iter().map(Vec::as_slice).collect();
+    let cfg = SimRankConfig::default();
+
+    // Correctness first: one run of each, compared bit-for-bit.
+    let (ref_records, ref_terms) =
+        reference::bipartite_simrank_reference(&record_terms, N_TERMS, &cfg, None);
+    let serial = WorkerPool::new(1);
+    let flat = bipartite_simrank_pooled(&record_terms, N_TERMS, &cfg, None, &serial);
+    assert_eq!(
+        flat.tracked_record_pairs(),
+        ref_records.len(),
+        "flat kernel tracks a different record-pair universe than the oracle"
+    );
+    for (pair, s) in flat.record_entries() {
+        assert_eq!(
+            s.to_bits(),
+            ref_records[&pair].to_bits(),
+            "record scores diverged at {pair:?}"
+        );
+    }
+    for (pair, s) in flat.term_entries() {
+        assert_eq!(
+            s.to_bits(),
+            ref_terms[&pair].to_bits(),
+            "term scores diverged at {pair:?}"
+        );
+    }
+    println!(
+        "bit-identity OK over {} record pairs / {} tracked term pairs",
+        ref_records.len(),
+        ref_terms.len()
+    );
+
+    let hashmap_s = time_min(2, || {
+        std::hint::black_box(reference::bipartite_simrank_reference(
+            &record_terms,
+            N_TERMS,
+            &cfg,
+            None,
+        ));
+    });
+    let flat_s = time_min(3, || {
+        std::hint::black_box(bipartite_simrank_pooled(
+            &record_terms,
+            N_TERMS,
+            &cfg,
+            None,
+            &serial,
+        ));
+    });
+    let pool = WorkerPool::new(bench_threads());
+    let pooled_s = time_min(3, || {
+        std::hint::black_box(bipartite_simrank_pooled(
+            &record_terms,
+            N_TERMS,
+            &cfg,
+            None,
+            &pool,
+        ));
+    });
+    let ratio = hashmap_s / flat_s;
+    println!(
+        "hashmap {hashmap_s:.4}s  flat {flat_s:.4}s  speedup {ratio:.2}x  \
+         (pooled {pooled_s:.4}s, {:.2}x at {} threads)",
+        hashmap_s / pooled_s,
+        pool.threads()
+    );
+
+    if ratio < 1.0 {
+        eprintln!("FAIL: flattened SimRank slower than the HashMap reference ({ratio:.2}x)");
+        std::process::exit(1);
+    }
+    println!("OK: flattened kernel ≥ HashMap reference");
+}

@@ -13,14 +13,37 @@
 //! machine filter (Jaccard ≥ 0.3, as in the cited work) and additionally
 //! report the number of questions billed.
 //!
+//! Scorer-based methods run twice — serial (`mode: "flat"`) and on the
+//! shared worker pool (`mode: "pooled"`, `ER_THREADS` workers) — and the
+//! two score vectors are asserted bit-identical on every run; the F1
+//! column comes from the pooled scores. Per-method wall times land in
+//! **BENCH_table2.json** (override the path with `ER_BENCH_OUT`) as flat
+//! JSON records:
+//!
+//! ```json
+//! {"method": "SimRank", "dataset": "paper", "mode": "pooled",
+//!  "threads": 8, "seconds": 0.41, "candidates": 428744, "speedup": 3.1}
+//! ```
+//!
+//! A `simrank_kernel_*` record family rides along: per dataset, the
+//! retained HashMap reference oracle is timed against the CSR-flattened
+//! kernel (serial and pooled, universe build included), their score maps
+//! are asserted bit-identical, and the flat/pooled records carry the
+//! `speedup` over the oracle. The oracle runs *after* the per-dataset
+//! evaluation window, so the "evaluated in" line stays comparable across
+//! revisions.
+//!
 //! Run: `cargo bench --bench table2_f1` (`ER_SCALE=paper` for full scale).
 
+use std::fmt::Write as _;
 use std::time::Instant;
 
 use er_baselines::{
     HybridScorer, JaccardScorer, PairScorer, SimRankScorer, TfIdfScorer, TwIdfScorer,
 };
-use er_bench::{bench_datasets, fmt_duration, fmt_ref, fusion_config, prepare, scale_factor};
+use er_bench::{
+    bench_datasets, bench_threads, fmt_duration, fmt_ref, fusion_config, prepare, scale_factor,
+};
 use er_core::Resolver;
 use er_crowd::{
     acd_resolve, crowder_resolve, gcer_resolve, power_resolve, transm_resolve, AcdConfig,
@@ -28,17 +51,130 @@ use er_crowd::{
 };
 use er_eval::{evaluate_pairs, sweep_threshold, ConfusionCounts, TruthPairs};
 use er_graph::bipartite::PairNode;
+use er_graph::simrank::{bipartite_simrank_pooled, reference, SimRankConfig};
 use er_ml::{
     balanced_split, Classifier, FeatureExtractor, GaussianMixture, GaussianNaiveBayes,
     LogisticRegression, PegasosSvm, StandardScaler,
 };
+use er_pool::WorkerPool;
 use er_text::Corpus;
+
+/// One BENCH_table2.json timing record.
+struct Record {
+    method: String,
+    dataset: String,
+    /// `"flat"` (serial), `"pooled"`, or `"hashmap"` (the retained
+    /// SimRank reference oracle).
+    mode: &'static str,
+    threads: usize,
+    seconds: f64,
+    /// Candidate pairs scored (tracked record pairs for the kernel rows).
+    candidates: usize,
+    /// Extra JSON key-value pairs (pre-rendered, comma-prefixed), e.g.
+    /// `, "speedup": 3.10`. Empty for plain timing records.
+    extra: String,
+}
+
+fn rec(
+    method: &str,
+    dataset: &str,
+    mode: &'static str,
+    threads: usize,
+    seconds: f64,
+    candidates: usize,
+    extra: String,
+) -> Record {
+    Record {
+        method: method.to_owned(),
+        dataset: dataset.to_owned(),
+        mode,
+        threads,
+        seconds,
+        candidates,
+        extra,
+    }
+}
+
+fn json_line(r: &Record) -> String {
+    // Method and dataset names are ASCII without quotes or backslashes,
+    // so plain quoting is a valid JSON string encoding here.
+    format!(
+        "{{\"method\": \"{}\", \"dataset\": \"{}\", \"mode\": \"{}\", \"threads\": {}, \
+         \"seconds\": {:.6}, \"candidates\": {}{}}}",
+        r.method, r.dataset, r.mode, r.threads, r.seconds, r.candidates, r.extra
+    )
+}
+
+fn write_json(records: &[Record], out_path: &str) {
+    let mut json = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        let sep = if i + 1 == records.len() { "" } else { "," };
+        writeln!(json, "  {}{sep}", json_line(r)).unwrap();
+    }
+    json.push_str("]\n");
+    std::fs::write(out_path, json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    println!("wrote {} records to {out_path}", records.len());
+}
+
+/// Runs one scorer serially and on the pool, asserts the score vectors
+/// bit-identical (the `score_pairs_pooled` determinism contract), records
+/// both wall times, and returns the Table II cell from the pooled scores.
+fn eval_scorer_timed(
+    scorer: &dyn PairScorer,
+    corpus: &Corpus,
+    pairs: &[PairNode],
+    truth: &TruthPairs,
+    pool: &WorkerPool,
+    dataset: &str,
+    records: &mut Vec<Record>,
+) -> (String, f64) {
+    let t0 = Instant::now();
+    let flat = scorer.score_pairs(corpus, pairs);
+    let flat_s = t0.elapsed().as_secs_f64();
+    let t1 = Instant::now();
+    let pooled = scorer.score_pairs_pooled(corpus, pairs, pool);
+    let pooled_s = t1.elapsed().as_secs_f64();
+    let fa: Vec<u64> = flat.iter().map(|s| s.to_bits()).collect();
+    let fb: Vec<u64> = pooled.iter().map(|s| s.to_bits()).collect();
+    assert_eq!(
+        fa,
+        fb,
+        "{} pooled scoring diverged from serial on {dataset}",
+        scorer.name()
+    );
+    records.push(rec(
+        scorer.name(),
+        dataset,
+        "flat",
+        1,
+        flat_s,
+        pairs.len(),
+        String::new(),
+    ));
+    records.push(rec(
+        scorer.name(),
+        dataset,
+        "pooled",
+        pool.threads(),
+        pooled_s,
+        pairs.len(),
+        format!(", \"speedup\": {:.2}", flat_s / pooled_s),
+    ));
+    let r = er_baselines::sweep_scores(pairs, &pooled, truth);
+    (scorer.name().to_owned(), r.f1)
+}
 
 fn main() {
     let scale = scale_factor();
-    println!("Table II — F1-scores (scale factor {scale}); paper values in [brackets]");
+    let pool = WorkerPool::new(bench_threads());
+    let out_path = std::env::var("ER_BENCH_OUT").unwrap_or_else(|_| "BENCH_table2.json".to_owned());
+    println!(
+        "Table II — F1-scores (scale factor {scale}, {} pool threads); paper values in [brackets]",
+        pool.threads()
+    );
     let mut rows: Vec<(String, [String; 3])> = Vec::new();
     let mut crowd_notes = Vec::new();
+    let mut records: Vec<Record> = Vec::new();
 
     let benches = bench_datasets(scale);
     let mut measured: Vec<Vec<(String, f64)>> = Vec::new();
@@ -48,6 +184,7 @@ fn main() {
         let corpus = &prepared.corpus;
         let pairs: Vec<PairNode> = prepared.graph.pairs().to_vec();
         let truth = &prepared.truth;
+        let name = bench.dataset.name.as_str();
         let mut col: Vec<(String, f64)> = Vec::new();
 
         // --- String-distance baselines (optimal threshold). ---
@@ -55,12 +192,19 @@ fn main() {
             Box::new(JaccardScorer) as Box<dyn PairScorer>,
             Box::new(TfIdfScorer),
         ] {
-            let r = er_baselines::evaluate_scorer(scorer.as_ref(), corpus, &pairs, truth);
-            col.push((scorer.name().to_owned(), r.f1));
+            col.push(eval_scorer_timed(
+                scorer.as_ref(),
+                corpus,
+                &pairs,
+                truth,
+                &pool,
+                name,
+                &mut records,
+            ));
         }
 
         // --- Learning-based baselines. ---
-        let ml = ml_baselines(corpus, &pairs, truth);
+        let ml = ml_baselines(corpus, &pairs, truth, &pool, name, &mut records);
         col.extend(ml);
 
         // --- Crowd-based baselines (simulated oracle). ---
@@ -95,16 +239,28 @@ fn main() {
             .collect();
         let machine_threshold = 0.15;
         {
+            let t = Instant::now();
             let mut oracle = NoisyOracle::new(|a, b| truth.is_match(a, b), 0.95, 0x0C);
             let out = crowder_resolve(&scored, &CrowdErConfig { machine_threshold }, &mut oracle);
             let counts = evaluate_pairs(out.matches.iter().copied(), truth);
+            let secs = t.elapsed().as_secs_f64();
+            records.push(rec(
+                "CrowdER (sim)",
+                name,
+                "flat",
+                1,
+                secs,
+                pairs.len(),
+                String::new(),
+            ));
             col.push(("CrowdER (sim)".to_owned(), counts.f1()));
             crowd_notes.push(format!(
                 "{}: CrowdER asked {} questions ({} filtered)",
-                bench.dataset.name, out.questions, out.filtered_out
+                name, out.questions, out.filtered_out
             ));
         }
         {
+            let t = Instant::now();
             let mut oracle = NoisyOracle::new(|a, b| truth.is_match(a, b), 0.95, 0x1C);
             let out = transm_resolve(
                 bench.dataset.len(),
@@ -113,15 +269,26 @@ fn main() {
                 &mut oracle,
             );
             let counts = evaluate_pairs(out.matches.iter().copied(), truth);
+            let secs = t.elapsed().as_secs_f64();
+            records.push(rec(
+                "TransM (sim)",
+                name,
+                "flat",
+                1,
+                secs,
+                pairs.len(),
+                String::new(),
+            ));
             col.push(("TransM (sim)".to_owned(), counts.f1()));
             crowd_notes.push(format!(
                 "{}: TransM asked {} questions ({} filtered)",
-                bench.dataset.name, out.questions, out.filtered_out
+                name, out.questions, out.filtered_out
             ));
         }
         {
             // GCER: budget = 2x the true-pair count, the regime where its
             // selection strategy matters.
+            let t = Instant::now();
             let mut oracle = NoisyOracle::new(|a, b| truth.is_match(a, b), 0.95, 0x2C);
             let out = gcer_resolve(
                 bench.dataset.len(),
@@ -133,15 +300,26 @@ fn main() {
                 &mut oracle,
             );
             let counts = evaluate_pairs(out.matches.iter().copied(), truth);
+            let secs = t.elapsed().as_secs_f64();
+            records.push(rec(
+                "GCER (sim)",
+                name,
+                "flat",
+                1,
+                secs,
+                pairs.len(),
+                String::new(),
+            ));
             col.push(("GCER (sim)".to_owned(), counts.f1()));
             crowd_notes.push(format!(
                 "{}: GCER asked {} questions (budget {})",
-                bench.dataset.name,
+                name,
                 out.questions,
                 truth.total() * 2
             ));
         }
         {
+            let t = Instant::now();
             let mut oracle = NoisyOracle::new(|a, b| truth.is_match(a, b), 0.95, 0x3C);
             let out = acd_resolve(
                 bench.dataset.len(),
@@ -153,13 +331,21 @@ fn main() {
                 &mut oracle,
             );
             let counts = evaluate_pairs(out.matches.iter().copied(), truth);
-            col.push(("ACD (sim)".to_owned(), counts.f1()));
-            crowd_notes.push(format!(
-                "{}: ACD asked {} questions",
-                bench.dataset.name, out.questions
+            let secs = t.elapsed().as_secs_f64();
+            records.push(rec(
+                "ACD (sim)",
+                name,
+                "flat",
+                1,
+                secs,
+                pairs.len(),
+                String::new(),
             ));
+            col.push(("ACD (sim)".to_owned(), counts.f1()));
+            crowd_notes.push(format!("{}: ACD asked {} questions", name, out.questions));
         }
         {
+            let t = Instant::now();
             let mut oracle = NoisyOracle::new(|a, b| truth.is_match(a, b), 0.95, 0x4C);
             let out = power_resolve(
                 bench.dataset.len(),
@@ -171,10 +357,20 @@ fn main() {
                 &mut oracle,
             );
             let counts = evaluate_pairs(out.matches.iter().copied(), truth);
+            let secs = t.elapsed().as_secs_f64();
+            records.push(rec(
+                "Power+ (sim)",
+                name,
+                "flat",
+                1,
+                secs,
+                pairs.len(),
+                String::new(),
+            ));
             col.push(("Power+ (sim)".to_owned(), counts.f1()));
             crowd_notes.push(format!(
                 "{}: Power+ asked {} questions",
-                bench.dataset.name, out.questions
+                name, out.questions
             ));
         }
 
@@ -184,23 +380,45 @@ fn main() {
             Box::new(TwIdfScorer::default()),
             Box::new(HybridScorer::default()),
         ] {
-            let r = er_baselines::evaluate_scorer(scorer.as_ref(), corpus, &pairs, truth);
-            col.push((scorer.name().to_owned(), r.f1));
+            col.push(eval_scorer_timed(
+                scorer.as_ref(),
+                corpus,
+                &pairs,
+                truth,
+                &pool,
+                name,
+                &mut records,
+            ));
         }
 
         // --- The fusion framework (fixed η = 0.98). ---
+        let t = Instant::now();
         let outcome = Resolver::new(fusion_config()).resolve(&prepared.graph);
         let counts = evaluate_pairs(outcome.matches.iter().copied(), truth);
+        records.push(rec(
+            "ITER+CliqueRank",
+            name,
+            "flat",
+            1,
+            t.elapsed().as_secs_f64(),
+            pairs.len(),
+            String::new(),
+        ));
         col.push(("ITER+CliqueRank".to_owned(), counts.f1()));
 
         eprintln!(
             "[{}] {} candidates, {} true pairs, evaluated in {}",
-            bench.dataset.name,
+            name,
             pairs.len(),
             truth.total(),
             fmt_duration(t0.elapsed())
         );
         measured.push(col);
+
+        // Kernel head-to-head *after* the evaluation window: the HashMap
+        // oracle is deliberately slow and must not pollute the
+        // "evaluated in" number the README timing table tracks.
+        simrank_kernel_records(corpus, name, &pool, &mut records);
     }
 
     // Assemble rows: measured methods mapped onto the paper's row order.
@@ -256,16 +474,132 @@ fn main() {
          learning-based rows (our implementations, DESIGN.md §4); crowd rows use a\n\
          95%-accurate simulated oracle instead of Mechanical Turk workers."
     );
+    write_json(&records, &out_path);
 }
 
-/// Trains and evaluates the four learning-based baselines.
-fn ml_baselines(corpus: &Corpus, pairs: &[PairNode], truth: &TruthPairs) -> Vec<(String, f64)> {
+/// Times the retained HashMap SimRank oracle against the CSR-flattened
+/// kernel (serial and pooled, universe build included) on the dataset's
+/// record–term graph, asserting all three score maps bit-identical.
+fn simrank_kernel_records(
+    corpus: &Corpus,
+    dataset: &str,
+    pool: &WorkerPool,
+    records: &mut Vec<Record>,
+) {
+    let owned: Vec<Vec<u32>> = (0..corpus.len())
+        .map(|r| corpus.term_set(r).iter().map(|t| t.0).collect())
+        .collect();
+    let record_terms: Vec<&[u32]> = owned.iter().map(Vec::as_slice).collect();
+    let cfg = SimRankConfig::default();
+
+    let t0 = Instant::now();
+    let (ref_records, _) =
+        reference::bipartite_simrank_reference(&record_terms, corpus.vocab_len(), &cfg, None);
+    let hashmap_s = t0.elapsed().as_secs_f64();
+
+    let serial = WorkerPool::new(1);
+    // Untimed warmup: the first build faults in the universe's large
+    // allocations; time the steady state, as for the other kernels.
+    drop(bipartite_simrank_pooled(
+        &record_terms,
+        corpus.vocab_len(),
+        &cfg,
+        None,
+        &serial,
+    ));
+    let t1 = Instant::now();
+    let flat = bipartite_simrank_pooled(&record_terms, corpus.vocab_len(), &cfg, None, &serial);
+    let flat_s = t1.elapsed().as_secs_f64();
+
+    let t2 = Instant::now();
+    let pooled = bipartite_simrank_pooled(&record_terms, corpus.vocab_len(), &cfg, None, pool);
+    let pooled_s = t2.elapsed().as_secs_f64();
+
+    assert_eq!(
+        flat.tracked_record_pairs(),
+        ref_records.len(),
+        "flat kernel tracks a different pair universe than the oracle on {dataset}"
+    );
+    for (pair, s) in flat.record_entries() {
+        assert_eq!(
+            s.to_bits(),
+            ref_records[&pair].to_bits(),
+            "flat kernel diverged from the oracle at {pair:?} on {dataset}"
+        );
+    }
+    for ((pa, sa), (pb, sb)) in flat.record_entries().zip(pooled.record_entries()) {
+        assert_eq!(pa, pb);
+        assert_eq!(
+            sa.to_bits(),
+            sb.to_bits(),
+            "pooled kernel diverged from serial at {pa:?} on {dataset}"
+        );
+    }
+
+    let tracked = flat.tracked_record_pairs();
+    records.push(rec(
+        "simrank_kernel_hashmap",
+        dataset,
+        "hashmap",
+        1,
+        hashmap_s,
+        tracked,
+        String::new(),
+    ));
+    records.push(rec(
+        "simrank_kernel_flat",
+        dataset,
+        "flat",
+        1,
+        flat_s,
+        tracked,
+        format!(", \"speedup\": {:.2}", hashmap_s / flat_s),
+    ));
+    records.push(rec(
+        "simrank_kernel_pooled",
+        dataset,
+        "pooled",
+        pool.threads(),
+        pooled_s,
+        tracked,
+        format!(", \"speedup\": {:.2}", hashmap_s / pooled_s),
+    ));
+    eprintln!(
+        "[{dataset}] simrank kernel: hashmap {hashmap_s:.3}s  flat {flat_s:.3}s ({:.1}x)  \
+         pooled {pooled_s:.3}s ({:.1}x, {} threads)",
+        hashmap_s / flat_s,
+        hashmap_s / pooled_s,
+        pool.threads()
+    );
+}
+
+/// Trains and evaluates the four learning-based baselines, recording a
+/// wall-time row per model (plus one for shared feature extraction).
+fn ml_baselines(
+    corpus: &Corpus,
+    pairs: &[PairNode],
+    truth: &TruthPairs,
+    pool: &WorkerPool,
+    dataset: &str,
+    records: &mut Vec<Record>,
+) -> Vec<(String, f64)> {
+    let t_feat = Instant::now();
     let extractor = FeatureExtractor::new(corpus);
-    let features: Vec<Vec<f64>> = pairs.iter().map(|p| extractor.features(p.a, p.b)).collect();
+    let pair_ids: Vec<(u32, u32)> = pairs.iter().map(|p| (p.a, p.b)).collect();
+    let features: Vec<Vec<f64>> = extractor.extract_all(&pair_ids, pool);
     let labels: Vec<bool> = pairs.iter().map(|p| truth.is_match(p.a, p.b)).collect();
     let split = balanced_split(&labels, 0.5, 3.0, 0x711);
     let scaler = StandardScaler::fit(&features);
     let scaled: Vec<Vec<f64>> = scaler.transform_all(&features);
+    records.push(rec(
+        "ML features",
+        dataset,
+        "pooled",
+        pool.threads(),
+        t_feat.elapsed().as_secs_f64(),
+        pairs.len(),
+        String::new(),
+    ));
 
     let train_x: Vec<Vec<f64>> = split.train.iter().map(|&i| scaled[i].clone()).collect();
     let train_y: Vec<bool> = split.train.iter().map(|&i| labels[i]).collect();
@@ -288,31 +622,42 @@ fn ml_baselines(corpus: &Corpus, pairs: &[PairNode], truth: &TruthPairs) -> Vec<
     };
 
     let mut out = Vec::new();
+    let mut push_timed = |name: &str, f1: f64, secs: f64| {
+        records.push(rec(
+            name,
+            dataset,
+            "flat",
+            1,
+            secs,
+            pairs.len(),
+            String::new(),
+        ));
+        out.push((name.to_owned(), f1));
+    };
 
     // Unsupervised GMM: fitted on ALL pairs without labels, evaluated on
     // the same held-out portion for comparability.
+    let t = Instant::now();
     let gmm = GaussianMixture::fit(&scaled, 60);
-    out.push((
-        "GMM (unsupervised)".to_owned(),
-        eval(&|x| gmm.predict(x)).f1(),
-    ));
+    let f1 = eval(&|x| gmm.predict(x)).f1();
+    push_timed("GMM (unsupervised)", f1, t.elapsed().as_secs_f64());
 
+    let t = Instant::now();
     let nb = GaussianNaiveBayes::fit(&train_x, &train_y);
-    out.push(("Naive Bayes".to_owned(), eval(&|x| nb.predict(x)).f1()));
+    let f1 = eval(&|x| nb.predict(x)).f1();
+    push_timed("Naive Bayes", f1, t.elapsed().as_secs_f64());
 
+    let t = Instant::now();
     let mut lr = LogisticRegression::new();
     lr.fit(&train_x, &train_y);
-    out.push((
-        "Logistic Regression".to_owned(),
-        eval(&|x| lr.predict(x)).f1(),
-    ));
+    let f1 = eval(&|x| lr.predict(x)).f1();
+    push_timed("Logistic Regression", f1, t.elapsed().as_secs_f64());
 
+    let t = Instant::now();
     let mut svm = PegasosSvm::new();
     svm.fit(&train_x, &train_y);
-    out.push((
-        "Linear SVM (Pegasos)".to_owned(),
-        eval(&|x| svm.predict(x)).f1(),
-    ));
+    let f1 = eval(&|x| svm.predict(x)).f1();
+    push_timed("Linear SVM (Pegasos)", f1, t.elapsed().as_secs_f64());
 
     // Silence unused warnings for the sweep helper used by other benches.
     let _ = sweep_threshold;

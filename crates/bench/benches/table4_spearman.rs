@@ -6,15 +6,21 @@
 //! the paper contrasts PageRank (near-zero correlation — hub salience is
 //! not discrimination power) with ITER (0.76–0.96).
 //!
+//! The per-term ground-truth pass runs on the shared worker pool
+//! (`ER_THREADS` workers); each term is independent, so the pooled fill
+//! matches the serial loop exactly.
+//!
 //! Run: `cargo bench --bench table4_spearman`.
 
 use er_baselines::TwIdfScorer;
-use er_bench::{bench_datasets, prepare, scale_factor};
+use er_bench::{bench_datasets, bench_threads, prepare, scale_factor};
 use er_core::{run_iter, IterConfig};
 use er_eval::{spearman_rho, term_discriminativeness};
+use er_pool::WorkerPool;
 
 fn main() {
     let scale = scale_factor();
+    let pool = WorkerPool::new(bench_threads());
     println!("Table IV — Spearman's rank correlation coefficient (scale factor {scale})");
     println!("{:<12} {:>16} {:>16}", "Dataset", "PageRank", "ITER");
     println!("{}", "-".repeat(60));
@@ -25,9 +31,11 @@ fn main() {
         let graph = &prepared.graph;
         let truth = &prepared.truth;
 
-        // Ground truth score(t) per term (None when P_t = 0).
-        let mut scores: Vec<Option<f64>> = Vec::with_capacity(graph.term_count());
-        for t in 0..graph.term_count() as u32 {
+        // Ground truth score(t) per term (None when P_t = 0), fanned out
+        // over term chunks: each term's score is independent and each
+        // chunk writes a disjoint subslice, so the pooled fill is
+        // identical to the serial loop at any thread count.
+        let score_of = |t: u32| {
             let pairs: Vec<(u32, u32)> = graph
                 .pairs_of_term(t)
                 .iter()
@@ -36,7 +44,29 @@ fn main() {
                     (pair.a, pair.b)
                 })
                 .collect();
-            scores.push(term_discriminativeness(&pairs, |a, b| truth.is_match(a, b)));
+            term_discriminativeness(&pairs, |a, b| truth.is_match(a, b))
+        };
+        let mut scores: Vec<Option<f64>> = vec![None; graph.term_count()];
+        if pool.is_serial() {
+            for (t, s) in scores.iter_mut().enumerate() {
+                *s = score_of(t as u32);
+            }
+        } else {
+            let ranges = er_pool::chunk_ranges(scores.len(), pool.threads(), 64);
+            pool.scope(|sc| {
+                let mut rest = scores.as_mut_slice();
+                for r in ranges {
+                    let (chunk, tail) = rest.split_at_mut(r.len());
+                    rest = tail;
+                    let start = r.start;
+                    let score_of = &score_of;
+                    sc.submit(move || {
+                        for (k, s) in chunk.iter_mut().enumerate() {
+                            *s = score_of((start + k) as u32);
+                        }
+                    });
+                }
+            });
         }
 
         // ITER weights (first fusion round: uniform p).

@@ -24,6 +24,17 @@ use er_graph::bipartite::PairNode;
 use er_text::Corpus;
 use unsupervised_er::pipeline::{self, Prepared};
 
+/// Worker-thread count for pooled bench paths: `ER_THREADS` if set (the
+/// knob CI already uses for the fusion benches), else the machine's
+/// available parallelism. Every pooled path is bit-identical to its
+/// serial twin, so this only moves wall clock, never results.
+pub fn bench_threads() -> usize {
+    std::env::var("ER_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .map_or_else(er_core::default_threads, |t| t.max(1))
+}
+
 /// Workload scale factor from `ER_SCALE` (see crate docs).
 pub fn scale_factor() -> f64 {
     match std::env::var("ER_SCALE").as_deref() {

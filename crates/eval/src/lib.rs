@@ -34,4 +34,4 @@ pub use pair_eval::{evaluate_pairs, TruthPairs};
 pub use pr_curve::{average_precision, pr_curve, PrPoint};
 pub use spearman::spearman_rho;
 pub use term_score::{term_discriminativeness, term_score_series};
-pub use threshold::{sweep_threshold, ScoredPair, SweepResult};
+pub use threshold::{sweep_threshold, sweep_threshold_iter, ScoredPair, SweepResult};

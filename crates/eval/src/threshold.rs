@@ -41,17 +41,23 @@ pub struct SweepResult {
 /// Unscored true pairs count as false negatives at every threshold. Pairs
 /// with non-finite scores are rejected.
 pub fn sweep_threshold(pairs: &[ScoredPair], truth: &TruthPairs, quanta: usize) -> SweepResult {
+    sweep_threshold_iter(pairs.iter().map(|p| (p.a, p.b, p.score)), truth, quanta)
+}
+
+/// [`sweep_threshold`] over `(a, b, score)` triples — the zero-copy entry
+/// point for callers that keep pair ids and scores in parallel slices
+/// (the pooled baseline drivers) instead of materializing a
+/// [`ScoredPair`] buffer per sweep.
+pub fn sweep_threshold_iter(
+    pairs: impl Iterator<Item = (u32, u32, f64)>,
+    truth: &TruthPairs,
+    quanta: usize,
+) -> SweepResult {
     assert!(quanta >= 1, "need at least one quantum");
     let mut scored: Vec<(f64, bool)> = pairs
-        .iter()
-        .map(|p| {
-            assert!(
-                p.score.is_finite(),
-                "non-finite score for pair ({}, {})",
-                p.a,
-                p.b
-            );
-            (p.score, truth.is_match(p.a, p.b))
+        .map(|(a, b, score)| {
+            assert!(score.is_finite(), "non-finite score for pair ({a}, {b})");
+            (score, truth.is_match(a, b))
         })
         .collect();
     // Sort descending by score.

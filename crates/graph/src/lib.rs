@@ -15,7 +15,8 @@
 //! * [`mod@pagerank`] — damped PageRank (Eq. 3) for the TW-IDF baseline and
 //!   the Table IV comparison.
 //! * [`simrank`] — pruned bipartite SimRank (Eq. 1–2) for the
-//!   graph-theoretic baseline of §III-A.
+//!   graph-theoretic baseline of §III-A, on CSR-flattened pair universes
+//!   with pooled, bit-deterministic iterations.
 //! * [`cooccur`] — sliding-window term co-occurrence graph (§III-B).
 //!
 //! The crate is index-based: records and terms are dense `u32`/`usize`
@@ -40,5 +41,8 @@ pub use csr::CsrGraph;
 pub use invariant::InvariantViolation;
 pub use pagerank::{pagerank, PageRankConfig};
 pub use record_graph::RecordGraph;
-pub use simrank::{bipartite_simrank, SimRankConfig, SimRankScores};
+pub use simrank::{
+    bipartite_simrank, bipartite_simrank_pooled, simrank_flat, PairUniverse, SimRankConfig,
+    SimRankScores, SimRankScratch, SimRankUniverse,
+};
 pub use union_find::UnionFind;

@@ -1,0 +1,121 @@
+//! Property tests pinning the CSR-flattened SimRank kernel to the
+//! retained HashMap reference oracle.
+//!
+//! Three contracts, each over random bipartite record–term graphs:
+//!
+//! 1. **Bit-identity to the oracle** — the flattened kernel reproduces
+//!    the HashMap mutual recursion bit-for-bit (same summation order,
+//!    pruned pairs contribute an exact `+0.0`), for any iteration count,
+//!    decay pair, and candidate filter.
+//! 2. **Thread-count invariance** — pooled runs at 1/2/8 workers return
+//!    the same bits (Jacobi slot independence + deterministic chunking).
+//! 3. **Dirty scratch reuse** — a [`SimRankScratch`] left full of one
+//!    graph's scores produces exactly a fresh scratch's output when
+//!    reused on a different graph (the `prepare` zeroing contract).
+
+use er_graph::simrank::reference::bipartite_simrank_reference;
+use er_graph::{
+    bipartite_simrank, bipartite_simrank_pooled, simrank_flat, SimRankConfig, SimRankScratch,
+    SimRankUniverse,
+};
+use er_pool::WorkerPool;
+use proptest::prelude::*;
+
+/// Random bipartite graph: `(n_terms, record_terms)` where each record
+/// holds a sorted, deduplicated term set (possibly empty — isolated
+/// records must be handled, not assumed away).
+fn bipartite() -> impl Strategy<Value = (usize, Vec<Vec<u32>>)> {
+    (2usize..14, 1usize..20).prop_flat_map(|(n_terms, n_records)| {
+        proptest::collection::vec(
+            proptest::collection::btree_set(0..n_terms as u32, 0..6),
+            n_records,
+        )
+        .prop_map(move |sets| {
+            let record_terms: Vec<Vec<u32>> =
+                sets.into_iter().map(|s| s.into_iter().collect()).collect();
+            (n_terms, record_terms)
+        })
+    })
+}
+
+fn as_slices(owned: &[Vec<u32>]) -> Vec<&[u32]> {
+    owned.iter().map(Vec::as_slice).collect()
+}
+
+proptest! {
+    #[test]
+    fn flat_matches_hashmap_reference_bitwise(
+        (n_terms, owned) in bipartite(),
+        iterations in 0usize..5,
+        c1 in 0.1f64..0.95,
+        c2 in 0.1f64..0.95,
+        filtered in (0u8..2).prop_map(|v| v == 1),
+    ) {
+        let record_terms = as_slices(&owned);
+        let config = SimRankConfig { c1, c2, iterations };
+        let parity = |a: u32, b: u32| (a + b).is_multiple_of(2);
+        let filter: Option<&dyn Fn(u32, u32) -> bool> =
+            if filtered { Some(&parity) } else { None };
+        let (ref_rec, ref_term) =
+            bipartite_simrank_reference(&record_terms, n_terms, &config, filter);
+        let flat = bipartite_simrank(&record_terms, n_terms, &config, filter);
+        prop_assert_eq!(flat.tracked_record_pairs(), ref_rec.len());
+        for (pair, s) in flat.record_entries() {
+            prop_assert_eq!(s.to_bits(), ref_rec[&pair].to_bits(),
+                "record scores diverged at {:?}", pair);
+        }
+        let mut term_pairs = 0usize;
+        for (pair, s) in flat.term_entries() {
+            term_pairs += 1;
+            prop_assert_eq!(s.to_bits(), ref_term[&pair].to_bits(),
+                "term scores diverged at {:?}", pair);
+        }
+        prop_assert_eq!(term_pairs, ref_term.len());
+    }
+
+    #[test]
+    fn pooled_is_invariant_across_thread_counts((n_terms, owned) in bipartite()) {
+        let record_terms = as_slices(&owned);
+        let config = SimRankConfig::default();
+        let serial = bipartite_simrank(&record_terms, n_terms, &config, None);
+        let baseline: Vec<(u32, u32, u64)> = serial
+            .record_entries()
+            .map(|((a, b), s)| (a, b, s.to_bits()))
+            .collect();
+        for threads in [2usize, 8] {
+            let pool = WorkerPool::new(threads);
+            let pooled = bipartite_simrank_pooled(&record_terms, n_terms, &config, None, &pool);
+            let got: Vec<(u32, u32, u64)> = pooled
+                .record_entries()
+                .map(|((a, b), s)| (a, b, s.to_bits()))
+                .collect();
+            prop_assert_eq!(&got, &baseline, "diverged at threads={}", threads);
+        }
+    }
+
+    #[test]
+    fn dirty_scratch_reuse_does_not_leak(
+        (n_terms_a, owned_a) in bipartite(),
+        (n_terms_b, owned_b) in bipartite(),
+    ) {
+        let config = SimRankConfig::default();
+        let pool = WorkerPool::new(1);
+
+        // Dirty the scratch with graph A's scores...
+        let universe_a = SimRankUniverse::build(&as_slices(&owned_a), n_terms_a, None);
+        let mut dirty = SimRankScratch::default();
+        simrank_flat(&universe_a, &config, &mut dirty, &pool);
+
+        // ...then reuse it on graph B and compare against a fresh one.
+        let universe_b = SimRankUniverse::build(&as_slices(&owned_b), n_terms_b, None);
+        simrank_flat(&universe_b, &config, &mut dirty, &pool);
+        let mut fresh = SimRankScratch::default();
+        simrank_flat(&universe_b, &config, &mut fresh, &pool);
+        let dirty_bits: Vec<u64> = dirty.record_scores().iter().map(|s| s.to_bits()).collect();
+        let fresh_bits: Vec<u64> = fresh.record_scores().iter().map(|s| s.to_bits()).collect();
+        prop_assert_eq!(dirty_bits, fresh_bits);
+        let dirty_terms: Vec<u64> = dirty.term_scores().iter().map(|s| s.to_bits()).collect();
+        let fresh_terms: Vec<u64> = fresh.term_scores().iter().map(|s| s.to_bits()).collect();
+        prop_assert_eq!(dirty_terms, fresh_terms);
+    }
+}

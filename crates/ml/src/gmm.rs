@@ -48,11 +48,28 @@ impl GaussianMixture {
         };
 
         let mut resp = vec![0.0f64; samples.len()]; // responsibility of comp 1
+        let ln_2pi = (2.0 * std::f64::consts::PI).ln();
         for _ in 0..iterations {
-            // E-step.
+            // E-step. The weight and variance logs are constant across
+            // the sample loop — hoisting them reproduces `log_density`'s
+            // exact terms and addition order, just without recomputing
+            // `ln` per sample.
+            let ln_w = [model.weight[0].ln(), model.weight[1].ln()];
+            let ln_var: [Vec<f64>; 2] = [
+                model.var[0].iter().map(|v| v.ln()).collect(),
+                model.var[1].iter().map(|v| v.ln()).collect(),
+            ];
+            let log_density_cached = |c: usize, x: &[f64]| -> f64 {
+                let mut ll = 0.0;
+                let dims = x.iter().zip(&model.mean[c]).zip(&model.var[c]);
+                for (((&xi, &m), &v), &lv) in dims.zip(&ln_var[c]) {
+                    ll += -0.5 * ((xi - m) * (xi - m) / v + lv + ln_2pi);
+                }
+                ll
+            };
             for (i, x) in samples.iter().enumerate() {
-                let l0 = model.weight[0].ln() + model.log_density(0, x);
-                let l1 = model.weight[1].ln() + model.log_density(1, x);
+                let l0 = ln_w[0] + log_density_cached(0, x);
+                let l1 = ln_w[1] + log_density_cached(1, x);
                 let m = l0.max(l1);
                 let e0 = (l0 - m).exp();
                 let e1 = (l1 - m).exp();

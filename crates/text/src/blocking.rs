@@ -11,8 +11,6 @@
 //! `er_graph::BipartiteGraphBuilder::pair_filter`, so they compose with
 //! the rest of the pipeline.
 
-use std::collections::HashSet;
-
 use crate::corpus::Corpus;
 use crate::tokenize::TermId;
 
@@ -20,9 +18,15 @@ use crate::tokenize::TermId;
 /// term's postings, with terms above `max_block_size` skipped (their
 /// blocks are quadratic and nearly information-free).
 ///
+/// Uses the repo's canonical sort+dedup construction — per-term pair runs
+/// are concatenated in term order, then sorted and deduplicated — which
+/// has a deterministic construction order and beats hash-set insertion at
+/// paper scale (no rehashing, no probe misses; just one sort over a flat
+/// buffer).
+///
 /// Returns sorted, deduplicated `(a, b)` pairs with `a < b`.
 pub fn token_blocking(corpus: &Corpus, max_block_size: usize) -> Vec<(u32, u32)> {
-    let mut pairs: HashSet<(u32, u32)> = HashSet::new();
+    let mut pairs: Vec<(u32, u32)> = Vec::new();
     for i in 0..corpus.vocab_len() {
         let postings = corpus.postings(TermId(i as u32));
         if postings.len() < 2 || postings.len() > max_block_size {
@@ -30,13 +34,13 @@ pub fn token_blocking(corpus: &Corpus, max_block_size: usize) -> Vec<(u32, u32)>
         }
         for (k, &a) in postings.iter().enumerate() {
             for &b in &postings[k + 1..] {
-                pairs.insert((a, b));
+                pairs.push((a, b));
             }
         }
     }
-    let mut out: Vec<(u32, u32)> = pairs.into_iter().collect();
-    out.sort_unstable();
-    out
+    pairs.sort_unstable();
+    pairs.dedup();
+    pairs
 }
 
 /// Sorted-neighborhood blocking: records are sorted by a blocking key and
@@ -54,15 +58,16 @@ pub fn sorted_neighborhood(corpus: &Corpus, window: usize) -> Vec<(u32, u32)> {
     let keys: Vec<String> = (0..corpus.len()).map(|r| blocking_key(corpus, r)).collect();
     let mut order: Vec<u32> = (0..corpus.len() as u32).collect();
     order.sort_by(|&a, &b| keys[a as usize].cmp(&keys[b as usize]));
-    let mut pairs: HashSet<(u32, u32)> = HashSet::new();
+    // Canonical sort+dedup: concatenate per-window runs, sort, dedup.
+    let mut pairs: Vec<(u32, u32)> = Vec::new();
     for (i, &a) in order.iter().enumerate() {
         for &b in order.iter().skip(i + 1).take(window - 1) {
-            pairs.insert(if a < b { (a, b) } else { (b, a) });
+            pairs.push(if a < b { (a, b) } else { (b, a) });
         }
     }
-    let mut out: Vec<(u32, u32)> = pairs.into_iter().collect();
-    out.sort_unstable();
-    out
+    pairs.sort_unstable();
+    pairs.dedup();
+    pairs
 }
 
 /// The sorted-neighborhood blocking key of record `r`: its **shareable**
@@ -87,8 +92,14 @@ pub fn blocking_key(corpus: &Corpus, r: usize) -> String {
 /// Reduction ratio of a candidate set versus the full pair universe:
 /// `1 − |candidates| / (n(n−1)/2)`. The standard blocking quality metric
 /// (paired with pair completeness, i.e. recall of true pairs).
+///
+/// The pair universe is computed in `u128`: `n(n−1)` overflows a 32-bit
+/// `usize` beyond ~65 k records and a 64-bit one beyond ~4.3 G records,
+/// and blocking is exactly the feature aimed at multi-million-record
+/// corpora.
 pub fn reduction_ratio(n_records: usize, n_candidates: usize) -> f64 {
-    let universe = n_records * n_records.saturating_sub(1) / 2;
+    let n = n_records as u128;
+    let universe = n * n.saturating_sub(1) / 2;
     if universe == 0 {
         return 0.0;
     }
@@ -169,6 +180,18 @@ mod tests {
         assert_eq!(reduction_ratio(10, 0), 1.0);
         assert!((reduction_ratio(10, 45) - 0.0).abs() < 1e-12);
         assert!((reduction_ratio(10, 9) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reduction_ratio_survives_huge_corpora() {
+        // 5 billion records: n(n−1) overflows u64 multiplication; the
+        // u128 universe math must stay finite and near 1 for any sane
+        // candidate count.
+        let n = 5_000_000_000usize;
+        let rr = reduction_ratio(n, 1_000_000_000);
+        assert!(rr.is_finite());
+        assert!(rr > 0.999_999, "{rr}");
+        assert!(rr <= 1.0);
     }
 
     #[test]

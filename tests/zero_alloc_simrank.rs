@@ -1,0 +1,126 @@
+//! Steady-state allocation contract of the flattened SimRank iteration
+//! loop.
+//!
+//! After one warm-up run has grown a [`SimRankScratch`]'s three score
+//! buffers to the universe's size, re-running `simrank_flat` on the same
+//! universe with a serial pool must perform **zero** heap allocations:
+//! `prepare` only `clear`s and `resize`s within retained capacity, the
+//! serial fast path bypasses the pool's scope bookkeeping entirely, and
+//! every slot update is pure index arithmetic over the prebuilt CSR
+//! arrays. A counting global allocator pins that contract; any regression
+//! (a `Vec` built per iteration, a hash map sneaking back into the inner
+//! loop) fails the test rather than silently eating the speedup.
+//!
+//! This file deliberately holds a single `#[test]`: the counter is
+//! process-global, and sibling tests running on other threads would
+//! otherwise bleed allocations into the measurement window (same
+//! convention as `tests/zero_alloc.rs`).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+use er_graph::{simrank_flat, SimRankConfig, SimRankScratch, SimRankUniverse};
+use er_pool::WorkerPool;
+
+/// Delegates to the system allocator, counting allocation calls while
+/// armed. `realloc`/`alloc_zeroed` use the `GlobalAlloc` defaults, which
+/// route through `alloc`, so growth is counted too.
+struct CountingAlloc;
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+// The workspace-wide `#![deny(unsafe_code)]` walls apply to the library
+// crates; integration tests are the one place a `GlobalAlloc` shim is
+// unavoidable, and the xtask unsafe audit covers `src/` trees only.
+// SAFETY: pure delegation to the system allocator plus atomic counter
+// bumps; upholds the `GlobalAlloc` contract exactly as `System` does.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        // SAFETY: same layout, delegated verbatim to the system allocator.
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: `ptr` came from `alloc` above with this exact layout.
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+/// Allocations performed by `f` while the counter is armed.
+fn count_allocs(f: impl FnOnce()) -> usize {
+    ALLOCS.store(0, Ordering::SeqCst);
+    ARMED.store(true, Ordering::SeqCst);
+    f();
+    ARMED.store(false, Ordering::SeqCst);
+    ALLOCS.load(Ordering::SeqCst)
+}
+
+/// Deterministic mid-size record–term graph (LCG-drawn term sets, skewed
+/// toward low ids so common terms create real co-occurrence blocks).
+fn synthetic_record_terms(n_records: usize, n_terms: usize, per_record: usize) -> Vec<Vec<u32>> {
+    let mut state = 0x9e3779b97f4a7c15u64;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as u32
+    };
+    (0..n_records)
+        .map(|_| {
+            let mut terms: Vec<u32> = (0..per_record)
+                .map(|_| {
+                    let a = next() % n_terms as u32;
+                    let b = next() % n_terms as u32;
+                    a.min(b)
+                })
+                .collect();
+            terms.sort_unstable();
+            terms.dedup();
+            terms
+        })
+        .collect()
+}
+
+#[test]
+fn simrank_iteration_loop_steady_state_allocates_nothing() {
+    let n_terms = 120;
+    let owned = synthetic_record_terms(300, n_terms, 5);
+    let record_terms: Vec<&[u32]> = owned.iter().map(Vec::as_slice).collect();
+    let universe = SimRankUniverse::build(&record_terms, n_terms, None);
+    assert!(
+        universe.records().len() > 100,
+        "synthetic graph too sparse to be a meaningful workload"
+    );
+    let config = SimRankConfig::default();
+    let pool = WorkerPool::new(1);
+    let mut scratch = SimRankScratch::default();
+
+    // Warm-up: grows the three score buffers to their high-water marks.
+    simrank_flat(&universe, &config, &mut scratch, &pool);
+    let baseline: Vec<u64> = scratch
+        .record_scores()
+        .iter()
+        .map(|s| s.to_bits())
+        .collect();
+
+    let allocs = count_allocs(|| {
+        simrank_flat(&universe, &config, &mut scratch, &pool);
+    });
+    assert_eq!(
+        allocs, 0,
+        "steady-state SimRank iteration must not allocate"
+    );
+    let rerun: Vec<u64> = scratch
+        .record_scores()
+        .iter()
+        .map(|s| s.to_bits())
+        .collect();
+    assert_eq!(rerun, baseline, "repeat run must be bit-identical");
+}
