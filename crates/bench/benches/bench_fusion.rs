@@ -1,42 +1,38 @@
-//! **BENCH_fusion.json** — machine-readable phase timings of the fusion
-//! pipeline across thread counts.
+//! **BENCH_fusion.json** — fusion pipeline telemetry in the `er-obs/v1`
+//! schema.
 //!
 //! For each bench dataset and each thread count in {1, 2, 4}, the full
-//! 5-round fusion is run once on a shared worker pool and its phase
-//! timings are recorded as flat JSON objects:
+//! 5-round fusion is run once with er-obs recording on; the resulting
+//! [`er_obs::Report`] snapshot — phase span tree (`fusion`,
+//! `fusion/iter`, `fusion/cliquerank`, nested sweeps), per-worker pool
+//! utilization, and the pipeline's cache/solver counters — becomes one
+//! [`BenchRun`] in the output file. Every parallel path is bit-identical
+//! to the serial one, so runs across thread counts time the *same*
+//! computation; outcome equality is asserted.
 //!
-//! ```json
-//! {"phase": "iter", "dataset": "restaurant", "threads": 4, "seconds": 0.021}
-//! ```
+//! Three extra run families ride along:
 //!
-//! Phases: `fusion` (the whole resolve), `iter` (sum over rounds),
-//! `cliquerank` (sum over rounds, including record-graph construction).
-//! Every parallel path is bit-identical to the serial one, so the records
-//! compare the *same* computation's wall clock — the threads=1 row is the
-//! serial baseline. Outcome equality across thread counts is asserted.
-//!
-//! Three extra record families ride along:
-//!
-//! * `cliquerank_cache_cold` / `cliquerank_cache_warm` — one cached
-//!   CliqueRank pass per dataset with a fresh [`CliqueRankCache`], then a
-//!   second pass on the populated cache; each record carries the
-//!   cumulative `hits`/`misses` counters.
-//! * `cliquerank_steady_allocs` — repeat solve of the dataset's largest
-//!   component on warm scratch, with the binary's counting allocator
-//!   armed; `allocs` must be 0 (the recurrence's zero-allocation
-//!   contract, also pinned by `tests/zero_alloc.rs`).
-//! * `matmul_blocked` / `matmul_packed` at n ∈ {256, 512} — the packed
-//!   register-tiled kernel against the legacy blocked baseline; the
-//!   packed record carries the `speedup` ratio.
+//! * `cliquerank_cache` (modes `cold`/`warm`) — one cached CliqueRank
+//!   pass per dataset with a fresh [`CliqueRankCache`], then a second
+//!   pass on the populated cache; the registry's
+//!   `cliquerank_cache_{hits,misses}_total` counters land in each report.
+//! * `steady_alloc` — repeat solve of the dataset's largest component on
+//!   warm scratch with the binary's counting allocator armed; the
+//!   `cliquerank_steady_allocs` gauge must be 0 (the zero-allocation
+//!   contract also pinned by `tests/zero_alloc.rs`). Recording is
+//!   suspended during the armed window so telemetry itself cannot
+//!   contribute allocations.
+//! * `matmul` (modes `blocked`/`packed`, datasets `n256`/`n512`) — the
+//!   packed register-tiled kernel against the legacy blocked baseline;
+//!   the packed report carries a `matmul_speedup` gauge.
 //!
 //! Run: `cargo bench -p er-bench --bench bench_fusion`. Output goes to
 //! `BENCH_fusion.json` in the current directory (override with
-//! `ER_BENCH_OUT`).
+//! `ER_BENCH_OUT`); `cargo xtask bench-diff` consumes it in CI.
 
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::fmt::Write as _;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
 use er_bench::{bench_datasets, fusion_config, prepare, scale_factor};
 use er_core::{
@@ -44,11 +40,12 @@ use er_core::{
 };
 use er_graph::RecordGraph;
 use er_matrix::{matmul_blocked, matmul_packed, Matrix};
+use er_obs::{BenchFile, BenchRun, GaugeStat, Report, SpanStat};
 
 const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
 
 /// Counts heap allocations while armed — evidence for the
-/// `cliquerank_steady_allocs` records.
+/// `cliquerank_steady_allocs` gauge.
 struct CountingAlloc;
 
 static ARMED: AtomicBool = AtomicBool::new(false);
@@ -74,31 +71,36 @@ unsafe impl GlobalAlloc for CountingAlloc {
 #[global_allocator]
 static ALLOCATOR: CountingAlloc = CountingAlloc;
 
-struct Record {
-    phase: &'static str,
-    dataset: String,
+/// Resets the registry, runs `f`, and freezes the snapshot into a run.
+fn recorded_run(
+    label: &str,
+    dataset: &str,
+    mode: &str,
     threads: usize,
-    seconds: f64,
-    /// Extra JSON key-value pairs (pre-rendered, comma-prefixed), e.g.
-    /// `, "hits": 3`. Empty for plain timing records.
-    extra: String,
+    f: impl FnOnce(),
+) -> BenchRun {
+    er_obs::reset();
+    f();
+    BenchRun {
+        label: label.to_owned(),
+        dataset: dataset.to_owned(),
+        mode: mode.to_owned(),
+        threads: threads as u64,
+        report: er_obs::snapshot(),
+    }
 }
 
-fn json_line(r: &Record) -> String {
-    // The dataset names are ASCII identifiers, so plain quoting is a
-    // valid JSON string encoding here.
-    format!(
-        "{{\"phase\": \"{}\", \"dataset\": \"{}\", \"threads\": {}, \"seconds\": {:.6}{}}}",
-        r.phase, r.dataset, r.threads, r.seconds, r.extra
-    )
+fn span_seconds(report: &Report, path: &str) -> f64 {
+    report.span(path).map_or(0.0, SpanStat::total_seconds)
 }
 
 fn main() {
     let scale = scale_factor();
     let out_path = std::env::var("ER_BENCH_OUT").unwrap_or_else(|_| "BENCH_fusion.json".to_owned());
-    println!("BENCH_fusion — fusion phase timings at scale factor {scale}");
+    println!("BENCH_fusion — fusion phase telemetry at scale factor {scale}");
+    er_obs::set_recording(true);
 
-    let mut records: Vec<Record> = Vec::new();
+    let mut file = BenchFile::default();
     for bench in bench_datasets(scale) {
         let prepared = prepare(&bench);
         let name = bench.dataset.name.clone();
@@ -106,11 +108,11 @@ fn main() {
         for threads in THREAD_COUNTS {
             let mut cfg = fusion_config();
             cfg.threads = threads;
-            let t0 = Instant::now();
-            let outcome = Resolver::new(cfg).resolve(&prepared.graph);
-            let total = t0.elapsed();
-            let iter_time: Duration = outcome.rounds.iter().map(|r| r.iter_time).sum();
-            let cliquerank_time: Duration = outcome.rounds.iter().map(|r| r.cliquerank_time).sum();
+            let mut outcome = None;
+            let run = recorded_run("fusion", &name, "pooled", threads, || {
+                outcome = Some(Resolver::new(cfg).resolve(&prepared.graph));
+            });
+            let outcome = outcome.expect("resolve ran");
             match &baseline {
                 None => baseline = Some(outcome.matching_probabilities.clone()),
                 Some(b) => assert_eq!(
@@ -118,40 +120,28 @@ fn main() {
                     "fusion outcome changed with threads={threads} on {name}"
                 ),
             }
-            for (phase, d) in [
-                ("fusion", total),
-                ("iter", iter_time),
-                ("cliquerank", cliquerank_time),
-            ] {
-                records.push(Record {
-                    phase,
-                    dataset: name.clone(),
-                    threads,
-                    seconds: d.as_secs_f64(),
-                    extra: String::new(),
-                });
-            }
             println!(
-                "  {name:<12} threads={threads}  fusion {:.3}s  iter {:.3}s  cliquerank {:.3}s",
-                total.as_secs_f64(),
-                iter_time.as_secs_f64(),
-                cliquerank_time.as_secs_f64()
+                "  {name:<12} threads={threads}  fusion {:.3}s  iter {:.3}s  cliquerank {:.3}s  ({} pool jobs)",
+                span_seconds(&run.report, "fusion"),
+                span_seconds(&run.report, "fusion/iter"),
+                span_seconds(&run.report, "fusion/cliquerank"),
+                run.report.counter("pool_jobs_total"),
             );
+            file.runs.push(run);
         }
-        cache_and_alloc_records(&prepared.graph, &name, &mut records);
+        cache_and_alloc_runs(&prepared.graph, &name, &mut file);
     }
-    matmul_records(&mut records);
+    matmul_runs(&mut file);
+    er_obs::set_recording(false);
 
-    write_json(&records, &out_path);
+    let json = file.to_json();
+    std::fs::write(&out_path, json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    println!("wrote {} runs to {out_path}", file.runs.len());
 }
 
-/// Cached-CliqueRank cold/warm timings (with cumulative hit/miss
-/// counters) and the steady-state allocation count for one dataset.
-fn cache_and_alloc_records(
-    graph: &er_graph::BipartiteGraph,
-    name: &str,
-    records: &mut Vec<Record>,
-) {
+/// Cached-CliqueRank cold/warm runs (hit/miss counters land in the
+/// reports) and the steady-state allocation gauge for one dataset.
+fn cache_and_alloc_runs(graph: &er_graph::BipartiteGraph, name: &str, file: &mut BenchFile) {
     let cfg = fusion_config();
     let mut cr = cfg.cliquerank;
     cr.threads = 1;
@@ -166,43 +156,36 @@ fn cache_and_alloc_records(
     );
 
     let mut cache = CliqueRankCache::new();
-    let t0 = Instant::now();
-    let cold = run_cliquerank_cached(&gr, &cr, &mut cache);
-    let cold_s = t0.elapsed().as_secs_f64();
-    records.push(Record {
-        phase: "cliquerank_cache_cold",
-        dataset: name.to_owned(),
-        threads: 1,
-        seconds: cold_s,
-        extra: format!(
-            ", \"hits\": {}, \"misses\": {}",
-            cache.hits(),
-            cache.misses()
-        ),
+    let mut cold = Vec::new();
+    let cold_run = recorded_run("cliquerank_cache", name, "cold", 1, || {
+        let (out, _) = er_obs::time("cliquerank_cache_solve", || {
+            run_cliquerank_cached(&gr, &cr, &mut cache)
+        });
+        cold = out;
     });
-    let t1 = Instant::now();
-    let warm = run_cliquerank_cached(&gr, &cr, &mut cache);
-    let warm_s = t1.elapsed().as_secs_f64();
+    let mut warm = Vec::new();
+    let warm_run = recorded_run("cliquerank_cache", name, "warm", 1, || {
+        let (out, _) = er_obs::time("cliquerank_cache_solve", || {
+            run_cliquerank_cached(&gr, &cr, &mut cache)
+        });
+        warm = out;
+    });
     assert_eq!(cold, warm, "cache replay must be exact on {name}");
-    records.push(Record {
-        phase: "cliquerank_cache_warm",
-        dataset: name.to_owned(),
-        threads: 1,
-        seconds: warm_s,
-        extra: format!(
-            ", \"hits\": {}, \"misses\": {}",
-            cache.hits(),
-            cache.misses()
-        ),
-    });
     println!(
-        "  {name:<12} cache cold {cold_s:.3}s → warm {warm_s:.3}s  ({} hits / {} misses)",
+        "  {name:<12} cache cold {:.3}s → warm {:.3}s  ({} hits / {} misses cumulative)",
+        span_seconds(&cold_run.report, "cliquerank_cache_solve"),
+        span_seconds(&warm_run.report, "cliquerank_cache_solve"),
         cache.hits(),
         cache.misses()
     );
+    file.runs.push(cold_run);
+    file.runs.push(warm_run);
 
     // Steady-state allocation count: repeat solve of the largest
-    // component on warm scratch must allocate nothing.
+    // component on warm scratch must allocate nothing. Recording is
+    // suspended for the armed window so the telemetry layer itself is
+    // excluded (its steady state is also allocation-free, but this
+    // gauge pins the *solver* contract, not the registry's).
     let comps = gr.components();
     let Some(members) = comps
         .members
@@ -219,31 +202,56 @@ fn cache_and_alloc_records(
     let mut out = vec![0.0f64; gr.pairs().len()];
     let mut scratch = CliqueScratch::default();
     solve_component_into(&gr, members, &local_of, &cr, &mut out, &mut scratch);
+    er_obs::set_recording(false);
     ALLOCS.store(0, Ordering::SeqCst);
     ARMED.store(true, Ordering::SeqCst);
-    let t2 = Instant::now();
+    let t = Instant::now();
     solve_component_into(&gr, members, &local_of, &cr, &mut out, &mut scratch);
-    let steady_s = t2.elapsed().as_secs_f64();
+    let steady_ns = u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX);
     ARMED.store(false, Ordering::SeqCst);
     let allocs = ALLOCS.load(Ordering::SeqCst);
-    records.push(Record {
-        phase: "cliquerank_steady_allocs",
-        dataset: name.to_owned(),
-        threads: 1,
-        seconds: steady_s,
-        extra: format!(
-            ", \"allocs\": {allocs}, \"component_size\": {}",
-            members.len()
-        ),
-    });
+    er_obs::set_recording(true);
+    assert_eq!(allocs, 0, "steady-state solve allocated on {name}");
+
+    // The armed window ran with recording off, so this run's report is
+    // assembled directly from the measured values.
+    let report = Report {
+        spans: vec![SpanStat {
+            path: "cliquerank_steady_solve".to_owned(),
+            count: 1,
+            total_ns: steady_ns,
+            min_ns: steady_ns,
+            max_ns: steady_ns,
+        }],
+        counters: Vec::new(),
+        gauges: vec![
+            GaugeStat {
+                name: "cliquerank_steady_allocs".to_owned(),
+                value: allocs as f64,
+            },
+            GaugeStat {
+                name: "cliquerank_component_size".to_owned(),
+                value: members.len() as f64,
+            },
+        ],
+        workers: Vec::new(),
+    };
     println!(
         "  {name:<12} steady-state solve ({} nodes): {allocs} allocations",
         members.len()
     );
+    file.runs.push(BenchRun {
+        label: "steady_alloc".to_owned(),
+        dataset: name.to_owned(),
+        mode: "warm".to_owned(),
+        threads: 1,
+        report,
+    });
 }
 
-/// Packed-vs-blocked single-threaded matmul at n ∈ {256, 512}.
-fn matmul_records(records: &mut Vec<Record>) {
+/// Packed-vs-blocked single-threaded matmul at n ∈ {256, 512}; three
+/// reps per kernel, so the span carries count=3 with min/max per rep.
+fn matmul_runs(file: &mut BenchFile) {
     for n in [256usize, 512] {
         let mut state = 0x9e3779b97f4a7c15u64;
         let mut a = Matrix::zeros(n, n);
@@ -256,47 +264,33 @@ fn matmul_records(records: &mut Vec<Record>) {
                 *v = ((state >> 33) as f64 / (1u64 << 31) as f64) - 0.5;
             }
         }
-        let time_min = |f: &mut dyn FnMut()| {
-            let mut best = f64::INFINITY;
+        let dataset = format!("n{n}");
+        let blocked_run = recorded_run("matmul", &dataset, "blocked", 1, || {
             for _ in 0..3 {
-                let t = Instant::now();
-                f();
-                best = best.min(t.elapsed().as_secs_f64());
+                let _span = er_obs::span("matmul_kernel");
+                std::hint::black_box(matmul_blocked(&a, &b));
             }
-            best
+        });
+        let mut packed_run = recorded_run("matmul", &dataset, "packed", 1, || {
+            for _ in 0..3 {
+                let _span = er_obs::span("matmul_kernel");
+                std::hint::black_box(matmul_packed(&a, &b));
+            }
+        });
+        // Speedup on best-of-3 (min), the least noisy comparison.
+        let best = |run: &BenchRun| {
+            run.report
+                .span("matmul_kernel")
+                .map_or(f64::INFINITY, |s| s.min_ns as f64 / 1e9)
         };
-        let blocked_s = time_min(&mut || {
-            std::hint::black_box(matmul_blocked(&a, &b));
-        });
-        let packed_s = time_min(&mut || {
-            std::hint::black_box(matmul_packed(&a, &b));
-        });
+        let (blocked_s, packed_s) = (best(&blocked_run), best(&packed_run));
         let speedup = blocked_s / packed_s;
-        records.push(Record {
-            phase: "matmul_blocked",
-            dataset: format!("n{n}"),
-            threads: 1,
-            seconds: blocked_s,
-            extra: String::new(),
-        });
-        records.push(Record {
-            phase: "matmul_packed",
-            dataset: format!("n{n}"),
-            threads: 1,
-            seconds: packed_s,
-            extra: format!(", \"speedup\": {speedup:.2}"),
+        packed_run.report.gauges.push(GaugeStat {
+            name: "matmul_speedup".to_owned(),
+            value: speedup,
         });
         println!("  matmul n={n}: blocked {blocked_s:.4}s  packed {packed_s:.4}s  ({speedup:.2}x)");
+        file.runs.push(blocked_run);
+        file.runs.push(packed_run);
     }
-}
-
-fn write_json(records: &[Record], out_path: &str) {
-    let mut json = String::from("[\n");
-    for (i, r) in records.iter().enumerate() {
-        let sep = if i + 1 == records.len() { "" } else { "," };
-        writeln!(json, "  {}{sep}", json_line(r)).unwrap();
-    }
-    json.push_str("]\n");
-    std::fs::write(out_path, json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
-    println!("wrote {} records to {out_path}", records.len());
 }

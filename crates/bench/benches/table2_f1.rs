@@ -17,15 +17,14 @@
 //! shared worker pool (`mode: "pooled"`, `ER_THREADS` workers) — and the
 //! two score vectors are asserted bit-identical on every run; the F1
 //! column comes from the pooled scores. Per-method wall times land in
-//! **BENCH_table2.json** (override the path with `ER_BENCH_OUT`) as flat
-//! JSON records:
+//! **BENCH_table2.json** (override the path with `ER_BENCH_OUT`) in the
+//! `er-obs/v1` [`BenchFile`] schema: one [`BenchRun`] per method×mode,
+//! whose report carries the wall time as an `eval` span plus
+//! `candidate_pairs` (and, for pooled/kernel rows, `speedup`) gauges —
+//! the same schema `bench_fusion` emits and `cargo xtask bench-diff`
+//! consumes.
 //!
-//! ```json
-//! {"method": "SimRank", "dataset": "paper", "mode": "pooled",
-//!  "threads": 8, "seconds": 0.41, "candidates": 428744, "speedup": 3.1}
-//! ```
-//!
-//! A `simrank_kernel_*` record family rides along: per dataset, the
+//! A `simrank_kernel_*` run family rides along: per dataset, the
 //! retained HashMap reference oracle is timed against the CSR-flattened
 //! kernel (serial and pooled, universe build included), their score maps
 //! are asserted bit-identical, and the flat/pooled records carry the
@@ -35,8 +34,7 @@
 //!
 //! Run: `cargo bench --bench table2_f1` (`ER_SCALE=paper` for full scale).
 
-use std::fmt::Write as _;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use er_baselines::{
     HybridScorer, JaccardScorer, PairScorer, SimRankScorer, TfIdfScorer, TwIdfScorer,
@@ -56,64 +54,53 @@ use er_ml::{
     balanced_split, Classifier, FeatureExtractor, GaussianMixture, GaussianNaiveBayes,
     LogisticRegression, PegasosSvm, StandardScaler,
 };
+use er_obs::{BenchFile, BenchRun, GaugeStat, Report, SpanStat};
 use er_pool::WorkerPool;
 use er_text::Corpus;
 
-/// One BENCH_table2.json timing record.
-struct Record {
-    method: String,
-    dataset: String,
-    /// `"flat"` (serial), `"pooled"`, or `"hashmap"` (the retained
-    /// SimRank reference oracle).
-    mode: &'static str,
-    threads: usize,
-    seconds: f64,
-    /// Candidate pairs scored (tracked record pairs for the kernel rows).
-    candidates: usize,
-    /// Extra JSON key-value pairs (pre-rendered, comma-prefixed), e.g.
-    /// `, "speedup": 3.10`. Empty for plain timing records.
-    extra: String,
-}
-
-fn rec(
+/// One BENCH_table2.json run: the method's wall time frozen as a single
+/// `eval` span, with the candidate-pair count (tracked record pairs for
+/// the kernel rows) and an optional `speedup` as gauges. Modes are
+/// `"flat"` (serial), `"pooled"`, or `"hashmap"` (the retained SimRank
+/// reference oracle).
+fn timed_run(
     method: &str,
     dataset: &str,
-    mode: &'static str,
+    mode: &str,
     threads: usize,
-    seconds: f64,
+    elapsed: Duration,
     candidates: usize,
-    extra: String,
-) -> Record {
-    Record {
-        method: method.to_owned(),
+    speedup: Option<f64>,
+) -> BenchRun {
+    let ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+    let mut gauges = vec![GaugeStat {
+        name: "candidate_pairs".to_owned(),
+        value: candidates as f64,
+    }];
+    if let Some(s) = speedup {
+        gauges.push(GaugeStat {
+            name: "speedup".to_owned(),
+            value: s,
+        });
+    }
+    BenchRun {
+        label: method.to_owned(),
         dataset: dataset.to_owned(),
-        mode,
-        threads,
-        seconds,
-        candidates,
-        extra,
+        mode: mode.to_owned(),
+        threads: threads as u64,
+        report: Report {
+            spans: vec![SpanStat {
+                path: "eval".to_owned(),
+                count: 1,
+                total_ns: ns,
+                min_ns: ns,
+                max_ns: ns,
+            }],
+            counters: Vec::new(),
+            gauges,
+            workers: Vec::new(),
+        },
     }
-}
-
-fn json_line(r: &Record) -> String {
-    // Method and dataset names are ASCII without quotes or backslashes,
-    // so plain quoting is a valid JSON string encoding here.
-    format!(
-        "{{\"method\": \"{}\", \"dataset\": \"{}\", \"mode\": \"{}\", \"threads\": {}, \
-         \"seconds\": {:.6}, \"candidates\": {}{}}}",
-        r.method, r.dataset, r.mode, r.threads, r.seconds, r.candidates, r.extra
-    )
-}
-
-fn write_json(records: &[Record], out_path: &str) {
-    let mut json = String::from("[\n");
-    for (i, r) in records.iter().enumerate() {
-        let sep = if i + 1 == records.len() { "" } else { "," };
-        writeln!(json, "  {}{sep}", json_line(r)).unwrap();
-    }
-    json.push_str("]\n");
-    std::fs::write(out_path, json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
-    println!("wrote {} records to {out_path}", records.len());
 }
 
 /// Runs one scorer serially and on the pool, asserts the score vectors
@@ -126,14 +113,12 @@ fn eval_scorer_timed(
     truth: &TruthPairs,
     pool: &WorkerPool,
     dataset: &str,
-    records: &mut Vec<Record>,
+    runs: &mut Vec<BenchRun>,
 ) -> (String, f64) {
-    let t0 = Instant::now();
-    let flat = scorer.score_pairs(corpus, pairs);
-    let flat_s = t0.elapsed().as_secs_f64();
-    let t1 = Instant::now();
-    let pooled = scorer.score_pairs_pooled(corpus, pairs, pool);
-    let pooled_s = t1.elapsed().as_secs_f64();
+    let (flat, flat_t) = er_obs::time("table2_score_flat", || scorer.score_pairs(corpus, pairs));
+    let (pooled, pooled_t) = er_obs::time("table2_score_pooled", || {
+        scorer.score_pairs_pooled(corpus, pairs, pool)
+    });
     let fa: Vec<u64> = flat.iter().map(|s| s.to_bits()).collect();
     let fb: Vec<u64> = pooled.iter().map(|s| s.to_bits()).collect();
     assert_eq!(
@@ -142,23 +127,23 @@ fn eval_scorer_timed(
         "{} pooled scoring diverged from serial on {dataset}",
         scorer.name()
     );
-    records.push(rec(
+    runs.push(timed_run(
         scorer.name(),
         dataset,
         "flat",
         1,
-        flat_s,
+        flat_t,
         pairs.len(),
-        String::new(),
+        None,
     ));
-    records.push(rec(
+    runs.push(timed_run(
         scorer.name(),
         dataset,
         "pooled",
         pool.threads(),
-        pooled_s,
+        pooled_t,
         pairs.len(),
-        format!(", \"speedup\": {:.2}", flat_s / pooled_s),
+        Some(flat_t.as_secs_f64() / pooled_t.as_secs_f64().max(1e-9)),
     ));
     let r = er_baselines::sweep_scores(pairs, &pooled, truth);
     (scorer.name().to_owned(), r.f1)
@@ -174,7 +159,7 @@ fn main() {
     );
     let mut rows: Vec<(String, [String; 3])> = Vec::new();
     let mut crowd_notes = Vec::new();
-    let mut records: Vec<Record> = Vec::new();
+    let mut runs: Vec<BenchRun> = Vec::new();
 
     let benches = bench_datasets(scale);
     let mut measured: Vec<Vec<(String, f64)>> = Vec::new();
@@ -199,12 +184,12 @@ fn main() {
                 truth,
                 &pool,
                 name,
-                &mut records,
+                &mut runs,
             ));
         }
 
         // --- Learning-based baselines. ---
-        let ml = ml_baselines(corpus, &pairs, truth, &pool, name, &mut records);
+        let ml = ml_baselines(corpus, &pairs, truth, &pool, name, &mut runs);
         col.extend(ml);
 
         // --- Crowd-based baselines (simulated oracle). ---
@@ -239,19 +224,19 @@ fn main() {
             .collect();
         let machine_threshold = 0.15;
         {
-            let t = Instant::now();
             let mut oracle = NoisyOracle::new(|a, b| truth.is_match(a, b), 0.95, 0x0C);
-            let out = crowder_resolve(&scored, &CrowdErConfig { machine_threshold }, &mut oracle);
+            let (out, t) = er_obs::time("table2_crowd", || {
+                crowder_resolve(&scored, &CrowdErConfig { machine_threshold }, &mut oracle)
+            });
             let counts = evaluate_pairs(out.matches.iter().copied(), truth);
-            let secs = t.elapsed().as_secs_f64();
-            records.push(rec(
+            runs.push(timed_run(
                 "CrowdER (sim)",
                 name,
                 "flat",
                 1,
-                secs,
+                t,
                 pairs.len(),
-                String::new(),
+                None,
             ));
             col.push(("CrowdER (sim)".to_owned(), counts.f1()));
             crowd_notes.push(format!(
@@ -260,24 +245,24 @@ fn main() {
             ));
         }
         {
-            let t = Instant::now();
             let mut oracle = NoisyOracle::new(|a, b| truth.is_match(a, b), 0.95, 0x1C);
-            let out = transm_resolve(
-                bench.dataset.len(),
-                &scored,
-                &TransMConfig { machine_threshold },
-                &mut oracle,
-            );
+            let (out, t) = er_obs::time("table2_crowd", || {
+                transm_resolve(
+                    bench.dataset.len(),
+                    &scored,
+                    &TransMConfig { machine_threshold },
+                    &mut oracle,
+                )
+            });
             let counts = evaluate_pairs(out.matches.iter().copied(), truth);
-            let secs = t.elapsed().as_secs_f64();
-            records.push(rec(
+            runs.push(timed_run(
                 "TransM (sim)",
                 name,
                 "flat",
                 1,
-                secs,
+                t,
                 pairs.len(),
-                String::new(),
+                None,
             ));
             col.push(("TransM (sim)".to_owned(), counts.f1()));
             crowd_notes.push(format!(
@@ -288,27 +273,27 @@ fn main() {
         {
             // GCER: budget = 2x the true-pair count, the regime where its
             // selection strategy matters.
-            let t = Instant::now();
             let mut oracle = NoisyOracle::new(|a, b| truth.is_match(a, b), 0.95, 0x2C);
-            let out = gcer_resolve(
-                bench.dataset.len(),
-                &scored,
-                &GcerConfig {
-                    budget: truth.total() * 2,
-                    machine_threshold,
-                },
-                &mut oracle,
-            );
+            let (out, t) = er_obs::time("table2_crowd", || {
+                gcer_resolve(
+                    bench.dataset.len(),
+                    &scored,
+                    &GcerConfig {
+                        budget: truth.total() * 2,
+                        machine_threshold,
+                    },
+                    &mut oracle,
+                )
+            });
             let counts = evaluate_pairs(out.matches.iter().copied(), truth);
-            let secs = t.elapsed().as_secs_f64();
-            records.push(rec(
+            runs.push(timed_run(
                 "GCER (sim)",
                 name,
                 "flat",
                 1,
-                secs,
+                t,
                 pairs.len(),
-                String::new(),
+                None,
             ));
             col.push(("GCER (sim)".to_owned(), counts.f1()));
             crowd_notes.push(format!(
@@ -319,53 +304,53 @@ fn main() {
             ));
         }
         {
-            let t = Instant::now();
             let mut oracle = NoisyOracle::new(|a, b| truth.is_match(a, b), 0.95, 0x3C);
-            let out = acd_resolve(
-                bench.dataset.len(),
-                &scored,
-                &AcdConfig {
-                    machine_threshold,
-                    ..Default::default()
-                },
-                &mut oracle,
-            );
+            let (out, t) = er_obs::time("table2_crowd", || {
+                acd_resolve(
+                    bench.dataset.len(),
+                    &scored,
+                    &AcdConfig {
+                        machine_threshold,
+                        ..Default::default()
+                    },
+                    &mut oracle,
+                )
+            });
             let counts = evaluate_pairs(out.matches.iter().copied(), truth);
-            let secs = t.elapsed().as_secs_f64();
-            records.push(rec(
+            runs.push(timed_run(
                 "ACD (sim)",
                 name,
                 "flat",
                 1,
-                secs,
+                t,
                 pairs.len(),
-                String::new(),
+                None,
             ));
             col.push(("ACD (sim)".to_owned(), counts.f1()));
             crowd_notes.push(format!("{}: ACD asked {} questions", name, out.questions));
         }
         {
-            let t = Instant::now();
             let mut oracle = NoisyOracle::new(|a, b| truth.is_match(a, b), 0.95, 0x4C);
-            let out = power_resolve(
-                bench.dataset.len(),
-                &scored,
-                &PowerConfig {
-                    machine_threshold,
-                    ..Default::default()
-                },
-                &mut oracle,
-            );
+            let (out, t) = er_obs::time("table2_crowd", || {
+                power_resolve(
+                    bench.dataset.len(),
+                    &scored,
+                    &PowerConfig {
+                        machine_threshold,
+                        ..Default::default()
+                    },
+                    &mut oracle,
+                )
+            });
             let counts = evaluate_pairs(out.matches.iter().copied(), truth);
-            let secs = t.elapsed().as_secs_f64();
-            records.push(rec(
+            runs.push(timed_run(
                 "Power+ (sim)",
                 name,
                 "flat",
                 1,
-                secs,
+                t,
                 pairs.len(),
-                String::new(),
+                None,
             ));
             col.push(("Power+ (sim)".to_owned(), counts.f1()));
             crowd_notes.push(format!(
@@ -387,22 +372,23 @@ fn main() {
                 truth,
                 &pool,
                 name,
-                &mut records,
+                &mut runs,
             ));
         }
 
         // --- The fusion framework (fixed η = 0.98). ---
-        let t = Instant::now();
-        let outcome = Resolver::new(fusion_config()).resolve(&prepared.graph);
+        let (outcome, t) = er_obs::time("table2_fusion", || {
+            Resolver::new(fusion_config()).resolve(&prepared.graph)
+        });
         let counts = evaluate_pairs(outcome.matches.iter().copied(), truth);
-        records.push(rec(
+        runs.push(timed_run(
             "ITER+CliqueRank",
             name,
             "flat",
             1,
-            t.elapsed().as_secs_f64(),
+            t,
             pairs.len(),
-            String::new(),
+            None,
         ));
         col.push(("ITER+CliqueRank".to_owned(), counts.f1()));
 
@@ -418,7 +404,7 @@ fn main() {
         // Kernel head-to-head *after* the evaluation window: the HashMap
         // oracle is deliberately slow and must not pollute the
         // "evaluated in" number the README timing table tracks.
-        simrank_kernel_records(corpus, name, &pool, &mut records);
+        simrank_kernel_records(corpus, name, &pool, &mut runs);
     }
 
     // Assemble rows: measured methods mapped onto the paper's row order.
@@ -474,7 +460,10 @@ fn main() {
          learning-based rows (our implementations, DESIGN.md §4); crowd rows use a\n\
          95%-accurate simulated oracle instead of Mechanical Turk workers."
     );
-    write_json(&records, &out_path);
+    let file = BenchFile { runs };
+    std::fs::write(&out_path, file.to_json())
+        .unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    println!("wrote {} runs to {out_path}", file.runs.len());
 }
 
 /// Times the retained HashMap SimRank oracle against the CSR-flattened
@@ -484,7 +473,7 @@ fn simrank_kernel_records(
     corpus: &Corpus,
     dataset: &str,
     pool: &WorkerPool,
-    records: &mut Vec<Record>,
+    runs: &mut Vec<BenchRun>,
 ) {
     let owned: Vec<Vec<u32>> = (0..corpus.len())
         .map(|r| corpus.term_set(r).iter().map(|t| t.0).collect())
@@ -492,10 +481,9 @@ fn simrank_kernel_records(
     let record_terms: Vec<&[u32]> = owned.iter().map(Vec::as_slice).collect();
     let cfg = SimRankConfig::default();
 
-    let t0 = Instant::now();
-    let (ref_records, _) =
-        reference::bipartite_simrank_reference(&record_terms, corpus.vocab_len(), &cfg, None);
-    let hashmap_s = t0.elapsed().as_secs_f64();
+    let ((ref_records, _), hashmap_t) = er_obs::time("simrank_hashmap", || {
+        reference::bipartite_simrank_reference(&record_terms, corpus.vocab_len(), &cfg, None)
+    });
 
     let serial = WorkerPool::new(1);
     // Untimed warmup: the first build faults in the universe's large
@@ -507,13 +495,18 @@ fn simrank_kernel_records(
         None,
         &serial,
     ));
-    let t1 = Instant::now();
-    let flat = bipartite_simrank_pooled(&record_terms, corpus.vocab_len(), &cfg, None, &serial);
-    let flat_s = t1.elapsed().as_secs_f64();
+    let (flat, flat_t) = er_obs::time("simrank_flat", || {
+        bipartite_simrank_pooled(&record_terms, corpus.vocab_len(), &cfg, None, &serial)
+    });
 
-    let t2 = Instant::now();
-    let pooled = bipartite_simrank_pooled(&record_terms, corpus.vocab_len(), &cfg, None, pool);
-    let pooled_s = t2.elapsed().as_secs_f64();
+    let (pooled, pooled_t) = er_obs::time("simrank_pooled", || {
+        bipartite_simrank_pooled(&record_terms, corpus.vocab_len(), &cfg, None, pool)
+    });
+    let (hashmap_s, flat_s, pooled_s) = (
+        hashmap_t.as_secs_f64(),
+        flat_t.as_secs_f64().max(1e-9),
+        pooled_t.as_secs_f64().max(1e-9),
+    );
 
     assert_eq!(
         flat.tracked_record_pairs(),
@@ -537,32 +530,32 @@ fn simrank_kernel_records(
     }
 
     let tracked = flat.tracked_record_pairs();
-    records.push(rec(
+    runs.push(timed_run(
         "simrank_kernel_hashmap",
         dataset,
         "hashmap",
         1,
-        hashmap_s,
+        hashmap_t,
         tracked,
-        String::new(),
+        None,
     ));
-    records.push(rec(
+    runs.push(timed_run(
         "simrank_kernel_flat",
         dataset,
         "flat",
         1,
-        flat_s,
+        flat_t,
         tracked,
-        format!(", \"speedup\": {:.2}", hashmap_s / flat_s),
+        Some(hashmap_s / flat_s),
     ));
-    records.push(rec(
+    runs.push(timed_run(
         "simrank_kernel_pooled",
         dataset,
         "pooled",
         pool.threads(),
-        pooled_s,
+        pooled_t,
         tracked,
-        format!(", \"speedup\": {:.2}", hashmap_s / pooled_s),
+        Some(hashmap_s / pooled_s),
     ));
     eprintln!(
         "[{dataset}] simrank kernel: hashmap {hashmap_s:.3}s  flat {flat_s:.3}s ({:.1}x)  \
@@ -581,7 +574,7 @@ fn ml_baselines(
     truth: &TruthPairs,
     pool: &WorkerPool,
     dataset: &str,
-    records: &mut Vec<Record>,
+    runs: &mut Vec<BenchRun>,
 ) -> Vec<(String, f64)> {
     let t_feat = Instant::now();
     let extractor = FeatureExtractor::new(corpus);
@@ -591,14 +584,14 @@ fn ml_baselines(
     let split = balanced_split(&labels, 0.5, 3.0, 0x711);
     let scaler = StandardScaler::fit(&features);
     let scaled: Vec<Vec<f64>> = scaler.transform_all(&features);
-    records.push(rec(
+    runs.push(timed_run(
         "ML features",
         dataset,
         "pooled",
         pool.threads(),
-        t_feat.elapsed().as_secs_f64(),
+        t_feat.elapsed(),
         pairs.len(),
-        String::new(),
+        None,
     ));
 
     let train_x: Vec<Vec<f64>> = split.train.iter().map(|&i| scaled[i].clone()).collect();
@@ -622,42 +615,46 @@ fn ml_baselines(
     };
 
     let mut out = Vec::new();
-    let mut push_timed = |name: &str, f1: f64, secs: f64| {
-        records.push(rec(
+    let mut push_timed = |name: &str, f1: f64, elapsed: Duration| {
+        runs.push(timed_run(
             name,
             dataset,
             "flat",
             1,
-            secs,
+            elapsed,
             pairs.len(),
-            String::new(),
+            None,
         ));
         out.push((name.to_owned(), f1));
     };
 
     // Unsupervised GMM: fitted on ALL pairs without labels, evaluated on
     // the same held-out portion for comparability.
-    let t = Instant::now();
-    let gmm = GaussianMixture::fit(&scaled, 60);
+    let (gmm, t) = er_obs::time("table2_ml_fit", || GaussianMixture::fit(&scaled, 60));
     let f1 = eval(&|x| gmm.predict(x)).f1();
-    push_timed("GMM (unsupervised)", f1, t.elapsed().as_secs_f64());
+    push_timed("GMM (unsupervised)", f1, t);
 
-    let t = Instant::now();
-    let nb = GaussianNaiveBayes::fit(&train_x, &train_y);
+    let (nb, t) = er_obs::time("table2_ml_fit", || {
+        GaussianNaiveBayes::fit(&train_x, &train_y)
+    });
     let f1 = eval(&|x| nb.predict(x)).f1();
-    push_timed("Naive Bayes", f1, t.elapsed().as_secs_f64());
+    push_timed("Naive Bayes", f1, t);
 
-    let t = Instant::now();
-    let mut lr = LogisticRegression::new();
-    lr.fit(&train_x, &train_y);
+    let (lr, t) = er_obs::time("table2_ml_fit", || {
+        let mut lr = LogisticRegression::new();
+        lr.fit(&train_x, &train_y);
+        lr
+    });
     let f1 = eval(&|x| lr.predict(x)).f1();
-    push_timed("Logistic Regression", f1, t.elapsed().as_secs_f64());
+    push_timed("Logistic Regression", f1, t);
 
-    let t = Instant::now();
-    let mut svm = PegasosSvm::new();
-    svm.fit(&train_x, &train_y);
+    let (svm, t) = er_obs::time("table2_ml_fit", || {
+        let mut svm = PegasosSvm::new();
+        svm.fit(&train_x, &train_y);
+        svm
+    });
     let f1 = eval(&|x| svm.predict(x)).f1();
-    push_timed("Linear SVM (Pegasos)", f1, t.elapsed().as_secs_f64());
+    push_timed("Linear SVM (Pegasos)", f1, t);
 
     // Silence unused warnings for the sweep helper used by other benches.
     let _ = sweep_threshold;

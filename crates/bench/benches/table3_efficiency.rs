@@ -15,13 +15,20 @@
 //! outcomes (asserted), so the reported pool speedup is a pure wall-clock
 //! comparison of the same computation.
 //!
+//! Timings come from er-obs recording snapshots, so every run in
+//! **BENCH_table3.json** (override with `ER_BENCH_OUT`) carries the full
+//! `er-obs/v1` report — the fusion phase span tree, pipeline counters,
+//! and (for the pooled run) per-worker utilization — in the same schema
+//! as `BENCH_fusion.json`.
+//!
 //! Run: `cargo bench --bench table3_efficiency`.
 
-use std::time::Instant;
+use std::time::Duration;
 
 use er_bench::{bench_datasets, fmt_duration, fusion_config, prepare, scale_factor};
 use er_core::{run_rss_subset, FusionConfig, Resolver, RssConfig};
 use er_graph::RecordGraph;
+use er_obs::{BenchFile, BenchRun, GaugeStat};
 
 /// Pool size for the serial-vs-pool fusion comparison.
 const POOL_THREADS: usize = 4;
@@ -33,8 +40,34 @@ fn fusion_config_threads(threads: usize) -> FusionConfig {
     cfg
 }
 
+/// Resets the registry, runs `f`, and freezes the snapshot into a run.
+fn recorded_run(
+    label: &str,
+    dataset: &str,
+    mode: &str,
+    threads: usize,
+    f: impl FnOnce(),
+) -> BenchRun {
+    er_obs::reset();
+    f();
+    BenchRun {
+        label: label.to_owned(),
+        dataset: dataset.to_owned(),
+        mode: mode.to_owned(),
+        threads: threads as u64,
+        report: er_obs::snapshot(),
+    }
+}
+
+/// Total wall time of the run's top-level `path` span as a `Duration`.
+fn span_duration(run: &BenchRun, path: &str) -> Duration {
+    Duration::from_nanos(run.report.span(path).map_or(0, |s| s.total_ns))
+}
+
 fn main() {
     let scale = scale_factor();
+    let out_path = std::env::var("ER_BENCH_OUT").unwrap_or_else(|_| "BENCH_table3.json".to_owned());
+    er_obs::set_recording(true);
     println!("Table III — Efficiency of ITER+CliqueRank (scale factor {scale})");
     println!(
         "Paper reference (full scale): Restaurant 858n/5,320e 1.1min (ITER 3s, 1.3x vs RSS); \
@@ -55,30 +88,40 @@ fn main() {
     );
     println!("{}", "-".repeat(112));
 
+    let mut file = BenchFile::default();
     for bench in bench_datasets(scale) {
         let prepared = prepare(&bench);
+        let name = bench.dataset.name.as_str();
 
         // Full fusion run, timed serially (threads = 1).
-        let t0 = Instant::now();
-        let outcome = Resolver::new(fusion_config_threads(1)).resolve(&prepared.graph);
-        let total = t0.elapsed();
+        let mut outcome = None;
+        let serial_run = recorded_run("table3_fusion", name, "serial", 1, || {
+            outcome = Some(Resolver::new(fusion_config_threads(1)).resolve(&prepared.graph));
+        });
+        let outcome = outcome.expect("resolve ran");
+        let total = span_duration(&serial_run, "fusion");
+        let iter_time = span_duration(&serial_run, "fusion/iter");
 
         // Same fusion on the shared worker pool; the parallel phases are
         // deterministic, so the outcome must match bit for bit.
-        let t_pool = Instant::now();
-        let pooled = Resolver::new(fusion_config_threads(POOL_THREADS)).resolve(&prepared.graph);
-        let pool_total = t_pool.elapsed();
+        let mut pooled = None;
+        let pooled_run = recorded_run("table3_fusion", name, "pooled", POOL_THREADS, || {
+            pooled =
+                Some(Resolver::new(fusion_config_threads(POOL_THREADS)).resolve(&prepared.graph));
+        });
+        let pooled = pooled.expect("resolve ran");
         assert_eq!(
             outcome.matching_probabilities, pooled.matching_probabilities,
-            "pooled fusion diverged from serial on {}",
-            bench.dataset.name
+            "pooled fusion diverged from serial on {name}"
         );
+        let pool_total = span_duration(&pooled_run, "fusion");
         let pool_speedup = total.as_secs_f64() / pool_total.as_secs_f64().max(1e-9);
-        let iter_time: std::time::Duration = outcome.rounds.iter().map(|r| r.iter_time).sum();
         // The paper's "edges in Gr" is the candidate graph (pairs sharing
         // >= 1 term); the admitted per-round graph is smaller.
         let edges = prepared.graph.pair_count();
         let admitted = outcome.rounds.last().map_or(0, |r| r.record_graph_edges);
+        file.runs.push(serial_run);
+        file.runs.push(pooled_run);
 
         // RSS vs CliqueRank on the same graph the paper compares them
         // on: the full candidate record graph Gr (every pair sharing a
@@ -88,23 +131,36 @@ fn main() {
             prepared.graph.pairs(),
             &outcome.pair_similarities,
         );
-        let t_cr = Instant::now();
-        let _ = er_core::run_cliquerank(&gr, &er_bench::fusion_config().cliquerank);
-        let cliquerank_full = t_cr.elapsed();
+        let mut cliquerank_run = recorded_run("table3_cliquerank", name, "full", 1, || {
+            let _span = er_obs::span("cliquerank_full");
+            let _ = er_core::run_cliquerank(&gr, &er_bench::fusion_config().cliquerank);
+        });
+        let cliquerank_full = span_duration(&cliquerank_run, "cliquerank_full");
 
         let n_edges = gr.pairs().len().max(1);
         let sample = 2000.min(n_edges);
         let stride = (n_edges / sample).max(1);
         let sampled: Vec<u32> = (0..n_edges).step_by(stride).map(|i| i as u32).collect();
-        let t1 = Instant::now();
-        let _ = run_rss_subset(&gr, &RssConfig::default(), &sampled);
-        let rss_sample_time = t1.elapsed();
+        let mut rss_run = recorded_run("table3_rss", name, "sample", 1, || {
+            let _ = run_rss_subset(&gr, &RssConfig::default(), &sampled);
+        });
+        let rss_sample_time = span_duration(&rss_run, "rss");
         let rss_full = rss_sample_time.mul_f64(n_edges as f64 / sampled.len() as f64);
         let speedup = rss_full.as_secs_f64() / cliquerank_full.as_secs_f64().max(1e-9);
+        rss_run.report.gauges.push(GaugeStat {
+            name: "rss_estimated_full_seconds".to_owned(),
+            value: rss_full.as_secs_f64(),
+        });
+        cliquerank_run.report.gauges.push(GaugeStat {
+            name: "cliquerank_speedup_vs_rss".to_owned(),
+            value: speedup,
+        });
+        file.runs.push(cliquerank_run);
+        file.runs.push(rss_run);
 
         println!(
             "{:<12} {:>8} {:>10} {:>12} {:>10} {:>16} {:>11.1}x {:>12} {:>9.2}x   ({} admitted)",
-            bench.dataset.name,
+            name,
             prepared.graph.record_count(),
             edges,
             fmt_duration(total),
@@ -116,6 +172,7 @@ fn main() {
             admitted
         );
     }
+    er_obs::set_recording(false);
     println!(
         "\nNotes: speedup compares one CliqueRank pass vs RSS (extrapolated from a\n\
          <=2000-edge sample) on the same full candidate graph, as in the paper.\n\
@@ -127,4 +184,7 @@ fn main() {
          worker pool; outcomes are asserted bit-identical, so the speedup is\n\
          wall-clock only (expect ~1x on single-core CI hosts)."
     );
+    std::fs::write(&out_path, file.to_json())
+        .unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    println!("wrote {} runs to {out_path}", file.runs.len());
 }

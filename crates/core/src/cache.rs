@@ -136,6 +136,7 @@ pub fn run_cliquerank_cached(
         let key = component_hash(graph, members, config);
         if let Some(stored) = cache.map.get(&key) {
             cache.hits += 1;
+            er_obs::counter_add("cliquerank_cache_hits_total", 1);
             debug_assert_eq!(stored.len(), edge_indices.len());
             for (&idx, &p) in edge_indices.iter().zip(stored) {
                 out[idx] = p;
@@ -143,6 +144,7 @@ pub fn run_cliquerank_cached(
             continue;
         }
         cache.misses += 1;
+        er_obs::counter_add("cliquerank_cache_misses_total", 1);
         for (li, &g) in members.iter().enumerate() {
             local_of[g as usize] = li as u32;
         }

@@ -108,6 +108,11 @@ fn cliquerank_impl(
     let comps = graph.components();
     let solvable: Vec<&Vec<u32>> = comps.members.iter().filter(|m| m.len() >= 2).collect();
     let mut out = vec![0.0f64; graph.pairs().len()];
+    er_obs::counter_add("cliquerank_components_total", solvable.len() as u64);
+    er_obs::gauge_set(
+        "cliquerank_largest_component",
+        solvable.iter().map(|m| m.len()).max().unwrap_or(0) as f64,
+    );
 
     // Components are independent, so they parallelize perfectly (the
     // paper leans on a 32-core server for the same phase). Each pool job
@@ -307,11 +312,13 @@ fn solve_component(
             }
         };
     if use_sparse {
+        er_obs::counter_add("cliquerank_sparse_solves_total", 1);
         crate::sparse_kernel::solve_component_sparse(
             graph, members, local_of, config, bonus, out, sparse,
         );
         return;
     }
+    er_obs::counter_add("cliquerank_dense_solves_total", 1);
     // α-scaled edge powers: a[i][j] = (w_ij / (2 · rowmax_i))^α. The row
     // scaling keeps powf in range for any similarity magnitude (it cancels
     // in the row normalization); the factor 2 leaves headroom for the

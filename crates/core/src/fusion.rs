@@ -105,6 +105,7 @@ impl Resolver {
         let cfg = &self.config;
         assert!(cfg.rounds >= 1, "need at least one fusion round");
         assert!((0.0..=1.0).contains(&cfg.eta), "eta must be a probability");
+        let _fusion_span = er_obs::span("fusion");
         let pool = WorkerPool::new(cfg.threads);
         let n_pairs = graph.pair_count();
         // Structural edge admission: pairs sharing fewer than
@@ -129,17 +130,22 @@ impl Resolver {
                 iter_scratch.recycle(prev);
             }
             let t0 = Instant::now();
-            let iter_out = run_iter_with_init_pooled_scratch(
-                graph,
-                &prob,
-                &cfg.iter,
-                None,
-                &pool,
-                &mut iter_scratch,
-            );
+            let iter_out = {
+                let _span = er_obs::span("iter");
+                run_iter_with_init_pooled_scratch(
+                    graph,
+                    &prob,
+                    &cfg.iter,
+                    None,
+                    &pool,
+                    &mut iter_scratch,
+                )
+            };
             let iter_time = t0.elapsed();
+            er_obs::counter_add("iter_iterations_total", iter_out.iterations as u64);
 
             let t1 = Instant::now();
+            let cliquerank_span = er_obs::span("cliquerank");
             // Admission rules: structural shared-term minimum plus the
             // optional absolute similarity floor (ablation only).
             for ((slot, &s), &ok) in floored
@@ -160,7 +166,10 @@ impl Resolver {
                 &pool,
             );
             let edge_probs = run_cliquerank_pooled(&gr, &cfg.cliquerank, &pool);
+            drop(cliquerank_span);
             let cliquerank_time = t1.elapsed();
+            er_obs::counter_add("fusion_rounds_total", 1);
+            er_obs::gauge_set("record_graph_edges", gr.edge_count() as f64);
 
             // Map probabilities back onto the bipartite pair indexing;
             // pairs whose similarity dropped to 0 keep probability 0.

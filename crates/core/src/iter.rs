@@ -226,6 +226,7 @@ fn iter_impl(
 
     while iterations < config.max_iterations {
         iterations += 1;
+        let _sweep = er_obs::span("sweep");
         // Line 3–4: pair similarities from current term weights.
         update_similarities(graph, &x, &mut s, pool);
         // Line 5–7: term weights from pair similarities, then normalize.

@@ -75,10 +75,13 @@ pub fn run_rss_pooled(graph: &RecordGraph, config: &RssConfig, pool: &WorkerPool
 pub fn run_rss_subset(graph: &RecordGraph, config: &RssConfig, edges: &[u32]) -> RssOutcome {
     validate(config);
     if config.threads <= 1 {
+        let _span = er_obs::span("rss");
         let powers = EdgePowers::build(graph, config.alpha);
         let mut probabilities = vec![0.0f64; edges.len()];
         estimate_edges(graph, config, &powers, edges, &mut probabilities);
         let half = config.walks_per_edge / 2;
+        er_obs::counter_add("rss_edges_total", edges.len() as u64);
+        er_obs::counter_add("rss_walks_total", (edges.len() * 2 * half) as u64);
         RssOutcome {
             probabilities,
             walks: edges.len() * 2 * half,
@@ -99,6 +102,7 @@ pub fn run_rss_subset_pooled(
     pool: &WorkerPool,
 ) -> RssOutcome {
     validate(config);
+    let _span = er_obs::span("rss");
     let powers = EdgePowers::build(graph, config.alpha);
     let mut probabilities = vec![0.0f64; edges.len()];
     // ~16 edges per job keeps scheduling overhead negligible while still
@@ -115,6 +119,8 @@ pub fn run_rss_subset_pooled(
         }
     });
     let half = config.walks_per_edge / 2;
+    er_obs::counter_add("rss_edges_total", edges.len() as u64);
+    er_obs::counter_add("rss_walks_total", (edges.len() * 2 * half) as u64);
     RssOutcome {
         probabilities,
         walks: edges.len() * 2 * half,

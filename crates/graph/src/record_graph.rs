@@ -52,6 +52,7 @@ impl RecordGraph {
             scores.len(),
             "pairs and scores must be parallel"
         );
+        let _span = er_obs::span("record_graph_build");
         const MIN_CHUNK: usize = 4096;
         let filter_range = |lo: usize, hi: usize| -> Vec<(PairNode, f64)> {
             pairs[lo..hi]

@@ -435,6 +435,7 @@ impl SimRankUniverse {
         n_terms: usize,
         pair_filter: Option<&dyn Fn(u32, u32) -> bool>,
     ) -> Self {
+        let _span = er_obs::span("simrank_universe_build");
         // Postings CSR: term -> ascending records.
         let mut post_offsets = vec![0usize; n_terms + 1];
         for terms in record_terms {
@@ -502,6 +503,8 @@ impl SimRankUniverse {
         }
         let records = PairUniverse::from_pairs(record_terms.len(), rec_pairs);
         let terms = PairUniverse::from_pairs(n_terms, term_pairs);
+        er_obs::gauge_set("simrank_record_pairs", records.len() as f64);
+        er_obs::gauge_set("simrank_term_pairs", terms.len() as f64);
 
         // Record each slot's contribution sequence once; the iteration
         // loop replays it every pass instead of re-searching (the search

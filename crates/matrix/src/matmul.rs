@@ -125,6 +125,7 @@ pub fn matmul_packed_into(a: &Matrix, b: &Matrix, out: &mut Matrix, scratch: &mu
     debug_validate("matmul_packed (lhs)", || a.validate());
     debug_validate("matmul_packed (rhs)", || b.validate());
     let (m, n) = (a.rows(), b.cols());
+    er_obs::counter_add("matmul_packed_total", 1);
     out.reset(m, n);
     matmul_packed_rows(a, b, out.data_mut(), 0, m, scratch);
 }
@@ -208,6 +209,8 @@ pub fn matmul_pooled_into(
         matmul_packed_into(a, b, out, scratch);
         return;
     }
+    let _span = er_obs::span("matmul");
+    er_obs::counter_add("matmul_pooled_total", 1);
     out.reset(m, n);
     let rows_per = m.div_ceil(threads);
     pool.scope(|s| {

@@ -1,0 +1,471 @@
+//! The stable report schema and its two exporters.
+//!
+//! A [`Report`] is a frozen snapshot of the recording registry: span
+//! aggregates keyed by slash-joined path, monotonically-increasing
+//! counters, point-in-time gauges, and per-worker pool utilization.
+//! [`BenchFile`] wraps a list of labelled reports into the on-disk
+//! `BENCH_*.json` format (schema tag `er-obs/v1`) that the bench
+//! harness writes and `cargo xtask bench-diff` reads back.
+//!
+//! Everything here compiles regardless of the `enabled` feature — the
+//! exporters are cold code used by the harness and by xtask, not by
+//! the instrumented hot paths.
+
+use crate::json::{self, Value};
+
+/// Schema identifier written into every `BENCH_*.json`.
+pub const SCHEMA: &str = "er-obs/v1";
+
+/// Aggregate statistics for one span path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanStat {
+    /// Slash-joined path from the top-level span, e.g. `fusion/iter/sweep`.
+    pub path: String,
+    /// Number of times the span was entered.
+    pub count: u64,
+    /// Total wall time across all entries, in nanoseconds.
+    pub total_ns: u64,
+    /// Shortest single entry, in nanoseconds.
+    pub min_ns: u64,
+    /// Longest single entry, in nanoseconds.
+    pub max_ns: u64,
+}
+
+impl SpanStat {
+    /// Total time in seconds.
+    pub fn total_seconds(&self) -> f64 {
+        self.total_ns as f64 / 1e9
+    }
+
+    /// Whether this is a top-level span (no `/` in the path).
+    pub fn is_top_level(&self) -> bool {
+        !self.path.contains('/')
+    }
+}
+
+/// A named monotonically-increasing counter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterStat {
+    /// Counter name, e.g. `cliquerank_cache_hits_total`.
+    pub name: String,
+    /// Accumulated value.
+    pub value: u64,
+}
+
+/// A named point-in-time gauge.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaugeStat {
+    /// Gauge name, e.g. `blocking_reduction_ratio`.
+    pub name: String,
+    /// Last value set.
+    pub value: f64,
+}
+
+/// Per-worker utilization published by `er-pool` when a pool drops.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerStat {
+    /// Worker index; 0 is the submitting thread (inline + help work).
+    pub worker: u64,
+    /// Nanoseconds spent executing jobs.
+    pub busy_ns: u64,
+    /// Number of jobs executed.
+    pub tasks: u64,
+}
+
+/// A frozen snapshot of everything recorded since the last reset.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Report {
+    /// Span aggregates, in first-visit order.
+    pub spans: Vec<SpanStat>,
+    /// Counters, in first-visit order.
+    pub counters: Vec<CounterStat>,
+    /// Gauges, in first-visit order.
+    pub gauges: Vec<GaugeStat>,
+    /// Pool worker utilization, one entry per worker per pool drop.
+    pub workers: Vec<WorkerStat>,
+}
+
+impl Report {
+    /// Looks up a span aggregate by exact path.
+    pub fn span(&self, path: &str) -> Option<&SpanStat> {
+        self.spans.iter().find(|s| s.path == path)
+    }
+
+    /// Looks up a counter value by name (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map_or(0, |c| c.value)
+    }
+
+    /// Looks up a gauge value by name.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|g| g.name == name).map(|g| g.value)
+    }
+
+    /// Converts to the JSON tree used inside [`BenchFile`].
+    pub fn to_value(&self) -> Value {
+        let spans = self
+            .spans
+            .iter()
+            .map(|s| {
+                Value::Obj(vec![
+                    ("path".into(), Value::Str(s.path.clone())),
+                    ("count".into(), Value::Num(s.count as f64)),
+                    ("total_ns".into(), Value::Num(s.total_ns as f64)),
+                    ("min_ns".into(), Value::Num(s.min_ns as f64)),
+                    ("max_ns".into(), Value::Num(s.max_ns as f64)),
+                ])
+            })
+            .collect();
+        let counters = self
+            .counters
+            .iter()
+            .map(|c| {
+                Value::Obj(vec![
+                    ("name".into(), Value::Str(c.name.clone())),
+                    ("value".into(), Value::Num(c.value as f64)),
+                ])
+            })
+            .collect();
+        let gauges = self
+            .gauges
+            .iter()
+            .map(|g| {
+                Value::Obj(vec![
+                    ("name".into(), Value::Str(g.name.clone())),
+                    ("value".into(), Value::Num(g.value)),
+                ])
+            })
+            .collect();
+        let workers = self
+            .workers
+            .iter()
+            .map(|w| {
+                Value::Obj(vec![
+                    ("worker".into(), Value::Num(w.worker as f64)),
+                    ("busy_ns".into(), Value::Num(w.busy_ns as f64)),
+                    ("tasks".into(), Value::Num(w.tasks as f64)),
+                ])
+            })
+            .collect();
+        Value::Obj(vec![
+            ("spans".into(), Value::Arr(spans)),
+            ("counters".into(), Value::Arr(counters)),
+            ("gauges".into(), Value::Arr(gauges)),
+            ("workers".into(), Value::Arr(workers)),
+        ])
+    }
+
+    /// Rebuilds a report from its JSON tree.
+    pub fn from_value(value: &Value) -> Result<Self, String> {
+        let arr = |key: &str| -> Result<&[Value], String> {
+            value
+                .get(key)
+                .and_then(Value::as_arr)
+                .ok_or_else(|| format!("report missing array field {key:?}"))
+        };
+        let str_field = |obj: &Value, key: &str| -> Result<String, String> {
+            obj.get(key)
+                .and_then(Value::as_str)
+                .map(str::to_owned)
+                .ok_or_else(|| format!("missing string field {key:?}"))
+        };
+        let u64_field = |obj: &Value, key: &str| -> Result<u64, String> {
+            obj.get(key)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("missing integer field {key:?}"))
+        };
+
+        let mut report = Report::default();
+        for s in arr("spans")? {
+            report.spans.push(SpanStat {
+                path: str_field(s, "path")?,
+                count: u64_field(s, "count")?,
+                total_ns: u64_field(s, "total_ns")?,
+                min_ns: u64_field(s, "min_ns")?,
+                max_ns: u64_field(s, "max_ns")?,
+            });
+        }
+        for c in arr("counters")? {
+            report.counters.push(CounterStat {
+                name: str_field(c, "name")?,
+                value: u64_field(c, "value")?,
+            });
+        }
+        for g in arr("gauges")? {
+            report.gauges.push(GaugeStat {
+                name: str_field(g, "name")?,
+                value: g
+                    .get("value")
+                    .and_then(Value::as_f64)
+                    .ok_or("missing number field \"value\"")?,
+            });
+        }
+        for w in arr("workers")? {
+            report.workers.push(WorkerStat {
+                worker: u64_field(w, "worker")?,
+                busy_ns: u64_field(w, "busy_ns")?,
+                tasks: u64_field(w, "tasks")?,
+            });
+        }
+        Ok(report)
+    }
+
+    /// Renders the Prometheus text exposition format. Metric names are
+    /// prefixed `er_` and sanitized to `[a-zA-Z0-9_]`; every metric
+    /// gets a `# TYPE` line; non-finite gauge values are dropped (the
+    /// format has no NaN).
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        if !self.spans.is_empty() {
+            out.push_str("# TYPE er_span_seconds_total counter\n");
+            for s in &self.spans {
+                out.push_str(&format!(
+                    "er_span_seconds_total{{path=\"{}\"}} {}\n",
+                    escape_label(&s.path),
+                    s.total_seconds()
+                ));
+            }
+            out.push_str("# TYPE er_span_entries_total counter\n");
+            for s in &self.spans {
+                out.push_str(&format!(
+                    "er_span_entries_total{{path=\"{}\"}} {}\n",
+                    escape_label(&s.path),
+                    s.count
+                ));
+            }
+        }
+        for c in &self.counters {
+            let name = sanitize_metric(&c.name);
+            out.push_str(&format!("# TYPE er_{name} counter\n"));
+            out.push_str(&format!("er_{name} {}\n", c.value));
+        }
+        for g in &self.gauges {
+            if !g.value.is_finite() {
+                continue;
+            }
+            let name = sanitize_metric(&g.name);
+            out.push_str(&format!("# TYPE er_{name} gauge\n"));
+            out.push_str(&format!("er_{name} {}\n", g.value));
+        }
+        if !self.workers.is_empty() {
+            out.push_str("# TYPE er_pool_worker_busy_seconds counter\n");
+            for w in &self.workers {
+                out.push_str(&format!(
+                    "er_pool_worker_busy_seconds{{worker=\"{}\"}} {}\n",
+                    w.worker,
+                    w.busy_ns as f64 / 1e9
+                ));
+            }
+            out.push_str("# TYPE er_pool_worker_tasks_total counter\n");
+            for w in &self.workers {
+                out.push_str(&format!(
+                    "er_pool_worker_tasks_total{{worker=\"{}\"}} {}\n",
+                    w.worker, w.tasks
+                ));
+            }
+        }
+        out
+    }
+}
+
+fn sanitize_metric(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+fn escape_label(value: &str) -> String {
+    value.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// One labelled bench run inside a [`BenchFile`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRun {
+    /// What was measured, e.g. `fusion`, `matmul`, `simrank`.
+    pub label: String,
+    /// Dataset or size tag, e.g. `restaurant`, `n256`.
+    pub dataset: String,
+    /// Variant tag, e.g. `pooled`, `serial`, `cold`, `warm`.
+    pub mode: String,
+    /// Thread count the run used (0 when not applicable).
+    pub threads: u64,
+    /// The telemetry snapshot for this run.
+    pub report: Report,
+}
+
+/// The on-disk `BENCH_*.json` document: a schema tag plus runs.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BenchFile {
+    /// All runs, in emission order.
+    pub runs: Vec<BenchRun>,
+}
+
+impl BenchFile {
+    /// Serializes to the pretty-printed `er-obs/v1` JSON document.
+    pub fn to_json(&self) -> String {
+        let runs = self
+            .runs
+            .iter()
+            .map(|r| {
+                Value::Obj(vec![
+                    ("label".into(), Value::Str(r.label.clone())),
+                    ("dataset".into(), Value::Str(r.dataset.clone())),
+                    ("mode".into(), Value::Str(r.mode.clone())),
+                    ("threads".into(), Value::Num(r.threads as f64)),
+                    ("report".into(), r.report.to_value()),
+                ])
+            })
+            .collect();
+        Value::Obj(vec![
+            ("schema".into(), Value::Str(SCHEMA.into())),
+            ("runs".into(), Value::Arr(runs)),
+        ])
+        .to_pretty()
+    }
+
+    /// Parses an `er-obs/v1` document; rejects other schema tags.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let value = json::parse(text)?;
+        let schema = value
+            .get("schema")
+            .and_then(Value::as_str)
+            .ok_or("missing \"schema\" field")?;
+        if schema != SCHEMA {
+            return Err(format!(
+                "unsupported schema {schema:?}, expected {SCHEMA:?}"
+            ));
+        }
+        let mut file = BenchFile::default();
+        for run in value
+            .get("runs")
+            .and_then(Value::as_arr)
+            .ok_or("missing \"runs\" array")?
+        {
+            let text_field = |key: &str| -> Result<String, String> {
+                run.get(key)
+                    .and_then(Value::as_str)
+                    .map(str::to_owned)
+                    .ok_or_else(|| format!("run missing string field {key:?}"))
+            };
+            file.runs.push(BenchRun {
+                label: text_field("label")?,
+                dataset: text_field("dataset")?,
+                mode: text_field("mode")?,
+                threads: run
+                    .get("threads")
+                    .and_then(Value::as_u64)
+                    .ok_or("run missing integer field \"threads\"")?,
+                report: Report::from_value(
+                    run.get("report").ok_or("run missing \"report\" object")?,
+                )?,
+            });
+        }
+        Ok(file)
+    }
+
+    /// Finds a run by its identity tuple.
+    pub fn find(&self, label: &str, dataset: &str, mode: &str, threads: u64) -> Option<&BenchRun> {
+        self.runs.iter().find(|r| {
+            r.label == label && r.dataset == dataset && r.mode == mode && r.threads == threads
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> Report {
+        Report {
+            spans: vec![
+                SpanStat {
+                    path: "fusion".into(),
+                    count: 1,
+                    total_ns: 2_000_000_000,
+                    min_ns: 2_000_000_000,
+                    max_ns: 2_000_000_000,
+                },
+                SpanStat {
+                    path: "fusion/iter".into(),
+                    count: 5,
+                    total_ns: 900_000_000,
+                    min_ns: 100_000_000,
+                    max_ns: 300_000_000,
+                },
+            ],
+            counters: vec![CounterStat {
+                name: "cliquerank_cache_hits_total".into(),
+                value: 7,
+            }],
+            gauges: vec![GaugeStat {
+                name: "blocking_reduction_ratio".into(),
+                value: 0.985,
+            }],
+            workers: vec![WorkerStat {
+                worker: 0,
+                busy_ns: 1_500_000_000,
+                tasks: 42,
+            }],
+        }
+    }
+
+    #[test]
+    fn bench_file_roundtrips() {
+        let file = BenchFile {
+            runs: vec![BenchRun {
+                label: "fusion".into(),
+                dataset: "restaurant".into(),
+                mode: "pooled".into(),
+                threads: 4,
+                report: sample_report(),
+            }],
+        };
+        let text = file.to_json();
+        let parsed = BenchFile::from_json(&text).unwrap();
+        assert_eq!(parsed, file);
+        assert!(parsed.find("fusion", "restaurant", "pooled", 4).is_some());
+        assert!(parsed.find("fusion", "restaurant", "pooled", 2).is_none());
+    }
+
+    #[test]
+    fn from_json_rejects_other_schemas() {
+        let err = BenchFile::from_json("{\"schema\": \"other/v9\", \"runs\": []}").unwrap_err();
+        assert!(err.contains("unsupported schema"));
+    }
+
+    #[test]
+    fn prometheus_export_has_types_and_no_nan() {
+        let mut report = sample_report();
+        report.gauges.push(GaugeStat {
+            name: "bad".into(),
+            value: f64::NAN,
+        });
+        let text = report.to_prometheus();
+        assert!(text.contains("# TYPE er_span_seconds_total counter"));
+        assert!(text.contains("er_span_seconds_total{path=\"fusion/iter\"} 0.9"));
+        assert!(text.contains("# TYPE er_cliquerank_cache_hits_total counter"));
+        assert!(text.contains("er_pool_worker_tasks_total{worker=\"0\"} 42"));
+        assert!(!text.contains("NaN"));
+        assert!(!text.contains("er_bad"));
+    }
+
+    #[test]
+    fn report_lookups() {
+        let report = sample_report();
+        assert_eq!(report.span("fusion/iter").unwrap().count, 5);
+        assert_eq!(report.counter("cliquerank_cache_hits_total"), 7);
+        assert_eq!(report.counter("missing"), 0);
+        assert_eq!(report.gauge("blocking_reduction_ratio"), Some(0.985));
+        assert!(report.spans[0].is_top_level());
+        assert!(!report.spans[1].is_top_level());
+    }
+}

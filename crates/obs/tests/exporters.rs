@@ -1,0 +1,167 @@
+//! Exporter contract tests: the JSON schema is pinned byte-for-byte by a
+//! committed golden file, and the Prometheus text format is linted
+//! against the exposition-format rules CI scrapers depend on (unique
+//! metric names, a `# TYPE` line per metric, no NaN samples).
+
+use std::collections::BTreeSet;
+
+use er_obs::{BenchFile, BenchRun, CounterStat, GaugeStat, Report, SpanStat, WorkerStat};
+
+/// A fully populated report with every stat family present, so the
+/// golden file exercises each branch of the serializer.
+fn sample_report() -> Report {
+    Report {
+        spans: vec![
+            SpanStat {
+                path: "fusion".to_owned(),
+                count: 1,
+                total_ns: 2_500_000_000,
+                min_ns: 2_500_000_000,
+                max_ns: 2_500_000_000,
+            },
+            SpanStat {
+                path: "fusion/iter".to_owned(),
+                count: 5,
+                total_ns: 900_000_000,
+                min_ns: 150_000_000,
+                max_ns: 220_000_000,
+            },
+        ],
+        counters: vec![
+            CounterStat {
+                name: "cliquerank_cache_hits_total".to_owned(),
+                value: 7,
+            },
+            CounterStat {
+                name: "pool_jobs_total".to_owned(),
+                value: 1974,
+            },
+        ],
+        gauges: vec![GaugeStat {
+            name: "blocking_token_reduction_ratio".to_owned(),
+            value: 0.985,
+        }],
+        workers: vec![
+            WorkerStat {
+                worker: 0,
+                busy_ns: 1_200_000_000,
+                tasks: 990,
+            },
+            WorkerStat {
+                worker: 1,
+                busy_ns: 1_100_000_000,
+                tasks: 984,
+            },
+        ],
+    }
+}
+
+fn sample_file() -> BenchFile {
+    BenchFile {
+        runs: vec![BenchRun {
+            label: "fusion".to_owned(),
+            dataset: "paper".to_owned(),
+            mode: "pooled".to_owned(),
+            threads: 2,
+            report: sample_report(),
+        }],
+    }
+}
+
+#[test]
+fn json_export_matches_golden_file() {
+    let golden = include_str!("golden/bench_file.json");
+    let rendered = sample_file().to_json();
+    if std::env::var_os("ER_UPDATE_GOLDEN").is_some() {
+        let path =
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/bench_file.json");
+        std::fs::write(&path, &rendered).expect("rewrite golden file");
+        return;
+    }
+    assert_eq!(
+        rendered, golden,
+        "BenchFile::to_json drifted from tests/golden/bench_file.json — \
+         if the schema change is intentional, update the golden file AND \
+         bump the er-obs schema tag"
+    );
+}
+
+#[test]
+fn golden_file_round_trips() {
+    let golden = include_str!("golden/bench_file.json");
+    let parsed = BenchFile::from_json(golden).expect("golden file parses");
+    assert_eq!(
+        parsed.to_json(),
+        golden,
+        "parse → serialize must be identity"
+    );
+    let run = parsed
+        .find("fusion", "paper", "pooled", 2)
+        .expect("run identity lookup");
+    assert_eq!(run.report.span("fusion/iter").unwrap().count, 5);
+    assert_eq!(run.report.counter("pool_jobs_total"), 1974);
+}
+
+/// Lints the Prometheus exposition text: every sample belongs to a
+/// `# TYPE`-declared metric, metric names are unique and well-formed,
+/// and no sample renders as NaN (scrapers treat NaN as absent-but-noisy;
+/// the exporter must drop such gauges instead).
+#[test]
+fn prometheus_text_lints_clean() {
+    let mut report = sample_report();
+    report.gauges.push(GaugeStat {
+        name: "weird name! with spaces".to_owned(),
+        value: 1.0,
+    });
+    report.gauges.push(GaugeStat {
+        name: "nan_gauge".to_owned(),
+        value: f64::NAN,
+    });
+    let text = report.to_prometheus();
+
+    let name_ok = |name: &str| {
+        !name.is_empty()
+            && name
+                .chars()
+                .enumerate()
+                .all(|(i, c)| c.is_ascii_alphabetic() || c == '_' || (i > 0 && c.is_ascii_digit()))
+    };
+    let mut declared: BTreeSet<String> = BTreeSet::new();
+    for line in text.lines().filter(|l| !l.is_empty()) {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let name = parts.next().expect("# TYPE has a metric name");
+            let kind = parts.next().expect("# TYPE has a kind");
+            assert!(name_ok(name), "bad metric name {name:?}");
+            assert!(
+                matches!(kind, "counter" | "gauge"),
+                "unexpected TYPE kind {kind:?}"
+            );
+            assert!(
+                declared.insert(name.to_owned()),
+                "duplicate # TYPE for {name}"
+            );
+            continue;
+        }
+        assert!(!line.starts_with('#'), "unexpected comment line {line:?}");
+        let name = line
+            .split(['{', ' '])
+            .next()
+            .expect("sample line starts with a metric name");
+        assert!(
+            declared.contains(name),
+            "sample {name} has no preceding # TYPE line"
+        );
+        let value = line.rsplit(' ').next().unwrap();
+        assert_ne!(value, "NaN", "NaN sample leaked into exposition: {line}");
+        value
+            .parse::<f64>()
+            .unwrap_or_else(|e| panic!("unparseable sample value in {line:?}: {e}"));
+    }
+    assert!(declared.contains("er_span_seconds_total"));
+    assert!(declared.contains("er_pool_worker_busy_seconds"));
+    assert!(
+        !text.contains("nan_gauge"),
+        "NaN gauge must be dropped entirely"
+    );
+}

@@ -54,8 +54,9 @@ use std::collections::VecDeque;
 use std::marker::PhantomData;
 use std::ops::Range;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 pub mod scratch;
 mod sync;
@@ -80,13 +81,102 @@ struct Queue {
 }
 
 impl Queue {
-    fn push(&self, job: Job) {
-        self.state.lock().jobs.push_back(job);
+    /// Pushes a job and returns the queue depth right after the push —
+    /// the pool's utilization stats track the high-water mark.
+    fn push(&self, job: Job) -> usize {
+        let depth = {
+            let mut state = self.state.lock();
+            state.jobs.push_back(job);
+            state.jobs.len()
+        };
         self.ready.notify_one();
+        depth
     }
 
     fn try_pop(&self) -> Option<Job> {
         self.state.lock().jobs.pop_front()
+    }
+}
+
+/// Per-worker utilization, accumulated only when er-obs recording was on
+/// at pool construction; published into the registry when the pool drops.
+/// Plain `std` atomics with relaxed ordering: the numbers are telemetry,
+/// never control flow, so they stay invisible to the loom model checks.
+struct PoolStats {
+    /// One cell per worker; index 0 is the scoping/submitting thread
+    /// (inline serial jobs plus help-while-waiting work land there).
+    workers: Vec<WorkerCell>,
+    /// Jobs executed by a thread helping while it waited on its scope.
+    helped: AtomicU64,
+    /// Jobs pushed through the shared queue (excludes serial inline runs).
+    queued: AtomicU64,
+    /// High-water mark of the shared queue depth.
+    max_queue_depth: AtomicU64,
+}
+
+#[derive(Default)]
+struct WorkerCell {
+    busy_ns: AtomicU64,
+    tasks: AtomicU64,
+}
+
+impl PoolStats {
+    fn new(threads: usize) -> Self {
+        Self {
+            workers: (0..threads).map(|_| WorkerCell::default()).collect(),
+            helped: AtomicU64::new(0),
+            queued: AtomicU64::new(0),
+            max_queue_depth: AtomicU64::new(0),
+        }
+    }
+
+    fn note_depth(&self, depth: usize) {
+        self.max_queue_depth
+            .fetch_max(depth as u64, Ordering::Relaxed);
+    }
+
+    fn publish(&self) {
+        for (i, cell) in self.workers.iter().enumerate() {
+            er_obs::worker_record(
+                i as u64,
+                cell.busy_ns.load(Ordering::Relaxed),
+                cell.tasks.load(Ordering::Relaxed),
+            );
+        }
+        let executed: u64 = self
+            .workers
+            .iter()
+            .map(|c| c.tasks.load(Ordering::Relaxed))
+            .sum();
+        er_obs::counter_add("pool_jobs_total", executed);
+        er_obs::counter_add(
+            "pool_queued_jobs_total",
+            self.queued.load(Ordering::Relaxed),
+        );
+        er_obs::counter_add(
+            "pool_helped_jobs_total",
+            self.helped.load(Ordering::Relaxed),
+        );
+        er_obs::gauge_set(
+            "pool_max_queue_depth",
+            self.max_queue_depth.load(Ordering::Relaxed) as f64,
+        );
+    }
+}
+
+/// Runs `job`, attributing its wall time and count to `worker` when
+/// stats are being kept; a plain call otherwise.
+fn run_attributed(stats: Option<&PoolStats>, worker: usize, job: impl FnOnce()) {
+    match stats {
+        Some(stats) => {
+            let start = Instant::now();
+            job();
+            let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            let cell = &stats.workers[worker];
+            cell.busy_ns.fetch_add(ns, Ordering::Relaxed);
+            cell.tasks.fetch_add(1, Ordering::Relaxed);
+        }
+        None => job(),
     }
 }
 
@@ -99,6 +189,8 @@ pub struct WorkerPool {
     queue: Arc<Queue>,
     handles: Vec<sync::JoinHandle>,
     threads: usize,
+    /// Present iff er-obs recording was on when the pool was built.
+    stats: Option<Arc<PoolStats>>,
 }
 
 impl std::fmt::Debug for WorkerPool {
@@ -122,16 +214,19 @@ impl WorkerPool {
             }),
             ready: Condvar::new(),
         });
+        let stats = er_obs::recording().then(|| Arc::new(PoolStats::new(threads)));
         let handles = (1..threads)
-            .map(|_| {
+            .map(|worker| {
                 let queue = Arc::clone(&queue);
-                sync::spawn_worker(move || worker_loop(&queue))
+                let stats = stats.clone();
+                sync::spawn_worker(move || worker_loop(&queue, stats.as_deref(), worker))
             })
             .collect();
         Self {
             queue,
             handles,
             threads,
+            stats,
         }
     }
 
@@ -198,10 +293,14 @@ impl Drop for WorkerPool {
         for handle in self.handles.drain(..) {
             let _ = handle.join();
         }
+        // Publish after joining: every worker has flushed its cells.
+        if let Some(stats) = &self.stats {
+            stats.publish();
+        }
     }
 }
 
-fn worker_loop(queue: &Queue) {
+fn worker_loop(queue: &Queue, stats: Option<&PoolStats>, worker: usize) {
     loop {
         let job = {
             let mut state = queue.state.lock();
@@ -218,7 +317,7 @@ fn worker_loop(queue: &Queue) {
         match job {
             // Panics are caught inside the job wrapper (see `submit`), so
             // a panicking job never kills the worker.
-            Some(job) => job(),
+            Some(job) => run_attributed(stats, worker, job),
             None => return,
         }
     }
@@ -257,7 +356,10 @@ impl<'env> Scope<'_, 'env> {
         F: FnOnce() + Send + 'env,
     {
         if self.pool.is_serial() {
-            job();
+            // Inline serial execution counts against worker 0 (the
+            // scoping thread) so utilization stays comparable across
+            // thread counts.
+            run_attributed(self.pool.stats.as_deref(), 0, job);
             return;
         }
         *self.tracker.pending.lock() += 1;
@@ -270,7 +372,7 @@ impl<'env> Scope<'_, 'env> {
         let job: Job = unsafe {
             std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Box<dyn FnOnce() + Send>>(job)
         };
-        self.pool.queue.push(Box::new(move || {
+        let depth = self.pool.queue.push(Box::new(move || {
             let outcome = catch_unwind(AssertUnwindSafe(job));
             if let Err(payload) = outcome {
                 tracker.panic.lock().get_or_insert(payload);
@@ -281,6 +383,24 @@ impl<'env> Scope<'_, 'env> {
                 tracker.done.notify_all();
             }
         }));
+        if let Some(stats) = self.pool.stats.as_deref() {
+            stats.queued.fetch_add(1, Ordering::Relaxed);
+            stats.note_depth(depth);
+        }
+    }
+
+    /// Pops and runs one queued job (of any scope), attributing it to
+    /// worker 0 as help-while-waiting work. Returns whether a job ran.
+    fn help_one(&self) -> bool {
+        let Some(job) = self.pool.queue.try_pop() else {
+            return false;
+        };
+        let stats = self.pool.stats.as_deref();
+        run_attributed(stats, 0, job);
+        if let Some(stats) = stats {
+            stats.helped.fetch_add(1, Ordering::Relaxed);
+        }
+        true
     }
 
     /// Waits for all jobs of this scope, helping run queued work (of any
@@ -293,8 +413,7 @@ impl<'env> Scope<'_, 'env> {
             // Prefer helping over sleeping: run any queued job. It may
             // belong to another (possibly nested) scope — that scope's
             // tracker absorbs its result, so helping is always safe.
-            if let Some(job) = self.pool.queue.try_pop() {
-                job();
+            if self.help_one() {
                 continue;
             }
             let mut pending = self.tracker.pending.lock();
@@ -323,8 +442,7 @@ impl Drop for Scope<'_, '_> {
             if *self.tracker.pending.lock() == 0 {
                 break;
             }
-            if let Some(job) = self.pool.queue.try_pop() {
-                job();
+            if self.help_one() {
                 continue;
             }
             let mut pending = self.tracker.pending.lock();
@@ -482,6 +600,33 @@ mod tests {
         }
         assert_eq!(chunk_ranges(100, 4, 100).len(), 1);
         assert_eq!(chunk_ranges(100, 4, 50).len(), 2);
+    }
+
+    /// Exercises the stats plumbing end-to-end: recording on → pool
+    /// keeps cells → drop publishes into the er-obs registry. Uses `>=`
+    /// assertions because the registry is process-global and other
+    /// tests may run pools inside this recording window.
+    #[cfg(feature = "obs")]
+    #[test]
+    fn pool_publishes_worker_stats_when_recording() {
+        er_obs::set_recording(true);
+        {
+            let pool = WorkerPool::new(3);
+            pool.scope(|s| {
+                for _ in 0..32 {
+                    s.submit(|| {
+                        std::hint::black_box(0u64);
+                    });
+                }
+            });
+        }
+        let report = er_obs::snapshot();
+        er_obs::set_recording(false);
+        assert!(report.counter("pool_jobs_total") >= 32);
+        assert!(report.counter("pool_queued_jobs_total") >= 32);
+        let executed: u64 = report.workers.iter().map(|w| w.tasks).sum();
+        assert!(executed >= 32);
+        assert!(report.gauge("pool_max_queue_depth").is_some());
     }
 
     #[test]

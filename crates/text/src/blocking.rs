@@ -26,6 +26,7 @@ use crate::tokenize::TermId;
 ///
 /// Returns sorted, deduplicated `(a, b)` pairs with `a < b`.
 pub fn token_blocking(corpus: &Corpus, max_block_size: usize) -> Vec<(u32, u32)> {
+    let _span = er_obs::span("token_blocking");
     let mut pairs: Vec<(u32, u32)> = Vec::new();
     for i in 0..corpus.vocab_len() {
         let postings = corpus.postings(TermId(i as u32));
@@ -40,6 +41,7 @@ pub fn token_blocking(corpus: &Corpus, max_block_size: usize) -> Vec<(u32, u32)>
     }
     pairs.sort_unstable();
     pairs.dedup();
+    note_blocking_stats("token", corpus.len(), pairs.len());
     pairs
 }
 
@@ -55,6 +57,7 @@ pub fn token_blocking(corpus: &Corpus, max_block_size: usize) -> Vec<(u32, u32)>
 /// Returns sorted, deduplicated `(a, b)` pairs with `a < b`.
 pub fn sorted_neighborhood(corpus: &Corpus, window: usize) -> Vec<(u32, u32)> {
     assert!(window >= 2, "window must cover at least two records");
+    let _span = er_obs::span("sorted_neighborhood");
     let keys: Vec<String> = (0..corpus.len()).map(|r| blocking_key(corpus, r)).collect();
     let mut order: Vec<u32> = (0..corpus.len() as u32).collect();
     order.sort_by(|&a, &b| keys[a as usize].cmp(&keys[b as usize]));
@@ -67,7 +70,24 @@ pub fn sorted_neighborhood(corpus: &Corpus, window: usize) -> Vec<(u32, u32)> {
     }
     pairs.sort_unstable();
     pairs.dedup();
+    note_blocking_stats("sorted_neighborhood", corpus.len(), pairs.len());
     pairs
+}
+
+/// Publishes the survey-standard blocking telemetry: candidate count and
+/// reduction ratio, gauged per scheme.
+fn note_blocking_stats(scheme: &str, n_records: usize, n_candidates: usize) {
+    if !er_obs::recording() {
+        return;
+    }
+    er_obs::gauge_set(
+        &format!("blocking_{scheme}_candidate_pairs"),
+        n_candidates as f64,
+    );
+    er_obs::gauge_set(
+        &format!("blocking_{scheme}_reduction_ratio"),
+        reduction_ratio(n_records, n_candidates),
+    );
 }
 
 /// The sorted-neighborhood blocking key of record `r`: its **shareable**

@@ -31,8 +31,18 @@ use er_datasets::{generators, loader, Dataset, SourcePolicy};
 use unsupervised_er::pipeline;
 
 fn main() -> ExitCode {
+    // ER_OBS_OUT=<path> turns telemetry recording on and dumps the
+    // report there on exit (.prom suffix selects Prometheus text; the
+    // feature-gated build makes both calls free otherwise).
+    er_obs::init_from_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match run(&args) {
+    let result = run(&args);
+    match er_obs::dump_if_requested() {
+        Ok(Some(path)) => eprintln!("wrote telemetry to {}", path.display()),
+        Ok(None) => {}
+        Err(e) => eprintln!("warning: failed to write telemetry: {e}"),
+    }
+    match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {
             eprintln!("error: {msg}");
@@ -75,6 +85,8 @@ options:
 
 environment:
   ER_THREADS            default worker-thread count (--threads overrides)
+  ER_OBS_OUT            write pipeline telemetry to this path on exit
+                        (.prom suffix selects Prometheus text format)
 ";
 
 struct Options {

@@ -1,0 +1,351 @@
+//! `cargo xtask bench-diff` — the CI bench-regression gate.
+//!
+//! Compares two `er-obs/v1` [`BenchFile`]s (e.g. the `BENCH_fusion.json`
+//! artifact from the last main-branch run vs the one this PR produced).
+//! Runs are matched by their `(label, dataset, mode, threads)` identity;
+//! within each matched pair, every **top-level** span (no `/` in the
+//! path — the phase roots, not their children) present in both reports
+//! is compared by total wall time.
+//!
+//! A span is a regression when BOTH hold:
+//!
+//! * `current > baseline × (1 + tolerance)` — the relative gate
+//!   (default 20 %), and
+//! * `current − baseline ≥ min_seconds` — the absolute floor (default
+//!   50 ms), which keeps micro-spans whose noise dwarfs their runtime
+//!   from flapping the gate.
+//!
+//! Spans whose baseline is below `min_seconds` are skipped outright for
+//! the same reason. Runs present on only one side are reported but never
+//! fail the gate (benchmarks come and go across revisions); a *missing
+//! baseline file* is a clean success with a warning, so the first run on
+//! a fresh branch — or a fork without artifact access — passes.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use er_obs::{BenchFile, BenchRun};
+
+/// Gate thresholds (see module docs for the exact predicate).
+#[derive(Debug, Clone, Copy)]
+pub struct DiffOptions {
+    /// Relative slowdown allowed before a span regresses (0.2 = 20 %).
+    pub tolerance: f64,
+    /// Absolute floor: baselines below this are skipped, and a slowdown
+    /// must exceed it to count.
+    pub min_seconds: f64,
+}
+
+impl Default for DiffOptions {
+    fn default() -> Self {
+        Self {
+            tolerance: 0.2,
+            min_seconds: 0.05,
+        }
+    }
+}
+
+/// One compared top-level span.
+#[derive(Debug)]
+pub struct SpanDelta {
+    /// `label/dataset/mode/tN` — the run identity.
+    pub run: String,
+    /// Top-level span path within the run's report.
+    pub path: String,
+    pub baseline_s: f64,
+    pub current_s: f64,
+    /// `current / baseline` (baseline clamped away from zero).
+    pub ratio: f64,
+    pub regressed: bool,
+    /// Baseline under `min_seconds`: compared for the table, never gated.
+    pub skipped: bool,
+}
+
+/// Everything `bench-diff` derives from one baseline/current pair.
+#[derive(Debug, Default)]
+pub struct DiffOutcome {
+    pub rows: Vec<SpanDelta>,
+    /// Run identities present in current but not baseline (informational).
+    pub new_runs: Vec<String>,
+    /// Run identities present in baseline but not current (informational).
+    pub dropped_runs: Vec<String>,
+}
+
+impl DiffOutcome {
+    pub fn regressions(&self) -> impl Iterator<Item = &SpanDelta> {
+        self.rows.iter().filter(|r| r.regressed)
+    }
+}
+
+fn run_key(run: &BenchRun) -> String {
+    format!(
+        "{}/{}/{}/t{}",
+        run.label, run.dataset, run.mode, run.threads
+    )
+}
+
+/// Compares every matched run's top-level spans. Pure function of the two
+/// files; the CLI wrapper below handles I/O and exit codes.
+pub fn diff(baseline: &BenchFile, current: &BenchFile, opts: DiffOptions) -> DiffOutcome {
+    let mut out = DiffOutcome::default();
+    let base_keys: Vec<String> = baseline.runs.iter().map(run_key).collect();
+    let cur_keys: Vec<String> = current.runs.iter().map(run_key).collect();
+    for (run, key) in current.runs.iter().zip(&cur_keys) {
+        let Some(base_idx) = base_keys.iter().position(|k| k == key) else {
+            out.new_runs.push(key.clone());
+            continue;
+        };
+        let base_run = &baseline.runs[base_idx];
+        for span in run.report.spans.iter().filter(|s| s.is_top_level()) {
+            let Some(base_span) = base_run.report.span(&span.path) else {
+                continue;
+            };
+            let (base_s, cur_s) = (base_span.total_seconds(), span.total_seconds());
+            let skipped = base_s < opts.min_seconds;
+            let regressed = !skipped
+                && cur_s > base_s * (1.0 + opts.tolerance)
+                && cur_s - base_s >= opts.min_seconds;
+            out.rows.push(SpanDelta {
+                run: key.clone(),
+                path: span.path.clone(),
+                baseline_s: base_s,
+                current_s: cur_s,
+                ratio: cur_s / base_s.max(1e-12),
+                regressed,
+                skipped,
+            });
+        }
+    }
+    for key in base_keys {
+        if !cur_keys.contains(&key) {
+            out.dropped_runs.push(key);
+        }
+    }
+    out
+}
+
+/// Renders the outcome as a GitHub-flavored markdown job summary.
+pub fn render_markdown(outcome: &DiffOutcome, opts: DiffOptions) -> String {
+    let mut md = String::new();
+    let n_regressed = outcome.regressions().count();
+    let verdict = if n_regressed == 0 {
+        "✅ no regressions".to_owned()
+    } else {
+        format!("❌ {n_regressed} regression(s)")
+    };
+    let _ = writeln!(
+        md,
+        "## Bench regression gate — {verdict}\n\n\
+         Tolerance {:.0}% relative, {:.0} ms absolute floor. \
+         {} span(s) compared.\n",
+        opts.tolerance * 100.0,
+        opts.min_seconds * 1000.0,
+        outcome.rows.len()
+    );
+    if !outcome.rows.is_empty() {
+        md.push_str("| run | span | baseline | current | ratio | |\n");
+        md.push_str("|---|---|---:|---:|---:|---|\n");
+        for row in &outcome.rows {
+            let mark = if row.regressed {
+                "❌ regressed"
+            } else if row.skipped {
+                "— below floor"
+            } else {
+                ""
+            };
+            let _ = writeln!(
+                md,
+                "| {} | {} | {:.3}s | {:.3}s | {:.2}x | {mark} |",
+                row.run, row.path, row.baseline_s, row.current_s, row.ratio
+            );
+        }
+    }
+    for (title, keys) in [
+        ("New runs (no baseline)", &outcome.new_runs),
+        ("Dropped runs (baseline only)", &outcome.dropped_runs),
+    ] {
+        if !keys.is_empty() {
+            let _ = writeln!(md, "\n**{title}:** {}", keys.join(", "));
+        }
+    }
+    md
+}
+
+/// Parses `--tolerance` values: `20%` → 0.2, `0.2` → 0.2.
+pub fn parse_tolerance(text: &str) -> Result<f64, String> {
+    let (body, scale) = match text.strip_suffix('%') {
+        Some(pct) => (pct, 0.01),
+        None => (text, 1.0),
+    };
+    let v: f64 = body
+        .trim()
+        .parse()
+        .map_err(|_| format!("invalid tolerance {text:?} (expected e.g. `20%` or `0.2`)"))?;
+    if !v.is_finite() || v < 0.0 {
+        return Err(format!(
+            "tolerance {text:?} must be a finite non-negative value"
+        ));
+    }
+    Ok(v * scale)
+}
+
+/// The `cargo xtask bench-diff` entry point. Arguments:
+/// `--baseline <path> --current <path> [--tolerance 20%]
+/// [--min-seconds 0.05] [--summary-out <path>]`.
+pub fn cli(args: &[String]) -> Result<(), String> {
+    let mut baseline_path = None;
+    let mut current_path = None;
+    let mut opts = DiffOptions::default();
+    let mut summary_out: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--baseline" => baseline_path = Some(value("--baseline")?),
+            "--current" => current_path = Some(value("--current")?),
+            "--tolerance" => opts.tolerance = parse_tolerance(&value("--tolerance")?)?,
+            "--min-seconds" => {
+                opts.min_seconds = value("--min-seconds")?
+                    .parse()
+                    .map_err(|e| format!("invalid --min-seconds: {e}"))?;
+            }
+            "--summary-out" => summary_out = Some(value("--summary-out")?),
+            other => return Err(format!("unknown bench-diff argument `{other}`")),
+        }
+    }
+    let baseline_path = baseline_path.ok_or("bench-diff requires --baseline <path>")?;
+    let current_path = current_path.ok_or("bench-diff requires --current <path>")?;
+
+    if !Path::new(&baseline_path).exists() {
+        eprintln!(
+            "xtask: bench-diff: baseline {baseline_path} does not exist; \
+             nothing to compare (first run on this branch?) — passing"
+        );
+        return Ok(());
+    }
+    let load = |path: &str| -> Result<BenchFile, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+        BenchFile::from_json(&text).map_err(|e| format!("{path}: {e}"))
+    };
+    let outcome = diff(&load(&baseline_path)?, &load(&current_path)?, opts);
+    let md = render_markdown(&outcome, opts);
+    println!("{md}");
+    if let Some(path) = summary_out {
+        std::fs::write(&path, &md).map_err(|e| format!("write {path}: {e}"))?;
+    }
+    let regressed: Vec<String> = outcome
+        .regressions()
+        .map(|r| {
+            format!(
+                "{} {} {:.3}s -> {:.3}s ({:.2}x)",
+                r.run, r.path, r.baseline_s, r.current_s, r.ratio
+            )
+        })
+        .collect();
+    if regressed.is_empty() {
+        eprintln!(
+            "xtask: bench-diff passed ({} spans compared)",
+            outcome.rows.len()
+        );
+        Ok(())
+    } else {
+        Err(format!(
+            "bench regression gate failed:\n  {}",
+            regressed.join("\n  ")
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture(name: &str) -> BenchFile {
+        let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("fixtures")
+            .join(name);
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+        BenchFile::from_json(&text).unwrap()
+    }
+
+    #[test]
+    fn within_tolerance_passes() {
+        let outcome = diff(
+            &fixture("bench_baseline.json"),
+            &fixture("bench_current_ok.json"),
+            DiffOptions::default(),
+        );
+        assert_eq!(outcome.regressions().count(), 0, "{outcome:?}");
+        assert!(!outcome.rows.is_empty());
+    }
+
+    #[test]
+    fn injected_25pct_slowdown_fails_at_20pct_tolerance() {
+        let outcome = diff(
+            &fixture("bench_baseline.json"),
+            &fixture("bench_current_regressed.json"),
+            DiffOptions::default(),
+        );
+        let regressed: Vec<&SpanDelta> = outcome.regressions().collect();
+        assert_eq!(regressed.len(), 1, "{outcome:?}");
+        assert_eq!(regressed[0].run, "fusion/paper/pooled/t2");
+        assert_eq!(regressed[0].path, "fusion");
+        // The micro-span also slowed 25%, but its baseline sits below the
+        // absolute floor, so it must not trip the gate.
+        assert!(outcome
+            .rows
+            .iter()
+            .any(|r| r.path == "micro" && r.skipped && !r.regressed));
+    }
+
+    #[test]
+    fn cli_exits_nonzero_on_regressed_fixture() {
+        let fixtures = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+        let arg = |name: &str| fixtures.join(name).to_string_lossy().into_owned();
+        let args = vec![
+            "--baseline".to_owned(),
+            arg("bench_baseline.json"),
+            "--current".to_owned(),
+            arg("bench_current_regressed.json"),
+            "--tolerance".to_owned(),
+            "20%".to_owned(),
+        ];
+        let err = cli(&args).unwrap_err();
+        assert!(err.contains("fusion/paper/pooled/t2"), "{err}");
+    }
+
+    #[test]
+    fn missing_baseline_file_passes() {
+        let args = vec![
+            "--baseline".to_owned(),
+            "/nonexistent/BENCH_fusion.json".to_owned(),
+            "--current".to_owned(),
+            "/nonexistent/also_missing.json".to_owned(),
+        ];
+        cli(&args).unwrap();
+    }
+
+    #[test]
+    fn run_identity_mismatches_are_informational() {
+        let outcome = diff(
+            &fixture("bench_baseline.json"),
+            &fixture("bench_current_ok.json"),
+            DiffOptions::default(),
+        );
+        assert_eq!(outcome.new_runs, vec!["matmul/n256/packed/t1"]);
+        assert_eq!(outcome.dropped_runs, vec!["fusion/restaurant/pooled/t1"]);
+    }
+
+    #[test]
+    fn tolerance_parsing() {
+        assert!((parse_tolerance("20%").unwrap() - 0.2).abs() < 1e-12);
+        assert!((parse_tolerance("0.2").unwrap() - 0.2).abs() < 1e-12);
+        assert!(parse_tolerance("abc").is_err());
+        assert!(parse_tolerance("-5%").is_err());
+    }
+}

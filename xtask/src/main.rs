@@ -1,19 +1,25 @@
 //! Workspace automation, invoked as `cargo xtask <command>`.
 //!
 //! * `analyze` — the static-analysis gate: `rustfmt --check`, `clippy -D
-//!   warnings` over every target, and a first-party unsafe audit (no
-//!   `unsafe` outside `er-pool`; every `er-pool` unsafe site carries a
-//!   `// SAFETY:` comment; every first-party crate opts into the
-//!   workspace lint wall and denies `unsafe_code` unless it is the pool).
+//!   warnings` over every target, a `--no-default-features` build of
+//!   every non-bench crate (the `obs` feature must compile out cleanly),
+//!   and a first-party unsafe audit (no `unsafe` outside `er-pool`;
+//!   every `er-pool` unsafe site carries a `// SAFETY:` comment; every
+//!   first-party crate opts into the workspace lint wall and denies
+//!   `unsafe_code` unless it is the pool).
 //! * `loom` — model-checks `er-pool` by rebuilding it with
 //!   `RUSTFLAGS="--cfg loom"` so its `sync` shim swaps in the vendored
 //!   loom scheduler.
 //! * `miri [--strict]` — runs the pool tests under Miri when `cargo miri`
 //!   is installed; otherwise skips (or fails, with `--strict`, for CI
 //!   jobs that must not silently degrade).
-//! * `all` — the three in sequence.
+//! * `bench-diff` — the CI bench-regression gate over `er-obs/v1`
+//!   `BENCH_*.json` files (see `bench_diff` module docs).
+//! * `all` — analyze, loom, and miri in sequence.
 
 #![deny(unsafe_code)]
+
+mod bench_diff;
 
 use std::path::{Path, PathBuf};
 use std::process::{Command, ExitCode};
@@ -25,6 +31,7 @@ fn main() -> ExitCode {
         Some("analyze") => analyze(),
         Some("loom") => loom(),
         Some("miri") => miri(strict),
+        Some("bench-diff") => bench_diff::cli(&args[1..]),
         Some("all") => analyze().and_then(|()| loom()).and_then(|()| miri(strict)),
         Some("help" | "--help" | "-h") | None => {
             eprintln!("{USAGE}");
@@ -48,9 +55,13 @@ const USAGE: &str = "\
 usage: cargo xtask <command>
 
 commands:
-  analyze          rustfmt --check, clippy -D warnings, first-party unsafe audit
+  analyze          rustfmt --check, clippy -D warnings, no-default-features build,
+                   first-party unsafe audit
   loom             model-check er-pool (RUSTFLAGS=\"--cfg loom\")
   miri [--strict]  er-pool tests under Miri; skipped unless cargo-miri is installed
+  bench-diff       compare two er-obs BENCH_*.json files, fail on span regressions
+                   (--baseline <path> --current <path> [--tolerance 20%]
+                    [--min-seconds 0.05] [--summary-out <path>])
   all [--strict]   analyze, then loom, then miri";
 
 fn workspace_root() -> PathBuf {
@@ -92,10 +103,37 @@ fn analyze() -> Result<(), String> {
         "-D",
         "warnings",
     ]))?;
+    check_no_default_features()?;
     audit_unsafe()?;
     audit_lint_wall()?;
     eprintln!("xtask: analyze passed");
     Ok(())
+}
+
+/// The workspace must also build with every default feature off — in
+/// particular with `er-obs/enabled` absent, so the telemetry layer's
+/// no-op stubs stay compilable. `er-bench` is deliberately excluded: it
+/// pins the `obs` feature on its first-party deps, and selecting it
+/// would re-unify `enabled` into every crate, defeating the check.
+fn check_no_default_features() -> Result<(), String> {
+    run(cargo(&[
+        "check",
+        "--no-default-features",
+        "-p",
+        "unsupervised-er",
+        "-p",
+        "er-core",
+        "-p",
+        "er-pool",
+        "-p",
+        "er-graph",
+        "-p",
+        "er-matrix",
+        "-p",
+        "er-text",
+        "-p",
+        "er-obs",
+    ]))
 }
 
 fn loom() -> Result<(), String> {
