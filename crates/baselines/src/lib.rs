@@ -80,7 +80,9 @@ where
     F: Fn(&PairNode) -> f64 + Sync,
 {
     let mut out = vec![0.0f64; pairs.len()];
-    if pool.is_serial() {
+    // Per-pair scoring walks two term vectors — call it ~64 ops — so the
+    // pool's dispatch policy keeps small candidate lists inline.
+    if !pool.dispatch(pairs.len().saturating_mul(64)).is_parallel() {
         for (v, p) in out.iter_mut().zip(pairs) {
             *v = score(p);
         }

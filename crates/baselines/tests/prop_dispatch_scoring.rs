@@ -1,0 +1,73 @@
+//! Property tests for pooled baseline scoring across the dispatch
+//! cutover: `score_pairs_pooled` must be bitwise identical to
+//! `score_pairs` whichever side of the serial/parallel bar the
+//! candidate list lands on, at 1, 2, and 8 threads.
+
+use er_baselines::{
+    candidate_pairs, HybridScorer, JaccardScorer, PairScorer, SimRankScorer, TfIdfScorer,
+    TwIdfScorer,
+};
+use er_pool::{DispatchPolicy, WorkerPool};
+use er_text::{Corpus, CorpusBuilder};
+use proptest::prelude::*;
+
+/// A small random corpus over a 12-word vocabulary; overlapping word
+/// choices guarantee shared terms, i.e. a non-empty candidate list.
+fn corpus() -> impl Strategy<Value = Corpus> {
+    const WORDS: [&str; 12] = [
+        "alpha", "beta", "gamma", "delta", "grill", "sunset", "blvd", "8358", "9560", "dayton",
+        "cafe", "west",
+    ];
+    proptest::collection::vec(proptest::collection::vec(0usize..WORDS.len(), 1..6), 2..8).prop_map(
+        |records| {
+            let mut builder = CorpusBuilder::new();
+            for indices in &records {
+                let text: Vec<&str> = indices.iter().map(|&i| WORDS[i]).collect();
+                builder = builder.push_text(text.join(" "));
+            }
+            builder.build()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn pooled_scoring_bit_identical_across_the_cutover(corpus in corpus()) {
+        let pairs = candidate_pairs(&corpus, None);
+        let scorers: Vec<Box<dyn PairScorer>> = vec![
+            Box::new(JaccardScorer),
+            Box::new(TfIdfScorer),
+            Box::new(SimRankScorer::default()),
+            Box::new(TwIdfScorer::default()),
+            Box::new(HybridScorer::default()),
+        ];
+        // The chunked scorer estimates ~64 ops per pair, so these
+        // thresholds put the list below, exactly at, and above the
+        // cutover (plus both forced modes).
+        let work = pairs.len().saturating_mul(64);
+        let policies = [
+            DispatchPolicy::always_serial(),
+            DispatchPolicy::always_parallel(),
+            DispatchPolicy::new(work.saturating_add(1)),
+            DispatchPolicy::new(work.max(1)),
+        ];
+        for scorer in &scorers {
+            let serial = scorer.score_pairs(&corpus, &pairs);
+            for threads in [1usize, 2, 8] {
+                for policy in policies {
+                    let pool = WorkerPool::with_policy(threads, policy);
+                    let pooled = scorer.score_pairs_pooled(&corpus, &pairs, &pool);
+                    let a: Vec<u64> = serial.iter().map(|s| s.to_bits()).collect();
+                    let b: Vec<u64> = pooled.iter().map(|s| s.to_bits()).collect();
+                    prop_assert_eq!(
+                        a, b,
+                        "{} diverged: threads={} policy={:?}",
+                        scorer.name(), threads, policy
+                    );
+                }
+            }
+        }
+    }
+}

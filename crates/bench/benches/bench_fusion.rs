@@ -72,6 +72,9 @@ unsafe impl GlobalAlloc for CountingAlloc {
 static ALLOCATOR: CountingAlloc = CountingAlloc;
 
 /// Resets the registry, runs `f`, and freezes the snapshot into a run.
+/// The run's `dispatch_mode` is derived from the pool's dispatch
+/// counters: `pooled` if any region fanned out, `serial-inline` if every
+/// decision stayed on the caller thread, unset if nothing dispatched.
 fn recorded_run(
     label: &str,
     dataset: &str,
@@ -81,12 +84,22 @@ fn recorded_run(
 ) -> BenchRun {
     er_obs::reset();
     f();
+    let report = er_obs::snapshot();
+    let dispatch_mode = if report.counter("pool.dispatch.parallel") > 0 {
+        Some("pooled".to_owned())
+    } else if report.counter("pool.dispatch.serial_inline") > 0 {
+        Some("serial-inline".to_owned())
+    } else {
+        None
+    };
     BenchRun {
         label: label.to_owned(),
         dataset: dataset.to_owned(),
         mode: mode.to_owned(),
         threads: threads as u64,
-        report: er_obs::snapshot(),
+        scaling_ratio: None,
+        dispatch_mode,
+        report,
     }
 }
 
@@ -105,11 +118,12 @@ fn main() {
         let prepared = prepare(&bench);
         let name = bench.dataset.name.clone();
         let mut baseline: Option<Vec<f64>> = None;
+        let mut t1_seconds: Option<f64> = None;
         for threads in THREAD_COUNTS {
             let mut cfg = fusion_config();
             cfg.threads = threads;
             let mut outcome = None;
-            let run = recorded_run("fusion", &name, "pooled", threads, || {
+            let mut run = recorded_run("fusion", &name, "pooled", threads, || {
                 outcome = Some(Resolver::new(cfg).resolve(&prepared.graph));
             });
             let outcome = outcome.expect("resolve ran");
@@ -120,12 +134,23 @@ fn main() {
                     "fusion outcome changed with threads={threads} on {name}"
                 ),
             }
+            // tN/t1 on the top-level fusion span; the t1 run itself
+            // carries no ratio. `bench-diff --gate-scaling` fails CI
+            // when any committed ratio exceeds 1 + tolerance.
+            let secs = span_seconds(&run.report, "fusion");
+            match t1_seconds {
+                None => t1_seconds = Some(secs),
+                Some(t1) if t1 > 0.0 => run.scaling_ratio = Some(secs / t1),
+                Some(_) => {}
+            }
             println!(
-                "  {name:<12} threads={threads}  fusion {:.3}s  iter {:.3}s  cliquerank {:.3}s  ({} pool jobs)",
-                span_seconds(&run.report, "fusion"),
+                "  {name:<12} threads={threads}  fusion {:.3}s  iter {:.3}s  cliquerank {:.3}s  ({} pool jobs, t/t1 {})",
+                secs,
                 span_seconds(&run.report, "fusion/iter"),
                 span_seconds(&run.report, "fusion/cliquerank"),
                 run.report.counter("pool_jobs_total"),
+                run.scaling_ratio
+                    .map_or_else(|| "-".to_owned(), |r| format!("{r:.2}")),
             );
             file.runs.push(run);
         }
@@ -245,6 +270,8 @@ fn cache_and_alloc_runs(graph: &er_graph::BipartiteGraph, name: &str, file: &mut
         dataset: name.to_owned(),
         mode: "warm".to_owned(),
         threads: 1,
+        scaling_ratio: None,
+        dispatch_mode: None,
         report,
     });
 }

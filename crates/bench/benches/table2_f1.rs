@@ -88,6 +88,8 @@ fn timed_run(
         dataset: dataset.to_owned(),
         mode: mode.to_owned(),
         threads: threads as u64,
+        scaling_ratio: None,
+        dispatch_mode: None,
         report: Report {
             spans: vec![SpanStat {
                 path: "eval".to_owned(),

@@ -41,6 +41,8 @@ fn fusion_config_threads(threads: usize) -> FusionConfig {
 }
 
 /// Resets the registry, runs `f`, and freezes the snapshot into a run.
+/// `dispatch_mode` reflects the pool's dispatch counters for the run
+/// (`pooled` if anything fanned out, `serial-inline` otherwise).
 fn recorded_run(
     label: &str,
     dataset: &str,
@@ -50,12 +52,22 @@ fn recorded_run(
 ) -> BenchRun {
     er_obs::reset();
     f();
+    let report = er_obs::snapshot();
+    let dispatch_mode = if report.counter("pool.dispatch.parallel") > 0 {
+        Some("pooled".to_owned())
+    } else if report.counter("pool.dispatch.serial_inline") > 0 {
+        Some("serial-inline".to_owned())
+    } else {
+        None
+    };
     BenchRun {
         label: label.to_owned(),
         dataset: dataset.to_owned(),
         mode: mode.to_owned(),
         threads: threads as u64,
-        report: er_obs::snapshot(),
+        scaling_ratio: None,
+        dispatch_mode,
+        report,
     }
 }
 
@@ -105,7 +117,7 @@ fn main() {
         // Same fusion on the shared worker pool; the parallel phases are
         // deterministic, so the outcome must match bit for bit.
         let mut pooled = None;
-        let pooled_run = recorded_run("table3_fusion", name, "pooled", POOL_THREADS, || {
+        let mut pooled_run = recorded_run("table3_fusion", name, "pooled", POOL_THREADS, || {
             pooled =
                 Some(Resolver::new(fusion_config_threads(POOL_THREADS)).resolve(&prepared.graph));
         });
@@ -116,6 +128,11 @@ fn main() {
         );
         let pool_total = span_duration(&pooled_run, "fusion");
         let pool_speedup = total.as_secs_f64() / pool_total.as_secs_f64().max(1e-9);
+        // t4/t1 on the top-level fusion span; > 1.0 means the pool made
+        // the run slower (the inversion `--gate-scaling` rejects).
+        if total.as_secs_f64() > 0.0 {
+            pooled_run.scaling_ratio = Some(pool_total.as_secs_f64() / total.as_secs_f64());
+        }
         // The paper's "edges in Gr" is the candidate graph (pairs sharing
         // >= 1 term); the admitted per-round graph is smaller.
         let edges = prepared.graph.pair_count();

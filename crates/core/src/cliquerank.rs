@@ -114,19 +114,88 @@ fn cliquerank_impl(
         solvable.iter().map(|m| m.len()).max().unwrap_or(0) as f64,
     );
 
+    // Estimated solve cost per component in elementary operations: the
+    // per-step cost of whichever kernel `solve_component` will pick
+    // (dense product with the same 8× vectorization credit the selector
+    // uses, or the sparse two-pointer walk), times the step count. This
+    // is what the dispatch policy and the scheduler below reason about.
+    let est_cost = |members: &[u32]| -> usize {
+        let nc = members.len();
+        let dense = (nc * nc * nc) / 8;
+        let per_step = if config.neighbor_mask && !matches!(config.kernel, Kernel::Dense) {
+            let sparse = crate::sparse_kernel::sparse_step_cost(graph, members);
+            if matches!(config.kernel, Kernel::Sparse) {
+                sparse
+            } else {
+                sparse.min(dense)
+            }
+        } else {
+            dense
+        };
+        per_step.saturating_mul(config.steps.max(1))
+    };
+
     // Components are independent, so they parallelize perfectly (the
-    // paper leans on a 32-core server for the same phase). Each pool job
-    // gets its own scratch buffers and result list; results merge into
-    // disjoint slots of `out` afterwards. Small workloads stay on one
-    // thread to avoid scheduling overhead, and with few components the
-    // parallelism moves inside the dense products instead.
+    // paper leans on a 32-core server for the same phase) — except when
+    // a few giant components dominate: those are scheduled largest-first
+    // on the caller thread with the pool parallelizing *inside* the
+    // recurrence (pooled GEMM row strips / sparse CSR row ranges), so
+    // one huge block no longer serializes the phase. The remaining
+    // small components fan out as per-worker chunks, and workloads
+    // below the dispatch cutover stay on the caller thread entirely.
     let pool_threads = pool.map_or(1, er_pool::WorkerPool::threads);
-    let workers = pool_threads.clamp(1, solvable.len().max(1));
-    let total_members: usize = solvable.iter().map(|m| m.len()).sum();
-    if workers == 1 || total_members < 512 {
+    let costs: Vec<usize> = solvable.iter().map(|m| est_cost(m)).collect();
+    let total_cost = costs.iter().fold(0usize, |s, &c| s.saturating_add(c));
+    let pool = match pool {
+        Some(p) if p.dispatch(total_cost).is_parallel() => p,
+        _ => {
+            let mut local_of = vec![u32::MAX; graph.node_count()];
+            let mut scratch = CliqueScratch::default();
+            for members in solvable {
+                for (li, &g) in members.iter().enumerate() {
+                    local_of[g as usize] = li as u32;
+                }
+                solve_component(
+                    graph,
+                    members,
+                    &local_of,
+                    config,
+                    pool,
+                    &mut out,
+                    &mut scratch,
+                );
+                for &g in members {
+                    local_of[g as usize] = u32::MAX;
+                }
+            }
+            return out;
+        }
+    };
+
+    // Descending-cost order; stable sort of index positions keeps equal
+    // costs in original order, so the schedule is deterministic.
+    let mut order: Vec<u32> = (0..solvable.len() as u32).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(costs[i as usize]));
+    // A component is "big" when it exceeds a fair per-worker share of
+    // the phase — with component-level chunking it would straddle the
+    // phase's critical path — and is itself past the dispatch cutover.
+    let serial_below = pool.policy().serial_below;
+    let is_big = |i: u32| {
+        let c = costs[i as usize];
+        c.saturating_mul(pool_threads) > total_cost && c >= serial_below
+    };
+    let split = order.partition_point(|&i| is_big(i));
+    let (big, small) = order.split_at(split);
+
+    // Big components: largest first, caller thread, intra-component
+    // parallelism via the pool.
+    let mut scratch = CliqueScratch::default();
+    if !big.is_empty() {
+        er_obs::counter_add("cliquerank_intra_parallel_solves_total", big.len() as u64);
         let mut local_of = vec![u32::MAX; graph.node_count()];
-        let mut scratch = CliqueScratch::default();
-        for members in solvable {
+        for &i in big {
+            let members = solvable[i as usize];
+            let _span = er_obs::span("component_large");
             for (li, &g) in members.iter().enumerate() {
                 local_of[g as usize] = li as u32;
             }
@@ -135,7 +204,7 @@ fn cliquerank_impl(
                 members,
                 &local_of,
                 config,
-                pool,
+                Some(pool),
                 &mut out,
                 &mut scratch,
             );
@@ -143,26 +212,23 @@ fn cliquerank_impl(
                 local_of[g as usize] = u32::MAX;
             }
         }
+    }
+    if small.is_empty() {
         return out;
     }
-    let pool = pool.expect("workers > 1 implies a pool");
 
     // Per-job config with matmul threading disabled — parallelism lives
     // at the component level here (nested pooled products would only
     // fight the component jobs for the same workers).
+    let workers = pool_threads.clamp(1, small.len());
     let worker_config = CliqueRankConfig {
         threads: 1,
         ..*config
     };
     let chunks: Vec<Vec<&Vec<u32>>> = {
-        // Round-robin by descending size for rough load balance; sorting
-        // index positions avoids cloning the component list (the stable
-        // sort keeps equal sizes in original order, so the chunking is
-        // identical to sorting the references themselves).
-        let mut order: Vec<u32> = (0..solvable.len() as u32).collect();
-        order.sort_by_key(|&i| std::cmp::Reverse(solvable[i as usize].len()));
+        // Round-robin in descending-cost order for rough load balance.
         let mut chunks: Vec<Vec<&Vec<u32>>> = vec![Vec::new(); workers];
-        for (pos, &i) in order.iter().enumerate() {
+        for (pos, &i) in small.iter().enumerate() {
             chunks[pos % workers].push(solvable[i as usize]);
         }
         chunks
@@ -314,7 +380,7 @@ fn solve_component(
     if use_sparse {
         er_obs::counter_add("cliquerank_sparse_solves_total", 1);
         crate::sparse_kernel::solve_component_sparse(
-            graph, members, local_of, config, bonus, out, sparse,
+            graph, members, local_of, config, bonus, pool, out, sparse,
         );
         return;
     }

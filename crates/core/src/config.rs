@@ -248,6 +248,14 @@ pub struct FusionConfig {
     /// knob affects speed only. Defaults to the machine's available
     /// parallelism.
     pub threads: usize,
+    /// Serial/parallel cutover for the shared pool: regions whose
+    /// estimated work falls below `dispatch.serial_below` elementary
+    /// operations run inline on the caller thread with zero pool
+    /// coordination. Defaults to [`er_pool::DispatchPolicy::from_env`],
+    /// so `ER_DISPATCH=serial|parallel|<ops>` overrides it without code
+    /// changes. Dispatch affects scheduling only — results are
+    /// bit-identical on either side of the cutover.
+    pub dispatch: er_pool::DispatchPolicy,
 }
 
 impl Default for FusionConfig {
@@ -261,6 +269,7 @@ impl Default for FusionConfig {
             min_similarity: 0.0,
             record_round_probabilities: false,
             threads: default_threads(),
+            dispatch: er_pool::DispatchPolicy::from_env(),
         }
     }
 }

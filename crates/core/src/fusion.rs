@@ -106,7 +106,7 @@ impl Resolver {
         assert!(cfg.rounds >= 1, "need at least one fusion round");
         assert!((0.0..=1.0).contains(&cfg.eta), "eta must be a probability");
         let _fusion_span = er_obs::span("fusion");
-        let pool = WorkerPool::new(cfg.threads);
+        let pool = WorkerPool::with_policy(cfg.threads, cfg.dispatch);
         let n_pairs = graph.pair_count();
         // Structural edge admission: pairs sharing fewer than
         // `min_shared_terms` terms never enter Gr (stable across rounds).

@@ -190,6 +190,14 @@ fn iter_impl(
     let n_terms = graph.term_count();
     let n_pairs = graph.pair_count();
 
+    // One dispatch decision per run: both sweep halves walk every
+    // (term, pair) edge, so the posting count estimates the per-sweep
+    // work. Below the cutover the pool is dropped here and the whole
+    // loop — sweeps and double-buffer swaps — runs inline with zero
+    // coordination (restaurant/cora-sized graphs lost more to scope
+    // bookkeeping per iteration than the chunks earned back).
+    let pool = pool.filter(|p| p.dispatch(graph.edge_count()).is_parallel());
+
     // Line 1: random initialization of x_t in (0, 1), overridden by the
     // warm start where provided. Terms with P_t = 0 never receive mass
     // and stay 0. The working vectors come from the scratch so repeat

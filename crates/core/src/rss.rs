@@ -105,19 +105,29 @@ pub fn run_rss_subset_pooled(
     let _span = er_obs::span("rss");
     let powers = EdgePowers::build(graph, config.alpha);
     let mut probabilities = vec![0.0f64; edges.len()];
-    // ~16 edges per job keeps scheduling overhead negligible while still
-    // load-balancing walks whose cost varies with clique size.
-    let ranges = er_pool::chunk_ranges(edges.len(), pool.threads() * 4, 16);
-    let powers = &powers;
-    pool.scope(|s| {
-        let mut rest: &mut [f64] = &mut probabilities;
-        for range in ranges {
-            let (chunk, tail) = rest.split_at_mut(range.len());
-            rest = tail;
-            let edge_ids = &edges[range];
-            s.submit(move || estimate_edges(graph, config, powers, edge_ids, chunk));
-        }
-    });
+    // Work estimate: every edge runs `walks_per_edge` walks of up to
+    // `steps` hops; sub-cutover subsets run inline on the caller.
+    let work = edges
+        .len()
+        .saturating_mul(config.walks_per_edge)
+        .saturating_mul(config.steps);
+    if pool.dispatch(work).is_parallel() {
+        // ~16 edges per job keeps scheduling overhead negligible while
+        // still load-balancing walks whose cost varies with clique size.
+        let ranges = er_pool::chunk_ranges(edges.len(), pool.threads() * 4, 16);
+        let powers = &powers;
+        pool.scope(|s| {
+            let mut rest: &mut [f64] = &mut probabilities;
+            for range in ranges {
+                let (chunk, tail) = rest.split_at_mut(range.len());
+                rest = tail;
+                let edge_ids = &edges[range];
+                s.submit(move || estimate_edges(graph, config, powers, edge_ids, chunk));
+            }
+        });
+    } else {
+        estimate_edges(graph, config, &powers, edges, &mut probabilities);
+    }
     let half = config.walks_per_edge / 2;
     er_obs::counter_add("rss_edges_total", edges.len() as u64);
     er_obs::counter_add("rss_walks_total", (edges.len() * 2 * half) as u64);

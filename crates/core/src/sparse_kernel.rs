@@ -22,6 +22,7 @@
 //! with zero steady-state allocations.
 
 use er_graph::{bipartite::PairNode, RecordGraph};
+use er_pool::WorkerPool;
 
 use crate::config::{CliqueRankConfig, Recurrence};
 
@@ -152,16 +153,77 @@ pub(crate) fn sparse_step_cost(graph: &RecordGraph, members: &[u32]) -> usize {
     2 * sum_sq
 }
 
+/// Splits the local node rows into contiguous ranges of roughly equal
+/// directed-edge count — the unit of work for the parallel recurrence
+/// step. Depends only on the CSR shape and `parts`, never on timing.
+fn edge_balanced_row_ranges(row_start: &[usize], parts: usize) -> Vec<std::ops::Range<usize>> {
+    let nc = row_start.len().saturating_sub(1);
+    if nc == 0 {
+        return Vec::new();
+    }
+    let m = row_start[nc];
+    let target = m.div_ceil(parts.max(1)).max(1);
+    let mut ranges = Vec::new();
+    let mut start_row = 0;
+    while start_row < nc {
+        let lo = row_start[start_row];
+        let mut end_row = start_row + 1;
+        while end_row < nc && row_start[end_row + 1] - lo <= target {
+            end_row += 1;
+        }
+        ranges.push(start_row..end_row);
+        start_row = end_row;
+    }
+    ranges
+}
+
+/// One parallel recurrence step: fills `next[e] = f(i, e)` for every
+/// directed edge, with row ranges fanned out as pool jobs. Each job
+/// writes the disjoint `next` subslice its rows own while reading the
+/// shared `cur`, and every `next[e]` is computed by exactly the serial
+/// formula — elementwise parallelism, bit-identical at any thread count.
+fn step_rows_pooled(
+    pool: &WorkerPool,
+    row_ranges: &[std::ops::Range<usize>],
+    row_start: &[usize],
+    next: &mut [f64],
+    f: &(dyn Fn(usize, usize) -> f64 + Sync),
+) {
+    pool.scope(|s| {
+        let mut rest = next;
+        let mut consumed = 0;
+        for rows in row_ranges {
+            let hi = row_start[rows.end];
+            let (chunk, tail) = rest.split_at_mut(hi - consumed);
+            rest = tail;
+            let lo = consumed;
+            consumed = hi;
+            let rows = rows.clone();
+            s.submit(move || {
+                for i in rows {
+                    for e in row_start[i]..row_start[i + 1] {
+                        chunk[e - lo] = f(i, e);
+                    }
+                }
+            });
+        }
+    });
+}
+
 /// Solves one component with the edgewise recursion and writes the
 /// symmetrized probabilities into `out`. Requires the neighbor mask.
 /// `bonus` is the shared `(1 + b)^α` sample vector computed by the
-/// caller; all working memory comes from `scratch`.
+/// caller; all working memory comes from `scratch`. With a pool, each
+/// recurrence step fans CSR row ranges out as jobs when the component's
+/// estimated step cost clears the pool's dispatch cutover.
+#[allow(clippy::too_many_arguments)] // mirrors the dense solver's signature plus the pool
 pub(crate) fn solve_component_sparse(
     graph: &RecordGraph,
     members: &[u32],
     local_of: &[u32],
     config: &CliqueRankConfig,
     bonus: &[f64],
+    pool: Option<&WorkerPool>,
     out: &mut [f64],
     scratch: &mut SparseScratch,
 ) {
@@ -202,6 +264,34 @@ pub(crate) fn solve_component_sparse(
         }
     }
 
+    // From here on the CSR and per-edge coefficients are read-only;
+    // reborrow shared so recurrence jobs can capture them.
+    type SharedCsr<'a> = (
+        &'a [usize],
+        &'a [u32],
+        &'a [u32],
+        &'a [f64],
+        &'a [f64],
+        &'a [f64],
+    );
+    let (row_start, tgt, rev, mt, hit, cont): SharedCsr = (row_start, tgt, rev, mt, hit, cont);
+
+    // Intra-component parallelism: fan row ranges out per step when the
+    // whole recurrence is worth the coordination. The row split is fixed
+    // up front (it depends only on the CSR), so steps re-use it.
+    let steps_cost = (0..members.len())
+        .map(|i| {
+            let d = row_start[i + 1] - row_start[i];
+            2 * d * d
+        })
+        .sum::<usize>()
+        .saturating_mul(config.steps.max(1));
+    let par_pool = pool.filter(|p| p.dispatch(steps_cost).is_parallel());
+    let row_ranges = par_pool.map_or_else(Vec::new, |p| {
+        edge_balanced_row_ranges(row_start, p.threads() * 2)
+    });
+    let par_pool = par_pool.filter(|_| row_ranges.len() > 1);
+
     // Recurrence over per-directed-edge vectors.
     let final_vals: &[f64] = match config.recurrence {
         Recurrence::PaperEq15 => {
@@ -213,10 +303,20 @@ pub(crate) fn solve_component_sparse(
             next.clear();
             next.resize(m, 0.0);
             for _ in 2..=config.steps {
-                for i in 0..members.len() {
-                    let (lo, hi) = (row_start[i], row_start[i + 1]);
-                    for (e, slot) in (lo..hi).zip(next[lo..hi].iter_mut()) {
-                        *slot = propagate(row_start, tgt, rev, mt, cur, i, e);
+                match par_pool {
+                    Some(p) => {
+                        let cur_ref: &[f64] = cur;
+                        step_rows_pooled(p, &row_ranges, row_start, next, &|i, e| {
+                            propagate(row_start, tgt, rev, mt, cur_ref, i, e)
+                        });
+                    }
+                    None => {
+                        for i in 0..members.len() {
+                            let (lo, hi) = (row_start[i], row_start[i + 1]);
+                            for (e, slot) in (lo..hi).zip(next[lo..hi].iter_mut()) {
+                                *slot = propagate(row_start, tgt, rev, mt, cur, i, e);
+                            }
+                        }
                     }
                 }
                 for (av, &n) in acc.iter_mut().zip(next.iter()) {
@@ -233,9 +333,20 @@ pub(crate) fn solve_component_sparse(
             next.clear();
             next.resize(m, 0.0);
             for _ in 2..=config.steps {
-                for i in 0..members.len() {
-                    for e in row_start[i]..row_start[i + 1] {
-                        next[e] = hit[e] + cont[e] * propagate(row_start, tgt, rev, mt, cur, i, e);
+                match par_pool {
+                    Some(p) => {
+                        let cur_ref: &[f64] = cur;
+                        step_rows_pooled(p, &row_ranges, row_start, next, &|i, e| {
+                            hit[e] + cont[e] * propagate(row_start, tgt, rev, mt, cur_ref, i, e)
+                        });
+                    }
+                    None => {
+                        for i in 0..members.len() {
+                            for e in row_start[i]..row_start[i + 1] {
+                                next[e] = hit[e]
+                                    + cont[e] * propagate(row_start, tgt, rev, mt, cur, i, e);
+                            }
+                        }
                     }
                 }
                 std::mem::swap(cur, next);

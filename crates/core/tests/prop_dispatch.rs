@@ -1,0 +1,141 @@
+//! Property tests for the dispatch cost model: the serial/parallel
+//! cutover must never change a result, only where it is computed.
+//!
+//! Every test pins the same contract from a different angle: a pooled
+//! run under an explicit [`DispatchPolicy`] — forced inline, forced
+//! parallel, or a threshold the generated input straddles — is bitwise
+//! identical to the plain serial run at 1, 2, and 8 threads. The
+//! policies are constructed directly rather than read from the
+//! environment so the tests cover both sides of the cutover on every
+//! input, whatever `ER_DISPATCH` says.
+
+use er_core::{
+    run_cliquerank, run_cliquerank_pooled, run_iter, run_iter_pooled, CliqueRankConfig, IterConfig,
+    Kernel,
+};
+use er_graph::bipartite::PairNode;
+use er_graph::{BipartiteGraph, BipartiteGraphBuilder, RecordGraph};
+use er_pool::{DispatchPolicy, WorkerPool};
+use proptest::prelude::*;
+
+const THREADS: [usize; 3] = [1, 2, 8];
+
+/// A random bipartite structure: up to 10 terms over up to 12 records.
+fn bipartite() -> impl Strategy<Value = BipartiteGraph> {
+    proptest::collection::vec(proptest::collection::btree_set(0u32..12, 0..5), 1..10).prop_map(
+        |postings| {
+            let lists: Vec<Vec<u32>> = postings
+                .iter()
+                .map(|s| s.iter().copied().collect())
+                .collect();
+            let mut builder = BipartiteGraphBuilder::new(12, lists.len());
+            for (t, p) in lists.iter().enumerate() {
+                builder = builder.postings(t as u32, p);
+            }
+            builder.build()
+        },
+    )
+}
+
+/// A random weighted record graph over up to 10 nodes.
+fn record_graph() -> impl Strategy<Value = RecordGraph> {
+    proptest::collection::btree_map((0u32..10, 0u32..10), 0.05f64..2.0, 1..25).prop_map(|m| {
+        let mut pairs = Vec::new();
+        let mut scores = Vec::new();
+        for ((a, b), w) in m {
+            if a < b {
+                pairs.push(PairNode::new(a, b));
+                scores.push(w);
+            }
+        }
+        RecordGraph::from_pair_scores(10, &pairs, &scores)
+    })
+}
+
+/// Policies covering both forced modes and thresholds an input of
+/// estimated work `w` sits below, exactly at, and above.
+fn straddling_policies(work: usize) -> Vec<DispatchPolicy> {
+    vec![
+        DispatchPolicy::always_serial(),
+        DispatchPolicy::always_parallel(),
+        // work < serial_below → inline: the input sits just below the bar.
+        DispatchPolicy::new(work.saturating_add(1)),
+        // work == serial_below → parallel: the input sits exactly at it.
+        DispatchPolicy::new(work.max(1)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn iter_bit_identical_across_the_cutover(graph in bipartite(), seed in 0u64..1000) {
+        // ITER's dispatch estimate is the posting count, so policies
+        // built from `edge_count()` land the run on either side of the
+        // cutover deterministically.
+        let prob = vec![1.0; graph.pair_count()];
+        let cfg = IterConfig { seed, threads: 1, ..Default::default() };
+        let serial = run_iter(&graph, &prob, &cfg);
+        for threads in THREADS {
+            for policy in straddling_policies(graph.edge_count()) {
+                let pool = WorkerPool::with_policy(threads, policy);
+                let pooled = run_iter_pooled(&graph, &prob, &cfg, &pool);
+                let a: Vec<u64> = serial.term_weights.iter().map(|v| v.to_bits()).collect();
+                let b: Vec<u64> = pooled.term_weights.iter().map(|v| v.to_bits()).collect();
+                prop_assert_eq!(a, b, "threads={} policy={:?}", threads, policy);
+                prop_assert_eq!(&serial.pair_similarities, &pooled.pair_similarities);
+                prop_assert_eq!(serial.iterations, pooled.iterations);
+            }
+        }
+    }
+
+    #[test]
+    fn cliquerank_dense_bit_identical_across_the_cutover(
+        graph in record_graph(),
+        steps in 1usize..8,
+    ) {
+        let cfg = CliqueRankConfig { steps, threads: 1, kernel: Kernel::Dense, ..Default::default() };
+        let serial = run_cliquerank(&graph, &cfg);
+        for threads in THREADS {
+            // Component cost estimates are internal, so straddle with a
+            // spread of thresholds from forced-inline down to
+            // forced-parallel (1 puts every nonempty component above
+            // the bar, exercising the intra-parallel big-component path).
+            for policy in [
+                DispatchPolicy::always_serial(),
+                DispatchPolicy::new(64),
+                DispatchPolicy::new(1),
+                DispatchPolicy::always_parallel(),
+            ] {
+                let pool = WorkerPool::with_policy(threads, policy);
+                let pooled = run_cliquerank_pooled(&graph, &cfg, &pool);
+                let a: Vec<u64> = serial.iter().map(|v| v.to_bits()).collect();
+                let b: Vec<u64> = pooled.iter().map(|v| v.to_bits()).collect();
+                prop_assert_eq!(a, b, "threads={} policy={:?}", threads, policy);
+            }
+        }
+    }
+
+    #[test]
+    fn cliquerank_sparse_bit_identical_across_the_cutover(
+        graph in record_graph(),
+        steps in 1usize..8,
+    ) {
+        let cfg = CliqueRankConfig { steps, threads: 1, kernel: Kernel::Sparse, ..Default::default() };
+        let serial = run_cliquerank(&graph, &cfg);
+        for threads in THREADS {
+            for policy in [
+                DispatchPolicy::always_serial(),
+                DispatchPolicy::new(64),
+                DispatchPolicy::new(1),
+                DispatchPolicy::always_parallel(),
+            ] {
+                let pool = WorkerPool::with_policy(threads, policy);
+                let pooled = run_cliquerank_pooled(&graph, &cfg, &pool);
+                let a: Vec<u64> = serial.iter().map(|v| v.to_bits()).collect();
+                let b: Vec<u64> = pooled.iter().map(|v| v.to_bits()).collect();
+                prop_assert_eq!(a, b, "threads={} policy={:?}", threads, policy);
+            }
+        }
+    }
+}

@@ -311,8 +311,14 @@ impl<'a> BipartiteGraphBuilder<'a> {
         // pool, term chunks enumerate independently and concatenate back
         // in term order, so the edge list is the same either way.
         const MIN_TERMS_PER_JOB: usize = 64;
+        // Per-term enumeration cost is quadratic in posting length;
+        // estimate ~16 ops per term as a flat proxy and let the pool's
+        // dispatch policy decide (tiny vocabularies enumerate inline).
         let edges: Vec<(u32, PairNode)> = match self.pool {
-            Some(pool) if !pool.is_serial() && self.n_terms >= 2 * MIN_TERMS_PER_JOB => {
+            Some(pool)
+                if self.n_terms >= 2 * MIN_TERMS_PER_JOB
+                    && pool.dispatch(self.n_terms.saturating_mul(16)).is_parallel() =>
+            {
                 let ranges =
                     er_pool::chunk_ranges(self.n_terms, pool.threads() * 4, MIN_TERMS_PER_JOB);
                 let mut parts: Vec<Vec<(u32, PairNode)>> =
@@ -345,8 +351,12 @@ impl<'a> BipartiteGraphBuilder<'a> {
                 *slot = sorted_pairs.binary_search(&p).expect("id from universe") as u32;
             }
         };
+        // Each edge resolves by binary search (~log₂ |pairs| ≈ 16 ops).
         match self.pool {
-            Some(pool) if !pool.is_serial() && edges.len() >= 2 * 1024 => {
+            Some(pool)
+                if edges.len() >= 2 * 1024
+                    && pool.dispatch(edges.len().saturating_mul(16)).is_parallel() =>
+            {
                 let ranges = er_pool::chunk_ranges(edges.len(), pool.threads() * 4, 1024);
                 pool.scope(|s| {
                     let mut rest: &mut [u32] = &mut edge_pair_ids;

@@ -62,8 +62,13 @@ impl RecordGraph {
                 .map(|(&p, &s)| (p, s))
                 .collect()
         };
+        // Per-pair work is a compare-and-copy (~4 ops) — route the
+        // serial/parallel choice through the pool's dispatch policy.
         let mut kept: Vec<(PairNode, f64)> = match pool {
-            Some(pool) if !pool.is_serial() && pairs.len() >= 2 * MIN_CHUNK => {
+            Some(pool)
+                if pairs.len() >= 2 * MIN_CHUNK
+                    && pool.dispatch(pairs.len().saturating_mul(4)).is_parallel() =>
+            {
                 let ranges = er_pool::chunk_ranges(pairs.len(), pool.threads() * 4, MIN_CHUNK);
                 let mut parts: Vec<Vec<(PairNode, f64)>> =
                     ranges.iter().map(|_| Vec::new()).collect();

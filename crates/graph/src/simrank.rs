@@ -641,6 +641,11 @@ pub fn simrank_flat(
     pool: &WorkerPool,
 ) {
     scratch.prepare(universe);
+    // One dispatch decision for the whole run (each slot replays a
+    // contribution list, ~8 ops apiece); sub-cutover universes iterate
+    // inline with no per-iteration scope bookkeeping.
+    let work = (universe.terms.len() + universe.records.len()).saturating_mul(8);
+    let pool = pool.dispatch(work).is_parallel().then_some(pool);
     for _ in 0..config.iterations {
         // Terms from the previous record scores (Eq. 2), then records
         // from the fresh term scores (Eq. 1) — Jacobi-style, exactly the
@@ -660,13 +665,13 @@ pub fn simrank_flat(
 /// subslices and each slot's math is serial, so chunking never changes
 /// bits. The serial path bypasses the pool entirely (no scope bookkeeping,
 /// no allocation).
-fn update_slots(out: &mut [f64], pool: &WorkerPool, score: &(dyn Fn(usize) -> f64 + Sync)) {
-    if pool.is_serial() {
+fn update_slots(out: &mut [f64], pool: Option<&WorkerPool>, score: &(dyn Fn(usize) -> f64 + Sync)) {
+    let Some(pool) = pool.filter(|p| !p.is_serial()) else {
         for (slot, v) in out.iter_mut().enumerate() {
             *v = score(slot);
         }
         return;
-    }
+    };
     let ranges = er_pool::chunk_ranges(out.len(), pool.threads(), MIN_CHUNK);
     pool.scope(|s| {
         let mut rest = out;

@@ -33,7 +33,7 @@ use er_pool::WorkerPool;
 
 use crate::dense::Matrix;
 use crate::invariant::debug_validate;
-use crate::pack::{matmul_packed_rows, PackScratch};
+use crate::pack::{self, matmul_packed_rows, PackScratch};
 
 /// Cache block edge (in elements). 64 × 64 f64 tiles ≈ 32 KiB per operand
 /// pair, comfortably inside L1+L2 on commodity cores.
@@ -190,9 +190,18 @@ pub fn matmul_pooled(a: &Matrix, b: &Matrix, pool: &WorkerPool) -> Matrix {
     out
 }
 
-/// [`matmul_pooled`] into a caller-owned output. Serial pools and tiny
-/// products use the caller's `scratch` allocation-free; parallel bands
-/// pack into per-job buffers.
+/// [`matmul_pooled`] into a caller-owned output.
+///
+/// The serial/parallel decision goes through the pool's
+/// [`er_pool::DispatchPolicy`] on the product's multiply-add count
+/// (`m·n·k`), so sub-cutover products run the serial packed kernel with
+/// zero pool coordination. Parallel products pack each `B` panel **once**
+/// on the caller thread and fan `MR`-aligned row strips out as jobs;
+/// each job checks a private `A`-strip buffer out of the scratch's
+/// [`er_pool::ScratchSlot`], so nothing is allocated or re-packed per
+/// band at steady state (the PR-1 decomposition paid both per product).
+/// Per-element accumulation order is unchanged by the strip split, so
+/// results stay bit-identical to [`matmul_packed`] at any thread count.
 pub fn matmul_pooled_into(
     a: &Matrix,
     b: &Matrix,
@@ -204,25 +213,40 @@ pub fn matmul_pooled_into(
     debug_validate("matmul_pooled (lhs)", || a.validate());
     debug_validate("matmul_pooled (rhs)", || b.validate());
     let (m, n) = (a.rows(), b.cols());
-    let threads = pool.threads().min(m.max(1));
-    if threads == 1 || m * n < 64 * 64 {
+    let k = a.cols();
+    let work = m.saturating_mul(n).saturating_mul(k);
+    if !pool.dispatch(work).is_parallel() {
         matmul_packed_into(a, b, out, scratch);
         return;
     }
     let _span = er_obs::span("matmul");
     er_obs::counter_add("matmul_pooled_total", 1);
     out.reset(m, n);
-    let rows_per = m.div_ceil(threads);
-    pool.scope(|s| {
-        for (t, band) in out.data_mut().chunks_mut(rows_per * n).enumerate() {
-            let row_start = t * rows_per;
-            let row_end = (row_start + rows_per).min(m);
-            s.submit(move || {
-                let mut local = PackScratch::default();
-                matmul_packed_rows(a, b, band, row_start, row_end, &mut local);
-            });
-        }
-    });
+    if m == 0 || n == 0 {
+        return;
+    }
+    // MR-aligned strips, ~2 per worker for balance: strip boundaries on
+    // MR multiples mean no A tile is packed by two jobs.
+    let strip_rows = m.div_ceil(pool.threads() * 2).div_ceil(pack::MR).max(1) * pack::MR;
+    let out_data = out.data_mut();
+    for kk in (0..k).step_by(pack::KC) {
+        let kc = pack::KC.min(k - kk);
+        pack::pack_b(b, kk, kc, &mut scratch.b_pack);
+        let b_pack: &[f64] = &scratch.b_pack;
+        let strip_a = &scratch.strip_a;
+        pool.scope(|s| {
+            for (t, band) in out_data.chunks_mut(strip_rows * n).enumerate() {
+                let row_start = t * strip_rows;
+                let row_end = (row_start + strip_rows).min(m);
+                s.submit(move || {
+                    let mut a_buf = strip_a.checkout();
+                    pack::matmul_rows_prepacked_b(
+                        a, b_pack, n, kk, kc, band, row_start, row_end, &mut a_buf,
+                    );
+                });
+            }
+        });
+    }
 }
 
 #[cfg(test)]

@@ -38,6 +38,8 @@
 //! decomposition `matmul_threaded` / `matmul_pooled` use — reproduces
 //! the serial result bit for bit at every thread count.
 
+use er_pool::ScratchSlot;
+
 use crate::dense::Matrix;
 
 /// Microkernel tile height (rows of `A` per register tile). With
@@ -75,12 +77,18 @@ pub struct PackScratch {
     /// Packed `A` strip: `KC × MR`, `k`-major.
     a_pack: Vec<f64>,
     /// Packed `B` panel block: `ceil(n / NR)` panels of `KC × NR`.
-    b_pack: Vec<f64>,
+    pub(crate) b_pack: Vec<f64>,
+    /// Per-job `A`-strip buffers for the pooled front end: `B` is packed
+    /// once into `b_pack` on the caller thread and shared read-only,
+    /// while each MR-strip job checks out its own `a_pack`-shaped buffer
+    /// here. Buffers persist across products, so the pooled kernel is
+    /// allocation-free at steady state like the serial one.
+    pub(crate) strip_a: ScratchSlot<Vec<f64>>,
 }
 
 /// Packs `b[kk..kk+kc, :]` into `NR`-wide column panels, `k`-major,
 /// zero-padding the last panel to full width.
-fn pack_b(b: &Matrix, kk: usize, kc: usize, buf: &mut Vec<f64>) {
+pub(crate) fn pack_b(b: &Matrix, kk: usize, kc: usize, buf: &mut Vec<f64>) {
     let n = b.cols();
     let panels = n.div_ceil(NR);
     buf.clear();
@@ -146,30 +154,63 @@ pub fn matmul_packed_rows(
     if n == 0 {
         return;
     }
-    let panels = n.div_ceil(NR);
     for kk in (0..k).step_by(KC) {
         let kc = KC.min(k - kk);
         pack_b(b, kk, kc, &mut scratch.b_pack);
-        let mut i0 = row_start;
-        while i0 < row_end {
-            let mr_eff = MR.min(row_end - i0);
-            pack_a(a, i0, mr_eff, kk, kc, &mut scratch.a_pack);
-            for pj in 0..panels {
-                let j0 = pj * NR;
-                let nr_eff = NR.min(n - j0);
-                let b_panel = &scratch.b_pack[pj * kc * NR..(pj + 1) * kc * NR];
-                let mut acc = [[0.0f64; NR]; MR];
-                microkernel(&scratch.a_pack, b_panel, &mut acc);
-                for (i, acc_row) in acc.iter().enumerate().take(mr_eff) {
-                    let base = (i0 - row_start + i) * n + j0;
-                    let out = &mut out_rows[base..base + nr_eff];
-                    for (o, &v) in out.iter_mut().zip(acc_row) {
-                        *o += v;
-                    }
+        matmul_rows_prepacked_b(
+            a,
+            &scratch.b_pack,
+            n,
+            kk,
+            kc,
+            out_rows,
+            row_start,
+            row_end,
+            &mut scratch.a_pack,
+        );
+    }
+}
+
+/// Accumulates rows `row_start..row_end` of `a[:, kk..kk+kc] × b` into
+/// `out_rows`, with `b`'s `kk` panel already packed into `b_pack` (as
+/// produced by [`pack_b`]). This is the per-job strip kernel of the
+/// pooled front end: `b_pack` is shared read-only across jobs, `a_buf`
+/// is the job's private packing buffer, and every output word belongs to
+/// exactly one strip — accumulation order per element is unchanged, so
+/// any strip decomposition is bit-identical to the serial kernel.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn matmul_rows_prepacked_b(
+    a: &Matrix,
+    b_pack: &[f64],
+    n: usize,
+    kk: usize,
+    kc: usize,
+    out_rows: &mut [f64],
+    row_start: usize,
+    row_end: usize,
+    a_buf: &mut Vec<f64>,
+) {
+    let panels = n.div_ceil(NR);
+    debug_assert_eq!(b_pack.len(), panels * kc * NR);
+    let mut i0 = row_start;
+    while i0 < row_end {
+        let mr_eff = MR.min(row_end - i0);
+        pack_a(a, i0, mr_eff, kk, kc, a_buf);
+        for pj in 0..panels {
+            let j0 = pj * NR;
+            let nr_eff = NR.min(n - j0);
+            let b_panel = &b_pack[pj * kc * NR..(pj + 1) * kc * NR];
+            let mut acc = [[0.0f64; NR]; MR];
+            microkernel(a_buf, b_panel, &mut acc);
+            for (i, acc_row) in acc.iter().enumerate().take(mr_eff) {
+                let base = (i0 - row_start + i) * n + j0;
+                let out = &mut out_rows[base..base + nr_eff];
+                for (o, &v) in out.iter_mut().zip(acc_row) {
+                    *o += v;
                 }
             }
-            i0 += mr_eff;
         }
+        i0 += mr_eff;
     }
 }
 

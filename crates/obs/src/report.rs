@@ -298,6 +298,16 @@ pub struct BenchRun {
     pub mode: String,
     /// Thread count the run used (0 when not applicable).
     pub threads: u64,
+    /// Wall-time ratio of this run to the matching 1-thread run
+    /// (`tN/t1`, top-level span). `None` when the harness did not
+    /// compute one (e.g. the t1 run itself, or pre-v1.1 files).
+    /// Values above 1.0 mean adding threads made the run *slower* —
+    /// the scaling inversion `bench-diff --gate-scaling` rejects.
+    pub scaling_ratio: Option<f64>,
+    /// How the pool dispatched this run's work: `"serial-inline"` when
+    /// every dispatch decision stayed on the caller thread, `"pooled"`
+    /// when at least one region fanned out, `None` when unrecorded.
+    pub dispatch_mode: Option<String>,
     /// The telemetry snapshot for this run.
     pub report: Report,
 }
@@ -316,13 +326,20 @@ impl BenchFile {
             .runs
             .iter()
             .map(|r| {
-                Value::Obj(vec![
+                let mut fields = vec![
                     ("label".into(), Value::Str(r.label.clone())),
                     ("dataset".into(), Value::Str(r.dataset.clone())),
                     ("mode".into(), Value::Str(r.mode.clone())),
                     ("threads".into(), Value::Num(r.threads as f64)),
-                    ("report".into(), r.report.to_value()),
-                ])
+                ];
+                if let Some(ratio) = r.scaling_ratio {
+                    fields.push(("scaling_ratio".into(), Value::Num(ratio)));
+                }
+                if let Some(mode) = &r.dispatch_mode {
+                    fields.push(("dispatch_mode".into(), Value::Str(mode.clone())));
+                }
+                fields.push(("report".into(), r.report.to_value()));
+                Value::Obj(fields)
             })
             .collect();
         Value::Obj(vec![
@@ -364,6 +381,13 @@ impl BenchFile {
                     .get("threads")
                     .and_then(Value::as_u64)
                     .ok_or("run missing integer field \"threads\"")?,
+                // Both optional: absent in files written before the
+                // scaling-gate schema extension.
+                scaling_ratio: run.get("scaling_ratio").and_then(Value::as_f64),
+                dispatch_mode: run
+                    .get("dispatch_mode")
+                    .and_then(Value::as_str)
+                    .map(str::to_owned),
                 report: Report::from_value(
                     run.get("report").ok_or("run missing \"report\" object")?,
                 )?,
@@ -426,14 +450,41 @@ mod tests {
                 dataset: "restaurant".into(),
                 mode: "pooled".into(),
                 threads: 4,
+                scaling_ratio: Some(0.93),
+                dispatch_mode: Some("pooled".into()),
                 report: sample_report(),
             }],
         };
         let text = file.to_json();
+        assert!(text.contains("\"scaling_ratio\""));
+        assert!(text.contains("\"dispatch_mode\""));
         let parsed = BenchFile::from_json(&text).unwrap();
         assert_eq!(parsed, file);
         assert!(parsed.find("fusion", "restaurant", "pooled", 4).is_some());
         assert!(parsed.find("fusion", "restaurant", "pooled", 2).is_none());
+    }
+
+    #[test]
+    fn scaling_fields_are_optional_both_ways() {
+        // Files written before the scaling-gate extension parse fine...
+        let legacy = BenchFile {
+            runs: vec![BenchRun {
+                label: "fusion".into(),
+                dataset: "restaurant".into(),
+                mode: "pooled".into(),
+                threads: 1,
+                scaling_ratio: None,
+                dispatch_mode: None,
+                report: Report::default(),
+            }],
+        };
+        let text = legacy.to_json();
+        // ...and runs without the fields don't emit them.
+        assert!(!text.contains("scaling_ratio"));
+        assert!(!text.contains("dispatch_mode"));
+        let parsed = BenchFile::from_json(&text).unwrap();
+        assert_eq!(parsed.runs[0].scaling_ratio, None);
+        assert_eq!(parsed.runs[0].dispatch_mode, None);
     }
 
     #[test]

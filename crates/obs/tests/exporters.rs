@@ -63,6 +63,8 @@ fn sample_file() -> BenchFile {
             dataset: "paper".to_owned(),
             mode: "pooled".to_owned(),
             threads: 2,
+            scaling_ratio: None,
+            dispatch_mode: None,
             report: sample_report(),
         }],
     }

@@ -70,6 +70,97 @@ use crate::sync::{Condvar, Mutex};
 /// keeps the borrowed data alive until the job has run.
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
+/// How a phase should execute one parallelizable region, as decided by
+/// [`WorkerPool::dispatch`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DispatchMode {
+    /// Run on the caller thread with zero pool coordination — no scope,
+    /// no queue, no condvar, no barrier.
+    SerialInline,
+    /// Fan out across the pool's workers.
+    Parallel,
+}
+
+impl DispatchMode {
+    /// Convenience for `self == DispatchMode::Parallel`.
+    pub fn is_parallel(self) -> bool {
+        matches!(self, DispatchMode::Parallel)
+    }
+}
+
+/// Size-aware serial/parallel cutover for pooled phases.
+///
+/// Every pooled hot path estimates its work in *elementary operations*
+/// (edges touched, pairs scored, multiply-adds, walk steps) and asks the
+/// pool whether fanning out is worth the coordination cost. Below
+/// [`DispatchPolicy::serial_below`] the region runs inline on the caller
+/// thread; queueing a job, waking a worker, and joining a scope cost on
+/// the order of microseconds, so regions worth less than a few tens of
+/// thousands of scalar operations lose more to coordination than they
+/// gain from extra cores — the measured source of the t1 → t4 slowdowns
+/// on the small datasets.
+///
+/// The default cutover can be overridden with the `ER_DISPATCH`
+/// environment variable: `serial` forces every region inline, `parallel`
+/// forces every region to fan out, and an integer sets `serial_below`
+/// directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DispatchPolicy {
+    /// Estimated elementary-operation count below which a region runs
+    /// inline on the caller thread.
+    pub serial_below: usize,
+}
+
+impl DispatchPolicy {
+    /// Default cutover: ~64k elementary operations, a few tens of
+    /// microseconds of scalar work — the break-even region for one
+    /// queue push + condvar wake + scope join round-trip.
+    pub const DEFAULT_SERIAL_BELOW: usize = 1 << 16;
+
+    /// A policy with the given cutover.
+    pub const fn new(serial_below: usize) -> Self {
+        Self { serial_below }
+    }
+
+    /// Every region runs inline, regardless of size.
+    pub const fn always_serial() -> Self {
+        Self {
+            serial_below: usize::MAX,
+        }
+    }
+
+    /// Every region fans out, regardless of size (PR-5-era behavior;
+    /// useful for isolating coordination overhead in benchmarks).
+    pub const fn always_parallel() -> Self {
+        Self { serial_below: 0 }
+    }
+
+    /// Reads `ER_DISPATCH` (`serial` | `parallel` | integer cutover);
+    /// falls back to the default policy when unset or unparsable.
+    pub fn from_env() -> Self {
+        match std::env::var("ER_DISPATCH") {
+            Ok(v) => Self::parse(&v).unwrap_or_default(),
+            Err(_) => Self::default(),
+        }
+    }
+
+    /// Parses an `ER_DISPATCH`-style value.
+    pub fn parse(value: &str) -> Option<Self> {
+        match value.trim() {
+            "" => None,
+            "serial" => Some(Self::always_serial()),
+            "parallel" => Some(Self::always_parallel()),
+            n => n.parse::<usize>().ok().map(Self::new),
+        }
+    }
+}
+
+impl Default for DispatchPolicy {
+    fn default() -> Self {
+        Self::new(Self::DEFAULT_SERIAL_BELOW)
+    }
+}
+
 struct QueueState {
     jobs: VecDeque<Job>,
     shutdown: bool,
@@ -189,6 +280,7 @@ pub struct WorkerPool {
     queue: Arc<Queue>,
     handles: Vec<sync::JoinHandle>,
     threads: usize,
+    policy: DispatchPolicy,
     /// Present iff er-obs recording was on when the pool was built.
     stats: Option<Arc<PoolStats>>,
 }
@@ -204,8 +296,15 @@ impl std::fmt::Debug for WorkerPool {
 impl WorkerPool {
     /// Creates a pool with `threads` total workers (the scoping thread
     /// counts as one, so this spawns `threads − 1` OS threads). `0` is
-    /// treated as 1.
+    /// treated as 1. The dispatch policy comes from the environment
+    /// ([`DispatchPolicy::from_env`]).
     pub fn new(threads: usize) -> Self {
+        Self::with_policy(threads, DispatchPolicy::from_env())
+    }
+
+    /// Creates a pool with an explicit [`DispatchPolicy`] instead of the
+    /// environment default.
+    pub fn with_policy(threads: usize, policy: DispatchPolicy) -> Self {
         let threads = threads.max(1);
         let queue = Arc::new(Queue {
             state: Mutex::new(QueueState {
@@ -226,6 +325,7 @@ impl WorkerPool {
             queue,
             handles,
             threads,
+            policy,
             stats,
         }
     }
@@ -238,6 +338,34 @@ impl WorkerPool {
     /// Total worker count, including the scoping thread.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// The pool's serial/parallel cutover policy.
+    pub fn policy(&self) -> DispatchPolicy {
+        self.policy
+    }
+
+    /// Decides how a region estimated at `work` elementary operations
+    /// should run: inline on the caller thread when the pool is serial or
+    /// the work is below the policy cutover, fanned out otherwise. Each
+    /// decision bumps the `pool.dispatch.serial_inline` /
+    /// `pool.dispatch.parallel` er-obs counter so the cutover is
+    /// observable in `ER_OBS_OUT` output. Call once per phase run (not
+    /// per iteration) so the counters track decisions, not loop trips.
+    pub fn dispatch(&self, work: usize) -> DispatchMode {
+        // `serial_below == usize::MAX` means "always inline", including
+        // for `work == usize::MAX` (where `<` alone would be false).
+        let below = self.policy.serial_below;
+        let mode = if self.threads == 1 || work < below || below == usize::MAX {
+            DispatchMode::SerialInline
+        } else {
+            DispatchMode::Parallel
+        };
+        match mode {
+            DispatchMode::SerialInline => er_obs::counter_add("pool.dispatch.serial_inline", 1),
+            DispatchMode::Parallel => er_obs::counter_add("pool.dispatch.parallel", 1),
+        }
+        mode
     }
 
     /// True when the pool has no background workers — [`Scope::submit`]
@@ -627,6 +755,68 @@ mod tests {
         let executed: u64 = report.workers.iter().map(|w| w.tasks).sum();
         assert!(executed >= 32);
         assert!(report.gauge("pool_max_queue_depth").is_some());
+    }
+
+    /// Dispatch decisions land in the er-obs registry, so the
+    /// serial-inline vs pooled split is visible in `ER_OBS_OUT`
+    /// JSON/Prometheus exports. `>=` because the registry is
+    /// process-global and other tests dispatch inside this window.
+    #[cfg(feature = "obs")]
+    #[test]
+    fn dispatch_counters_are_observable() {
+        er_obs::set_recording(true);
+        let pool = WorkerPool::with_policy(2, DispatchPolicy::new(100));
+        assert_eq!(pool.dispatch(1), DispatchMode::SerialInline);
+        assert_eq!(pool.dispatch(100), DispatchMode::Parallel);
+        let report = er_obs::snapshot();
+        er_obs::set_recording(false);
+        assert!(report.counter("pool.dispatch.serial_inline") >= 1);
+        assert!(report.counter("pool.dispatch.parallel") >= 1);
+        assert!(report
+            .to_prometheus()
+            .contains("er_pool_dispatch_serial_inline"));
+    }
+
+    #[test]
+    fn dispatch_policy_parses_env_values() {
+        assert_eq!(
+            DispatchPolicy::parse("serial"),
+            Some(DispatchPolicy::always_serial())
+        );
+        assert_eq!(
+            DispatchPolicy::parse("parallel"),
+            Some(DispatchPolicy::always_parallel())
+        );
+        assert_eq!(
+            DispatchPolicy::parse("4096"),
+            Some(DispatchPolicy::new(4096))
+        );
+        assert_eq!(DispatchPolicy::parse(""), None);
+        assert_eq!(DispatchPolicy::parse("bogus"), None);
+    }
+
+    #[test]
+    fn dispatch_cuts_over_at_policy_threshold() {
+        let pool = WorkerPool::with_policy(4, DispatchPolicy::new(1000));
+        assert_eq!(pool.dispatch(0), DispatchMode::SerialInline);
+        assert_eq!(pool.dispatch(999), DispatchMode::SerialInline);
+        assert_eq!(pool.dispatch(1000), DispatchMode::Parallel);
+        assert_eq!(pool.dispatch(usize::MAX), DispatchMode::Parallel);
+        assert!(pool.dispatch(1000).is_parallel());
+    }
+
+    #[test]
+    fn serial_pool_always_dispatches_inline() {
+        let pool = WorkerPool::with_policy(1, DispatchPolicy::always_parallel());
+        assert_eq!(pool.dispatch(usize::MAX), DispatchMode::SerialInline);
+    }
+
+    #[test]
+    fn forced_policies_ignore_work_size() {
+        let serial = WorkerPool::with_policy(4, DispatchPolicy::always_serial());
+        assert_eq!(serial.dispatch(usize::MAX), DispatchMode::SerialInline);
+        let parallel = WorkerPool::with_policy(4, DispatchPolicy::always_parallel());
+        assert_eq!(parallel.dispatch(0), DispatchMode::Parallel);
     }
 
     #[test]

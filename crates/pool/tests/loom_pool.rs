@@ -16,7 +16,7 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
-use er_pool::WorkerPool;
+use er_pool::{DispatchPolicy, ScratchSlot, WorkerPool};
 
 /// Every submitted job runs exactly once before `scope` returns,
 /// wherever the scheduler places it (worker thread or the scoping
@@ -59,6 +59,45 @@ fn nested_scope_help_while_waiting() {
             });
         }
         assert!(hit, "nested job never ran");
+    });
+}
+
+/// The pooled GEMM's MR-strip handoff, as a schedule property: the
+/// caller packs a shared read-only panel, then strip jobs each check a
+/// per-job buffer out of a [`ScratchSlot`] and write disjoint output
+/// bands handed out via `split_at_mut`. Under every interleaving, both
+/// bands must be written exactly once with the packed data visible to
+/// the jobs, and every checked-out buffer must be parked again when the
+/// scope joins (no scratch leaks across the strip boundary).
+#[test]
+fn strip_jobs_checkout_scratch_and_write_disjoint_bands() {
+    loom::model(|| {
+        let pool = WorkerPool::with_policy(2, DispatchPolicy::always_parallel());
+        assert!(pool.dispatch(usize::MAX).is_parallel());
+        // "Packed" on the caller thread before the fan-out, like pack_b.
+        let b_pack: Vec<u64> = vec![3, 5];
+        let strip_a: ScratchSlot<Vec<u64>> = ScratchSlot::new();
+        let mut out = [0u64; 2];
+        {
+            let (lo, hi) = out.split_at_mut(1);
+            let (b_pack, strip_a) = (&b_pack, &strip_a);
+            pool.scope(|s| {
+                for (i, band) in [lo, hi].into_iter().enumerate() {
+                    s.submit(move || {
+                        let mut a_buf = strip_a.checkout();
+                        a_buf.clear();
+                        a_buf.push(i as u64 + 1); // "pack" this strip of A
+                        band[0] = a_buf[0] * b_pack[i];
+                    });
+                }
+            });
+        }
+        assert_eq!(out, [3, 10], "a strip band was lost or mis-written");
+        let parked = strip_a.parked();
+        assert!(
+            (1..=2).contains(&parked),
+            "scratch buffers leaked across the scope join: parked={parked}"
+        );
     });
 }
 

@@ -24,7 +24,7 @@
 use std::fmt::Write as _;
 use std::path::Path;
 
-use er_obs::{BenchFile, BenchRun};
+use er_obs::{BenchFile, BenchRun, SpanStat};
 
 /// Gate thresholds (see module docs for the exact predicate).
 #[derive(Debug, Clone, Copy)]
@@ -82,6 +82,130 @@ fn run_key(run: &BenchRun) -> String {
         "{}/{}/{}/t{}",
         run.label, run.dataset, run.mode, run.threads
     )
+}
+
+/// One checked `tN` vs `t1` comparison from the scaling gate.
+#[derive(Debug)]
+pub struct ScalingRow {
+    /// `label/dataset/mode/tN` — the multi-threaded run's identity.
+    pub run: String,
+    /// Top-level span compared, or `(scaling_ratio)` when the ratio was
+    /// emitted by the harness rather than derived from matched spans.
+    pub path: String,
+    pub t1_s: f64,
+    pub tn_s: f64,
+    /// `tN / t1`: above 1.0 means threads made the run slower.
+    pub ratio: f64,
+    /// `ratio > 1 + tolerance` with both sides above the floor.
+    pub inverted: bool,
+    /// Both times under `min_seconds`: reported, never gated.
+    pub skipped: bool,
+}
+
+/// Longest top-level span of a run, in seconds (the run's wall time).
+fn longest_top_span(run: &BenchRun) -> f64 {
+    run.report
+        .spans
+        .iter()
+        .filter(|s| s.is_top_level())
+        .map(SpanStat::total_seconds)
+        .fold(0.0, f64::max)
+}
+
+/// The `--gate-scaling` check: every multi-threaded run in `current`
+/// must not be slower than its 1-thread counterpart beyond tolerance.
+///
+/// Runs carrying an emitted `scaling_ratio` (the bench harness computes
+/// `tN/t1` on the top-level span at write time) are gated on that value
+/// directly. Runs without one are matched to the `threads = 1` run of
+/// the same `(label, dataset, mode)` and every shared top-level span is
+/// compared. Comparisons where both sides sit under `min_seconds` are
+/// reported but never gated — timer noise dominates down there. Only
+/// `current` is consulted: a scaling inversion is a property of one
+/// revision, not a drift between two.
+pub fn check_scaling(current: &BenchFile, opts: DiffOptions) -> Vec<ScalingRow> {
+    let mut rows = Vec::new();
+    for run in &current.runs {
+        if run.threads <= 1 {
+            continue;
+        }
+        let key = run_key(run);
+        if let Some(ratio) = run.scaling_ratio {
+            let tn_s = longest_top_span(run);
+            let t1_s = if ratio > 0.0 { tn_s / ratio } else { 0.0 };
+            let skipped = tn_s.max(t1_s) < opts.min_seconds;
+            rows.push(ScalingRow {
+                run: key,
+                path: "(scaling_ratio)".to_owned(),
+                t1_s,
+                tn_s,
+                ratio,
+                inverted: !skipped && ratio > 1.0 + opts.tolerance,
+                skipped,
+            });
+            continue;
+        }
+        let Some(t1) = current.find(&run.label, &run.dataset, &run.mode, 1) else {
+            continue;
+        };
+        for span in run.report.spans.iter().filter(|s| s.is_top_level()) {
+            let Some(base) = t1.report.span(&span.path) else {
+                continue;
+            };
+            let (t1_s, tn_s) = (base.total_seconds(), span.total_seconds());
+            let ratio = tn_s / t1_s.max(1e-12);
+            let skipped = tn_s.max(t1_s) < opts.min_seconds;
+            rows.push(ScalingRow {
+                run: key.clone(),
+                path: span.path.clone(),
+                t1_s,
+                tn_s,
+                ratio,
+                inverted: !skipped && ratio > 1.0 + opts.tolerance,
+                skipped,
+            });
+        }
+    }
+    rows
+}
+
+/// Renders the scaling-gate rows as a markdown section.
+pub fn render_scaling_markdown(rows: &[ScalingRow], opts: DiffOptions) -> String {
+    let mut md = String::new();
+    let n_inverted = rows.iter().filter(|r| r.inverted).count();
+    let verdict = if n_inverted == 0 {
+        "✅ no inversions".to_owned()
+    } else {
+        format!("❌ {n_inverted} inversion(s)")
+    };
+    let _ = writeln!(
+        md,
+        "## Parallel-scaling gate — {verdict}\n\n\
+         tN/t1 must stay ≤ {:.2}; pairs under the {:.0} ms floor are \
+         informational. {} comparison(s).\n",
+        1.0 + opts.tolerance,
+        opts.min_seconds * 1000.0,
+        rows.len()
+    );
+    if !rows.is_empty() {
+        md.push_str("| run | span | t1 | tN | tN/t1 | |\n");
+        md.push_str("|---|---|---:|---:|---:|---|\n");
+        for row in rows {
+            let mark = if row.inverted {
+                "❌ inverted"
+            } else if row.skipped {
+                "— below floor"
+            } else {
+                ""
+            };
+            let _ = writeln!(
+                md,
+                "| {} | {} | {:.3}s | {:.3}s | {:.2}x | {mark} |",
+                row.run, row.path, row.t1_s, row.tn_s, row.ratio
+            );
+        }
+    }
+    md
 }
 
 /// Compares every matched run's top-level spans. Pure function of the two
@@ -191,12 +315,20 @@ pub fn parse_tolerance(text: &str) -> Result<f64, String> {
 
 /// The `cargo xtask bench-diff` entry point. Arguments:
 /// `--baseline <path> --current <path> [--tolerance 20%]
-/// [--min-seconds 0.05] [--summary-out <path>]`.
+/// [--min-seconds 0.05] [--summary-out <path>] [--gate-scaling]`.
+///
+/// The baseline/current regression diff passes with a warning when the
+/// baseline file is missing (first run on a branch). `--gate-scaling`
+/// additionally checks the *current* file for parallel-scaling
+/// inversions (`tN/t1 > 1 + tolerance`); that gate needs no baseline,
+/// so it runs — and can fail — even when the regression diff was
+/// skipped.
 pub fn cli(args: &[String]) -> Result<(), String> {
     let mut baseline_path = None;
     let mut current_path = None;
     let mut opts = DiffOptions::default();
     let mut summary_out: Option<String> = None;
+    let mut gate_scaling = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value = |flag: &str| {
@@ -214,48 +346,67 @@ pub fn cli(args: &[String]) -> Result<(), String> {
                     .map_err(|e| format!("invalid --min-seconds: {e}"))?;
             }
             "--summary-out" => summary_out = Some(value("--summary-out")?),
+            "--gate-scaling" => gate_scaling = true,
             other => return Err(format!("unknown bench-diff argument `{other}`")),
         }
     }
     let baseline_path = baseline_path.ok_or("bench-diff requires --baseline <path>")?;
     let current_path = current_path.ok_or("bench-diff requires --current <path>")?;
 
-    if !Path::new(&baseline_path).exists() {
+    let baseline_exists = Path::new(&baseline_path).exists();
+    if !baseline_exists {
         eprintln!(
             "xtask: bench-diff: baseline {baseline_path} does not exist; \
-             nothing to compare (first run on this branch?) — passing"
+             nothing to compare (first run on this branch?) — regression \
+             gate passing"
         );
-        return Ok(());
+        if !gate_scaling {
+            return Ok(());
+        }
     }
     let load = |path: &str| -> Result<BenchFile, String> {
         let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
         BenchFile::from_json(&text).map_err(|e| format!("{path}: {e}"))
     };
-    let outcome = diff(&load(&baseline_path)?, &load(&current_path)?, opts);
-    let md = render_markdown(&outcome, opts);
-    println!("{md}");
-    if let Some(path) = summary_out {
-        std::fs::write(&path, &md).map_err(|e| format!("write {path}: {e}"))?;
-    }
-    let regressed: Vec<String> = outcome
-        .regressions()
-        .map(|r| {
+    let current = load(&current_path)?;
+
+    let mut md = String::new();
+    let mut failures: Vec<String> = Vec::new();
+    let mut compared = 0usize;
+    if baseline_exists {
+        let outcome = diff(&load(&baseline_path)?, &current, opts);
+        md.push_str(&render_markdown(&outcome, opts));
+        compared += outcome.rows.len();
+        failures.extend(outcome.regressions().map(|r| {
             format!(
                 "{} {} {:.3}s -> {:.3}s ({:.2}x)",
                 r.run, r.path, r.baseline_s, r.current_s, r.ratio
             )
-        })
-        .collect();
-    if regressed.is_empty() {
-        eprintln!(
-            "xtask: bench-diff passed ({} spans compared)",
-            outcome.rows.len()
-        );
+        }));
+    }
+    if gate_scaling {
+        let rows = check_scaling(&current, opts);
+        md.push('\n');
+        md.push_str(&render_scaling_markdown(&rows, opts));
+        compared += rows.len();
+        failures.extend(rows.iter().filter(|r| r.inverted).map(|r| {
+            format!(
+                "{} {} scaling inverted: t1 {:.3}s -> {:.3}s ({:.2}x)",
+                r.run, r.path, r.t1_s, r.tn_s, r.ratio
+            )
+        }));
+    }
+    println!("{md}");
+    if let Some(path) = summary_out {
+        std::fs::write(&path, &md).map_err(|e| format!("write {path}: {e}"))?;
+    }
+    if failures.is_empty() {
+        eprintln!("xtask: bench-diff passed ({compared} comparisons)");
         Ok(())
     } else {
         Err(format!(
             "bench regression gate failed:\n  {}",
-            regressed.join("\n  ")
+            failures.join("\n  ")
         ))
     }
 }
@@ -339,6 +490,88 @@ mod tests {
         );
         assert_eq!(outcome.new_runs, vec!["matmul/n256/packed/t1"]);
         assert_eq!(outcome.dropped_runs, vec!["fusion/restaurant/pooled/t1"]);
+    }
+
+    #[test]
+    fn scaling_gate_flags_inversions_from_both_sources() {
+        let rows = check_scaling(
+            &fixture("bench_scaling_inverted.json"),
+            DiffOptions::default(),
+        );
+        // Emitted-ratio path: the paper t4 run carries scaling_ratio 1.4.
+        let paper = rows
+            .iter()
+            .find(|r| r.run == "fusion/paper/pooled/t4")
+            .unwrap();
+        assert_eq!(paper.path, "(scaling_ratio)");
+        assert!(paper.inverted, "{paper:?}");
+        assert!((paper.ratio - 1.4).abs() < 1e-9);
+        // Span-derived path: restaurant t4 has no emitted ratio, so its
+        // fusion span is matched against the t1 run (0.65s / 0.5s).
+        let restaurant = rows
+            .iter()
+            .find(|r| r.run == "fusion/restaurant/pooled/t4")
+            .unwrap();
+        assert_eq!(restaurant.path, "fusion");
+        assert!(restaurant.inverted, "{restaurant:?}");
+        assert!((restaurant.ratio - 1.3).abs() < 1e-9);
+        // The micro pair inverts 3x but sits under the absolute floor.
+        let micro = rows
+            .iter()
+            .find(|r| r.run == "micro/tiny/pooled/t4")
+            .unwrap();
+        assert!(micro.skipped && !micro.inverted, "{micro:?}");
+    }
+
+    #[test]
+    fn cli_gate_scaling_fails_inverted_fixture_without_baseline() {
+        // The regression diff is skipped (no baseline file), but the
+        // scaling gate still runs on --current and must fail.
+        let fixtures = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+        let args = vec![
+            "--baseline".to_owned(),
+            "/nonexistent/BENCH_fusion.json".to_owned(),
+            "--current".to_owned(),
+            fixtures
+                .join("bench_scaling_inverted.json")
+                .to_string_lossy()
+                .into_owned(),
+            "--gate-scaling".to_owned(),
+        ];
+        let err = cli(&args).unwrap_err();
+        assert!(err.contains("scaling inverted"), "{err}");
+        assert!(err.contains("fusion/paper/pooled/t4"), "{err}");
+        assert!(err.contains("fusion/restaurant/pooled/t4"), "{err}");
+        assert!(!err.contains("micro/tiny"), "{err}");
+    }
+
+    #[test]
+    fn cli_gate_scaling_passes_healthy_current() {
+        // bench_current_ok.json has no tN/t1 pairs and no emitted
+        // ratios, so the gate has nothing to flag.
+        let fixtures = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+        let arg = |name: &str| fixtures.join(name).to_string_lossy().into_owned();
+        let args = vec![
+            "--baseline".to_owned(),
+            arg("bench_baseline.json"),
+            "--current".to_owned(),
+            arg("bench_current_ok.json"),
+            "--gate-scaling".to_owned(),
+        ];
+        cli(&args).unwrap();
+    }
+
+    #[test]
+    fn scaling_gate_respects_tolerance() {
+        // At 50% tolerance the 1.4x and 1.3x inversions pass.
+        let rows = check_scaling(
+            &fixture("bench_scaling_inverted.json"),
+            DiffOptions {
+                tolerance: 0.5,
+                min_seconds: 0.05,
+            },
+        );
+        assert!(rows.iter().all(|r| !r.inverted), "{rows:?}");
     }
 
     #[test]

@@ -61,7 +61,9 @@ commands:
   miri [--strict]  er-pool tests under Miri; skipped unless cargo-miri is installed
   bench-diff       compare two er-obs BENCH_*.json files, fail on span regressions
                    (--baseline <path> --current <path> [--tolerance 20%]
-                    [--min-seconds 0.05] [--summary-out <path>])
+                    [--min-seconds 0.05] [--summary-out <path>] [--gate-scaling]);
+                   --gate-scaling also fails when any tN/t1 scaling ratio in
+                   --current exceeds 1 + tolerance (runs even without a baseline)
   all [--strict]   analyze, then loom, then miri";
 
 fn workspace_root() -> PathBuf {
