@@ -59,8 +59,8 @@ impl PairScorer for HybridScorer {
         // Both sides run on the pool; the max-normalization folds and the
         // β-combination stay serial, so the fusion is bit-identical to
         // the serial path.
-        let sb = max_normalized(self.simrank.score_pairs_pooled(corpus, pairs, pool));
-        let su = max_normalized(self.twidf.score_pairs_pooled(corpus, pairs, pool));
+        let sb = max_normalized(self.simrank.score_pairs_pooled(corpus, pairs, pool)); // er-lint: allow(dispatch) -- delegation; the callee scorer decides
+        let su = max_normalized(self.twidf.score_pairs_pooled(corpus, pairs, pool)); // er-lint: allow(dispatch) -- delegation; the callee scorer decides
         sb.iter()
             .zip(&su)
             .map(|(b, u)| self.beta * b + (1.0 - self.beta) * u)

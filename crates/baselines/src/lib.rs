@@ -148,7 +148,7 @@ pub fn evaluate_scorer_pooled(
     truth: &TruthPairs,
     pool: &WorkerPool,
 ) -> SweepResult {
-    let scores = scorer.score_pairs_pooled(corpus, pairs, pool);
+    let scores = scorer.score_pairs_pooled(corpus, pairs, pool); // er-lint: allow(dispatch) -- delegation; the scorer impl decides
     sweep_scores(pairs, &scores, truth)
 }
 

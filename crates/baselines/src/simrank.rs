@@ -23,7 +23,7 @@ impl PairScorer for SimRankScorer {
     }
 
     fn score_pairs(&self, corpus: &Corpus, pairs: &[PairNode]) -> Vec<f64> {
-        self.score_pairs_pooled(corpus, pairs, &WorkerPool::new(1))
+        self.score_pairs_pooled(corpus, pairs, &WorkerPool::new(1)) // er-lint: allow(dispatch) -- serial delegation; WorkerPool::new(1) cannot fan out
     }
 
     fn score_pairs_pooled(

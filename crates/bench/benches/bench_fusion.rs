@@ -54,6 +54,8 @@ static ALLOCS: AtomicUsize = AtomicUsize::new(0);
 // SAFETY: pure delegation to the system allocator plus atomic counter
 // bumps; upholds the `GlobalAlloc` contract exactly as `System` does.
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: `alloc` is unsafe by trait signature; the body only
+    // counts and delegates.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         if ARMED.load(Ordering::Relaxed) {
             ALLOCS.fetch_add(1, Ordering::Relaxed);
@@ -62,6 +64,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
         unsafe { System.alloc(layout) }
     }
 
+    // SAFETY: `dealloc` is unsafe by trait signature; delegation only.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         // SAFETY: `ptr` came from `alloc` above with this exact layout.
         unsafe { System.dealloc(ptr, layout) }

@@ -126,7 +126,7 @@ pub fn run_cliquerank_cached(
                     let idx = graph
                         .pairs()
                         .binary_search(&pair)
-                        .expect("edge must correspond to a retained pair");
+                        .expect("edge must correspond to a retained pair"); // er-lint: allow(panic) -- every graph edge comes from the retained pair universe
                     edge_indices.push(idx);
                 }
             }

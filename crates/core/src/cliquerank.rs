@@ -267,7 +267,7 @@ fn cliquerank_impl(
                                 let idx = graph
                                     .pairs()
                                     .binary_search(&pair)
-                                    .expect("edge is a retained pair");
+                                    .expect("edge is a retained pair"); // er-lint: allow(panic) -- every graph edge comes from the retained pair universe
                                 touched.push((idx, local_out[idx]));
                             }
                         }
@@ -456,7 +456,7 @@ fn solve_component(
             let idx = graph
                 .pairs()
                 .binary_search(&pair)
-                .expect("edge must correspond to a retained pair");
+                .expect("edge must correspond to a retained pair"); // er-lint: allow(panic) -- every graph edge comes from the retained pair universe
             out[idx] = p;
         }
     }

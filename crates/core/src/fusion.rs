@@ -177,7 +177,7 @@ impl Resolver {
             for (pair, &p) in gr.pairs().iter().zip(&edge_probs) {
                 let idx = graph
                     .pair_id(pair.a, pair.b)
-                    .expect("record-graph edge must be a bipartite pair");
+                    .expect("record-graph edge must be a bipartite pair"); // er-lint: allow(panic) -- Gr edges are built from bipartite pairs above the floor
                 new_prob[idx as usize] = p;
             }
             let probability_delta = prob.iter().zip(&new_prob).map(|(a, b)| (a - b).abs()).sum();
@@ -198,7 +198,7 @@ impl Resolver {
             last_iter = Some(iter_out);
         }
 
-        let iter_out = last_iter.expect("at least one round ran");
+        let iter_out = last_iter.expect("at least one round ran"); // er-lint: allow(panic) -- cfg.rounds >= 1 asserted at entry
         let (matches, clusters) = decide_matches(graph, &prob, cfg.eta);
         FusionOutcome {
             term_weights: iter_out.term_weights,

@@ -279,6 +279,7 @@ fn iter_impl(
 
 /// Pair update (Eq. 7) over pair range `p_start..p_start + out.len()`,
 /// writing into the matching slice of the similarity vector.
+// er-lint: zero-alloc
 fn similarities_range(graph: &BipartiteGraph, x: &[f64], out: &mut [f64], p_start: u32) {
     for (i, slot) in out.iter_mut().enumerate() {
         let p = p_start + i as u32;
@@ -295,6 +296,7 @@ fn update_similarities(
     match pool {
         Some(pool) if !pool.is_serial() && s.len() >= 2 * MIN_CHUNK => {
             let ranges = er_pool::chunk_ranges(s.len(), pool.threads() * 4, MIN_CHUNK);
+            // er-lint: allow(dispatch) -- pool param is pre-gated by the per-run dispatch decision in `iter_impl`
             pool.scope(|scope| {
                 let mut rest: &mut [f64] = s;
                 for range in ranges {
@@ -350,6 +352,7 @@ fn update_terms(
     match pool {
         Some(pool) if !pool.is_serial() && new_x.len() >= 2 * MIN_CHUNK => {
             let ranges = er_pool::chunk_ranges(new_x.len(), pool.threads() * 4, MIN_CHUNK);
+            // er-lint: allow(dispatch) -- pool param is pre-gated by the per-run dispatch decision in `iter_impl`
             pool.scope(|scope| {
                 let mut rest: &mut [f64] = new_x;
                 for range in ranges {

@@ -99,7 +99,7 @@ impl SparseScratch {
                 let (js, je) = (self.row_start[j], self.row_start[j + 1]);
                 let pos = self.tgt[js..je]
                     .binary_search(&(i as u32))
-                    .expect("undirected graph: reverse edge must exist");
+                    .expect("undirected graph: reverse edge must exist"); // er-lint: allow(panic) -- CSR rows mirror every undirected edge in both directions
                 self.rev[e] = (js + pos) as u32;
             }
         }
@@ -108,6 +108,7 @@ impl SparseScratch {
 
 /// `Σ_{v ∈ N(i) ∩ N(j)} Mt[i,v] · cur[(v→j)]` for the directed edge at
 /// index `e = (i→j)`, by two-pointer merge of rows `i` and `j`.
+// er-lint: zero-alloc
 fn propagate(
     row_start: &[usize],
     tgt: &[u32],
@@ -141,6 +142,7 @@ fn propagate(
 /// Estimated per-step cost of the sparse kernel for a component:
 /// `Σ_{(i,j) directed} (deg i + deg j)` two-pointer steps. Allocation-free
 /// (it runs on every component, before kernel selection).
+// er-lint: zero-alloc
 pub(crate) fn sparse_step_cost(graph: &RecordGraph, members: &[u32]) -> usize {
     // Σ over directed edges (i,·) of (deg_i + deg_j) = 2 Σ_i deg_i².
     let sum_sq: usize = members
@@ -189,6 +191,7 @@ fn step_rows_pooled(
     next: &mut [f64],
     f: &(dyn Fn(usize, usize) -> f64 + Sync),
 ) {
+    // er-lint: allow(dispatch) -- callers gate the pool on `dispatch(steps_cost)` before calling
     pool.scope(|s| {
         let mut rest = next;
         let mut consumed = 0;
@@ -373,7 +376,7 @@ pub(crate) fn solve_component_sparse(
             let idx = graph
                 .pairs()
                 .binary_search(&pair)
-                .expect("edge must correspond to a retained pair");
+                .expect("edge must correspond to a retained pair"); // er-lint: allow(panic) -- every graph edge comes from the retained pair universe
             out[idx] = p;
         }
     }

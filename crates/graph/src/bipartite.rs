@@ -348,6 +348,7 @@ impl<'a> BipartiteGraphBuilder<'a> {
         let mut edge_pair_ids = vec![0u32; edges.len()];
         let resolve = |edge_chunk: &[(u32, PairNode)], out: &mut [u32]| {
             for (&(_, p), slot) in edge_chunk.iter().zip(out) {
+                // er-lint: allow(panic) -- sorted_pairs was built from these same edges
                 *slot = sorted_pairs.binary_search(&p).expect("id from universe") as u32;
             }
         };
@@ -386,9 +387,11 @@ impl<'a> BipartiteGraphBuilder<'a> {
         }
         let prefix = |deg: &[usize]| {
             let mut off = Vec::with_capacity(deg.len() + 1);
+            let mut total = 0usize;
             off.push(0usize);
             for &d in deg {
-                off.push(off.last().unwrap() + d);
+                total += d;
+                off.push(total);
             }
             off
         };

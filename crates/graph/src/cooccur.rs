@@ -37,7 +37,7 @@ pub fn cooccurrence_graph(token_lists: &[&[u32]], n_terms: usize, window: usize)
             }
         }
     }
-    let mut edge_list: Vec<(u32, u32, f64)> = edges.into_iter().map(|(a, b)| (a, b, 1.0)).collect();
+    let mut edge_list: Vec<(u32, u32, f64)> = edges.into_iter().map(|(a, b)| (a, b, 1.0)).collect(); // er-lint: allow(unordered_iteration) -- sorted on the next line before any use
     edge_list.sort_unstable_by_key(|&(a, b, _)| (a, b));
     CsrGraph::from_undirected_edges(n_terms, &edge_list)
 }

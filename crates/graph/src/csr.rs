@@ -32,9 +32,11 @@ impl CsrGraph {
             degree[v as usize] += 1;
         }
         let mut offsets = Vec::with_capacity(n + 1);
+        let mut total = 0usize;
         offsets.push(0usize);
         for d in &degree {
-            offsets.push(offsets.last().unwrap() + d);
+            total += d;
+            offsets.push(total);
         }
         let m2 = offsets[n];
         let mut targets = vec![0u32; m2];

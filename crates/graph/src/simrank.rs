@@ -673,6 +673,7 @@ fn update_slots(out: &mut [f64], pool: Option<&WorkerPool>, score: &(dyn Fn(usiz
         return;
     };
     let ranges = er_pool::chunk_ranges(out.len(), pool.threads(), MIN_CHUNK);
+    // er-lint: allow(dispatch) -- pool param is pre-gated by the once-per-run dispatch decision in the caller
     pool.scope(|s| {
         let mut rest = out;
         for r in ranges {
@@ -692,6 +693,7 @@ fn update_slots(out: &mut [f64], pool: Option<&WorkerPool>, score: &(dyn Fn(usiz
 /// s(ra, rb)`, replayed from the prerecorded contribution sequence in
 /// ascending `(ra, rb)` order like the oracle. Pruned record pairs
 /// contribute an exact `+0.0` and were omitted at build time.
+// er-lint: zero-alloc
 fn term_pair_score(u: &SimRankUniverse, rec_scores: &[f64], slot: usize, c2: f64) -> f64 {
     let sum = replay_sum(&u.term_replay, rec_scores, slot);
     c2 * sum / u.term_norm[slot]
@@ -699,6 +701,7 @@ fn term_pair_score(u: &SimRankUniverse, rec_scores: &[f64], slot: usize, c2: f64
 
 /// Eq. 1 for record-pair `slot`: `C1 / (|O_a||O_b|) · Σ_{ta ∈ O_a, tb ∈ O_b}
 /// s(ta, tb)` over the fresh term scores, replayed the same way.
+// er-lint: zero-alloc
 fn record_pair_score(u: &SimRankUniverse, term_scores: &[f64], slot: usize, c1: f64) -> f64 {
     let sum = replay_sum(&u.rec_replay, term_scores, slot);
     c1 * sum / u.rec_norm[slot]
@@ -741,12 +744,12 @@ impl SimRankScores {
 
     /// Iterates tracked record pairs with their scores, in sorted order.
     pub fn record_entries(&self) -> impl Iterator<Item = ((u32, u32), f64)> + '_ {
-        self.records.iter().zip(self.record_scores.iter().copied())
+        self.records.iter().zip(self.record_scores.iter().copied()) // er-lint: allow(unordered_iteration) -- sorted Vec fields; they merely share names with the oracle's HashMaps
     }
 
     /// Iterates tracked term pairs with their scores, in sorted order.
     pub fn term_entries(&self) -> impl Iterator<Item = ((u32, u32), f64)> + '_ {
-        self.terms.iter().zip(self.term_scores.iter().copied())
+        self.terms.iter().zip(self.term_scores.iter().copied()) // er-lint: allow(unordered_iteration) -- sorted Vec fields; they merely share names with the oracle's HashMaps
     }
 }
 
@@ -850,6 +853,7 @@ pub mod reference {
             // Update term scores from record scores (Eq. 2), reading the
             // previous record scores (Jacobi-style update).
             let mut new_terms = HashMap::with_capacity(term_scores.len());
+            // er-lint: allow(unordered_iteration) -- fills a keyed map; insertion order never escapes the oracle
             for &(ta, tb) in term_scores.keys() {
                 let (ia, ib) = (&postings[ta as usize], &postings[tb as usize]);
                 if ia.is_empty() || ib.is_empty() {
@@ -866,6 +870,7 @@ pub mod reference {
             }
             // Update record scores from the *new* term scores (Eq. 1).
             let mut new_records = HashMap::with_capacity(record_scores.len());
+            // er-lint: allow(unordered_iteration) -- fills a keyed map; insertion order never escapes the oracle
             for &(ra, rb) in record_scores.keys() {
                 let (oa, ob) = (record_terms[ra as usize], record_terms[rb as usize]);
                 if oa.is_empty() || ob.is_empty() {

@@ -90,7 +90,7 @@ impl UnionFind {
         for x in 0..n as u32 {
             by_root.entry(self.find(x)).or_default().push(x);
         }
-        let mut sets: Vec<Vec<u32>> = by_root.into_values().collect();
+        let mut sets: Vec<Vec<u32>> = by_root.into_values().collect(); // er-lint: allow(unordered_iteration) -- members and sets are both sorted below
         for s in &mut sets {
             s.sort_unstable();
         }

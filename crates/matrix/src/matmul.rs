@@ -175,7 +175,7 @@ pub fn matmul_threaded_into(
                 });
             }
         })
-        .expect("matmul worker thread panicked");
+        .expect("matmul worker thread panicked"); // er-lint: allow(panic) -- re-raises a worker panic on the caller thread
     }
 }
 

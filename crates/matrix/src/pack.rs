@@ -120,11 +120,12 @@ fn pack_a(a: &Matrix, i0: usize, mr_eff: usize, kk: usize, kc: usize, buf: &mut 
 /// panel. Both inputs are `k`-major and exactly `kc × MR` / `kc × NR`
 /// long, so the zipped `chunks_exact` walk is branch-free and the fixed
 /// `MR × NR` loop nest autovectorizes.
+// er-lint: zero-alloc
 #[inline]
 fn microkernel(a_pack: &[f64], b_panel: &[f64], acc: &mut [[f64; NR]; MR]) {
     for (ak, bk) in a_pack.chunks_exact(MR).zip(b_panel.chunks_exact(NR)) {
-        let ak: &[f64; MR] = ak.try_into().expect("packed A chunk is MR wide");
-        let bk: &[f64; NR] = bk.try_into().expect("packed B chunk is NR wide");
+        let ak: &[f64; MR] = ak.try_into().expect("packed A chunk is MR wide"); // er-lint: allow(panic) -- chunks_exact(MR) guarantees the width
+        let bk: &[f64; NR] = bk.try_into().expect("packed B chunk is NR wide"); // er-lint: allow(panic) -- chunks_exact(NR) guarantees the width
         for i in 0..MR {
             let ai = ak[i];
             for j in 0..NR {

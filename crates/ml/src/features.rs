@@ -258,6 +258,7 @@ impl<'a> FeatureExtractor<'a> {
             return out;
         }
         let ranges = er_pool::chunk_ranges(pairs.len(), pool.threads(), EXTRACT_MIN_CHUNK);
+        // er-lint: allow(dispatch) -- serial pools bypass above; sizing the pool is the caller's dispatch decision
         pool.scope(|s| {
             let mut rest = out.as_mut_slice();
             for r in ranges {

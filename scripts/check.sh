@@ -1,9 +1,9 @@
 #!/usr/bin/env bash
 # Lint gate: the static-analysis suite (rustfmt, clippy -D warnings,
-# no-default-features build, first-party unsafe audit — see
-# xtask/src/main.rs), then the full test suite. CI runs this exact
-# script (.github/workflows/ci.yml), so a clean local run means a clean
-# CI run.
+# no-default-features build, first-party unsafe audit, er-lint domain
+# rules — see xtask/src/main.rs and xtask/src/lint/), then the full
+# test suite. CI runs this exact script (.github/workflows/ci.yml), so
+# a clean local run means a clean CI run.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

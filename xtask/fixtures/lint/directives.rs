@@ -1,0 +1,19 @@
+//! er-lint fixture: malformed directives are hard errors — a typo'd
+//! allow must never silently disable a rule.
+//!
+//! NOT a compiled target — parsed only by the lint engine's tests.
+
+pub fn reasonless(x: Option<u32>) -> u32 {
+    x.unwrap() // er-lint: allow(panic)
+}
+
+pub fn unknown_rule(x: Option<u32>) -> u32 {
+    x.unwrap() // er-lint: allow(no_such_rule) -- because
+}
+
+// er-lint: zero-alloc
+pub static DANGLING: usize = 0;
+
+pub fn typoed() {
+    // er-lint: frobnicate
+}

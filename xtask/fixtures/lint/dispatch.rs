@@ -1,0 +1,29 @@
+//! er-lint fixture: `dispatch` must fire on pooled calls that are not
+//! under a `pool.dispatch(…)` decision in the same fn.
+//!
+//! NOT a compiled target — parsed only by the lint engine's tests.
+
+pub fn undecided(pool: &Pool, pairs: &[u32]) {
+    pool.scope(|s| s.run(pairs)); // fires (no dispatch in this fn)
+    pool.for_each_range(pairs.len(), 64, |_r| {}); // fires
+}
+
+pub fn undecided_scoring(scorer: &Scorer, pool: &Pool) -> Vec<f64> {
+    scorer.score_pairs_pooled(pool) // fires
+}
+
+pub fn decided(pool: &Pool, pairs: &[u32]) {
+    if pool.dispatch(pairs.len()).is_parallel() {
+        pool.scope(|s| s.run(pairs)); // silent: dispatched above
+    }
+}
+
+pub fn decided_scoring(scorer: &Scorer, pool: &Pool, work: usize) -> Vec<f64> {
+    let _mode = pool.dispatch(work);
+    scorer.score_pairs_pooled(pool) // silent: dispatched above
+}
+
+pub fn delegated(pool: &Pool, pairs: &[u32]) {
+    // er-lint: allow(dispatch) -- decided in fixture caller `decided`
+    pool.scope(|s| s.run(pairs));
+}

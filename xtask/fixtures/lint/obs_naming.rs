@@ -1,0 +1,15 @@
+//! er-lint fixture: `obs_naming` must fire on malformed er-obs name
+//! literals and accept dotted.snake_case; same-file re-emission of one
+//! name is fine. Cross-file uniqueness pairs this file with
+//! `obs_naming_clash.rs`.
+//!
+//! NOT a compiled target — parsed only by the lint engine's tests.
+
+pub fn emit() {
+    let _g = er_obs::span("BadCamel"); // fires (uppercase)
+    er_obs::counter_add("kebab-case.name", 1); // fires (dash)
+    er_obs::gauge_set("trailing.", 0.0); // fires (empty segment)
+    let _s = er_obs::span("fixture.phase"); // silent: well-formed
+    let _s2 = er_obs::span("fixture.phase"); // silent: same-file re-emission
+    er_obs::counter_add("fixture.events_total", 1); // silent
+}

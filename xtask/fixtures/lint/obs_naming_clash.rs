@@ -1,0 +1,13 @@
+//! er-lint fixture: cross-file half of the `obs_naming` uniqueness
+//! check — `fixture.phase` is first registered by `obs_naming.rs`
+//! (lexicographically first), so re-registering it here fires unless
+//! allowed.
+//!
+//! NOT a compiled target — parsed only by the lint engine's tests.
+
+pub fn emit_elsewhere() {
+    let _s = er_obs::span("fixture.phase"); // fires (registered by obs_naming.rs)
+    // er-lint: allow(obs_naming) -- deliberately shared phase name with obs_naming.rs
+    let _t = er_obs::span("fixture.phase"); // allowed
+    let _u = er_obs::span("fixture.clash_free"); // silent: unique
+}

@@ -1,0 +1,44 @@
+//! er-lint fixture: `panic` must fire on `unwrap()`/`expect(`/`panic!`
+//! in library code and stay silent in tests, debug validators, and on
+//! allowed lines.
+//!
+//! NOT a compiled target — parsed only by the lint engine's tests.
+
+pub fn hard_unwrap(x: Option<u32>) -> u32 {
+    x.unwrap() // fires
+}
+
+pub fn hard_expect(x: Option<u32>) -> u32 {
+    x.expect("must be present") // fires
+}
+
+pub fn bail(cond: bool) {
+    if cond {
+        panic!("unrecoverable"); // fires
+    }
+}
+
+pub fn fallback(x: Option<u32>) -> u32 {
+    x.unwrap_or(0) // silent: different method
+}
+
+pub fn justified(len: usize) -> usize {
+    // er-lint: allow(panic) -- fixture invariant: len is validated at construction
+    len.checked_add(1).unwrap()
+}
+
+#[cfg(debug_assertions)]
+pub fn debug_validator(ok: bool) {
+    if !ok {
+        panic!("invariant violated"); // silent: debug-gated
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1); // silent: test-gated
+    }
+}

@@ -1,0 +1,48 @@
+//! er-lint fixture: `unordered_iteration` must fire on every
+//! order-exposing HashMap/HashSet use and stay silent on order-free
+//! operations, Vec iteration, and allowed lines.
+//!
+//! NOT a compiled target — parsed only by the lint engine's tests,
+//! which assert the exact (rule, line) set below.
+
+use std::collections::{HashMap, HashSet};
+
+pub fn iterate(map: &HashMap<u32, f64>, set: &HashSet<u32>) -> f64 {
+    let mut total = 0.0;
+    for (_k, v) in map.iter() {
+        // fires (`.iter()` on map)
+        total += v;
+    }
+    for x in set {
+        // fires (direct `for … in set`)
+        total += f64::from(*x);
+    }
+    total
+}
+
+pub fn methods(map: &mut HashMap<u32, f64>) -> usize {
+    let names = map.keys().count(); // fires (`.keys()`)
+    let _ = map.values().count(); // fires (`.values()`)
+    map.drain(); // fires (`.drain()`)
+    names
+}
+
+pub fn bound_by_ctor() -> usize {
+    let mut seen = HashSet::new();
+    seen.insert(3_u32);
+    seen.iter().count() // fires (ctor-bound binding)
+}
+
+pub fn order_free(map: &HashMap<u32, f64>, items: &[u32]) -> f64 {
+    let mut total = 0.0;
+    for k in items {
+        // Vec/slice iteration is ordered: silent.
+        total += map.get(k).copied().unwrap_or(0.0); // lookups are order-free: silent
+    }
+    total + map.len() as f64
+}
+
+pub fn justified(map: &HashMap<u32, f64>) -> f64 {
+    // er-lint: allow(unordered_iteration) -- commutative sum, order cannot leak
+    map.values().sum()
+}

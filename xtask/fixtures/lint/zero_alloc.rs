@@ -1,0 +1,28 @@
+//! er-lint fixture: `zero_alloc` must fire on every allocating
+//! construct inside a `// er-lint: zero-alloc` fn, and nowhere else.
+//!
+//! NOT a compiled target — parsed only by the lint engine's tests.
+
+// er-lint: zero-alloc
+#[inline]
+pub fn marked_kernel(dst: &mut [f64], src: &[f64]) -> f64 {
+    let tmp = vec![0.0; 4]; // fires (`vec![…]`)
+    let copy = src.to_vec(); // fires (`.to_vec()`)
+    let gathered: Vec<f64> = src.iter().copied().collect(); // fires (`.collect()`)
+    let boxed = Box::new(1.0); // fires (`Box::new`)
+    let grown = Vec::with_capacity(8); // fires (`Vec::with_capacity`)
+    let name = String::from("kernel"); // fires (`String::from`)
+    let label = format!("{name}"); // fires (`format!`)
+    dst[0] = tmp[0] + copy[0] + gathered[0] + *boxed;
+    let _ = (grown, label);
+    // er-lint: allow(zero_alloc) -- cold error path, never at steady state
+    let cold = "err".to_string();
+    dst[0] + cold.len() as f64
+}
+
+pub fn unmarked_setup() -> Vec<f64> {
+    // Unmarked fns may allocate freely: silent.
+    let mut buf = Vec::new();
+    buf.push(1.0);
+    buf
+}

@@ -1,0 +1,176 @@
+//! The committed violation baseline (`xtask/lint_baseline.json`).
+//!
+//! Pre-existing violations are grandfathered: they live in a committed
+//! baseline file, `cargo xtask lint` fails only on violations *not* in
+//! it, and `--update-baseline` regenerates it from the current tree.
+//!
+//! Entries are keyed by `(rule, path, trimmed line text, nth)` — the
+//! *content* of the offending line, not its line number — so unrelated
+//! edits above a grandfathered site don't churn the baseline or
+//! spuriously "fix"/"create" violations. `nth` disambiguates identical
+//! lines (the nth occurrence of that exact (rule, path, text) triple,
+//! in file order). The file is fully sorted and carries no timestamps,
+//! so regeneration is byte-for-byte deterministic — CI asserts this.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use er_obs::json::{self, Value};
+
+use super::Violation;
+
+/// One grandfathered violation.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Entry {
+    pub path: String,
+    pub rule: String,
+    pub text: String,
+    pub nth: usize,
+}
+
+/// Assigns each violation its `nth` index among identical
+/// (rule, path, text) triples, in input (file) order.
+pub fn keyed(violations: &[Violation]) -> Vec<Entry> {
+    let mut counts: BTreeMap<(&str, &str, &str), usize> = BTreeMap::new();
+    violations
+        .iter()
+        .map(|v| {
+            let slot = counts
+                .entry((v.rule, v.path.as_str(), v.text.as_str()))
+                .or_insert(0);
+            let nth = *slot;
+            *slot += 1;
+            Entry {
+                path: v.path.clone(),
+                rule: v.rule.to_owned(),
+                text: v.text.clone(),
+                nth,
+            }
+        })
+        .collect()
+}
+
+/// Serializes entries (sorted, no timestamps — deterministic).
+pub fn render(entries: &[Entry]) -> String {
+    let mut sorted: Vec<&Entry> = entries.iter().collect();
+    sorted.sort();
+    let items = sorted
+        .into_iter()
+        .map(|e| {
+            Value::Obj(vec![
+                ("path".into(), Value::Str(e.path.clone())),
+                ("rule".into(), Value::Str(e.rule.clone())),
+                ("text".into(), Value::Str(e.text.clone())),
+                ("nth".into(), Value::Num(e.nth as f64)),
+            ])
+        })
+        .collect();
+    Value::Obj(vec![
+        ("schema".into(), Value::Str("er-lint-baseline/v1".into())),
+        ("entries".into(), Value::Arr(items)),
+    ])
+    .to_pretty()
+}
+
+/// Loads a baseline file; a missing file is an empty baseline (the
+/// bootstrap case), a malformed one is an error.
+pub fn load(path: &Path) -> Result<Vec<Entry>, String> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(format!("read {}: {e}", path.display())),
+    };
+    let value = json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    let schema = value.get("schema").and_then(Value::as_str);
+    if schema != Some("er-lint-baseline/v1") {
+        return Err(format!(
+            "{}: unexpected schema {schema:?} (want er-lint-baseline/v1)",
+            path.display()
+        ));
+    }
+    let entries = value
+        .get("entries")
+        .and_then(Value::as_arr)
+        .ok_or_else(|| format!("{}: missing `entries` array", path.display()))?;
+    entries
+        .iter()
+        .enumerate()
+        .map(|(i, e)| {
+            let field = |k: &str| {
+                e.get(k)
+                    .and_then(Value::as_str)
+                    .map(str::to_owned)
+                    .ok_or_else(|| format!("{}: entry {i} missing `{k}`", path.display()))
+            };
+            Ok(Entry {
+                path: field("path")?,
+                rule: field("rule")?,
+                text: field("text")?,
+                nth: e
+                    .get("nth")
+                    .and_then(Value::as_u64)
+                    .ok_or_else(|| format!("{}: entry {i} missing `nth`", path.display()))?
+                    as usize,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(rule: &'static str, path: &str, text: &str) -> Violation {
+        Violation {
+            rule,
+            path: path.into(),
+            line: 1,
+            text: text.into(),
+            message: String::new(),
+        }
+    }
+
+    #[test]
+    fn nth_disambiguates_identical_lines() {
+        let entries = keyed(&[
+            v("panic", "a.rs", "x.unwrap();"),
+            v("panic", "a.rs", "x.unwrap();"),
+            v("panic", "b.rs", "x.unwrap();"),
+        ]);
+        assert_eq!(entries.iter().map(|e| e.nth).collect::<Vec<_>>(), [0, 1, 0]);
+    }
+
+    #[test]
+    fn render_is_order_independent_and_deterministic() {
+        let a = v("panic", "z.rs", "boom!");
+        let b = v("dispatch", "a.rs", "pool.scope(…)");
+        let fwd = render(&keyed(&[a.clone(), b.clone()]));
+        let rev = render(&keyed(&[b, a]));
+        assert_eq!(fwd, rev);
+        assert!(!fwd.contains("20"), "no timestamps: {fwd}");
+    }
+
+    #[test]
+    fn round_trips_through_a_file() {
+        let dir = std::env::temp_dir().join("er-lint-baseline-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("baseline.json");
+        let entries = keyed(&[v("obs_naming", "a.rs", "er_obs::span(\"X\")")]);
+        std::fs::write(&path, render(&entries)).unwrap();
+        assert_eq!(load(&path).unwrap(), entries);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_empty_and_garbage_errors() {
+        assert!(load(Path::new("/nonexistent/baseline.json"))
+            .unwrap()
+            .is_empty());
+        let dir = std::env::temp_dir().join("er-lint-baseline-test2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.json");
+        std::fs::write(&path, "{\"schema\": \"other/v9\", \"entries\": []}\n").unwrap();
+        assert!(load(&path).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

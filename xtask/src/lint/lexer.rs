@@ -1,0 +1,512 @@
+//! A miniature Rust lexer for `er-lint`.
+//!
+//! Tokenizes a source file into just enough structure for source-level
+//! invariant checking: identifiers (with `r#` raw-ident normalization),
+//! lifetimes vs char literals, every string-literal flavor (`"…"`,
+//! `r"…"`, `r#"…"#` at any hash depth, `b"…"`, `br#"…"#`), nested block
+//! comments, numbers (including float/exponent forms so `1.0e-5` is one
+//! token), and single-character punctuation. Generic closers like `>>`
+//! are deliberately emitted as two `>` puncts, so the lexer never has
+//! the shift-vs-generics ambiguity a parser would.
+//!
+//! Comments are *kept* as tokens: `er-lint` annotations
+//! (`// er-lint: …`) live in them, and the unsafe audit looks for
+//! `SAFETY:` markers there.
+
+/// Token classification. Keywords are plain [`Kind::Ident`]s — the
+/// rules match on text where it matters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// Identifier or keyword; `r#ident` is normalized to `ident`.
+    Ident,
+    /// A lifetime such as `'a` (text keeps the quote).
+    Lifetime,
+    /// Numeric literal, including suffixes and exponents.
+    Num,
+    /// Any string-flavored literal (plain, raw, byte, raw-byte).
+    Str,
+    /// Char or byte-char literal (`'x'`, `b'\n'`).
+    Char,
+    /// One opening delimiter: `(`, `[` or `{`.
+    Open,
+    /// One closing delimiter: `)`, `]` or `}`.
+    Close,
+    /// Any other single punctuation character.
+    Punct,
+    /// Line or block comment, delimiters included in the text.
+    Comment,
+}
+
+/// One token: its classification, raw text and 1-based starting line.
+#[derive(Debug, Clone, Copy)]
+pub struct Tok<'a> {
+    pub kind: Kind,
+    pub text: &'a str,
+    pub line: usize,
+}
+
+impl Tok<'_> {
+    /// True for an identifier token with exactly this text.
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == Kind::Ident && self.text == text
+    }
+
+    /// True for a punct/delimiter token with exactly this character.
+    pub fn is_punct(&self, ch: char) -> bool {
+        matches!(self.kind, Kind::Punct | Kind::Open | Kind::Close) && self.text.chars().eq([ch])
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Tokenizes `src`. Unterminated literals and comments end at EOF
+/// rather than erroring: the linter runs on whatever is committed, and
+/// rustc itself is the gate for actual syntax validity.
+pub fn lex(src: &str) -> Vec<Tok<'_>> {
+    Lexer {
+        src,
+        bytes: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        toks: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: usize,
+    toks: Vec<Tok<'a>>,
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self) -> Vec<Tok<'a>> {
+        while self.pos < self.bytes.len() {
+            let start = self.pos;
+            let start_line = self.line;
+            let b = self.bytes[self.pos];
+            match b {
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ if b.is_ascii_whitespace() => self.pos += 1,
+                b'/' if self.peek(1) == Some(b'/') => {
+                    while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\n' {
+                        self.pos += 1;
+                    }
+                    self.push(Kind::Comment, start, start_line);
+                }
+                b'/' if self.peek(1) == Some(b'*') => {
+                    self.block_comment();
+                    self.push(Kind::Comment, start, start_line);
+                }
+                b'"' => {
+                    self.plain_string();
+                    self.push(Kind::Str, start, start_line);
+                }
+                b'r' | b'b' if self.string_prefix_len().is_some() => {
+                    if self.bytes[self.pos] == b'b' {
+                        self.pos += 1;
+                    }
+                    if self.bytes.get(self.pos) == Some(&b'r') {
+                        // Raw (maybe byte) string: `r`/`br` then hashes.
+                        self.pos += 1;
+                        self.raw_string();
+                    } else {
+                        // Byte string `b"…"`: escaped like a plain one.
+                        self.plain_string();
+                    }
+                    self.push(Kind::Str, start, start_line);
+                }
+                b'r' if self.peek(1) == Some(b'#') && self.peek(2).is_some_and(is_ident_start) => {
+                    // Raw identifier: emit with the `r#` stripped so
+                    // `r#fn` and `fn` compare equal where it matters.
+                    self.pos += 2;
+                    let ident_start = self.pos;
+                    self.consume_while(is_ident_continue);
+                    self.toks.push(Tok {
+                        kind: Kind::Ident,
+                        text: &self.src[ident_start..self.pos],
+                        line: start_line,
+                    });
+                }
+                b'b' if self.peek(1) == Some(b'\'') => {
+                    self.pos += 1;
+                    self.char_literal();
+                    self.push(Kind::Char, start, start_line);
+                }
+                b'\'' => {
+                    if self.lex_quote() {
+                        self.push(Kind::Char, start, start_line);
+                    } else {
+                        self.push(Kind::Lifetime, start, start_line);
+                    }
+                }
+                b'0'..=b'9' => {
+                    self.number();
+                    self.push(Kind::Num, start, start_line);
+                }
+                _ if is_ident_start(b) => {
+                    self.consume_while(is_ident_continue);
+                    self.push(Kind::Ident, start, start_line);
+                }
+                b'(' | b'[' | b'{' => {
+                    self.pos += 1;
+                    self.push(Kind::Open, start, start_line);
+                }
+                b')' | b']' | b'}' => {
+                    self.pos += 1;
+                    self.push(Kind::Close, start, start_line);
+                }
+                _ => {
+                    // Single punctuation char; step a whole UTF-8 char
+                    // so stray non-ASCII outside literals can't split.
+                    let ch_len = self.src[self.pos..]
+                        .chars()
+                        .next()
+                        .map_or(1, char::len_utf8);
+                    self.pos += ch_len;
+                    self.push(Kind::Punct, start, start_line);
+                }
+            }
+        }
+        self.toks
+    }
+
+    fn push(&mut self, kind: Kind, start: usize, line: usize) {
+        self.toks.push(Tok {
+            kind,
+            text: &self.src[start..self.pos],
+            line,
+        });
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn consume_while(&mut self, pred: impl Fn(u8) -> bool) {
+        while self.pos < self.bytes.len() && pred(self.bytes[self.pos]) {
+            self.pos += 1;
+        }
+    }
+
+    /// Length of a string-literal prefix (`r`, `b`, `br` plus any `#`s)
+    /// starting at `pos`, if the characters really begin a string.
+    fn string_prefix_len(&self) -> Option<usize> {
+        let mut i = 0;
+        if self.peek(i) == Some(b'b') {
+            i += 1;
+        }
+        let raw = self.peek(i) == Some(b'r');
+        if raw {
+            i += 1;
+            while self.peek(i) == Some(b'#') {
+                i += 1;
+            }
+        }
+        // `b` or `br`/`r` consumed something, and a quote follows.
+        (i > 0 && self.peek(i) == Some(b'"')).then_some(i)
+    }
+
+    /// `pos` is on the opening quote of an escaped (non-raw) string.
+    fn plain_string(&mut self) {
+        self.pos += 1;
+        while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b'\\' => self.pos = (self.pos + 2).min(self.bytes.len()),
+                b'"' => {
+                    self.pos += 1;
+                    return;
+                }
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ => self.pos += 1,
+            }
+        }
+    }
+
+    /// `pos` is on the `#`s-or-quote of a raw string (prefix consumed
+    /// up to but not including the hashes).
+    fn raw_string(&mut self) {
+        let mut hashes = 0;
+        while self.bytes.get(self.pos) == Some(&b'#') {
+            hashes += 1;
+            self.pos += 1;
+        }
+        if self.bytes.get(self.pos) != Some(&b'"') {
+            return; // not actually a raw string; be permissive
+        }
+        self.pos += 1;
+        while self.pos < self.bytes.len() {
+            if self.bytes[self.pos] == b'\n' {
+                self.line += 1;
+                self.pos += 1;
+                continue;
+            }
+            if self.bytes[self.pos] == b'"' {
+                let after = self.pos + 1;
+                let closing = self.bytes[after..]
+                    .iter()
+                    .take(hashes)
+                    .take_while(|&&b| b == b'#')
+                    .count();
+                if closing == hashes {
+                    self.pos = after + hashes;
+                    return;
+                }
+            }
+            self.pos += 1;
+        }
+    }
+
+    /// `pos` is on the `'` of a definite char literal (e.g. after `b`).
+    fn char_literal(&mut self) {
+        self.pos += 1; // opening '
+        if self.bytes.get(self.pos) == Some(&b'\\') {
+            self.pos += 2;
+        } else if self.pos < self.bytes.len() {
+            let ch_len = self.src[self.pos..]
+                .chars()
+                .next()
+                .map_or(1, char::len_utf8);
+            self.pos += ch_len;
+        }
+        if self.bytes.get(self.pos) == Some(&b'\'') {
+            self.pos += 1;
+        }
+    }
+
+    /// `pos` is on a bare `'`: char literal or lifetime? Returns true
+    /// for a char literal (and consumes it); false consumes a lifetime.
+    fn lex_quote(&mut self) -> bool {
+        // `'\…'` is always a char literal.
+        if self.peek(1) == Some(b'\\') {
+            self.char_literal();
+            return true;
+        }
+        // `'X'` (one char then a quote) is a char literal; `'ident`
+        // with no closing quote is a lifetime. Multi-byte chars: `'é'`.
+        let rest = &self.src[self.pos + 1..];
+        let mut chars = rest.chars();
+        match chars.next() {
+            Some(c) if chars.as_str().starts_with('\'') => {
+                self.pos += 1 + c.len_utf8() + 1;
+                true
+            }
+            _ => {
+                self.pos += 1;
+                self.consume_while(is_ident_continue);
+                false
+            }
+        }
+    }
+
+    /// `pos` is on a leading digit.
+    fn number(&mut self) {
+        self.consume_while(is_ident_continue);
+        // Fraction: only when a digit follows the dot, so `0..n` and
+        // `1.max(2)` stay three/one tokens respectively.
+        if self.bytes.get(self.pos) == Some(&b'.')
+            && self.peek(1).is_some_and(|b| b.is_ascii_digit())
+        {
+            self.pos += 1;
+            self.consume_while(is_ident_continue);
+        }
+        // Exponent sign: `1e-5` / `2.5E+3` (the `e` was consumed above).
+        if matches!(self.bytes.get(self.pos), Some(b'+' | b'-'))
+            && self
+                .bytes
+                .get(self.pos - 1)
+                .is_some_and(|&b| b == b'e' || b == b'E')
+            && self.peek(1).is_some_and(|b| b.is_ascii_digit())
+        {
+            self.pos += 1;
+            self.consume_while(is_ident_continue);
+        }
+    }
+
+    /// `pos` is on the `/` of `/*`. Handles nesting.
+    fn block_comment(&mut self) {
+        self.pos += 2;
+        let mut depth = 1usize;
+        while self.pos < self.bytes.len() && depth > 0 {
+            match self.bytes[self.pos] {
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                b'/' if self.peek(1) == Some(b'*') => {
+                    depth += 1;
+                    self.pos += 2;
+                }
+                b'*' if self.peek(1) == Some(b'/') => {
+                    depth -= 1;
+                    self.pos += 2;
+                }
+                _ => self.pos += 1,
+            }
+        }
+    }
+}
+
+/// Reconstructs per-line source text with comments and every literal
+/// blanked out, so plain substring scans only ever see code. This is
+/// what the unsafe audit runs on (it predates the lexer; routing it
+/// through here adds raw-string correctness for free).
+pub fn code_lines(src: &str) -> Vec<String> {
+    let n_lines = src.lines().count().max(1) + usize::from(src.ends_with('\n'));
+    let mut lines = vec![String::new(); n_lines];
+    for tok in lex(src) {
+        if matches!(tok.kind, Kind::Comment | Kind::Str | Kind::Char) {
+            continue;
+        }
+        let line = &mut lines[tok.line - 1];
+        if !line.is_empty() {
+            line.push(' ');
+        }
+        // Multi-line tokens can only be literals/comments, both
+        // filtered above, so the whole text belongs to one line.
+        line.push_str(tok.text);
+    }
+    lines
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(Kind, &str)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_keywords_and_puncts() {
+        assert_eq!(
+            kinds("fn main() {}"),
+            vec![
+                (Kind::Ident, "fn"),
+                (Kind::Ident, "main"),
+                (Kind::Open, "("),
+                (Kind::Close, ")"),
+                (Kind::Open, "{"),
+                (Kind::Close, "}"),
+            ]
+        );
+    }
+
+    #[test]
+    fn nested_generics_close_as_single_puncts() {
+        // `Vec<Vec<u8>>` must not fuse `>>` into one token.
+        let toks = kinds("let x: Vec<Vec<u8>> = v;");
+        let closes: Vec<&str> = toks
+            .iter()
+            .filter(|(k, t)| *k == Kind::Punct && *t == ">")
+            .map(|(_, t)| *t)
+            .collect();
+        assert_eq!(closes.len(), 2);
+    }
+
+    #[test]
+    fn raw_strings_at_any_hash_depth() {
+        let toks = kinds(r####"let s = r#"quote " inside"#; let t = r##"deep "# inside"##;"####);
+        let strs: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == Kind::Str)
+            .map(|(_, t)| *t)
+            .collect();
+        assert_eq!(strs.len(), 2);
+        assert!(strs[0].contains("quote"));
+        assert!(strs[1].contains("deep"));
+        // Nothing after the raw strings leaked into them.
+        assert!(toks.iter().any(|(k, t)| *k == Kind::Ident && *t == "t"));
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings() {
+        let toks = kinds(r##"let a = b"bytes"; let b = br#"raw "bytes""#;"##);
+        assert_eq!(toks.iter().filter(|(k, _)| *k == Kind::Str).count(), 2);
+    }
+
+    #[test]
+    fn raw_idents_normalize() {
+        let toks = kinds("let r#fn = r#type;");
+        assert!(toks.iter().any(|(k, t)| *k == Kind::Ident && *t == "fn"));
+        assert!(toks.iter().any(|(k, t)| *k == Kind::Ident && *t == "type"));
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let q = '\"'; let n = '\\n'; }");
+        assert_eq!(toks.iter().filter(|(k, _)| *k == Kind::Lifetime).count(), 2);
+        assert_eq!(toks.iter().filter(|(k, _)| *k == Kind::Char).count(), 2);
+        // The '"' char literal must not open a string: the final `}`
+        // still lexes as a delimiter.
+        assert_eq!(toks.last().unwrap().0, Kind::Close);
+    }
+
+    #[test]
+    fn block_comments_nest_and_track_lines() {
+        let src = "a /* outer /* inner */ still */ b\nc";
+        let toks = lex(src);
+        assert_eq!(
+            toks.iter()
+                .map(|t| (t.kind, t.text, t.line))
+                .collect::<Vec<_>>(),
+            vec![
+                (Kind::Ident, "a", 1),
+                (Kind::Comment, "/* outer /* inner */ still */", 1),
+                (Kind::Ident, "b", 1),
+                (Kind::Ident, "c", 2),
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_with_fractions_exponents_and_ranges() {
+        assert_eq!(
+            kinds("1.0e-5 0..n 1.5_f64 0xff"),
+            vec![
+                (Kind::Num, "1.0e-5"),
+                (Kind::Num, "0"),
+                (Kind::Punct, "."),
+                (Kind::Punct, "."),
+                (Kind::Ident, "n"),
+                (Kind::Num, "1.5_f64"),
+                (Kind::Num, "0xff"),
+            ]
+        );
+    }
+
+    #[test]
+    fn code_lines_blank_comments_and_literals() {
+        let lines = code_lines("let s = \"has unsafe\"; // unsafe too\nunsafe { f() }\n");
+        assert!(!lines[0].contains("unsafe"));
+        assert!(lines[1].contains("unsafe"));
+    }
+
+    #[test]
+    fn code_lines_survive_raw_strings_with_quotes() {
+        let lines = code_lines("let s = r#\"one \" two\"#;\nlet t = 3;\n");
+        assert!(lines[0].contains("let s ="));
+        assert!(lines[1].contains("let t = 3"));
+    }
+
+    #[test]
+    fn multiline_string_keeps_line_numbers() {
+        let toks = lex("let s = \"a\nb\";\nlet t = 1;");
+        let t = toks.iter().find(|t| t.is_ident("t")).unwrap();
+        assert_eq!(t.line, 3);
+    }
+}

@@ -1,0 +1,295 @@
+//! `er-lint` — the project-invariant static-analysis engine behind
+//! `cargo xtask lint`.
+//!
+//! Five rules keyed to this repo's invariants (see `rules/`):
+//! `unordered_iteration`, `zero_alloc`, `dispatch`, `panic`,
+//! `obs_naming`. The engine is a hand-rolled miniature — a small Rust
+//! lexer plus a brace/item tracker, in the same vendored-miniature
+//! spirit as `vendor/loom` — because the invariants it proves are
+//! project-specific and the workspace is hermetic (no external deps).
+//!
+//! Violation lifecycle:
+//!
+//! 1. A rule fires on a line → suppressed if the line carries (or sits
+//!    under) `// er-lint: allow(<rule>) -- <reason>`, or the file has
+//!    a matching `allow-file`, or the line is `#[cfg(test)]`/
+//!    `#[cfg(debug_assertions)]`-gated.
+//! 2. Surviving violations are matched against the committed
+//!    `xtask/lint_baseline.json`: grandfathered ones pass (reported as
+//!    a count), **new ones fail the run**.
+//! 3. `--update-baseline` rewrites the baseline from the current tree
+//!    (for intentional grandfathering; the diff shows reviewers
+//!    exactly what was admitted). Output is deterministic — sorted,
+//!    timestamp-free — so regeneration is reviewable and CI can assert
+//!    byte-stability.
+//!
+//! Malformed `er-lint:` directives are hard errors, never baselined:
+//! a typo'd allow must not silently disable a rule.
+
+pub mod baseline;
+pub mod lexer;
+pub mod rules;
+pub mod source;
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+use std::path::Path;
+
+use crate::sources::{workspace_sources, SourceFile, SourceKind};
+use source::SourceModel;
+
+/// Every real rule name (the `directive` pseudo-rule — malformed
+/// annotations — is not allowable and so not listed).
+pub const RULES: [&str; 5] = [
+    "unordered_iteration",
+    "zero_alloc",
+    "dispatch",
+    "panic",
+    "obs_naming",
+];
+
+/// One lint finding.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Trimmed source text of the line (the baseline key).
+    pub text: String,
+    pub message: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Everything one lint pass produces, before baseline filtering.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    pub violations: Vec<Violation>,
+    pub directive_errors: Vec<Violation>,
+}
+
+/// Lints a set of already-loaded files. Separated from the filesystem
+/// walk so tests can run the engine over fixture files.
+pub fn lint_files(files: &[(String, SourceKind, String, String)]) -> LintReport {
+    let mut report = LintReport::default();
+    let mut registrations = Vec::new();
+    for (krate, kind, rel, text) in files {
+        let m = SourceModel::build(krate, *kind, rel, text);
+        report
+            .directive_errors
+            .extend(m.directive_errors.iter().cloned());
+        let out = &mut report.violations;
+        if matches!(kind, SourceKind::Lib | SourceKind::Bin | SourceKind::Xtask) {
+            rules::unordered_iteration::check(&m, out);
+        }
+        rules::zero_alloc::check(&m, out);
+        if matches!(kind, SourceKind::Lib | SourceKind::Bin) {
+            rules::dispatch::check(&m, out);
+        }
+        rules::panic::check(&m, out);
+        if matches!(kind, SourceKind::Lib | SourceKind::Bin | SourceKind::Bench) {
+            rules::obs_naming::check(&m, out, &mut registrations);
+        }
+    }
+    report
+        .violations
+        .extend(rules::obs_naming::finish(&registrations));
+    // File order is already deterministic; make line order within the
+    // merged (per-rule + global) stream deterministic too.
+    report
+        .violations
+        .sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    report
+}
+
+/// Reads and lints every first-party source under `root`.
+pub fn lint_workspace(root: &Path) -> Result<LintReport, String> {
+    let sources = workspace_sources(root)?;
+    let mut files = Vec::new();
+    for SourceFile {
+        krate,
+        kind,
+        path,
+        rel,
+    } in sources
+    {
+        // Tests/examples are never linted (every rule exempts them);
+        // skipping the read keeps the pass fast.
+        if matches!(kind, SourceKind::Test | SourceKind::Example) {
+            continue;
+        }
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        files.push((krate, kind, rel, text));
+    }
+    Ok(lint_files(&files))
+}
+
+/// The outcome of matching a report against the baseline.
+pub struct Outcome {
+    /// Violations not in the baseline — these fail the run.
+    pub fresh: Vec<Violation>,
+    /// Count of grandfathered violations that still fire.
+    pub baselined: usize,
+    /// Baseline entries that no longer fire (fixed or moved): stale,
+    /// reported so `--update-baseline` gets run, but never fatal.
+    pub stale: Vec<baseline::Entry>,
+}
+
+/// Splits `violations` into fresh vs baselined and finds stale entries.
+pub fn against_baseline(violations: &[Violation], entries: &[baseline::Entry]) -> Outcome {
+    let known: BTreeSet<&baseline::Entry> = entries.iter().collect();
+    let keys = baseline::keyed(violations);
+    let mut fresh = Vec::new();
+    let mut baselined = 0usize;
+    let mut seen: BTreeSet<&baseline::Entry> = BTreeSet::new();
+    for (v, key) in violations.iter().zip(&keys) {
+        match known.get(key) {
+            Some(entry) => {
+                seen.insert(entry);
+                baselined += 1;
+            }
+            None => fresh.push(v.clone()),
+        }
+    }
+    let stale = entries
+        .iter()
+        .filter(|e| !seen.contains(e))
+        .cloned()
+        .collect();
+    Outcome {
+        fresh,
+        baselined,
+        stale,
+    }
+}
+
+/// Markdown drift summary for CI step summaries.
+pub fn render_summary(outcome: &Outcome, violations: &[Violation]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "### er-lint");
+    let _ = writeln!(
+        out,
+        "\n{} violation(s): {} new, {} baselined, {} stale baseline entr(ies).\n",
+        violations.len(),
+        outcome.fresh.len(),
+        outcome.baselined,
+        outcome.stale.len()
+    );
+    if !violations.is_empty() {
+        let _ = writeln!(out, "| rule | firing |");
+        let _ = writeln!(out, "| --- | ---: |");
+        for rule in RULES {
+            let n = violations.iter().filter(|v| v.rule == rule).count();
+            if n > 0 {
+                let _ = writeln!(out, "| {rule} | {n} |");
+            }
+        }
+        let _ = writeln!(out);
+    }
+    if !outcome.fresh.is_empty() {
+        let _ = writeln!(out, "**New violations (failing):**\n");
+        for v in &outcome.fresh {
+            let _ = writeln!(out, "- `{}:{}` [{}] {}", v.path, v.line, v.rule, v.message);
+        }
+        let _ = writeln!(out);
+    }
+    if !outcome.stale.is_empty() {
+        let _ = writeln!(
+            out,
+            "**Stale baseline entries** (fixed since grandfathering — run \
+             `cargo xtask lint --update-baseline` to shrink the baseline):\n"
+        );
+        for e in &outcome.stale {
+            let _ = writeln!(out, "- `{}` [{}] `{}`", e.path, e.rule, e.text);
+        }
+    }
+    out
+}
+
+/// `cargo xtask lint [--update-baseline] [--summary-out <path>]`.
+pub fn cli(args: &[String], root: &Path) -> Result<(), String> {
+    let mut update = false;
+    let mut summary_out = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--update-baseline" => update = true,
+            "--summary-out" => {
+                summary_out = Some(it.next().ok_or("--summary-out needs a path")?.to_owned());
+            }
+            other => return Err(format!("unknown lint flag `{other}`")),
+        }
+    }
+    run(root, update, summary_out.as_deref())
+}
+
+/// The full pass: lint, baseline-match, report. Errors on new
+/// violations or malformed directives (unless `--update-baseline`
+/// grandfathers the former).
+pub fn run(root: &Path, update_baseline: bool, summary_out: Option<&str>) -> Result<(), String> {
+    let baseline_path = root.join("xtask/lint_baseline.json");
+    let report = lint_workspace(root)?;
+    for err in &report.directive_errors {
+        eprintln!("xtask lint: {err}");
+    }
+    if update_baseline {
+        let rendered = baseline::render(&baseline::keyed(&report.violations));
+        std::fs::write(&baseline_path, &rendered)
+            .map_err(|e| format!("write {}: {e}", baseline_path.display()))?;
+        eprintln!(
+            "xtask lint: baseline updated with {} entr(ies) at {}",
+            report.violations.len(),
+            baseline_path.display()
+        );
+    }
+    let entries = baseline::load(&baseline_path)?;
+    let outcome = against_baseline(&report.violations, &entries);
+    for v in &outcome.fresh {
+        eprintln!("xtask lint: {v}");
+    }
+    for e in &outcome.stale {
+        eprintln!(
+            "xtask lint: stale baseline entry [{}] {} `{}` (run --update-baseline)",
+            e.rule, e.path, e.text
+        );
+    }
+    if let Some(path) = summary_out {
+        std::fs::write(path, render_summary(&outcome, &report.violations))
+            .map_err(|e| format!("write {path}: {e}"))?;
+    }
+    eprintln!(
+        "xtask lint: {} violation(s) — {} new, {} baselined, {} stale",
+        report.violations.len(),
+        outcome.fresh.len(),
+        outcome.baselined,
+        outcome.stale.len()
+    );
+    if !report.directive_errors.is_empty() {
+        return Err(format!(
+            "{} malformed er-lint directive(s) (never baselined)",
+            report.directive_errors.len()
+        ));
+    }
+    if !outcome.fresh.is_empty() {
+        return Err(format!(
+            "{} new lint violation(s); fix them, add `// er-lint: allow(<rule>) -- reason`, \
+             or (for intentional grandfathering) run `cargo xtask lint --update-baseline`",
+            outcome.fresh.len()
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,76 @@
+//! Rule `dispatch`: every pooled region must sit under a
+//! `pool.dispatch(…)` cost-model decision.
+//!
+//! PR 6 fixed the parallel-scaling inversion by routing every pooled
+//! call site through `DispatchPolicy` — small inputs run serial-inline
+//! instead of paying queue coordination. Nothing but review stops the
+//! next pooled call site from skipping that decision and reintroducing
+//! the t4 > t1 inversion, so this rule flags any `.scope(…)`,
+//! `.for_each_range(…)` or `.score_pairs_pooled(…)` call in a function
+//! that does not evaluate `.dispatch(…)` earlier in its own body.
+//!
+//! Functions that receive an already-made decision (the caller
+//! dispatched and passed a pre-filtered `Option<&WorkerPool>`) carry
+//! `// er-lint: allow(dispatch) -- decision made in <caller>` — the
+//! point is that every pooled region names where its cost decision
+//! lives, in the source, next to the call.
+
+use super::{at, code_indices};
+use crate::lint::lexer::Kind;
+use crate::lint::source::SourceModel;
+use crate::lint::Violation;
+
+/// Methods that enqueue work on the shared pool.
+const POOLED: [&str; 3] = ["scope", "for_each_range", "score_pairs_pooled"];
+
+pub fn check(m: &SourceModel<'_>, out: &mut Vec<Violation>) {
+    // er-pool implements the primitives; it cannot dispatch to itself.
+    if m.krate == "pool" {
+        return;
+    }
+    let code = code_indices(m);
+    for ci in 0..code.len() {
+        let tok = &m.toks[code[ci]];
+        if tok.kind != Kind::Ident || !POOLED.contains(&tok.text) {
+            continue;
+        }
+        // Method-call position only: `recv.method(`. Definitions
+        // (`fn score_pairs_pooled(`) have no leading dot.
+        let called = ci > 0
+            && at(m, &code, ci - 1).is_some_and(|t| t.is_punct('.'))
+            && at(m, &code, ci + 1).is_some_and(|t| t.is_punct('('));
+        if !called {
+            continue;
+        }
+        let ti = code[ci];
+        let Some(f) = m.enclosing_fn(ti) else {
+            continue;
+        };
+        // Compliant when `.dispatch(` appears earlier in the same body.
+        let decided = code
+            .iter()
+            .enumerate()
+            .take_while(|&(_, &t)| t < ti)
+            .any(|(cj, &tj)| {
+                f.body.contains(&tj)
+                    && m.toks[tj].is_ident("dispatch")
+                    && cj > 0
+                    && at(m, &code, cj - 1).is_some_and(|t| t.is_punct('.'))
+                    && at(m, &code, cj + 1).is_some_and(|t| t.is_punct('('))
+            });
+        if !decided {
+            m.report(
+                out,
+                "dispatch",
+                tok.line,
+                format!(
+                    "pooled call `.{}(…)` in `fn {}` (line {}) is not under a \
+                     `pool.dispatch(…)` decision; route it through the cost model, or state \
+                     where the decision is made: \
+                     `// er-lint: allow(dispatch) -- decided in <caller>`",
+                    tok.text, f.name, f.line
+                ),
+            );
+        }
+    }
+}

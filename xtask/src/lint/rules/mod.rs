@@ -1,0 +1,41 @@
+//! The five `er-lint` rules. Each rule is a pure function from a
+//! [`SourceModel`] to violations; `obs_naming` additionally feeds a
+//! workspace-global uniqueness pass (see [`obs_naming::finish`]).
+//!
+//! | rule                  | scope                      | invariant it proves                                   |
+//! |-----------------------|----------------------------|-------------------------------------------------------|
+//! | `unordered_iteration` | lib, bin, xtask (non-test) | no HashMap/HashSet iteration on deterministic paths   |
+//! | `zero_alloc`          | `// er-lint: zero-alloc` fns | no allocating constructs in marked hot kernels      |
+//! | `dispatch`            | lib, bin (non-test)        | every pooled region sits under `pool.dispatch(…)`     |
+//! | `panic`               | lib (non-test, non-debug)  | no `unwrap()`/`expect(`/`panic!` in library code      |
+//! | `obs_naming`          | lib, bin, bench (non-test) | er-obs names are `dotted.snake_case`, unique per file |
+
+pub mod dispatch;
+pub mod obs_naming;
+pub mod panic;
+pub mod unordered_iteration;
+pub mod zero_alloc;
+
+use super::lexer::{Kind, Tok};
+use super::source::SourceModel;
+
+/// Indices of non-comment tokens, so rules can pattern-match on code
+/// with straight lookahead while keeping original token indices (for
+/// [`SourceModel::enclosing_fn`]) and line numbers.
+pub fn code_indices(m: &SourceModel<'_>) -> Vec<usize> {
+    (0..m.toks.len())
+        .filter(|&i| m.toks[i].kind != Kind::Comment)
+        .collect()
+}
+
+/// Token at code-index `ci` of `code`, if in range.
+pub fn at<'m, 'a>(m: &'m SourceModel<'a>, code: &[usize], ci: usize) -> Option<&'m Tok<'a>> {
+    code.get(ci).map(|&ti| &m.toks[ti])
+}
+
+/// True when the code tokens at `ci..` are `:: ident` with this text.
+pub fn path_seg(m: &SourceModel<'_>, code: &[usize], ci: usize, text: &str) -> bool {
+    at(m, code, ci).is_some_and(|t| t.is_punct(':'))
+        && at(m, code, ci + 1).is_some_and(|t| t.is_punct(':'))
+        && at(m, code, ci + 2).is_some_and(|t| t.is_ident(text))
+}

@@ -1,0 +1,66 @@
+//! Rule `panic`: no `unwrap()` / `expect(…)` / `panic!(…)` in library
+//! crates outside `#[cfg(test)]` modules and debug validators.
+//!
+//! The library crates are headed for an always-on serving path
+//! (`er-serve` on the ROADMAP): a panic in a scoring loop is a crashed
+//! worker, not a failed request. Fallible paths should return
+//! `Result`; lookups whose failure is a bug should use invariant-
+//! checked indexing (a checked helper, or indexing that the type's
+//! construction already bounds). A genuinely unreachable panic — an
+//! invariant the module itself establishes — stays, with
+//! `// er-lint: allow(panic) -- <the invariant>` naming it.
+//!
+//! `#[cfg(test)]` and `#[cfg(debug_assertions)]` regions are exempt
+//! (tests and debug validators *should* fail loudly), as are
+//! `debug_assert!`-family macros (compiled out in release).
+
+use super::{at, code_indices};
+use crate::lint::lexer::Kind;
+use crate::lint::source::SourceKind;
+use crate::lint::source::SourceModel;
+use crate::lint::Violation;
+
+pub fn check(m: &SourceModel<'_>, out: &mut Vec<Violation>) {
+    if m.kind != SourceKind::Lib {
+        return;
+    }
+    let code = code_indices(m);
+    for ci in 0..code.len() {
+        let tok = &m.toks[code[ci]];
+        if tok.kind != Kind::Ident {
+            continue;
+        }
+        let hit = match tok.text {
+            // `.unwrap()` exactly — `unwrap_or(…)` is a different ident
+            // and fine.
+            "unwrap"
+                if ci > 0
+                    && at(m, &code, ci - 1).is_some_and(|t| t.is_punct('.'))
+                    && at(m, &code, ci + 1).is_some_and(|t| t.is_punct('('))
+                    && at(m, &code, ci + 2).is_some_and(|t| t.is_punct(')')) =>
+            {
+                Some("`.unwrap()`")
+            }
+            "expect"
+                if ci > 0
+                    && at(m, &code, ci - 1).is_some_and(|t| t.is_punct('.'))
+                    && at(m, &code, ci + 1).is_some_and(|t| t.is_punct('(')) =>
+            {
+                Some("`.expect(…)`")
+            }
+            "panic" if at(m, &code, ci + 1).is_some_and(|t| t.is_punct('!')) => Some("`panic!(…)`"),
+            _ => None,
+        };
+        if let Some(what) = hit {
+            m.report(
+                out,
+                "panic",
+                tok.line,
+                format!(
+                    "{what} in library code: return `Result`, use invariant-checked \
+                     indexing, or justify with `// er-lint: allow(panic) -- <invariant>`"
+                ),
+            );
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! Rule `unordered_iteration`: no iteration over `HashMap`/`HashSet`
+//! in first-party non-test code.
+//!
+//! The framework's headline guarantee is bit-identical fusion output at
+//! any thread count; `std::collections` hash iteration order varies per
+//! process (`RandomState`), so a single `for (k, v) in &map` in a
+//! scoring loop silently breaks it. The rule tracks identifiers bound
+//! to hash collections — `let` bindings (by annotation or constructor),
+//! fn parameters and struct fields — and flags order-exposing uses:
+//! `.iter()`, `.iter_mut()`, `.keys()`, `.values()`, `.values_mut()`,
+//! `.drain()`, `.into_iter()`, `.into_keys()`, `.into_values()`, and
+//! direct `for … in [&[mut]] binding` loops.
+//!
+//! Order-insensitive uses (`.get`, `.insert`, `.contains_key`,
+//! `.len()`) are fine and never flagged. Justified iteration — feeding
+//! a sort, a commutative fold — takes
+//! `// er-lint: allow(unordered_iteration) -- <why order cannot leak>`.
+
+use std::collections::BTreeSet;
+
+use super::{at, code_indices};
+use crate::lint::lexer::Kind;
+use crate::lint::source::SourceModel;
+use crate::lint::Violation;
+
+const HASH_TYPES: [&str; 2] = ["HashMap", "HashSet"];
+const ITER_METHODS: [&str; 9] = [
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+];
+
+pub fn check(m: &SourceModel<'_>, out: &mut Vec<Violation>) {
+    let code = code_indices(m);
+    let bindings = collect_bindings(m, &code);
+    if bindings.is_empty() {
+        return;
+    }
+    flag_method_calls(m, &code, &bindings, out);
+    flag_for_loops(m, &code, &bindings, out);
+}
+
+/// Identifiers bound to a HashMap/HashSet anywhere in the file. The
+/// tracking is file-global and flow-insensitive — deliberately coarse
+/// for a lint: a false positive takes an allow-comment, a false
+/// negative is caught by the next reviewer.
+fn collect_bindings(m: &SourceModel<'_>, code: &[usize]) -> BTreeSet<String> {
+    let mut bound = BTreeSet::new();
+    for ci in 0..code.len() {
+        let tok = &m.toks[code[ci]];
+        // `let [mut] name …;` — bind when a hash type appears anywhere
+        // before the statement's `;` (covers `let m: HashMap<…> = …`,
+        // `let m = HashMap::new()`, and collect-into-annotated forms).
+        if tok.is_ident("let") {
+            let mut j = ci + 1;
+            if at(m, code, j).is_some_and(|t| t.is_ident("mut")) {
+                j += 1;
+            }
+            let Some(name) = at(m, code, j).filter(|t| t.kind == Kind::Ident) else {
+                continue;
+            };
+            let name = name.text.to_owned();
+            let mut depth = 0usize;
+            for &ti in &code[j + 1..] {
+                let t = &m.toks[ti];
+                match t.kind {
+                    Kind::Open => depth += 1,
+                    Kind::Close => {
+                        if depth == 0 {
+                            break;
+                        }
+                        depth -= 1;
+                    }
+                    Kind::Punct if t.text == ";" && depth == 0 => break,
+                    Kind::Ident if HASH_TYPES.contains(&t.text) => {
+                        bound.insert(name.clone());
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            continue;
+        }
+        // `name: …HashMap…` up to the next `,` / `)` / `;` / `{` / `=`
+        // at the same depth — fn parameters and struct fields.
+        if tok.kind == Kind::Ident && at(m, code, ci + 1).is_some_and(|t| t.is_punct(':')) {
+            // Exclude `::` paths and `name::<…>`.
+            if at(m, code, ci + 2).is_some_and(|t| t.is_punct(':')) {
+                continue;
+            }
+            let mut depth = 0usize;
+            for &ti in &code[ci + 2..] {
+                let t = &m.toks[ti];
+                match t.kind {
+                    Kind::Open => depth += 1,
+                    Kind::Close if depth == 0 => break,
+                    Kind::Close => depth -= 1,
+                    Kind::Punct
+                        if depth == 0 && (t.text == "," || t.text == ";" || t.text == "=") =>
+                    {
+                        break;
+                    }
+                    Kind::Ident if HASH_TYPES.contains(&t.text) => {
+                        bound.insert(tok.text.to_owned());
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    bound
+}
+
+/// `binding.iter()` and friends, including `self.field.keys()`.
+fn flag_method_calls(
+    m: &SourceModel<'_>,
+    code: &[usize],
+    bound: &BTreeSet<String>,
+    out: &mut Vec<Violation>,
+) {
+    for ci in 0..code.len() {
+        let recv = &m.toks[code[ci]];
+        if recv.kind != Kind::Ident || !bound.contains(recv.text) {
+            continue;
+        }
+        if !at(m, code, ci + 1).is_some_and(|t| t.is_punct('.')) {
+            continue;
+        }
+        let Some(method) = at(m, code, ci + 2).filter(|t| t.kind == Kind::Ident) else {
+            continue;
+        };
+        if ITER_METHODS.contains(&method.text)
+            && at(m, code, ci + 3).is_some_and(|t| t.is_punct('('))
+        {
+            m.report(
+                out,
+                "unordered_iteration",
+                method.line,
+                format!(
+                    "`.{}()` on hash collection `{}`: iteration order is nondeterministic \
+                     (breaks bit-identical output); use a sorted Vec/BTreeMap, or sort the \
+                     result before it can influence anything ordered",
+                    method.text, recv.text
+                ),
+            );
+        }
+    }
+}
+
+/// `for pat in [&[mut]] binding { … }` (method-call forms like
+/// `for k in map.keys()` are caught by [`flag_method_calls`]).
+fn flag_for_loops(
+    m: &SourceModel<'_>,
+    code: &[usize],
+    bound: &BTreeSet<String>,
+    out: &mut Vec<Violation>,
+) {
+    for ci in 0..code.len() {
+        if !m.toks[code[ci]].is_ident("for") {
+            continue;
+        }
+        // Find `in` at pattern depth 0 within a short window (patterns
+        // like `(k, v)` nest one level).
+        let mut depth = 0usize;
+        let mut in_at = None;
+        for (k, &ti) in code.iter().enumerate().skip(ci + 1).take(11) {
+            let t = &m.toks[ti];
+            match t.kind {
+                Kind::Open => depth += 1,
+                Kind::Close => depth = depth.saturating_sub(1),
+                Kind::Ident if t.text == "in" && depth == 0 => {
+                    in_at = Some(k);
+                    break;
+                }
+                _ => {}
+            }
+        }
+        let Some(mut j) = in_at else { continue };
+        j += 1;
+        while at(m, code, j).is_some_and(|t| t.is_punct('&') || t.is_ident("mut")) {
+            j += 1;
+        }
+        let Some(name) = at(m, code, j).filter(|t| t.kind == Kind::Ident) else {
+            continue;
+        };
+        if !bound.contains(name.text) {
+            continue;
+        }
+        // Only a direct iteration: the loop body must open right after
+        // the binding (anything else — `.keys()`, indexing — is either
+        // flagged elsewhere or not hash iteration).
+        if at(m, code, j + 1).is_some_and(|t| t.kind == Kind::Open && t.text == "{") {
+            m.report(
+                out,
+                "unordered_iteration",
+                name.line,
+                format!(
+                    "`for … in {0}` iterates hash collection `{0}` in nondeterministic \
+                     order (breaks bit-identical output); iterate a sorted view instead",
+                    name.text
+                ),
+            );
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Rule `zero_alloc`: functions annotated `// er-lint: zero-alloc` may
+//! not contain allocating constructs.
+//!
+//! PR 3 made the CliqueRank recurrences, ITER sweeps and packed GEMM
+//! zero-allocation at steady state, pinned *dynamically* by a counting
+//! `GlobalAlloc` test. This rule is the static complement: the marked
+//! kernels reject `Vec::new`/`vec![…]`/`.collect()`/`Box::new`/
+//! `.to_vec()`/`String::from`/`format!` (and close cousins:
+//! `with_capacity`, `.to_string()`, `.to_owned()`, `String::new`) at
+//! review time, before the allocator test ever runs. A justified
+//! cold-path allocation inside a marked fn takes
+//! `// er-lint: allow(zero_alloc) -- <why it is not on the hot path>`.
+
+use super::{at, code_indices, path_seg};
+use crate::lint::lexer::Kind;
+use crate::lint::source::SourceModel;
+use crate::lint::Violation;
+
+/// `Type::method` constructor forms that allocate.
+const CTORS: [(&str, &str); 7] = [
+    ("Vec", "new"),
+    ("Vec", "with_capacity"),
+    ("Box", "new"),
+    ("String", "new"),
+    ("String", "from"),
+    ("String", "with_capacity"),
+    ("Vec", "from"),
+];
+
+/// `.method(` forms that allocate.
+const METHODS: [&str; 4] = ["collect", "to_vec", "to_string", "to_owned"];
+
+/// `name!(…)` macros that allocate.
+const MACROS: [&str; 2] = ["vec", "format"];
+
+pub fn check(m: &SourceModel<'_>, out: &mut Vec<Violation>) {
+    let code = code_indices(m);
+    for f in m.fns.iter().filter(|f| f.zero_alloc) {
+        for (ci, &ti) in code.iter().enumerate() {
+            if !f.body.contains(&ti) {
+                continue;
+            }
+            let tok = &m.toks[ti];
+            if tok.kind != Kind::Ident {
+                continue;
+            }
+            let hit = if MACROS.contains(&tok.text)
+                && at(m, &code, ci + 1).is_some_and(|t| t.is_punct('!'))
+            {
+                Some(format!("`{}!(…)`", tok.text))
+            } else if CTORS
+                .iter()
+                .any(|&(ty, meth)| tok.text == ty && path_seg(m, &code, ci + 1, meth))
+            {
+                let meth = at(m, &code, ci + 3).map_or("?", |t| t.text);
+                Some(format!("`{}::{meth}`", tok.text))
+            } else if METHODS.contains(&tok.text)
+                && ci > 0
+                && at(m, &code, ci - 1).is_some_and(|t| t.is_punct('.'))
+                && at(m, &code, ci + 1).is_some_and(|t| t.is_punct('(') || t.is_punct(':'))
+            {
+                // `.collect()` and turbofished `.collect::<Vec<_>>()`.
+                Some(format!("`.{}(…)`", tok.text))
+            } else {
+                None
+            };
+            if let Some(what) = hit {
+                m.report(
+                    out,
+                    "zero_alloc",
+                    tok.line,
+                    format!(
+                        "{what} allocates inside `fn {}`, which is marked \
+                         `// er-lint: zero-alloc`; use the scratch arenas \
+                         (`MatrixArena`/`ScratchSlot`) or hoist the allocation to setup",
+                        f.name
+                    ),
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,594 @@
+//! Per-file source model for `er-lint`: a brace/item tracker over the
+//! token stream plus the annotation grammar.
+//!
+//! From one lexed file this derives everything the rules consume:
+//!
+//! * **Function spans** — each `fn`, its name, header line and body
+//!   token range (brace-matched, with paren tracking so argument lists
+//!   and trait-fn declarations without bodies are handled).
+//! * **Gated lines** — lines under `#[cfg(test)]` / `#[cfg(any(…,
+//!   test, …))]` items or `#[cfg(debug_assertions)]` debug validators.
+//!   Rules skip them: tests and debug-only checks may panic, allocate
+//!   and iterate however they like. `cfg(not(test))` is production
+//!   code and is *not* gated.
+//! * **Annotations** — the `er-lint` comment grammar:
+//!   * `// er-lint: zero-alloc` — marks the next `fn` as a zero-alloc
+//!     region (within 8 lines, attributes allowed between).
+//!   * `// er-lint: allow(<rule>) -- <reason>` — suppresses `<rule>` on
+//!     the same line, or on the next line when the comment stands
+//!     alone. The reason is mandatory.
+//!   * `// er-lint: allow-file(<rule>) -- <reason>` — suppresses the
+//!     rule for the whole file (for e.g. a retained HashMap oracle).
+//!
+//!   Malformed directives (unknown rule name, missing `-- reason`) are
+//!   themselves violations, so a typo'd allow cannot silently disable
+//!   anything.
+
+use std::collections::BTreeSet;
+
+use super::lexer::{self, Kind, Tok};
+use super::{Violation, RULES};
+
+/// The directive body of a comment token: `Some` only for a *plain*
+/// comment whose first word is `er-lint:`. Doc comments (`///`, `//!`,
+/// `/**`, `/*!`) and prose that merely mentions the grammar mid-comment
+/// are never parsed as directives.
+fn directive_text(comment: &str) -> Option<&str> {
+    let body = if let Some(rest) = comment.strip_prefix("//") {
+        if rest.starts_with('/') || rest.starts_with('!') {
+            return None;
+        }
+        rest
+    } else if let Some(rest) = comment.strip_prefix("/*") {
+        if rest.starts_with('*') || rest.starts_with('!') {
+            return None;
+        }
+        rest.trim_end_matches("*/")
+    } else {
+        comment
+    };
+    body.trim().strip_prefix("er-lint:").map(str::trim)
+}
+
+/// True when only comments, attributes (`#[…]`) and fn-header keywords
+/// (`pub(crate)`, `unsafe`, `const`, `async`, `extern "C"`) stand
+/// between token `from` and the `fn` keyword at `fn_idx` — i.e. the fn
+/// really is the next item after a `zero-alloc` mark.
+fn mark_precedes_fn(toks: &[Tok<'_>], mut from: usize, fn_idx: usize) -> bool {
+    while from < fn_idx {
+        let t = &toks[from];
+        match t.kind {
+            Kind::Comment | Kind::Str => from += 1,
+            Kind::Punct
+                if t.text == "#"
+                    && toks
+                        .get(from + 1)
+                        .is_some_and(|n| n.kind == Kind::Open && n.text == "[") =>
+            {
+                let mut depth = 1usize;
+                from += 2;
+                while from < fn_idx && depth > 0 {
+                    match toks[from].kind {
+                        Kind::Open => depth += 1,
+                        Kind::Close => depth -= 1,
+                        _ => {}
+                    }
+                    from += 1;
+                }
+                if depth > 0 {
+                    return false;
+                }
+            }
+            Kind::Open | Kind::Close if t.text == "(" || t.text == ")" => from += 1,
+            Kind::Ident
+                if matches!(
+                    t.text,
+                    "pub"
+                        | "crate"
+                        | "super"
+                        | "self"
+                        | "in"
+                        | "unsafe"
+                        | "const"
+                        | "async"
+                        | "extern"
+                ) =>
+            {
+                from += 1;
+            }
+            _ => return false,
+        }
+    }
+    true
+}
+
+/// Where a first-party file lives; rules scope themselves by this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SourceKind {
+    /// `crates/*/src` — library code, every rule applies.
+    Lib,
+    /// Root `src/` — the CLI binary crate.
+    Bin,
+    /// `xtask/src` — workspace automation.
+    Xtask,
+    /// `crates/*/benches` — bench harnesses.
+    Bench,
+    /// `tests/` integration-test directories.
+    Test,
+    /// `examples/`.
+    Example,
+}
+
+/// One `fn` item and the facts the rules need about it.
+#[derive(Debug)]
+pub struct FnSpan {
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// Token-index range of the body, *inside* the braces. Empty for
+    /// bodiless trait-fn declarations.
+    pub body: std::ops::Range<usize>,
+    /// Annotated `// er-lint: zero-alloc`.
+    pub zero_alloc: bool,
+}
+
+/// A fully analyzed source file.
+pub struct SourceModel<'a> {
+    pub krate: String,
+    pub kind: SourceKind,
+    /// Workspace-relative path with `/` separators (baseline key).
+    pub rel_path: String,
+    pub lines: Vec<&'a str>,
+    pub toks: Vec<Tok<'a>>,
+    pub fns: Vec<FnSpan>,
+    /// `gated[line-1]` ⇒ the line sits under cfg(test)/cfg(debug_assertions).
+    gated: Vec<bool>,
+    /// (rule, line) pairs suppressed by `allow(...)` comments.
+    allows: BTreeSet<(&'static str, usize)>,
+    /// Rules suppressed file-wide by `allow-file(...)`.
+    allow_file: BTreeSet<&'static str>,
+    /// Malformed-directive violations found while parsing annotations.
+    pub directive_errors: Vec<Violation>,
+}
+
+impl<'a> SourceModel<'a> {
+    pub fn build(krate: &str, kind: SourceKind, rel_path: &str, src: &'a str) -> Self {
+        let toks = lexer::lex(src);
+        let n_lines = src.lines().count().max(1);
+        let mut model = SourceModel {
+            krate: krate.to_owned(),
+            kind,
+            rel_path: rel_path.to_owned(),
+            lines: src.lines().collect(),
+            toks,
+            fns: Vec::new(),
+            gated: vec![false; n_lines + 1],
+            allows: BTreeSet::new(),
+            allow_file: BTreeSet::new(),
+            directive_errors: Vec::new(),
+        };
+        let zero_alloc_marks = model.scan_annotations();
+        model.scan_gated_regions();
+        model.scan_fns(&zero_alloc_marks);
+        model
+    }
+
+    /// True when `line` (1-based) is under cfg(test)/cfg(debug_assertions).
+    pub fn is_gated(&self, line: usize) -> bool {
+        self.gated.get(line - 1).copied().unwrap_or(false)
+    }
+
+    /// True when `rule` is suppressed at `line` by an allow comment or
+    /// a file-wide allow.
+    pub fn is_allowed(&self, rule: &'static str, line: usize) -> bool {
+        self.allow_file.contains(rule) || self.allows.contains(&(rule, line))
+    }
+
+    /// The innermost `fn` whose body contains token index `ti`.
+    pub fn enclosing_fn(&self, ti: usize) -> Option<&FnSpan> {
+        self.fns
+            .iter()
+            .filter(|f| f.body.contains(&ti))
+            .min_by_key(|f| f.body.len())
+    }
+
+    /// Emits `violation` unless its line is allowed or gated.
+    pub fn report(
+        &self,
+        out: &mut Vec<Violation>,
+        rule: &'static str,
+        line: usize,
+        message: String,
+    ) {
+        if self.is_gated(line) || self.is_allowed(rule, line) {
+            return;
+        }
+        out.push(self.violation(rule, line, message));
+    }
+
+    /// Builds a violation record without the gating/allow filter (for
+    /// directive errors, which must not be suppressible).
+    pub fn violation(&self, rule: &'static str, line: usize, message: String) -> Violation {
+        Violation {
+            rule,
+            path: self.rel_path.clone(),
+            line,
+            text: self
+                .lines
+                .get(line - 1)
+                .map(|l| l.trim().to_owned())
+                .unwrap_or_default(),
+            message,
+        }
+    }
+
+    /// Parses every `er-lint:` comment. Returns the token indices of
+    /// `zero-alloc` marks for `scan_fns` to attach.
+    fn scan_annotations(&mut self) -> Vec<usize> {
+        let mut marks = Vec::new();
+        let mut prev_line = 0usize;
+        let mut errors = Vec::new();
+        for (ti, tok) in self.toks.iter().enumerate() {
+            let first_on_line = tok.line != prev_line;
+            prev_line = tok.line;
+            if tok.kind != Kind::Comment {
+                continue;
+            }
+            let Some(directive) = directive_text(tok.text) else {
+                continue;
+            };
+            if directive == "zero-alloc" {
+                marks.push(ti);
+                continue;
+            }
+            let (form, file_wide) = if let Some(rest) = directive.strip_prefix("allow-file(") {
+                (rest, true)
+            } else if let Some(rest) = directive.strip_prefix("allow(") {
+                (rest, false)
+            } else {
+                errors.push((
+                    tok.line,
+                    format!(
+                        "unrecognized er-lint directive `{directive}` (expected `zero-alloc`, \
+                     `allow(<rule>) -- reason` or `allow-file(<rule>) -- reason`)"
+                    ),
+                ));
+                continue;
+            };
+            let Some((rule_name, rest)) = form.split_once(')') else {
+                errors.push((tok.line, "malformed er-lint allow: missing `)`".into()));
+                continue;
+            };
+            let Some(rule) = RULES.iter().copied().find(|r| *r == rule_name.trim()) else {
+                errors.push((
+                    tok.line,
+                    format!(
+                        "unknown er-lint rule `{}` (known: {})",
+                        rule_name.trim(),
+                        RULES.join(", ")
+                    ),
+                ));
+                continue;
+            };
+            let reason_ok = rest
+                .split_once("--")
+                .is_some_and(|(_, reason)| !reason.trim().is_empty());
+            if !reason_ok {
+                errors.push((
+                    tok.line,
+                    format!("er-lint allow({rule}) needs a justification: `-- <reason>`"),
+                ));
+                continue;
+            }
+            if file_wide {
+                self.allow_file.insert(rule);
+            } else {
+                self.allows.insert((rule, tok.line));
+                if first_on_line {
+                    // A comment standing on its own line covers the
+                    // line below it.
+                    self.allows.insert((rule, tok.line + 1));
+                }
+            }
+        }
+        for (line, msg) in errors {
+            let v = self.violation("directive", line, msg);
+            self.directive_errors.push(v);
+        }
+        marks
+    }
+
+    /// Marks line ranges of items under `#[cfg(test)]` or
+    /// `#[cfg(debug_assertions)]` attributes.
+    fn scan_gated_regions(&mut self) {
+        let toks = &self.toks;
+        let mut i = 0;
+        while i < toks.len() {
+            if !(toks[i].is_punct('#')
+                && toks
+                    .get(i + 1)
+                    .is_some_and(|t| t.kind == Kind::Open && t.text == "["))
+            {
+                i += 1;
+                continue;
+            }
+            // Collect the attribute tokens up to the matching `]`.
+            let mut j = i + 2;
+            let mut depth = 1usize;
+            let mut attr: Vec<&Tok<'a>> = Vec::new();
+            while j < toks.len() && depth > 0 {
+                match toks[j].kind {
+                    Kind::Open => depth += 1,
+                    Kind::Close => depth -= 1,
+                    _ => {}
+                }
+                if depth > 0 {
+                    attr.push(&toks[j]);
+                }
+                j += 1;
+            }
+            let is_cfg = attr.first().is_some_and(|t| t.is_ident("cfg"));
+            let negated = attr.iter().any(|t| t.is_ident("not"));
+            let gating = is_cfg
+                && !negated
+                && attr
+                    .iter()
+                    .any(|t| t.is_ident("test") || t.is_ident("debug_assertions"));
+            if !gating {
+                i = j;
+                continue;
+            }
+            // The attribute applies to the next item; find its extent.
+            let Some((start_line, end_line)) = self.item_extent(j) else {
+                i = j;
+                continue;
+            };
+            let attr_line = toks[i].line;
+            for line in attr_line..=end_line.max(start_line) {
+                if let Some(slot) = self.gated.get_mut(line - 1) {
+                    *slot = true;
+                }
+            }
+            i = j;
+        }
+    }
+
+    /// Line range of the item starting at token index `from` (skipping
+    /// comments and further attributes): up to the `;` that ends a
+    /// bodiless item, or the `}` matching its first top-level brace.
+    fn item_extent(&self, from: usize) -> Option<(usize, usize)> {
+        let toks = &self.toks;
+        let mut i = from;
+        // Skip comments and stacked attributes.
+        loop {
+            match toks.get(i) {
+                Some(t) if t.kind == Kind::Comment => i += 1,
+                Some(t)
+                    if t.is_punct('#')
+                        && toks
+                            .get(i + 1)
+                            .is_some_and(|n| n.kind == Kind::Open && n.text == "[") =>
+                {
+                    let mut depth = 1usize;
+                    i += 2;
+                    while i < toks.len() && depth > 0 {
+                        match toks[i].kind {
+                            Kind::Open => depth += 1,
+                            Kind::Close => depth -= 1,
+                            _ => {}
+                        }
+                        i += 1;
+                    }
+                }
+                Some(_) => break,
+                None => return None,
+            }
+        }
+        let start_line = toks.get(i)?.line;
+        let mut depth = 0usize;
+        let mut saw_brace = false;
+        while i < toks.len() {
+            let t = &toks[i];
+            match t.kind {
+                Kind::Open => {
+                    if t.text == "{" && depth == 0 {
+                        saw_brace = true;
+                    }
+                    depth += 1;
+                }
+                Kind::Close => {
+                    depth = depth.saturating_sub(1);
+                    if saw_brace && depth == 0 && t.text == "}" {
+                        return Some((start_line, t.line));
+                    }
+                }
+                Kind::Punct if t.text == ";" && depth == 0 => {
+                    return Some((start_line, t.line));
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        Some((start_line, toks.last()?.line))
+    }
+
+    /// Finds every `fn` item and its brace-matched body.
+    fn scan_fns(&mut self, zero_alloc_marks: &[usize]) {
+        let toks = &self.toks;
+        let mut fns = Vec::new();
+        let mut unattached: Vec<usize> = Vec::new();
+        let mut marks = zero_alloc_marks.iter().copied().peekable();
+        for i in 0..toks.len() {
+            if !toks[i].is_ident("fn") {
+                continue;
+            }
+            let Some(name_tok) = toks.get(i + 1).filter(|t| t.kind == Kind::Ident) else {
+                continue;
+            };
+            // A pending zero-alloc mark attaches to this fn when it
+            // appears at most 8 lines above AND the fn is the very next
+            // item (only comments, attributes and fn-header keywords
+            // between) — a mark stranded on a non-fn item is dangling.
+            let mut zero_alloc = false;
+            while let Some(&mark) = marks.peek() {
+                if mark >= i {
+                    break;
+                }
+                let mark_line = toks[mark].line;
+                if toks[i].line >= mark_line
+                    && toks[i].line <= mark_line + 8
+                    && mark_precedes_fn(toks, mark + 1, i)
+                {
+                    zero_alloc = true;
+                } else {
+                    unattached.push(mark_line);
+                }
+                marks.next();
+            }
+            // Walk the header to the body `{` (or `;` for trait decls),
+            // tracking non-brace delimiters so closures in default
+            // argument positions can't confuse it.
+            let mut j = i + 2;
+            let mut depth = 0usize;
+            let mut body = 0..0;
+            while j < toks.len() {
+                let t = &toks[j];
+                match t.kind {
+                    Kind::Open if t.text == "{" && depth == 0 => {
+                        // Body found: match braces to the close.
+                        let open = j;
+                        let mut bdepth = 1usize;
+                        j += 1;
+                        while j < toks.len() && bdepth > 0 {
+                            match toks[j].kind {
+                                Kind::Open if toks[j].text == "{" => bdepth += 1,
+                                Kind::Close if toks[j].text == "}" => bdepth -= 1,
+                                _ => {}
+                            }
+                            j += 1;
+                        }
+                        body = open + 1..j.saturating_sub(1);
+                        break;
+                    }
+                    Kind::Open => depth += 1,
+                    Kind::Close => depth = depth.saturating_sub(1),
+                    Kind::Punct if t.text == ";" && depth == 0 => break,
+                    _ => {}
+                }
+                j += 1;
+            }
+            fns.push(FnSpan {
+                name: name_tok.text.to_owned(),
+                line: toks[i].line,
+                body,
+                zero_alloc,
+            });
+        }
+        unattached.extend(marks.map(|m| toks[m].line));
+        for line in unattached {
+            let v = self.violation(
+                "directive",
+                line,
+                "`er-lint: zero-alloc` mark is not followed by a `fn` within 8 lines".into(),
+            );
+            self.directive_errors.push(v);
+        }
+        self.fns = fns;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(src: &str) -> SourceModel<'_> {
+        SourceModel::build("demo", SourceKind::Lib, "demo.rs", src)
+    }
+
+    #[test]
+    fn fn_bodies_are_brace_matched() {
+        let m = model("fn a() { if x { y(); } }\nfn b(c: usize) -> usize { c }\n");
+        assert_eq!(m.fns.len(), 2);
+        assert_eq!(m.fns[0].name, "a");
+        assert_eq!(m.fns[1].name, "b");
+        assert_eq!(m.fns[1].line, 2);
+        assert!(!m.fns[0].body.is_empty());
+    }
+
+    #[test]
+    fn trait_fn_declarations_have_empty_bodies() {
+        let m = model("trait T { fn decl(&self) -> usize; fn with_default(&self) { } }");
+        assert_eq!(m.fns.len(), 2);
+        assert!(m.fns[0].body.is_empty());
+    }
+
+    #[test]
+    fn cfg_test_mod_is_gated_and_cfg_not_test_is_not() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\n#[cfg(not(test))]\nfn also_live() {}\n";
+        let m = model(src);
+        assert!(!m.is_gated(1));
+        assert!(m.is_gated(2));
+        assert!(m.is_gated(4));
+        assert!(m.is_gated(5));
+        assert!(!m.is_gated(7));
+    }
+
+    #[test]
+    fn cfg_debug_assertions_fn_is_gated() {
+        let m = model("#[cfg(debug_assertions)]\nfn validate() { assert!(true); }\nfn hot() {}\n");
+        assert!(m.is_gated(2));
+        assert!(!m.is_gated(3));
+    }
+
+    #[test]
+    fn zero_alloc_mark_attaches_through_attributes() {
+        let src =
+            "// er-lint: zero-alloc\n#[inline(always)]\nfn kernel() { work(); }\nfn other() {}\n";
+        let m = model(src);
+        assert!(m.fns[0].zero_alloc, "kernel must carry the mark");
+        assert!(!m.fns[1].zero_alloc);
+        assert!(m.directive_errors.is_empty());
+    }
+
+    #[test]
+    fn dangling_zero_alloc_mark_is_a_directive_error() {
+        let m = model("// er-lint: zero-alloc\nstatic X: usize = 0;\n");
+        assert_eq!(m.directive_errors.len(), 1);
+    }
+
+    #[test]
+    fn allow_grammar_same_line_and_next_line() {
+        let src = "x.unwrap(); // er-lint: allow(panic) -- startup only\n// er-lint: allow(panic) -- covers next line\ny.unwrap();\nz.unwrap();\n";
+        let m = model(src);
+        assert!(m.is_allowed("panic", 1));
+        assert!(m.is_allowed("panic", 3));
+        assert!(!m.is_allowed("panic", 4));
+    }
+
+    #[test]
+    fn allow_without_reason_is_rejected() {
+        let m = model("x.unwrap(); // er-lint: allow(panic)\n");
+        assert_eq!(m.directive_errors.len(), 1);
+        assert!(!m.is_allowed("panic", 1));
+    }
+
+    #[test]
+    fn unknown_rule_in_allow_is_rejected() {
+        let m = model("// er-lint: allow(no_such_rule) -- why\nx();\n");
+        assert_eq!(m.directive_errors.len(), 1);
+    }
+
+    #[test]
+    fn allow_file_covers_every_line() {
+        let m = model("// er-lint: allow-file(unordered_iteration) -- HashMap oracle\nfn f() {}\n");
+        assert!(m.is_allowed("unordered_iteration", 42));
+        assert!(!m.is_allowed("panic", 2));
+    }
+
+    #[test]
+    fn enclosing_fn_finds_innermost() {
+        let m = model("fn outer() { fn inner() { mark(); } }");
+        let mark_ti = m.toks.iter().position(|t| t.is_ident("mark")).unwrap();
+        assert_eq!(m.enclosing_fn(mark_ti).unwrap().name, "inner");
+    }
+}

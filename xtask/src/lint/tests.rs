@@ -1,0 +1,242 @@
+//! Engine self-tests: each rule must demonstrably fire on its
+//! committed bad-code fixture (`xtask/fixtures/lint/`), each
+//! suppression must silence it, and the committed workspace baseline
+//! must be exactly what `--update-baseline` would regenerate.
+
+use std::path::{Path, PathBuf};
+
+use super::source::SourceKind;
+use super::{against_baseline, baseline, lint_files, lint_workspace, LintReport, Violation};
+
+fn fixtures_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures/lint")
+}
+
+/// Loads committed fixtures as library sources of a `fixture` crate.
+fn lint_fixtures(names: &[&str]) -> LintReport {
+    let files: Vec<(String, SourceKind, String, String)> = names
+        .iter()
+        .map(|name| {
+            let path = fixtures_dir().join(name);
+            let text = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("read fixture {}: {e}", path.display()));
+            (
+                "fixture".to_owned(),
+                SourceKind::Lib,
+                format!("xtask/fixtures/lint/{name}"),
+                text,
+            )
+        })
+        .collect();
+    lint_files(&files)
+}
+
+fn rule_hits<'r>(report: &'r LintReport, rule: &str) -> Vec<&'r Violation> {
+    report
+        .violations
+        .iter()
+        .filter(|v| v.rule == rule)
+        .collect()
+}
+
+#[test]
+fn unordered_iteration_fires_and_allow_silences() {
+    let report = lint_fixtures(&["unordered_iteration.rs"]);
+    let hits = rule_hits(&report, "unordered_iteration");
+    let texts: Vec<&str> = hits.iter().map(|v| v.text.as_str()).collect();
+    assert_eq!(hits.len(), 6, "hits: {texts:?}");
+    for needle in [
+        "map.iter()",
+        "for x in set",
+        "map.keys()",
+        "map.values()",
+        "map.drain()",
+        "seen.iter()",
+    ] {
+        assert!(
+            texts.iter().any(|t| t.contains(needle)),
+            "expected a hit on `{needle}`, got {texts:?}"
+        );
+    }
+    // The allowed commutative sum must not appear.
+    assert!(!texts.iter().any(|t| t.contains("values().sum")));
+    assert!(report.directive_errors.is_empty());
+}
+
+#[test]
+fn zero_alloc_fires_only_in_marked_fn_and_allow_silences() {
+    let report = lint_fixtures(&["zero_alloc.rs"]);
+    let hits = rule_hits(&report, "zero_alloc");
+    let texts: Vec<&str> = hits.iter().map(|v| v.text.as_str()).collect();
+    assert_eq!(hits.len(), 7, "hits: {texts:?}");
+    for needle in [
+        "vec![0.0; 4]",
+        ".to_vec()",
+        ".collect()",
+        "Box::new",
+        "Vec::with_capacity",
+        "String::from",
+        "format!",
+    ] {
+        assert!(
+            texts.iter().any(|t| t.contains(needle)),
+            "expected a hit on `{needle}`, got {texts:?}"
+        );
+    }
+    // The allowed cold path and the unmarked fn stay silent.
+    assert!(!texts.iter().any(|t| t.contains("to_string")));
+    assert!(!texts.iter().any(|t| t.contains("Vec::new")));
+    assert!(report.directive_errors.is_empty());
+}
+
+#[test]
+fn dispatch_fires_without_decision_and_is_silent_with_one() {
+    let report = lint_fixtures(&["dispatch.rs"]);
+    let hits = rule_hits(&report, "dispatch");
+    let texts: Vec<&str> = hits.iter().map(|v| v.text.as_str()).collect();
+    assert_eq!(hits.len(), 3, "hits: {texts:?}");
+    assert!(hits.iter().all(|v| v.message.contains("undecided")));
+    // Every fire is in an `undecided*` fn; `decided*` and the allowed
+    // `delegated` are silent.
+    assert!(report.directive_errors.is_empty());
+}
+
+#[test]
+fn panic_fires_in_lib_code_and_respects_gates() {
+    let report = lint_fixtures(&["panic.rs"]);
+    let hits = rule_hits(&report, "panic");
+    let texts: Vec<&str> = hits.iter().map(|v| v.text.as_str()).collect();
+    assert_eq!(hits.len(), 3, "hits: {texts:?}");
+    assert!(texts.iter().any(|t| t.contains("x.unwrap()")));
+    assert!(texts.iter().any(|t| t.contains("x.expect(")));
+    assert!(texts
+        .iter()
+        .any(|t| t.contains("panic!(\"unrecoverable\")")));
+    // unwrap_or, the allowed line, the debug validator and the test
+    // module are silent.
+    assert!(!texts.iter().any(|t| t.contains("unwrap_or")));
+    assert!(!texts.iter().any(|t| t.contains("checked_add")));
+    assert!(!texts.iter().any(|t| t.contains("invariant violated")));
+    assert!(report.directive_errors.is_empty());
+}
+
+#[test]
+fn panic_rule_only_covers_library_crates() {
+    let text = std::fs::read_to_string(fixtures_dir().join("panic.rs")).unwrap();
+    let report = lint_files(&[(
+        "bench".into(),
+        SourceKind::Bench,
+        "crates/bench/benches/fixture.rs".into(),
+        text,
+    )]);
+    assert!(rule_hits(&report, "panic").is_empty());
+}
+
+#[test]
+fn obs_naming_flags_bad_names_and_cross_file_clashes() {
+    let report = lint_fixtures(&["obs_naming.rs", "obs_naming_clash.rs"]);
+    let hits = rule_hits(&report, "obs_naming");
+    let texts: Vec<&str> = hits.iter().map(|v| v.text.as_str()).collect();
+    // 3 malformed names + 1 unallowed cross-file clash.
+    assert_eq!(hits.len(), 4, "hits: {texts:?}");
+    for needle in ["BadCamel", "kebab-case.name", "trailing."] {
+        assert!(
+            texts.iter().any(|t| t.contains(needle)),
+            "expected a hit on `{needle}`, got {texts:?}"
+        );
+    }
+    let clash: Vec<&&Violation> = hits
+        .iter()
+        .filter(|v| v.message.contains("already registered"))
+        .collect();
+    assert_eq!(clash.len(), 1, "one unallowed clash: {texts:?}");
+    assert!(clash[0].path.ends_with("obs_naming_clash.rs"));
+    assert!(clash[0].message.contains("obs_naming.rs"));
+    assert!(report.directive_errors.is_empty());
+}
+
+#[test]
+fn malformed_directives_are_hard_errors_and_do_not_suppress() {
+    let report = lint_fixtures(&["directives.rs"]);
+    assert_eq!(
+        report.directive_errors.len(),
+        4,
+        "reasonless allow, unknown rule, dangling zero-alloc, typo: {:?}",
+        report.directive_errors
+    );
+    // The botched allows must NOT have suppressed the panics they sat on.
+    assert_eq!(rule_hits(&report, "panic").len(), 2);
+}
+
+#[test]
+fn baseline_grandfathers_and_reports_stale() {
+    let report = lint_fixtures(&["panic.rs"]);
+    let entries = baseline::keyed(&report.violations);
+    // Full baseline: nothing fresh, nothing stale.
+    let outcome = against_baseline(&report.violations, &entries);
+    assert!(outcome.fresh.is_empty());
+    assert_eq!(outcome.baselined, report.violations.len());
+    assert!(outcome.stale.is_empty());
+    // Drop one entry: exactly that violation is fresh.
+    let outcome = against_baseline(&report.violations, &entries[1..]);
+    assert_eq!(outcome.fresh.len(), 1);
+    // Add a bogus entry: it shows up stale.
+    let mut padded = entries.clone();
+    padded.push(baseline::Entry {
+        path: "crates/gone/src/lib.rs".into(),
+        rule: "panic".into(),
+        text: "fixed_long_ago.unwrap()".into(),
+        nth: 0,
+    });
+    let outcome = against_baseline(&report.violations, &padded);
+    assert_eq!(outcome.stale.len(), 1);
+    assert!(outcome.fresh.is_empty());
+}
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .expect("xtask has a parent")
+        .to_path_buf()
+}
+
+/// The tree must lint clean against the committed baseline: no fresh
+/// violations, no stale entries, no malformed directives.
+#[test]
+fn workspace_lints_clean_against_committed_baseline() {
+    let root = workspace_root();
+    let report = lint_workspace(&root).unwrap();
+    assert!(
+        report.directive_errors.is_empty(),
+        "malformed directives: {:?}",
+        report.directive_errors
+    );
+    let entries = baseline::load(&root.join("xtask/lint_baseline.json")).unwrap();
+    let outcome = against_baseline(&report.violations, &entries);
+    assert!(
+        outcome.fresh.is_empty(),
+        "new violations (fix or allow them): {:#?}",
+        outcome.fresh
+    );
+    assert!(
+        outcome.stale.is_empty(),
+        "stale baseline entries (run `cargo xtask lint --update-baseline`): {:?}",
+        outcome.stale
+    );
+}
+
+/// `--update-baseline` output is deterministic and the committed file
+/// IS that output, byte for byte (no timestamps, stable ordering) —
+/// the CI drift guard.
+#[test]
+fn committed_baseline_is_byte_identical_to_regeneration() {
+    let root = workspace_root();
+    let first = baseline::render(&baseline::keyed(&lint_workspace(&root).unwrap().violations));
+    let second = baseline::render(&baseline::keyed(&lint_workspace(&root).unwrap().violations));
+    assert_eq!(first, second, "regeneration must be deterministic");
+    let committed = std::fs::read_to_string(root.join("xtask/lint_baseline.json")).unwrap();
+    assert_eq!(
+        committed, first,
+        "committed baseline drifted; run `cargo xtask lint --update-baseline`"
+    );
+}

@@ -3,16 +3,29 @@
 //! * `analyze` — the static-analysis gate: `rustfmt --check`, `clippy -D
 //!   warnings` over every target, a `--no-default-features` build of
 //!   every non-bench crate (the `obs` feature must compile out cleanly),
-//!   and a first-party unsafe audit (no `unsafe` outside `er-pool`;
-//!   every `er-pool` unsafe site carries a `// SAFETY:` comment; every
+//!   a first-party unsafe audit (no `unsafe` outside `er-pool`; every
+//!   `er-pool` unsafe site carries a `// SAFETY:` comment; every
 //!   first-party crate opts into the workspace lint wall and denies
-//!   `unsafe_code` unless it is the pool).
+//!   `unsafe_code` unless it is the pool), and the `er-lint` domain
+//!   rules (see below). The audit walks `src/`, `crates/*/src`,
+//!   `crates/*/benches` and `xtask/src` — bench harnesses are
+//!   first-party code too.
+//! * `lint [--update-baseline] [--summary-out <path>]` — `er-lint`, the
+//!   project-invariant rules: no HashMap/HashSet iteration on
+//!   deterministic paths, no allocation in `// er-lint: zero-alloc`
+//!   kernels, every pooled region under a `pool.dispatch(…)` decision,
+//!   no `unwrap()`/`expect(`/`panic!` in library code, and
+//!   `dotted.snake_case` unique er-obs names. Pre-existing violations
+//!   are grandfathered in `xtask/lint_baseline.json`; new ones fail.
 //! * `loom` — model-checks `er-pool` by rebuilding it with
 //!   `RUSTFLAGS="--cfg loom"` so its `sync` shim swaps in the vendored
 //!   loom scheduler.
 //! * `miri [--strict]` — runs the pool tests under Miri when `cargo miri`
 //!   is installed; otherwise skips (or fails, with `--strict`, for CI
 //!   jobs that must not silently degrade).
+//! * `san [--strict]` — AddressSanitizer/ThreadSanitizer over the
+//!   er-pool and er-matrix suites on nightly (`-Z sanitizer`); skips
+//!   unless a nightly toolchain is installed, like `miri`.
 //! * `bench-diff` — the CI bench-regression gate over `er-obs/v1`
 //!   `BENCH_*.json` files (see `bench_diff` module docs).
 //! * `all` — analyze, loom, and miri in sequence.
@@ -20,17 +33,23 @@
 #![deny(unsafe_code)]
 
 mod bench_diff;
+mod lint;
+mod sources;
 
 use std::path::{Path, PathBuf};
 use std::process::{Command, ExitCode};
+
+use sources::{workspace_sources, SourceKind};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let strict = args.iter().any(|a| a == "--strict");
     let result = match args.first().map(String::as_str) {
         Some("analyze") => analyze(),
+        Some("lint") => lint::cli(&args[1..], &workspace_root()),
         Some("loom") => loom(),
         Some("miri") => miri(strict),
+        Some("san") => san(strict),
         Some("bench-diff") => bench_diff::cli(&args[1..]),
         Some("all") => analyze().and_then(|()| loom()).and_then(|()| miri(strict)),
         Some("help" | "--help" | "-h") | None => {
@@ -56,9 +75,16 @@ usage: cargo xtask <command>
 
 commands:
   analyze          rustfmt --check, clippy -D warnings, no-default-features build,
-                   first-party unsafe audit
+                   first-party unsafe audit, er-lint domain rules
+  lint             er-lint only: determinism / zero-alloc / dispatch / panic /
+                   obs-naming rules against xtask/lint_baseline.json
+                   (--update-baseline regenerates the baseline;
+                    --summary-out <path> writes a markdown drift summary)
   loom             model-check er-pool (RUSTFLAGS=\"--cfg loom\")
   miri [--strict]  er-pool tests under Miri; skipped unless cargo-miri is installed
+  san [--strict]   er-pool + er-matrix tests under Address/ThreadSanitizer
+                   (nightly -Z sanitizer); skipped unless nightly is installed
+                   (ER_SAN=address|thread|all selects which, default all)
   bench-diff       compare two er-obs BENCH_*.json files, fail on span regressions
                    (--baseline <path> --current <path> [--tolerance 20%]
                     [--min-seconds 0.05] [--summary-out <path>] [--gate-scaling]);
@@ -108,6 +134,8 @@ fn analyze() -> Result<(), String> {
     check_no_default_features()?;
     audit_unsafe()?;
     audit_lint_wall()?;
+    eprintln!("xtask: running er-lint");
+    lint::run(&workspace_root(), false, None)?;
     eprintln!("xtask: analyze passed");
     Ok(())
 }
@@ -173,118 +201,106 @@ fn miri(strict: bool) -> Result<(), String> {
     Ok(())
 }
 
-/// First-party `.rs` files, grouped as (crate name, file path).
-fn first_party_sources() -> Result<Vec<(String, PathBuf)>, String> {
-    let root = workspace_root();
-    let mut crate_dirs: Vec<(String, PathBuf)> = vec![
-        ("unsupervised-er".into(), root.join("src")),
-        ("xtask".into(), root.join("xtask/src")),
-    ];
-    let crates = root.join("crates");
-    let entries =
-        std::fs::read_dir(&crates).map_err(|e| format!("read {}: {e}", crates.display()))?;
-    for entry in entries {
-        let entry = entry.map_err(|e| format!("read {}: {e}", crates.display()))?;
-        if entry.path().is_dir() {
-            let name = entry.file_name().to_string_lossy().into_owned();
-            crate_dirs.push((name, entry.path().join("src")));
+/// AddressSanitizer / ThreadSanitizer driver over the crates with the
+/// concurrency- and aliasing-heavy suites (`er-pool`, `er-matrix`).
+///
+/// `-Z sanitizer` needs nightly, so like `miri` this skips (or fails
+/// under `--strict`) when no nightly toolchain is installed, and it
+/// only runs on x86_64/aarch64 Linux, the tier-1 sanitizer targets.
+/// ThreadSanitizer additionally wants std itself instrumented
+/// (`-Z build-std`), which needs the `rust-src` component; when that
+/// is missing only AddressSanitizer runs. `ER_SAN=address|thread|all`
+/// narrows the pass (default `all`).
+fn san(strict: bool) -> Result<(), String> {
+    let host_target = match (std::env::consts::ARCH, std::env::consts::OS) {
+        ("x86_64", "linux") => "x86_64-unknown-linux-gnu",
+        ("aarch64", "linux") => "aarch64-unknown-linux-gnu",
+        (arch, os) => {
+            let msg = format!("sanitizers need x86_64/aarch64 Linux (host is {arch}-{os})");
+            if strict {
+                return Err(msg);
+            }
+            eprintln!("xtask: {msg}; skipping");
+            return Ok(());
+        }
+    };
+    let nightly = Command::new("cargo")
+        .args(["+nightly", "--version"])
+        .current_dir(workspace_root())
+        .output()
+        .is_ok_and(|out| out.status.success());
+    if !nightly {
+        if strict {
+            return Err("no nightly toolchain (required by --strict); \
+                 install with `rustup toolchain install nightly`"
+                .into());
+        }
+        eprintln!(
+            "xtask: no nightly toolchain; skipping sanitizers \
+             (install with `rustup toolchain install nightly`, or pass --strict to fail)"
+        );
+        return Ok(());
+    }
+    let which = std::env::var("ER_SAN").unwrap_or_else(|_| "all".into());
+    let run_address = which == "all" || which == "address";
+    let run_thread = which == "all" || which == "thread";
+    if run_address {
+        san_pass("address", host_target, false)?;
+    }
+    if run_thread {
+        // TSan without an instrumented std reports races inside std's
+        // own synchronization; only meaningful with -Z build-std.
+        let has_src = Command::new("rustup")
+            .args(["+nightly", "component", "list", "--installed"])
+            .output()
+            .is_ok_and(|out| {
+                out.status.success()
+                    && String::from_utf8_lossy(&out.stdout)
+                        .lines()
+                        .any(|l| l.starts_with("rust-src"))
+            });
+        if has_src {
+            san_pass("thread", host_target, true)?;
+        } else {
+            let msg = "rust-src component missing: ThreadSanitizer needs `-Z build-std` \
+                 (install with `rustup +nightly component add rust-src`)";
+            if strict && which == "thread" {
+                return Err(msg.into());
+            }
+            eprintln!("xtask: {msg}; skipping TSan");
         }
     }
-    let mut out = Vec::new();
-    for (name, dir) in crate_dirs {
-        let mut files = Vec::new();
-        collect_rs_files(&dir, &mut files)?;
-        out.extend(files.into_iter().map(|f| (name.clone(), f)));
-    }
-    Ok(out)
-}
-
-fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
-    let entries = std::fs::read_dir(dir).map_err(|e| format!("read {}: {e}", dir.display()))?;
-    for entry in entries {
-        let entry = entry.map_err(|e| format!("read {}: {e}", dir.display()))?;
-        let path = entry.path();
-        if path.is_dir() {
-            collect_rs_files(&path, out)?;
-        } else if path.extension().is_some_and(|e| e == "rs") {
-            out.push(path);
-        }
-    }
-    out.sort();
+    eprintln!("xtask: sanitizers passed");
     Ok(())
 }
 
-/// Splits a source file into lines with comments and string literals
-/// blanked out, so keyword scans only ever see code. Tracks state across
-/// lines (multi-line strings and block comments) and steps over char
-/// literals so `'"'` cannot derail the string tracking.
-fn code_lines(text: &str) -> Vec<String> {
-    #[derive(PartialEq)]
-    enum St {
-        Code,
-        Str,
-        LineComment,
-        BlockComment,
+fn san_pass(sanitizer: &str, target: &str, build_std: bool) -> Result<(), String> {
+    // --lib --tests: doctests compile through rustdoc, which does not
+    // link the sanitizer runtime; the unit/integration suites are the
+    // coverage that matters here.
+    let mut args = vec![
+        "+nightly",
+        "test",
+        "-p",
+        "er-pool",
+        "-p",
+        "er-matrix",
+        "--lib",
+        "--tests",
+    ];
+    if build_std {
+        args.extend(["-Z", "build-std"]);
     }
-    let mut lines = Vec::new();
-    let mut cur = String::new();
-    let mut st = St::Code;
-    let mut chars = text.chars().peekable();
-    while let Some(c) = chars.next() {
-        if c == '\n' {
-            if st == St::LineComment {
-                st = St::Code;
-            }
-            lines.push(std::mem::take(&mut cur));
-            continue;
-        }
-        match st {
-            St::Code => match c {
-                '"' => st = St::Str,
-                '\'' => {
-                    // Char literal ('x' / '\n') or lifetime ('a). Step
-                    // over literals; leave lifetimes to the code stream.
-                    if chars.peek() == Some(&'\\') {
-                        chars.next();
-                        chars.next();
-                        chars.next();
-                    } else {
-                        let mut ahead = chars.clone();
-                        ahead.next();
-                        if ahead.peek() == Some(&'\'') {
-                            chars.next();
-                            chars.next();
-                        }
-                    }
-                }
-                '/' if chars.peek() == Some(&'/') => {
-                    chars.next();
-                    st = St::LineComment;
-                }
-                '/' if chars.peek() == Some(&'*') => {
-                    chars.next();
-                    st = St::BlockComment;
-                }
-                _ => cur.push(c),
-            },
-            St::Str => match c {
-                '\\' => {
-                    chars.next();
-                }
-                '"' => st = St::Code,
-                _ => {}
-            },
-            St::LineComment => {}
-            St::BlockComment => {
-                if c == '*' && chars.peek() == Some(&'/') {
-                    chars.next();
-                    st = St::Code;
-                }
-            }
-        }
-    }
-    lines.push(cur);
-    lines
+    args.extend(["--target", target]);
+    let mut cmd = cargo(&args);
+    let mut flags = std::env::var("RUSTFLAGS").unwrap_or_default();
+    flags.push_str(&format!(" -Zsanitizer={sanitizer}"));
+    cmd.env("RUSTFLAGS", flags.trim());
+    // One suite at a time keeps TSan reports attributable.
+    cmd.env("RUST_TEST_THREADS", "1");
+    run(cmd)?;
+    eprintln!("xtask: {sanitizer} sanitizer pass clean");
+    Ok(())
 }
 
 /// True when a comment- and string-stripped line uses the `unsafe`
@@ -310,24 +326,43 @@ fn line_has_unsafe_code(code: &str) -> bool {
     false
 }
 
+/// The audit's file set: everything first-party that compiles into a
+/// build or bench — `src/`, `crates/*/src`, `crates/*/benches`,
+/// `xtask/src`. Integration-test dirs are excluded: the counting
+/// `GlobalAlloc` in `tests/zero_alloc.rs` legitimately implements an
+/// unsafe trait, and tests run under `cargo test`'s own scrutiny.
+fn audited_sources() -> Result<Vec<sources::SourceFile>, String> {
+    let mut files = workspace_sources(&workspace_root())?;
+    files.retain(|f| {
+        matches!(
+            f.kind,
+            SourceKind::Lib | SourceKind::Bin | SourceKind::Bench | SourceKind::Xtask
+        )
+    });
+    Ok(files)
+}
+
 /// No `unsafe` outside `er-pool`, and every pool unsafe site is preceded
 /// by a `// SAFETY:` comment within its contiguous comment block (clippy's
 /// `undocumented_unsafe_blocks` covers blocks; this also covers `unsafe
 /// impl`/`unsafe fn`, and keeps the policy enforced even where clippy
-/// does not run).
+/// does not run). Bench harnesses are the one exception to the ban:
+/// their counting `GlobalAlloc` evidence allocators legitimately
+/// implement an unsafe trait, so Bench-kind files are held to the same
+/// SAFETY-comment standard as pool instead.
 fn audit_unsafe() -> Result<(), String> {
     let mut errors = Vec::new();
-    for (krate, file) in first_party_sources()? {
-        let text =
-            std::fs::read_to_string(&file).map_err(|e| format!("read {}: {e}", file.display()))?;
+    for file in audited_sources()? {
+        let text = std::fs::read_to_string(&file.path)
+            .map_err(|e| format!("read {}: {e}", file.path.display()))?;
         let raw: Vec<&str> = text.lines().collect();
-        let code = code_lines(&text);
+        let code = lint::lexer::code_lines(&text);
         for (i, line) in code.iter().enumerate() {
             if !line_has_unsafe_code(line) {
                 continue;
             }
-            let at = format!("{}:{}", file.display(), i + 1);
-            if krate != "pool" {
+            let at = format!("{}:{}", file.rel, i + 1);
+            if file.krate != "pool" && file.kind != SourceKind::Bench {
                 errors.push(format!(
                     "{at}: `unsafe` outside er-pool (the only crate allowed to use it)"
                 ));
@@ -415,7 +450,7 @@ mod tests {
     use super::*;
 
     fn has_unsafe(src: &str) -> Vec<bool> {
-        code_lines(src)
+        lint::lexer::code_lines(src)
             .iter()
             .map(|l| line_has_unsafe_code(l))
             .collect()
@@ -439,6 +474,23 @@ mod tests {
             has_unsafe("/* unsafe in\nblock comment */ unsafe {}"),
             [false, true]
         );
+        // Raw strings could derail a naive tracker into reading the
+        // rest of the file as string content.
+        assert_eq!(
+            has_unsafe("let s = r#\"has \" unsafe\"#;\nunsafe { f() }"),
+            [false, true]
+        );
+    }
+
+    #[test]
+    fn audits_cover_benches_and_xtask() {
+        let files = audited_sources().unwrap();
+        assert!(files.iter().any(|f| f.rel.starts_with("xtask/src/")));
+        assert!(files
+            .iter()
+            .any(|f| f.rel.starts_with("crates/bench/benches/")));
+        assert!(!files.iter().any(|f| f.rel.contains("/fixtures/")));
+        assert!(!files.iter().any(|f| f.rel.starts_with("vendor/")));
     }
 
     #[test]

@@ -1,0 +1,107 @@
+//! First-party source discovery, shared by the unsafe/lint-wall audits
+//! and `er-lint`.
+//!
+//! Walks the workspace for `.rs` files and classifies each by where it
+//! lives, so every consumer scopes itself by [`SourceKind`] instead of
+//! re-implementing directory walks. Coverage (this used to be only
+//! `crates/*/src` plus the root `src/` for the unsafe audit):
+//!
+//! * `src/` — the root CLI/lib crate
+//! * `crates/*/src` — library crates
+//! * `crates/*/benches` — bench harnesses (previously unaudited)
+//! * `crates/*/tests` and root `tests/` — integration tests
+//! * `examples/` — examples
+//! * `xtask/src` — this crate
+//!
+//! `vendor/` (the miniature loom) and `target/` are excluded; vendored
+//! code keeps its upstream idioms, and fixtures under `xtask/fixtures/`
+//! are deliberately-bad lint inputs, not sources.
+
+use std::path::{Path, PathBuf};
+
+pub use crate::lint::source::SourceKind;
+
+/// One first-party `.rs` file.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Crate directory name (`core`, `pool`, …); `unsupervised-er` for
+    /// the root crate, `xtask` for this one.
+    pub krate: String,
+    pub kind: SourceKind,
+    /// Absolute path.
+    pub path: PathBuf,
+    /// Workspace-relative path with `/` separators (stable across
+    /// machines: the lint-baseline key and all report output use it).
+    pub rel: String,
+}
+
+/// Every first-party source file, sorted by relative path so all
+/// downstream output is deterministic.
+pub fn workspace_sources(root: &Path) -> Result<Vec<SourceFile>, String> {
+    let mut out = Vec::new();
+    let mut add = |krate: &str, kind: SourceKind, dir: PathBuf| -> Result<(), String> {
+        if !dir.is_dir() {
+            return Ok(());
+        }
+        let mut files = Vec::new();
+        collect_rs(&dir, &mut files)?;
+        for path in files {
+            let rel = path
+                .strip_prefix(root)
+                .map_err(|_| format!("{} escapes the workspace", path.display()))?
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            out.push(SourceFile {
+                krate: krate.to_owned(),
+                kind,
+                path,
+                rel,
+            });
+        }
+        Ok(())
+    };
+    add("unsupervised-er", SourceKind::Bin, root.join("src"))?;
+    add("unsupervised-er", SourceKind::Test, root.join("tests"))?;
+    add(
+        "unsupervised-er",
+        SourceKind::Example,
+        root.join("examples"),
+    )?;
+    add("xtask", SourceKind::Xtask, root.join("xtask/src"))?;
+    let crates = root.join("crates");
+    let entries =
+        std::fs::read_dir(&crates).map_err(|e| format!("read {}: {e}", crates.display()))?;
+    let mut crate_dirs: Vec<PathBuf> = entries
+        .map(|e| e.map(|e| e.path()))
+        .collect::<Result<_, _>>()
+        .map_err(|e| format!("read {}: {e}", crates.display()))?;
+    crate_dirs.retain(|p| p.is_dir());
+    crate_dirs.sort();
+    for dir in crate_dirs {
+        let name = dir
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        add(&name, SourceKind::Lib, dir.join("src"))?;
+        add(&name, SourceKind::Bench, dir.join("benches"))?;
+        add(&name, SourceKind::Test, dir.join("tests"))?;
+    }
+    out.sort_by(|a, b| a.rel.cmp(&b.rel));
+    Ok(out)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("read {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("read {}: {e}", dir.display()))?;
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
