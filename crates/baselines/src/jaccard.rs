@@ -4,7 +4,7 @@ use er_graph::bipartite::PairNode;
 use er_pool::WorkerPool;
 use er_text::{jaccard, Corpus};
 
-use crate::{score_pairs_chunked, PairScorer};
+use crate::{score_pairs_chunked, term_walk_work, PairScorer};
 
 /// Jaccard coefficient over the records' (post-filter) term sets.
 #[derive(Debug, Clone, Copy, Default)]
@@ -28,7 +28,7 @@ impl PairScorer for JaccardScorer {
         pairs: &[PairNode],
         pool: &WorkerPool,
     ) -> Vec<f64> {
-        score_pairs_chunked(pairs, pool, |p| {
+        score_pairs_chunked(pairs, term_walk_work(corpus, pairs), pool, |p| {
             jaccard(corpus.term_set(p.a as usize), corpus.term_set(p.b as usize))
         })
     }

@@ -22,6 +22,7 @@
 pub mod hybrid;
 pub mod jaccard;
 pub mod simrank;
+pub mod strsim;
 pub mod tfidf;
 pub mod twidf;
 
@@ -34,6 +35,7 @@ use er_text::{Corpus, TermId};
 pub use hybrid::HybridScorer;
 pub use jaccard::JaccardScorer;
 pub use simrank::SimRankScorer;
+pub use strsim::StringSimScorer;
 pub use tfidf::TfIdfScorer;
 pub use twidf::TwIdfScorer;
 
@@ -69,20 +71,40 @@ pub trait PairScorer {
 /// cheap relative to SimRank slots, so chunks are coarser.
 const SCORE_MIN_CHUNK: usize = 256;
 
+/// Dispatch work estimate for scorers that walk the two records' term
+/// vectors per pair: the sum of the actual term-set lengths over the
+/// batch (the merge-walk op count), not a flat per-pair constant. The
+/// string-kernel analogue is `er_text::StrTape::batch_cells` (sum of
+/// string-length products).
+pub fn term_walk_work(corpus: &Corpus, pairs: &[PairNode]) -> usize {
+    pairs
+        .iter()
+        .map(|p| corpus.term_set(p.a as usize).len() + corpus.term_set(p.b as usize).len())
+        .sum()
+}
+
 /// Fills `out[i] = score(pairs[i])` by splitting `pairs` into
 /// deterministic contiguous chunks on `pool` and concatenating in order
 /// (each chunk writes its own disjoint subslice). Since every per-pair
 /// score is computed serially, the result is bit-identical to the serial
 /// loop at any thread count. The shared chunking helper behind every
 /// [`PairScorer::score_pairs_pooled`] implementation.
-pub fn score_pairs_chunked<F>(pairs: &[PairNode], pool: &WorkerPool, score: F) -> Vec<f64>
+///
+/// `work` is the caller's elementary-op estimate for the whole batch —
+/// derived from the data actually scored (e.g. [`term_walk_work`], or
+/// `er_text::StrTape::batch_cells` for DP kernels) so small batches of
+/// small records stay serial-inline even when the pair count is large.
+pub fn score_pairs_chunked<F>(
+    pairs: &[PairNode],
+    work: usize,
+    pool: &WorkerPool,
+    score: F,
+) -> Vec<f64>
 where
     F: Fn(&PairNode) -> f64 + Sync,
 {
     let mut out = vec![0.0f64; pairs.len()];
-    // Per-pair scoring walks two term vectors — call it ~64 ops — so the
-    // pool's dispatch policy keeps small candidate lists inline.
-    if !pool.dispatch(pairs.len().saturating_mul(64)).is_parallel() {
+    if !pool.dispatch(work).is_parallel() {
         for (v, p) in out.iter_mut().zip(pairs) {
             *v = score(p);
         }
@@ -191,13 +213,16 @@ mod tests {
             .build();
         let pairs = candidate_pairs(&corpus, None);
         assert!(!pairs.is_empty());
-        let scorers: Vec<Box<dyn PairScorer>> = vec![
+        let mut scorers: Vec<Box<dyn PairScorer>> = vec![
             Box::new(JaccardScorer),
             Box::new(TfIdfScorer),
             Box::new(SimRankScorer::default()),
             Box::new(TwIdfScorer::default()),
             Box::new(HybridScorer::default()),
         ];
+        for s in StringSimScorer::all() {
+            scorers.push(Box::new(s));
+        }
         for scorer in &scorers {
             let serial = scorer.score_pairs(&corpus, &pairs);
             for threads in [2, 4] {

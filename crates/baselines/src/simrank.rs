@@ -38,7 +38,11 @@ impl PairScorer for SimRankScorer {
         let record_terms: Vec<&[u32]> = owned.iter().map(Vec::as_slice).collect();
         let scores =
             bipartite_simrank_pooled(&record_terms, corpus.vocab_len(), &self.config, None, pool);
-        score_pairs_chunked(pairs, pool, |p| scores.record(p.a, p.b))
+        // Post-solve lookups are O(1) per pair — a handful of ops, not
+        // a term walk; only huge candidate lists justify the fan-out.
+        score_pairs_chunked(pairs, pairs.len().saturating_mul(4), pool, |p| {
+            scores.record(p.a, p.b)
+        })
     }
 }
 

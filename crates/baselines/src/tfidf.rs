@@ -4,7 +4,7 @@ use er_graph::bipartite::PairNode;
 use er_pool::WorkerPool;
 use er_text::{Corpus, TfIdfModel};
 
-use crate::{score_pairs_chunked, PairScorer};
+use crate::{score_pairs_chunked, term_walk_work, PairScorer};
 
 /// Cosine similarity of L2-normalized TF-IDF vectors.
 ///
@@ -36,7 +36,11 @@ impl PairScorer for TfIdfScorer {
         // Fitting stays serial (one corpus pass); only the per-pair
         // cosines fan out.
         let model = TfIdfModel::fit(corpus);
-        score_pairs_chunked(pairs, pool, |p| model.cosine(p.a as usize, p.b as usize))
+        // The cosine walks both records' TF-IDF vectors (one entry per
+        // distinct term), so the term-walk estimate is the right size.
+        score_pairs_chunked(pairs, term_walk_work(corpus, pairs), pool, |p| {
+            model.cosine(p.a as usize, p.b as usize)
+        })
     }
 }
 

@@ -64,7 +64,7 @@ impl PairScorer for TwIdfScorer {
         // per-pair Eq. 4 combination fans out over candidate chunks.
         let salience = self.term_salience(corpus);
         let n = corpus.len() as f64;
-        score_pairs_chunked(pairs, pool, |p| {
+        score_pairs_chunked(pairs, crate::term_walk_work(corpus, pairs), pool, |p| {
             corpus
                 .shared_terms(p.a as usize, p.b as usize)
                 .iter()

@@ -2,7 +2,10 @@
 //! schema.
 //!
 //! For each bench dataset and each thread count in {1, 2, 4}, the full
-//! 5-round fusion is run once with er-obs recording on; the resulting
+//! 5-round fusion is run once with er-obs recording on — seeded by the
+//! batch string-similarity engine (`pipeline::seed_similarities`, so
+//! the `simeng.batch.*` counters appear next to the phase spans); the
+//! resulting
 //! [`er_obs::Report`] snapshot — phase span tree (`fusion`,
 //! `fusion/iter`, `fusion/cliquerank`, nested sweeps), per-worker pool
 //! utilization, and the pipeline's cache/solver counters — becomes one
@@ -123,24 +126,56 @@ fn main() {
         let mut baseline: Option<Vec<f64>> = None;
         let mut t1_seconds: Option<f64> = None;
         for threads in THREAD_COUNTS {
-            let mut cfg = fusion_config();
-            cfg.threads = threads;
-            let mut outcome = None;
-            let mut run = recorded_run("fusion", &name, "pooled", threads, || {
-                outcome = Some(Resolver::new(cfg).resolve(&prepared.graph));
-            });
-            let outcome = outcome.expect("resolve ran");
-            match &baseline {
-                None => baseline = Some(outcome.matching_probabilities.clone()),
-                Some(b) => assert_eq!(
-                    b, &outcome.matching_probabilities,
-                    "fusion outcome changed with threads={threads} on {name}"
-                ),
+            // Sub-second fusions are single-sample noise-dominated — a
+            // one-shot inversion on a 0.2 s phase is scheduler jitter,
+            // not a regression — so they get best-of-3 (whole report
+            // kept from the fastest rep); multi-second runs
+            // self-average and stay single-rep.
+            let mut best: Option<(f64, er_obs::BenchRun)> = None;
+            let mut reps = 1;
+            let mut rep = 0;
+            while rep < reps {
+                let mut cfg = fusion_config();
+                cfg.threads = threads;
+                let mut outcome = None;
+                // The seed step runs inside the recorded window so the
+                // engine's simeng.batch.* counters and kernel span land
+                // in the fusion report alongside the ITER/CliqueRank
+                // phases.
+                let run = recorded_run("fusion", &name, "pooled", threads, || {
+                    let pool = er_pool::WorkerPool::with_policy(cfg.threads, cfg.dispatch);
+                    let seed = unsupervised_er::pipeline::seed_similarities(
+                        &prepared.corpus,
+                        &prepared.graph,
+                        &pool,
+                    );
+                    outcome = Some(Resolver::new(cfg).resolve_seeded(&prepared.graph, &seed));
+                });
+                let outcome = outcome.expect("resolve ran");
+                match &baseline {
+                    None => baseline = Some(outcome.matching_probabilities.clone()),
+                    Some(b) => assert_eq!(
+                        b, &outcome.matching_probabilities,
+                        "fusion outcome changed with threads={threads} on {name}"
+                    ),
+                }
+                let secs = span_seconds(&run.report, "fusion");
+                if rep == 0 && secs < 1.0 {
+                    reps = 3;
+                }
+                let better = match &best {
+                    None => true,
+                    Some((b, _)) => secs < *b,
+                };
+                if better {
+                    best = Some((secs, run));
+                }
+                rep += 1;
             }
+            let (secs, mut run) = best.expect("at least one rep ran");
             // tN/t1 on the top-level fusion span; the t1 run itself
             // carries no ratio. `bench-diff --gate-scaling` fails CI
             // when any committed ratio exceeds 1 + tolerance.
-            let secs = span_seconds(&run.report, "fusion");
             match t1_seconds {
                 None => t1_seconds = Some(secs),
                 Some(t1) if t1 > 0.0 => run.scaling_ratio = Some(secs / t1),

@@ -102,6 +102,35 @@ impl Resolver {
     /// per-phase thread spawns. Every phase is deterministic, so the
     /// outcome is bit-identical at any thread count.
     pub fn resolve(&self, graph: &BipartiteGraph) -> FusionOutcome {
+        self.resolve_impl(graph, None)
+    }
+
+    /// [`Resolver::resolve`] with externally seeded first-round edge
+    /// weights.
+    ///
+    /// §V-C initializes `p(ri, rj) ≡ 1`, treating every candidate pair
+    /// as equally plausible until the first CliqueRank feedback. When a
+    /// cheap pair similarity is already available — e.g. batched
+    /// Jaro-Winkler over the record texts (`er-text`'s similarity
+    /// engine) — seeding ITER's first round with it starts the
+    /// reinforcement from informed edge weights instead of uniform
+    /// ones. `seed` is aligned with [`BipartiteGraph::pairs`]; values
+    /// must lie in `[0, 1]`. Everything downstream is unchanged and the
+    /// outcome remains bit-identical at any thread count.
+    pub fn resolve_seeded(&self, graph: &BipartiteGraph, seed: &[f64]) -> FusionOutcome {
+        assert_eq!(
+            seed.len(),
+            graph.pair_count(),
+            "one seed weight per candidate pair"
+        );
+        assert!(
+            seed.iter().all(|&s| (0.0..=1.0).contains(&s)),
+            "seed weights must be probabilities"
+        );
+        self.resolve_impl(graph, Some(seed))
+    }
+
+    fn resolve_impl(&self, graph: &BipartiteGraph, seed: Option<&[f64]>) -> FusionOutcome {
         let cfg = &self.config;
         assert!(cfg.rounds >= 1, "need at least one fusion round");
         assert!((0.0..=1.0).contains(&cfg.eta), "eta must be a probability");
@@ -113,8 +142,12 @@ impl Resolver {
         let admitted: Vec<bool> = (0..n_pairs as u32)
             .map(|p| graph.terms_of_pair(p).len() >= cfg.min_shared_terms)
             .collect();
-        // §V-C: p(ri, rj) is initialized to 1 before CliqueRank runs.
-        let mut prob = vec![1.0f64; n_pairs];
+        // §V-C: p(ri, rj) is initialized to 1 before CliqueRank runs —
+        // unless the caller seeded the first round's edge weights.
+        let mut prob = match seed {
+            None => vec![1.0f64; n_pairs],
+            Some(s) => s.to_vec(),
+        };
         let mut rounds = Vec::with_capacity(cfg.rounds);
         let mut round_probabilities = Vec::new();
         let mut last_iter = None;
@@ -378,5 +411,58 @@ mod tests {
         let mut cfg = quick_config();
         cfg.rounds = 0;
         Resolver::new(cfg).resolve(&two_entity_graph());
+    }
+
+    #[test]
+    fn uniform_seed_matches_unseeded() {
+        let g = two_entity_graph();
+        let resolver = Resolver::new(quick_config());
+        let plain = resolver.resolve(&g);
+        let seeded = resolver.resolve_seeded(&g, &vec![1.0; g.pair_count()]);
+        assert_eq!(plain.matching_probabilities, seeded.matching_probabilities);
+        assert_eq!(plain.term_weights, seeded.term_weights);
+        assert_eq!(plain.matches, seeded.matches);
+    }
+
+    #[test]
+    fn seeded_outcome_identical_at_every_thread_count() {
+        let g = two_entity_graph();
+        // A deterministic, non-uniform seed exercising the informed
+        // first round.
+        let seed: Vec<f64> = (0..g.pair_count())
+            .map(|i| 0.25 + 0.5 * ((i % 3) as f64) / 2.0)
+            .collect();
+        let serial = Resolver::new(FusionConfig {
+            threads: 1,
+            ..quick_config()
+        })
+        .resolve_seeded(&g, &seed);
+        assert!(serial.matches.contains(&(0, 1)), "{:?}", serial.matches);
+        for threads in [2, 4] {
+            let parallel = Resolver::new(FusionConfig {
+                threads,
+                ..quick_config()
+            })
+            .resolve_seeded(&g, &seed);
+            assert_eq!(
+                serial.matching_probabilities,
+                parallel.matching_probabilities
+            );
+            assert_eq!(serial.matches, parallel.matches);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one seed weight per candidate pair")]
+    fn misaligned_seed_rejected() {
+        let g = two_entity_graph();
+        Resolver::new(quick_config()).resolve_seeded(&g, &[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "probabilities")]
+    fn out_of_range_seed_rejected() {
+        let g = two_entity_graph();
+        Resolver::new(quick_config()).resolve_seeded(&g, &vec![1.5; g.pair_count()]);
     }
 }

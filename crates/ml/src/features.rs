@@ -10,23 +10,24 @@
 //!   `er-text` metric functions directly per pair. Kept as the oracle.
 //! * [`FeatureExtractor::extract_all`] — the batch path the Table II
 //!   harness uses. A record participates in hundreds of candidate
-//!   pairs, so everything derivable from one record (character vectors,
-//!   padded-bigram multisets, per-term Soundex codes) is computed once
-//!   at construction; the per-pair leftovers run on reusable scratch
-//!   buffers (edit-distance rows, Jaro match flags) and a memo table for
-//!   Monge-Elkan's inner Jaro-Winkler over *interned* token pairs. Each
-//!   shortcut preserves the reference value bit for bit (the tests
-//!   compare both paths over whole corpora), and per-pair work is pure,
-//!   so the pooled fan-out is deterministic at any thread count.
-
-use std::collections::HashMap;
-use std::hash::BuildHasherDefault;
+//!   pairs, so everything derivable from one record (the contiguous
+//!   string tape, padded-bigram multisets, per-term Soundex codes) is
+//!   computed once at construction; the per-pair string kernels are the
+//!   shared batch engine's ([`er_text::simeng`] — bit-parallel
+//!   Levenshtein/Jaro, antidiagonal Smith-Waterman, memoized
+//!   Monge-Elkan on reusable [`SimScratch`] buffers). Each shortcut
+//!   preserves the reference value bit for bit (the tests compare both
+//!   paths over whole corpora), and per-pair work is pure, so the
+//!   pooled fan-out is deterministic at any thread count.
 
 use er_pool::WorkerPool;
 use er_text::metrics::{smith_waterman_similarity, soundex, sounds_like};
+use er_text::simeng::{
+    jaro_winkler_prepared, levenshtein_prepared, monge_elkan_memoized, smith_waterman_prepared,
+};
 use er_text::{
     cosine_tokens, dice, jaccard, jaro_winkler, levenshtein_similarity, monge_elkan,
-    ngram_similarity, overlap_coefficient, Corpus, TfIdfModel,
+    ngram_similarity, overlap_coefficient, Corpus, SimScratch, StrTape, TfIdfModel,
 };
 
 /// Number of features produced per pair.
@@ -35,130 +36,28 @@ pub const N_FEATURES: usize = 12;
 /// Minimum pairs per pooled extraction chunk.
 const EXTRACT_MIN_CHUNK: usize = 64;
 
-/// Multiply-xor hasher for the Monge-Elkan memo keys (packed token-id
-/// pairs). The keys are already well-mixed small integers; SipHash's
-/// collision resistance buys nothing here and its latency is the whole
-/// cost of a memo hit.
-#[derive(Debug, Default, Clone)]
-struct PairKeyHasher(u64);
+/// Reusable per-worker buffers for the batch path — the shared batch
+/// engine's scratch (bit-parallel state, DP rows, Jaro match buffers,
+/// and the two Monge-Elkan memo levels). One per extraction chunk;
+/// never shared across threads.
+pub type FeatureScratch = SimScratch;
 
-impl std::hash::Hasher for PairKeyHasher {
-    fn finish(&self) -> u64 {
-        self.0
-    }
-
-    fn write(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0100_0000_01b3);
-        }
-    }
-
-    fn write_u64(&mut self, v: u64) {
-        let mut h = (self.0 ^ v).wrapping_mul(0x9e37_79b9_7f4a_7c15);
-        h ^= h >> 29;
-        self.0 = h;
-    }
-
-    fn write_u32(&mut self, v: u32) {
-        self.write_u64(u64::from(v));
-    }
-}
-
-/// Small per-term memo: `other id -> value`. Keyed per leading term so
-/// each map stays cache-resident instead of one huge DRAM-bound table.
-type TermCache = HashMap<u32, f64, BuildHasherDefault<PairKeyHasher>>;
-
-/// Reusable per-worker buffers for the batch path: bit-parallel state,
-/// DP rows, Jaro match buffers, and the two Monge-Elkan memo levels.
-/// One per extraction chunk; never shared across threads.
-#[derive(Debug, Default)]
-pub struct FeatureScratch {
-    /// Jaro-Winkler over interned tokens: `jw_by_term[x][y] = jw(x, y)`.
-    jw_by_term: Vec<TermCache>,
-    /// Monge-Elkan inner maximum: `best_by_term[x][record] = max_y jw`.
-    best_by_term: Vec<TermCache>,
-    /// Per-character position bitmasks: dense rows for ASCII, map
-    /// fallback for the rest (see [`CharMasks`]).
-    mask_ascii: Vec<u64>,
-    mask_other: HashMap<char, Vec<u64>>,
-    /// Myers-Levenshtein vertical delta words.
-    lev_vp: Vec<u64>,
-    lev_vn: Vec<u64>,
-    /// Jaro matched-position bitmask over `b`.
-    taken: Vec<u64>,
-    /// Smith-Waterman antidiagonal buffers (current, −1, −2) and the
-    /// reversed second string.
-    sw_d0: Vec<i16>,
-    sw_d1: Vec<i16>,
-    sw_d2: Vec<i16>,
-    sw_rev: Vec<u16>,
-    sw_row: Vec<i32>,
-    a_matches: Vec<char>,
-    b_matches: Vec<char>,
-}
-
-/// The per-character position bitmasks of one string, `words` `u64`s per
-/// character — shared input format of the Myers-Levenshtein kernel and
-/// the bit-parallel Jaro matcher. Borrows the scratch buffers.
-struct CharMasks<'s> {
-    ascii: &'s [u64],
-    other: &'s HashMap<char, Vec<u64>>,
-    words: usize,
-}
-
-impl CharMasks<'_> {
-    /// Bitmask row for `c`; `None` when `c` never occurs in the string.
-    fn row(&self, c: char) -> Option<&[u64]> {
-        if (c as u32) < 128 {
-            Some(&self.ascii[c as usize * self.words..(c as usize + 1) * self.words])
-        } else {
-            self.other.get(&c).map(Vec::as_slice)
-        }
-    }
-}
-
-/// Fills the scratch mask table with the position bitmasks of `chars`.
-fn build_masks<'s>(
-    mask_ascii: &'s mut Vec<u64>,
-    mask_other: &'s mut HashMap<char, Vec<u64>>,
-    chars: &[char],
-    words: usize,
-) -> CharMasks<'s> {
-    mask_ascii.clear();
-    mask_ascii.resize(128 * words, 0);
-    mask_other.clear();
-    for (i, &c) in chars.iter().enumerate() {
-        let bit = 1u64 << (i & 63);
-        if (c as u32) < 128 {
-            mask_ascii[c as usize * words + (i >> 6)] |= bit;
-        } else {
-            mask_other.entry(c).or_insert_with(|| vec![0; words])[i >> 6] |= bit;
-        }
-    }
-    CharMasks {
-        ascii: mask_ascii,
-        other: mask_other,
-        words,
-    }
-}
-
-/// Caches the per-corpus state (TF-IDF model, reconstructed token texts,
-/// and the batch path's per-record/per-term precomputations) so feature
-/// extraction over many pairs is cheap.
+/// Caches the per-corpus state (TF-IDF model, the reconstructed token
+/// texts on a contiguous [`StrTape`], and the batch path's
+/// per-record/per-term precomputations) so feature extraction over many
+/// pairs is cheap.
 #[derive(Debug)]
 pub struct FeatureExtractor<'a> {
     corpus: &'a Corpus,
     tfidf: TfIdfModel,
-    texts: Vec<String>,
+    /// Every record text (post-filter tokens joined by spaces) on one
+    /// tape: `&str` views for the oracle metrics, char slices for the
+    /// DP/Jaro kernels, BMP code units for the vectorized
+    /// Smith-Waterman.
+    tape: StrTape,
     token_strs: Vec<Vec<String>>,
-    /// Per record: `texts[r]` as a char vector (the DP/Jaro input).
-    text_chars: Vec<Vec<char>>,
-    /// Per record: the chars as UTF-16 code units, when they all fit in
-    /// the BMP — the vectorized Smith-Waterman input (`None` falls back
-    /// to the scalar char DP).
-    text_u16: Vec<Option<Vec<u16>>>,
     /// Per record: sorted `(packed bigram, count)` runs of the padded
-    /// character-bigram multiset of `texts[r]`, plus the total count.
+    /// character-bigram multiset of the record text, plus the total.
     bigrams: Vec<Vec<(u64, u32)>>,
     bigram_totals: Vec<u32>,
     /// Per vocab term: its Soundex code, if the term encodes.
@@ -169,7 +68,7 @@ impl<'a> FeatureExtractor<'a> {
     /// Builds the extractor (O(corpus)).
     pub fn new(corpus: &'a Corpus) -> Self {
         let tfidf = TfIdfModel::fit(corpus);
-        let mut texts = Vec::with_capacity(corpus.len());
+        let tape = StrTape::from_corpus(corpus);
         let mut token_strs = Vec::with_capacity(corpus.len());
         for r in 0..corpus.len() {
             let toks: Vec<String> = corpus
@@ -177,22 +76,12 @@ impl<'a> FeatureExtractor<'a> {
                 .iter()
                 .map(|&t| corpus.vocab().term(t).to_owned())
                 .collect();
-            texts.push(toks.join(" "));
             token_strs.push(toks);
         }
-        let text_chars: Vec<Vec<char>> = texts.iter().map(|t| t.chars().collect()).collect();
-        let text_u16: Vec<Option<Vec<u16>>> = text_chars
-            .iter()
-            .map(|cs| {
-                cs.iter()
-                    .map(|&c| u16::try_from(c as u32).ok())
-                    .collect::<Option<Vec<u16>>>()
-            })
-            .collect();
-        let mut bigrams = Vec::with_capacity(texts.len());
-        let mut bigram_totals = Vec::with_capacity(texts.len());
-        for chars in &text_chars {
-            let (runs, total) = packed_bigram_runs(chars);
+        let mut bigrams = Vec::with_capacity(corpus.len());
+        let mut bigram_totals = Vec::with_capacity(corpus.len());
+        for r in 0..corpus.len() {
+            let (runs, total) = packed_bigram_runs(tape.chars(r));
             bigrams.push(runs);
             bigram_totals.push(total);
         }
@@ -205,10 +94,8 @@ impl<'a> FeatureExtractor<'a> {
         Self {
             corpus,
             tfidf,
-            texts,
+            tape,
             token_strs,
-            text_chars,
-            text_u16,
             bigrams,
             bigram_totals,
             term_soundex,
@@ -231,11 +118,11 @@ impl<'a> FeatureExtractor<'a> {
             overlap_coefficient(sa, sb),
             cosine_tokens(sa, sb),
             self.tfidf.cosine(a, b),
-            levenshtein_similarity(&self.texts[a], &self.texts[b]),
-            jaro_winkler(&self.texts[a], &self.texts[b]),
-            ngram_similarity(&self.texts[a], &self.texts[b], 2),
+            levenshtein_similarity(self.tape.text(a), self.tape.text(b)),
+            jaro_winkler(self.tape.text(a), self.tape.text(b)),
+            ngram_similarity(self.tape.text(a), self.tape.text(b), 2),
             monge_elkan(&ta, &tb, jaro_winkler),
-            smith_waterman_similarity(&self.texts[a], &self.texts[b]),
+            smith_waterman_similarity(self.tape.text(a), self.tape.text(b)),
             // Fraction of tokens in the shorter record with a Soundex
             // twin in the other — phonetic agreement.
             phonetic_overlap(&ta, &tb),
@@ -277,14 +164,14 @@ impl<'a> FeatureExtractor<'a> {
     }
 
     /// The batch path's per-pair kernel: every feature from precomputed
-    /// record/term state and reusable scratch, each bit-identical to its
-    /// [`FeatureExtractor::features`] counterpart.
+    /// record/term state and the shared-engine scratch, each
+    /// bit-identical to its [`FeatureExtractor::features`] counterpart.
     fn features_prepared(&self, a: u32, b: u32, scratch: &mut FeatureScratch) -> Vec<f64> {
         let (a, b) = (a as usize, b as usize);
         let sa = self.corpus.term_set(a);
         let sb = self.corpus.term_set(b);
-        let ca = &self.text_chars[a];
-        let cb = &self.text_chars[b];
+        let ca = self.tape.chars(a);
+        let cb = self.tape.chars(b);
         let toks_a = self.corpus.tokens(a);
         let toks_b = self.corpus.tokens(b);
         let len_a = toks_a.len().max(1) as f64;
@@ -295,75 +182,22 @@ impl<'a> FeatureExtractor<'a> {
             overlap_coefficient(sa, sb),
             cosine_tokens(sa, sb),
             self.tfidf.cosine(a, b),
-            self.levenshtein_prepared(ca, cb, scratch),
+            levenshtein_prepared(ca, cb, scratch),
             jaro_winkler_prepared(ca, cb, scratch),
             self.ngram_prepared(a, b),
-            self.monge_elkan_memoized(a, b, scratch),
-            self.smith_waterman_prepared(a, b, scratch),
+            monge_elkan_memoized(self.corpus, a, b, scratch),
+            smith_waterman_prepared(ca, cb, self.tape.units(a), self.tape.units(b), scratch),
             self.phonetic_prepared(toks_a, toks_b),
             len_a.min(len_b) / len_a.max(len_b),
         ]
-    }
-
-    /// `levenshtein_similarity` via Myers' bit-parallel algorithm in its
-    /// block form (the edlib `calculateBlock` update), pattern = the
-    /// shorter string. The distance is the same exact integer the
-    /// reference DP produces — Levenshtein is symmetric — so the
-    /// similarity is bit-identical.
-    fn levenshtein_prepared(&self, a: &[char], b: &[char], scratch: &mut FeatureScratch) -> f64 {
-        let max = a.len().max(b.len());
-        if max == 0 {
-            return 1.0;
-        }
-        let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
-        let dist = if short.is_empty() {
-            long.len()
-        } else {
-            myers_distance(short, long, scratch)
-        };
-        1.0 - dist as f64 / max as f64
-    }
-
-    /// `smith_waterman_similarity` with the default scoring (match 1.0,
-    /// mismatch −1.0, gap −0.5) on a doubled-integer DP. Every cell of
-    /// the reference float DP is an exact multiple of 0.5, so doubling
-    /// the increments (+2/−2/−1, floor 0) gives `cell × 2` exactly, and
-    /// halving the best score reproduces the float result bit for bit.
-    /// BMP-only texts take the vectorizable antidiagonal kernel; the
-    /// rolling-row char DP covers the rest (identical integers either
-    /// way).
-    fn smith_waterman_prepared(
-        &self,
-        a_rec: usize,
-        b_rec: usize,
-        scratch: &mut FeatureScratch,
-    ) -> f64 {
-        let a = &self.text_chars[a_rec];
-        let b = &self.text_chars[b_rec];
-        let min_len = a.len().min(b.len());
-        if min_len == 0 {
-            return if a.is_empty() && b.is_empty() {
-                1.0
-            } else {
-                0.0
-            };
-        }
-        // The doubled i16 cells are bounded by 2·min_len; stay far from
-        // saturation before trusting the i16 kernel.
-        let best = match (&self.text_u16[a_rec], &self.text_u16[b_rec]) {
-            (Some(wa), Some(wb)) if min_len <= 8000 => sw_antidiag(wa, wb, scratch),
-            _ => sw_scalar(a, b, scratch),
-        };
-        let score = f64::from(best) / 2.0;
-        (score / min_len as f64).clamp(0.0, 1.0)
     }
 
     /// `ngram_similarity(…, 2)` over the precomputed sorted bigram runs:
     /// the same multiset totals and minimum-count intersection, summed in
     /// integers, so the same quotient.
     fn ngram_prepared(&self, a: usize, b: usize) -> f64 {
-        let empty_a = self.text_chars[a].is_empty();
-        let empty_b = self.text_chars[b].is_empty();
+        let empty_a = self.tape.char_len(a) == 0;
+        let empty_b = self.tape.char_len(b) == 0;
         if empty_a && empty_b {
             return 1.0;
         }
@@ -391,62 +225,6 @@ impl<'a> FeatureExtractor<'a> {
         2.0 * f64::from(inter) / f64::from(total)
     }
 
-    /// `monge_elkan` with two memo levels over interned ids: the inner
-    /// Jaro-Winkler depends only on the two token ids, and each
-    /// direction's inner maximum `max_y jw(x, y)` depends only on
-    /// `(x, partner record)` — both deterministic functions of their
-    /// key, so caching repeats the exact value the reference recomputes.
-    /// The outer fold order over `xs` is unchanged.
-    fn monge_elkan_memoized(&self, a: usize, b: usize, scratch: &mut FeatureScratch) -> f64 {
-        let toks_a = self.corpus.tokens(a);
-        let toks_b = self.corpus.tokens(b);
-        if toks_a.is_empty() && toks_b.is_empty() {
-            return 1.0;
-        }
-        if toks_a.is_empty() || toks_b.is_empty() {
-            return 0.0;
-        }
-        let n_terms = self.corpus.vocab_len();
-        if scratch.jw_by_term.len() < n_terms {
-            scratch.jw_by_term.resize_with(n_terms, TermCache::default);
-            scratch
-                .best_by_term
-                .resize_with(n_terms, TermCache::default);
-        }
-        let FeatureScratch {
-            jw_by_term,
-            best_by_term,
-            ..
-        } = scratch;
-        let vocab = self.corpus.vocab();
-        let mut dir = |xs: &[er_text::TermId], other: u32, ys: &[er_text::TermId]| -> f64 {
-            let mut total = 0.0f64;
-            for &x in xs {
-                let best = if let Some(&v) = best_by_term[x.index()].get(&other) {
-                    v
-                } else {
-                    let jw_x = &mut jw_by_term[x.index()];
-                    let mut best = 0.0f64;
-                    for &y in ys {
-                        let jw = if let Some(&v) = jw_x.get(&y.0) {
-                            v
-                        } else {
-                            let v = jaro_winkler(vocab.term(x), vocab.term(y));
-                            jw_x.insert(y.0, v);
-                            v
-                        };
-                        best = best.max(jw);
-                    }
-                    best_by_term[x.index()].insert(other, best);
-                    best
-                };
-                total += best;
-            }
-            total / xs.len() as f64
-        };
-        0.5 * (dir(toks_a, b as u32, toks_b) + dir(toks_b, a as u32, toks_a))
-    }
-
     /// `phonetic_overlap` over precomputed per-term Soundex codes.
     fn phonetic_prepared(&self, toks_a: &[er_text::TermId], toks_b: &[er_text::TermId]) -> f64 {
         if toks_a.is_empty() && toks_b.is_empty() {
@@ -471,247 +249,6 @@ impl<'a> FeatureExtractor<'a> {
             .count();
         hits as f64 / short.len() as f64
     }
-}
-
-/// Doubled-integer Smith-Waterman, rolling-row form — the fallback for
-/// non-BMP texts. `row[j]` holds the previous row's value until
-/// overwritten; the diagonal is carried in a local.
-fn sw_scalar(a: &[char], b: &[char], scratch: &mut FeatureScratch) -> i32 {
-    let row = &mut scratch.sw_row;
-    row.clear();
-    row.resize(b.len(), 0);
-    let mut best = 0i32;
-    for &ac in a {
-        let mut diag = 0i32;
-        let mut left = 0i32;
-        for (&bc, cell) in b.iter().zip(row.iter_mut()) {
-            let up = *cell;
-            let sub = if ac == bc { 2 } else { -2 };
-            let v = (diag + sub).max(up.max(left) - 1).max(0);
-            *cell = v;
-            diag = up;
-            left = v;
-            best = best.max(v);
-        }
-    }
-    best
-}
-
-/// Doubled-integer Smith-Waterman over antidiagonals. Cells on one
-/// antidiagonal depend only on the two previous antidiagonals, so the
-/// inner loop carries no dependency and LLVM auto-vectorizes the i16
-/// lanes. Same max/add integers as [`sw_scalar`], just reassociated
-/// cell order — the result is the identical `best`.
-fn sw_antidiag(a: &[u16], b: &[u16], scratch: &mut FeatureScratch) -> i32 {
-    let (n, m) = (a.len(), b.len());
-    let FeatureScratch {
-        sw_d0,
-        sw_d1,
-        sw_d2,
-        sw_rev,
-        ..
-    } = scratch;
-    // Reverse `b` so the antidiagonal's `b[d - i]` reads become forward
-    // loads: with `br[k] = b[m-1-k]`, `b[d - i] = br[m-1-d+i]`.
-    sw_rev.clear();
-    sw_rev.extend(b.iter().rev());
-    for buf in [&mut *sw_d0, &mut *sw_d1, &mut *sw_d2] {
-        buf.clear();
-        buf.resize(n, 0);
-    }
-    let mut best = 0i16;
-    for d in 0..n + m - 1 {
-        let i_lo = (d + 1).saturating_sub(m);
-        let i_hi = d.min(n - 1);
-        // Border cells (first row / first column): missing neighbors
-        // are the zero boundary.
-        if i_lo == 0 {
-            let left = if d >= 1 { sw_d1[0] } else { 0 };
-            let sub = if a[0] == b[d] { 2 } else { -2 };
-            sw_d0[0] = sub.max(left - 1).max(0);
-        }
-        if i_hi == d && d >= 1 {
-            let up = sw_d1[d - 1];
-            let sub = if a[d] == b[0] { 2 } else { -2 };
-            sw_d0[d] = sub.max(up - 1).max(0);
-        }
-        // Interior: all three neighbors in-matrix, straight-line zips.
-        let lo = i_lo.max(1);
-        let hi = i_hi.min(d.wrapping_sub(1));
-        if d >= 2 && lo <= hi {
-            let len = hi - lo + 1;
-            let k0 = (m + lo - 1) - d;
-            let (diags, ups, up_lefts) = (
-                &sw_d2[lo - 1..lo - 1 + len],
-                &sw_d1[lo..lo + len],
-                &sw_d1[lo - 1..lo - 1 + len],
-            );
-            let (acs, bcs) = (&a[lo..lo + len], &sw_rev[k0..k0 + len]);
-            let out = &mut sw_d0[lo..lo + len];
-            let neighbors = diags.iter().zip(ups).zip(up_lefts);
-            let chars = acs.iter().zip(bcs);
-            for ((o, ((&dg, &up), &ul)), (&ac, &bc)) in out.iter_mut().zip(neighbors).zip(chars) {
-                let sub = if ac == bc { 2i16 } else { -2 };
-                *o = (dg + sub).max(up.max(ul) - 1).max(0);
-            }
-        }
-        let mut diag_best = 0i16;
-        for &v in &sw_d0[i_lo..=i_hi] {
-            diag_best = diag_best.max(v);
-        }
-        best = best.max(diag_best);
-        std::mem::swap(sw_d1, sw_d2);
-        std::mem::swap(sw_d0, sw_d1);
-    }
-    i32::from(best)
-}
-
-/// Levenshtein distance via Myers' bit-parallel algorithm, block form —
-/// the `calculateBlock` update popularized by edlib. Vertical deltas
-/// live in `VP`/`VN` words over the pattern; per text character the
-/// horizontal delta chains across words through `hp`/`hn` carry bits
-/// (the boundary column contributes the constant `+1` carry into word
-/// 0). Computes the exact integer distance of the reference DP.
-fn myers_distance(pattern: &[char], text: &[char], scratch: &mut FeatureScratch) -> usize {
-    let m = pattern.len();
-    let words = m.div_ceil(64);
-    let FeatureScratch {
-        mask_ascii,
-        mask_other,
-        lev_vp,
-        lev_vn,
-        ..
-    } = scratch;
-    let masks = build_masks(mask_ascii, mask_other, pattern, words);
-    lev_vp.clear();
-    lev_vp.resize(words, !0u64);
-    lev_vn.clear();
-    lev_vn.resize(words, 0);
-    let mut score = m;
-    let last = words - 1;
-    let last_bit = 1u64 << ((m - 1) & 63);
-    for &c in text {
-        let eq_row = masks.row(c);
-        let mut hp_in = 1u64;
-        let mut hn_in = 0u64;
-        for j in 0..words {
-            let eq = eq_row.map_or(0, |r| r[j]);
-            let pv = lev_vp[j];
-            let nv = lev_vn[j];
-            let xv = eq | nv;
-            let eq_h = eq | hn_in;
-            let xh = ((eq_h & pv).wrapping_add(pv) ^ pv) | eq_h;
-            let hp = nv | !(xh | pv);
-            let hn = pv & xh;
-            if j == last {
-                if hp & last_bit != 0 {
-                    score += 1;
-                } else if hn & last_bit != 0 {
-                    score -= 1;
-                }
-            }
-            let hp_out = hp >> 63;
-            let hn_out = hn >> 63;
-            let hp = (hp << 1) | hp_in;
-            let hn = (hn << 1) | hn_in;
-            hp_in = hp_out;
-            hn_in = hn_out;
-            lev_vp[j] = hn | !(xv | hp);
-            lev_vn[j] = hp & xv;
-        }
-    }
-    score
-}
-
-/// `jaro` with the match scan bit-parallelized: `b`'s positions live in
-/// per-character bitmasks, matched positions in a `taken` bitmask, so
-/// "first unmatched occurrence of `ca` inside the window" is a masked
-/// word scan + `trailing_zeros` — the same position the reference's
-/// linear scan picks, so the same matches, transpositions, and bits.
-fn jaro_prepared(a: &[char], b: &[char], scratch: &mut FeatureScratch) -> f64 {
-    if a.is_empty() && b.is_empty() {
-        return 1.0;
-    }
-    if a.is_empty() || b.is_empty() {
-        return 0.0;
-    }
-    if a.len() == 1 && b.len() == 1 {
-        return if a[0] == b[0] { 1.0 } else { 0.0 };
-    }
-    let window = (a.len().max(b.len()) / 2).saturating_sub(1);
-    let words = b.len().div_ceil(64);
-    let FeatureScratch {
-        mask_ascii,
-        mask_other,
-        taken,
-        a_matches,
-        b_matches,
-        ..
-    } = scratch;
-    let masks = build_masks(mask_ascii, mask_other, b, words);
-    taken.clear();
-    taken.resize(words, 0);
-    a_matches.clear();
-    for (i, &ca) in a.iter().enumerate() {
-        let lo = i.saturating_sub(window);
-        let hi = (i + window + 1).min(b.len());
-        if lo >= hi {
-            continue;
-        }
-        let Some(eq) = masks.row(ca) else { continue };
-        let w_lo = lo >> 6;
-        let w_hi = (hi - 1) >> 6;
-        for w in w_lo..=w_hi {
-            let mut cand = eq[w] & !taken[w];
-            if w == w_lo {
-                cand &= !((1u64 << (lo & 63)) - 1);
-            }
-            if w == w_hi {
-                let top = hi - (w << 6);
-                if top < 64 {
-                    cand &= (1u64 << top) - 1;
-                }
-            }
-            if cand != 0 {
-                taken[w] |= cand & cand.wrapping_neg();
-                a_matches.push(ca);
-                break;
-            }
-        }
-    }
-    let m = a_matches.len();
-    if m == 0 {
-        return 0.0;
-    }
-    b_matches.clear();
-    for (w, &tw) in taken.iter().enumerate() {
-        let mut tw = tw;
-        while tw != 0 {
-            b_matches.push(b[(w << 6) + tw.trailing_zeros() as usize]);
-            tw &= tw - 1;
-        }
-    }
-    let transpositions = a_matches
-        .iter()
-        .zip(b_matches.iter())
-        .filter(|(x, y)| x != y)
-        .count()
-        / 2;
-    let m = m as f64;
-    let t = transpositions as f64;
-    (m / a.len() as f64 + m / b.len() as f64 + (m - t) / m) / 3.0
-}
-
-/// `jaro_winkler` on top of [`jaro_prepared`] — same prefix bonus.
-fn jaro_winkler_prepared(a: &[char], b: &[char], scratch: &mut FeatureScratch) -> f64 {
-    let j = jaro_prepared(a, b, scratch);
-    let prefix = a
-        .iter()
-        .zip(b.iter())
-        .take(4)
-        .take_while(|(x, y)| x == y)
-        .count();
-    j + prefix as f64 * 0.1 * (1.0 - j)
 }
 
 /// The padded character-bigram multiset of a text as sorted
@@ -903,78 +440,6 @@ mod tests {
         for threads in [2usize, 8] {
             let pooled = fx.extract_all(&pairs, &WorkerPool::new(threads));
             assert_eq!(serial, pooled, "diverged at {threads} threads");
-        }
-    }
-
-    mod prop {
-        use super::*;
-        use proptest::prelude::*;
-
-        /// Strings long enough to need multiple 64-bit words, over a
-        /// small alphabet (dense matches) plus non-ASCII characters
-        /// (the mask-table fallback path).
-        fn text_strategy() -> impl Strategy<Value = String> {
-            proptest::collection::vec(
-                (0usize..5).prop_map(|i| ['a', 'b', 'c', 'é', '日'][i]),
-                0..200,
-            )
-            .prop_map(|cs| cs.into_iter().collect())
-        }
-
-        proptest! {
-            #[test]
-            fn myers_matches_reference_levenshtein(a in text_strategy(), b in text_strategy()) {
-                let ca: Vec<char> = a.chars().collect();
-                let cb: Vec<char> = b.chars().collect();
-                let mut scratch = FeatureScratch::default();
-                let max = ca.len().max(cb.len());
-                let fast = if max == 0 {
-                    1.0
-                } else {
-                    let (short, long) = if ca.len() <= cb.len() { (&ca, &cb) } else { (&cb, &ca) };
-                    let dist = if short.is_empty() {
-                        long.len()
-                    } else {
-                        myers_distance(short, long, &mut scratch)
-                    };
-                    1.0 - dist as f64 / max as f64
-                };
-                let reference = levenshtein_similarity(&a, &b);
-                prop_assert_eq!(fast.to_bits(), reference.to_bits());
-            }
-
-            #[test]
-            fn antidiagonal_sw_matches_scalar_and_reference(
-                a in text_strategy(),
-                b in text_strategy(),
-            ) {
-                let ca: Vec<char> = a.chars().collect();
-                let cb: Vec<char> = b.chars().collect();
-                let mut scratch = FeatureScratch::default();
-                let min_len = ca.len().min(cb.len());
-                let fast = if min_len == 0 {
-                    if ca.is_empty() && cb.is_empty() { 1.0 } else { 0.0 }
-                } else {
-                    let wa: Vec<u16> = ca.iter().map(|&c| c as u16).collect();
-                    let wb: Vec<u16> = cb.iter().map(|&c| c as u16).collect();
-                    let anti = sw_antidiag(&wa, &wb, &mut scratch);
-                    let scalar = sw_scalar(&ca, &cb, &mut scratch);
-                    prop_assert_eq!(anti, scalar);
-                    (f64::from(anti) / 2.0 / min_len as f64).clamp(0.0, 1.0)
-                };
-                let reference = smith_waterman_similarity(&a, &b);
-                prop_assert_eq!(fast.to_bits(), reference.to_bits());
-            }
-
-            #[test]
-            fn bit_parallel_jaro_matches_reference(a in text_strategy(), b in text_strategy()) {
-                let ca: Vec<char> = a.chars().collect();
-                let cb: Vec<char> = b.chars().collect();
-                let mut scratch = FeatureScratch::default();
-                let fast = jaro_winkler_prepared(&ca, &cb, &mut scratch);
-                let reference = jaro_winkler(&a, &b);
-                prop_assert_eq!(fast.to_bits(), reference.to_bits());
-            }
         }
     }
 

@@ -19,6 +19,10 @@
 //!   string-distance baselines (Jaccard, TF-IDF cosine) and by the
 //!   supervised baselines' feature extractors (edit distance, Jaro,
 //!   Jaro-Winkler, n-gram overlap, Monge-Elkan, SoftTFIDF, …).
+//! * [`simeng`] — the batched similarity engine: a [`StrTape`] arena
+//!   holding every record text contiguously and a [`BatchScorer`] that
+//!   scores slices of pair indices against it with the bit-parallel /
+//!   antidiagonal DP kernels, bit-identical to the [`metrics`] oracles.
 //!
 //! Everything here is deterministic and allocation-conscious: records are
 //! interned once and all downstream algorithms work with integer term ids.
@@ -41,6 +45,7 @@ pub mod blocking;
 pub mod corpus;
 pub mod metrics;
 pub mod normalize;
+pub mod simeng;
 pub mod tokenize;
 
 pub use blocking::{sorted_neighborhood, token_blocking};
@@ -50,4 +55,5 @@ pub use metrics::{
     monge_elkan, ngram_similarity, overlap_coefficient, soft_tfidf, StringMetric, TfIdfModel,
 };
 pub use normalize::normalize;
+pub use simeng::{BatchScorer, SimKernel, SimScratch, StrTape};
 pub use tokenize::{tokenize, tokenize_normalized, TermId, Vocabulary};

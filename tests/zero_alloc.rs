@@ -1,31 +1,60 @@
-//! Steady-state allocation contract of the CliqueRank recurrence.
+//! Steady-state allocation contracts of the hot per-element loops.
 //!
-//! After a warm-up solve has grown the scratch arena, the pack buffers,
-//! and the sparse-kernel CSR scratch to their high-water marks, repeating
-//! the solve on the same component must perform **zero** heap
-//! allocations — both on the dense (packed matmul) path and on the
-//! edgewise sparse path. A counting global allocator pins that contract;
-//! any regression (a stray `clone`, a `Vec` built inside the step loop, a
-//! matrix allocated per iteration) turns into a test failure rather than
-//! a silent slowdown.
+//! Two subsystems promise zero heap allocations once warm:
 //!
-//! This file deliberately holds a single `#[test]`: the counter is
-//! process-global, and sibling tests running on other threads would
-//! otherwise bleed allocations into the measurement window.
+//! * **CliqueRank recurrence** — after a warm-up solve has grown the
+//!   scratch arena, the pack buffers, and the sparse-kernel CSR scratch
+//!   to their high-water marks, repeating the solve on the same
+//!   component must allocate nothing, on both the dense (packed matmul)
+//!   and the edgewise sparse path.
+//! * **Batch similarity engine** — after one pass over a pair batch has
+//!   grown `SimScratch` (DP rows, bit-parallel masks, Monge-Elkan memo
+//!   tables, the stamped non-ASCII mask rows), re-scoring the batch on
+//!   every kernel must allocate nothing. The string tape build is
+//!   excluded: it is a once-per-dataset cost by design.
+//!
+//! A counting global allocator pins both contracts; any regression (a
+//! stray `clone`, a `Vec` built inside the step loop, a mask row dropped
+//! and rebuilt per pair) turns into a test failure rather than a silent
+//! slowdown.
+//!
+//! Both contracts are single-threaded by construction (`threads = 1`
+//! configs, an always-serial pool), so the counter is **thread-scoped**:
+//! only allocations made by the measuring thread count. A process-global
+//! counter is not an option — the libtest harness's main thread lazily
+//! initializes its `std::sync::mpmc` receive context (an `Arc` plus a
+//! waker) on its first blocking `recv`, and that once-per-process
+//! allocation lands inside the armed window often enough to flake the
+//! gate. The thread-local is `const`-initialized so reading it from
+//! inside the allocator can never itself allocate (no lazy TLS init, no
+//! destructor registration).
+//!
+//! This file deliberately holds a single `#[test]`: the counter design
+//! assumes one measuring thread at a time.
 
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use er_core::{solve_component_into, BoostMode, CliqueRankConfig, CliqueScratch, Kernel};
 use er_graph::{bipartite::PairNode, RecordGraph};
+use er_pool::{DispatchPolicy, WorkerPool};
+use er_text::{BatchScorer, CorpusBuilder, SimKernel};
 
 /// Delegates to the system allocator, counting allocation calls while
 /// armed. `realloc`/`alloc_zeroed` use the `GlobalAlloc` defaults, which
 /// route through `alloc`, so growth is counted too.
 struct CountingAlloc;
 
-static ARMED: AtomicBool = AtomicBool::new(false);
 static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Whether allocations on *this* thread are being measured.
+    /// `const`-initialized: access from the allocator is a plain TLS
+    /// read with no lazy-init allocation (`Cell<bool>` has no
+    /// destructor to register either).
+    static ARMED: Cell<bool> = const { Cell::new(false) };
+}
 
 // The workspace-wide `#![deny(unsafe_code)]` walls apply to the library
 // crates; this integration test is the one place a `GlobalAlloc` shim is
@@ -34,7 +63,7 @@ static ALLOCS: AtomicUsize = AtomicUsize::new(0);
 // bumps; upholds the `GlobalAlloc` contract exactly as `System` does.
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        if ARMED.load(Ordering::Relaxed) {
+        if ARMED.with(Cell::get) {
             ALLOCS.fetch_add(1, Ordering::Relaxed);
         }
         // SAFETY: same layout, delegated verbatim to the system allocator.
@@ -50,12 +79,14 @@ unsafe impl GlobalAlloc for CountingAlloc {
 #[global_allocator]
 static ALLOCATOR: CountingAlloc = CountingAlloc;
 
-/// Allocations performed by `f` while the counter is armed.
+/// Allocations performed on this thread by `f` while the counter is
+/// armed. The measured paths run `threads = 1` / always-serial, so the
+/// calling thread performs every allocation under test.
 fn count_allocs(f: impl FnOnce()) -> usize {
     ALLOCS.store(0, Ordering::SeqCst);
-    ARMED.store(true, Ordering::SeqCst);
+    ARMED.with(|armed| armed.set(true));
     f();
-    ARMED.store(false, Ordering::SeqCst);
+    ARMED.with(|armed| armed.set(false));
     ALLOCS.load(Ordering::SeqCst)
 }
 
@@ -119,8 +150,56 @@ fn assert_steady_state_alloc_free(kernel: Kernel, label: &str) {
     assert_eq!(out, baseline, "{label}: repeat solve must be bit-identical");
 }
 
+/// Warm batch scoring must be alloc-free on every kernel: the tape is
+/// built once, the serial pool keeps the whole batch on the caller
+/// thread, and one warm-up sweep grows the checked-out `SimScratch` (DP
+/// rows, masks, memo tables — including the generation-stamped rows the
+/// non-ASCII characters exercise) to its high-water mark.
+fn assert_batch_scorer_steady_state() {
+    let corpus = CorpusBuilder::new()
+        .push_text("fenix argyle 8358 sunset blvd")
+        .push_text("fenix 8358 sunset blvd hollywood")
+        .push_text("café très münchen 8358")
+        .push_text("cafe tres munchen 8358")
+        .push_text("grill on the alley 9560 dayton way")
+        .push_text("grill alley 9560 dayton")
+        .build();
+    let scorer = BatchScorer::new(&corpus);
+    let idx: Vec<(u32, u32)> = (0..corpus.len() as u32)
+        .flat_map(|a| ((a + 1)..corpus.len() as u32).map(move |b| (a, b)))
+        .collect();
+    let pool = WorkerPool::with_policy(1, DispatchPolicy::always_serial());
+    let mut out = vec![0.0f64; idx.len()];
+
+    // Warm-up: every kernel touches its own scratch regions.
+    let mut baseline = Vec::new();
+    for kernel in SimKernel::ALL {
+        scorer.score_into(kernel, &idx, &mut out, &pool);
+        baseline.push(out.clone());
+    }
+
+    for (kernel, expect) in SimKernel::ALL.into_iter().zip(&baseline) {
+        let allocs = count_allocs(|| {
+            scorer.score_into(kernel, &idx, &mut out, &pool);
+        });
+        assert_eq!(
+            allocs,
+            0,
+            "{}: warm batch scoring must not allocate",
+            kernel.name()
+        );
+        assert_eq!(
+            &out,
+            expect,
+            "{}: repeat batch must be bit-identical",
+            kernel.name()
+        );
+    }
+}
+
 #[test]
 fn cliquerank_recurrence_steady_state_allocates_nothing() {
     assert_steady_state_alloc_free(Kernel::Dense, "dense packed path");
     assert_steady_state_alloc_free(Kernel::Sparse, "edgewise sparse path");
+    assert_batch_scorer_steady_state();
 }
