@@ -105,6 +105,8 @@ fn recorded_run(
         threads: threads as u64,
         scaling_ratio: None,
         dispatch_mode,
+        reduction_ratio: None,
+        pair_completeness: None,
         report,
     }
 }
@@ -310,6 +312,8 @@ fn cache_and_alloc_runs(graph: &er_graph::BipartiteGraph, name: &str, file: &mut
         threads: 1,
         scaling_ratio: None,
         dispatch_mode: None,
+        reduction_ratio: None,
+        pair_completeness: None,
         report,
     });
 }

@@ -71,6 +71,8 @@ fn recorded_run(
         threads: threads as u64,
         scaling_ratio: None,
         dispatch_mode,
+        reduction_ratio: None,
+        pair_completeness: None,
         report,
     }
 }

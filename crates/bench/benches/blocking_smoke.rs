@@ -1,0 +1,97 @@
+//! **blocking_smoke** — CI gate for candidate-generation scaling and
+//! recall.
+//!
+//! Runs the meta-blocking strategy (token blocks + banding LSH →
+//! purge/filter/prune) on two fixed census sizes and fails the build
+//! when either invariant breaks:
+//!
+//! 1. **Near-linear growth** — candidates-per-record at 60 k records
+//!    must stay within 2× of the 20 k value. A quadratic (or
+//!    superlinear) regression in blocking shows up here immediately
+//!    because the census generator pins per-term block sizes across
+//!    scales.
+//! 2. **Recall floor** — pair completeness ≥ 0.95 at both sizes: the
+//!    pruning pipeline must not buy its reduction ratio with missed
+//!    duplicates.
+//!
+//! Sizes are fixed (no `ER_SCALE`) so the gate is comparable across CI
+//! runs. Exits non-zero on failure, like the other `*_smoke` targets.
+
+use std::time::Instant;
+
+use er_bench::{bench_threads, fmt_duration};
+use er_datasets::generators::census;
+use er_datasets::CensusConfig;
+use er_pool::WorkerPool;
+use er_text::blocking::{reduction_ratio, BlockingStrategy};
+use er_text::CorpusBuilder;
+use unsupervised_er::pipeline::DEFAULT_MAX_DF_FRACTION;
+
+const SIZES: [usize; 2] = [20_000, 60_000];
+const MAX_GROWTH: f64 = 2.0;
+const MIN_COMPLETENESS: f64 = 0.95;
+
+fn main() {
+    let pool = WorkerPool::new(bench_threads());
+    let strategy = BlockingStrategy::meta_default();
+    println!("blocking_smoke — meta-blocking scaling + recall gate");
+
+    let mut curve: Vec<(usize, f64, f64)> = Vec::new();
+    for n in SIZES {
+        let dataset = census::generate(&CensusConfig {
+            records: n,
+            duplicate_rate: 0.2,
+            seed: 0xCE_0505,
+        });
+        let corpus = CorpusBuilder::new()
+            .extend_texts(dataset.texts())
+            .max_df_fraction(DEFAULT_MAX_DF_FRACTION)
+            .build();
+        let mut truth = dataset.matching_pairs();
+        truth.sort_unstable();
+
+        let t = Instant::now();
+        let pairs = strategy.candidate_pairs(&corpus, &pool);
+        let elapsed = t.elapsed();
+        let found = truth
+            .iter()
+            .filter(|p| pairs.binary_search(p).is_ok())
+            .count();
+        let pc = found as f64 / truth.len() as f64;
+        let cpr = pairs.len() as f64 / n as f64;
+        println!(
+            "  n={n:<6} candidates={:<9} cand/rec={cpr:<7.2} red.ratio={:<9.6} pair-compl={pc:.4} ({})",
+            pairs.len(),
+            reduction_ratio(n, pairs.len()),
+            fmt_duration(elapsed)
+        );
+        curve.push((n, cpr, pc));
+    }
+
+    let growth = curve[1].1 / curve[0].1;
+    println!(
+        "  cand/rec growth {}k -> {}k: {growth:.2}x",
+        SIZES[0] / 1000,
+        SIZES[1] / 1000
+    );
+    let mut failed = false;
+    if growth > MAX_GROWTH {
+        eprintln!(
+            "FAIL: candidates-per-record grew {growth:.2}x from {} to {} records (max {MAX_GROWTH}x) — blocking is superlinear",
+            SIZES[0], SIZES[1]
+        );
+        failed = true;
+    }
+    for &(n, _, pc) in &curve {
+        if pc < MIN_COMPLETENESS {
+            eprintln!(
+                "FAIL: pair completeness {pc:.4} at n={n} is below the {MIN_COMPLETENESS} floor — pruning is dropping duplicates"
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("blocking_smoke OK");
+}

@@ -90,6 +90,8 @@ fn timed_run(
         threads: threads as u64,
         scaling_ratio: None,
         dispatch_mode: None,
+        reduction_ratio: None,
+        pair_completeness: None,
         report: Report {
             spans: vec![SpanStat {
                 path: "eval".to_owned(),

@@ -1,0 +1,311 @@
+//! Census-style dataset — the million-record blocking benchmark.
+//!
+//! The paper's three benchmarks top out below 10⁵ records, which never
+//! stresses candidate *generation*; this generator produces 10⁵–10⁷
+//! person records (name, street address, city, phone) with a controlled
+//! duplicate rate, sized so blocking quality is measurable: every
+//! word pool grows **proportionally to the record count**, keeping the
+//! per-term block-size distribution flat across scales. A blocking
+//! scheme with near-linear candidate growth therefore shows a flat
+//! candidates-per-record curve here, and a quadratic one does not —
+//! which is exactly the acceptance gate `bench_blocking` measures.
+//!
+//! Duplicates are re-entries of the same person with census-typical
+//! noise: a typo in a name, an initialed given name, an abbreviated
+//! street suffix, digit noise in the street number or phone, and light
+//! token dropping. The phone number is the near-unique anchor term
+//! (frequency tier 1), names and streets are mid-frequency, the city is
+//! high-frequency.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::corruption::{abbreviate, digit_noise, drop_tokens, typo};
+use crate::record::{Dataset, Record, SourcePolicy};
+use crate::wordpool::{phone, synth_pool, STREET_SUFFIXES};
+
+/// Configuration for the census generator.
+#[derive(Debug, Clone, Copy)]
+pub struct CensusConfig {
+    /// Total records (default: one million).
+    pub records: usize,
+    /// Fraction of records that are duplicate re-entries of an earlier
+    /// person (each duplicated person appears exactly twice). Must be
+    /// at most 0.5.
+    pub duplicate_rate: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CensusConfig {
+    fn default() -> Self {
+        Self {
+            records: 1_000_000,
+            duplicate_rate: 0.2,
+            seed: 0xCE_0505,
+        }
+    }
+}
+
+impl CensusConfig {
+    /// Scales the record count, keeping the duplicate rate.
+    pub fn scaled(self, factor: f64) -> Self {
+        Self {
+            records: crate::scaled(self.records, factor),
+            ..self
+        }
+    }
+}
+
+/// A person entity, stored as pool indices so 10⁷ entities stay cheap.
+struct Person {
+    given: u32,
+    surname: u32,
+    street_number: u32,
+    street: u32,
+    suffix_idx: usize,
+    city: u32,
+    phone: String,
+}
+
+/// Generates the dataset.
+pub fn generate(config: &CensusConfig) -> Dataset {
+    assert!(
+        (0.0..=0.5).contains(&config.duplicate_rate),
+        "duplicate_rate must be in [0, 0.5], got {}",
+        config.duplicate_rate
+    );
+    assert!(config.records >= 2, "need at least two records");
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let n_dupes = (config.records as f64 * config.duplicate_rate).round() as usize;
+    let n_entities = config.records - n_dupes;
+
+    // Pools proportional to the entity count pin each tier's expected
+    // document frequency across scales: given names df ≈ 16, surnames
+    // df ≈ 8, streets df ≈ 10 (mid-frequency tier), cities df ≈ 400
+    // (high-frequency tier — their blocks are purge fodder). Floors
+    // keep tiny test datasets from collapsing to one shared value.
+    let given_pool = synth_pool(&mut rng, (n_entities / 16).max(48), 2);
+    let surname_pool = synth_pool(&mut rng, (n_entities / 8).max(64), 3);
+    let street_pool = synth_pool(&mut rng, (n_entities / 10).max(48), 2);
+    let city_pool = synth_pool(&mut rng, (n_entities / 400).max(12), 3);
+
+    let mut entities: Vec<Person> = Vec::with_capacity(n_entities);
+    for _ in 0..n_entities {
+        entities.push(Person {
+            given: rng.random_range(0..given_pool.len()) as u32,
+            surname: rng.random_range(0..surname_pool.len()) as u32,
+            // ~10 households per street number at 10⁵ entities and
+            // beyond (mid-frequency identifier).
+            street_number: rng.random_range(1..99_999u32),
+            street: rng.random_range(0..street_pool.len()) as u32,
+            suffix_idx: rng.random_range(0..STREET_SUFFIXES.len()),
+            city: rng.random_range(0..city_pool.len()) as u32,
+            phone: phone(&mut rng),
+        });
+    }
+    let pools = Pools {
+        given: &given_pool,
+        surname: &surname_pool,
+        street: &street_pool,
+        city: &city_pool,
+    };
+
+    let mut records: Vec<(u32, String)> = Vec::with_capacity(config.records);
+    for (e, p) in entities.iter().enumerate() {
+        records.push((e as u32, render_base(p, &pools)));
+    }
+    // Duplicate re-entries for the first `n_dupes` entities.
+    for (e, p) in entities.iter().take(n_dupes).enumerate() {
+        records.push((e as u32, render_variant(p, &pools, &mut rng)));
+    }
+    // Shuffle so duplicates are not adjacent, then assign dense ids.
+    for i in (1..records.len()).rev() {
+        let j = rng.random_range(0..=i);
+        records.swap(i, j);
+    }
+    let records = records
+        .into_iter()
+        .enumerate()
+        .map(|(id, (entity, text))| Record {
+            id: id as u32,
+            source: 0,
+            entity,
+            text,
+        })
+        .collect();
+    Dataset::new("census", records, SourcePolicy::WithinSingleSource)
+}
+
+struct Pools<'a> {
+    given: &'a [String],
+    surname: &'a [String],
+    street: &'a [String],
+    city: &'a [String],
+}
+
+fn render_base(p: &Person, pools: &Pools<'_>) -> String {
+    let (suffix, _) = STREET_SUFFIXES[p.suffix_idx];
+    format!(
+        "{} {} {} {} {} {} {}",
+        pools.given[p.given as usize],
+        pools.surname[p.surname as usize],
+        p.street_number,
+        pools.street[p.street as usize],
+        suffix,
+        pools.city[p.city as usize],
+        p.phone
+    )
+}
+
+fn render_variant(p: &Person, pools: &Pools<'_>, rng: &mut SmallRng) -> String {
+    let (full, abbr) = STREET_SUFFIXES[p.suffix_idx];
+    let mut tokens: Vec<String> = Vec::with_capacity(8);
+    // Given name: initialed (census short form), typo'd, or verbatim.
+    let given = &pools.given[p.given as usize];
+    let given_roll = rng.random_range(0.0..1.0);
+    if given_roll < 0.15 {
+        tokens.push(abbreviate(given, 1));
+    } else if given_roll < 0.3 {
+        tokens.push(typo(rng, given));
+    } else {
+        tokens.push(given.clone());
+    }
+    // Surname: occasional typo.
+    let surname = &pools.surname[p.surname as usize];
+    if rng.random_range(0.0..1.0) < 0.15 {
+        tokens.push(typo(rng, surname));
+    } else {
+        tokens.push(surname.clone());
+    }
+    // Street number: occasional entry noise.
+    let number = p.street_number.to_string();
+    if rng.random_range(0.0..1.0) < 0.1 {
+        tokens.push(digit_noise(rng, &number));
+    } else {
+        tokens.push(number);
+    }
+    tokens.push(pools.street[p.street as usize].clone());
+    tokens.push(
+        if rng.random_range(0.0..1.0) < 0.6 {
+            abbr
+        } else {
+            full
+        }
+        .to_owned(),
+    );
+    // City: sometimes dropped (the census sheet already fixes it).
+    if rng.random_range(0.0..1.0) < 0.7 {
+        tokens.push(pools.city[p.city as usize].clone());
+    }
+    // Phone: the strongest anchor; digit noise occasionally.
+    if rng.random_range(0.0..1.0) < 0.12 {
+        tokens.push(digit_noise(rng, &p.phone));
+    } else {
+        tokens.push(p.phone.clone());
+    }
+    drop_tokens(rng, &mut tokens, 0.03);
+    tokens.join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> CensusConfig {
+        CensusConfig {
+            records: 2_000,
+            duplicate_rate: 0.2,
+            seed: 31,
+        }
+    }
+
+    #[test]
+    fn counts_follow_rate() {
+        let d = generate(&small());
+        assert_eq!(d.len(), 2_000);
+        assert_eq!(d.matching_pairs().len(), 400);
+        let clusters = d.entity_clusters();
+        assert_eq!(clusters.iter().filter(|c| c.len() == 2).count(), 400);
+        assert!(clusters.iter().all(|c| c.len() <= 2));
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate(&small());
+        let b = generate(&small());
+        assert_eq!(a.records, b.records);
+        let c = generate(&CensusConfig {
+            seed: 32,
+            ..small()
+        });
+        assert_ne!(a.records, c.records);
+    }
+
+    #[test]
+    fn duplicates_share_anchor_tokens() {
+        let d = generate(&small());
+        let pairs = d.matching_pairs();
+        let mut total = 0usize;
+        for &(a, b) in &pairs {
+            let ta: std::collections::HashSet<&str> =
+                d.records[a as usize].text.split(' ').collect();
+            let tb: std::collections::HashSet<&str> =
+                d.records[b as usize].text.split(' ').collect();
+            total += ta.intersection(&tb).count();
+        }
+        let mean = total as f64 / pairs.len() as f64;
+        // The noise channels are light: a re-entry shares most of its
+        // tokens, which is what lets blocking reach ≥ 0.95 recall.
+        assert!(mean >= 5.0, "duplicates too dissimilar on average: {mean}");
+    }
+
+    #[test]
+    fn pool_scaling_keeps_term_frequencies_flat() {
+        // The mean records-per-surname tier must not drift with scale,
+        // otherwise candidates-per-record would not be comparable
+        // across the bench's size ladder.
+        let freq_at = |records: usize| {
+            let d = generate(&CensusConfig {
+                records,
+                duplicate_rate: 0.2,
+                seed: 7,
+            });
+            let mut counts: std::collections::BTreeMap<&str, usize> = Default::default();
+            for r in &d.records {
+                // Surname is the second token of the base rendering;
+                // count every token to stay robust to variants.
+                for t in r.text.split(' ') {
+                    *counts.entry(t).or_default() += 1;
+                }
+            }
+            let total: usize = counts.values().sum();
+            total as f64 / counts.len() as f64
+        };
+        let small = freq_at(4_000);
+        let large = freq_at(16_000);
+        let ratio = large / small;
+        assert!(
+            (0.5..=2.0).contains(&ratio),
+            "mean token frequency drifted {small:.2} -> {large:.2}"
+        );
+    }
+
+    #[test]
+    fn scaled_keeps_rate() {
+        let cfg = CensusConfig::default().scaled(0.001);
+        assert_eq!(cfg.records, 1_000);
+        let d = generate(&cfg);
+        assert_eq!(d.matching_pairs().len(), 200);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate_rate")]
+    fn rejects_majority_duplicates() {
+        generate(&CensusConfig {
+            records: 100,
+            duplicate_rate: 0.9,
+            seed: 0,
+        });
+    }
+}

@@ -7,6 +7,7 @@
 //! (duplicate fraction, cluster-size skew, vocabulary tiering) fixed
 //! while scaling absolute counts.
 
+pub mod census;
 pub mod paper;
 pub mod product;
 pub mod restaurant;

@@ -19,6 +19,10 @@
 //!   Cora-like skewed cluster-size distribution (96 clusters with ≥ 3
 //!   records, the largest with 192); author-initial, venue-abbreviation
 //!   and token-reorder noise.
+//! * [`generators::census`] — the million-record blocking benchmark: a
+//!   scalable person-record generator (10⁵–10⁷ records, controlled
+//!   duplicate rate) whose word pools grow with the record count so the
+//!   block-size distribution stays flat across scales.
 //!
 //! Plus [`loader`] for a simple TSV interchange format so users can run
 //! the framework on the real benchmarks if they have them.
@@ -31,7 +35,9 @@ pub mod loader;
 pub mod record;
 pub mod wordpool;
 
-pub use generators::{paper::PaperConfig, product::ProductConfig, restaurant::RestaurantConfig};
+pub use generators::{
+    census::CensusConfig, paper::PaperConfig, product::ProductConfig, restaurant::RestaurantConfig,
+};
 pub use record::{Dataset, Record, SourcePolicy};
 
 /// Scales a paper-scale count by `factor`, keeping at least 1.

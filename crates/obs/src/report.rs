@@ -308,6 +308,12 @@ pub struct BenchRun {
     /// every dispatch decision stayed on the caller thread, `"pooled"`
     /// when at least one region fanned out, `None` when unrecorded.
     pub dispatch_mode: Option<String>,
+    /// Blocking quality: `1 − |candidates| / (n(n−1)/2)`. `None` for
+    /// runs that are not candidate-generation measurements.
+    pub reduction_ratio: Option<f64>,
+    /// Blocking recall: fraction of ground-truth matching pairs present
+    /// in the candidate set. `None` when not measured.
+    pub pair_completeness: Option<f64>,
     /// The telemetry snapshot for this run.
     pub report: Report,
 }
@@ -337,6 +343,12 @@ impl BenchFile {
                 }
                 if let Some(mode) = &r.dispatch_mode {
                     fields.push(("dispatch_mode".into(), Value::Str(mode.clone())));
+                }
+                if let Some(rr) = r.reduction_ratio {
+                    fields.push(("reduction_ratio".into(), Value::Num(rr)));
+                }
+                if let Some(pc) = r.pair_completeness {
+                    fields.push(("pair_completeness".into(), Value::Num(pc)));
                 }
                 fields.push(("report".into(), r.report.to_value()));
                 Value::Obj(fields)
@@ -388,6 +400,8 @@ impl BenchFile {
                     .get("dispatch_mode")
                     .and_then(Value::as_str)
                     .map(str::to_owned),
+                reduction_ratio: run.get("reduction_ratio").and_then(Value::as_f64),
+                pair_completeness: run.get("pair_completeness").and_then(Value::as_f64),
                 report: Report::from_value(
                     run.get("report").ok_or("run missing \"report\" object")?,
                 )?,
@@ -452,12 +466,16 @@ mod tests {
                 threads: 4,
                 scaling_ratio: Some(0.93),
                 dispatch_mode: Some("pooled".into()),
+                reduction_ratio: Some(0.9991),
+                pair_completeness: Some(0.97),
                 report: sample_report(),
             }],
         };
         let text = file.to_json();
         assert!(text.contains("\"scaling_ratio\""));
         assert!(text.contains("\"dispatch_mode\""));
+        assert!(text.contains("\"reduction_ratio\""));
+        assert!(text.contains("\"pair_completeness\""));
         let parsed = BenchFile::from_json(&text).unwrap();
         assert_eq!(parsed, file);
         assert!(parsed.find("fusion", "restaurant", "pooled", 4).is_some());
@@ -475,6 +493,8 @@ mod tests {
                 threads: 1,
                 scaling_ratio: None,
                 dispatch_mode: None,
+                reduction_ratio: None,
+                pair_completeness: None,
                 report: Report::default(),
             }],
         };
@@ -482,9 +502,13 @@ mod tests {
         // ...and runs without the fields don't emit them.
         assert!(!text.contains("scaling_ratio"));
         assert!(!text.contains("dispatch_mode"));
+        assert!(!text.contains("reduction_ratio"));
+        assert!(!text.contains("pair_completeness"));
         let parsed = BenchFile::from_json(&text).unwrap();
         assert_eq!(parsed.runs[0].scaling_ratio, None);
         assert_eq!(parsed.runs[0].dispatch_mode, None);
+        assert_eq!(parsed.runs[0].reduction_ratio, None);
+        assert_eq!(parsed.runs[0].pair_completeness, None);
     }
 
     #[test]

@@ -65,6 +65,8 @@ fn sample_file() -> BenchFile {
             threads: 2,
             scaling_ratio: None,
             dispatch_mode: None,
+            reduction_ratio: None,
+            pair_completeness: None,
             report: sample_report(),
         }],
     }

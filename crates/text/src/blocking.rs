@@ -5,17 +5,125 @@
 //! fusion framework's bipartite construction is itself **token
 //! blocking** (a pair is a candidate iff it shares a post-filter term);
 //! this module makes that explicit and adds the other classic scheme,
-//! **sorted-neighborhood**, for corpora too large to token-block.
+//! **sorted-neighborhood**, for corpora too large to token-block. The
+//! scalable schemes — banding LSH ([`crate::lsh`]) and meta-blocking
+//! over the block graph ([`crate::metablocking`]) — plug in through the
+//! same [`BlockingStrategy`] switch.
 //!
-//! Both produce `(a, b)` candidate pairs compatible with
+//! All strategies produce `(a, b)` candidate pairs compatible with
 //! `er_graph::BipartiteGraphBuilder::pair_filter`, so they compose with
 //! the rest of the pipeline.
 
 use er_pool::WorkerPool;
 
 use crate::corpus::Corpus;
+use crate::lsh::{lsh_blocking, LshParams};
+use crate::metablocking::{meta_block, BlockCollection, MetaConfig};
 use crate::simeng::{BatchScorer, SimKernel};
 use crate::tokenize::TermId;
+
+/// The pluggable candidate-generation stage consumed by the pipeline
+/// glue (`unsupervised_er::pipeline`) and the baselines' candidate
+/// stage: which blocking scheme produces the pair universe.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BlockingStrategy {
+    /// The bipartite token-graph construction: every pair sharing at
+    /// least one post-filter term is a candidate (no block-size cap
+    /// beyond the frequent-term filter). Exact — the paper-scale
+    /// default.
+    TokenGraph,
+    /// [`token_blocking`] with an explicit per-term block-size cap.
+    Token {
+        /// Terms with more postings than this are skipped.
+        max_block_size: usize,
+    },
+    /// [`sorted_neighborhood`] over the rarest-first blocking key.
+    SortedNeighborhood {
+        /// Sliding-window width (≥ 2).
+        window: usize,
+    },
+    /// Banding MinHash LSH ([`lsh_blocking`]).
+    Lsh {
+        /// Band/row parameters (see [`LshParams::for_threshold`]).
+        params: LshParams,
+        /// Buckets larger than this are skipped.
+        max_block_size: usize,
+    },
+    /// Meta-blocking over the block graph of token blocks and/or LSH
+    /// buckets ([`meta_block`]).
+    Meta(MetaBlocking),
+}
+
+/// Configuration of [`BlockingStrategy::Meta`]: which block collections
+/// feed the block graph, plus the purge/filter/prune parameters applied
+/// over it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetaBlocking {
+    /// Include the token blocks (one block per post-filter term).
+    pub token_blocks: bool,
+    /// Include LSH band buckets generated with these parameters.
+    pub lsh: Option<LshParams>,
+    /// Purge cap, filter ratio, weight scheme and pruning rule.
+    pub config: MetaConfig,
+}
+
+impl Default for MetaBlocking {
+    /// Token blocks ∪ default-LSH buckets under the default
+    /// [`MetaConfig`] — the recall-oriented gather stage feeding the
+    /// precision-oriented graph pruning.
+    fn default() -> Self {
+        Self {
+            token_blocks: true,
+            lsh: Some(LshParams::default()),
+            config: MetaConfig::default(),
+        }
+    }
+}
+
+impl BlockingStrategy {
+    /// The scalable default: token blocks + LSH buckets under
+    /// meta-blocking with CBS pruning.
+    pub fn meta_default() -> Self {
+        Self::Meta(MetaBlocking::default())
+    }
+
+    /// Generates this strategy's sorted, deduplicated `(a, b)` candidate
+    /// pairs (`a < b`), bit-identical at any thread count.
+    pub fn candidate_pairs(&self, corpus: &Corpus, pool: &WorkerPool) -> Vec<(u32, u32)> {
+        let _span = er_obs::span("blocking.candidates");
+        match self {
+            Self::TokenGraph => token_blocking(corpus, usize::MAX),
+            Self::Token { max_block_size } => token_blocking(corpus, *max_block_size),
+            Self::SortedNeighborhood { window } => sorted_neighborhood(corpus, *window),
+            Self::Lsh {
+                params,
+                max_block_size,
+            } => lsh_blocking(corpus, params, *max_block_size, pool),
+            Self::Meta(m) => {
+                let mut blocks = if m.token_blocks {
+                    BlockCollection::from_token_blocks(corpus)
+                } else {
+                    BlockCollection::new()
+                };
+                if let Some(params) = &m.lsh {
+                    blocks.extend_from(&BlockCollection::from_lsh(corpus, params, pool));
+                }
+                meta_block(&blocks, corpus.len(), &m.config, pool)
+            }
+        }
+    }
+
+    /// Short scheme name for bench labels and telemetry.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::TokenGraph => "token_graph",
+            Self::Token { .. } => "token",
+            Self::SortedNeighborhood { .. } => "sorted_neighborhood",
+            Self::Lsh { .. } => "lsh",
+            Self::Meta(_) => "meta",
+        }
+    }
+}
 
 /// Token blocking: candidates are all pairs co-occurring in at least one
 /// term's postings, with terms above `max_block_size` skipped (their
@@ -61,9 +169,20 @@ pub fn token_blocking(corpus: &Corpus, max_block_size: usize) -> Vec<(u32, u32)>
 pub fn sorted_neighborhood(corpus: &Corpus, window: usize) -> Vec<(u32, u32)> {
     assert!(window >= 2, "window must cover at least two records");
     let _span = er_obs::span("sorted_neighborhood");
-    let keys: Vec<String> = (0..corpus.len()).map(|r| blocking_key(corpus, r)).collect();
+    // One key tape for the whole corpus: every record's key is appended
+    // to a single `String` and sliced back out by offset — no
+    // per-record `String` allocation.
+    let mut tape = String::new();
+    let mut bounds: Vec<usize> = Vec::with_capacity(corpus.len() + 1);
+    let mut terms: Vec<TermId> = Vec::new();
+    bounds.push(0);
+    for r in 0..corpus.len() {
+        blocking_key_into(corpus, r, &mut terms, &mut tape);
+        bounds.push(tape.len());
+    }
+    let key = |r: u32| &tape[bounds[r as usize]..bounds[r as usize + 1]];
     let mut order: Vec<u32> = (0..corpus.len() as u32).collect();
-    order.sort_by(|&a, &b| keys[a as usize].cmp(&keys[b as usize]));
+    order.sort_by(|&a, &b| key(a).cmp(key(b)));
     // Canonical sort+dedup: concatenate per-window runs, sort, dedup.
     let mut pairs: Vec<(u32, u32)> = Vec::new();
     for (i, &a) in order.iter().enumerate() {
@@ -115,7 +234,7 @@ pub fn prune_candidates(
 
 /// Publishes the survey-standard blocking telemetry: candidate count and
 /// reduction ratio, gauged per scheme.
-fn note_blocking_stats(scheme: &str, n_records: usize, n_candidates: usize) {
+pub(crate) fn note_blocking_stats(scheme: &str, n_records: usize, n_candidates: usize) {
     if !er_obs::recording() {
         return;
     }
@@ -129,23 +248,39 @@ fn note_blocking_stats(scheme: &str, n_records: usize, n_candidates: usize) {
     );
 }
 
-/// The sorted-neighborhood blocking key of record `r`: its **shareable**
-/// terms (document frequency ≥ 2 — unique terms cannot match anything
-/// and would scatter the sort) ordered by ascending document frequency,
-/// rarest first, joined by spaces.
+/// The sorted-neighborhood blocking key of record `r`, **appended** to
+/// `out`: its shareable terms (document frequency ≥ 2 — unique terms
+/// cannot match anything and would scatter the sort) ordered by
+/// ascending document frequency, rarest first, joined by spaces.
+///
+/// `terms` and `out` are caller-owned reusable buffers — `terms` is
+/// cleared and refilled, the key is appended to `out` (a key tape when
+/// called in a loop) — so the steady state allocates nothing per
+/// record.
+// er-lint: zero-alloc
+pub fn blocking_key_into(corpus: &Corpus, r: usize, terms: &mut Vec<TermId>, out: &mut String) {
+    terms.clear();
+    for &t in corpus.term_set(r) {
+        if corpus.filtered_doc_freq(t) >= 2 {
+            terms.push(t);
+        }
+    }
+    terms.sort_unstable_by_key(|&t| (corpus.filtered_doc_freq(t), corpus.vocab().term(t)));
+    for (i, &t) in terms.iter().enumerate() {
+        if i > 0 {
+            out.push(' ');
+        }
+        out.push_str(corpus.vocab().term(t));
+    }
+}
+
+/// [`blocking_key_into`] into a fresh `String` — for tests and one-off
+/// callers; hot paths reuse buffers via the `_into` form.
 pub fn blocking_key(corpus: &Corpus, r: usize) -> String {
-    let mut terms: Vec<TermId> = corpus
-        .term_set(r)
-        .iter()
-        .copied()
-        .filter(|&t| corpus.filtered_doc_freq(t) >= 2)
-        .collect();
-    terms.sort_by_key(|&t| (corpus.filtered_doc_freq(t), corpus.vocab().term(t)));
-    terms
-        .iter()
-        .map(|&t| corpus.vocab().term(t))
-        .collect::<Vec<_>>()
-        .join(" ")
+    let mut terms = Vec::new();
+    let mut out = String::new();
+    blocking_key_into(corpus, r, &mut terms, &mut out);
+    out
 }
 
 /// Reduction ratio of a candidate set versus the full pair universe:
@@ -294,5 +429,49 @@ mod tests {
             .map(|(&p, _)| p)
             .collect();
         assert_eq!(kept, want);
+    }
+
+    #[test]
+    fn blocking_key_into_appends_and_matches_allocating_form() {
+        let c = corpus();
+        let mut terms = Vec::new();
+        let mut tape = String::new();
+        let mut bounds = vec![0usize];
+        for r in 0..c.len() {
+            blocking_key_into(&c, r, &mut terms, &mut tape);
+            bounds.push(tape.len());
+        }
+        for r in 0..c.len() {
+            assert_eq!(&tape[bounds[r]..bounds[r + 1]], blocking_key(&c, r));
+        }
+    }
+
+    #[test]
+    fn strategy_dispatches_to_named_schemes() {
+        let c = corpus();
+        let pool = WorkerPool::new(1);
+        assert_eq!(
+            BlockingStrategy::Token { max_block_size: 10 }.candidate_pairs(&c, &pool),
+            token_blocking(&c, 10)
+        );
+        assert_eq!(
+            BlockingStrategy::SortedNeighborhood { window: 2 }.candidate_pairs(&c, &pool),
+            sorted_neighborhood(&c, 2)
+        );
+        assert_eq!(
+            BlockingStrategy::TokenGraph.candidate_pairs(&c, &pool),
+            token_blocking(&c, usize::MAX)
+        );
+        assert_eq!(BlockingStrategy::meta_default().name(), "meta");
+    }
+
+    #[test]
+    fn meta_strategy_keeps_duplicate_pairs() {
+        let c = corpus();
+        let pool = WorkerPool::new(1);
+        let pairs = BlockingStrategy::meta_default().candidate_pairs(&c, &pool);
+        assert!(pairs.contains(&(0, 1)), "{pairs:?}");
+        assert!(pairs.contains(&(2, 3)), "{pairs:?}");
+        assert!(pairs.windows(2).all(|w| w[0] < w[1]), "sorted + deduped");
     }
 }

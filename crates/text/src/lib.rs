@@ -13,8 +13,12 @@
 //!   interns terms into dense [`TermId`]s and tracks document frequency.
 //! * [`corpus`] — a [`Corpus`] of tokenized records with frequent-term
 //!   filtering, inverted indexes, and TF/IDF statistics.
-//! * [`blocking`] — scalable candidate generation (token blocking and
-//!   sorted-neighborhood).
+//! * [`blocking`] — scalable candidate generation (token blocking,
+//!   sorted-neighborhood, and the [`BlockingStrategy`] switch).
+//! * [`lsh`] — MinHash signatures + banding LSH bucketing for
+//!   million-record candidate generation.
+//! * [`metablocking`] — block purging / filtering / edge-weight pruning
+//!   over the block graph.
 //! * [`metrics`] — the string-similarity metrics used by the paper's
 //!   string-distance baselines (Jaccard, TF-IDF cosine) and by the
 //!   supervised baselines' feature extractors (edit distance, Jaro,
@@ -43,13 +47,17 @@
 
 pub mod blocking;
 pub mod corpus;
+pub mod lsh;
+pub mod metablocking;
 pub mod metrics;
 pub mod normalize;
 pub mod simeng;
 pub mod tokenize;
 
-pub use blocking::{sorted_neighborhood, token_blocking};
+pub use blocking::{sorted_neighborhood, token_blocking, BlockingStrategy, MetaBlocking};
 pub use corpus::{Corpus, CorpusBuilder};
+pub use lsh::{lsh_blocking, minhash_band_keys, LshParams};
+pub use metablocking::{meta_block, BlockCollection, MetaConfig, Pruning, WeightScheme};
 pub use metrics::{
     cosine_tokens, dice, jaccard, jaro, jaro_winkler, levenshtein, levenshtein_similarity,
     monge_elkan, ngram_similarity, overlap_coefficient, soft_tfidf, StringMetric, TfIdfModel,

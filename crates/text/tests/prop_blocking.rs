@@ -1,6 +1,8 @@
 //! Property tests for the blocking strategies.
 
-use er_text::blocking::{blocking_key, reduction_ratio, sorted_neighborhood, token_blocking};
+use er_text::blocking::{
+    blocking_key, blocking_key_into, reduction_ratio, sorted_neighborhood, token_blocking,
+};
 use er_text::CorpusBuilder;
 use proptest::prelude::*;
 
@@ -78,6 +80,23 @@ proptest! {
         let corpus = CorpusBuilder::new().extend_texts(texts).build();
         for r in 0..corpus.len() {
             prop_assert_eq!(blocking_key(&corpus, r), blocking_key(&corpus, r));
+        }
+    }
+
+    #[test]
+    fn key_tape_matches_allocating_keys(texts in texts()) {
+        // The zero-alloc buffer-reuse form builds the same keys as the
+        // fresh-String wrapper, record by record, across any tape.
+        let corpus = CorpusBuilder::new().extend_texts(texts).build();
+        let mut terms = Vec::new();
+        let mut tape = String::new();
+        let mut bounds = vec![0usize];
+        for r in 0..corpus.len() {
+            blocking_key_into(&corpus, r, &mut terms, &mut tape);
+            bounds.push(tape.len());
+        }
+        for r in 0..corpus.len() {
+            prop_assert_eq!(&tape[bounds[r]..bounds[r + 1]], blocking_key(&corpus, r));
         }
     }
 

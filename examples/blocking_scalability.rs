@@ -1,15 +1,19 @@
 //! Blocking strategies and the price of candidate generation.
 //!
-//! Shows the two blocking schemes in `er_text::blocking` on a
-//! restaurant-style dataset: how many candidate pairs each produces
-//! (reduction ratio) and how many true pairs survive (pair completeness)
-//! — the classic blocking trade-off — and then runs the fusion framework
-//! on the token-blocked candidates.
+//! Shows the blocking schemes in `er_text` on a restaurant-style
+//! dataset: how many candidate pairs each produces (reduction ratio)
+//! and how many true pairs survive (pair completeness) — the classic
+//! blocking trade-off — and then runs the fusion framework on the
+//! token-blocked candidates. Alongside the classic token and
+//! sorted-neighborhood schemes, the scalable pair from DESIGN.md §16:
+//! MinHash/LSH banding and the meta-blocking pipeline (token ∪ LSH
+//! blocks → purge → filter → CBS pruning).
 //!
 //! Run: `cargo run --release --example blocking_scalability`
 
-use er_text::blocking::{reduction_ratio, sorted_neighborhood, token_blocking};
-use er_text::CorpusBuilder;
+use er_pool::WorkerPool;
+use er_text::blocking::{reduction_ratio, sorted_neighborhood, token_blocking, BlockingStrategy};
+use er_text::{CorpusBuilder, LshParams};
 use unsupervised_er::pipeline;
 use unsupervised_er::prelude::*;
 
@@ -50,6 +54,21 @@ fn main() {
     report("token blocking (cap 20)", &token_blocking(&corpus, 20));
     report("sorted neighborhood w=3", &sorted_neighborhood(&corpus, 3));
     report("sorted neighborhood w=8", &sorted_neighborhood(&corpus, 8));
+
+    // The scalable schemes run on a worker pool (bit-identical at any
+    // thread count); threshold 0.5 picks 16 bands x 4 rows over a
+    // 64-hash MinHash signature.
+    let pool = WorkerPool::new(er_core::default_threads());
+    let lsh = BlockingStrategy::Lsh {
+        params: LshParams::for_threshold(0.5, 64),
+        max_block_size: 128,
+    };
+    report("minhash lsh (t=0.5)", &lsh.candidate_pairs(&corpus, &pool));
+    let meta = BlockingStrategy::meta_default();
+    report(
+        "meta (token+lsh, cbs>=2)",
+        &meta.candidate_pairs(&corpus, &pool),
+    );
 
     // The fusion pipeline's own candidate set IS token blocking.
     let prepared = pipeline::prepare_with(&dataset, 0.035);

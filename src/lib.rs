@@ -69,7 +69,7 @@ pub mod pipeline {
     use er_eval::{evaluate_pairs, ConfusionCounts, TruthPairs};
     use er_graph::{BipartiteGraph, BipartiteGraphBuilder};
     use er_pool::WorkerPool;
-    use er_text::{BatchScorer, Corpus, CorpusBuilder, SimKernel, TermId};
+    use er_text::{BatchScorer, BlockingStrategy, Corpus, CorpusBuilder, SimKernel, TermId};
 
     /// Default frequent-term filter (§VII-A): drop terms occurring in
     /// more than this fraction of records.
@@ -131,6 +131,49 @@ pub mod pipeline {
         builder.build()
     }
 
+    /// [`prepare_with`] under an explicit [`BlockingStrategy`]: the
+    /// strategy generates the candidate universe and the bipartite
+    /// graph's pair enumeration is restricted to it (composed with the
+    /// dataset's candidate policy). [`BlockingStrategy::TokenGraph`]
+    /// reproduces [`prepare_with`] exactly; the scalable strategies
+    /// (LSH, meta-blocking) shrink the graph before ITER/CliqueRank
+    /// ever see it.
+    pub fn prepare_with_strategy(
+        dataset: &Dataset,
+        max_df_fraction: f64,
+        strategy: &BlockingStrategy,
+        pool: &WorkerPool,
+    ) -> Prepared {
+        if matches!(strategy, BlockingStrategy::TokenGraph) {
+            return prepare_with(dataset, max_df_fraction);
+        }
+        let corpus = CorpusBuilder::new()
+            .extend_texts(dataset.texts())
+            .max_df_fraction(max_df_fraction)
+            .build();
+        let allowed = strategy.candidate_pairs(&corpus, pool);
+        let mut builder = BipartiteGraphBuilder::new(corpus.len(), corpus.vocab_len());
+        for i in 0..corpus.vocab_len() {
+            let t = TermId(i as u32);
+            builder = builder.postings(t.0, corpus.postings(t));
+        }
+        let sources = dataset.sources();
+        let cross_only = dataset.policy == SourcePolicy::CrossSourceOnly;
+        builder = builder.pair_filter(move |a, b| {
+            (!cross_only || sources[a as usize] != sources[b as usize])
+                && allowed
+                    .binary_search(&if a < b { (a, b) } else { (b, a) })
+                    .is_ok()
+        });
+        let graph = builder.build();
+        let truth = TruthPairs::from_pairs(dataset.matching_pairs());
+        Prepared {
+            corpus,
+            graph,
+            truth,
+        }
+    }
+
     /// A completed fusion run with its inputs, ready for evaluation.
     #[derive(Debug)]
     pub struct ResolvedRun {
@@ -180,8 +223,20 @@ pub mod pipeline {
     /// informed edge weights, computed on the batch engine in one sweep
     /// over the candidate list.
     pub fn resolve_dataset_seeded(dataset: &Dataset, config: &FusionConfig) -> ResolvedRun {
-        let prepared = prepare(dataset);
+        resolve_dataset_seeded_with(dataset, config, &BlockingStrategy::TokenGraph)
+    }
+
+    /// [`resolve_dataset_seeded`] with the candidate universe generated
+    /// by an explicit [`BlockingStrategy`]: blocking, seeding and the
+    /// fusion loop all share one worker pool, and the seeded ITER round
+    /// only ever scores pairs the strategy admitted.
+    pub fn resolve_dataset_seeded_with(
+        dataset: &Dataset,
+        config: &FusionConfig,
+        strategy: &BlockingStrategy,
+    ) -> ResolvedRun {
         let pool = WorkerPool::with_policy(config.threads, config.dispatch);
+        let prepared = prepare_with_strategy(dataset, DEFAULT_MAX_DF_FRACTION, strategy, &pool);
         let seed = seed_similarities(&prepared.corpus, &prepared.graph, &pool);
         let outcome = Resolver::new(config.clone()).resolve_seeded(&prepared.graph, &seed);
         ResolvedRun { prepared, outcome }
@@ -277,6 +332,58 @@ mod tests {
         cfg.cliquerank.threads = 1;
         cfg.rounds = 2;
         let run = pipeline::resolve_dataset_seeded(&d, &cfg);
+        let counts = run.evaluate();
+        assert!(counts.f1() > 0.7, "{counts:?}");
+    }
+
+    #[test]
+    fn token_graph_strategy_matches_default_prepare() {
+        let d = restaurant::generate(&RestaurantConfig {
+            records: 60,
+            duplicate_pairs: 8,
+            seed: 11,
+        });
+        let pool = er_pool::WorkerPool::new(1);
+        let a = pipeline::prepare(&d);
+        let b = pipeline::prepare_with_strategy(
+            &d,
+            pipeline::DEFAULT_MAX_DF_FRACTION,
+            &er_text::BlockingStrategy::TokenGraph,
+            &pool,
+        );
+        assert_eq!(a.graph.pairs(), b.graph.pairs());
+    }
+
+    #[test]
+    fn meta_strategy_restricts_the_graph_and_still_resolves() {
+        let d = restaurant::generate(&RestaurantConfig {
+            records: 80,
+            duplicate_pairs: 10,
+            seed: 3,
+        });
+        let pool = er_pool::WorkerPool::new(1);
+        let full = pipeline::prepare(&d);
+        let meta = pipeline::prepare_with_strategy(
+            &d,
+            pipeline::DEFAULT_MAX_DF_FRACTION,
+            &er_text::BlockingStrategy::meta_default(),
+            &pool,
+        );
+        assert!(meta.graph.pair_count() <= full.graph.pair_count());
+        // Every surviving pair must be in the token-graph universe.
+        let universe: std::collections::BTreeSet<(u32, u32)> =
+            full.graph.pairs().iter().map(|p| (p.a, p.b)).collect();
+        for p in meta.graph.pairs() {
+            assert!(universe.contains(&(p.a, p.b)));
+        }
+        let mut cfg = FusionConfig::default();
+        cfg.cliquerank.threads = 1;
+        cfg.rounds = 2;
+        let run = pipeline::resolve_dataset_seeded_with(
+            &d,
+            &cfg,
+            &er_text::BlockingStrategy::meta_default(),
+        );
         let counts = run.evaluate();
         assert!(counts.f1() > 0.7, "{counts:?}");
     }
