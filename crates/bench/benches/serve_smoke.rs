@@ -1,0 +1,115 @@
+//! **serve_smoke** — CI gate for the streaming serving engine.
+//!
+//! Streams a fixed census dataset through `er-serve` in uneven
+//! micro-batches with a resolve after each, and fails the build when
+//! either invariant breaks:
+//!
+//! 1. **Incremental ≡ batch** — after every micro-batch, the published
+//!    snapshot must be bitwise identical (candidate pairs, matching
+//!    probabilities, matches, clusters) to a from-scratch batch
+//!    resolution of the same prefix, and the CliqueRank component cache
+//!    must actually replay warm components (hits > 0) so the gate
+//!    exercises the incremental path rather than silently recomputing
+//!    everything.
+//! 2. **Ingest throughput floor** — the sustained stream (ingest +
+//!    every incremental resolve) must exceed a deliberately
+//!    conservative records/s floor; an accidental quadratic in the
+//!    streaming corpus, signature cache or snapshot publication shows
+//!    up here immediately.
+//!
+//! Sizes are fixed (no `ER_SCALE`) so the gate is comparable across CI
+//! runs. Exits non-zero on failure, like the other `*_smoke` targets.
+
+use std::time::Instant;
+
+use er_bench::{bench_threads, fmt_duration};
+use er_datasets::generators::census;
+use er_datasets::CensusConfig;
+use er_serve::{resolve_batch, ServeConfig, ServeEngine};
+use er_text::BlockingStrategy;
+
+const RECORDS: usize = 2_400;
+/// Uneven micro-batches (they must sum to `RECORDS`): resolve cadence
+/// in a real stream is not uniform, and unequal prefixes catch
+/// df-cap-flip bugs a fixed cadence can miss.
+const CHUNKS: [usize; 5] = [400, 73, 927, 600, 400];
+const MIN_THROUGHPUT: f64 = 100.0;
+
+fn main() {
+    let threads = bench_threads();
+    let dataset = census::generate(&CensusConfig {
+        records: RECORDS,
+        duplicate_rate: 0.2,
+        seed: 0xCE_0505,
+    });
+    let texts: Vec<String> = dataset.texts().map(str::to_owned).collect();
+    assert_eq!(CHUNKS.iter().sum::<usize>(), RECORDS);
+
+    let mut config = ServeConfig {
+        strategy: BlockingStrategy::meta_default(),
+        ..ServeConfig::default()
+    };
+    config.fusion.threads = threads;
+    config.fusion.rounds = 2;
+    println!("serve_smoke — incremental ≡ batch + ingest throughput gate ({threads} threads)");
+
+    let mut engine = ServeEngine::new(config);
+    let mut failed = false;
+    let mut offset = 0usize;
+    let stream_start = Instant::now();
+    let mut stream_time = std::time::Duration::ZERO;
+    for &chunk in &CHUNKS {
+        let end = offset + chunk;
+        let t = Instant::now();
+        engine.ingest_batch(texts[offset..end].iter().map(String::as_str));
+        let snap = engine.resolve();
+        stream_time += t.elapsed();
+        let batch = resolve_batch(texts[..end].iter().cloned(), engine.config());
+        let ok = snap.bitwise_eq(&batch);
+        println!(
+            "  records={end:<5} matches={:<5} clusters={:<5} epoch={} {}",
+            snap.matches().len(),
+            snap.clusters().len(),
+            snap.epoch(),
+            if ok { "≡ batch" } else { "DIVERGED" },
+        );
+        if !ok {
+            eprintln!(
+                "FAIL: incremental resolution diverged from the batch reference at {end} records"
+            );
+            failed = true;
+        }
+        offset = end;
+    }
+    let total = stream_start.elapsed();
+
+    if engine.cache().hits() == 0 {
+        eprintln!("FAIL: CliqueRank cache never replayed a component — the gate is not exercising the incremental path");
+        failed = true;
+    }
+    if engine.signatures().reused() == 0 {
+        eprintln!("FAIL: MinHash signature cache never reused a signature");
+        failed = true;
+    }
+
+    let throughput = RECORDS as f64 / stream_time.as_secs_f64();
+    println!(
+        "  stream: {} ingest+resolve ({} with batch checks), {throughput:.0} rec/s, cache hits={} misses={}, signatures reused={}",
+        fmt_duration(stream_time),
+        fmt_duration(total),
+        engine.cache().hits(),
+        engine.cache().misses(),
+        engine.signatures().reused(),
+    );
+    if throughput < MIN_THROUGHPUT {
+        eprintln!(
+            "FAIL: sustained ingest throughput {throughput:.0} rec/s is below the {MIN_THROUGHPUT} floor"
+        );
+        failed = true;
+    }
+
+    if failed {
+        std::process::exit(1);
+    }
+    println!("serve_smoke OK");
+}

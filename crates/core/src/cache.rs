@@ -6,26 +6,70 @@
 //! probabilities on a hit — so re-resolving a corpus where most of the
 //! record graph is unchanged (the common case when appending records)
 //! skips the matrix work everywhere except the components actually
-//! touched. Any change to a member, an edge, or a similarity (beyond the
-//! 1e-4 quantum that absorbs ITER's convergence jitter) changes the key.
+//! touched. Any change to a member, an edge, or a similarity changes the
+//! key.
+//!
+//! Two precision regimes cover the two incremental callers:
+//!
+//! * [`CachePrecision::Quantized`] (the default) absorbs ITER's
+//!   warm-start convergence jitter by hashing similarities at a 1e-4
+//!   quantum — right for [`crate::Resolver`]-level warm restarts where
+//!   the caller only compares *matches*.
+//! * [`CachePrecision::Exact`] hashes the similarity bits themselves, so
+//!   a replayed component is **bit-identical** to a recomputation — the
+//!   regime `er-serve` runs in, where incremental resolution is pinned
+//!   bitwise against a from-scratch batch run.
+//!
+//! For long-lived engines the cache also tracks a **generation** (bumped
+//! once per resolve): every hit or insert stamps the entry, and
+//! [`CliqueRankCache::evict_stale`] drops entries that have not been
+//! touched for a caller-chosen number of generations — components whose
+//! content keeps changing (dirtied by ingest) would otherwise pile up
+//! dead keys forever.
 
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 
 use er_graph::RecordGraph;
+use er_pool::WorkerPool;
 
 use crate::cliquerank::{solve_component_public, CliqueScratch};
 use crate::config::CliqueRankConfig;
+
+/// How similarities enter the component content hash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CachePrecision {
+    /// Hash similarities at a 1e-4 quantum: warm-started ITER
+    /// re-converges only within its tolerance, so bit-exact hashing
+    /// would needlessly invalidate every component on every resolve.
+    #[default]
+    Quantized,
+    /// Hash the exact `f64` bits: a hit guarantees the stored
+    /// probabilities are bitwise what the solver would produce.
+    Exact,
+}
+
+/// One cached component: probabilities in local edge order, plus the
+/// generation that last touched it (for stale-entry eviction).
+#[derive(Debug)]
+struct CacheEntry {
+    values: Vec<f64>,
+    last_used: u64,
+}
 
 /// Cache of solved components, keyed by content hash.
 #[derive(Debug, Default)]
 pub struct CliqueRankCache {
     /// hash → per-edge probabilities in the component's local edge order
     /// (pairs sorted ascending within the component).
-    map: HashMap<u64, Vec<f64>>,
+    map: HashMap<u64, CacheEntry>,
     hits: usize,
     misses: usize,
+    precision: CachePrecision,
+    /// Monotone resolve counter; entries are stamped with it on every
+    /// hit or insert.
+    generation: u64,
     /// Solver scratch reused across cache misses — an incremental resolve
     /// that recomputes a handful of components allocates matrix buffers
     /// only until the arena reaches its high-water mark.
@@ -33,9 +77,23 @@ pub struct CliqueRankCache {
 }
 
 impl CliqueRankCache {
-    /// An empty cache.
+    /// An empty cache with the default (quantized) precision.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty cache hashing exact similarity bits — replays are
+    /// bit-identical to recomputation.
+    pub fn exact() -> Self {
+        Self {
+            precision: CachePrecision::Exact,
+            ..Self::default()
+        }
+    }
+
+    /// The hashing precision this cache was built with.
+    pub fn precision(&self) -> CachePrecision {
+        self.precision
     }
 
     /// Components served from the cache so far.
@@ -62,11 +120,39 @@ impl CliqueRankCache {
     pub fn clear(&mut self) {
         self.map.clear();
     }
+
+    /// The current generation (bumped by the owner once per resolve).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Advances the generation clock. Call once per resolve epoch; the
+    /// entries touched afterwards are stamped with the new value.
+    pub fn bump_generation(&mut self) {
+        self.generation += 1;
+    }
+
+    /// Evicts entries not touched within the last `max_age` generations
+    /// (a dirtied component's old content key is never looked up again),
+    /// returning how many were dropped. `max_age = 0` keeps only entries
+    /// touched in the current generation.
+    pub fn evict_stale(&mut self, max_age: u64) -> usize {
+        let before = self.map.len();
+        let generation = self.generation;
+        self.map
+            .retain(|_, e| generation.saturating_sub(e.last_used) <= max_age);
+        before - self.map.len()
+    }
 }
 
 /// Content hash of one component: members, local edges, similarities and
 /// the solver configuration knobs that affect the result.
-fn component_hash(graph: &RecordGraph, members: &[u32], config: &CliqueRankConfig) -> u64 {
+fn component_hash(
+    graph: &RecordGraph,
+    members: &[u32],
+    config: &CliqueRankConfig,
+    precision: CachePrecision,
+) -> u64 {
     let mut h = DefaultHasher::new();
     config.alpha.to_bits().hash(&mut h);
     config.steps.hash(&mut h);
@@ -89,12 +175,16 @@ fn component_hash(graph: &RecordGraph, members: &[u32], config: &CliqueRankConfi
         let (neighbors, sims) = graph.neighbors(g);
         neighbors.hash(&mut h);
         for &s in sims {
-            // Quantize: warm-started ITER re-converges to the same fixed
-            // point only within its tolerance, so bit-exact hashing would
-            // needlessly invalidate every component on every resolve.
-            // 1e-4 relative drift is far below anything CliqueRank's
-            // row-normalized transitions can distinguish.
-            ((s * 1e4).round() as i64).hash(&mut h);
+            match precision {
+                // Quantize: warm-started ITER re-converges to the same
+                // fixed point only within its tolerance, so bit-exact
+                // hashing would needlessly invalidate every component on
+                // every resolve. 1e-4 relative drift is far below
+                // anything CliqueRank's row-normalized transitions can
+                // distinguish.
+                CachePrecision::Quantized => ((s * 1e4).round() as i64).hash(&mut h),
+                CachePrecision::Exact => s.to_bits().hash(&mut h),
+            }
         }
     }
     h.finish()
@@ -110,9 +200,55 @@ pub fn run_cliquerank_cached(
     config: &CliqueRankConfig,
     cache: &mut CliqueRankCache,
 ) -> Vec<f64> {
+    run_cliquerank_cached_impl(graph, config, cache, None)
+}
+
+/// [`run_cliquerank_cached`] with pooled re-solves: cache misses hand
+/// the worker pool down to the component solver (intra-component matrix
+/// parallelism) when the pool's cost model says the total miss work
+/// warrants it. Replays stay on the caller thread — the steady-state
+/// incremental resolve touches only the dirtied components, and those
+/// are exactly the misses this dispatch decision covers.
+///
+/// Output is bit-identical to [`run_cliquerank_cached`] (and, under
+/// [`CachePrecision::Exact`], to the uncached [`crate::run_cliquerank`])
+/// at any thread count.
+pub fn run_cliquerank_cached_pooled(
+    graph: &RecordGraph,
+    config: &CliqueRankConfig,
+    cache: &mut CliqueRankCache,
+    pool: &WorkerPool,
+) -> Vec<f64> {
+    run_cliquerank_cached_impl(graph, config, cache, Some(pool))
+}
+
+fn run_cliquerank_cached_impl(
+    graph: &RecordGraph,
+    config: &CliqueRankConfig,
+    cache: &mut CliqueRankCache,
+    pool: Option<&WorkerPool>,
+) -> Vec<f64> {
     let comps = graph.components();
     let mut out = vec![0.0f64; graph.pairs().len()];
     let mut local_of = vec![u32::MAX; graph.node_count()];
+    // Dispatch for the per-component re-solves: the replayed components
+    // cost nothing, so the decision rides on the miss work alone —
+    // estimated as the dense recurrence bound Σ n³ over components whose
+    // key is absent.
+    let miss_pool = pool.filter(|p| {
+        let miss_work: usize = comps
+            .members
+            .iter()
+            .filter(|m| m.len() >= 2)
+            .filter(|m| {
+                let key = component_hash(graph, m, config, cache.precision);
+                !cache.map.contains_key(&key)
+            })
+            .map(|m| m.len().pow(3))
+            .sum();
+        p.dispatch(miss_work).is_parallel()
+    });
+    let generation = cache.generation;
     for members in &comps.members {
         if members.len() < 2 {
             continue;
@@ -133,12 +269,13 @@ pub fn run_cliquerank_cached(
         }
         edge_indices.sort_unstable();
 
-        let key = component_hash(graph, members, config);
-        if let Some(stored) = cache.map.get(&key) {
+        let key = component_hash(graph, members, config, cache.precision);
+        if let Some(stored) = cache.map.get_mut(&key) {
             cache.hits += 1;
+            stored.last_used = generation;
             er_obs::counter_add("cliquerank_cache_hits_total", 1);
-            debug_assert_eq!(stored.len(), edge_indices.len());
-            for (&idx, &p) in edge_indices.iter().zip(stored) {
+            debug_assert_eq!(stored.values.len(), edge_indices.len());
+            for (&idx, &p) in edge_indices.iter().zip(&stored.values) {
                 out[idx] = p;
             }
             continue;
@@ -153,7 +290,7 @@ pub fn run_cliquerank_cached(
             members,
             &local_of,
             config,
-            None,
+            miss_pool,
             &mut out,
             &mut cache.scratch,
         );
@@ -161,7 +298,13 @@ pub fn run_cliquerank_cached(
             local_of[g as usize] = u32::MAX;
         }
         let values: Vec<f64> = edge_indices.iter().map(|&idx| out[idx]).collect();
-        cache.map.insert(key, values);
+        cache.map.insert(
+            key,
+            CacheEntry {
+                values,
+                last_used: generation,
+            },
+        );
     }
     out
 }
@@ -240,5 +383,88 @@ mod tests {
         assert!(!cache.is_empty());
         cache.clear();
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn quantized_absorbs_sub_quantum_drift_exact_does_not() {
+        let base = [1.0, 0.9, 0.8, 0.7, 0.6];
+        // Perturb one similarity far below the 1e-4 quantum.
+        let mut drifted = base;
+        drifted[4] += 1e-9;
+        let (g1, g2) = (graph(&base), graph(&drifted));
+
+        let mut quantized = CliqueRankCache::new();
+        let _ = run_cliquerank_cached(&g1, &cfg(), &mut quantized);
+        let _ = run_cliquerank_cached(&g2, &cfg(), &mut quantized);
+        assert_eq!(quantized.hits(), 2, "sub-quantum drift must replay");
+
+        let mut exact = CliqueRankCache::exact();
+        assert_eq!(exact.precision(), CachePrecision::Exact);
+        let _ = run_cliquerank_cached(&g1, &cfg(), &mut exact);
+        let out = run_cliquerank_cached(&g2, &cfg(), &mut exact);
+        assert_eq!(exact.hits(), 1, "only the untouched component replays");
+        assert_eq!(exact.misses(), 3);
+        // And the exact cache's answer is bitwise the uncached one.
+        assert_eq!(out, crate::run_cliquerank(&g2, &cfg()));
+    }
+
+    #[test]
+    fn pooled_cached_matches_serial_cached() {
+        let g = graph(&[1.0, 0.9, 0.8, 0.7, 0.6]);
+        let pool = WorkerPool::with_policy(4, er_pool::DispatchPolicy::always_parallel());
+        let mut serial_cache = CliqueRankCache::exact();
+        let mut pooled_cache = CliqueRankCache::exact();
+        let serial = run_cliquerank_cached(&g, &cfg(), &mut serial_cache);
+        let pooled = run_cliquerank_cached_pooled(&g, &cfg(), &mut pooled_cache, &pool);
+        assert_eq!(serial, pooled);
+        // Warm replay through the pooled entry point stays identical.
+        let replay = run_cliquerank_cached_pooled(&g, &cfg(), &mut pooled_cache, &pool);
+        assert_eq!(replay, pooled);
+        assert_eq!(pooled_cache.hits(), 2);
+    }
+
+    #[test]
+    fn generation_stamps_and_evicts_stale_entries() {
+        let g1 = graph(&[1.0, 0.9, 0.8, 0.7, 0.6]);
+        let mut cache = CliqueRankCache::exact();
+        assert_eq!(cache.generation(), 0);
+        let _ = run_cliquerank_cached(&g1, &cfg(), &mut cache);
+        assert_eq!(cache.len(), 2);
+
+        // Epoch 1: the second component's content changes (dirtied), the
+        // first replays. Its old key goes cold.
+        cache.bump_generation();
+        assert_eq!(cache.generation(), 1);
+        let g2 = graph(&[1.0, 0.9, 0.8, 0.7, 0.65]);
+        let _ = run_cliquerank_cached(&g2, &cfg(), &mut cache);
+        assert_eq!(cache.len(), 3, "old second-component entry lingers");
+
+        // max_age 1 keeps everything (the cold key is one epoch old)…
+        assert_eq!(cache.evict_stale(1), 0);
+        // …max_age 0 drops exactly the entry no longer being looked up.
+        assert_eq!(cache.evict_stale(0), 1);
+        assert_eq!(cache.len(), 2);
+
+        // The survivors still replay bit-identically.
+        cache.bump_generation();
+        let out = run_cliquerank_cached(&g2, &cfg(), &mut cache);
+        assert_eq!(out, crate::run_cliquerank(&g2, &cfg()));
+        assert_eq!(cache.misses(), 3, "no recomputation after eviction");
+    }
+
+    #[test]
+    fn eviction_after_repeated_dirtying_bounds_the_cache() {
+        // Dirty the same component every epoch; with age-0 eviction the
+        // cache never holds more than live-components entries.
+        let mut cache = CliqueRankCache::exact();
+        for i in 0..10 {
+            cache.bump_generation();
+            let s = 0.6 + (i as f64) * 0.01;
+            let g = graph(&[1.0, 0.9, 0.8, 0.7, s]);
+            let _ = run_cliquerank_cached(&g, &cfg(), &mut cache);
+            cache.evict_stale(0);
+            assert_eq!(cache.len(), 2, "epoch {i}");
+        }
+        assert_eq!(cache.hits(), 9, "clean component replays every epoch");
     }
 }

@@ -18,6 +18,7 @@ use std::time::{Duration, Instant};
 use er_graph::{BipartiteGraph, RecordGraph, UnionFind};
 use er_pool::WorkerPool;
 
+use crate::cache::{run_cliquerank_cached_pooled, CliqueRankCache};
 use crate::cliquerank::run_cliquerank_pooled;
 use crate::config::FusionConfig;
 use crate::iter::{run_iter_with_init_pooled_scratch, IterScratch};
@@ -130,7 +131,49 @@ impl Resolver {
         self.resolve_impl(graph, Some(seed))
     }
 
+    /// [`Resolver::resolve`] with a component-level [`CliqueRankCache`]:
+    /// each round's CliqueRank phase replays every record-graph
+    /// component whose content key is already cached and solves only
+    /// the rest (on the shared pool, behind its dispatch cost model).
+    /// With a [`CliqueRankCache::exact`] cache the outcome is
+    /// **bit-identical** to [`Resolver::resolve`] /
+    /// [`Resolver::resolve_seeded`] on the same graph — replayed
+    /// probabilities were produced by the same deterministic solver on
+    /// an identical component — which is the contract the streaming
+    /// engine (`er-serve`) builds its incremental ≡ batch guarantee on.
+    ///
+    /// `seed`, when given, must satisfy the
+    /// [`Resolver::resolve_seeded`] alignment and range requirements.
+    pub fn resolve_cached(
+        &self,
+        graph: &BipartiteGraph,
+        seed: Option<&[f64]>,
+        cache: &mut CliqueRankCache,
+    ) -> FusionOutcome {
+        if let Some(s) = seed {
+            assert_eq!(
+                s.len(),
+                graph.pair_count(),
+                "one seed weight per candidate pair"
+            );
+            assert!(
+                s.iter().all(|&v| (0.0..=1.0).contains(&v)),
+                "seed weights must be probabilities"
+            );
+        }
+        self.resolve_with_cache(graph, seed, Some(cache))
+    }
+
     fn resolve_impl(&self, graph: &BipartiteGraph, seed: Option<&[f64]>) -> FusionOutcome {
+        self.resolve_with_cache(graph, seed, None)
+    }
+
+    fn resolve_with_cache(
+        &self,
+        graph: &BipartiteGraph,
+        seed: Option<&[f64]>,
+        mut cache: Option<&mut CliqueRankCache>,
+    ) -> FusionOutcome {
         let cfg = &self.config;
         assert!(cfg.rounds >= 1, "need at least one fusion round");
         assert!((0.0..=1.0).contains(&cfg.eta), "eta must be a probability");
@@ -198,7 +241,10 @@ impl Resolver {
                 &floored,
                 &pool,
             );
-            let edge_probs = run_cliquerank_pooled(&gr, &cfg.cliquerank, &pool);
+            let edge_probs = match cache.as_deref_mut() {
+                None => run_cliquerank_pooled(&gr, &cfg.cliquerank, &pool),
+                Some(c) => run_cliquerank_cached_pooled(&gr, &cfg.cliquerank, c, &pool),
+            };
             drop(cliquerank_span);
             let cliquerank_time = t1.elapsed();
             er_obs::counter_add("fusion_rounds_total", 1);
@@ -450,6 +496,48 @@ mod tests {
             );
             assert_eq!(serial.matches, parallel.matches);
         }
+    }
+
+    #[test]
+    fn cached_resolve_is_bit_identical_cold_and_warm() {
+        use crate::cache::CliqueRankCache;
+        let g = two_entity_graph();
+        let resolver = Resolver::new(quick_config());
+        let plain = resolver.resolve(&g);
+        let mut cache = CliqueRankCache::exact();
+        let cold = resolver.resolve_cached(&g, None, &mut cache);
+        assert_eq!(plain.matching_probabilities, cold.matching_probabilities);
+        assert_eq!(plain.term_weights, cold.term_weights);
+        assert_eq!(plain.matches, cold.matches);
+        assert!(cache.misses() > 0 && cache.hits() > 0, "rounds 2+ replay");
+        // Warm rerun: every round replays, output still bitwise equal.
+        cache.bump_generation();
+        let warm = resolver.resolve_cached(&g, None, &mut cache);
+        assert_eq!(plain.matching_probabilities, warm.matching_probabilities);
+        assert_eq!(plain.clusters, warm.clusters);
+    }
+
+    #[test]
+    fn cached_resolve_respects_seed_validation() {
+        use crate::cache::CliqueRankCache;
+        let g = two_entity_graph();
+        let resolver = Resolver::new(quick_config());
+        let seed: Vec<f64> = (0..g.pair_count())
+            .map(|i| 0.25 + 0.5 * ((i % 3) as f64) / 2.0)
+            .collect();
+        let plain = resolver.resolve_seeded(&g, &seed);
+        let mut cache = CliqueRankCache::exact();
+        let cached = resolver.resolve_cached(&g, Some(&seed), &mut cache);
+        assert_eq!(plain.matching_probabilities, cached.matching_probabilities);
+        assert_eq!(plain.matches, cached.matches);
+    }
+
+    #[test]
+    #[should_panic(expected = "one seed weight per candidate pair")]
+    fn cached_misaligned_seed_rejected() {
+        let g = two_entity_graph();
+        let mut cache = crate::cache::CliqueRankCache::exact();
+        Resolver::new(quick_config()).resolve_cached(&g, Some(&[1.0]), &mut cache);
     }
 
     #[test]

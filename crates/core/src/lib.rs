@@ -46,7 +46,9 @@ pub mod iter;
 pub mod rss;
 pub mod sparse_kernel;
 
-pub use cache::{run_cliquerank_cached, CliqueRankCache};
+pub use cache::{
+    run_cliquerank_cached, run_cliquerank_cached_pooled, CachePrecision, CliqueRankCache,
+};
 pub use cliquerank::{
     run_cliquerank, run_cliquerank_into, run_cliquerank_pooled, solve_component_into, CliqueScratch,
 };

@@ -29,7 +29,7 @@
 //! edges.
 //!
 //! The α-scaled transition powers `(s / (2 · rowmax))^α` depend only on
-//! the graph, so they are computed once per run ([`EdgePowers`]) instead
+//! the graph, so they are computed once per run (`EdgePowers`) instead
 //! of per step; a step then costs one `powf` (for the sampled bonus) plus
 //! a multiply on the target entry, rather than `powf` per neighbor.
 

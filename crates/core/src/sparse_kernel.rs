@@ -16,7 +16,7 @@
 //! tests pin the two against each other — and it is what makes the very
 //! sparse Restaurant-style record graphs essentially free.
 //!
-//! All working vectors live in a caller-owned [`SparseScratch`] and are
+//! All working vectors live in a caller-owned `SparseScratch` and are
 //! rebuilt with `clear()` + `push`/`resize` inside their existing
 //! capacity, so a stream of components solved through one scratch runs
 //! with zero steady-state allocations.

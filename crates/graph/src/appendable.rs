@@ -1,0 +1,281 @@
+//! Append-friendly CSR rows with staged compaction — the posting-list
+//! substrate of the streaming ingest path (`er-serve`).
+//!
+//! A plain CSR ([`crate::csr::CsrGraph`]) is the right read-side layout
+//! but the wrong write-side one: inserting a value into row `r` shifts
+//! every later row. The serving engine appends values (record ids) to
+//! term rows on every ingested record, so this structure keeps each row
+//! as an immutable **base** slice inside one contiguous arena plus a
+//! small per-row **spill** vector of values appended since the last
+//! compaction. Reads see the logical row `base ++ spill`; because
+//! appended values are required to be strictly ascending per row (record
+//! ids are assigned densely), the concatenation is already sorted and no
+//! merge is ever needed.
+//!
+//! **Staged compaction:** spill vectors trade append cost for pointer
+//! chasing on reads. [`AppendableCsr::spill_fraction`] reports how much
+//! of the structure lives outside the arena; callers compact when it
+//! crosses a policy threshold ([`AppendableCsr::maybe_compact`]), which
+//! rebuilds the base arena in one linear pass and empties every spill.
+//! Between compactions, appends are O(1) amortized and never move
+//! another row's data.
+
+/// CSR-like container of sorted `u32` rows supporting per-row appends.
+///
+/// Rows are created with [`AppendableCsr::push_row`] (or implicitly via
+/// [`AppendableCsr::ensure_rows`]) and grow only at the tail; values
+/// within a row must be appended in strictly ascending order.
+#[derive(Debug, Clone, Default)]
+pub struct AppendableCsr {
+    /// Base arena row offsets (`base_offsets.len() == base_rows + 1`).
+    base_offsets: Vec<usize>,
+    /// Base arena values.
+    base_values: Vec<u32>,
+    /// Per-row spill of values appended since the last compaction. Rows
+    /// beyond the base arena (created after the last compaction) have an
+    /// empty base and live entirely in spill.
+    spill: Vec<Vec<u32>>,
+    /// Total values across all spill vectors.
+    spilled: usize,
+}
+
+impl AppendableCsr {
+    /// An empty structure with no rows.
+    pub fn new() -> Self {
+        Self {
+            base_offsets: vec![0],
+            base_values: Vec::new(),
+            spill: Vec::new(),
+            spilled: 0,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.spill.len()
+    }
+
+    /// Total number of stored values (base + spill).
+    pub fn len(&self) -> usize {
+        self.base_values.len() + self.spilled
+    }
+
+    /// True when no values are stored (rows may still exist).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Appends a new empty row, returning its index.
+    pub fn push_row(&mut self) -> usize {
+        self.spill.push(Vec::new());
+        self.spill.len() - 1
+    }
+
+    /// Grows the structure to at least `rows` rows.
+    pub fn ensure_rows(&mut self, rows: usize) {
+        if rows > self.spill.len() {
+            self.spill.resize_with(rows, Vec::new);
+        }
+    }
+
+    /// Number of rows covered by the base arena (rows created after the
+    /// last [`AppendableCsr::compact`] have no base slice yet).
+    fn base_rows(&self) -> usize {
+        self.base_offsets.len() - 1
+    }
+
+    /// The compacted part of row `r`.
+    pub fn base_row(&self, r: usize) -> &[u32] {
+        if r < self.base_rows() {
+            &self.base_values[self.base_offsets[r]..self.base_offsets[r + 1]]
+        } else {
+            &[]
+        }
+    }
+
+    /// The values appended to row `r` since the last compaction.
+    pub fn spill_row(&self, r: usize) -> &[u32] {
+        &self.spill[r]
+    }
+
+    /// True when row `r` is fully contained in the base arena (its
+    /// logical content is the contiguous [`AppendableCsr::base_row`]).
+    pub fn is_clean(&self, r: usize) -> bool {
+        self.spill[r].is_empty()
+    }
+
+    /// Logical length of row `r`.
+    pub fn row_len(&self, r: usize) -> usize {
+        self.base_row(r).len() + self.spill[r].len()
+    }
+
+    /// Last value of row `r`, if any.
+    pub fn row_last(&self, r: usize) -> Option<u32> {
+        self.spill[r]
+            .last()
+            .or_else(|| self.base_row(r).last())
+            .copied()
+    }
+
+    /// Appends `value` to row `r`. Values must arrive in strictly
+    /// ascending order per row — the invariant that keeps every logical
+    /// row sorted without merging.
+    pub fn append(&mut self, r: usize, value: u32) {
+        assert!(
+            self.row_last(r).is_none_or(|last| value > last),
+            "row {r}: append {value} breaks the ascending-order invariant"
+        );
+        self.spill[r].push(value);
+        self.spilled += 1;
+    }
+
+    /// Copies the logical content of row `r` (base ++ spill, sorted
+    /// ascending) into `out`, replacing its contents.
+    pub fn row_into(&self, r: usize, out: &mut Vec<u32>) {
+        out.clear();
+        out.extend_from_slice(self.base_row(r));
+        out.extend_from_slice(&self.spill[r]);
+    }
+
+    /// The logical content of row `r` as a fresh vector.
+    pub fn row_to_vec(&self, r: usize) -> Vec<u32> {
+        let mut out = Vec::with_capacity(self.row_len(r));
+        self.row_into(r, &mut out);
+        out
+    }
+
+    /// Iterates the logical content of row `r` without allocating.
+    pub fn row_iter(&self, r: usize) -> impl Iterator<Item = u32> + '_ {
+        self.base_row(r).iter().chain(self.spill[r].iter()).copied()
+    }
+
+    /// Fraction of stored values living in spill vectors — the staged
+    /// compaction policy's input signal.
+    pub fn spill_fraction(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.spilled as f64 / self.len() as f64
+        }
+    }
+
+    /// Rebuilds the base arena from every logical row and empties the
+    /// spill vectors. One linear pass over the stored values.
+    pub fn compact(&mut self) {
+        let rows = self.spill.len();
+        let total = self.len();
+        let mut offsets = Vec::with_capacity(rows + 1);
+        let mut values = Vec::with_capacity(total);
+        offsets.push(0);
+        for r in 0..rows {
+            values.extend_from_slice(self.base_row(r));
+            values.append(&mut self.spill[r]);
+            offsets.push(values.len());
+        }
+        self.base_offsets = offsets;
+        self.base_values = values;
+        self.spilled = 0;
+    }
+
+    /// Compacts when the spill fraction is at least `threshold` (and
+    /// anything is spilled at all); returns whether compaction ran. A
+    /// threshold of `1.0` disables compaction.
+    pub fn maybe_compact(&mut self, threshold: f64) -> bool {
+        // A threshold of 1.0 disables staged compaction outright: the
+        // spill fraction hits exactly 1.0 whenever the base arena is
+        // empty (e.g. right after the first appends), which would
+        // otherwise trigger a useless compaction at the "never" setting.
+        if threshold < 1.0 && self.spilled > 0 && self.spill_fraction() >= threshold {
+            self.compact();
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_grow_and_read_back_sorted() {
+        let mut c = AppendableCsr::new();
+        c.ensure_rows(3);
+        c.append(0, 2);
+        c.append(0, 5);
+        c.append(2, 1);
+        assert_eq!(c.rows(), 3);
+        assert_eq!(c.row_to_vec(0), vec![2, 5]);
+        assert!(c.row_to_vec(1).is_empty());
+        assert_eq!(c.row_to_vec(2), vec![1]);
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn compact_preserves_logical_rows() {
+        let mut c = AppendableCsr::new();
+        c.ensure_rows(2);
+        for v in [1, 4, 9] {
+            c.append(0, v);
+        }
+        c.append(1, 3);
+        c.compact();
+        assert!(c.is_clean(0) && c.is_clean(1));
+        assert_eq!(c.base_row(0), &[1, 4, 9]);
+        assert_eq!(c.base_row(1), &[3]);
+        // Appends after compaction spill again and concatenate in order.
+        c.append(0, 12);
+        assert!(!c.is_clean(0));
+        assert_eq!(c.row_to_vec(0), vec![1, 4, 9, 12]);
+        assert_eq!(c.row_iter(0).collect::<Vec<_>>(), vec![1, 4, 9, 12]);
+    }
+
+    #[test]
+    fn rows_created_after_compaction_have_empty_base() {
+        let mut c = AppendableCsr::new();
+        c.ensure_rows(1);
+        c.append(0, 7);
+        c.compact();
+        let r = c.push_row();
+        c.append(r, 2);
+        assert!(c.base_row(r).is_empty());
+        assert_eq!(c.row_to_vec(r), vec![2]);
+        c.compact();
+        assert_eq!(c.base_row(r), &[2]);
+    }
+
+    #[test]
+    fn spill_fraction_drives_maybe_compact() {
+        let mut c = AppendableCsr::new();
+        c.ensure_rows(1);
+        for v in 0..8 {
+            c.append(0, v);
+        }
+        c.compact();
+        assert_eq!(c.spill_fraction(), 0.0);
+        c.append(0, 100);
+        assert!((c.spill_fraction() - 1.0 / 9.0).abs() < 1e-12);
+        assert!(!c.maybe_compact(0.5), "1/9 spilled is below the threshold");
+        assert!(c.maybe_compact(0.1));
+        assert_eq!(c.spill_fraction(), 0.0);
+        assert!(!c.maybe_compact(0.0), "nothing spilled, nothing to do");
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending-order invariant")]
+    fn non_ascending_append_rejected() {
+        let mut c = AppendableCsr::new();
+        c.ensure_rows(1);
+        c.append(0, 5);
+        c.append(0, 5);
+    }
+
+    #[test]
+    fn empty_structure_is_well_formed() {
+        let c = AppendableCsr::new();
+        assert_eq!(c.rows(), 0);
+        assert!(c.is_empty());
+        assert_eq!(c.spill_fraction(), 0.0);
+    }
+}

@@ -10,6 +10,8 @@
 //!   runs per component because random walks cannot cross components.
 //! * [`bipartite`] — the term ↔ record-pair bipartite graph of §V-B
 //!   (Figure 3) that ITER iterates on.
+//! * [`appendable`] — append-friendly CSR rows with staged compaction,
+//!   the posting-list substrate of the streaming ingest path.
 //! * [`record_graph`] — the weighted record graph `Gr` of §VI-A that
 //!   CliqueRank and RSS walk on.
 //! * [`mod@pagerank`] — damped PageRank (Eq. 3) for the TW-IDF baseline and
@@ -24,6 +26,7 @@
 
 #![deny(unsafe_code)]
 
+pub mod appendable;
 pub mod bipartite;
 pub mod components;
 pub mod cooccur;
@@ -34,6 +37,7 @@ pub mod record_graph;
 pub mod simrank;
 pub mod union_find;
 
+pub use appendable::AppendableCsr;
 pub use bipartite::{BipartiteGraph, BipartiteGraphBuilder, PairNode};
 pub use components::{components, ComponentLabels};
 pub use cooccur::cooccurrence_graph;

@@ -34,7 +34,7 @@
 //! Every pair slot's score depends only on the previous buffer
 //! (Jacobi-style, like the original), and its neighbor sum runs in the
 //! same ascending order the HashMap version used, so the flattened kernel
-//! is **bit-identical** to the retained [`reference`] oracle and
+//! is **bit-identical** to the retained [`mod@reference`] oracle and
 //! invariant across worker-pool sizes (pruned contributions are exact
 //! `+0.0`s, which cannot perturb a non-negative sum). The
 //! `prop_simrank.rs` property tests pin both claims.
@@ -208,7 +208,7 @@ impl PairUniverse {
 }
 
 /// Marks a diagonal hit (`y == x`, similarity exactly 1) in a
-/// [`ReplayIndex`] source list. Never a valid slot:
+/// `ReplayIndex` source list. Never a valid slot:
 /// [`PairUniverse::from_pairs`] rejects universes of `u32::MAX` slots.
 const DIAGONAL: u32 = u32::MAX;
 
@@ -401,7 +401,7 @@ fn replay_sum(idx: &ReplayIndex, scores: &[f64], slot: usize) -> f64 {
 
 /// The frozen inputs of a SimRank run: both pair universes, CSR copies
 /// of the postings (term → records) and term lists (record → terms),
-/// and the two per-slot [`ReplayIndex`]es the iteration loop gathers
+/// and the two per-slot `ReplayIndex`es the iteration loop gathers
 /// over. Build once, iterate many times.
 #[derive(Debug, Clone, Default)]
 pub struct SimRankUniverse {
@@ -771,7 +771,7 @@ pub fn bipartite_simrank(
 
 /// Runs pruned bipartite SimRank on the CSR-flattened kernel, iterating
 /// on `pool`. Results are bit-identical at any pool size and to the
-/// HashMap [`reference`] oracle.
+/// HashMap [`mod@reference`] oracle.
 ///
 /// * `record_terms[r]` — sorted, deduplicated term ids of record `r`.
 /// * `n_terms` — size of the term universe.

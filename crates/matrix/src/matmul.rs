@@ -19,7 +19,7 @@
 //!
 //! Row bands are computed independently, so the threaded and pooled
 //! variants are bit-identical to [`matmul_packed`] at any thread count.
-//! For depths `k ≤ `[`KC`] every kernel here is bit-identical to every
+//! For depths `k ≤ `[`KC`](crate::pack::KC) every kernel here is bit-identical to every
 //! other (each output element accumulates its products in ascending `k`
 //! order); past one packed panel the packed family differs from
 //! naive/blocked only by panel-boundary rounding.

@@ -1,0 +1,513 @@
+//! The single-writer ingest/resolve engine.
+//!
+//! [`ServeEngine`] owns the growing state — the [`StreamingCorpus`],
+//! the MinHash [`SignatureCache`] behind the blocking strategy, and the
+//! exact [`CliqueRankCache`] — and re-resolves on demand. Incrementality
+//! lands where the cost is: CliqueRank dominates a resolve, and its
+//! cache replays every connected component whose content (members,
+//! neighborhoods, similarities, config) is unchanged since the previous
+//! epoch, bit-for-bit. Components dirtied by ingested records — and the
+//! occasional clean-looking component invalidated by a frequent-term
+//! flip — miss the content hash and recompute. The result is **exactly**
+//! the batch resolution of the same texts in the same order
+//! ([`resolve_batch`]), a property pinned by this crate's tests and the
+//! workspace-level `serve_equivalence` proptest.
+
+use std::ops::Range;
+use std::sync::Arc;
+
+use er_core::{CliqueRankCache, FusionConfig, FusionOutcome, Resolver};
+use er_graph::{BipartiteGraph, BipartiteGraphBuilder};
+use er_pool::WorkerPool;
+use er_text::lsh::SignatureCache;
+use er_text::{
+    BatchScorer, BlockingStrategy, Corpus, CorpusBuilder, SimKernel, StreamingCorpus, TermId,
+};
+
+use crate::snapshot::{QueryHandle, SharedState, Snapshot};
+
+/// Default frequent-term cap, matching the batch pipeline's
+/// `unsupervised_er::pipeline::DEFAULT_MAX_DF_FRACTION`.
+pub const DEFAULT_MAX_DF_FRACTION: f64 = 0.05;
+
+/// Seed-similarity kernel, matching the batch pipeline's
+/// `unsupervised_er::pipeline::SEED_KERNEL`.
+pub const SEED_KERNEL: SimKernel = SimKernel::JaroWinkler;
+
+/// Default [`ServeConfig::cache_max_age`]: cached component solutions
+/// untouched for this many resolve epochs are evicted.
+pub const DEFAULT_CACHE_MAX_AGE: u64 = 8;
+
+/// Configuration of a [`ServeEngine`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Fusion-loop settings (rounds, η, thread count, dispatch policy —
+    /// the engine's worker pool is built from `fusion.threads` and
+    /// `fusion.dispatch`).
+    pub fusion: FusionConfig,
+    /// Candidate-generation strategy. [`BlockingStrategy::TokenGraph`]
+    /// is paper-exact; the LSH/meta strategies scale further and keep
+    /// their MinHash signatures warm across resolves.
+    pub strategy: BlockingStrategy,
+    /// Frequent-term cap forwarded to
+    /// [`StreamingCorpus::materialize`].
+    pub max_df_fraction: f64,
+    /// Posting-list spill fraction that triggers staged compaction
+    /// ([`StreamingCorpus::with_compaction_threshold`]).
+    pub compaction_threshold: f64,
+    /// CliqueRank cache entries untouched for more than this many
+    /// resolve epochs are evicted ([`CliqueRankCache::evict_stale`]).
+    pub cache_max_age: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            fusion: FusionConfig::default(),
+            strategy: BlockingStrategy::TokenGraph,
+            max_df_fraction: DEFAULT_MAX_DF_FRACTION,
+            compaction_threshold: er_text::DEFAULT_COMPACTION_THRESHOLD,
+            cache_max_age: DEFAULT_CACHE_MAX_AGE,
+        }
+    }
+}
+
+/// Streaming entity-resolution engine: ingest records one at a time or
+/// in micro-batches, [`Self::resolve`] when a fresh view is needed, and
+/// answer match/cluster queries concurrently through [`QueryHandle`]s.
+#[derive(Debug)]
+pub struct ServeEngine {
+    config: ServeConfig,
+    pool: WorkerPool,
+    corpus: StreamingCorpus,
+    signatures: SignatureCache,
+    cache: CliqueRankCache,
+    shared: Arc<SharedState>,
+    /// Record count covered by the last published snapshot.
+    resolved_records: usize,
+    resolves: u64,
+}
+
+impl ServeEngine {
+    /// An empty engine. The initial published snapshot is epoch 0 with
+    /// no records.
+    pub fn new(config: ServeConfig) -> Self {
+        let pool = WorkerPool::with_policy(config.fusion.threads, config.fusion.dispatch);
+        let corpus = StreamingCorpus::with_compaction_threshold(config.compaction_threshold);
+        Self {
+            config,
+            pool,
+            corpus,
+            signatures: SignatureCache::new(),
+            cache: CliqueRankCache::exact(),
+            shared: Arc::new(SharedState::new()),
+            resolved_records: 0,
+            resolves: 0,
+        }
+    }
+
+    /// Number of ingested records (resolved or not).
+    pub fn len(&self) -> usize {
+        self.corpus.len()
+    }
+
+    /// True when nothing has been ingested.
+    pub fn is_empty(&self) -> bool {
+        self.corpus.is_empty()
+    }
+
+    /// Records not yet covered by a published snapshot.
+    pub fn pending(&self) -> usize {
+        self.corpus.len() - self.resolved_records
+    }
+
+    /// Resolves run so far.
+    pub fn resolves(&self) -> u64 {
+        self.resolves
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// The CliqueRank component cache (hit/miss statistics).
+    pub fn cache(&self) -> &CliqueRankCache {
+        &self.cache
+    }
+
+    /// The MinHash signature cache (reuse statistics).
+    pub fn signatures(&self) -> &SignatureCache {
+        &self.signatures
+    }
+
+    /// Ingests one record's raw text, returning its record id.
+    pub fn ingest(&mut self, text: &str) -> u32 {
+        let _span = er_obs::span("serve.ingest");
+        er_obs::counter_add("serve.records_ingested", 1);
+        self.corpus.push_record(text)
+    }
+
+    /// Ingests a micro-batch, returning the contiguous id range it was
+    /// assigned.
+    pub fn ingest_batch<I, S>(&mut self, texts: I) -> Range<u32>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let _span = er_obs::span("serve.ingest");
+        let start = self.corpus.len() as u32;
+        let mut n = 0u64;
+        for t in texts {
+            self.corpus.push_record(t.as_ref());
+            n += 1;
+        }
+        er_obs::counter_add("serve.records_ingested", n);
+        start..self.corpus.len() as u32
+    }
+
+    /// Re-resolves everything ingested so far and publishes the result
+    /// as a new epoch. Returns the published snapshot.
+    ///
+    /// The resolution is **bit-identical** to [`resolve_batch`] over the
+    /// same texts: the streaming corpus materializes exactly the batch
+    /// corpus, the cached blocking paths emit exactly the batch
+    /// candidate lists, and the exact CliqueRank cache replays only
+    /// component solutions whose full content hash matches — so warm
+    /// replays and cold recomputes produce the same bits.
+    pub fn resolve(&mut self) -> Arc<Snapshot> {
+        let _span = er_obs::span("serve.resolve");
+        self.cache.bump_generation();
+        let epoch = self.shared.epoch.load(std::sync::atomic::Ordering::Relaxed) + 1;
+        let corpus = self.corpus.materialize(self.config.max_df_fraction);
+        let snapshot = if corpus.is_empty() {
+            Arc::new(Snapshot::empty(epoch))
+        } else {
+            let graph = candidate_graph_cached(
+                &corpus,
+                &self.config.strategy,
+                &self.pool,
+                &mut self.signatures,
+            );
+            er_obs::gauge_set(
+                "serve.dirty_components",
+                dirty_components(&graph, corpus.len(), self.resolved_records) as f64,
+            );
+            let outcome = resolve_graph(
+                &corpus,
+                &graph,
+                &self.config.fusion,
+                &self.pool,
+                Some(&mut self.cache),
+            );
+            Arc::new(Snapshot::from_outcome(epoch, corpus.len(), &graph, outcome))
+        };
+        let evicted = self.cache.evict_stale(self.config.cache_max_age);
+        er_obs::counter_add("serve.cache_evictions", evicted as u64);
+        er_obs::gauge_set("serve.epoch", epoch as f64);
+        self.shared.publish(snapshot.clone());
+        self.resolved_records = snapshot.records();
+        self.resolves += 1;
+        snapshot
+    }
+
+    /// The latest published snapshot.
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        self.shared.slot.lock().clone()
+    }
+
+    /// A concurrent reader over the engine's published resolutions.
+    /// Handles are `Send` + `Clone`; queries on the steady state take no
+    /// lock.
+    pub fn query_handle(&self) -> QueryHandle {
+        QueryHandle::new(Arc::clone(&self.shared))
+    }
+}
+
+/// The batch reference resolution: builds the corpus, candidates, seed
+/// similarities and fusion outcome from scratch — the from-scratch run
+/// [`ServeEngine::resolve`] must equal bit-for-bit.
+pub fn resolve_batch<I, S>(texts: I, config: &ServeConfig) -> Snapshot
+where
+    I: IntoIterator<Item = S>,
+    S: Into<String>,
+{
+    let pool = WorkerPool::with_policy(config.fusion.threads, config.fusion.dispatch);
+    let corpus = CorpusBuilder::new()
+        .extend_texts(texts)
+        .max_df_fraction(config.max_df_fraction)
+        .build();
+    if corpus.is_empty() {
+        return Snapshot::empty(0);
+    }
+    let graph = candidate_graph(&corpus, &config.strategy, &pool);
+    let outcome = resolve_graph(&corpus, &graph, &config.fusion, &pool, None);
+    Snapshot::from_outcome(0, corpus.len(), &graph, outcome)
+}
+
+/// Builds the candidate bipartite graph for `corpus` under `strategy`
+/// (mirrors `unsupervised_er::pipeline::prepare_with_strategy` without a
+/// source policy — the serving engine deduplicates a single stream).
+fn candidate_graph(
+    corpus: &Corpus,
+    strategy: &BlockingStrategy,
+    pool: &WorkerPool,
+) -> BipartiteGraph {
+    let allowed = match strategy {
+        BlockingStrategy::TokenGraph => None,
+        _ => Some(strategy.candidate_pairs(corpus, pool)),
+    };
+    build_graph(corpus, allowed)
+}
+
+/// [`candidate_graph`] with MinHash signatures maintained in `cache` —
+/// identical output.
+fn candidate_graph_cached(
+    corpus: &Corpus,
+    strategy: &BlockingStrategy,
+    pool: &WorkerPool,
+    cache: &mut SignatureCache,
+) -> BipartiteGraph {
+    let allowed = match strategy {
+        BlockingStrategy::TokenGraph => None,
+        _ => Some(strategy.candidate_pairs_cached(corpus, pool, cache)),
+    };
+    build_graph(corpus, allowed)
+}
+
+fn build_graph(corpus: &Corpus, allowed: Option<Vec<(u32, u32)>>) -> BipartiteGraph {
+    let mut builder = BipartiteGraphBuilder::new(corpus.len(), corpus.vocab_len());
+    for i in 0..corpus.vocab_len() {
+        let t = TermId(i as u32);
+        builder = builder.postings(t.0, corpus.postings(t));
+    }
+    if let Some(allowed) = allowed {
+        builder = builder.pair_filter(move |a, b| {
+            allowed
+                .binary_search(&if a < b { (a, b) } else { (b, a) })
+                .is_ok()
+        });
+    }
+    builder.build()
+}
+
+/// Seeds ITER with batched [`SEED_KERNEL`] similarities and runs the
+/// fusion loop, through the CliqueRank cache when one is supplied.
+fn resolve_graph(
+    corpus: &Corpus,
+    graph: &BipartiteGraph,
+    config: &FusionConfig,
+    pool: &WorkerPool,
+    cache: Option<&mut CliqueRankCache>,
+) -> FusionOutcome {
+    let idx: Vec<(u32, u32)> = graph.pairs().iter().map(|p| (p.a, p.b)).collect();
+    let seed = BatchScorer::new(corpus).score(SEED_KERNEL, &idx, pool);
+    let resolver = Resolver::new(config.clone());
+    match cache {
+        Some(c) => resolver.resolve_cached(graph, Some(&seed), c),
+        None => resolver.resolve_seeded(graph, &seed),
+    }
+}
+
+/// Number of connected components of the candidate graph containing at
+/// least one record ingested since the previous resolve (id ≥
+/// `resolved_records`) — the components whose CliqueRank solutions
+/// *cannot* replay. This gauge is advisory: correctness never depends
+/// on it, because the cache's content hash also catches clean-looking
+/// components invalidated indirectly (e.g. a frequent-term flip
+/// changing similarities in a component no new record touches).
+fn dirty_components(graph: &BipartiteGraph, n_records: usize, resolved_records: usize) -> usize {
+    let mut parent: Vec<u32> = (0..n_records as u32).collect();
+    fn find(parent: &mut [u32], mut x: u32) -> u32 {
+        while parent[x as usize] != x {
+            parent[x as usize] = parent[parent[x as usize] as usize];
+            x = parent[x as usize];
+        }
+        x
+    }
+    for p in graph.pairs() {
+        let (ra, rb) = (find(&mut parent, p.a), find(&mut parent, p.b));
+        if ra != rb {
+            let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+            parent[hi as usize] = lo;
+        }
+    }
+    let mut dirty_root = vec![false; n_records];
+    let mut dirty = 0usize;
+    for r in resolved_records..n_records {
+        let root = find(&mut parent, r as u32) as usize;
+        if !dirty_root[root] {
+            dirty_root[root] = true;
+            dirty += 1;
+        }
+    }
+    dirty
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts() -> Vec<&'static str> {
+        vec![
+            "fenix at the argyle 8358 sunset blvd",
+            "fenix 8358 sunset blvd west hollywood",
+            "grill on the alley 9560 dayton way",
+            "the grill alley 9560 dayton",
+            "la la land sunset strip",
+            "art de cuisine 9777 melrose ave",
+            "arts delicatessen 12224 ventura blvd",
+            "art delicatessen 12224 ventura blvd studio city",
+        ]
+    }
+
+    fn small_config() -> ServeConfig {
+        let mut config = ServeConfig {
+            // Tiny corpora need a permissive cap or everything is a
+            // "frequent" term.
+            max_df_fraction: 0.6,
+            ..ServeConfig::default()
+        };
+        config.fusion.threads = 1;
+        config.fusion.rounds = 2;
+        config
+    }
+
+    #[test]
+    fn incremental_resolve_matches_batch_at_every_prefix() {
+        let mut engine = ServeEngine::new(small_config());
+        for (i, t) in texts().iter().enumerate() {
+            assert_eq!(engine.ingest(t), i as u32);
+            let snap = engine.resolve();
+            let batch = resolve_batch(texts()[..=i].iter().copied(), engine.config());
+            assert!(snap.bitwise_eq(&batch), "prefix {i}");
+            assert_eq!(snap.epoch(), i as u64 + 1);
+        }
+        assert!(
+            engine.cache().hits() > 0,
+            "warm prefixes must replay components"
+        );
+    }
+
+    #[test]
+    fn micro_batch_ingest_assigns_contiguous_ids() {
+        let mut engine = ServeEngine::new(small_config());
+        let r = engine.ingest_batch(texts().iter().take(3));
+        assert_eq!(r, 0..3);
+        let r = engine.ingest_batch(texts().iter().skip(3));
+        assert_eq!(r, 3..texts().len() as u32);
+        assert_eq!(engine.pending(), texts().len());
+        engine.resolve();
+        assert_eq!(engine.pending(), 0);
+    }
+
+    #[test]
+    fn queries_see_published_epochs_only() {
+        let mut engine = ServeEngine::new(small_config());
+        let mut handle = engine.query_handle();
+        assert_eq!(handle.snapshot().epoch(), 0);
+        assert!(!handle.is_match(0, 1));
+        engine.ingest_batch(texts().iter().take(2));
+        // Ingest alone publishes nothing.
+        assert_eq!(handle.snapshot().epoch(), 0);
+        let snap = engine.resolve();
+        assert_eq!(handle.snapshot().epoch(), 1);
+        assert_eq!(
+            handle.is_match(0, 1),
+            snap.is_match(0, 1),
+            "handle and snapshot agree"
+        );
+        let c = handle.cluster_of(0).unwrap();
+        assert!(c.contains(&0));
+    }
+
+    #[test]
+    fn handles_work_across_threads_during_ingest() {
+        let mut engine = ServeEngine::new(small_config());
+        engine.ingest_batch(texts().iter().take(4));
+        engine.resolve();
+        let mut handle = engine.query_handle();
+        let reader = std::thread::spawn(move || {
+            let mut seen = 0u64;
+            for _ in 0..100 {
+                let s = handle.snapshot();
+                assert!(s.epoch() >= seen, "epochs are monotonic");
+                seen = s.epoch();
+                // Internal consistency: every match's records share a
+                // cluster in the same snapshot.
+                for &(a, b) in s.matches() {
+                    assert_eq!(s.cluster_id(a), s.cluster_id(b));
+                }
+            }
+            seen
+        });
+        for t in texts().iter().skip(4) {
+            engine.ingest(t);
+            engine.resolve();
+        }
+        let seen = reader.join().expect("reader thread");
+        assert!(seen >= 1);
+    }
+
+    #[test]
+    fn meta_strategy_serves_identically_to_batch() {
+        let mut config = small_config();
+        config.strategy = BlockingStrategy::meta_default();
+        let mut engine = ServeEngine::new(config);
+        for (i, t) in texts().iter().enumerate() {
+            engine.ingest(t);
+            let snap = engine.resolve();
+            let batch = resolve_batch(texts()[..=i].iter().copied(), engine.config());
+            assert!(snap.bitwise_eq(&batch), "prefix {i}");
+        }
+        assert!(
+            engine.signatures().reused() > 0,
+            "unchanged records must reuse signatures"
+        );
+    }
+
+    #[test]
+    fn empty_resolve_publishes_empty_snapshot() {
+        let mut engine = ServeEngine::new(small_config());
+        let snap = engine.resolve();
+        assert_eq!(snap.records(), 0);
+        assert_eq!(snap.epoch(), 1);
+        assert!(engine.is_empty());
+    }
+
+    #[test]
+    fn dirty_components_counts_components_with_new_records() {
+        let corpus = CorpusBuilder::new()
+            .extend_texts(["a b", "a c", "d e", "d f", "g h"])
+            .build();
+        let graph = build_graph(&corpus, None);
+        // All records new: {0,1}, {2,3}, {4} → 3 dirty components.
+        assert_eq!(dirty_components(&graph, 5, 0), 3);
+        // Only record 4 new: its singleton component alone is dirty.
+        assert_eq!(dirty_components(&graph, 5, 4), 1);
+        assert_eq!(dirty_components(&graph, 5, 5), 0);
+    }
+
+    #[test]
+    fn stale_cache_entries_are_evicted_over_epochs() {
+        let mut config = small_config();
+        config.cache_max_age = 1;
+        let mut engine = ServeEngine::new(config);
+        engine.ingest_batch(texts().iter().take(4));
+        engine.resolve();
+        let after_first = engine.cache().len();
+        assert!(after_first > 0);
+        // Many further epochs over a disjoint new component: entries of
+        // vanished components age out under max_age = 1.
+        engine.ingest("zz yy xx");
+        engine.ingest("zz yy xx ww");
+        for _ in 0..4 {
+            engine.resolve();
+        }
+        assert!(
+            engine.cache().len() <= after_first + 2,
+            "cache stays bounded: {}",
+            engine.cache().len()
+        );
+    }
+}

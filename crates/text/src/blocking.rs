@@ -17,7 +17,7 @@
 use er_pool::WorkerPool;
 
 use crate::corpus::Corpus;
-use crate::lsh::{lsh_blocking, LshParams};
+use crate::lsh::{lsh_blocking, lsh_blocking_cached, LshParams, SignatureCache};
 use crate::metablocking::{meta_block, BlockCollection, MetaConfig};
 use crate::simeng::{BatchScorer, SimKernel};
 use crate::tokenize::TermId;
@@ -110,6 +110,43 @@ impl BlockingStrategy {
                 }
                 meta_block(&blocks, corpus.len(), &m.config, pool)
             }
+        }
+    }
+
+    /// [`Self::candidate_pairs`] through a [`SignatureCache`]: the LSH
+    /// and meta strategies reuse MinHash band keys for records whose
+    /// term set is unchanged since the cache last saw them; the other
+    /// strategies compute no signatures and ignore the cache. Output is
+    /// identical to `candidate_pairs`.
+    pub fn candidate_pairs_cached(
+        &self,
+        corpus: &Corpus,
+        pool: &WorkerPool,
+        cache: &mut SignatureCache,
+    ) -> Vec<(u32, u32)> {
+        match self {
+            Self::Lsh {
+                params,
+                max_block_size,
+            } => {
+                let _span = er_obs::span("blocking.candidates");
+                lsh_blocking_cached(corpus, params, *max_block_size, pool, cache)
+            }
+            Self::Meta(m) => {
+                let _span = er_obs::span("blocking.candidates");
+                let mut blocks = if m.token_blocks {
+                    BlockCollection::from_token_blocks(corpus)
+                } else {
+                    BlockCollection::new()
+                };
+                if let Some(params) = &m.lsh {
+                    blocks.extend_from(&BlockCollection::from_lsh_cached(
+                        corpus, params, pool, cache,
+                    ));
+                }
+                meta_block(&blocks, corpus.len(), &m.config, pool)
+            }
+            _ => self.candidate_pairs(corpus, pool),
         }
     }
 
@@ -463,6 +500,39 @@ mod tests {
             token_blocking(&c, usize::MAX)
         );
         assert_eq!(BlockingStrategy::meta_default().name(), "meta");
+    }
+
+    #[test]
+    fn cached_candidates_match_plain_for_every_strategy() {
+        let c = corpus();
+        let pool = WorkerPool::new(1);
+        let strategies = [
+            BlockingStrategy::TokenGraph,
+            BlockingStrategy::Token { max_block_size: 10 },
+            BlockingStrategy::SortedNeighborhood { window: 2 },
+            BlockingStrategy::Lsh {
+                params: LshParams::default(),
+                max_block_size: 64,
+            },
+            BlockingStrategy::meta_default(),
+        ];
+        for s in &strategies {
+            let mut cache = SignatureCache::new();
+            let plain = s.candidate_pairs(&c, &pool);
+            // Cold cache, then warm cache: both must match the plain path.
+            assert_eq!(
+                s.candidate_pairs_cached(&c, &pool, &mut cache),
+                plain,
+                "{} cold",
+                s.name()
+            );
+            assert_eq!(
+                s.candidate_pairs_cached(&c, &pool, &mut cache),
+                plain,
+                "{} warm",
+                s.name()
+            );
+        }
     }
 
     #[test]

@@ -24,6 +24,29 @@ pub struct Corpus {
 }
 
 impl Corpus {
+    /// Assembles a corpus from already-filtered parts — the incremental
+    /// materialization path ([`crate::streaming::StreamingCorpus`]).
+    /// Callers guarantee the [`CorpusBuilder::build`] invariants: term
+    /// sets sorted + deduplicated, postings sorted ascending, filtered
+    /// terms with empty postings.
+    pub(crate) fn from_parts(
+        vocab: Vocabulary,
+        tokens: Vec<Vec<TermId>>,
+        term_sets: Vec<Vec<TermId>>,
+        inverted: Vec<Vec<u32>>,
+        removed_terms: Vec<TermId>,
+    ) -> Self {
+        debug_assert_eq!(tokens.len(), term_sets.len());
+        debug_assert_eq!(inverted.len(), vocab.len());
+        Self {
+            vocab,
+            tokens,
+            term_sets,
+            inverted,
+            removed_terms,
+        }
+    }
+
     /// Number of records.
     pub fn len(&self) -> usize {
         self.tokens.len()

@@ -19,6 +19,10 @@
 //!   million-record candidate generation.
 //! * [`metablocking`] — block purging / filtering / edge-weight pruning
 //!   over the block graph.
+//! * [`streaming`] — an append-only [`StreamingCorpus`] for the serving
+//!   engine's ingest path, materializing batch-identical [`Corpus`]
+//!   snapshots on demand, plus the [`SignatureCache`] that keeps MinHash
+//!   band keys warm across resolves.
 //! * [`metrics`] — the string-similarity metrics used by the paper's
 //!   string-distance baselines (Jaccard, TF-IDF cosine) and by the
 //!   supervised baselines' feature extractors (edit distance, Jaro,
@@ -52,11 +56,15 @@ pub mod metablocking;
 pub mod metrics;
 pub mod normalize;
 pub mod simeng;
+pub mod streaming;
 pub mod tokenize;
 
 pub use blocking::{sorted_neighborhood, token_blocking, BlockingStrategy, MetaBlocking};
 pub use corpus::{Corpus, CorpusBuilder};
-pub use lsh::{lsh_blocking, minhash_band_keys, LshParams};
+pub use lsh::{
+    lsh_blocking, lsh_blocking_cached, minhash_band_keys, minhash_band_keys_cached, LshParams,
+    SignatureCache,
+};
 pub use metablocking::{meta_block, BlockCollection, MetaConfig, Pruning, WeightScheme};
 pub use metrics::{
     cosine_tokens, dice, jaccard, jaro, jaro_winkler, levenshtein, levenshtein_similarity,
@@ -64,4 +72,5 @@ pub use metrics::{
 };
 pub use normalize::normalize;
 pub use simeng::{BatchScorer, SimKernel, SimScratch, StrTape};
+pub use streaming::{StreamingCorpus, DEFAULT_COMPACTION_THRESHOLD};
 pub use tokenize::{tokenize, tokenize_normalized, TermId, Vocabulary};

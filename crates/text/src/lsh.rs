@@ -26,6 +26,7 @@ use std::ops::Range;
 use er_pool::{chunk_ranges, ScratchSlot, WorkerPool};
 
 use crate::corpus::Corpus;
+use crate::tokenize::TermId;
 
 /// Fixed hash-family seed: stable signatures across runs and platforms.
 pub const DEFAULT_LSH_SEED: u64 = 0x5EED_0F1B_ADCA_FE00;
@@ -203,15 +204,108 @@ pub fn minhash_band_keys(corpus: &Corpus, params: &LshParams, pool: &WorkerPool)
     keys
 }
 
-/// Sorted `(bucket key, record)` entries — one per (record, band) for
-/// records with non-empty term sets. Equal keys form an LSH bucket; the
-/// sort makes downstream grouping deterministic.
-pub fn lsh_bucket_entries(
+/// Incremental per-record MinHash maintenance: caches every record's
+/// band keys alongside a copy of the (post-filter) term set they were
+/// computed from, and recomputes a record's signature only when its
+/// term set changed — a record newly ingested, or one whose kept terms
+/// flipped because the growing corpus moved the frequent-term cap.
+///
+/// `band_keys_for_range` is a pure function of the term set, so a
+/// reused row is **bit-identical** to a recomputed one; routing blocking
+/// through the cache never changes a candidate list (pinned by the
+/// tests below and `er-serve`'s incremental ≡ batch property).
+#[derive(Debug, Default)]
+pub struct SignatureCache {
+    /// Parameters the cached keys were computed with; any change resets.
+    params: Option<LshParams>,
+    /// Band keys, row-major (`keys[r * bands + band]`).
+    keys: Vec<u64>,
+    /// The exact term set each cached row was computed from. Stored as a
+    /// full copy rather than a hash: a fingerprint collision would
+    /// silently break the bit-identity contract.
+    term_sets: Vec<Vec<TermId>>,
+    reused: u64,
+    recomputed: u64,
+}
+
+impl SignatureCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record signatures served from the cache so far.
+    pub fn reused(&self) -> u64 {
+        self.reused
+    }
+
+    /// Record signatures (re)computed so far.
+    pub fn recomputed(&self) -> u64 {
+        self.recomputed
+    }
+
+    /// Number of records with cached signatures.
+    pub fn len(&self) -> usize {
+        self.term_sets.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.term_sets.is_empty()
+    }
+}
+
+/// [`minhash_band_keys`] through a [`SignatureCache`]: bit-identical
+/// output, but only records whose term set changed since the previous
+/// call pay the `|term_set| × signature_len` mixing cost. The first
+/// call (or a parameter change) fills the whole cache on the pool; the
+/// steady state recomputes the dirty rows serially — in a streaming
+/// engine those are the handful of records touched by the last ingest.
+pub fn minhash_band_keys_cached<'c>(
     corpus: &Corpus,
     params: &LshParams,
     pool: &WorkerPool,
-) -> Vec<(u64, u32)> {
-    let keys = minhash_band_keys(corpus, params, pool);
+    cache: &'c mut SignatureCache,
+) -> &'c [u64] {
+    let n = corpus.len();
+    if cache.params != Some(*params) {
+        cache.params = Some(*params);
+        cache.keys = minhash_band_keys(corpus, params, pool);
+        cache.term_sets = (0..n).map(|r| corpus.term_set(r).to_vec()).collect();
+        cache.recomputed += n as u64;
+        er_obs::counter_add("blocking.lsh.signatures_recomputed", n as u64);
+        return &cache.keys;
+    }
+    let _span = er_obs::span("blocking.lsh.signatures_incremental");
+    // Rows past the previously cached length must always compute: a new
+    // record with an *empty* post-filter term set would otherwise
+    // compare equal to the resize-initialized empty cache row and
+    // "reuse" a zero key instead of the degenerate all-max signature.
+    let cached_rows = cache.term_sets.len().min(n);
+    cache.keys.resize(n * params.bands, 0);
+    cache.term_sets.resize_with(n, Vec::new);
+    let mut sig = Vec::new();
+    let (mut reused, mut recomputed) = (0u64, 0u64);
+    for r in 0..n {
+        if r < cached_rows && cache.term_sets[r].as_slice() == corpus.term_set(r) {
+            reused += 1;
+            continue;
+        }
+        let row = &mut cache.keys[r * params.bands..(r + 1) * params.bands];
+        band_keys_for_range(corpus, params, r..r + 1, row, &mut sig);
+        cache.term_sets[r] = corpus.term_set(r).to_vec();
+        recomputed += 1;
+    }
+    cache.reused += reused;
+    cache.recomputed += recomputed;
+    er_obs::counter_add("blocking.lsh.signatures_reused", reused);
+    er_obs::counter_add("blocking.lsh.signatures_recomputed", recomputed);
+    &cache.keys
+}
+
+/// Groups row-major band keys into sorted `(bucket key, record)`
+/// entries, skipping records with empty (post-filter) term sets.
+fn entries_from_keys(corpus: &Corpus, params: &LshParams, keys: &[u64]) -> Vec<(u64, u32)> {
     let _span = er_obs::span("blocking.lsh.bucket_sort");
     let mut entries: Vec<(u64, u32)> = Vec::with_capacity(keys.len());
     for r in 0..corpus.len() {
@@ -225,6 +319,30 @@ pub fn lsh_bucket_entries(
     entries.sort_unstable();
     entries.dedup();
     entries
+}
+
+/// Sorted `(bucket key, record)` entries — one per (record, band) for
+/// records with non-empty term sets. Equal keys form an LSH bucket; the
+/// sort makes downstream grouping deterministic.
+pub fn lsh_bucket_entries(
+    corpus: &Corpus,
+    params: &LshParams,
+    pool: &WorkerPool,
+) -> Vec<(u64, u32)> {
+    let keys = minhash_band_keys(corpus, params, pool);
+    entries_from_keys(corpus, params, &keys)
+}
+
+/// [`lsh_bucket_entries`] with signatures maintained incrementally in a
+/// [`SignatureCache`] — identical output.
+pub fn lsh_bucket_entries_cached(
+    corpus: &Corpus,
+    params: &LshParams,
+    pool: &WorkerPool,
+    cache: &mut SignatureCache,
+) -> Vec<(u64, u32)> {
+    let keys = minhash_band_keys_cached(corpus, params, pool, cache);
+    entries_from_keys(corpus, params, keys)
 }
 
 /// Banding LSH blocking: candidates are all record pairs sharing at
@@ -244,6 +362,33 @@ pub fn lsh_blocking(
     er_obs::gauge_set("blocking.lsh.bands", params.bands as f64);
     er_obs::gauge_set("blocking.lsh.rows", params.rows as f64);
     let entries = lsh_bucket_entries(corpus, params, pool);
+    pairs_from_entries(corpus, &entries, max_block_size)
+}
+
+/// [`lsh_blocking`] with signatures maintained incrementally in a
+/// [`SignatureCache`] — identical candidate list, but a steady-state
+/// call only recomputes signatures for records whose term set changed.
+pub fn lsh_blocking_cached(
+    corpus: &Corpus,
+    params: &LshParams,
+    max_block_size: usize,
+    pool: &WorkerPool,
+    cache: &mut SignatureCache,
+) -> Vec<(u32, u32)> {
+    let _span = er_obs::span("blocking.lsh");
+    er_obs::gauge_set("blocking.lsh.bands", params.bands as f64);
+    er_obs::gauge_set("blocking.lsh.rows", params.rows as f64);
+    let entries = lsh_bucket_entries_cached(corpus, params, pool, cache);
+    pairs_from_entries(corpus, &entries, max_block_size)
+}
+
+/// Expands sorted bucket entries into the sorted, deduplicated
+/// candidate-pair list, skipping oversized buckets.
+fn pairs_from_entries(
+    corpus: &Corpus,
+    entries: &[(u64, u32)],
+    max_block_size: usize,
+) -> Vec<(u32, u32)> {
     let mut pairs: Vec<(u32, u32)> = Vec::new();
     let mut buckets = 0u64;
     let mut oversized = 0u64;
@@ -353,6 +498,68 @@ mod tests {
             &WorkerPool::with_policy(4, er_pool::DispatchPolicy::always_parallel()),
         );
         assert_eq!(serial, pooled);
+    }
+
+    #[test]
+    fn cached_blocking_matches_plain_and_reuses_clean_rows() {
+        let c = corpus();
+        let pool = WorkerPool::new(1);
+        let p = LshParams::default();
+        let mut cache = SignatureCache::new();
+        let plain = lsh_blocking(&c, &p, usize::MAX, &pool);
+        let cold = lsh_blocking_cached(&c, &p, usize::MAX, &pool, &mut cache);
+        assert_eq!(plain, cold);
+        assert_eq!(cache.recomputed(), c.len() as u64);
+        // Same corpus again: every row reuses.
+        let warm = lsh_blocking_cached(&c, &p, usize::MAX, &pool, &mut cache);
+        assert_eq!(plain, warm);
+        assert_eq!(cache.reused(), c.len() as u64);
+        // A grown corpus recomputes only the new record.
+        let grown = CorpusBuilder::new()
+            .push_text("fenix sunset 8358 hollywood grill")
+            .push_text("fenix sunset 8358 hollywood diner")
+            .push_text("completely different words here now")
+            .push_text("fenix sunset 8358 hollywood grill")
+            .push_text("fenix sunset 8358 hollywood tavern")
+            .build();
+        let incr = lsh_blocking_cached(&grown, &p, usize::MAX, &pool, &mut cache);
+        assert_eq!(incr, lsh_blocking(&grown, &p, usize::MAX, &pool));
+        assert_eq!(cache.recomputed(), c.len() as u64 + 1);
+        assert_eq!(cache.reused(), 2 * c.len() as u64);
+    }
+
+    #[test]
+    fn cache_resets_on_parameter_change() {
+        let c = corpus();
+        let pool = WorkerPool::new(1);
+        let mut cache = SignatureCache::new();
+        let _ = minhash_band_keys_cached(&c, &LshParams::default(), &pool, &mut cache);
+        let other = LshParams::new(8, 8);
+        let keys = minhash_band_keys_cached(&c, &other, &pool, &mut cache).to_vec();
+        assert_eq!(keys, minhash_band_keys(&c, &other, &pool));
+        assert_eq!(cache.recomputed(), 2 * c.len() as u64);
+    }
+
+    #[test]
+    fn cache_detects_term_set_changes_in_place() {
+        // Same record count, but record 1's kept term set shrinks (the
+        // way a moving frequent-term cap flips terms out of a streaming
+        // corpus): only that row recomputes, and the keys must equal a
+        // fresh computation.
+        let pool = WorkerPool::new(1);
+        let p = LshParams::default();
+        let a = CorpusBuilder::new()
+            .extend_texts(["alpha beta gamma", "delta epsilon zeta"])
+            .build();
+        let b = CorpusBuilder::new()
+            .extend_texts(["alpha beta gamma", "delta epsilon"])
+            .build();
+        let mut cache = SignatureCache::new();
+        let _ = minhash_band_keys_cached(&a, &p, &pool, &mut cache);
+        let keys = minhash_band_keys_cached(&b, &p, &pool, &mut cache).to_vec();
+        assert_eq!(keys, minhash_band_keys(&b, &p, &pool));
+        assert_eq!(cache.reused(), 1);
+        assert_eq!(cache.recomputed(), a.len() as u64 + 1);
     }
 
     #[test]

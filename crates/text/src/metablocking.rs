@@ -27,7 +27,7 @@
 use er_pool::{chunk_ranges, WorkerPool};
 
 use crate::corpus::Corpus;
-use crate::lsh::{lsh_bucket_entries, LshParams};
+use crate::lsh::{lsh_bucket_entries, lsh_bucket_entries_cached, LshParams, SignatureCache};
 use crate::tokenize::TermId;
 
 /// An overlapping collection of record blocks in CSR form.
@@ -71,7 +71,23 @@ impl BlockCollection {
     /// One block per LSH band bucket with ≥ 2 records, in bucket-key
     /// order (see [`lsh_bucket_entries`]).
     pub fn from_lsh(corpus: &Corpus, params: &LshParams, pool: &WorkerPool) -> Self {
-        let entries = lsh_bucket_entries(corpus, params, pool);
+        Self::from_bucket_entries(&lsh_bucket_entries(corpus, params, pool))
+    }
+
+    /// [`Self::from_lsh`] through a [`SignatureCache`]: band keys are
+    /// recomputed only for records whose term set changed since the
+    /// cache last saw them. Identical output to `from_lsh`.
+    pub fn from_lsh_cached(
+        corpus: &Corpus,
+        params: &LshParams,
+        pool: &WorkerPool,
+        cache: &mut SignatureCache,
+    ) -> Self {
+        Self::from_bucket_entries(&lsh_bucket_entries_cached(corpus, params, pool, cache))
+    }
+
+    /// Groups sorted `(bucket key, record)` entries into blocks.
+    fn from_bucket_entries(entries: &[(u64, u32)]) -> Self {
         let mut blocks = Self::new();
         let mut start = 0usize;
         while start < entries.len() {

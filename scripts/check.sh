@@ -10,6 +10,14 @@ cd "$(dirname "$0")/.."
 echo "==> cargo xtask analyze"
 cargo xtask analyze
 
+echo "==> cargo doc --workspace --no-deps (rustdoc warnings are errors)"
+# Vendored crates model external dependencies and keep their own doc
+# hygiene; the gate covers first-party crates only.
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet \
+  --exclude criterion --exclude crossbeam --exclude loom \
+  --exclude parking_lot --exclude proptest --exclude rand \
+  --exclude serde --exclude serde_derive
+
 echo "==> cargo test --workspace"
 cargo test --workspace --quiet
 

@@ -41,6 +41,7 @@ pub use er_eval as eval;
 pub use er_graph as graph;
 pub use er_matrix as matrix;
 pub use er_ml as ml;
+pub use er_serve as serve;
 pub use er_text as text;
 
 /// The types most applications need.
@@ -58,6 +59,7 @@ pub mod prelude {
     };
     pub use er_eval::{ConfusionCounts, TruthPairs};
     pub use er_graph::{BipartiteGraph, BipartiteGraphBuilder};
+    pub use er_serve::{QueryHandle, ServeConfig, ServeEngine};
     pub use er_text::{Corpus, CorpusBuilder};
 }
 
